@@ -1,0 +1,14 @@
+// bench_failure_catalog — the auto-generated counterpart of the paper's
+// §IV.B "Technical Examples of Disclosed Issues": every distinct error
+// code observed across the full campaign, with affected-test counts, the
+// tools involved, and a sample diagnostic. Experiment E6 companion.
+#include <iostream>
+
+#include "interop/report.hpp"
+#include "interop/study.hpp"
+
+int main() {
+  const wsx::interop::StudyResult result = wsx::interop::run_study();
+  std::cout << wsx::interop::format_failure_catalog(result);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// bench_fig4 — reruns the full campaign and regenerates Fig. 4 (overview of
+// the experimental results), paper vs measured. Experiment E3.
+#include <chrono>
+#include <iostream>
+
+#include "interop/report.hpp"
+#include "interop/study.hpp"
+
+int main() {
+  const auto start = std::chrono::steady_clock::now();
+  const wsx::interop::StudyResult result = wsx::interop::run_study();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  std::cout << wsx::interop::format_fig4(result);
+  std::cout << "campaign: " << result.total_tests() << " tests in " << elapsed.count()
+            << " ms\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// bench_fuzz — WSDL robustness fuzzing across all client tools. Extension
+// experiment: the paper injects faults implicitly through the native-type
+// corpus; this harness injects them explicitly through mutation operators
+// and measures (a) which tools detect which fault classes and (b) how much
+// of the fault space a deploy-time WS-I gate would catch.
+#include <iostream>
+
+#include "fuzz/campaign.hpp"
+
+int main() {
+  wsx::fuzz::FuzzConfig config;
+  config.corpus_per_server = 5;
+  const wsx::fuzz::FuzzReport report = wsx::fuzz::run_fuzz_campaign(config);
+  std::cout << wsx::fuzz::format_fuzz(report);
+  return 0;
+}

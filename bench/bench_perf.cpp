@@ -1,0 +1,174 @@
+// bench_perf — google-benchmark micro-benchmarks for the harness itself
+// (P1–P6 in DESIGN.md): XML parse/write, WSDL round trip, WS-I checking,
+// artifact generation, compilation and end-to-end campaign throughput.
+#include <benchmark/benchmark.h>
+
+#include "catalog/java_catalog.hpp"
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "interop/study.hpp"
+#include "wsdl/parser.hpp"
+#include "wsi/profile.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace {
+
+using namespace wsx;
+
+/// A deployed echo service reused by the micro-benches.
+const frameworks::DeployedService& sample_service() {
+  static const frameworks::DeployedService service = [] {
+    const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+    const auto server = frameworks::make_server("Metro 2.3");
+    for (const catalog::TypeInfo& type : catalog.types()) {
+      if (server->can_deploy(type)) {
+        Result<frameworks::DeployedService> deployed =
+            server->deploy(frameworks::ServiceSpec{&type});
+        if (deployed.ok()) return std::move(deployed.value());
+      }
+    }
+    return frameworks::DeployedService{};
+  }();
+  return service;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& text = sample_service().wsdl_text;
+  for (auto _ : state) {
+    Result<xml::Element> root = xml::parse_element(text);
+    benchmark::DoNotOptimize(root.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_XmlWrite(benchmark::State& state) {
+  Result<xml::Element> root = xml::parse_element(sample_service().wsdl_text);
+  for (auto _ : state) {
+    const std::string text = xml::write(root.value());
+    benchmark::DoNotOptimize(text.size());
+  }
+}
+BENCHMARK(BM_XmlWrite);
+
+void BM_WsdlRoundTrip(benchmark::State& state) {
+  const std::string& text = sample_service().wsdl_text;
+  for (auto _ : state) {
+    Result<wsdl::Definitions> defs = wsdl::parse(text);
+    benchmark::DoNotOptimize(defs.ok());
+  }
+}
+BENCHMARK(BM_WsdlRoundTrip);
+
+void BM_WsiCheck(benchmark::State& state) {
+  const frameworks::DeployedService& service = sample_service();
+  for (auto _ : state) {
+    const wsi::ComplianceReport report = wsi::check(service.wsdl);
+    benchmark::DoNotOptimize(report.compliant());
+  }
+}
+BENCHMARK(BM_WsiCheck);
+
+void BM_ArtifactGeneration(benchmark::State& state) {
+  const auto client = frameworks::make_client("Oracle Metro 2.3");
+  const std::string& text = sample_service().wsdl_text;
+  for (auto _ : state) {
+    frameworks::GenerationResult result = client->generate(text);
+    benchmark::DoNotOptimize(result.produced_artifacts());
+  }
+}
+BENCHMARK(BM_ArtifactGeneration);
+
+void BM_Compilation(benchmark::State& state) {
+  const auto client = frameworks::make_client("Apache Axis1 1.4");
+  frameworks::GenerationResult generated = client->generate(sample_service().wsdl_text);
+  const auto compiler = compilers::make_compiler(code::Language::kJava);
+  for (auto _ : state) {
+    DiagnosticSink sink = compiler->compile(*generated.artifacts);
+    benchmark::DoNotOptimize(sink.has_errors());
+  }
+}
+BENCHMARK(BM_Compilation);
+
+void BM_XmlParseScaling(benchmark::State& state) {
+  // Parse cost vs document size: replicate the sample schema N times.
+  Result<xml::Element> base = xml::parse_element(sample_service().wsdl_text);
+  xml::Element root{"corpus"};
+  for (int64_t i = 0; i < state.range(0); ++i) root.add_child(base.value());
+  const std::string text = xml::write(root);
+  for (auto _ : state) {
+    Result<xml::Element> parsed = xml::parse_element(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_XmlParseScaling)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_WsiCheckThroughput(benchmark::State& state) {
+  // WS-I checking over a batch of descriptions (per-service cost in the
+  // campaign's description step).
+  const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = frameworks::make_server("Metro 2.3");
+  std::vector<frameworks::DeployedService> services;
+  for (const catalog::TypeInfo& type : catalog.types()) {
+    if (services.size() >= static_cast<std::size_t>(state.range(0))) break;
+    if (!server->can_deploy(type)) continue;
+    Result<frameworks::DeployedService> deployed =
+        server->deploy(frameworks::ServiceSpec{&type});
+    if (deployed.ok()) services.push_back(std::move(deployed.value()));
+  }
+  for (auto _ : state) {
+    std::size_t compliant = 0;
+    for (const frameworks::DeployedService& service : services) {
+      if (wsi::check(service.wsdl).compliant()) ++compliant;
+    }
+    benchmark::DoNotOptimize(compliant);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * services.size()));
+}
+BENCHMARK(BM_WsiCheckThroughput)->Arg(16)->Arg(128);
+
+void BM_CatalogGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+    benchmark::DoNotOptimize(catalog.size());
+  }
+}
+BENCHMARK(BM_CatalogGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignScaled(benchmark::State& state) {
+  // A 1/20-scale study (same structure, smaller populations) per iteration.
+  interop::StudyConfig config;
+  config.java_spec.plain_beans = 89;
+  config.java_spec.throwable_clean = 20;
+  config.java_spec.throwable_raw = 3;
+  config.java_spec.raw_generic_beans = 9;
+  config.java_spec.anytype_array_beans = 2;
+  config.java_spec.no_default_ctor = 30;
+  config.java_spec.abstract_classes = 15;
+  config.java_spec.interfaces = 20;
+  config.java_spec.generic_types = 9;
+  config.dotnet_spec.plain_types = 105;
+  config.dotnet_spec.dataset_plain = 3;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 14;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 200;
+  config.dotnet_spec.no_default_ctor = 175;
+  config.dotnet_spec.generic_types = 104;
+  config.dotnet_spec.abstract_classes = 60;
+  config.dotnet_spec.interfaces = 40;
+  for (auto _ : state) {
+    const interop::StudyResult result = interop::run_study(config);
+    benchmark::DoNotOptimize(result.total_tests());
+  }
+}
+BENCHMARK(BM_CampaignScaled)->Unit(benchmark::kMillisecond);
+
+}  // namespace

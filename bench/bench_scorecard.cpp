@@ -1,0 +1,19 @@
+// bench_scorecard — the synthesized per-tool report card: the paper's
+// steps 1-3 study + the communication extension + robustness fuzzing, one
+// row per client tool. Extension artifact.
+#include <iostream>
+
+#include "interop/scorecard.hpp"
+
+int main() {
+  const wsx::interop::StudyResult study = wsx::interop::run_study();
+  const wsx::interop::CommunicationResult communication =
+      wsx::interop::run_communication_study();
+  wsx::fuzz::FuzzConfig fuzz_config;
+  fuzz_config.corpus_per_server = 5;
+  const wsx::fuzz::FuzzReport fuzzing = wsx::fuzz::run_fuzz_campaign(fuzz_config);
+
+  std::cout << wsx::interop::format_scorecard(
+      wsx::interop::build_scorecard(study, communication, fuzzing));
+  return 0;
+}

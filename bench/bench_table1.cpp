@@ -1,0 +1,9 @@
+// bench_table1 — regenerates Table I (server platforms). Experiment E1.
+#include <iostream>
+
+#include "interop/report.hpp"
+
+int main() {
+  std::cout << wsx::interop::format_table1();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// bench_table2 — regenerates Table II (client-side frameworks). Experiment E2.
+#include <iostream>
+
+#include "interop/report.hpp"
+
+int main() {
+  std::cout << wsx::interop::format_table2();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// bench_table3 — reruns the full campaign and regenerates Table III (the
+// client×server matrix), paper vs measured. Experiment E4.
+#include <iostream>
+
+#include "interop/report.hpp"
+#include "interop/study.hpp"
+
+int main() {
+  const wsx::interop::StudyResult result = wsx::interop::run_study();
+  std::cout << wsx::interop::format_table3(result);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// fuzz_driver — using the mutation API directly: derive mutants from one
+// service description, show each mutant's WS-I verdict next to every
+// tool's reaction. A compact version of bench_fuzz for a single service.
+#include <iostream>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "fuzz/mutation.hpp"
+#include "wsdl/parser.hpp"
+#include "wsi/profile.hpp"
+
+using namespace wsx;
+
+int main(int argc, char** argv) {
+  const std::string type_name =
+      argc > 1 ? argv[1] : std::string(catalog::java_names::kXmlGregorianCalendar);
+
+  const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const catalog::TypeInfo* type = catalog.find(type_name);
+  if (type == nullptr) {
+    std::cerr << "unknown type: " << type_name << "\n";
+    return 1;
+  }
+  const auto server = frameworks::make_server("Metro 2.3");
+  Result<frameworks::DeployedService> service =
+      server->deploy(frameworks::ServiceSpec{type});
+  if (!service.ok()) {
+    std::cerr << "deployment refused: " << service.error().message << "\n";
+    return 1;
+  }
+  const auto clients = frameworks::make_clients();
+
+  std::cout << "Mutating the description of " << type->qualified_name() << " ("
+            << service->wsdl_text.size() << " bytes)\n\n";
+  for (const fuzz::Mutant& mutant : fuzz::mutate_all(service->wsdl_text)) {
+    std::cout << "== " << to_string(mutant.kind) << ": " << mutant.description << "\n";
+    Result<wsdl::Definitions> parsed = wsdl::parse(mutant.wsdl_text);
+    if (parsed.ok()) {
+      std::cout << "   WS-I: " << wsi::check(*parsed).summary() << "\n";
+    } else {
+      std::cout << "   WS-I: (document does not parse: " << parsed.error().code << ")\n";
+    }
+    std::size_t rejected = 0;
+    std::size_t warned = 0;
+    std::size_t silent = 0;
+    for (const auto& client : clients) {
+      const frameworks::GenerationResult result = client->generate(mutant.wsdl_text);
+      if (result.diagnostics.has_errors()) {
+        ++rejected;
+      } else if (result.diagnostics.has_warnings()) {
+        ++warned;
+      } else {
+        ++silent;
+      }
+    }
+    std::cout << "   tools: " << rejected << " rejected, " << warned << " warned, " << silent
+              << " silent\n";
+  }
+  return 0;
+}

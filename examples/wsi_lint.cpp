@@ -1,0 +1,87 @@
+// wsi_lint — a WS-I Basic Profile linter for WSDL files. Reads a WSDL from
+// a file (or generates a demo description when run without arguments) and
+// prints every assertion result. Pass --strict to enable the paper's
+// minOccurs>=1 operations rule.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "wsdl/parser.hpp"
+#include "wsi/profile.hpp"
+
+using namespace wsx;
+
+namespace {
+
+int lint(const wsdl::Definitions& defs, const wsi::Profile& profile) {
+  const wsi::ComplianceReport report = wsi::check(defs, profile);
+  for (const wsi::AssertionResult& assertion : report.results()) {
+    std::cout << "  [" << to_string(assertion.outcome) << "] " << assertion.id << " — "
+              << assertion.title;
+    if (!assertion.detail.empty()) std::cout << "\n         " << assertion.detail;
+    std::cout << "\n";
+  }
+  std::cout << "result: " << report.summary() << "\n";
+  return report.compliant() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsi::Profile profile;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      profile.require_operations = true;
+    } else {
+      path = arg;
+    }
+  }
+
+  if (path.empty()) {
+    // Demo: lint WCF's description of System.Data.DataTable and one
+    // DataSet-idiom type.
+    const catalog::TypeCatalog types = catalog::make_dotnet_catalog();
+    const auto server = frameworks::make_server("WCF .NET 4.0.30319.17929");
+    for (const std::string_view name :
+         {catalog::dotnet_names::kDataTable, std::string_view{}}) {
+      const catalog::TypeInfo* type = nullptr;
+      if (!name.empty()) {
+        type = types.find(name);
+      } else {
+        for (const catalog::TypeInfo& candidate : types.types()) {
+          if (candidate.has(catalog::Trait::kDataSetSchema)) {
+            type = &candidate;
+            break;
+          }
+        }
+      }
+      if (type == nullptr) continue;
+      Result<frameworks::DeployedService> service =
+          server->deploy(frameworks::ServiceSpec{type});
+      if (!service.ok()) continue;
+      std::cout << "== " << type->qualified_name() << " on " << server->name() << "\n";
+      lint(service->wsdl, profile);
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<wsdl::Definitions> defs = wsdl::parse(buffer.str());
+  if (!defs.ok()) {
+    std::cerr << "parse error: " << defs.error().message << "\n";
+    return 1;
+  }
+  std::cout << "== " << path << "\n";
+  return lint(*defs, profile);
+}

@@ -1,0 +1,48 @@
+// dotnet_catalog.hpp — the synthetic .NET Framework 4 type population.
+#pragma once
+
+#include <cstdint>
+
+#include "catalog/type_info.hpp"
+
+namespace wsx::catalog {
+
+/// Population quotas for the .NET catalog. Defaults reproduce the paper's
+/// numbers (14082 crawled types, 2502 deployable).
+struct DotNetCatalogSpec {
+  std::uint64_t seed = 0x444F544Eu;  // "DOTN"
+
+  // Deployable population: 2502 on WCF.
+  std::size_t plain_types = 2111;
+  std::size_t dataset_plain = 59;       ///< s:schema/s:lang idiom (base form)
+  std::size_t dataset_duplicated = 13;  ///< + duplicate schema ref (breaks gSOAP)
+  std::size_t dataset_nested = 3;       ///< + nested ref (breaks Axis1)
+  std::size_t dataset_array = 1;        ///< + ref under unbounded (breaks suds)
+  std::size_t encoded_binding = 1;      ///< WCF emits use="encoded"
+  std::size_t missing_soap_action = 3;  ///< WCF omits soapAction
+  std::size_t deep_nesting_clean = 284; ///< deep inline nesting (breaks jsc codegen)
+  std::size_t deep_nesting_pathological = 17;  ///< + crashes the jsc compiler
+  std::size_t generator_crash = 2;      ///< crashes the jsc *generator*
+  // + 3 named wildcard types (DataTable, DataTableCollection, DataView),
+  // + 1 named enum (SocketError), + 4 named WebControls = 2502 total.
+
+  // Not deployable on WCF: 11580.
+  std::size_t non_serializable = 4000;
+  std::size_t no_default_ctor = 3500;
+  std::size_t generic_types = 2080;
+  std::size_t abstract_classes = 1200;
+  std::size_t interfaces = 800;
+};
+
+/// Builds the .NET catalog; with the default spec it contains exactly
+/// 14082 types.
+TypeCatalog make_dotnet_catalog(const DotNetCatalogSpec& spec = {});
+
+namespace dotnet_names {
+inline constexpr std::string_view kDataTable = "System.Data.DataTable";
+inline constexpr std::string_view kDataTableCollection = "System.Data.DataTableCollection";
+inline constexpr std::string_view kDataView = "System.Data.DataView";
+inline constexpr std::string_view kSocketError = "System.Net.Sockets.SocketError";
+}  // namespace dotnet_names
+
+}  // namespace wsx::catalog

@@ -1,0 +1,91 @@
+#include "catalog/name_pool.hpp"
+
+#include <array>
+
+namespace wsx::catalog {
+
+std::uint64_t Rng::next() {
+  // splitmix64 — stable across platforms.
+  state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::size_t Rng::below(std::size_t bound) {
+  return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+}
+
+namespace {
+
+constexpr std::array kRoots = {
+    "Buffer",   "Channel", "Stream",  "Format",   "Event",    "Context",  "Session",
+    "Registry", "Monitor", "Cursor",  "Document", "Element",  "Resource", "Socket",
+    "Gradient", "Layout",  "Palette", "Renderer", "Index",    "Token",    "Lexer",
+    "Schema",   "Binding", "Adapter", "Bridge",   "Cache",    "Cluster",  "Config",
+    "Snapshot", "Journal", "Ledger",  "Metric",   "Quota",    "Routing",  "Sampler",
+    "Timeline", "Vector",  "Matrix",  "Polygon",  "Spline",   "Texture",  "Widget",
+    "Toolbar",  "Dialog",  "Wizard",  "Tracker",  "Profiler", "Decoder",  "Encoder",
+    "Splitter",
+};
+
+constexpr std::array kQualifiers = {
+    "Buffered",  "Cached",   "Chunked",   "Composite", "Concurrent", "Deferred",
+    "Delegating", "Filtered", "Immutable", "Indexed",   "Inline",     "Lazy",
+    "Managed",   "Mapped",   "Nested",    "Paged",     "Pooled",     "Remote",
+    "Rolling",   "Scoped",   "Shared",    "Sorted",    "Streaming",  "Synced",
+    "Threaded",  "Tracked",  "Typed",     "Versioned", "Virtual",    "Weighted",
+};
+
+constexpr std::array kSuffixes = {
+    "",       "Reader",  "Writer",   "Handler", "Manager",  "Factory", "Builder",
+    "Helper", "Support", "Provider", "Info",    "Entry",    "Spec",    "Descriptor",
+    "Model",  "State",   "Result",   "Request", "Response", "Options",
+};
+
+constexpr std::array kFieldNames = {
+    "value",  "name",    "id",     "count",  "flags",   "data",   "items",  "label",
+    "offset", "length",  "status", "weight", "ratio",   "source", "target", "key",
+    "index",  "version", "scale",  "bound",  "capacity", "mode",  "level",  "order",
+};
+
+constexpr std::array kFieldTypes = {
+    xsd::Builtin::kString,  xsd::Builtin::kInt,      xsd::Builtin::kLong,
+    xsd::Builtin::kBoolean, xsd::Builtin::kDouble,   xsd::Builtin::kFloat,
+    xsd::Builtin::kShort,   xsd::Builtin::kDateTime, xsd::Builtin::kDecimal,
+    xsd::Builtin::kByte,
+};
+
+}  // namespace
+
+std::string NamePool::next_class_name(const std::string& suffix) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string name = std::string(kQualifiers[rng_.below(kQualifiers.size())]) +
+                       std::string(kRoots[rng_.below(kRoots.size())]);
+    if (suffix.empty()) {
+      name += kSuffixes[rng_.below(kSuffixes.size())];
+    } else {
+      name += suffix;
+    }
+    if (used_.insert(name).second) return name;
+  }
+  // Pool exhausted for this shape: fall back to an indexed name, still
+  // unique and deterministic.
+  std::string name;
+  do {
+    name = std::string(kRoots[rng_.below(kRoots.size())]) + std::to_string(used_.size()) +
+           suffix;
+  } while (!used_.insert(name).second);
+  return name;
+}
+
+std::string NamePool::next_field_name() {
+  return std::string(kFieldNames[rng_.below(kFieldNames.size())]);
+}
+
+xsd::Builtin NamePool::next_field_type() {
+  return kFieldTypes[rng_.below(kFieldTypes.size())];
+}
+
+}  // namespace wsx::catalog

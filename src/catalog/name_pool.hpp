@@ -1,0 +1,52 @@
+// name_pool.hpp — deterministic realistic-looking type-name synthesis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "xsd/builtin.hpp"
+
+namespace wsx::catalog {
+
+/// Deterministic pseudo-random stream (splitmix64). The catalogs must be
+/// bit-identical across runs and platforms, so we avoid std::mt19937's
+/// distribution portability caveats.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+  /// Uniform in [0, bound).
+  std::size_t below(std::size_t bound);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Synthesizes unique class names that look like platform API types
+/// ("BufferedChannelWriter", "DataGridViewCell", ...). Names are unique per
+/// pool instance; deterministic for a given seed and call sequence.
+class NamePool {
+ public:
+  explicit NamePool(std::uint64_t seed) : rng_(seed) {}
+
+  /// A fresh class name, optionally forced to end with `suffix`
+  /// (e.g. "Exception").
+  std::string next_class_name(const std::string& suffix = "");
+
+  /// A field name (camelCase), unique within nothing — callers dedupe.
+  std::string next_field_name();
+
+  /// A random built-in schema type for a field.
+  xsd::Builtin next_field_type();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace wsx::catalog

@@ -1,0 +1,32 @@
+#include "catalog/type_info.hpp"
+
+#include <algorithm>
+
+namespace wsx::catalog {
+
+const char* to_string(SourceLanguage language) {
+  return language == SourceLanguage::kJava ? "Java" : "C#";
+}
+
+const TypeInfo* TypeCatalog::find(std::string_view qualified_name) const {
+  for (const TypeInfo& type : types_) {
+    if (type.qualified_name() == qualified_name) return &type;
+  }
+  return nullptr;
+}
+
+std::vector<const TypeInfo*> TypeCatalog::with_trait(Trait trait) const {
+  std::vector<const TypeInfo*> out;
+  for (const TypeInfo& type : types_) {
+    if (type.has(trait)) out.push_back(&type);
+  }
+  return out;
+}
+
+std::size_t TypeCatalog::count_with_trait(Trait trait) const {
+  return static_cast<std::size_t>(
+      std::count_if(types_.begin(), types_.end(),
+                    [trait](const TypeInfo& type) { return type.has(trait); }));
+}
+
+}  // namespace wsx::catalog

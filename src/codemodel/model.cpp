@@ -1,0 +1,35 @@
+#include "codemodel/model.hpp"
+
+namespace wsx::code {
+
+const char* to_string(Language language) {
+  switch (language) {
+    case Language::kJava:
+      return "Java";
+    case Language::kCSharp:
+      return "C#";
+    case Language::kVisualBasic:
+      return "Visual Basic .NET";
+    case Language::kJScript:
+      return "JScript .NET";
+    case Language::kCpp:
+      return "C++";
+    case Language::kPhp:
+      return "PHP";
+    case Language::kPython:
+      return "Python";
+  }
+  return "unknown";
+}
+
+bool requires_compilation(Language language) {
+  return language != Language::kPhp && language != Language::kPython;
+}
+
+std::size_t Artifacts::class_count() const {
+  std::size_t count = 0;
+  for (const CompilationUnit& unit : units) count += unit.classes.size();
+  return count;
+}
+
+}  // namespace wsx::code

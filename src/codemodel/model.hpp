@@ -1,0 +1,85 @@
+// model.hpp — language-neutral model of generated client artifacts.
+//
+// Client artifact generators (the wsdl2java / wsdl.exe / wsdl2h family)
+// produce instances of this model instead of source text; the compiler
+// simulators then perform the semantic checks a real compiler would run:
+// duplicate members, unresolved identifiers, missing bodies. Every
+// compilation failure the study reports arises from a defect *in this
+// generated model*, not from a hardcoded outcome.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wsx::code {
+
+enum class Language { kJava, kCSharp, kVisualBasic, kJScript, kCpp, kPhp, kPython };
+
+const char* to_string(Language language);
+
+/// True for languages whose artifacts are compiled before use. PHP and
+/// Python clients are dynamic: the study checks object instantiation
+/// instead (Table II footnote 3).
+bool requires_compilation(Language language);
+
+struct Param {
+  std::string name;
+  std::string type;
+  friend bool operator==(const Param&, const Param&) = default;
+};
+
+struct Field {
+  std::string name;
+  std::string type;
+  /// Field uses a raw (unparameterized) collection type; javac reports
+  /// "uses unchecked or unsafe operations" once per unit — the warning the
+  /// Axis1/Axis2 artifacts produce on every compile.
+  bool raw_collection = false;
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+struct Method {
+  std::string name;
+  std::string return_type{"void"};
+  std::vector<Param> params;
+  /// Identifiers the body references; must resolve against params, locals
+  /// and the enclosing class's fields.
+  std::vector<std::string> referenced_symbols;
+  /// Locals declared in the body.
+  std::vector<std::string> local_decls;
+  /// False when the generator failed to emit the body — the JScript .NET
+  /// defect ("did not produce the necessary functions").
+  bool has_body = true;
+  friend bool operator==(const Method&, const Method&) = default;
+};
+
+struct Class {
+  std::string name;
+  std::string base;  ///< base class name; empty for none
+  std::vector<Field> fields;
+  std::vector<Method> methods;
+  friend bool operator==(const Class&, const Class&) = default;
+};
+
+struct CompilationUnit {
+  std::string name;  ///< unit (file) name
+  std::vector<Class> classes;
+  /// Generated constructs that drive the real JScript .NET compiler into
+  /// its "131 INTERNAL COMPILER CRASH" — modeled as a unit-level marker
+  /// the JScript compiler simulator trips over.
+  bool pathological = false;
+  friend bool operator==(const CompilationUnit&, const CompilationUnit&) = default;
+};
+
+/// Everything an artifact generation step hands to the next step.
+struct Artifacts {
+  Language language = Language::kJava;
+  std::vector<CompilationUnit> units;
+  /// Names of the invocable operations on the generated client/proxy class.
+  /// For dynamic languages this is what the instantiation check inspects.
+  std::vector<std::string> client_operations;
+
+  std::size_t class_count() const;
+};
+
+}  // namespace wsx::code

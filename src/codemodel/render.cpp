@@ -1,0 +1,101 @@
+#include "codemodel/render.hpp"
+
+#include <sstream>
+
+namespace wsx::code {
+namespace {
+
+struct Style {
+  const char* class_keyword;
+  const char* field_prefix;   ///< e.g. "private " / "public " / ""
+  const char* method_prefix;
+  const char* statement_end;  ///< ";" or ""
+  bool type_before_name;      ///< C-family order vs scripting order
+};
+
+Style style_for(Language language) {
+  switch (language) {
+    case Language::kJava:
+      return {"class", "private ", "public ", ";", true};
+    case Language::kCSharp:
+      return {"class", "private ", "public ", ";", true};
+    case Language::kVisualBasic:
+      return {"Class", "Private ", "Public ", "", false};
+    case Language::kJScript:
+      return {"class", "var ", "function ", ";", false};
+    case Language::kCpp:
+      return {"struct", "", "", ";", true};
+    case Language::kPhp:
+      return {"class", "public $", "public function ", ";", false};
+    case Language::kPython:
+      return {"class", "", "def ", "", false};
+  }
+  return {"class", "", "", ";", true};
+}
+
+void render_field(std::ostringstream& out, const Field& field, const Style& style) {
+  out << "  " << style.field_prefix;
+  if (style.type_before_name) {
+    out << field.type << ' ' << field.name;
+  } else {
+    out << field.name;
+  }
+  if (field.raw_collection) out << " /* raw collection */";
+  out << style.statement_end << '\n';
+}
+
+void render_method(std::ostringstream& out, const Method& method, const Style& style) {
+  out << "  " << style.method_prefix;
+  if (style.type_before_name) out << method.return_type << ' ';
+  out << method.name << '(';
+  for (std::size_t i = 0; i < method.params.size(); ++i) {
+    if (i != 0) out << ", ";
+    if (style.type_before_name) {
+      out << method.params[i].type << ' ' << method.params[i].name;
+    } else {
+      out << method.params[i].name;
+    }
+  }
+  out << ')';
+  if (!method.has_body) {
+    // The JScript defect, visible in the dump.
+    out << style.statement_end << "  // <missing body>\n";
+    return;
+  }
+  out << " {\n";
+  for (const std::string& local : method.local_decls) {
+    out << "    var " << local << style.statement_end << '\n';
+  }
+  for (const std::string& symbol : method.referenced_symbols) {
+    out << "    use(" << symbol << ')' << style.statement_end << '\n';
+  }
+  out << "  }\n";
+}
+
+}  // namespace
+
+std::string render(const CompilationUnit& unit, Language language) {
+  const Style style = style_for(language);
+  std::ostringstream out;
+  out << "// unit: " << unit.name << " [" << to_string(language) << "]\n";
+  if (unit.pathological) out << "// NOTE: this unit crashes the real compiler\n";
+  for (const Class& cls : unit.classes) {
+    out << style.class_keyword << ' ' << cls.name;
+    if (!cls.base.empty()) out << " extends " << cls.base;
+    out << " {\n";
+    for (const Field& field : cls.fields) render_field(out, field, style);
+    for (const Method& method : cls.methods) render_method(out, method, style);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string render(const Artifacts& artifacts) {
+  std::ostringstream out;
+  for (const CompilationUnit& unit : artifacts.units) {
+    out << render(unit, artifacts.language) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wsx::code

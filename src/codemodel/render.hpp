@@ -1,0 +1,21 @@
+// render.hpp — renders generated-artifact models as language-flavoured
+// source text, for artifact dumps and debugging (wsinterop test --dump).
+// The text is illustrative (the semantic checks run on the model, not on
+// this rendering), but it makes the injected defects visible to a human:
+// the renamed message1 field, the duplicated extraElement, the bodyless
+// JScript accessor.
+#pragma once
+
+#include <string>
+
+#include "codemodel/model.hpp"
+
+namespace wsx::code {
+
+/// Renders one compilation unit in the style of `language`.
+std::string render(const CompilationUnit& unit, Language language);
+
+/// Renders all units of `artifacts`, separated by file banners.
+std::string render(const Artifacts& artifacts);
+
+}  // namespace wsx::code

@@ -1,0 +1,48 @@
+// box.hpp — copyable heap indirection for recursive value types.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace wsx {
+
+/// A deep-copying smart holder. Unlike std::unique_ptr it is copyable, which
+/// lets recursive models (an XSD element containing an anonymous complex
+/// type containing elements...) keep plain value semantics.
+template <typename T>
+class Box {
+ public:
+  Box() = default;
+  Box(T value) : ptr_(std::make_unique<T>(std::move(value))) {}  // NOLINT
+  Box(const Box& other) : ptr_(other.ptr_ ? std::make_unique<T>(*other.ptr_) : nullptr) {}
+  Box(Box&&) noexcept = default;
+  Box& operator=(const Box& other) {
+    if (this != &other) ptr_ = other.ptr_ ? std::make_unique<T>(*other.ptr_) : nullptr;
+    return *this;
+  }
+  Box& operator=(Box&&) noexcept = default;
+  ~Box() = default;
+
+  bool has_value() const { return ptr_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  /// Precondition: has_value().
+  const T& operator*() const { return *ptr_; }
+  T& operator*() { return *ptr_; }
+  const T* operator->() const { return ptr_.get(); }
+  T* operator->() { return ptr_.get(); }
+  const T* get() const { return ptr_.get(); }
+  T* get() { return ptr_.get(); }
+
+  void reset() { ptr_.reset(); }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    if (a.has_value() != b.has_value()) return false;
+    return !a.has_value() || *a == *b;
+  }
+
+ private:
+  std::unique_ptr<T> ptr_;
+};
+
+}  // namespace wsx

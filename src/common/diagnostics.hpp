@@ -1,0 +1,55 @@
+// diagnostics.hpp — structured diagnostics emitted by every pipeline stage.
+//
+// The study classifies each testing-phase step outcome by the diagnostics
+// the tool produced: errors abort the pipeline for a service, warnings are
+// recorded and the pipeline continues (paper §III.B.d).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wsx {
+
+enum class Severity {
+  kNote,     ///< informational; never affects classification
+  kWarning,  ///< tool produced output but flagged an issue
+  kError,    ///< tool failed to produce (usable) output
+  kCrash,    ///< tool itself crashed (counts as an error in classification)
+};
+
+const char* to_string(Severity severity);
+
+/// One message from a tool (WSDL generator, artifact generator, compiler).
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string code;     ///< stable identifier, e.g. "axis1.unresolved-ident"
+  std::string message;  ///< human-readable text
+  std::string subject;  ///< what the diagnostic is about (class, file, symbol)
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Accumulates diagnostics produced during one tool invocation.
+class DiagnosticSink {
+ public:
+  void add(Diagnostic diagnostic) { diagnostics_.push_back(std::move(diagnostic)); }
+  void note(std::string code, std::string message, std::string subject = {});
+  void warn(std::string code, std::string message, std::string subject = {});
+  void error(std::string code, std::string message, std::string subject = {});
+  void crash(std::string code, std::string message, std::string subject = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  std::size_t count(Severity severity) const;
+  bool has_errors() const;    ///< true if any kError or kCrash
+  bool has_warnings() const;  ///< true if any kWarning
+
+  /// Appends all diagnostics from `other`.
+  void merge(const DiagnosticSink& other);
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace wsx

@@ -1,0 +1,96 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+
+namespace wsx::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ObjectWriter::ObjectWriter() : out_("{") {}
+
+void ObjectWriter::begin_field(std::string_view key) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\":";
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  out_ += '"';
+  out_ += escape(value);
+  out_ += '"';
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, bool value) {
+  begin_field(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, std::size_t value) {
+  begin_field(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, long long value) {
+  begin_field(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::field(std::string_view key, double value) {
+  begin_field(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out_ += buffer;
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::raw_field(std::string_view key, std::string_view json_value) {
+  begin_field(key);
+  out_ += json_value;
+  return *this;
+}
+
+std::string ObjectWriter::str() const { return out_ + "}"; }
+
+}  // namespace wsx::json

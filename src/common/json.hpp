@@ -1,0 +1,38 @@
+// json.hpp — a minimal JSON emitter for campaign logs.
+//
+// Write-only on purpose: the library exports results (JSON-lines test
+// records, report payloads); it never consumes JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wsx::json {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string escape(std::string_view text);
+
+/// Builds one JSON object incrementally: field(...) calls, then str().
+class ObjectWriter {
+ public:
+  ObjectWriter();
+
+  ObjectWriter& field(std::string_view key, std::string_view value);
+  ObjectWriter& field(std::string_view key, const char* value);
+  ObjectWriter& field(std::string_view key, bool value);
+  ObjectWriter& field(std::string_view key, std::size_t value);
+  ObjectWriter& field(std::string_view key, long long value);
+  ObjectWriter& field(std::string_view key, double value);
+  /// Inserts a pre-rendered JSON value (object/array) verbatim.
+  ObjectWriter& raw_field(std::string_view key, std::string_view json_value);
+
+  /// Finalizes and returns the object text ("{...}").
+  std::string str() const;
+
+ private:
+  void begin_field(std::string_view key);
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace wsx::json

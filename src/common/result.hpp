@@ -1,0 +1,89 @@
+// result.hpp — lightweight Result<T> for recoverable, domain-level failures.
+//
+// The interoperability study *measures* tool failures: a parse error or a
+// generation failure is data, not an exceptional condition, so the library
+// reports these through Result<T> rather than exceptions. Exceptions remain
+// reserved for programming errors (precondition violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wsx {
+
+/// A domain-level failure: a short machine-readable code plus a
+/// human-readable message. Codes are stable identifiers used by tests.
+struct Error {
+  std::string code;     ///< e.g. "xml.unexpected-eof", "wsdl.missing-binding"
+  std::string message;  ///< human-readable detail
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Minimal expected-like type (std::expected is C++23; we target C++20).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace wsx

@@ -1,0 +1,38 @@
+// strings.hpp — small string utilities used across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsx {
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Splits `text` on `separator`; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Removes leading/trailing XML whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if the strings are equal ignoring ASCII case (VB.NET identifier rule).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Uppercases the first character (ASCII); used by artifact generators to
+/// derive bean-style accessor names.
+std::string capitalize(std::string_view text);
+
+/// Replaces every occurrence of `from` in `text` with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+}  // namespace wsx

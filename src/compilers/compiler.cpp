@@ -1,0 +1,30 @@
+#include "compilers/compiler.hpp"
+
+#include "compilers/cpp_compiler.hpp"
+#include "compilers/csharp_compiler.hpp"
+#include "compilers/java_compiler.hpp"
+#include "compilers/jscript_compiler.hpp"
+#include "compilers/vb_compiler.hpp"
+
+namespace wsx::compilers {
+
+std::unique_ptr<Compiler> make_compiler(code::Language language) {
+  switch (language) {
+    case code::Language::kJava:
+      return std::make_unique<JavaCompiler>();
+    case code::Language::kCSharp:
+      return std::make_unique<CSharpCompiler>();
+    case code::Language::kVisualBasic:
+      return std::make_unique<VbCompiler>();
+    case code::Language::kJScript:
+      return std::make_unique<JScriptCompiler>();
+    case code::Language::kCpp:
+      return std::make_unique<CppCompiler>();
+    case code::Language::kPhp:
+    case code::Language::kPython:
+      return nullptr;  // dynamic languages: use check_instantiation
+  }
+  return nullptr;
+}
+
+}  // namespace wsx::compilers

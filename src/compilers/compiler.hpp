@@ -1,0 +1,39 @@
+// compiler.hpp — compiler simulators for the artifact languages.
+//
+// Each simulator runs the semantic checks its real counterpart performs on
+// generated proxy code: member collision detection (case-sensitive or not),
+// identifier resolution, body presence, and the javac raw-types warning.
+// They differ exactly where the real compilers differ — e.g. Visual Basic
+// compares identifiers case-insensitively, which is why artifacts that C#
+// accepts fail under VB (paper §IV.B.3).
+#pragma once
+
+#include <memory>
+
+#include "codemodel/model.hpp"
+#include "common/diagnostics.hpp"
+
+namespace wsx::compilers {
+
+class Compiler {
+ public:
+  virtual ~Compiler() = default;
+
+  /// The language this compiler accepts.
+  virtual code::Language language() const = 0;
+
+  /// Compiles `artifacts`, returning all diagnostics. An empty sink means a
+  /// clean compile.
+  virtual DiagnosticSink compile(const code::Artifacts& artifacts) const = 0;
+};
+
+/// Returns the compiler simulator for `language`; nullptr for dynamic
+/// languages (use DynamicChecker instead).
+std::unique_ptr<Compiler> make_compiler(code::Language language);
+
+/// Instantiation check for dynamic-language clients (PHP Zend, Python
+/// suds): verifies the client object can be created and reports a warning
+/// when it exposes no invocable operations.
+DiagnosticSink check_instantiation(const code::Artifacts& artifacts);
+
+}  // namespace wsx::compilers

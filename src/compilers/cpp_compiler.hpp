@@ -1,0 +1,14 @@
+// cpp_compiler.hpp — C++ semantic checking for gSOAP-generated artifacts.
+#pragma once
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+class CppCompiler final : public Compiler {
+ public:
+  code::Language language() const override { return code::Language::kCpp; }
+  DiagnosticSink compile(const code::Artifacts& artifacts) const override;
+};
+
+}  // namespace wsx::compilers

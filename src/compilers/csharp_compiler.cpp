@@ -1,0 +1,15 @@
+#include "compilers/csharp_compiler.hpp"
+
+#include "compilers/semantic_checks.hpp"
+
+namespace wsx::compilers {
+
+DiagnosticSink CSharpCompiler::compile(const code::Artifacts& artifacts) const {
+  DiagnosticSink sink;
+  CheckPolicy policy;
+  policy.tool = "csc";
+  for (const code::CompilationUnit& unit : artifacts.units) check_unit(unit, policy, sink);
+  return sink;
+}
+
+}  // namespace wsx::compilers

@@ -1,0 +1,14 @@
+// csharp_compiler.hpp — csc-style semantic checking (case-sensitive).
+#pragma once
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+class CSharpCompiler final : public Compiler {
+ public:
+  code::Language language() const override { return code::Language::kCSharp; }
+  DiagnosticSink compile(const code::Artifacts& artifacts) const override;
+};
+
+}  // namespace wsx::compilers

@@ -1,0 +1,25 @@
+// dynamic_checker.cpp — the instantiation check for PHP/Python clients.
+//
+// "Compilation is not possible. Client object instantiation was checked
+// instead." (paper, Table II footnote 3). The Zend and suds client models
+// hand us the would-be client object shape; we verify it instantiates and
+// flag clients with no invocable operations, which is what the study
+// observed for the zero-operation JBossWS descriptions.
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+DiagnosticSink check_instantiation(const code::Artifacts& artifacts) {
+  DiagnosticSink sink;
+  if (artifacts.units.empty() && artifacts.client_operations.empty()) {
+    sink.error("dynamic.no-client", "no client object could be instantiated");
+    return sink;
+  }
+  if (artifacts.client_operations.empty()) {
+    sink.warn("dynamic.no-operations",
+              "client object instantiated but exposes no invocable methods");
+  }
+  return sink;
+}
+
+}  // namespace wsx::compilers

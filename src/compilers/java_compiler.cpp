@@ -1,0 +1,16 @@
+#include "compilers/java_compiler.hpp"
+
+#include "compilers/semantic_checks.hpp"
+
+namespace wsx::compilers {
+
+DiagnosticSink JavaCompiler::compile(const code::Artifacts& artifacts) const {
+  DiagnosticSink sink;
+  CheckPolicy policy;
+  policy.tool = "javac";
+  policy.warn_on_raw_collections = true;  // "unchecked or unsafe operations"
+  for (const code::CompilationUnit& unit : artifacts.units) check_unit(unit, policy, sink);
+  return sink;
+}
+
+}  // namespace wsx::compilers

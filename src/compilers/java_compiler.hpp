@@ -1,0 +1,14 @@
+// java_compiler.hpp — javac-style semantic checking.
+#pragma once
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+class JavaCompiler final : public Compiler {
+ public:
+  code::Language language() const override { return code::Language::kJava; }
+  DiagnosticSink compile(const code::Artifacts& artifacts) const override;
+};
+
+}  // namespace wsx::compilers

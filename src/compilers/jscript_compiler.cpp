@@ -1,0 +1,22 @@
+#include "compilers/jscript_compiler.hpp"
+
+#include "compilers/semantic_checks.hpp"
+
+namespace wsx::compilers {
+
+DiagnosticSink JScriptCompiler::compile(const code::Artifacts& artifacts) const {
+  DiagnosticSink sink;
+  CheckPolicy policy;
+  policy.tool = "jsc";
+  for (const code::CompilationUnit& unit : artifacts.units) {
+    if (unit.pathological) {
+      // The real tool aborts the whole compilation with an internal error.
+      sink.crash("jsc.internal-crash", "131 INTERNAL COMPILER CRASH", unit.name);
+      return sink;
+    }
+    check_unit(unit, policy, sink);
+  }
+  return sink;
+}
+
+}  // namespace wsx::compilers

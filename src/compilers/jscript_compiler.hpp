@@ -1,0 +1,19 @@
+// jscript_compiler.hpp — jsc-style semantic checking.
+//
+// Reproduces the two JScript .NET behaviours the study observed at this
+// step: compile errors for proxy methods whose bodies the generator failed
+// to emit, and outright tool crashes ("131 INTERNAL COMPILER CRASH") on
+// pathological generated units.
+#pragma once
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+class JScriptCompiler final : public Compiler {
+ public:
+  code::Language language() const override { return code::Language::kJScript; }
+  DiagnosticSink compile(const code::Artifacts& artifacts) const override;
+};
+
+}  // namespace wsx::compilers

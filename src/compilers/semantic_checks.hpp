@@ -1,0 +1,26 @@
+// semantic_checks.hpp — shared semantic analyses used by the simulators.
+#pragma once
+
+#include "codemodel/model.hpp"
+#include "common/diagnostics.hpp"
+
+namespace wsx::compilers {
+
+struct CheckPolicy {
+  /// VB.NET compares identifiers without case; everything else with case.
+  bool case_insensitive_members = false;
+  /// javac: emit one "unchecked or unsafe operations" note per unit that
+  /// declares a raw collection.
+  bool warn_on_raw_collections = false;
+  /// Report methods whose body the generator failed to emit.
+  bool error_on_missing_body = true;
+  /// Diagnostic code prefix, e.g. "javac", "csc", "vbc", "jsc".
+  std::string tool;
+};
+
+/// Runs duplicate-member, duplicate-parameter, identifier-resolution,
+/// missing-body and raw-collection checks on every class of `unit`.
+void check_unit(const code::CompilationUnit& unit, const CheckPolicy& policy,
+                DiagnosticSink& sink);
+
+}  // namespace wsx::compilers

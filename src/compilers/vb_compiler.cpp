@@ -1,0 +1,16 @@
+#include "compilers/vb_compiler.hpp"
+
+#include "compilers/semantic_checks.hpp"
+
+namespace wsx::compilers {
+
+DiagnosticSink VbCompiler::compile(const code::Artifacts& artifacts) const {
+  DiagnosticSink sink;
+  CheckPolicy policy;
+  policy.tool = "vbc";
+  policy.case_insensitive_members = true;
+  for (const code::CompilationUnit& unit : artifacts.units) check_unit(unit, policy, sink);
+  return sink;
+}
+
+}  // namespace wsx::compilers

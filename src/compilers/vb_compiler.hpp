@@ -1,0 +1,18 @@
+// vb_compiler.hpp — vbc-style semantic checking.
+//
+// Visual Basic identifiers are case-insensitive: artifacts that declare
+// members differing only in case compile under C# but collide under VB —
+// the mechanism behind the paper's VB-only compilation failures.
+#pragma once
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+
+class VbCompiler final : public Compiler {
+ public:
+  code::Language language() const override { return code::Language::kVisualBasic; }
+  DiagnosticSink compile(const code::Artifacts& artifacts) const override;
+};
+
+}  // namespace wsx::compilers

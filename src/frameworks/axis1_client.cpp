@@ -1,0 +1,45 @@
+#include "frameworks/axis1_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult Axis1Client::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("axis1.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  if (features.unresolved_foreign_type_ref) {
+    result.diagnostics.error("axis1.unresolved-type",
+                             "Type {..} is referenced but not defined");
+  }
+  if (features.unresolved_foreign_attr_ref) {
+    result.diagnostics.error("axis1.unresolved-attribute",
+                             "Attribute {..} is referenced but not defined");
+  }
+  if (features.schema_element_ref_nested) {
+    // The plain DataSet idiom is tolerated (mapped to an opaque member),
+    // but a schema ref inside a nested anonymous type derails the symbol
+    // table.
+    result.diagnostics.error("axis1.nested-schema-ref",
+                             "cannot map nested reference to 's:schema'");
+  }
+  // Note: a description without operations is accepted silently — the
+  // behaviour §IV.B.1 calls out as "obviously not the right behavior".
+  // Axis1 is one of the paper's "erratic generation tools [that] might
+  // silently reach this phase" (§III.B.c): even when it reports an error it
+  // leaves partial artifacts behind, which proceed to compilation.
+  ArtifactBuildOptions options;
+  options.language = code::Language::kJava;
+  options.raw_collection_stubs = true;
+  options.throwable_wrapper_defect = !patched_;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,31 @@
+// axis1_client.hpp — Apache Axis1 1.4 wsdl2java (Table II row 2).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// The oldest tool in the study ("probably due to the lack of recent
+/// updates", §IV.A). It errors on unresolved references, silently accepts
+/// operation-less descriptions, and its artifacts compile with raw-type
+/// warnings on every service — and fail outright for Exception/Error
+/// wrapper types (889 compilation errors across the Java servers).
+class Axis1Client final : public ClientFramework {
+ public:
+  Axis1Client() = default;
+  /// "Renaming the attribute fixes the compilation issue" (§IV.B.3): the
+  /// patched variant generates the Exception/Error wrapper with consistent
+  /// naming, eliminating the 889 compilation errors.
+  explicit Axis1Client(bool patched_wrapper_naming)
+      : patched_(patched_wrapper_naming) {}
+
+  std::string name() const override { return "Apache Axis1 1.4"; }
+  std::string tool() const override { return "wsdl2java"; }
+  code::Language language() const override { return code::Language::kJava; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+ private:
+  bool patched_ = false;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,45 @@
+#include "frameworks/axis2_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult Axis2Client::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("axis2.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  if (features.unresolved_foreign_type_ref) {
+    result.diagnostics.error("axis2.unresolved-type",
+                             "Error parsing WSDL: referenced type is not defined");
+  }
+  if (features.zero_operations) {
+    result.diagnostics.error("axis2.no-operations",
+                             "No operation was found in the portType");
+  }
+  if (features.dangling_part_reference) {
+    result.diagnostics.error("axis2.missing-wrapper",
+                             "Element referenced by message part is missing");
+  }
+  if (features.duplicate_operations) {
+    result.diagnostics.error("axis2.duplicate-operation",
+                             "Duplicate operation name in portType");
+  }
+  // Like Axis1, Axis2 leaves (partial) artifacts behind even on error —
+  // the erratic-tool behaviour §III.B.c warns about.
+  ArtifactBuildOptions options;
+  options.language = code::Language::kJava;
+  options.raw_collection_stubs = true;
+  options.local_suffix_defect = true;
+  options.wildcard_member_per_any = true;
+  options.enum_wrapper_defect = true;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,22 @@
+// axis2_client.hpp — Apache Axis2 1.6.2 wsdl2java (Table II row 3).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// Axis2 errors on unresolved type references and on operation-less
+/// descriptions, but ignores attribute-level problems entirely. Its
+/// generated code carries three distinct defects the compilers catch:
+/// the "local_" suffix slip (XMLGregorianCalendar), a duplicated
+/// "extraElement" member for double wildcards, and a duplicated enum
+/// backing member.
+class Axis2Client final : public ClientFramework {
+ public:
+  std::string name() const override { return "Apache Axis2 1.6.2"; }
+  std::string tool() const override { return "wsdl2java"; }
+  code::Language language() const override { return code::Language::kJava; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+};
+
+}  // namespace wsx::frameworks

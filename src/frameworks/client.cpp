@@ -1,0 +1,8 @@
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+// Currently all behaviour lives in the concrete client models; this
+// translation unit anchors the vtable.
+
+}  // namespace wsx::frameworks

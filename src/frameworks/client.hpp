@@ -1,0 +1,60 @@
+// client.hpp — client-side framework subsystems (Table II).
+//
+// A client model performs testing-phase step (b): consume the served WSDL
+// *text*, run the tool's own parsing/translation pipeline, and either fail
+// (with the tool's diagnostics) or hand generated artifacts to step (c).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codemodel/model.hpp"
+#include "common/diagnostics.hpp"
+
+namespace wsx::frameworks {
+
+/// Outcome of one artifact-generation run.
+struct GenerationResult {
+  DiagnosticSink diagnostics;
+  /// Present when the tool produced artifacts. Note that several studied
+  /// tools produce artifacts *and* diagnostics, and some silently produce
+  /// unusable artifacts — both combinations occur here too.
+  std::optional<code::Artifacts> artifacts;
+
+  bool produced_artifacts() const { return artifacts.has_value(); }
+};
+
+class ClientFramework {
+ public:
+  virtual ~ClientFramework() = default;
+
+  virtual std::string name() const = 0;   ///< "Apache Axis1 1.4"
+  virtual std::string tool() const = 0;   ///< "wsdl2java"
+  virtual code::Language language() const = 0;
+
+  /// Table II's "Compilation" column: false for PHP/Python, whose clients
+  /// are checked by instantiation instead.
+  bool requires_compilation() const { return code::requires_compilation(language()); }
+
+  /// Generates client artifacts from served WSDL text.
+  virtual GenerationResult generate(std::string_view wsdl_text) const = 0;
+
+  /// Runtime marshalling behaviour for the Communication step (the paper's
+  /// future work). These model how the generated/ dynamic proxies behave
+  /// on the wire, not how the generators behave on the WSDL.
+  struct InvocationPolicy {
+    /// Omit the SOAPAction HTTP header when the binding declares none
+    /// (gSOAP's stub behaviour) instead of sending an empty quoted value.
+    bool omit_soap_action_when_unspecified = false;
+    /// When the description carried unresolved references the tool mapped
+    /// to an "uncommon data structure" (Zend), the proxy marshals the
+    /// argument under the wrong element — the payload parses but the
+    /// service echoes nothing.
+    bool marshals_uncommon_structure = false;
+  };
+  virtual InvocationPolicy invocation_policy() const { return {}; }
+};
+
+}  // namespace wsx::frameworks

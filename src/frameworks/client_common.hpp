@@ -1,0 +1,25 @@
+// client_common.hpp — shared front half of every client tool: parse the
+// served WSDL text and compute its feature vector.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "frameworks/features.hpp"
+#include "wsdl/parser.hpp"
+
+namespace wsx::frameworks {
+
+struct ParsedWsdl {
+  wsdl::Definitions defs;
+  WsdlFeatures features;
+};
+
+inline Result<ParsedWsdl> parse_and_analyze(std::string_view wsdl_text) {
+  Result<wsdl::Definitions> defs = wsdl::parse(wsdl_text);
+  if (!defs.ok()) return defs.error();
+  WsdlFeatures features = analyze(defs.value());
+  return ParsedWsdl{std::move(defs.value()), std::move(features)};
+}
+
+}  // namespace wsx::frameworks

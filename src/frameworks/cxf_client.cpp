@@ -1,0 +1,71 @@
+#include "frameworks/cxf_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult CxfClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("cxf.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  // Binding-related failures downgrade to warnings when a manual bindings
+  // customization is supplied (paper §IV.B.2).
+  const auto binding_issue = [&](const char* code, const char* message) {
+    if (customized_) {
+      result.diagnostics.warn(std::string(code) + ".customized",
+                              std::string(message) + " (mapped by bindings customization)");
+    } else {
+      result.diagnostics.error(code, message);
+    }
+  };
+  if (features.unresolved_foreign_type_ref) {
+    binding_issue("cxf.unresolved-type", "undefined schema type referenced");
+  }
+  if (features.unresolved_foreign_attr_ref) {
+    binding_issue("cxf.unresolved-attribute", "undefined attribute referenced");
+  }
+  if (features.schema_element_ref) {
+    binding_issue("cxf.s-schema", "unexpected element reference 's:schema'");
+  }
+  if (features.xsd_attr_ref) {
+    binding_issue("cxf.s-lang", "unexpected attribute reference 's:lang'");
+  }
+  if (features.wildcard_only_content) {
+    binding_issue("cxf.s-any", "cannot bind wildcard-only content model ('s:any')");
+  }
+  if (features.missing_target_namespace) {
+    result.diagnostics.error("cxf.no-target-namespace",
+                             "wsdl:definitions has no targetNamespace");
+  }
+  if (features.dangling_message_reference) {
+    result.diagnostics.error("cxf.missing-message",
+                             "operation references a message that is not defined");
+  }
+  if (features.dangling_part_reference) {
+    result.diagnostics.error("cxf.missing-wrapper",
+                             "message part references an undeclared element");
+  }
+  if (features.duplicate_operations) {
+    result.diagnostics.error("cxf.duplicate-operation",
+                             "duplicate operation in portType");
+  }
+  if (features.unresolvable_wsdl_import) {
+    result.diagnostics.error("cxf.unresolvable-import",
+                             "cannot resolve wsdl:import without a location");
+  }
+  // Operation-less descriptions pass silently (§IV.B.1).
+  if (result.diagnostics.has_errors()) return result;
+
+  ArtifactBuildOptions options;
+  options.language = code::Language::kJava;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,29 @@
+// cxf_client.hpp — Apache CXF 2.7.6 wsdl2java (Table II row 4).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// CXF behaves like wsimport on unresolved references and wildcard-only
+/// content, but silently accepts operation-less descriptions (paper
+/// §IV.B.1) and does not flag dual type declarations.
+class CxfClient final : public ClientFramework {
+ public:
+  CxfClient() = default;
+  /// With a manual JAXB binding customization the binding-related failures
+  /// (s:schema, s:lang, s:any, foreign refs) downgrade to warnings
+  /// (paper §IV.B.2).
+  explicit CxfClient(bool with_binding_customization)
+      : customized_(with_binding_customization) {}
+
+  std::string name() const override { return "Apache CXF 2.7.6"; }
+  std::string tool() const override { return "wsdl2java"; }
+  code::Language language() const override { return code::Language::kJava; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+ private:
+  bool customized_ = false;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,105 @@
+#include "frameworks/dotnet_client.hpp"
+
+#include <cassert>
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+DotNetClient::DotNetClient(code::Language target) : target_(target) {
+  assert(target == code::Language::kCSharp || target == code::Language::kVisualBasic ||
+         target == code::Language::kJScript);
+}
+
+std::string DotNetClient::name() const {
+  switch (target_) {
+    case code::Language::kCSharp:
+      return ".NET Framework 4.0.30319.17929 (C#)";
+    case code::Language::kVisualBasic:
+      return ".NET Framework 4.0.30319.17929 (Visual Basic .NET)";
+    default:
+      return ".NET Framework 4.0.30319.17929 (JScript .NET)";
+  }
+}
+
+GenerationResult DotNetClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("wsdl.exe.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  if (features.unresolved_foreign_type_ref) {
+    result.diagnostics.error("wsdl.exe.unresolved-type",
+                             "Unable to import binding: referenced type is not defined");
+  }
+  if (features.unresolved_foreign_attr_ref) {
+    result.diagnostics.error("wsdl.exe.unresolved-attribute",
+                             "Unable to import binding: referenced attribute is not defined");
+  }
+  if (features.unresolved_attr_group) {
+    result.diagnostics.error("wsdl.exe.unresolved-attribute-group",
+                             "Unable to import binding: attributeGroup reference "
+                             "cannot be resolved");
+  }
+  if (features.dual_type_declaration) {
+    result.diagnostics.error("wsdl.exe.dual-type",
+                             "Schema item 'element' is invalid: both a type attribute and an "
+                             "anonymous type are present");
+  }
+  if (features.zero_operations) {
+    result.diagnostics.error("wsdl.exe.no-operations",
+                             "No operations were found to generate a proxy for");
+  }
+  if (features.missing_target_namespace) {
+    result.diagnostics.error("wsdl.exe.no-target-namespace",
+                             "The document has no targetNamespace");
+  }
+  if (features.dangling_message_reference) {
+    result.diagnostics.error("wsdl.exe.missing-message",
+                             "Unable to import operation: message not found");
+  }
+  if (features.dangling_part_reference) {
+    result.diagnostics.error("wsdl.exe.missing-wrapper",
+                             "Unable to import part: element not found");
+  }
+  if (features.duplicate_operations) {
+    result.diagnostics.error("wsdl.exe.duplicate-operation",
+                             "Duplicate operation found in portType");
+  }
+  if (features.unresolvable_wsdl_import) {
+    result.diagnostics.error("wsdl.exe.unresolvable-import",
+                             "Unable to download imported document");
+  }
+  if (features.encoded_use) {
+    result.diagnostics.warn("wsdl.exe.encoded",
+                            "binding uses SOAP encoding; rpc/encoded is not "
+                            "WS-I Basic Profile conformant");
+  }
+  if (target_ == code::Language::kJScript) {
+    if (features.unknown_extension_elements) {
+      result.diagnostics.warn("wsdl.exe.unknown-extension",
+                              "ignoring unknown extensibility element in wsdl:definitions");
+    }
+    if (features.self_recursive_type) {
+      // The JScript backend aborts on recursive content models.
+      result.diagnostics.crash("wsdl.exe.codegen-crash",
+                               "internal failure in the JScript proxy generator");
+    }
+  }
+  if (result.diagnostics.has_errors()) return result;
+
+  ArtifactBuildOptions options;
+  options.language = target_;
+  if (target_ == code::Language::kJScript) {
+    options.missing_body_on_complex_shapes = true;
+    options.pathological_marker_on_very_deep = true;
+  }
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,32 @@
+// dotnet_client.hpp — Microsoft wsdl.exe for C#, VB.NET and JScript.NET
+// (Table II rows 6–8; one tool, three target languages).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// wsdl.exe understands the DataSet idiom natively (it is its own), errors
+/// on foreign unresolved references, dangling attribute groups, dual type
+/// declarations and operation-less descriptions, and warns on SOAP-encoded
+/// bindings. The three language backends share that front end but differ
+/// in code generation:
+///  - C# — clean output;
+///  - VB — mirrors case-colliding schema members that vbc then rejects;
+///  - JScript — warns on unknown extension elements (every Java-stack
+///    description), crashes on self-recursive content models, and emits
+///    bodyless accessors for deep or anyType-array shapes.
+class DotNetClient final : public ClientFramework {
+ public:
+  explicit DotNetClient(code::Language target);
+
+  std::string name() const override;
+  std::string tool() const override { return "wsdl.exe"; }
+  code::Language language() const override { return target_; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+ private:
+  code::Language target_;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,52 @@
+// features.hpp — feature extraction over a parsed service description.
+//
+// Client artifact generators differ in which description features they
+// tolerate; this analysis gives every client model the same factual view
+// of the WSDL so that their policies — not ad-hoc string matching — decide
+// the outcome.
+#pragma once
+
+#include <cstddef>
+
+#include "wsdl/model.hpp"
+#include "xsd/resolver.hpp"
+
+namespace wsx::frameworks {
+
+struct WsdlFeatures {
+  // Reference resolution, categorized by what the tools key on.
+  bool unresolved_foreign_type_ref = false;   ///< type= into an unimported namespace
+  bool unresolved_foreign_attr_ref = false;   ///< attribute ref= into an unimported namespace
+  bool unresolved_attr_group = false;         ///< dangling attributeGroup ref
+  bool schema_element_ref = false;            ///< element ref= into the XSD namespace (s:schema)
+  bool schema_element_ref_nested = false;     ///< ...inside a nested anonymous type
+  bool schema_element_ref_duplicated = false; ///< ...appearing twice in one content model
+  bool schema_element_ref_array = false;      ///< ...with maxOccurs="unbounded"
+  bool xsd_attr_ref = false;                  ///< attribute ref= into the XSD namespace (s:lang)
+
+  // Structural schema features.
+  bool dual_type_declaration = false;   ///< element with type= and inline type
+  bool wildcard_only_content = false;   ///< a complexType whose particles are all xs:any
+  std::size_t max_wildcards_per_type = 0;
+  std::size_t max_inline_depth = 0;     ///< deepest anonymous-type nesting
+  bool self_recursive_type = false;     ///< complexType referencing itself
+  bool anytype_unbounded_element = false;  ///< element of xsd:anyType, maxOccurs unbounded
+  bool has_enumeration = false;         ///< schema declares an enum simpleType
+  bool case_colliding_elements = false; ///< two sibling elements differing only in case
+
+  // Description-level features.
+  bool zero_operations = false;
+  bool encoded_use = false;
+  bool missing_soap_action = false;
+  bool unknown_extension_elements = false;  ///< e.g. the JAX-WS customization stanza
+  bool missing_target_namespace = false;
+  bool dangling_message_reference = false;  ///< operation references a missing message
+  bool dangling_part_reference = false;     ///< part element= has no schema declaration
+  bool duplicate_operations = false;        ///< same operation name twice in a portType
+  bool unresolvable_wsdl_import = false;    ///< wsdl:import without a location
+};
+
+/// Computes all features for `defs`.
+WsdlFeatures analyze(const wsdl::Definitions& defs);
+
+}  // namespace wsx::frameworks

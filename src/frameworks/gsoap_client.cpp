@@ -1,0 +1,53 @@
+#include "frameworks/gsoap_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult GsoapClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("wsdl2h.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  // --- Stage 1: wsdl2h. ---
+  // Unknown foreign types/attributes map to xsd__anyType (tolerated), but a
+  // dangling attributeGroup has no such fallback.
+  if (features.unresolved_attr_group) {
+    result.diagnostics.error("wsdl2h.attribute-group",
+                             "cannot resolve attributeGroup reference; no header emitted");
+    return result;
+  }
+  if (features.zero_operations) {
+    result.diagnostics.warn("wsdl2h.empty-service",
+                            "description contains no operations; generated header is empty");
+  }
+  if (features.missing_target_namespace) {
+    result.diagnostics.warn("wsdl2h.no-target-namespace",
+                            "definitions has no targetNamespace; using a synthetic one");
+  }
+  if (features.unresolvable_wsdl_import) {
+    result.diagnostics.warn("wsdl2h.unresolvable-import",
+                            "skipping wsdl:import without a location");
+  }
+
+  // --- Stage 2: soapcpp2, consuming the stage-1 header. ---
+  if (features.schema_element_ref_duplicated) {
+    // wsdl2h emitted two identical typedefs for the duplicated s:schema
+    // reference; soapcpp2 rejects its sibling tool's own output.
+    result.diagnostics.error("soapcpp2.duplicate-typedef",
+                             "redefinition of 'xsd__schema' in generated header");
+    return result;
+  }
+
+  ArtifactBuildOptions options;
+  options.language = code::Language::kCpp;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

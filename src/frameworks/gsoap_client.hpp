@@ -1,0 +1,29 @@
+// gsoap_client.hpp — gSOAP Toolkit 2.8.16 wsdl2h + soapcpp2 (Table II).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// The only two-stage generator in the study: wsdl2h maps the description
+/// to a C/C++ header model, soapcpp2 turns the header into proxy code. The
+/// paper traces its failures to "inconsistent inter-operation between the
+/// two client artifact generation tools" — here, wsdl2h happily maps a
+/// duplicated DataSet schema reference that soapcpp2 then rejects as a
+/// duplicate typedef. Unknown foreign types map to xsd__anyType, which is
+/// why gSOAP survives descriptions that break every Java tool.
+class GsoapClient final : public ClientFramework {
+ public:
+  std::string name() const override { return "gSOAP Toolkit 2.8.16"; }
+  std::string tool() const override { return "wsdl2h.exe and soapcpp2.exe"; }
+  code::Language language() const override { return code::Language::kCpp; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+  InvocationPolicy invocation_policy() const override {
+    InvocationPolicy policy;
+    policy.omit_soap_action_when_unspecified = true;
+    return policy;
+  }
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,29 @@
+// jbossws_client.hpp — JBossWS CXF 4.2.3 wsconsume (Table II row 5).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// wsconsume wraps the same CXF engine, so its tolerance profile matches
+/// CXF's — including the silent acceptance of its own server subsystem's
+/// operation-less descriptions.
+class JBossWsClient final : public ClientFramework {
+ public:
+  JBossWsClient() = default;
+  /// With a manual JAXB binding customization the binding-related failures
+  /// (s:schema, s:lang, s:any, foreign refs) downgrade to warnings
+  /// (paper §IV.B.2).
+  explicit JBossWsClient(bool with_binding_customization)
+      : customized_(with_binding_customization) {}
+
+  std::string name() const override { return "JBossWS CXF 4.2.3"; }
+  std::string tool() const override { return "wsconsume"; }
+  code::Language language() const override { return code::Language::kJava; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+ private:
+  bool customized_ = false;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,46 @@
+#include "frameworks/jbossws_server.hpp"
+
+#include "frameworks/wsdl_builder.hpp"
+#include "wsdl/writer.hpp"
+
+namespace wsx::frameworks {
+
+using catalog::Trait;
+
+bool JBossWsServer::can_deploy(const catalog::TypeInfo& type) const {
+  if (type.has(Trait::kAsyncApi)) return true;  // Future/Response special case
+  return type.has(Trait::kDefaultCtor) && !type.has(Trait::kAbstract) &&
+         !type.has(Trait::kInterface) && !type.has(Trait::kGenericType) &&
+         !type.has(Trait::kRawGenericApi);
+}
+
+Result<DeployedService> JBossWsServer::deploy(const ServiceSpec& spec) const {
+  if (spec.type == nullptr) return Error{"deploy.no-type", "service has no parameter type"};
+  if (!can_deploy(*spec.type)) {
+    return Error{"deploy.unbindable",
+                 "JBossWS cannot bind '" + spec.type->qualified_name() +
+                     "' to a schema type; deployment refused"};
+  }
+
+  WsdlBuilderOptions options;
+  options.namespace_root = "http://jbossws.ws.example.org/";
+  options.endpoint_root = "http://localhost:8080/jbossws/";
+  options.wsa_style = WsdlBuilderOptions::WsaStyle::kForeignAttrRef;
+  options.date_format_style = WsdlBuilderOptions::DateFormatStyle::kDualTypeDeclaration;
+  options.async_yields_zero_operations = true;  // publishes unusable WSDLs
+  options.attach_jaxws_extension = true;
+  options.declare_faults_for_throwables = true;
+
+  DeployedService service;
+  service.spec = spec;
+  service.wsdl = build_echo_wsdl(spec, options);
+  if (refuse_zero_operations_ && service.wsdl.operation_count() == 0) {
+    return Error{"deploy.no-operations",
+                 "JBossWS (strict ablation) refused to deploy '" + spec.service_name() +
+                     "': the description would expose no operations"};
+  }
+  service.wsdl_text = wsdl::to_string(service.wsdl);
+  return service;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,32 @@
+// jbossws_server.hpp — JBossWS CXF 4.2.3 on JBoss AS 7.2 (Table I row 2).
+#pragma once
+
+#include "frameworks/server.hpp"
+
+namespace wsx::frameworks {
+
+/// JBossWS rejects classes whose public API uses raw generics (243 of the
+/// Metro-deployable population) but special-cases the JAX-WS async API
+/// types — and then publishes descriptions with zero operations for them,
+/// the unusable-but-WS-I-compliant WSDLs of §IV.B.1.
+class JBossWsServer final : public ServerFramework {
+ public:
+  JBossWsServer() = default;
+  /// Ablation constructor: with `refuse_zero_operations`, JBossWS adopts
+  /// Metro's stricter behaviour and refuses to publish operation-less
+  /// descriptions (the paper argues this is "a more adequate behavior").
+  explicit JBossWsServer(bool refuse_zero_operations)
+      : refuse_zero_operations_(refuse_zero_operations) {}
+
+  std::string name() const override { return "JBossWS CXF 4.2.3"; }
+  std::string application_server() const override { return "JBoss AS 7.2"; }
+  std::string language() const override { return "Java"; }
+
+  bool can_deploy(const catalog::TypeInfo& type) const override;
+  Result<DeployedService> deploy(const ServiceSpec& spec) const override;
+
+ private:
+  bool refuse_zero_operations_ = false;
+};
+
+}  // namespace wsx::frameworks

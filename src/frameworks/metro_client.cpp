@@ -1,0 +1,81 @@
+#include "frameworks/metro_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult MetroClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("wsimport.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  // The binding-related failures are curable by a manual customization
+  // (§IV.B.2); with one in place they downgrade to warnings.
+  const auto binding_issue = [&](const char* code, const char* message) {
+    if (customized_) {
+      result.diagnostics.warn(std::string(code) + ".customized",
+                              std::string(message) + " (mapped by bindings customization)");
+    } else {
+      result.diagnostics.error(code, message);
+    }
+  };
+  if (features.unresolved_foreign_type_ref) {
+    binding_issue("wsimport.unresolved-type",
+                  "undefined type referenced from schema; "
+                  "consider a JAX-B bindings customization");
+  }
+  if (features.unresolved_foreign_attr_ref) {
+    binding_issue("wsimport.unresolved-attribute", "attribute reference cannot be resolved");
+  }
+  if (features.schema_element_ref) {
+    binding_issue("wsimport.s-schema", "element reference 's:schema' is not recognized");
+  }
+  if (features.xsd_attr_ref) {
+    binding_issue("wsimport.s-lang", "attribute reference 's:lang' is not recognized");
+  }
+  if (features.wildcard_only_content) {
+    binding_issue("wsimport.s-any", "cannot bind a content model consisting only of 's:any'");
+  }
+  if (features.zero_operations) {
+    result.diagnostics.error("wsimport.no-operations",
+                             "the description declares no operations to import");
+  }
+  if (features.missing_target_namespace) {
+    result.diagnostics.error("wsimport.no-target-namespace",
+                             "wsdl:definitions has no targetNamespace");
+  }
+  if (features.dangling_message_reference) {
+    result.diagnostics.error("wsimport.missing-message",
+                             "operation references a message that is not defined");
+  }
+  if (features.dangling_part_reference) {
+    result.diagnostics.error("wsimport.missing-wrapper",
+                             "message part references an undeclared element");
+  }
+  if (features.duplicate_operations) {
+    result.diagnostics.error("wsimport.duplicate-operation",
+                             "operation overloading is not supported");
+  }
+  if (features.unresolvable_wsdl_import) {
+    result.diagnostics.error("wsimport.unresolvable-import",
+                             "failed to read imported WSDL document (no location)");
+  }
+  if (features.dual_type_declaration) {
+    result.diagnostics.warn("wsimport.dual-type",
+                            "element declares both a type attribute and an anonymous type; "
+                            "the anonymous type is ignored");
+  }
+  if (result.diagnostics.has_errors()) return result;
+
+  ArtifactBuildOptions options;
+  options.language = code::Language::kJava;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,33 @@
+// metro_client.hpp — Oracle Metro 2.3 wsimport (Table II row 1).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// wsimport is strict: any unresolved reference, wildcard-only content
+/// model or operation-less description aborts generation; a dual type
+/// declaration is tolerated with a warning. Its artifacts always compile —
+/// "these tools never produced code that later results in compilation
+/// errors" (paper §IV.A).
+class MetroClient final : public ClientFramework {
+ public:
+  MetroClient() = default;
+  /// With a manual JAXB binding customization the developer maps the
+  /// otherwise-unresolvable constructs (s:schema, s:lang, s:any, foreign
+  /// refs) to declared types — "all the errors in this group can be solved
+  /// by using manual customization of the data type bindings" (§IV.B.2).
+  /// The tool then warns instead of failing.
+  explicit MetroClient(bool with_binding_customization)
+      : customized_(with_binding_customization) {}
+
+  std::string name() const override { return "Oracle Metro 2.3"; }
+  std::string tool() const override { return "wsimport"; }
+  code::Language language() const override { return code::Language::kJava; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+ private:
+  bool customized_ = false;
+};
+
+}  // namespace wsx::frameworks

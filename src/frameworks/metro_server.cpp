@@ -1,0 +1,50 @@
+#include "frameworks/metro_server.hpp"
+
+#include "frameworks/wsdl_builder.hpp"
+#include "wsdl/writer.hpp"
+
+namespace wsx::frameworks {
+
+using catalog::Trait;
+
+bool MetroServer::can_deploy(const catalog::TypeInfo& type) const {
+  // JAXB bean rules: public default constructor, concrete, non-generic.
+  // Interfaces are rejected — including the async API types JBossWS lets
+  // through, which is why Metro publishes no zero-operation descriptions.
+  return type.has(Trait::kDefaultCtor) && !type.has(Trait::kAbstract) &&
+         !type.has(Trait::kInterface) && !type.has(Trait::kGenericType);
+}
+
+Result<DeployedService> MetroServer::deploy(const ServiceSpec& spec) const {
+  if (spec.type == nullptr) return Error{"deploy.no-type", "service has no parameter type"};
+  if (!can_deploy(*spec.type)) {
+    return Error{"deploy.unbindable",
+                 "Metro cannot bind '" + spec.type->qualified_name() +
+                     "' to a schema type; deployment refused"};
+  }
+
+  WsdlBuilderOptions options;
+  options.namespace_root = "http://metro.ws.example.org/";
+  options.endpoint_root = "http://localhost:8080/metro/";
+  options.wsa_style = WsdlBuilderOptions::WsaStyle::kForeignTypeRef;
+  options.date_format_style = WsdlBuilderOptions::DateFormatStyle::kUnresolvedAttrGroup;
+  options.attach_jaxws_extension = true;
+  options.declare_faults_for_throwables = true;
+
+  DeployedService service;
+  service.spec = spec;
+  service.wsdl = build_echo_wsdl(spec, options);
+
+  // Metro refuses to publish a description without operations.
+  if (service.wsdl.operation_count() == 0) {
+    return Error{"deploy.no-operations",
+                 "Metro refused to deploy '" + spec.service_name() +
+                     "': the description would expose no operations"};
+  }
+
+  wsdl::WsdlWriteOptions write_options;  // Java stacks use the xs prefix
+  service.wsdl_text = wsdl::to_string(service.wsdl, write_options);
+  return service;
+}
+
+}  // namespace wsx::frameworks

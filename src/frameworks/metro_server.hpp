@@ -1,0 +1,21 @@
+// metro_server.hpp — Oracle Metro 2.3 on GlassFish 4.0 (Table I row 1).
+#pragma once
+
+#include "frameworks/server.hpp"
+
+namespace wsx::frameworks {
+
+/// Metro's binder accepts concrete bean-style classes only. It is the
+/// strictest deployer in the study: it refuses to publish a description
+/// with no operations (the behaviour the paper praises in §IV.A).
+class MetroServer final : public ServerFramework {
+ public:
+  std::string name() const override { return "Metro 2.3"; }
+  std::string application_server() const override { return "GlassFish 4.0"; }
+  std::string language() const override { return "Java"; }
+
+  bool can_deploy(const catalog::TypeInfo& type) const override;
+  Result<DeployedService> deploy(const ServiceSpec& spec) const override;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,24 @@
+// registry.hpp — the framework roster of the study (Tables I and II).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frameworks/client.hpp"
+#include "frameworks/server.hpp"
+
+namespace wsx::frameworks {
+
+/// The three server-side subsystems of Table I, in table order:
+/// Metro/GlassFish, JBossWS/JBoss AS, WCF/IIS.
+std::vector<std::unique_ptr<ServerFramework>> make_servers();
+
+/// The eleven client-side subsystems of Table II, in table order: Metro,
+/// Axis1, Axis2, CXF, JBossWS, .NET (C#, VB, JScript), gSOAP, Zend, suds.
+std::vector<std::unique_ptr<ClientFramework>> make_clients();
+
+/// Individual factories (used by examples and focused tests).
+std::unique_ptr<ServerFramework> make_server(std::string_view name);
+std::unique_ptr<ClientFramework> make_client(std::string_view name);
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,163 @@
+#include "frameworks/server.hpp"
+
+#include "common/strings.hpp"
+#include "soap/message.hpp"
+#include "xsd/values.hpp"
+
+namespace wsx::frameworks {
+
+soap::Envelope ServerFramework::handle_request(const DeployedService& service,
+                                               const soap::Envelope& request) const {
+  // The studied stacks bind services to SOAP 1.1 endpoints; a 1.2 envelope
+  // gets the standard VersionMismatch fault.
+  if (request.version() != soap::SoapVersion::k11) {
+    return soap::Envelope::make_fault(
+        {"soap:VersionMismatch", "endpoint only accepts SOAP 1.1 envelopes", ""});
+  }
+  // Header entries demanding mustUnderstand processing: the echo services
+  // understand no extension headers, so SOAP requires a fault.
+  if (request.has_must_understand_headers()) {
+    return soap::Envelope::make_fault(
+        {"soap:MustUnderstand", "header not understood by this endpoint", ""});
+  }
+  Result<std::string> operation = soap::request_operation(request);
+  if (!operation.ok()) {
+    return soap::Envelope::make_fault(
+        {"soap:Client", "malformed request", operation.error().message});
+  }
+  bool described = false;
+  for (const wsdl::PortType& port_type : service.wsdl.port_types) {
+    for (const wsdl::Operation& candidate : port_type.operations) {
+      if (candidate.name == *operation) described = true;
+    }
+  }
+  if (!described) {
+    return soap::Envelope::make_fault(
+        {"soap:Client", "unknown operation '" + *operation + "'", ""});
+  }
+  // Unmarshal by element name, as a real binder does: arguments under an
+  // unexpected element are silently dropped (they are "lax" content), so a
+  // client that marshals into the wrong element gets an empty echo back.
+  std::string value;
+  for (const soap::Argument& argument : soap::request_arguments(request)) {
+    if (argument.name == "arg0") value = argument.value;
+  }
+
+  // Structured payloads (typed proxies marshal bean fields as child
+  // elements of arg0): validate every field against the parameter type's
+  // schema before echoing — the typed-unmarshalling path of real binders.
+  if (const xml::Element* argument = request.body().child("arg0")) {
+    const std::vector<const xml::Element*> field_elements = argument->child_elements();
+    if (!field_elements.empty()) {
+      // Resolve the parameter complexType through the operation wrapper.
+      const xsd::ComplexType* parameter_type = nullptr;
+      for (const xsd::Schema& schema : service.wsdl.schemas) {
+        const xsd::ElementDecl* wrapper = schema.find_element(*operation);
+        if (wrapper == nullptr || !wrapper->inline_type.has_value()) continue;
+        for (const xsd::ElementDecl* arg_decl : wrapper->inline_type->elements()) {
+          if (arg_decl->name == "arg0" && !arg_decl->type.empty()) {
+            parameter_type = schema.find_complex_type(arg_decl->type.local_name());
+          }
+        }
+      }
+      if (parameter_type != nullptr) {
+        for (const xml::Element* field : field_elements) {
+          const xsd::ElementDecl* declared = nullptr;
+          for (const xsd::ElementDecl* candidate : parameter_type->elements()) {
+            if (candidate->name == field->local_name()) declared = candidate;
+          }
+          if (declared == nullptr) {
+            return soap::Envelope::make_fault(
+                {"soap:Client",
+                 "unmarshalling error: unexpected element '" + field->local_name() + "'",
+                 ""});
+          }
+          const std::optional<xsd::Builtin> builtin =
+              declared->type.namespace_uri() == xml::ns::kXsd
+                  ? xsd::builtin_from_local_name(declared->type.local_name())
+                  : std::nullopt;
+          if (builtin && !xsd::is_valid_value(*builtin, field->text())) {
+            return soap::Envelope::make_fault(
+                {"soap:Client",
+                 "unmarshalling error: '" + field->text() + "' is not a valid xsd:" +
+                     declared->type.local_name() + " for element '" + field->local_name() +
+                     "'",
+                 ""});
+          }
+        }
+        // Echo the first field's value (the bean round-trips).
+        value = field_elements.front()->text();
+      }
+    }
+  }
+  // Typed unmarshalling: when the parameter type is an enumeration, the
+  // binder rejects values outside the value space (a real execution-step
+  // failure mode the echo services can exhibit).
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty() && !value.empty() &&
+          !xsd::is_valid_value(simple, value)) {
+        return soap::Envelope::make_fault(
+            {"soap:Client",
+             "unmarshalling error: '" + value + "' is not a valid " + simple.name + " value",
+             ""});
+      }
+    }
+  }
+  if (value == "!throw") {
+    // Drive the declared-fault path: echo services for Exception/Error
+    // types raise their checked exception on demand.
+    std::string detail;
+    for (const wsdl::PortType& port_type : service.wsdl.port_types) {
+      for (const wsdl::Operation& op : port_type.operations) {
+        if (!op.faults.empty()) detail = op.faults.front().name;
+      }
+    }
+    return soap::Envelope::make_fault(
+        {"soap:Server", "simulated service exception", detail});
+  }
+  Result<soap::Envelope> response = soap::build_response(service.wsdl, *operation, value);
+  if (!response.ok()) {
+    return soap::Envelope::make_fault(
+        {"soap:Server", "failed to build response", response.error().message});
+  }
+  return std::move(response.value());
+}
+
+soap::HttpResponse ServerFramework::handle_http(const DeployedService& service,
+                                                const soap::HttpRequest& request) const {
+  const auto fault = [](std::string code, std::string reason) {
+    const soap::Envelope envelope =
+        soap::Envelope::make_fault({std::move(code), std::move(reason), ""});
+    return soap::make_soap_response(soap::write(envelope), /*is_fault=*/true);
+  };
+
+  if (request.method != "POST") {
+    soap::HttpResponse response;
+    response.status = 405;
+    response.body = "method not allowed";
+    return response;
+  }
+  const std::optional<std::string> content_type = request.header("Content-Type");
+  if (!content_type || content_type->find("text/xml") == std::string::npos) {
+    soap::HttpResponse response;
+    response.status = 415;
+    response.body = "unsupported media type";
+    return response;
+  }
+  if (requires_soap_action_header() && !request.header("SOAPAction")) {
+    // The behaviour of the .NET HTTP stack: dispatch is keyed on the
+    // SOAPAction header, so its absence is a client error.
+    return fault("soap:Client", "missing SOAPAction header");
+  }
+
+  Result<soap::Envelope> envelope = soap::parse(request.body);
+  if (!envelope.ok()) {
+    return fault("soap:Client", "malformed envelope: " + envelope.error().message);
+  }
+  const soap::Envelope response_envelope = handle_request(service, *envelope);
+  return soap::make_soap_response(soap::write(response_envelope),
+                                  response_envelope.is_fault());
+}
+
+}  // namespace wsx::frameworks

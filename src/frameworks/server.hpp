@@ -1,0 +1,63 @@
+// server.hpp — server-side framework subsystems.
+//
+// A server framework model does what the real stack does at deployment:
+// decide whether the native type is bindable (the paper's 22024 → 7239
+// filter), generate the service's WSDL (with each stack's documented
+// quirks), and — for the communication/execution extension — answer SOAP
+// requests against a deployed service.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "frameworks/service.hpp"
+#include "soap/envelope.hpp"
+#include "soap/http.hpp"
+#include "wsdl/model.hpp"
+
+namespace wsx::frameworks {
+
+/// A successfully deployed service: its model plus the exact WSDL text the
+/// application server publishes (clients consume the text, not the model —
+/// everything crosses a real serialize/parse boundary).
+struct DeployedService {
+  ServiceSpec spec;
+  wsdl::Definitions wsdl;
+  std::string wsdl_text;
+};
+
+class ServerFramework {
+ public:
+  virtual ~ServerFramework() = default;
+
+  virtual std::string name() const = 0;                ///< "Metro 2.3"
+  virtual std::string application_server() const = 0;  ///< "GlassFish 4.0"
+  virtual std::string language() const = 0;            ///< "Java" / "C#"
+
+  /// True when the framework's binder can map `type` to a schema type. A
+  /// false return models the deployment refusals that filtered the paper's
+  /// corpus from 22024 candidates to 7239 deployable services.
+  virtual bool can_deploy(const catalog::TypeInfo& type) const = 0;
+
+  /// Deploys the service and publishes its description (testing-phase step
+  /// (a), Service Description Generation). Errors use the "deploy." prefix.
+  virtual Result<DeployedService> deploy(const ServiceSpec& spec) const = 0;
+
+  /// Execution step (paper's future work): handles one request envelope
+  /// against a deployed service, echoing the argument back.
+  soap::Envelope handle_request(const DeployedService& service,
+                                const soap::Envelope& request) const;
+
+  /// True when the stack's HTTP listener refuses requests without a
+  /// SOAPAction header (.NET does; the Java stacks dispatch on the body).
+  virtual bool requires_soap_action_header() const { return false; }
+
+  /// Full Communication + Execution steps over the HTTP wire model:
+  /// header checks, envelope parsing, dispatch, response serialization.
+  soap::HttpResponse handle_http(const DeployedService& service,
+                                 const soap::HttpRequest& request) const;
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,24 @@
+#include "frameworks/service.hpp"
+
+namespace wsx::frameworks {
+
+const char* to_string(ServiceShape shape) {
+  return shape == ServiceShape::kSimpleEcho ? "simple-echo" : "crud";
+}
+
+std::string ServiceSpec::service_name() const {
+  const std::string type_name = type != nullptr ? type->name : std::string{"Unknown"};
+  return (shape == ServiceShape::kSimpleEcho ? "Echo" : "Crud") + type_name;
+}
+
+std::vector<ServiceSpec> make_services(const catalog::TypeCatalog& catalog,
+                                       ServiceShape shape) {
+  std::vector<ServiceSpec> services;
+  services.reserve(catalog.size());
+  for (const catalog::TypeInfo& type : catalog.types()) {
+    services.push_back(ServiceSpec{&type, shape});
+  }
+  return services;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,47 @@
+#include "frameworks/suds_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult SudsClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("suds.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  if (features.unresolved_foreign_type_ref) {
+    result.diagnostics.error("suds.unresolved-type", "Type not found: referenced schema type");
+  }
+  if (features.unresolved_foreign_attr_ref) {
+    result.diagnostics.error("suds.unresolved-attribute",
+                             "Attribute not found: referenced schema attribute");
+  }
+  if (features.schema_element_ref_array) {
+    result.diagnostics.error("suds.schema-ref-array",
+                             "cannot build array binding over reference to 's:schema'");
+  }
+  if (features.dangling_part_reference) {
+    result.diagnostics.error("suds.missing-wrapper",
+                             "Type not found: message part element");
+  }
+  if (features.zero_operations) {
+    result.diagnostics.warn("suds.no-operations",
+                            "client object created but exposes no methods");
+  }
+  if (features.encoded_use) {
+    result.diagnostics.warn("suds.encoded", "SOAP-encoded binding; marshaller support limited");
+  }
+  if (result.diagnostics.has_errors()) return result;
+
+  ArtifactBuildOptions options;
+  options.language = code::Language::kPython;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

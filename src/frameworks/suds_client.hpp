@@ -1,0 +1,20 @@
+// suds_client.hpp — suds 0.4, the lightweight Python SOAP client (Table II).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// Python's suds builds proxies dynamically, like Zend, but resolves the
+/// schema eagerly: unresolved references into foreign namespaces abort
+/// client construction, and its array handling chokes on a schema
+/// reference under maxOccurs="unbounded" (its one DataSet failure).
+class SudsClient final : public ClientFramework {
+ public:
+  std::string name() const override { return "suds Python 0.4"; }
+  std::string tool() const override { return "suds Python client"; }
+  code::Language language() const override { return code::Language::kPython; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+};
+
+}  // namespace wsx::frameworks

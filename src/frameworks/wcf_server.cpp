@@ -1,0 +1,39 @@
+#include "frameworks/wcf_server.hpp"
+
+#include "frameworks/wsdl_builder.hpp"
+#include "wsdl/writer.hpp"
+
+namespace wsx::frameworks {
+
+using catalog::Trait;
+
+bool WcfServer::can_deploy(const catalog::TypeInfo& type) const {
+  return type.has(Trait::kDefaultCtor) && type.has(Trait::kSerializable) &&
+         !type.has(Trait::kAbstract) && !type.has(Trait::kInterface) &&
+         !type.has(Trait::kGenericType);
+}
+
+Result<DeployedService> WcfServer::deploy(const ServiceSpec& spec) const {
+  if (spec.type == nullptr) return Error{"deploy.no-type", "service has no parameter type"};
+  if (!can_deploy(*spec.type)) {
+    return Error{"deploy.unbindable",
+                 "WCF cannot serialize '" + spec.type->qualified_name() +
+                     "'; deployment refused"};
+  }
+
+  WsdlBuilderOptions options;
+  options.namespace_root = "http://tempuri.org/";
+  options.endpoint_root = "http://localhost:80/wcf/";
+  options.dataset_idiom = true;
+
+  DeployedService service;
+  service.spec = spec;
+  service.wsdl = build_echo_wsdl(spec, options);
+
+  wsdl::WsdlWriteOptions write_options;
+  write_options.schema_prefix = "s";  // the prefix behind "s:schema"/"s:lang"
+  service.wsdl_text = wsdl::to_string(service.wsdl, write_options);
+  return service;
+}
+
+}  // namespace wsx::frameworks

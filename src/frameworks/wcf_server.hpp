@@ -1,0 +1,23 @@
+// wcf_server.hpp — WCF .NET 4.0.30319.17929 on IIS 8.0 Express (Table I).
+#pragma once
+
+#include "frameworks/server.hpp"
+
+namespace wsx::frameworks {
+
+/// WCF requires [Serializable] types with default constructors. Its
+/// serializer emits the DataSet idiom (s:schema / s:lang / xs:any) for
+/// System.Data types — the source of 80 non-WS-I-compliant descriptions —
+/// and uses the "s" prefix for the XML Schema namespace.
+class WcfServer final : public ServerFramework {
+ public:
+  std::string name() const override { return "WCF .NET 4.0.30319.17929"; }
+  std::string application_server() const override { return "IIS 8.0.8418.0 (Express)"; }
+  std::string language() const override { return "C#"; }
+
+  bool can_deploy(const catalog::TypeInfo& type) const override;
+  Result<DeployedService> deploy(const ServiceSpec& spec) const override;
+  bool requires_soap_action_header() const override { return true; }
+};
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,34 @@
+#include "frameworks/zend_client.hpp"
+
+#include "frameworks/artifact_builder.hpp"
+#include "frameworks/client_common.hpp"
+
+namespace wsx::frameworks {
+
+GenerationResult ZendClient::generate(std::string_view wsdl_text) const {
+  GenerationResult result;
+  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
+  if (!parsed.ok()) {
+    result.diagnostics.error("zend.parse", parsed.error().message);
+    return result;
+  }
+  const WsdlFeatures& features = parsed->features;
+
+  if (features.zero_operations) {
+    result.diagnostics.warn("zend.no-operations",
+                            "client object created but exposes no methods");
+  }
+  if (features.unresolved_foreign_type_ref || features.unresolved_foreign_attr_ref ||
+      features.schema_element_ref) {
+    result.diagnostics.note("zend.uncommon-structure",
+                            "unresolved references mapped to an uncommon data structure; "
+                            "later inter-operation steps may be affected");
+  }
+
+  ArtifactBuildOptions options;
+  options.language = code::Language::kPhp;
+  result.artifacts = build_artifacts(parsed->defs, features, options);
+  return result;
+}
+
+}  // namespace wsx::frameworks

@@ -1,0 +1,28 @@
+// zend_client.hpp — Zend Framework 1.9 Zend_Soap_Client (PHP, Table II).
+#pragma once
+
+#include "frameworks/client.hpp"
+
+namespace wsx::frameworks {
+
+/// PHP's client is fully dynamic: proxies materialize at call time, so the
+/// only generation-step outcomes are parse failures and the warning for
+/// descriptions whose client object would have no methods. It is the one
+/// tool in the study with zero errors everywhere — though for unresolved
+/// references it builds an "uncommon data structure" the paper flags as a
+/// risk for the later communication steps (surfaced here as a note).
+class ZendClient final : public ClientFramework {
+ public:
+  std::string name() const override { return "Zend Framework 1.9"; }
+  std::string tool() const override { return "Zend_Soap_Client"; }
+  code::Language language() const override { return code::Language::kPhp; }
+  GenerationResult generate(std::string_view wsdl_text) const override;
+
+  InvocationPolicy invocation_policy() const override {
+    InvocationPolicy policy;
+    policy.marshals_uncommon_structure = true;
+    return policy;
+  }
+};
+
+}  // namespace wsx::frameworks

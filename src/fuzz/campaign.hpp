@@ -1,0 +1,72 @@
+// campaign.hpp — the WSDL robustness campaign: every client tool against
+// every mutant of a corpus of served descriptions.
+//
+// Classification philosophy (extends the paper's §IV.B.1 criticism of
+// silently-accepting tools): for a *semantically broken* description the
+// sound reactions are a clean rejection or at least a warning; silent
+// success propagates the defect to later steps. For a *malformed* document
+// (text-level mutants) anything but rejection is a robustness bug. The
+// campaign also runs the WS-I checker over every well-formed mutant, which
+// measures how much of the mutation space the Basic Profile can catch at
+// the description step — the paper's deploy-time-gate argument,
+// quantified over injected faults instead of natural ones.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutation.hpp"
+
+namespace wsx::fuzz {
+
+enum class Reaction {
+  kRejected,       ///< generation error — the sound reaction to broken input
+  kWarned,         ///< artifacts produced, but the tool flagged the issue
+  kSilentSuccess,  ///< artifacts produced without any diagnostic
+};
+inline constexpr std::size_t kReactionCount = 3;
+
+const char* to_string(Reaction reaction);
+
+/// Reactions of one client tool, per mutation kind, across the corpus.
+struct ToolRobustness {
+  std::string client;
+  /// [mutation kind][reaction] → count of corpus documents.
+  std::array<std::array<std::size_t, kReactionCount>, kMutationKindCount> counts{};
+
+  std::size_t count(MutationKind kind, Reaction reaction) const {
+    return counts[static_cast<std::size_t>(kind)][static_cast<std::size_t>(reaction)];
+  }
+  std::size_t total(Reaction reaction) const;
+  /// Silent successes on semantically broken, well-formed mutants — the
+  /// §IV.B.1 failure pattern.
+  std::size_t silent_on_broken() const;
+};
+
+struct FuzzReport {
+  std::size_t corpus_size = 0;   ///< base descriptions mutated
+  std::size_t mutant_count = 0;  ///< total mutants generated
+  std::vector<ToolRobustness> tools;
+  /// Per mutation kind: number of well-formed mutants the WS-I checker
+  /// flags (fails or warns on).
+  std::array<std::size_t, kMutationKindCount> wsi_detected{};
+  std::array<std::size_t, kMutationKindCount> mutants_per_kind{};
+};
+
+struct FuzzConfig {
+  /// Base descriptions drawn per server (plain deployable services).
+  std::size_t corpus_per_server = 3;
+};
+
+/// Runs the robustness campaign over all three servers' descriptions and
+/// all eleven client tools.
+FuzzReport run_fuzz_campaign(const FuzzConfig& config = {});
+
+/// Renders the robustness matrix and the WS-I detection column.
+std::string format_fuzz(const FuzzReport& report);
+
+/// Machine-readable form: client,mutation,rejected,warned,silent.
+std::string fuzz_csv(const FuzzReport& report);
+
+}  // namespace wsx::fuzz

@@ -1,0 +1,267 @@
+#include "fuzz/mutation.hpp"
+
+#include <functional>
+
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/query.hpp"
+#include "xml/writer.hpp"
+
+namespace wsx::fuzz {
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kRemoveOperations:
+      return "remove-operations";
+    case MutationKind::kDropTargetNamespace:
+      return "drop-target-namespace";
+    case MutationKind::kDropMessage:
+      return "drop-message";
+    case MutationKind::kRenameWrapperElement:
+      return "rename-wrapper-element";
+    case MutationKind::kDropBindingOperation:
+      return "drop-binding-operation";
+    case MutationKind::kDropSoapAction:
+      return "drop-soap-action";
+    case MutationKind::kSwitchToEncoded:
+      return "switch-to-encoded";
+    case MutationKind::kUndeclarePrefix:
+      return "undeclare-prefix";
+    case MutationKind::kDuplicateOperation:
+      return "duplicate-operation";
+    case MutationKind::kInjectForeignElement:
+      return "inject-foreign-element";
+    case MutationKind::kRelativeAddress:
+      return "relative-address";
+    case MutationKind::kLocationlessImport:
+      return "locationless-import";
+    case MutationKind::kCorruptEntity:
+      return "corrupt-entity";
+    case MutationKind::kMismatchedTag:
+      return "mismatched-tag";
+    case MutationKind::kTruncate:
+      return "truncate";
+    case MutationKind::kDuplicateAttribute:
+      return "duplicate-attribute";
+  }
+  return "unknown";
+}
+
+std::vector<MutationKind> all_mutation_kinds() {
+  return {
+      MutationKind::kRemoveOperations,    MutationKind::kDropTargetNamespace,
+      MutationKind::kDropMessage,         MutationKind::kRenameWrapperElement,
+      MutationKind::kDropBindingOperation, MutationKind::kDropSoapAction,
+      MutationKind::kSwitchToEncoded,     MutationKind::kUndeclarePrefix,
+      MutationKind::kDuplicateOperation,  MutationKind::kInjectForeignElement,
+      MutationKind::kRelativeAddress,     MutationKind::kLocationlessImport,
+      MutationKind::kCorruptEntity,       MutationKind::kMismatchedTag,
+      MutationKind::kTruncate,            MutationKind::kDuplicateAttribute,
+  };
+}
+
+bool is_well_formed_kind(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kCorruptEntity:
+    case MutationKind::kMismatchedTag:
+    case MutationKind::kTruncate:
+    case MutationKind::kDuplicateAttribute:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+using xml::find_descendant;
+
+/// Structure-level mutations operate on the parsed tree.
+std::optional<std::string> mutate_tree(const std::string& wsdl_text, MutationKind kind,
+                                       std::string& description) {
+  Result<xml::Element> parsed = xml::parse_element(wsdl_text);
+  if (!parsed.ok()) return std::nullopt;
+  xml::Element root = std::move(parsed.value());
+
+  switch (kind) {
+    case MutationKind::kRemoveOperations: {
+      xml::Element* port_type =
+          find_descendant(root, [](const xml::Element& e) { return e.local_name() == "portType"; });
+      if (port_type == nullptr) return std::nullopt;
+      bool removed = false;
+      while (port_type->remove_child("operation")) removed = true;
+      if (!removed) return std::nullopt;
+      description = "removed every operation from portType '" +
+                    port_type->attribute("name").value_or("?") + "'";
+      break;
+    }
+    case MutationKind::kDropTargetNamespace: {
+      if (!root.remove_attribute("targetNamespace")) return std::nullopt;
+      description = "removed targetNamespace from wsdl:definitions";
+      break;
+    }
+    case MutationKind::kDropMessage: {
+      if (!root.remove_child("message")) return std::nullopt;
+      description = "removed the first wsdl:message";
+      break;
+    }
+    case MutationKind::kRenameWrapperElement: {
+      xml::Element* wrapper = find_descendant(root, [](const xml::Element& e) {
+        return e.local_name() == "element" && e.attribute("name").has_value() &&
+               e.attribute("name") == "echo";
+      });
+      if (wrapper == nullptr) return std::nullopt;
+      wrapper->set_attribute("name", "echoRenamed");
+      description = "renamed the request wrapper element; the message part dangles";
+      break;
+    }
+    case MutationKind::kDropBindingOperation: {
+      xml::Element* binding =
+          find_descendant(root, [](const xml::Element& e) { return e.local_name() == "binding"; });
+      if (binding == nullptr || !binding->remove_child("operation")) return std::nullopt;
+      description = "removed the binding's operation; the portType is uncovered";
+      break;
+    }
+    case MutationKind::kDropSoapAction: {
+      xml::Element* soap_operation = find_descendant(root, [](const xml::Element& e) {
+        return e.local_name() == "operation" && e.has_attribute("soapAction");
+      });
+      if (soap_operation == nullptr) return std::nullopt;
+      soap_operation->remove_attribute("soapAction");
+      description = "removed soapAction from soap:operation";
+      break;
+    }
+    case MutationKind::kSwitchToEncoded: {
+      xml::Element* body = find_descendant(root, [](const xml::Element& e) {
+        return e.local_name() == "body" && e.attribute("use") == "literal";
+      });
+      if (body == nullptr) return std::nullopt;
+      body->set_attribute("use", "encoded");
+      description = "switched soap:body use to 'encoded'";
+      break;
+    }
+    case MutationKind::kUndeclarePrefix: {
+      if (!root.remove_attribute("xmlns:tns")) return std::nullopt;
+      description = "removed the xmlns:tns declaration; tns-qualified QNames dangle";
+      break;
+    }
+    case MutationKind::kDuplicateOperation: {
+      xml::Element* port_type =
+          find_descendant(root, [](const xml::Element& e) { return e.local_name() == "portType"; });
+      if (port_type == nullptr) return std::nullopt;
+      const xml::Element* operation = port_type->child("operation");
+      if (operation == nullptr) return std::nullopt;
+      port_type->add_child(*operation);
+      description = "duplicated a portType operation (overloading, BP-prohibited)";
+      break;
+    }
+    case MutationKind::kInjectForeignElement: {
+      xml::Element foreign{"fz:fuzzer"};
+      foreign.declare_namespace("fz", "urn:wsx:fuzzer");
+      foreign.set_attribute("marker", "injected");
+      root.add_child(std::move(foreign));
+      description = "injected an unknown vendor extension element";
+      break;
+    }
+    case MutationKind::kRelativeAddress: {
+      xml::Element* address =
+          find_descendant(root, [](const xml::Element& e) { return e.local_name() == "address"; });
+      if (address == nullptr) return std::nullopt;
+      address->set_attribute("location", "/relative/endpoint");
+      description = "made the soap:address location relative";
+      break;
+    }
+    case MutationKind::kLocationlessImport: {
+      // Insert a wsdl:import without a location as the first child — the
+      // consumer cannot fetch the promised document.
+      xml::Element import{root.prefix().empty() ? std::string{"import"}
+                                                : root.prefix() + ":import"};
+      import.set_attribute("namespace", "urn:wsx:imported");
+      root.prepend_child(std::move(import));
+      description = "injected a wsdl:import without a location";
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return xml::write(root);
+}
+
+/// Text-level mutations deliberately break well-formedness.
+std::optional<std::string> mutate_text(const std::string& wsdl_text, MutationKind kind,
+                                       std::string& description) {
+  switch (kind) {
+    case MutationKind::kCorruptEntity: {
+      const std::size_t pos = wsdl_text.find("targetNamespace=\"");
+      if (pos == std::string::npos) return std::nullopt;
+      std::string mutated = wsdl_text;
+      mutated.insert(pos + 17, "&undefined;");
+      description = "injected an undefined entity reference into an attribute";
+      return mutated;
+    }
+    case MutationKind::kMismatchedTag: {
+      const std::size_t pos = wsdl_text.rfind("</");
+      if (pos == std::string::npos) return std::nullopt;
+      std::string mutated = wsdl_text;
+      mutated.insert(pos + 2, "broken-");
+      description = "broke the final end tag";
+      return mutated;
+    }
+    case MutationKind::kTruncate: {
+      if (wsdl_text.size() < 64) return std::nullopt;
+      description = "truncated the document at 60% of its length";
+      return wsdl_text.substr(0, wsdl_text.size() * 6 / 10);
+    }
+    case MutationKind::kDuplicateAttribute: {
+      const std::size_t pos = wsdl_text.find("targetNamespace=");
+      if (pos == std::string::npos) return std::nullopt;
+      const std::size_t end = wsdl_text.find('"', wsdl_text.find('"', pos) + 1);
+      if (end == std::string::npos) return std::nullopt;
+      std::string mutated = wsdl_text;
+      const std::string attribute = wsdl_text.substr(pos, end + 1 - pos);
+      mutated.insert(end + 1, " " + attribute);
+      description = "duplicated the targetNamespace attribute";
+      return mutated;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<Mutant> mutate(const std::string& wsdl_text, MutationKind kind) {
+  std::string description;
+  std::optional<std::string> mutated =
+      is_well_formed_kind(kind) ? mutate_tree(wsdl_text, kind, description)
+                                : mutate_text(wsdl_text, kind, description);
+  if (!mutated) return std::nullopt;
+  return Mutant{kind, std::move(description), std::move(*mutated)};
+}
+
+std::vector<Mutant> mutate_all(const std::string& wsdl_text) {
+  std::vector<Mutant> mutants;
+  for (MutationKind kind : all_mutation_kinds()) {
+    if (std::optional<Mutant> mutant = mutate(wsdl_text, kind)) {
+      mutants.push_back(std::move(*mutant));
+    }
+  }
+  return mutants;
+}
+
+std::optional<Mutant> mutate_chain(const std::string& wsdl_text,
+                                   const std::vector<MutationKind>& kinds) {
+  if (kinds.empty()) return std::nullopt;
+  std::string current = wsdl_text;
+  std::string description;
+  for (MutationKind kind : kinds) {
+    std::optional<Mutant> step = mutate(current, kind);
+    if (!step) return std::nullopt;
+    current = std::move(step->wsdl_text);
+    if (!description.empty()) description += "; then ";
+    description += step->description;
+  }
+  return Mutant{kinds.back(), std::move(description), std::move(current)};
+}
+
+}  // namespace wsx::fuzz

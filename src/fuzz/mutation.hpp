@@ -1,0 +1,68 @@
+// mutation.hpp — systematic WSDL mutation operators.
+//
+// The study injects faults implicitly (native types whose serialization
+// produces broken descriptions); this module makes the injection explicit:
+// a deterministic mutator that derives semantically or syntactically broken
+// descriptions from a valid one. Running all client tools over the mutant
+// corpus measures each tool's *robustness*: a sound tool rejects a broken
+// description with a clean diagnostic; silent acceptance propagates the
+// defect downstream — exactly the failure pattern §IV.B.1 criticizes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wsx::fuzz {
+
+enum class MutationKind {
+  // Structure-level (the mutant is well-formed XML, semantically broken).
+  kRemoveOperations,      ///< strip every portType operation (unusable WSDL)
+  kDropTargetNamespace,   ///< definitions loses its targetNamespace
+  kDropMessage,           ///< delete a wsdl:message; operations dangle
+  kRenameWrapperElement,  ///< rename a top-level schema element; parts dangle
+  kDropBindingOperation,  ///< binding no longer covers the portType
+  kDropSoapAction,        ///< soap:operation loses soapAction
+  kSwitchToEncoded,       ///< use="literal" becomes use="encoded"
+  kUndeclarePrefix,       ///< remove the tns declaration; QNames dangle
+  kDuplicateOperation,    ///< duplicate an operation name (overloading)
+  kInjectForeignElement,  ///< unknown vendor extension under definitions
+  kRelativeAddress,       ///< soap:address loses its absolute URI
+  kLocationlessImport,    ///< wsdl:import without a location (unfetchable)
+  // Text-level (the mutant may not even be well-formed XML).
+  kCorruptEntity,         ///< inject an undefined entity reference
+  kMismatchedTag,         ///< break one end tag
+  kTruncate,              ///< cut the document mid-element
+  kDuplicateAttribute,    ///< repeat an attribute on the root element
+};
+inline constexpr std::size_t kMutationKindCount = 16;
+
+const char* to_string(MutationKind kind);
+
+/// All kinds, in declaration order.
+std::vector<MutationKind> all_mutation_kinds();
+
+/// True for mutants that remain well-formed XML (the structure-level ones).
+bool is_well_formed_kind(MutationKind kind);
+
+struct Mutant {
+  MutationKind kind;
+  std::string description;  ///< what was mutated, human-readable
+  std::string wsdl_text;    ///< the mutated document
+};
+
+/// Applies `kind` to a served description. Returns nullopt when the
+/// mutation is not applicable (e.g. no message to drop). Deterministic:
+/// the same input yields the same mutant.
+std::optional<Mutant> mutate(const std::string& wsdl_text, MutationKind kind);
+
+/// Applies every applicable mutation kind once.
+std::vector<Mutant> mutate_all(const std::string& wsdl_text);
+
+/// Applies a chain of mutations in order (higher-order mutants). Returns
+/// nullopt when any link of the chain is inapplicable to the intermediate
+/// document.
+std::optional<Mutant> mutate_chain(const std::string& wsdl_text,
+                                   const std::vector<MutationKind>& kinds);
+
+}  // namespace wsx::fuzz

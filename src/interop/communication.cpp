@@ -1,0 +1,270 @@
+#include "interop/communication.hpp"
+
+#include <atomic>
+#include <future>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "compilers/compiler.hpp"
+#include "frameworks/features.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/http.hpp"
+#include "soap/message.hpp"
+#include "soap/validate.hpp"
+
+namespace wsx::interop {
+
+const char* to_string(CommOutcome outcome) {
+  switch (outcome) {
+    case CommOutcome::kBlockedEarlier:
+      return "blocked earlier";
+    case CommOutcome::kNoInvocableProxy:
+      return "no invocable proxy";
+    case CommOutcome::kTransportError:
+      return "transport error";
+    case CommOutcome::kServerFault:
+      return "server fault";
+    case CommOutcome::kEchoMismatch:
+      return "echo mismatch";
+    case CommOutcome::kOk:
+      return "ok";
+  }
+  return "unknown";
+}
+
+std::size_t CommCell::attempted() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kCommOutcomeCount; ++i) total += outcomes[i];
+  return total - count(CommOutcome::kBlockedEarlier);
+}
+
+std::size_t CommCell::failures() const { return attempted() - count(CommOutcome::kOk); }
+
+std::size_t CommunicationResult::total_attempted() const {
+  std::size_t total = 0;
+  for (const CommServerResult& server : servers) {
+    for (const CommCell& cell : server.cells) total += cell.attempted();
+  }
+  return total;
+}
+
+std::size_t CommunicationResult::total_failures() const {
+  std::size_t total = 0;
+  for (const CommServerResult& server : servers) {
+    for (const CommCell& cell : server.cells) total += cell.failures();
+  }
+  return total;
+}
+
+std::size_t CommunicationResult::total(CommOutcome outcome) const {
+  std::size_t total = 0;
+  for (const CommServerResult& server : servers) {
+    for (const CommCell& cell : server.cells) total += cell.count(outcome);
+  }
+  return total;
+}
+
+namespace {
+
+/// One end-to-end invocation: marshal → HTTP → execute → unmarshal → check.
+/// `sniffed_violations`, when non-null, counts requests the conformance
+/// sniffer (soap/validate.hpp) flags as contract violations — measured
+/// independently of how the server reacts.
+CommOutcome invoke_once(const frameworks::ServerFramework& server,
+                        const frameworks::DeployedService& service,
+                        const frameworks::ClientFramework& client,
+                        const compilers::Compiler* compiler,
+                        std::size_t* sniffed_violations = nullptr) {
+  // Steps 2–3 gate the call exactly as in the main study.
+  frameworks::GenerationResult generation = client.generate(service.wsdl_text);
+  if (generation.diagnostics.has_errors() || !generation.produced_artifacts()) {
+    return CommOutcome::kBlockedEarlier;
+  }
+  if (compiler != nullptr && compiler->compile(*generation.artifacts).has_errors()) {
+    return CommOutcome::kBlockedEarlier;
+  }
+  if (generation.artifacts->client_operations.empty()) {
+    // The method-less client objects of the zero-operation descriptions.
+    return CommOutcome::kNoInvocableProxy;
+  }
+
+  const std::string operation = generation.artifacts->client_operations.front();
+  // Typed proxies send values from the parameter type's value space: for
+  // enumeration types the stub API only admits the declared constants.
+  std::string payload = "probe-" + service.spec.service_name();
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty()) payload = simple.enumeration.front();
+    }
+  }
+
+  // Marshalling — the client runtime builds the request envelope.
+  const frameworks::ClientFramework::InvocationPolicy policy = client.invocation_policy();
+  const frameworks::WsdlFeatures features = frameworks::analyze(service.wsdl);
+  const bool uncommon = policy.marshals_uncommon_structure &&
+                        (features.unresolved_foreign_type_ref ||
+                         features.unresolved_foreign_attr_ref || features.schema_element_ref);
+  const std::string argument_name = uncommon ? "arg0Struct" : "arg0";
+  Result<soap::Envelope> request =
+      soap::build_request(service.wsdl, operation, {{argument_name, payload}});
+  if (!request.ok()) return CommOutcome::kNoInvocableProxy;
+
+  if (sniffed_violations != nullptr &&
+      !soap::validate_request(service.wsdl, *request).empty()) {
+    ++*sniffed_violations;
+  }
+
+  // SOAPAction header policy.
+  bool binding_declares_action = false;
+  for (const wsdl::Binding& binding : service.wsdl.bindings) {
+    for (const wsdl::BindingOperation& bound : binding.operations) {
+      if (bound.name == operation && bound.has_soap_action) binding_declares_action = true;
+    }
+  }
+  soap::HttpRequest http = soap::make_soap_request(
+      service.wsdl.services.empty() ? "http://localhost/"
+                                    : service.wsdl.services.front().ports.front().location,
+      "", soap::write(*request));
+  if (!binding_declares_action && policy.omit_soap_action_when_unspecified) {
+    // gSOAP stubs send no SOAPAction header when the binding declares none.
+    std::erase_if(http.headers,
+                  [](const soap::HttpHeader& header) { return header.name == "SOAPAction"; });
+  }
+
+  // The wire + Execution step.
+  const soap::HttpResponse http_response = server.handle_http(service, http);
+  if (http_response.status == 405 || http_response.status == 415) {
+    return CommOutcome::kTransportError;
+  }
+  Result<soap::Envelope> response = soap::parse(http_response.body);
+  if (!response.ok()) return CommOutcome::kTransportError;
+  if (response->is_fault()) {
+    // Distinguish header-level rejections from execution faults.
+    return response->fault().fault_string.find("SOAPAction") != std::string::npos
+               ? CommOutcome::kTransportError
+               : CommOutcome::kServerFault;
+  }
+  Result<std::string> echoed = soap::response_value(*response);
+  if (!echoed.ok()) return CommOutcome::kServerFault;
+  return *echoed == payload ? CommOutcome::kOk : CommOutcome::kEchoMismatch;
+}
+
+}  // namespace
+
+CommunicationResult run_communication_study(const StudyConfig& config) {
+  CommunicationResult result;
+
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
+  const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(config.dotnet_spec);
+  const auto servers = frameworks::make_servers();
+  const auto clients = frameworks::make_clients();
+  std::vector<std::unique_ptr<compilers::Compiler>> client_compilers;
+  for (const auto& client : clients) {
+    client_compilers.push_back(compilers::make_compiler(client->language()));
+  }
+
+  for (const auto& server : servers) {
+    const catalog::TypeCatalog& catalog =
+        server->language() == "C#" ? dotnet_catalog : java_catalog;
+    CommServerResult server_result;
+    server_result.server = server->name();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      CommCell cell;
+      cell.client = clients[i]->name();
+      server_result.cells.push_back(std::move(cell));
+    }
+
+    // Deployment is cheap and sequential; invocations parallelize over
+    // services (the same plan as the main campaign runner).
+    std::vector<frameworks::DeployedService> deployed;
+    for (const catalog::TypeInfo& type : catalog.types()) {
+      Result<frameworks::DeployedService> service =
+          server->deploy(frameworks::ServiceSpec{&type});
+      if (service.ok()) deployed.push_back(std::move(service.value()));
+    }
+    server_result.services_deployed = deployed.size();
+
+    struct Partial {
+      std::vector<std::array<std::size_t, kCommOutcomeCount>> cells;
+      std::size_t sniffed = 0;
+    };
+    const std::size_t worker_count = std::max<std::size_t>(
+        1, config.threads != 0 ? config.threads : std::thread::hardware_concurrency());
+    const std::size_t chunk =
+        (deployed.size() + worker_count - 1) / std::max<std::size_t>(1, worker_count);
+    const auto run_slice = [&](std::size_t begin, std::size_t end) {
+      Partial partial;
+      partial.cells.resize(clients.size());
+      for (std::size_t index = begin; index < end; ++index) {
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+          const CommOutcome outcome = invoke_once(
+              *server, deployed[index], *clients[i], client_compilers[i].get(),
+              &partial.sniffed);
+          ++partial.cells[i][static_cast<std::size_t>(outcome)];
+        }
+      }
+      return partial;
+    };
+    std::vector<std::future<Partial>> futures;
+    for (std::size_t begin = 0; begin < deployed.size(); begin += chunk) {
+      futures.push_back(std::async(std::launch::async, run_slice, begin,
+                                   std::min(deployed.size(), begin + chunk)));
+    }
+    for (std::future<Partial>& future : futures) {
+      const Partial partial = future.get();
+      result.sniffed_violations += partial.sniffed;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        for (std::size_t outcome = 0; outcome < kCommOutcomeCount; ++outcome) {
+          server_result.cells[i].outcomes[outcome] += partial.cells[i][outcome];
+        }
+      }
+    }
+    result.servers.push_back(std::move(server_result));
+  }
+  return result;
+}
+
+std::string format_communication(const CommunicationResult& result) {
+  std::ostringstream out;
+  out << "Communication + Execution study (the paper's future work; no paper "
+         "reference values exist)\n";
+  for (const CommServerResult& server : result.servers) {
+    out << server.server << " — " << server.services_deployed << " services\n";
+    out << "  " << std::left << std::setw(44) << "client" << std::right << std::setw(9)
+        << "attempted" << std::setw(8) << "ok" << std::setw(10) << "no-proxy" << std::setw(11)
+        << "transport" << std::setw(8) << "fault" << std::setw(10) << "mismatch" << "\n";
+    for (const CommCell& cell : server.cells) {
+      out << "  " << std::left << std::setw(44) << cell.client << std::right << std::setw(9)
+          << cell.attempted() << std::setw(8) << cell.count(CommOutcome::kOk) << std::setw(10)
+          << cell.count(CommOutcome::kNoInvocableProxy) << std::setw(11)
+          << cell.count(CommOutcome::kTransportError) << std::setw(8)
+          << cell.count(CommOutcome::kServerFault) << std::setw(10)
+          << cell.count(CommOutcome::kEchoMismatch) << "\n";
+    }
+  }
+  out << "totals: " << result.total_attempted() << " invocations attempted, "
+      << result.total_failures() << " communication-step failures, "
+      << result.sniffed_violations
+      << " requests flagged by the contract-conformance sniffer\n";
+  return out.str();
+}
+
+std::string communication_csv(const CommunicationResult& result) {
+  std::ostringstream out;
+  out << "server,client,blocked,no_proxy,transport,server_fault,mismatch,ok\n";
+  for (const CommServerResult& server : result.servers) {
+    for (const CommCell& cell : server.cells) {
+      out << server.server << ',' << cell.client << ','
+          << cell.count(CommOutcome::kBlockedEarlier) << ','
+          << cell.count(CommOutcome::kNoInvocableProxy) << ','
+          << cell.count(CommOutcome::kTransportError) << ','
+          << cell.count(CommOutcome::kServerFault) << ','
+          << cell.count(CommOutcome::kEchoMismatch) << ',' << cell.count(CommOutcome::kOk)
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wsx::interop

@@ -1,0 +1,73 @@
+// communication.hpp — the Communication (4) and Execution (5) steps the
+// paper defers to future work ("we intend to test WS frameworks during the
+// communication and execution phase to test the whole inter-operation
+// lifecycle"), implemented over the simulated stacks.
+//
+// For every (service, client) pair that survives description, generation
+// and compilation, the client's runtime marshals an echo call, ships it
+// through the HTTP wire model, the server executes it, and the response is
+// unmarshalled and compared against the sent payload.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+
+enum class CommOutcome {
+  kBlockedEarlier,   ///< steps 1–3 already failed; the call never happens
+  kNoInvocableProxy, ///< client object exists but has no method to call
+  kTransportError,   ///< HTTP-level rejection (e.g. missing SOAPAction)
+  kServerFault,      ///< server returned a soap:Fault
+  kEchoMismatch,     ///< call completed but the echoed payload is wrong
+  kOk,
+};
+inline constexpr std::size_t kCommOutcomeCount = 6;
+
+const char* to_string(CommOutcome outcome);
+
+/// Per client, per server: how the communication step ended, counted over
+/// all deployed services.
+struct CommCell {
+  std::string client;
+  std::array<std::size_t, kCommOutcomeCount> outcomes{};
+
+  std::size_t count(CommOutcome outcome) const {
+    return outcomes[static_cast<std::size_t>(outcome)];
+  }
+  std::size_t attempted() const;  ///< everything except kBlockedEarlier
+  std::size_t failures() const;   ///< attempted minus kOk
+};
+
+struct CommServerResult {
+  std::string server;
+  std::size_t services_deployed = 0;
+  std::vector<CommCell> cells;
+};
+
+struct CommunicationResult {
+  std::vector<CommServerResult> servers;
+  /// Requests the conformance sniffer (soap/validate.hpp) flagged as
+  /// contract violations before the server even saw them.
+  std::size_t sniffed_violations = 0;
+
+  std::size_t total_attempted() const;
+  std::size_t total_failures() const;
+  std::size_t total(CommOutcome outcome) const;
+};
+
+/// Runs the communication study on top of the usual campaign configuration.
+CommunicationResult run_communication_study(const StudyConfig& config = {});
+
+/// Renders the extension table (no paper reference exists; this is the
+/// future-work experiment).
+std::string format_communication(const CommunicationResult& result);
+
+/// Machine-readable form: server,client,<one column per outcome>.
+std::string communication_csv(const CommunicationResult& result);
+
+}  // namespace wsx::interop

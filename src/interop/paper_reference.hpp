@@ -1,0 +1,101 @@
+// paper_reference.hpp — the DSN'14 paper's reported numbers, as
+// reconstructed in DESIGN.md §3. Benches print paper-vs-measured from this
+// table; the reproduction tests assert against it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace wsx::interop::paper {
+
+/// Fig. 4: per-server step overview (tests with warnings / errors).
+struct Fig4Row {
+  std::string_view server;
+  std::size_t description_warnings;
+  std::size_t description_errors;
+  std::size_t generation_warnings;
+  std::size_t generation_errors;
+  std::size_t compilation_warnings;
+  std::size_t compilation_errors;
+};
+
+inline constexpr std::array<Fig4Row, 3> kFig4 = {{
+    {"Metro", 2, 0, 2489, 13, 4978, 529},
+    {"JBossWS CXF", 4, 0, 2255, 21, 4496, 464},
+    {"WCF .NET", 80, 0, 4, 256, 5004, 308},
+}};
+
+/// Table III: one row per client per server.
+struct Table3Cell {
+  std::string_view server;
+  std::string_view client;
+  std::size_t generation_warnings;
+  std::size_t generation_errors;
+  std::size_t compilation_warnings;
+  std::size_t compilation_errors;
+};
+
+inline constexpr std::array<Table3Cell, 33> kTable3 = {{
+    // Metro server — 2489 services; a=W3CEndpointReference, b=SimpleDateFormat.
+    {"Metro", "Oracle Metro 2.3", 0, 1, 0, 0},
+    {"Metro", "Apache Axis1 1.4", 0, 1, 2489, 477},
+    {"Metro", "Apache Axis2 1.6.2", 0, 1, 2489, 1},
+    {"Metro", "Apache CXF 2.7.6", 0, 1, 0, 0},
+    {"Metro", "JBossWS CXF 4.2.3", 0, 1, 0, 0},
+    {"Metro", ".NET (C#)", 0, 2, 0, 0},
+    {"Metro", ".NET (Visual Basic .NET)", 0, 2, 0, 1},
+    {"Metro", ".NET (JScript .NET)", 2489, 2, 0, 50},
+    {"Metro", "gSOAP Toolkit 2.8.16", 0, 1, 0, 0},
+    {"Metro", "Zend Framework 1.9", 0, 0, 0, 0},
+    {"Metro", "suds Python 0.4", 0, 1, 0, 0},
+    // JBossWS server — 2248 services; c=Future/Response (no operations),
+    // d=W3CEndpointReference, e=SimpleDateFormat.
+    {"JBossWS CXF", "Oracle Metro 2.3", 1, 3, 0, 0},
+    {"JBossWS CXF", "Apache Axis1 1.4", 0, 1, 2248, 412},
+    {"JBossWS CXF", "Apache Axis2 1.6.2", 0, 2, 2248, 1},
+    {"JBossWS CXF", "Apache CXF 2.7.6", 0, 1, 0, 0},
+    {"JBossWS CXF", "JBossWS CXF 4.2.3", 0, 1, 0, 0},
+    {"JBossWS CXF", ".NET (C#)", 0, 4, 0, 0},
+    {"JBossWS CXF", ".NET (Visual Basic .NET)", 0, 4, 0, 1},
+    {"JBossWS CXF", ".NET (JScript .NET)", 2248, 4, 0, 50},
+    {"JBossWS CXF", "gSOAP Toolkit 2.8.16", 2, 0, 0, 0},
+    {"JBossWS CXF", "Zend Framework 1.9", 2, 0, 0, 0},
+    {"JBossWS CXF", "suds Python 0.4", 2, 1, 0, 0},
+    // WCF .NET server — 2502 services; f=80 WS-I failures (DataSet idiom,
+    // encoded use, missing soapAction), g=DataTable family, h=SocketError.
+    {"WCF .NET", "Oracle Metro 2.3", 0, 79, 0, 0},
+    {"WCF .NET", "Apache Axis1 1.4", 0, 3, 2502, 0},
+    {"WCF .NET", "Apache Axis2 1.6.2", 0, 0, 2502, 3},
+    {"WCF .NET", "Apache CXF 2.7.6", 0, 79, 0, 0},
+    {"WCF .NET", "JBossWS CXF 4.2.3", 0, 79, 0, 0},
+    {"WCF .NET", ".NET (C#)", 1, 0, 0, 0},
+    {"WCF .NET", ".NET (Visual Basic .NET)", 1, 0, 0, 4},
+    {"WCF .NET", ".NET (JScript .NET)", 1, 2, 0, 301},
+    {"WCF .NET", "gSOAP Toolkit 2.8.16", 0, 13, 0, 0},
+    {"WCF .NET", "Zend Framework 1.9", 0, 0, 0, 0},
+    {"WCF .NET", "suds Python 0.4", 1, 1, 0, 0},
+}};
+
+/// Headline aggregates (paper §IV prose; Fig.4-consistent values where the
+/// prose disagrees with the figure — see EXPERIMENTS.md).
+inline constexpr std::size_t kTotalTests = 79629;
+inline constexpr std::size_t kServicesCreated = 22024;
+inline constexpr std::size_t kWsdlFailures = 14785;
+inline constexpr std::size_t kServicesDeployed = 7239;
+inline constexpr std::size_t kDescriptionWarnings = 86;
+inline constexpr std::size_t kGenerationWarnings = 4748;   // prose: 4763
+inline constexpr std::size_t kGenerationErrors = 290;      // prose: 287
+inline constexpr std::size_t kCompilationWarnings = 14478;
+inline constexpr std::size_t kCompilationErrors = 1301;
+inline constexpr std::size_t kInteropErrors = 1591;        // prose: 1583
+inline constexpr std::size_t kSamePlatformFailures = 307;
+inline constexpr std::size_t kFlaggedServices = 86;
+inline constexpr std::size_t kFlaggedWithDownstreamError = 82;  // 95.3%
+
+/// Maps a measured client display name onto the short names used above.
+std::string_view normalize_client_name(std::string_view client);
+/// Maps a measured server display name onto the short names used above.
+std::string_view normalize_server_name(std::string_view server);
+
+}  // namespace wsx::interop::paper

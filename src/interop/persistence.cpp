@@ -1,0 +1,150 @@
+#include "interop/persistence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "interop/report_formats.hpp"
+
+namespace wsx::interop {
+namespace {
+
+/// Splits one CSV record; handles quoted fields with doubled quotes.
+std::vector<std::string> split_csv_record(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::size_t> parse_count(const std::string& field) {
+  try {
+    return static_cast<std::size_t>(std::stoull(field));
+  } catch (...) {
+    return Error{"snapshot.bad-number", "'" + field + "' is not a count"};
+  }
+}
+
+}  // namespace
+
+std::string to_snapshot_csv(const StudyResult& result) { return table3_csv(result); }
+
+Result<std::vector<SnapshotCell>> parse_snapshot_csv(std::string_view csv_text) {
+  std::vector<SnapshotCell> cells;
+  const std::vector<std::string> lines = split(csv_text, '\n');
+  bool saw_header = false;
+  for (const std::string& line : lines) {
+    if (trim(line).empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      if (line.rfind("server,client,", 0) != 0) {
+        return Error{"snapshot.bad-header", "not a snapshot CSV (unexpected header)"};
+      }
+      continue;
+    }
+    const std::vector<std::string> fields = split_csv_record(line);
+    if (fields.size() != 7) {
+      return Error{"snapshot.bad-record",
+                   "expected 7 fields, got " + std::to_string(fields.size())};
+    }
+    SnapshotCell cell;
+    cell.server = fields[0];
+    cell.client = fields[1];
+    const Result<std::size_t> tests = parse_count(fields[2]);
+    const Result<std::size_t> gen_warnings = parse_count(fields[3]);
+    const Result<std::size_t> gen_errors = parse_count(fields[4]);
+    const Result<std::size_t> comp_warnings = parse_count(fields[5]);
+    const Result<std::size_t> comp_errors = parse_count(fields[6]);
+    for (const Result<std::size_t>* value :
+         {&tests, &gen_warnings, &gen_errors, &comp_warnings, &comp_errors}) {
+      if (!value->ok()) return value->error();
+    }
+    cell.tests = tests.value();
+    cell.generation = {gen_warnings.value(), gen_errors.value()};
+    cell.compilation = {comp_warnings.value(), comp_errors.value()};
+    cells.push_back(std::move(cell));
+  }
+  if (!saw_header) return Error{"snapshot.empty", "snapshot CSV has no content"};
+  return cells;
+}
+
+std::vector<CellDiff> diff_snapshots(const std::vector<SnapshotCell>& before,
+                                     const std::vector<SnapshotCell>& after) {
+  std::vector<CellDiff> diffs;
+  const auto emit = [&diffs](const SnapshotCell& a, const SnapshotCell& b) {
+    const auto compare = [&](const char* metric, std::size_t x, std::size_t y) {
+      if (x != y) diffs.push_back({a.server, a.client, metric, x, y});
+    };
+    compare("tests", a.tests, b.tests);
+    compare("generation_warnings", a.generation.warnings, b.generation.warnings);
+    compare("generation_errors", a.generation.errors, b.generation.errors);
+    compare("compilation_warnings", a.compilation.warnings, b.compilation.warnings);
+    compare("compilation_errors", a.compilation.errors, b.compilation.errors);
+  };
+  const SnapshotCell empty;
+  for (const SnapshotCell& cell : before) {
+    const SnapshotCell* matched = nullptr;
+    for (const SnapshotCell& candidate : after) {
+      if (candidate.server == cell.server && candidate.client == cell.client) {
+        matched = &candidate;
+      }
+    }
+    if (matched != nullptr) {
+      emit(cell, *matched);
+    } else {
+      SnapshotCell gone = empty;
+      gone.server = cell.server;
+      gone.client = cell.client;
+      emit(cell, gone);
+    }
+  }
+  for (const SnapshotCell& cell : after) {
+    const bool known = std::any_of(
+        before.begin(), before.end(), [&cell](const SnapshotCell& candidate) {
+          return candidate.server == cell.server && candidate.client == cell.client;
+        });
+    if (!known) {
+      SnapshotCell fresh = empty;
+      fresh.server = cell.server;
+      fresh.client = cell.client;
+      emit(fresh, cell);
+    }
+  }
+  return diffs;
+}
+
+std::string format_diff(const std::vector<CellDiff>& diff) {
+  if (diff.empty()) return "no behavioural changes between the two runs\n";
+  std::ostringstream out;
+  out << diff.size() << " changed metric(s):\n";
+  for (const CellDiff& change : diff) {
+    out << "  " << change.server << " / " << change.client << ": " << change.metric << " "
+        << change.before << " -> " << change.after << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wsx::interop

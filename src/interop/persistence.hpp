@@ -1,0 +1,51 @@
+// persistence.hpp — snapshotting campaign results and diffing runs.
+//
+// The paper's released tool exists so practitioners can re-run the study
+// as frameworks evolve; this module closes that loop: snapshot a run to
+// CSV, rerun later (new tool versions, new populations), and diff — every
+// changed cell is a behavioural change in some framework subsystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+
+/// One (server, client) row of a snapshot.
+struct SnapshotCell {
+  std::string server;
+  std::string client;
+  std::size_t tests = 0;
+  StepCounts generation;
+  StepCounts compilation;
+  friend bool operator==(const SnapshotCell&, const SnapshotCell&) = default;
+};
+
+/// Serializes a run to the snapshot CSV (same schema as table3_csv).
+std::string to_snapshot_csv(const StudyResult& result);
+
+/// Parses a snapshot CSV back. Error codes use the "snapshot." prefix.
+Result<std::vector<SnapshotCell>> parse_snapshot_csv(std::string_view csv_text);
+
+/// A changed metric between two runs of the same cell.
+struct CellDiff {
+  std::string server;
+  std::string client;
+  std::string metric;  ///< "tests", "generation_errors", ...
+  std::size_t before = 0;
+  std::size_t after = 0;
+  friend bool operator==(const CellDiff&, const CellDiff&) = default;
+};
+
+/// Cell-by-cell comparison; cells present on only one side are reported
+/// with 0 on the other.
+std::vector<CellDiff> diff_snapshots(const std::vector<SnapshotCell>& before,
+                                     const std::vector<SnapshotCell>& after);
+
+/// Renders a diff (empty diff → "no behavioural changes").
+std::string format_diff(const std::vector<CellDiff>& diff);
+
+}  // namespace wsx::interop

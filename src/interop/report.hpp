@@ -1,0 +1,33 @@
+// report.hpp — textual reports mirroring the paper's tables and figure.
+#pragma once
+
+#include <string>
+
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+
+/// Table I: the server platforms.
+std::string format_table1();
+
+/// Table II: the client-side frameworks.
+std::string format_table2();
+
+/// Fig. 4: per-server step overview, paper vs measured, with a
+/// MATCH/DIVERGE marker per value.
+std::string format_fig4(const StudyResult& result);
+
+/// Table III: the full client×server matrix, paper vs measured.
+std::string format_table3(const StudyResult& result);
+
+/// §IV headline aggregates and findings (totals, same-framework failures,
+/// the 95.3% WS-I ablation).
+std::string format_findings(const StudyResult& result);
+
+/// The failure catalog: every distinct error code observed across the
+/// campaign, with the number of affected tests, the tools producing it and
+/// a sample message — the auto-generated counterpart of the paper's §IV.B
+/// technical inventory.
+std::string format_failure_catalog(const StudyResult& result);
+
+}  // namespace wsx::interop

@@ -1,0 +1,111 @@
+#include "interop/report_formats.hpp"
+
+#include <sstream>
+
+#include "interop/paper_reference.hpp"
+
+namespace wsx::interop {
+namespace {
+
+/// Escapes a CSV field (quotes when it contains a comma or quote).
+std::string csv_field(std::string_view value) {
+  if (value.find_first_of(",\"\n") == std::string_view::npos) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+const paper::Fig4Row* fig4_reference(const ServerResult& server) {
+  const std::string_view short_name = paper::normalize_server_name(server.server);
+  for (const paper::Fig4Row& row : paper::kFig4) {
+    if (row.server == short_name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string fig4_csv(const StudyResult& result) {
+  std::ostringstream out;
+  out << "server,metric,paper,measured\n";
+  for (const ServerResult& server : result.servers) {
+    const paper::Fig4Row* reference = fig4_reference(server);
+    const auto row = [&](const char* metric, std::size_t paper_value, std::size_t measured) {
+      out << csv_field(server.server) << ',' << metric << ',' << paper_value << ','
+          << measured << '\n';
+    };
+    if (reference == nullptr) continue;
+    row("description_warnings", reference->description_warnings, server.description_warnings);
+    row("description_errors", reference->description_errors, server.description_errors);
+    row("generation_warnings", reference->generation_warnings,
+        server.generation_totals().warnings);
+    row("generation_errors", reference->generation_errors, server.generation_totals().errors);
+    row("compilation_warnings", reference->compilation_warnings,
+        server.compilation_totals().warnings);
+    row("compilation_errors", reference->compilation_errors,
+        server.compilation_totals().errors);
+  }
+  return out.str();
+}
+
+std::string table3_csv(const StudyResult& result) {
+  std::ostringstream out;
+  out << "server,client,tests,generation_warnings,generation_errors,"
+         "compilation_warnings,compilation_errors\n";
+  for (const ServerResult& server : result.servers) {
+    for (const CellResult& cell : server.cells) {
+      out << csv_field(server.server) << ',' << csv_field(cell.client) << ',' << cell.tests
+          << ',' << cell.generation.warnings << ',' << cell.generation.errors << ','
+          << cell.compilation.warnings << ',' << cell.compilation.errors << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string fig4_markdown(const StudyResult& result) {
+  std::ostringstream out;
+  out << "| server | metric | paper | measured | status |\n";
+  out << "|---|---|---:|---:|---|\n";
+  for (const ServerResult& server : result.servers) {
+    const paper::Fig4Row* reference = fig4_reference(server);
+    if (reference == nullptr) continue;
+    const auto row = [&](const char* metric, std::size_t paper_value, std::size_t measured) {
+      out << "| " << server.server << " | " << metric << " | " << paper_value << " | "
+          << measured << " | " << (paper_value == measured ? "MATCH" : "DIVERGE") << " |\n";
+    };
+    row("description warnings", reference->description_warnings, server.description_warnings);
+    row("description errors", reference->description_errors, server.description_errors);
+    row("generation warnings", reference->generation_warnings,
+        server.generation_totals().warnings);
+    row("generation errors", reference->generation_errors, server.generation_totals().errors);
+    row("compilation warnings", reference->compilation_warnings,
+        server.compilation_totals().warnings);
+    row("compilation errors", reference->compilation_errors,
+        server.compilation_totals().errors);
+  }
+  return out.str();
+}
+
+std::string table3_markdown(const StudyResult& result) {
+  std::ostringstream out;
+  out << "| server | client | Gw | Ge | Cw | Ce |\n";
+  out << "|---|---|---:|---:|---:|---:|\n";
+  for (const ServerResult& server : result.servers) {
+    for (const CellResult& cell : server.cells) {
+      out << "| " << server.server << " | " << cell.client << " | "
+          << cell.generation.warnings << " | " << cell.generation.errors << " | ";
+      if (cell.compiled) {
+        out << cell.compilation.warnings << " | " << cell.compilation.errors << " |\n";
+      } else {
+        out << "n/a | n/a |\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wsx::interop

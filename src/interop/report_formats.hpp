@@ -1,0 +1,24 @@
+// report_formats.hpp — machine-readable renderings of the study results
+// (CSV for spreadsheets/plotting, Markdown for reports).
+#pragma once
+
+#include <string>
+
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+
+/// Fig. 4 data as CSV: server,metric,paper,measured.
+std::string fig4_csv(const StudyResult& result);
+
+/// Table III as CSV: server,client,gen_warnings,gen_errors,comp_warnings,
+/// comp_errors (measured values).
+std::string table3_csv(const StudyResult& result);
+
+/// Fig. 4 as a Markdown table (paper vs measured with a status column).
+std::string fig4_markdown(const StudyResult& result);
+
+/// Table III as a Markdown table.
+std::string table3_markdown(const StudyResult& result);
+
+}  // namespace wsx::interop

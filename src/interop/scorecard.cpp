@@ -1,0 +1,92 @@
+#include "interop/scorecard.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "interop/paper_reference.hpp"
+
+namespace wsx::interop {
+
+double ToolScorecard::static_failure_rate() const {
+  if (tests == 0) return 0.0;
+  return 100.0 * static_cast<double>(generation_errors + compilation_errors) /
+         static_cast<double>(tests);
+}
+
+double ToolScorecard::wire_failure_rate() const {
+  if (invocations_attempted == 0) return 0.0;
+  return 100.0 * static_cast<double>(wire_failures) /
+         static_cast<double>(invocations_attempted);
+}
+
+const ToolScorecard* Scorecard::find(std::string_view client) const {
+  for (const ToolScorecard& tool : tools) {
+    if (tool.client == client) return &tool;
+  }
+  return nullptr;
+}
+
+Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& communication,
+                          const fuzz::FuzzReport& fuzzing) {
+  Scorecard scorecard;
+  const auto card_for = [&scorecard](const std::string& client) -> ToolScorecard& {
+    for (ToolScorecard& tool : scorecard.tools) {
+      if (tool.client == client) return tool;
+    }
+    scorecard.tools.push_back({});
+    scorecard.tools.back().client = client;
+    return scorecard.tools.back();
+  };
+
+  for (const ServerResult& server : study.servers) {
+    for (const CellResult& cell : server.cells) {
+      ToolScorecard& card = card_for(cell.client);
+      card.tests += cell.tests;
+      card.generation_errors += cell.generation.errors;
+      card.compilation_errors += cell.compilation.errors;
+    }
+  }
+  for (const CommServerResult& server : communication.servers) {
+    for (const CommCell& cell : server.cells) {
+      ToolScorecard& card = card_for(cell.client);
+      card.invocations_attempted += cell.attempted();
+      card.wire_failures += cell.failures();
+    }
+  }
+  for (const fuzz::ToolRobustness& tool : fuzzing.tools) {
+    ToolScorecard& card = card_for(tool.client);
+    card.fuzz_mutants += fuzzing.mutant_count;
+    card.silent_on_broken += tool.silent_on_broken();
+  }
+
+  std::sort(scorecard.tools.begin(), scorecard.tools.end(),
+            [](const ToolScorecard& a, const ToolScorecard& b) {
+              return a.static_failure_rate() < b.static_failure_rate();
+            });
+  return scorecard;
+}
+
+std::string format_scorecard(const Scorecard& scorecard) {
+  std::ostringstream out;
+  out << "Tool report card (steps 1-3 / wire / fuzzing), best static rate first\n";
+  out << "  " << std::left << std::setw(40) << "client" << std::right << std::setw(10)
+      << "gen errs" << std::setw(10) << "comp errs" << std::setw(9) << "static%"
+      << std::setw(10) << "wire errs" << std::setw(8) << "wire%" << std::setw(18)
+      << "silent-on-broken" << "\n";
+  for (const ToolScorecard& tool : scorecard.tools) {
+    out << "  " << std::left << std::setw(40)
+        << std::string(paper::normalize_client_name(tool.client)) << std::right
+        << std::setw(10) << tool.generation_errors << std::setw(10) << tool.compilation_errors
+        << std::setw(8) << std::fixed << std::setprecision(2) << tool.static_failure_rate()
+        << "%" << std::setw(10) << tool.wire_failures << std::setw(7) << std::setprecision(2)
+        << tool.wire_failure_rate() << "%" << std::setw(12) << tool.silent_on_broken << " / "
+        << tool.fuzz_mutants << "\n";
+  }
+  out << "\nReading guide: low static% + low wire% + low silent-on-broken is what a\n"
+         "framework selector wants; a tool can look clean on steps 1-3 and still\n"
+         "fail on the wire (Zend) or hide defects by accepting broken input.\n";
+  return out.str();
+}
+
+}  // namespace wsx::interop

@@ -1,0 +1,52 @@
+// scorecard.hpp — one report card per client tool, synthesized from the
+// three campaigns: the paper's steps 1–3 study, the communication
+// extension, and the robustness fuzzing. This is the artifact a framework
+// selector would actually want: "if I pick this client stack, what is my
+// exposure?"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "interop/communication.hpp"
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+
+struct ToolScorecard {
+  std::string client;
+
+  // Steps 1–3 (the paper's study).
+  std::size_t tests = 0;
+  std::size_t generation_errors = 0;
+  std::size_t compilation_errors = 0;
+
+  // Communication + Execution extension.
+  std::size_t invocations_attempted = 0;
+  std::size_t wire_failures = 0;
+
+  // Robustness fuzzing.
+  std::size_t fuzz_mutants = 0;
+  std::size_t silent_on_broken = 0;
+
+  /// Steps 1–3 error rate in percent.
+  double static_failure_rate() const;
+  /// Wire failure rate in percent (of attempted invocations).
+  double wire_failure_rate() const;
+};
+
+struct Scorecard {
+  std::vector<ToolScorecard> tools;  ///< sorted by static failure rate, best first
+
+  const ToolScorecard* find(std::string_view client) const;
+};
+
+/// Combines the three campaign results into per-tool cards.
+Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& communication,
+                          const fuzz::FuzzReport& fuzzing);
+
+/// Renders the card table.
+std::string format_scorecard(const Scorecard& scorecard);
+
+}  // namespace wsx::interop

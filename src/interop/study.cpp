@@ -1,0 +1,360 @@
+#include "interop/study.hpp"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "wsi/profile.hpp"
+
+namespace wsx::interop {
+namespace {
+
+/// Framework identity across the client/server subsystem split (the paper's
+/// same-framework analysis, §V).
+bool same_framework(const std::string& server, const std::string& client) {
+  if (starts_with(server, "Metro") && starts_with(client, "Oracle Metro")) return true;
+  if (starts_with(server, "JBossWS") && starts_with(client, "JBossWS")) return true;
+  if (starts_with(server, "WCF") && starts_with(client, ".NET")) return true;
+  return false;
+}
+
+bool same_platform(const std::string& server, const std::string& client) {
+  // The strict reading behind the paper's 307: client and server running on
+  // the very same installed platform (.NET hosts all three languages).
+  return starts_with(server, "WCF") && starts_with(client, ".NET");
+}
+
+/// Per-(service, client) outcome, pre-aggregation.
+struct TestOutcome {
+  bool generation_warning = false;
+  bool generation_error = false;
+  bool compilation_warning = false;
+  bool compilation_error = false;
+  std::vector<Diagnostic> errors;  ///< error diagnostics for sampling
+
+  bool any_error() const { return generation_error || compilation_error; }
+};
+
+TestOutcome run_one_test(const frameworks::DeployedService& service,
+                         const frameworks::ClientFramework& client,
+                         const compilers::Compiler* compiler) {
+  TestOutcome outcome;
+
+  // Step (b): client artifact generation.
+  frameworks::GenerationResult generation = client.generate(service.wsdl_text);
+  outcome.generation_warning = generation.diagnostics.has_warnings();
+  outcome.generation_error = generation.diagnostics.has_errors();
+  for (const Diagnostic& diagnostic : generation.diagnostics.diagnostics()) {
+    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
+      outcome.errors.push_back(diagnostic);
+    }
+  }
+  // Erratic tools may leave partial artifacts behind even after reporting
+  // an error (§III.B.c); when they do, the artifacts proceed to step (c).
+  if (!generation.produced_artifacts()) return outcome;
+
+  // Step (c): compilation — or, for dynamic clients, the instantiation
+  // check, whose outcome the study reports under the generation step
+  // (Table II footnote 3: these clients have no compilation column).
+  if (compiler == nullptr) {
+    const DiagnosticSink instantiation =
+        compilers::check_instantiation(*generation.artifacts);
+    outcome.generation_warning |= instantiation.has_warnings();
+    outcome.generation_error |= instantiation.has_errors();
+    for (const Diagnostic& diagnostic : instantiation.diagnostics()) {
+      if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
+        outcome.errors.push_back(diagnostic);
+      }
+    }
+    return outcome;
+  }
+
+  const DiagnosticSink compile_diagnostics = compiler->compile(*generation.artifacts);
+  outcome.compilation_warning = compile_diagnostics.has_warnings();
+  outcome.compilation_error = compile_diagnostics.has_errors();
+  for (const Diagnostic& diagnostic : compile_diagnostics.diagnostics()) {
+    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
+      outcome.errors.push_back(diagnostic);
+    }
+  }
+  return outcome;
+}
+
+/// Partial aggregation produced by one worker over a slice of services.
+struct Partial {
+  std::vector<CellResult> cells;
+  std::size_t same_framework_failures = 0;
+  std::size_t same_platform_failures = 0;
+  std::size_t flagged_with_downstream_error = 0;
+  std::size_t generation_errors_on_flagged = 0;
+  std::size_t generation_errors_on_compliant = 0;
+};
+
+}  // namespace
+
+std::string to_json_line(const TestRecord& record) {
+  return json::ObjectWriter{}
+      .field("server", record.server)
+      .field("client", record.client)
+      .field("service", record.service)
+      .field("type", record.type_name)
+      .field("description_flagged", record.description_flagged)
+      .field("generation_warning", record.generation_warning)
+      .field("generation_error", record.generation_error)
+      .field("compilation_warning", record.compilation_warning)
+      .field("compilation_error", record.compilation_error)
+      .str();
+}
+
+StepCounts ServerResult::generation_totals() const {
+  StepCounts totals;
+  for (const CellResult& cell : cells) totals += cell.generation;
+  return totals;
+}
+
+StepCounts ServerResult::compilation_totals() const {
+  StepCounts totals;
+  for (const CellResult& cell : cells) totals += cell.compilation;
+  return totals;
+}
+
+std::size_t StudyResult::total_tests() const {
+  std::size_t total = 0;
+  for (const ServerResult& server : servers) {
+    for (const CellResult& cell : server.cells) total += cell.tests;
+  }
+  return total;
+}
+
+std::size_t StudyResult::total_services_created() const {
+  std::size_t total = 0;
+  for (const ServerResult& server : servers) total += server.services_created;
+  return total;
+}
+
+std::size_t StudyResult::total_deployment_refusals() const {
+  std::size_t total = 0;
+  for (const ServerResult& server : servers) total += server.deployment_refusals;
+  return total;
+}
+
+std::size_t StudyResult::total_description_warnings() const {
+  std::size_t total = 0;
+  for (const ServerResult& server : servers) total += server.description_warnings;
+  return total;
+}
+
+StepCounts StudyResult::total_generation() const {
+  StepCounts totals;
+  for (const ServerResult& server : servers) totals += server.generation_totals();
+  return totals;
+}
+
+StepCounts StudyResult::total_compilation() const {
+  StepCounts totals;
+  for (const ServerResult& server : servers) totals += server.compilation_totals();
+  return totals;
+}
+
+std::size_t StudyResult::total_interop_errors() const {
+  return total_generation().errors + total_compilation().errors;
+}
+
+ServerResult run_server_campaign(
+    const frameworks::ServerFramework& server,
+    const std::vector<frameworks::ServiceSpec>& services,
+    const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
+    const StudyConfig& config, StudyResult* cross_totals) {
+  ServerResult result;
+  result.server = server.name();
+  result.application_server = server.application_server();
+  result.services_created = services.size();
+
+  // --- Testing-phase step (a): description generation at deployment. ---
+  std::vector<frameworks::DeployedService> deployed;
+  std::vector<bool> flagged;  // failed WS-I or unusable (zero operations)
+  deployed.reserve(services.size());
+  for (const frameworks::ServiceSpec& spec : services) {
+    Result<frameworks::DeployedService> deployment = server.deploy(spec);
+    if (!deployment.ok()) {
+      ++result.deployment_refusals;
+      continue;
+    }
+    deployed.push_back(std::move(deployment.value()));
+  }
+  result.services_deployed = deployed.size();
+
+  // WS-I Basic Profile check of every published description (§III.B.d).
+  flagged.resize(deployed.size(), false);
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    const wsi::ComplianceReport report = wsi::check(deployed[i].wsdl);
+    const bool zero_ops = deployed[i].wsdl.operation_count() == 0;
+    if (!report.compliant()) ++result.wsi_failures;
+    if (zero_ops) ++result.zero_operation_services;
+    flagged[i] = !report.compliant() || zero_ops;
+    if (flagged[i]) ++result.description_warnings;
+  }
+
+  // Ablation: the deploy-time WS-I gate withdraws flagged descriptions
+  // before any client consumes them.
+  if (config.wsi_deploy_gate) {
+    std::vector<frameworks::DeployedService> kept;
+    for (std::size_t i = 0; i < deployed.size(); ++i) {
+      if (flagged[i]) {
+        ++result.gate_rejections;
+      } else {
+        kept.push_back(std::move(deployed[i]));
+      }
+    }
+    deployed = std::move(kept);
+    flagged.assign(deployed.size(), false);
+    result.services_deployed = deployed.size();
+  }
+
+  // --- Steps (b)+(c)+(d) for every client, parallel over services. ---
+  std::vector<std::unique_ptr<compilers::Compiler>> client_compilers;
+  for (const auto& client : clients) {
+    client_compilers.push_back(compilers::make_compiler(client->language()));
+  }
+
+  const std::size_t worker_count = std::max<std::size_t>(
+      1, config.threads != 0 ? config.threads : std::thread::hardware_concurrency());
+  const std::size_t chunk = (deployed.size() + worker_count - 1) / std::max<std::size_t>(1, worker_count);
+
+  std::mutex observer_mutex;
+  const auto run_slice = [&](std::size_t begin, std::size_t end) {
+    Partial partial;
+    partial.cells.resize(clients.size());
+    for (std::size_t service_index = begin; service_index < end; ++service_index) {
+      const frameworks::DeployedService& service = deployed[service_index];
+      bool service_errored = false;
+      for (std::size_t client_index = 0; client_index < clients.size(); ++client_index) {
+        const frameworks::ClientFramework& client = *clients[client_index];
+        CellResult& cell = partial.cells[client_index];
+        const TestOutcome outcome =
+            run_one_test(service, client, client_compilers[client_index].get());
+        ++cell.tests;
+        if (outcome.generation_warning) ++cell.generation.warnings;
+        if (outcome.generation_error) ++cell.generation.errors;
+        if (outcome.compilation_warning) ++cell.compilation.warnings;
+        if (outcome.compilation_error) ++cell.compilation.errors;
+        if (cell.samples.size() < config.samples_per_cell && !outcome.errors.empty()) {
+          cell.samples.push_back(outcome.errors.front());
+        }
+        {
+          // Count each distinct error code once per test.
+          std::vector<std::string_view> seen;
+          for (const Diagnostic& diagnostic : outcome.errors) {
+            if (std::find(seen.begin(), seen.end(), diagnostic.code) != seen.end()) continue;
+            seen.push_back(diagnostic.code);
+            ++cell.error_codes[diagnostic.code];
+          }
+        }
+        if (config.observer) {
+          TestRecord record;
+          record.server = result.server;
+          record.client = client.name();
+          record.service = service.spec.service_name();
+          record.type_name =
+              service.spec.type != nullptr ? service.spec.type->qualified_name() : "";
+          record.description_flagged = flagged[service_index];
+          record.generation_warning = outcome.generation_warning;
+          record.generation_error = outcome.generation_error;
+          record.compilation_warning = outcome.compilation_warning;
+          record.compilation_error = outcome.compilation_error;
+          const std::lock_guard<std::mutex> lock(observer_mutex);
+          config.observer(record);
+        }
+        if (outcome.any_error()) {
+          service_errored = true;
+          if (same_framework(result.server, client.name())) {
+            ++partial.same_framework_failures;
+          }
+          if (same_platform(result.server, client.name())) {
+            ++partial.same_platform_failures;
+          }
+        }
+        if (outcome.generation_error) {
+          if (flagged[service_index]) {
+            ++partial.generation_errors_on_flagged;
+          } else {
+            ++partial.generation_errors_on_compliant;
+          }
+        }
+      }
+      if (flagged[service_index] && service_errored) ++partial.flagged_with_downstream_error;
+    }
+    return partial;
+  };
+
+  std::vector<std::future<Partial>> futures;
+  for (std::size_t begin = 0; begin < deployed.size(); begin += chunk) {
+    const std::size_t end = std::min(deployed.size(), begin + chunk);
+    futures.push_back(std::async(std::launch::async, run_slice, begin, end));
+  }
+
+  // Deterministic merge, in slice order.
+  result.cells.resize(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    result.cells[i].client = clients[i]->name();
+    result.cells[i].client_language = clients[i]->language();
+    result.cells[i].compiled = clients[i]->requires_compilation();
+  }
+  for (std::future<Partial>& future : futures) {
+    const Partial partial = future.get();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      CellResult& cell = result.cells[i];
+      const CellResult& part = partial.cells[i];
+      cell.tests += part.tests;
+      cell.generation += part.generation;
+      cell.compilation += part.compilation;
+      for (const Diagnostic& sample : part.samples) {
+        if (cell.samples.size() < config.samples_per_cell) cell.samples.push_back(sample);
+      }
+      for (const auto& [error_code, count] : part.error_codes) {
+        cell.error_codes[error_code] += count;
+      }
+    }
+    if (cross_totals != nullptr) {
+      cross_totals->same_framework_failures += partial.same_framework_failures;
+      cross_totals->same_platform_failures += partial.same_platform_failures;
+      cross_totals->flagged_services_with_downstream_error +=
+          partial.flagged_with_downstream_error;
+      cross_totals->generation_errors_on_flagged += partial.generation_errors_on_flagged;
+      cross_totals->generation_errors_on_compliant += partial.generation_errors_on_compliant;
+    }
+  }
+  if (cross_totals != nullptr) cross_totals->flagged_services += result.description_warnings;
+  return result;
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  StudyResult result;
+
+  // Preparation phase: catalogs and services (§III.A).
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
+  const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(config.dotnet_spec);
+  const std::vector<frameworks::ServiceSpec> java_services =
+      frameworks::make_services(java_catalog, config.shape);
+  const std::vector<frameworks::ServiceSpec> dotnet_services =
+      frameworks::make_services(dotnet_catalog, config.shape);
+
+  const auto servers = frameworks::make_servers();
+  const auto clients = frameworks::make_clients();
+
+  for (const auto& server : servers) {
+    const bool is_dotnet = server->language() == "C#";
+    const std::vector<frameworks::ServiceSpec>& services =
+        is_dotnet ? dotnet_services : java_services;
+    result.servers.push_back(
+        run_server_campaign(*server, services, clients, config, &result));
+  }
+  return result;
+}
+
+}  // namespace wsx::interop

@@ -1,0 +1,155 @@
+// study.hpp — the interoperability assessment approach (paper §III).
+//
+// Preparation Phase: select server and client frameworks, create one echo
+// service per native type. Testing Phase, per service: (a) generate the
+// description at deployment, (b) generate client artifacts with every
+// client tool, (c) compile them (or check instantiation), (d) classify
+// each step's outcome. Description documents are additionally checked for
+// WS-I Basic Profile compliance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "common/diagnostics.hpp"
+#include "frameworks/client.hpp"
+#include "frameworks/server.hpp"
+
+namespace wsx::interop {
+
+/// Aggregated outcome of one testing-phase step for one server×client cell:
+/// number of tests with at least one warning / at least one error.
+struct StepCounts {
+  std::size_t warnings = 0;
+  std::size_t errors = 0;
+
+  StepCounts& operator+=(const StepCounts& other) {
+    warnings += other.warnings;
+    errors += other.errors;
+    return *this;
+  }
+  friend bool operator==(const StepCounts&, const StepCounts&) = default;
+};
+
+/// One cell of Table III: one client tool against one server's services.
+struct CellResult {
+  std::string client;
+  code::Language client_language = code::Language::kJava;
+  bool compiled = true;  ///< Table II "Compilation" column
+  std::size_t tests = 0;
+  StepCounts generation;
+  StepCounts compilation;
+  /// Sample diagnostics (first few distinct error codes) for reporting.
+  std::vector<Diagnostic> samples;
+  /// Error diagnostic code → number of tests that produced it (a test can
+  /// contribute several codes). Feeds the failure catalog.
+  std::map<std::string, std::size_t> error_codes;
+};
+
+/// Everything measured against one server framework.
+struct ServerResult {
+  std::string server;
+  std::string application_server;
+  std::size_t services_created = 0;
+  std::size_t services_deployed = 0;
+  std::size_t deployment_refusals = 0;
+
+  /// Description-step classification: the step never errors (refused
+  /// deployments are excluded up front, §III.B.a); warnings are services
+  /// whose published WSDL fails WS-I or is unusable (zero operations).
+  std::size_t description_warnings = 0;
+  std::size_t description_errors = 0;
+  std::size_t wsi_failures = 0;
+  std::size_t zero_operation_services = 0;
+  std::size_t gate_rejections = 0;  ///< only with StudyConfig::wsi_deploy_gate
+
+  std::vector<CellResult> cells;  ///< one per client, Table II order
+
+  StepCounts generation_totals() const;
+  StepCounts compilation_totals() const;
+};
+
+/// Full study outcome.
+struct StudyResult {
+  std::vector<ServerResult> servers;
+
+  std::size_t total_tests() const;
+  std::size_t total_services_created() const;
+  std::size_t total_deployment_refusals() const;
+  std::size_t total_description_warnings() const;
+  StepCounts total_generation() const;
+  StepCounts total_compilation() const;
+  /// Generation + compilation errors — the paper's "situations that led to
+  /// interoperability errors".
+  std::size_t total_interop_errors() const;
+
+  /// Failures where client and server subsystems belong to the same
+  /// framework. `same_platform_failures` restricts to same framework AND
+  /// platform (the .NET-on-.NET count, which is the paper's 307).
+  std::size_t same_framework_failures = 0;
+  std::size_t same_platform_failures = 0;
+
+  /// WS-I gate ablation: of the description-step-flagged services, how
+  /// many produced at least one downstream error (the paper's 95.3%).
+  std::size_t flagged_services = 0;
+  std::size_t flagged_services_with_downstream_error = 0;
+
+  /// Of all generation-step errors, how many occurred against services
+  /// that failed the WS-I check (the paper's ~97%).
+  std::size_t generation_errors_on_flagged = 0;
+  std::size_t generation_errors_on_compliant = 0;
+};
+
+/// One executed test, as reported to StudyConfig::observer. Suitable for
+/// JSON-lines logging (see to_json_line).
+struct TestRecord {
+  std::string server;
+  std::string client;
+  std::string service;     ///< e.g. "EchoSimpleDateFormat"
+  std::string type_name;   ///< the native type behind the service
+  bool description_flagged = false;
+  bool generation_warning = false;
+  bool generation_error = false;
+  bool compilation_warning = false;
+  bool compilation_error = false;
+};
+
+/// Renders a TestRecord as one JSON object (no trailing newline).
+std::string to_json_line(const TestRecord& record);
+
+struct StudyConfig {
+  catalog::JavaCatalogSpec java_spec;      ///< defaults: the paper's population
+  catalog::DotNetCatalogSpec dotnet_spec;  ///< defaults: the paper's population
+  std::size_t threads = 0;                 ///< 0 = hardware concurrency
+  std::size_t samples_per_cell = 3;        ///< diagnostics kept for reporting
+
+  /// Service complexity. kSimpleEcho is the paper's batch; kCrud runs its
+  /// future-work extension (multi-operation services with array returns).
+  frameworks::ServiceShape shape = frameworks::ServiceShape::kSimpleEcho;
+
+  /// Ablation: the deploy-time WS-I gate the paper advocates (§IV.A).
+  /// Flagged descriptions (WS-I failure or zero operations) are withdrawn
+  /// before any client sees them; `ServerResult::gate_rejections` counts
+  /// them. Off by default — the paper's measured reality.
+  bool wsi_deploy_gate = false;
+
+  /// Optional per-test observer (e.g. a JSON-lines logger). Called from
+  /// worker threads under an internal mutex; keep it cheap.
+  std::function<void(const TestRecord&)> observer;
+};
+
+/// Runs one server's campaign: deploy every service, run every client.
+ServerResult run_server_campaign(const frameworks::ServerFramework& server,
+                                 const std::vector<frameworks::ServiceSpec>& services,
+                                 const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
+                                 const StudyConfig& config, StudyResult* cross_totals = nullptr);
+
+/// Runs the full study: both catalogs, all three servers, all 11 clients.
+StudyResult run_study(const StudyConfig& config = {});
+
+}  // namespace wsx::interop

@@ -1,0 +1,153 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "wsi/profile.hpp"
+
+namespace wsx::registry {
+
+const char* to_string(Audit audit) {
+  switch (audit) {
+    case Audit::kNotAudited:
+      return "not-audited";
+    case Audit::kGreen:
+      return "green";
+    case Audit::kYellow:
+      return "yellow";
+    case Audit::kRed:
+      return "red";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Ordering for find_consumable: smaller is better.
+int rank(Audit audit) {
+  switch (audit) {
+    case Audit::kGreen:
+      return 0;
+    case Audit::kYellow:
+      return 1;
+    case Audit::kRed:
+      return 2;
+    case Audit::kNotAudited:
+      return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+struct ServiceRegistry::Impl {
+  RegistryOptions options;
+  std::vector<Entry> entries;
+  std::vector<std::unique_ptr<frameworks::ClientFramework>> auditors;
+  std::vector<std::unique_ptr<compilers::Compiler>> compilers;
+
+  explicit Impl(RegistryOptions opts) : options(opts) {
+    if (options.audition_with_clients) {
+      auditors = frameworks::make_clients();
+      for (const auto& client : auditors) {
+        compilers.push_back(compilers::make_compiler(client->language()));
+      }
+    }
+  }
+
+  /// The audition: WS-I + the full client roster against the description.
+  void audit(Entry& entry) {
+    const wsi::ComplianceReport compliance = wsi::check(entry.service.wsdl);
+    const bool zero_ops = entry.service.wsdl.operation_count() == 0;
+    bool any_warning = !compliance.warnings().empty();
+    bool red = !compliance.compliant() || zero_ops;
+    if (!compliance.compliant()) {
+      entry.audit_notes.push_back("WS-I: " + compliance.summary());
+    }
+    if (zero_ops) entry.audit_notes.push_back("description exposes no operations");
+
+    if (options.audition_with_clients) {
+      for (std::size_t i = 0; i < auditors.size(); ++i) {
+        const frameworks::GenerationResult generation =
+            auditors[i]->generate(entry.service.wsdl_text);
+        bool failed = generation.diagnostics.has_errors() || !generation.produced_artifacts();
+        if (!failed && compilers[i] != nullptr) {
+          failed = compilers[i]->compile(*generation.artifacts).has_errors();
+        }
+        if (failed) {
+          ++entry.failing_clients;
+          entry.audit_notes.push_back(auditors[i]->name() + " cannot consume this service");
+        } else if (generation.diagnostics.has_warnings()) {
+          any_warning = true;
+        }
+      }
+      red = red || entry.failing_clients > 0;
+    }
+    entry.audit = red ? Audit::kRed : (any_warning ? Audit::kYellow : Audit::kGreen);
+  }
+};
+
+ServiceRegistry::ServiceRegistry(RegistryOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+ServiceRegistry::~ServiceRegistry() = default;
+ServiceRegistry::ServiceRegistry(ServiceRegistry&&) noexcept = default;
+ServiceRegistry& ServiceRegistry::operator=(ServiceRegistry&&) noexcept = default;
+
+Result<Audit> ServiceRegistry::publish(const frameworks::ServerFramework& provider,
+                                       frameworks::DeployedService service) {
+  Entry entry;
+  entry.key = service.spec.service_name();
+  entry.provider = provider.name();
+  entry.type_name =
+      service.spec.type != nullptr ? service.spec.type->qualified_name() : std::string{};
+  if (!service.wsdl.services.empty() && !service.wsdl.services.front().ports.empty()) {
+    entry.endpoint = service.wsdl.services.front().ports.front().location;
+  }
+  entry.service = std::move(service);
+
+  if (find(entry.key) != nullptr) {
+    return Error{"registry.duplicate-key",
+                 "a service named '" + entry.key + "' is already registered"};
+  }
+  impl_->audit(entry);
+  if (impl_->options.reject_red && entry.audit == Audit::kRed) {
+    std::string why;
+    for (const std::string& note : entry.audit_notes) {
+      if (!why.empty()) why += "; ";
+      why += note;
+    }
+    return Error{"registry.audition-failed",
+                 "registration refused by the admission audit: " + why};
+  }
+  const Audit verdict = entry.audit;
+  impl_->entries.push_back(std::move(entry));
+  return verdict;
+}
+
+const Entry* ServiceRegistry::find(std::string_view key) const {
+  for (const Entry& entry : impl_->entries) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<const Entry*> ServiceRegistry::find_consumable(Audit worst_acceptable) const {
+  std::vector<const Entry*> out;
+  for (const Entry& entry : impl_->entries) {
+    if (rank(entry.audit) <= rank(worst_acceptable)) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<const Entry*> ServiceRegistry::find_by_type(std::string_view needle) const {
+  std::vector<const Entry*> out;
+  for (const Entry& entry : impl_->entries) {
+    if (entry.type_name.find(needle) != std::string::npos) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::size_t ServiceRegistry::size() const { return impl_->entries.size(); }
+
+}  // namespace wsx::registry

@@ -1,0 +1,81 @@
+// registry.hpp — a UDDI-style service registry with admission auditing.
+//
+// The paper's related work (§II, the "audition framework" [Bertolino &
+// Polini]) proposes testing a service's interoperability *when it
+// registers*, before consumers find it. This module implements that idea
+// over our stacks: services publish into the registry, an auditor runs the
+// WS-I check and (optionally) the client-tool roster against the
+// description at admission time, and lookups can filter by audit verdict —
+// so a consumer can ask for "services every client stack can actually
+// consume".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frameworks/client.hpp"
+#include "frameworks/server.hpp"
+
+namespace wsx::registry {
+
+/// Admission audit verdicts.
+enum class Audit {
+  kNotAudited,
+  kGreen,   ///< WS-I compliant and every client tool generates + compiles
+  kYellow,  ///< usable but flagged: warnings, or some tools degrade
+  kRed,     ///< WS-I failure or at least one client tool cannot consume it
+};
+
+const char* to_string(Audit audit);
+
+/// One registered service.
+struct Entry {
+  std::string key;          ///< registry key (service name)
+  std::string provider;     ///< publishing framework ("Metro 2.3")
+  std::string endpoint;     ///< soap:address location
+  std::string type_name;    ///< the parameter type behind the echo service
+  frameworks::DeployedService service;
+  Audit audit = Audit::kNotAudited;
+  std::size_t failing_clients = 0;  ///< client tools that cannot consume it
+  std::vector<std::string> audit_notes;
+};
+
+struct RegistryOptions {
+  /// Run the client roster at admission (the audition); without it only
+  /// the WS-I check runs.
+  bool audition_with_clients = true;
+  /// Refuse to register kRed services ("certification gate").
+  bool reject_red = false;
+};
+
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(RegistryOptions options = {});
+  ~ServiceRegistry();
+  ServiceRegistry(ServiceRegistry&&) noexcept;
+  ServiceRegistry& operator=(ServiceRegistry&&) noexcept;
+
+  /// Publishes a deployed service under its service name. Returns the
+  /// audit verdict, or an error when the gate rejects the registration.
+  /// Error codes use the "registry." prefix.
+  Result<Audit> publish(const frameworks::ServerFramework& provider,
+                        frameworks::DeployedService service);
+
+  /// Lookup by exact key.
+  const Entry* find(std::string_view key) const;
+  /// All entries whose audit is at least as good as `worst_acceptable`
+  /// (kGreen ⊂ kYellow ⊂ kRed ⊂ kNotAudited).
+  std::vector<const Entry*> find_consumable(Audit worst_acceptable) const;
+  /// Substring search over type names (the "yellow pages" lookup).
+  std::vector<const Entry*> find_by_type(std::string_view needle) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wsx::registry

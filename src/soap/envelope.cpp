@@ -1,0 +1,134 @@
+#include "soap/envelope.hpp"
+
+#include "xml/parser.hpp"
+#include "xml/query.hpp"
+#include "xml/writer.hpp"
+
+namespace wsx::soap {
+
+const char* to_string(SoapVersion version) {
+  return version == SoapVersion::k11 ? "SOAP 1.1" : "SOAP 1.2";
+}
+
+std::string_view envelope_namespace(SoapVersion version) {
+  return version == SoapVersion::k11 ? xml::ns::kSoapEnvelope : xml::ns::kSoap12Envelope;
+}
+
+Envelope Envelope::make_fault(Fault fault, SoapVersion version) {
+  Envelope envelope;
+  envelope.version_ = version;
+  xml::Element body{"soapenv:Fault"};
+  if (version == SoapVersion::k11) {
+    body.add_element("faultcode").add_text(fault.fault_code);
+    body.add_element("faultstring").add_text(fault.fault_string);
+    if (!fault.detail.empty()) body.add_element("detail").add_text(fault.detail);
+  } else {
+    // SOAP 1.2 fault structure: Code/Value, Reason/Text, Detail.
+    body.add_element("soapenv:Code").add_element("soapenv:Value").add_text(fault.fault_code);
+    body.add_element("soapenv:Reason")
+        .add_element("soapenv:Text")
+        .add_text(fault.fault_string);
+    if (!fault.detail.empty()) {
+      body.add_element("soapenv:Detail").add_text(fault.detail);
+    }
+  }
+  envelope.body_ = std::move(body);
+  envelope.fault_ = std::move(fault);
+  return envelope;
+}
+
+void Envelope::add_must_understand_header(xml::Element entry) {
+  entry.set_attribute("soapenv:mustUnderstand", "1");
+  headers_.push_back(std::move(entry));
+}
+
+bool Envelope::has_must_understand_headers() const {
+  for (const xml::Element& entry : headers_) {
+    for (const xml::Attribute& attribute : entry.attributes()) {
+      // The attribute is namespace-qualified; match on the local name as
+      // real stacks do after resolution.
+      const std::size_t colon = attribute.name.find(':');
+      const std::string_view local = colon == std::string::npos
+                                         ? std::string_view(attribute.name)
+                                         : std::string_view(attribute.name).substr(colon + 1);
+      if (local == "mustUnderstand" && (attribute.value == "1" || attribute.value == "true")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string write(const Envelope& envelope) {
+  xml::Element root{"soapenv:Envelope"};
+  root.declare_namespace("soapenv", envelope_namespace(envelope.version()));
+  if (!envelope.header_entries().empty()) {
+    xml::Element& header = root.add_element("soapenv:Header");
+    for (const xml::Element& entry : envelope.header_entries()) header.add_child(entry);
+  }
+  xml::Element& body = root.add_element("soapenv:Body");
+  body.add_child(envelope.body());
+  return xml::write(root);
+}
+
+Result<Envelope> parse(std::string_view text) {
+  Result<xml::Element> root = xml::parse_element(text);
+  if (!root.ok()) return root.error();
+
+  xml::NamespaceScope scope;
+  scope.push(root.value());
+  std::optional<xml::QName> root_name = scope.resolve(root.value().name());
+  if (!root_name || root_name->local_name() != "Envelope") {
+    return Error{"soap.not-an-envelope", "root element is not a SOAP Envelope"};
+  }
+  SoapVersion version;
+  if (root_name->namespace_uri() == xml::ns::kSoapEnvelope) {
+    version = SoapVersion::k11;
+  } else if (root_name->namespace_uri() == xml::ns::kSoap12Envelope) {
+    version = SoapVersion::k12;
+  } else {
+    return Error{"soap.version-mismatch",
+                 "unknown envelope namespace '" + root_name->namespace_uri() + "'"};
+  }
+
+  Envelope envelope;
+  envelope.set_version(version);
+  if (const xml::Element* header = root.value().child("Header")) {
+    for (const xml::Element* entry : header->child_elements()) {
+      envelope.add_header(*entry);
+    }
+  }
+  const xml::Element* body = root.value().child("Body");
+  if (body == nullptr) return Error{"soap.missing-body", "envelope has no soap:Body"};
+  std::vector<const xml::Element*> payloads = body->child_elements();
+  if (payloads.empty()) return Error{"soap.empty-body", "soap:Body has no payload element"};
+
+  const xml::Element& payload = *payloads.front();
+  if (payload.local_name() == "Fault") {
+    Fault fault;
+    if (version == SoapVersion::k11) {
+      if (const xml::Element* code = payload.child("faultcode")) fault.fault_code = code->text();
+      if (const xml::Element* reason = payload.child("faultstring")) {
+        fault.fault_string = reason->text();
+      }
+      if (const xml::Element* detail = payload.child("detail")) fault.detail = detail->text();
+    } else {
+      if (const xml::Element* code = payload.child("Code")) {
+        if (const xml::Element* value = code->child("Value")) fault.fault_code = value->text();
+      }
+      if (const xml::Element* reason = payload.child("Reason")) {
+        if (const xml::Element* text_node = reason->child("Text")) {
+          fault.fault_string = text_node->text();
+        }
+      }
+      if (const xml::Element* detail = payload.child("Detail")) fault.detail = detail->text();
+    }
+    Envelope result = Envelope::make_fault(std::move(fault), version);
+    for (const xml::Element& entry : envelope.header_entries()) result.add_header(entry);
+    return result;
+  }
+  envelope.body() = payload;
+  return envelope;
+}
+
+}  // namespace wsx::soap

@@ -1,0 +1,79 @@
+// envelope.hpp — SOAP 1.1 envelope model.
+//
+// The paper scopes its study to the description/generation/compilation
+// steps; Communication (4) and Execution (5) are listed as future work.
+// This module implements that future work for our simulated stacks: it
+// carries application payloads between generated client artifacts and the
+// server framework models.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "xml/node.hpp"
+
+namespace wsx::soap {
+
+/// Envelope namespace versions. The 2014 study runs entirely on SOAP 1.1;
+/// 1.2 support exists for the version-negotiation extension experiments.
+enum class SoapVersion { k11, k12 };
+
+const char* to_string(SoapVersion version);
+
+/// Namespace URI of a version's envelope.
+std::string_view envelope_namespace(SoapVersion version);
+
+/// soap:Fault — the standard failure payload.
+struct Fault {
+  std::string fault_code;    ///< e.g. "soap:Client", "soap:Server"
+  std::string fault_string;  ///< human-readable reason
+  std::string detail;        ///< optional application detail
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// A SOAP 1.1 envelope: optional header entries plus exactly one body
+/// payload (an application element or a fault).
+class Envelope {
+ public:
+  Envelope() = default;
+  explicit Envelope(xml::Element body_payload, SoapVersion version = SoapVersion::k11)
+      : body_(std::move(body_payload)), version_(version) {}
+
+  static Envelope make_fault(Fault fault, SoapVersion version = SoapVersion::k11);
+
+  SoapVersion version() const { return version_; }
+  void set_version(SoapVersion version) { version_ = version; }
+
+  const std::vector<xml::Element>& header_entries() const { return headers_; }
+  void add_header(xml::Element entry) { headers_.push_back(std::move(entry)); }
+  /// Adds a header carrying soapenv:mustUnderstand="1" — receivers that do
+  /// not understand it MUST fault.
+  void add_must_understand_header(xml::Element entry);
+
+  /// True if any header entry demands mustUnderstand processing.
+  bool has_must_understand_headers() const;
+
+  const xml::Element& body() const { return body_; }
+  xml::Element& body() { return body_; }
+
+  bool is_fault() const { return fault_.has_value(); }
+  /// Precondition: is_fault().
+  const Fault& fault() const { return *fault_; }
+
+ private:
+  std::vector<xml::Element> headers_;
+  xml::Element body_;
+  std::optional<Fault> fault_;
+  SoapVersion version_ = SoapVersion::k11;
+};
+
+/// Serializes the envelope with the conventional "soapenv" prefix.
+std::string write(const Envelope& envelope);
+
+/// Parses an envelope; recognizes soap:Fault bodies. Error codes use the
+/// "soap." prefix.
+Result<Envelope> parse(std::string_view text);
+
+}  // namespace wsx::soap

@@ -1,0 +1,63 @@
+#include "soap/http.hpp"
+
+#include "common/strings.hpp"
+
+namespace wsx::soap {
+namespace {
+
+std::optional<std::string> find_header(const std::vector<HttpHeader>& headers,
+                                       std::string_view name) {
+  for (const HttpHeader& header : headers) {
+    if (iequals(header.name, name)) return header.value;
+  }
+  return std::nullopt;
+}
+
+void upsert_header(std::vector<HttpHeader>& headers, std::string name, std::string value) {
+  for (HttpHeader& header : headers) {
+    if (iequals(header.name, name)) {
+      header.value = std::move(value);
+      return;
+    }
+  }
+  headers.push_back({std::move(name), std::move(value)});
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+void HttpRequest::set_header(std::string name, std::string value) {
+  upsert_header(headers, std::move(name), std::move(value));
+}
+
+std::optional<std::string> HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+void HttpResponse::set_header(std::string name, std::string value) {
+  upsert_header(headers, std::move(name), std::move(value));
+}
+
+HttpRequest make_soap_request(std::string url, std::string soap_action,
+                              std::string envelope_text) {
+  HttpRequest request;
+  request.url = std::move(url);
+  request.body = std::move(envelope_text);
+  request.set_header("Content-Type", "text/xml; charset=utf-8");
+  // SOAP 1.1 requires the SOAPAction header; its value is quoted.
+  request.set_header("SOAPAction", "\"" + soap_action + "\"");
+  return request;
+}
+
+HttpResponse make_soap_response(std::string envelope_text, bool is_fault) {
+  HttpResponse response;
+  response.status = is_fault ? 500 : 200;
+  response.body = std::move(envelope_text);
+  response.set_header("Content-Type", "text/xml; charset=utf-8");
+  return response;
+}
+
+}  // namespace wsx::soap

@@ -1,0 +1,50 @@
+// http.hpp — a minimal in-process model of the HTTP exchange SOAP rides on.
+//
+// The communication-step extension moves envelopes between client and
+// server models through this wire: requests carry Content-Type and
+// SOAPAction headers exactly like SOAP-over-HTTP POST, and servers apply
+// the same header checks real stacks do.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wsx::soap {
+
+struct HttpHeader {
+  std::string name;   ///< case-insensitive on lookup
+  std::string value;
+  friend bool operator==(const HttpHeader&, const HttpHeader&) = default;
+};
+
+struct HttpRequest {
+  std::string method{"POST"};
+  std::string url;
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string name, std::string value);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string name, std::string value);
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Builds the canonical SOAP 1.1 POST for `envelope_text`.
+HttpRequest make_soap_request(std::string url, std::string soap_action,
+                              std::string envelope_text);
+
+/// Wraps an envelope into the matching HTTP response (500 for faults, as
+/// SOAP 1.1 over HTTP requires).
+HttpResponse make_soap_response(std::string envelope_text, bool is_fault);
+
+}  // namespace wsx::soap

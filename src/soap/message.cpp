@@ -1,0 +1,108 @@
+#include "soap/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace wsx::soap {
+namespace {
+
+/// Finds the portType operation by name across all portTypes.
+const wsdl::Operation* find_operation(const wsdl::Definitions& defs, const std::string& name) {
+  for (const wsdl::PortType& port_type : defs.port_types) {
+    for (const wsdl::Operation& operation : port_type.operations) {
+      if (operation.name == name) return &operation;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<Envelope> build_request(const wsdl::Definitions& defs, const std::string& operation,
+                               const std::vector<Argument>& arguments) {
+  const wsdl::Operation* op = find_operation(defs, operation);
+  if (op == nullptr) {
+    return Error{"soap.unknown-operation",
+                 "operation '" + operation + "' is not described by the WSDL"};
+  }
+  xml::Element payload{"m:" + op->name};
+  payload.declare_namespace("m", defs.target_namespace);
+  for (const Argument& argument : arguments) {
+    payload.add_element("m:" + argument.name).add_text(argument.value);
+  }
+  return Envelope{std::move(payload)};
+}
+
+Result<Envelope> build_structured_request(const wsdl::Definitions& defs,
+                                          const std::string& operation,
+                                          const std::vector<Argument>& fields) {
+  const wsdl::Operation* op = find_operation(defs, operation);
+  if (op == nullptr) {
+    return Error{"soap.unknown-operation",
+                 "operation '" + operation + "' is not described by the WSDL"};
+  }
+  xml::Element payload{"m:" + op->name};
+  payload.declare_namespace("m", defs.target_namespace);
+  xml::Element& argument = payload.add_element("m:arg0");
+  for (const Argument& field : fields) {
+    argument.add_element("m:" + field.name).add_text(field.value);
+  }
+  return Envelope{std::move(payload)};
+}
+
+std::vector<Argument> structured_fields(const Envelope& envelope) {
+  std::vector<Argument> fields;
+  const xml::Element* argument = envelope.body().child("arg0");
+  if (argument == nullptr) return fields;
+  for (const xml::Element* field : argument->child_elements()) {
+    fields.push_back({field->local_name(), field->text()});
+  }
+  return fields;
+}
+
+Result<Envelope> build_response(const wsdl::Definitions& defs, const std::string& operation,
+                                const std::string& return_value) {
+  const wsdl::Operation* op = find_operation(defs, operation);
+  if (op == nullptr) {
+    return Error{"soap.unknown-operation",
+                 "operation '" + operation + "' is not described by the WSDL"};
+  }
+  if (op->output_message.empty()) {
+    return Error{"soap.one-way", "operation '" + operation + "' declares no output"};
+  }
+  xml::Element payload{"m:" + op->name + "Response"};
+  payload.declare_namespace("m", defs.target_namespace);
+  payload.add_element("m:return").add_text(return_value);
+  return Envelope{std::move(payload)};
+}
+
+Result<std::string> request_operation(const Envelope& envelope) {
+  if (envelope.is_fault()) {
+    return Error{"soap.fault-body", "request envelope carries a fault"};
+  }
+  return envelope.body().local_name();
+}
+
+std::vector<Argument> request_arguments(const Envelope& envelope) {
+  std::vector<Argument> arguments;
+  for (const xml::Element* child : envelope.body().child_elements()) {
+    arguments.push_back({child->local_name(), child->text()});
+  }
+  return arguments;
+}
+
+Result<std::string> response_value(const Envelope& envelope) {
+  if (envelope.is_fault()) {
+    return Error{"soap.fault",
+                 envelope.fault().fault_code + ": " + envelope.fault().fault_string};
+  }
+  if (!ends_with(envelope.body().local_name(), "Response")) {
+    return Error{"soap.not-a-response", "body payload is not an operation response"};
+  }
+  const xml::Element* return_element = envelope.body().child("return");
+  if (return_element == nullptr) {
+    return Error{"soap.missing-return", "response has no return element"};
+  }
+  return return_element->text();
+}
+
+}  // namespace wsx::soap

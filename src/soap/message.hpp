@@ -1,0 +1,54 @@
+// message.hpp — building SOAP request/response payloads from a WSDL
+// operation description (document/literal wrapped convention).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "soap/envelope.hpp"
+#include "wsdl/model.hpp"
+
+namespace wsx::soap {
+
+/// One named argument of an invocation; values travel as text (the study's
+/// echo services move opaque serialized payloads).
+struct Argument {
+  std::string name;
+  std::string value;
+  friend bool operator==(const Argument&, const Argument&) = default;
+};
+
+/// Builds a document/literal request envelope for `operation` of `defs`:
+/// the body payload is the operation's wrapper element in the WSDL target
+/// namespace with one child element per argument.
+Result<Envelope> build_request(const wsdl::Definitions& defs, const std::string& operation,
+                               const std::vector<Argument>& arguments);
+
+/// Builds a *structured* request: the wrapper's arg0 element carries one
+/// child element per field of the parameter type (how typed proxies
+/// marshal bean arguments). The receiving binder validates each field
+/// against the schema (see ServerFramework::handle_request).
+Result<Envelope> build_structured_request(const wsdl::Definitions& defs,
+                                          const std::string& operation,
+                                          const std::vector<Argument>& fields);
+
+/// Extracts the field elements of a structured request's arg0 payload.
+std::vector<Argument> structured_fields(const Envelope& envelope);
+
+/// Builds the matching response envelope carrying `return_value` in the
+/// conventional "<op>Response/return" shape.
+Result<Envelope> build_response(const wsdl::Definitions& defs, const std::string& operation,
+                                const std::string& return_value);
+
+/// Extracts the operation name implied by a request envelope (the local
+/// name of the body payload). Returns an error for fault bodies.
+Result<std::string> request_operation(const Envelope& envelope);
+
+/// Extracts the arguments of a request envelope payload.
+std::vector<Argument> request_arguments(const Envelope& envelope);
+
+/// Extracts the return value from a response envelope; errors on faults.
+Result<std::string> response_value(const Envelope& envelope);
+
+}  // namespace wsx::soap

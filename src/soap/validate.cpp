@@ -1,0 +1,99 @@
+#include "soap/validate.hpp"
+
+#include <algorithm>
+
+namespace wsx::soap {
+namespace {
+
+/// Finds a top-level schema element declaration by local name across the
+/// description's schemas.
+const xsd::ElementDecl* find_wrapper(const wsdl::Definitions& defs, std::string_view name) {
+  for (const xsd::Schema& schema : defs.schemas) {
+    if (const xsd::ElementDecl* element = schema.find_element(std::string(name))) {
+      return element;
+    }
+  }
+  return nullptr;
+}
+
+/// Validates the children of `payload` against the wrapper's content model.
+void validate_children(const xsd::ElementDecl& wrapper, const xml::Element& payload,
+                       std::vector<ValidationIssue>& issues) {
+  if (!wrapper.inline_type.has_value()) return;
+  const std::vector<const xsd::ElementDecl*> declared = wrapper.inline_type->elements();
+
+  // Unexpected arguments.
+  for (const xml::Element* child : payload.child_elements()) {
+    const bool known = std::any_of(
+        declared.begin(), declared.end(),
+        [&](const xsd::ElementDecl* decl) { return decl->name == child->local_name(); });
+    if (!known) {
+      issues.push_back({"msg.unexpected-argument",
+                        "element '" + child->local_name() +
+                            "' is not declared by wrapper '" + wrapper.name + "'"});
+    }
+  }
+  // Missing required arguments.
+  for (const xsd::ElementDecl* decl : declared) {
+    if (decl->min_occurs == 0) continue;
+    const auto children = payload.child_elements();
+    const bool present = std::any_of(
+        children.begin(), children.end(),
+        [&](const xml::Element* child) { return child->local_name() == decl->name; });
+    if (!present) {
+      issues.push_back({"msg.missing-argument",
+                        "required element '" + decl->name + "' of wrapper '" + wrapper.name +
+                            "' is absent"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate_request(const wsdl::Definitions& defs,
+                                              const Envelope& envelope) {
+  std::vector<ValidationIssue> issues;
+  if (envelope.is_fault()) {
+    issues.push_back({"msg.fault-request", "a request must not carry a fault body"});
+    return issues;
+  }
+  const std::string operation = envelope.body().local_name();
+  bool described = false;
+  for (const wsdl::PortType& port_type : defs.port_types) {
+    for (const wsdl::Operation& candidate : port_type.operations) {
+      if (candidate.name == operation) described = true;
+    }
+  }
+  if (!described) {
+    issues.push_back({"msg.unknown-operation",
+                      "payload '" + operation + "' matches no described operation"});
+    return issues;
+  }
+  if (const xsd::ElementDecl* wrapper = find_wrapper(defs, operation)) {
+    validate_children(*wrapper, envelope.body(), issues);
+  } else {
+    issues.push_back({"msg.undeclared-wrapper",
+                      "no schema element declared for wrapper '" + operation + "'"});
+  }
+  return issues;
+}
+
+std::vector<ValidationIssue> validate_response(const wsdl::Definitions& defs,
+                                               const std::string& operation,
+                                               const Envelope& envelope) {
+  std::vector<ValidationIssue> issues;
+  if (envelope.is_fault()) return issues;  // faults are always permitted
+  const std::string expected = operation + "Response";
+  if (envelope.body().local_name() != expected) {
+    issues.push_back({"msg.wrong-response-wrapper",
+                      "expected '" + expected + "', got '" + envelope.body().local_name() +
+                          "'"});
+    return issues;
+  }
+  if (const xsd::ElementDecl* wrapper = find_wrapper(defs, expected)) {
+    validate_children(*wrapper, envelope.body(), issues);
+  }
+  return issues;
+}
+
+}  // namespace wsx::soap

@@ -1,0 +1,86 @@
+#include "wsdl/import_store.hpp"
+
+#include <set>
+
+#include "wsdl/parser.hpp"
+
+namespace wsx::wsdl {
+
+void DocumentStore::add(std::string location, std::string text) {
+  documents_[std::move(location)] = std::move(text);
+}
+
+const std::string* DocumentStore::get(std::string_view location) const {
+  const auto it = documents_.find(location);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Appends everything importable from `imported` into `target`.
+void merge(Definitions& target, Definitions&& imported) {
+  for (xsd::Schema& schema : imported.schemas) target.schemas.push_back(std::move(schema));
+  for (Message& message : imported.messages) target.messages.push_back(std::move(message));
+  for (PortType& port_type : imported.port_types) {
+    target.port_types.push_back(std::move(port_type));
+  }
+  for (Binding& binding : imported.bindings) target.bindings.push_back(std::move(binding));
+  for (Service& service : imported.services) target.services.push_back(std::move(service));
+  for (auto& ns : imported.extra_namespaces) {
+    target.extra_namespaces.push_back(std::move(ns));
+  }
+  for (xml::Element& extension : imported.extension_elements) {
+    target.extension_elements.push_back(std::move(extension));
+  }
+}
+
+Result<Definitions> load_recursive(const DocumentStore& store, const std::string& location,
+                                   std::set<std::string>& in_progress,
+                                   std::set<std::string>& loaded) {
+  if (in_progress.contains(location)) {
+    return Error{"wsdl.import-cycle", "import cycle through '" + location + "'"};
+  }
+  const std::string* text = store.get(location);
+  if (text == nullptr) {
+    return Error{"wsdl.unknown-location", "no document at '" + location + "'"};
+  }
+  Result<Definitions> parsed = parse(*text);
+  if (!parsed.ok()) {
+    return Error{parsed.error().code,
+                 "while loading '" + location + "': " + parsed.error().message};
+  }
+
+  in_progress.insert(location);
+  Definitions defs = std::move(parsed.value());
+  const std::vector<WsdlImport> imports = std::move(defs.imports);
+  defs.imports.clear();
+  for (const WsdlImport& import : imports) {
+    if (import.location.empty()) {
+      in_progress.erase(location);
+      return Error{"wsdl.unresolved-import", "import of namespace '" + import.namespace_uri +
+                                                 "' in '" + location + "' has no location"};
+    }
+    if (loaded.contains(import.location)) continue;  // already merged elsewhere
+    Result<Definitions> child =
+        load_recursive(store, import.location, in_progress, loaded);
+    if (!child.ok()) {
+      in_progress.erase(location);
+      return child.error();
+    }
+    merge(defs, std::move(child.value()));
+  }
+  in_progress.erase(location);
+  loaded.insert(location);
+  return defs;
+}
+
+}  // namespace
+
+Result<Definitions> load_flattened(const DocumentStore& store,
+                                   const std::string& root_location) {
+  std::set<std::string> in_progress;
+  std::set<std::string> loaded;
+  return load_recursive(store, root_location, in_progress, loaded);
+}
+
+}  // namespace wsx::wsdl

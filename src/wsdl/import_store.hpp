@@ -1,0 +1,41 @@
+// import_store.hpp — multi-document descriptions: a location-keyed store
+// plus recursive wsdl:import resolution into one flattened Definitions.
+//
+// Real stacks frequently publish split descriptions (WCF's ?wsdl=wsdl0
+// pages, schemas in separate documents); consumers must fetch and merge
+// them. This module models the fetch step with an in-memory store, so the
+// library can represent both the single-document descriptions the study
+// uses and the split form, and convert the latter into the former.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "wsdl/model.hpp"
+
+namespace wsx::wsdl {
+
+/// An in-memory "web": location URI → document text.
+class DocumentStore {
+ public:
+  void add(std::string location, std::string text);
+  /// nullptr when the location is unknown (an unfetchable import).
+  const std::string* get(std::string_view location) const;
+  std::size_t size() const { return documents_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> documents_;
+};
+
+/// Fetches `root_location`, recursively resolves every wsdl:import against
+/// the store, and merges the imported definitions (schemas, messages,
+/// portTypes, bindings, services, namespace declarations) into one
+/// flattened document. The result carries no imports.
+///
+/// Errors ("wsdl." prefix): unknown root, import without a location,
+/// import of an unknown location, import cycles, parse failures.
+Result<Definitions> load_flattened(const DocumentStore& store,
+                                   const std::string& root_location);
+
+}  // namespace wsx::wsdl

@@ -1,0 +1,209 @@
+#include "wsdl/parser.hpp"
+
+#include "xml/parser.hpp"
+#include "xml/query.hpp"
+#include "xsd/reader.hpp"
+
+namespace wsx::wsdl {
+namespace {
+
+/// Extracts the local part of "tns:Name" style message references.
+std::string local_part(std::string_view lexical) {
+  const std::size_t colon = lexical.find(':');
+  return std::string(colon == std::string_view::npos ? lexical : lexical.substr(colon + 1));
+}
+
+class WsdlParser {
+ public:
+  Result<Definitions> parse(const xml::Element& root) {
+    if (root.local_name() != "definitions") {
+      return Error{"wsdl.not-a-wsdl",
+                   "expected wsdl:definitions, got '" + root.name() + "'"};
+    }
+    scope_.push(root);
+    Definitions defs;
+    defs.name = root.attribute("name").value_or("");
+    defs.target_namespace = root.attribute("targetNamespace").value_or("");
+    for (const xml::Attribute& attr : root.attributes()) {
+      constexpr std::string_view kXmlnsPrefix = "xmlns:";
+      if (attr.name.rfind(kXmlnsPrefix, 0) == 0) {
+        defs.extra_namespaces.emplace_back(attr.name.substr(kXmlnsPrefix.size()), attr.value);
+      }
+    }
+
+    for (const xml::Element* child : root.child_elements()) {
+      const std::string local = child->local_name();
+      std::optional<xml::QName> name = scope_.resolve(child->name());
+      const bool is_wsdl_ns = name && name->namespace_uri() == xml::ns::kWsdl;
+      if (is_wsdl_ns && local == "documentation") {
+        defs.documentation = child->text();
+      } else if (is_wsdl_ns && local == "import") {
+        WsdlImport import;
+        import.namespace_uri = child->attribute("namespace").value_or("");
+        import.location = child->attribute("location").value_or("");
+        defs.imports.push_back(std::move(import));
+      } else if (is_wsdl_ns && local == "types") {
+        Status status = parse_types(*child, defs);
+        if (!status.ok()) {
+          scope_.pop();
+          return status.error();
+        }
+      } else if (is_wsdl_ns && local == "message") {
+        defs.messages.push_back(parse_message(*child));
+      } else if (is_wsdl_ns && local == "portType") {
+        defs.port_types.push_back(parse_port_type(*child));
+      } else if (is_wsdl_ns && local == "binding") {
+        Result<Binding> binding = parse_binding(*child);
+        if (!binding.ok()) {
+          scope_.pop();
+          return binding.error();
+        }
+        defs.bindings.push_back(std::move(binding.value()));
+      } else if (is_wsdl_ns && local == "service") {
+        defs.services.push_back(parse_service(*child));
+      } else {
+        // Vendor extension element — preserve verbatim.
+        defs.extension_elements.push_back(*child);
+      }
+    }
+    scope_.pop();
+    return defs;
+  }
+
+ private:
+  Status parse_types(const xml::Element& types, Definitions& defs) {
+    scope_.push(types);
+    for (const xml::Element* child : types.child_elements()) {
+      if (child->local_name() != "schema") continue;
+      Result<xsd::Schema> schema = xsd::from_xml(*child, scope_);
+      if (!schema.ok()) {
+        scope_.pop();
+        return schema.error();
+      }
+      defs.schemas.push_back(std::move(schema.value()));
+    }
+    scope_.pop();
+    return Status::success();
+  }
+
+  xml::QName resolve_qname_attr(const xml::Element& node, std::string_view attr) {
+    std::optional<std::string> raw = node.attribute(attr);
+    if (!raw) return {};
+    scope_.push(node);
+    std::optional<xml::QName> resolved = scope_.resolve(*raw, /*use_default_ns=*/true);
+    scope_.pop();
+    if (resolved) return *resolved;
+    const std::size_t colon = raw->find(':');
+    if (colon == std::string::npos) return xml::QName{"", *raw};
+    return xml::QName{"", raw->substr(colon + 1), raw->substr(0, colon)};
+  }
+
+  Message parse_message(const xml::Element& node) {
+    Message message;
+    message.name = node.attribute("name").value_or("");
+    for (const xml::Element* part_node : node.children_named("part")) {
+      Part part;
+      part.name = part_node->attribute("name").value_or("");
+      part.element = resolve_qname_attr(*part_node, "element");
+      part.type = resolve_qname_attr(*part_node, "type");
+      message.parts.push_back(std::move(part));
+    }
+    return message;
+  }
+
+  PortType parse_port_type(const xml::Element& node) {
+    PortType port_type;
+    port_type.name = node.attribute("name").value_or("");
+    for (const xml::Element* op_node : node.children_named("operation")) {
+      Operation operation;
+      operation.name = op_node->attribute("name").value_or("");
+      if (const xml::Element* input = op_node->child("input")) {
+        operation.input_message = local_part(input->attribute("message").value_or(""));
+      }
+      if (const xml::Element* output = op_node->child("output")) {
+        operation.output_message = local_part(output->attribute("message").value_or(""));
+      }
+      for (const xml::Element* fault_node : op_node->children_named("fault")) {
+        FaultRef fault;
+        fault.name = fault_node->attribute("name").value_or("");
+        fault.message = local_part(fault_node->attribute("message").value_or(""));
+        operation.faults.push_back(std::move(fault));
+      }
+      port_type.operations.push_back(std::move(operation));
+    }
+    return port_type;
+  }
+
+  Result<Binding> parse_binding(const xml::Element& node) {
+    Binding binding;
+    binding.name = node.attribute("name").value_or("");
+    binding.port_type = resolve_qname_attr(node, "type");
+    if (const xml::Element* soap_binding = node.child("binding")) {
+      binding.transport = soap_binding->attribute("transport").value_or("");
+      const std::string style = soap_binding->attribute("style").value_or("document");
+      if (style == "rpc") {
+        binding.style = SoapStyle::kRpc;
+      } else if (style == "document") {
+        binding.style = SoapStyle::kDocument;
+      } else {
+        return Error{"wsdl.bad-style", "unknown soap:binding style '" + style + "'"};
+      }
+    }
+    for (const xml::Element* op_node : node.children_named("operation")) {
+      BindingOperation operation;
+      operation.name = op_node->attribute("name").value_or("");
+      if (const xml::Element* soap_op = op_node->child("operation")) {
+        std::optional<std::string> action = soap_op->attribute("soapAction");
+        operation.has_soap_action = action.has_value();
+        operation.soap_action = action.value_or("");
+      } else {
+        operation.has_soap_action = false;
+      }
+      const auto read_use = [](const xml::Element* io) {
+        if (io == nullptr) return SoapUse::kLiteral;
+        const xml::Element* body = io->child("body");
+        if (body == nullptr) return SoapUse::kLiteral;
+        return body->attribute("use").value_or("literal") == "encoded" ? SoapUse::kEncoded
+                                                                       : SoapUse::kLiteral;
+      };
+      operation.input_use = read_use(op_node->child("input"));
+      operation.output_use = read_use(op_node->child("output"));
+      for (const xml::Element* fault_node : op_node->children_named("fault")) {
+        operation.fault_names.push_back(fault_node->attribute("name").value_or(""));
+      }
+      binding.operations.push_back(std::move(operation));
+    }
+    return binding;
+  }
+
+  Service parse_service(const xml::Element& node) {
+    Service service;
+    service.name = node.attribute("name").value_or("");
+    for (const xml::Element* port_node : node.children_named("port")) {
+      Port port;
+      port.name = port_node->attribute("name").value_or("");
+      port.binding = resolve_qname_attr(*port_node, "binding");
+      if (const xml::Element* address = port_node->child("address")) {
+        port.location = address->attribute("location").value_or("");
+      }
+      service.ports.push_back(std::move(port));
+    }
+    return service;
+  }
+
+  xml::NamespaceScope scope_;
+};
+
+}  // namespace
+
+Result<Definitions> parse(std::string_view text) {
+  Result<xml::Element> root = xml::parse_element(text);
+  if (!root.ok()) return root.error();
+  return from_xml(root.value());
+}
+
+Result<Definitions> from_xml(const xml::Element& definitions_element) {
+  return WsdlParser{}.parse(definitions_element);
+}
+
+}  // namespace wsx::wsdl

@@ -1,0 +1,22 @@
+// parser.hpp — builds a Definitions model from WSDL XML (text or tree).
+//
+// Every client artifact generator in the study consumes WSDL through this
+// parser, so a served description goes through a full serialize → parse
+// round trip before any tool sees it — exactly like the wire.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "wsdl/model.hpp"
+#include "xml/node.hpp"
+
+namespace wsx::wsdl {
+
+/// Parses WSDL text. Error codes use the "wsdl." prefix.
+Result<Definitions> parse(std::string_view text);
+
+/// Parses an already-parsed wsdl:definitions element.
+Result<Definitions> from_xml(const xml::Element& definitions_element);
+
+}  // namespace wsx::wsdl

@@ -1,0 +1,26 @@
+// writer.hpp — serializes a Definitions model to a WSDL 1.1 XML document.
+#pragma once
+
+#include <string>
+
+#include "wsdl/model.hpp"
+#include "xml/node.hpp"
+#include "xsd/writer.hpp"
+
+namespace wsx::wsdl {
+
+struct WsdlWriteOptions {
+  std::string wsdl_prefix = "wsdl";
+  std::string soap_prefix = "soap";
+  std::string target_prefix = "tns";
+  /// Passed through to the schema writer; WCF sets this to "s".
+  std::string schema_prefix = "xs";
+};
+
+/// Builds the wsdl:definitions element for `definitions`.
+xml::Element to_xml(const Definitions& definitions, const WsdlWriteOptions& options = {});
+
+/// Convenience: full document text.
+std::string to_string(const Definitions& definitions, const WsdlWriteOptions& options = {});
+
+}  // namespace wsx::wsdl

@@ -1,0 +1,64 @@
+#include "wsi/profile.hpp"
+
+#include <algorithm>
+
+namespace wsx::wsi {
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kPass:
+      return "pass";
+    case Outcome::kWarning:
+      return "warning";
+    case Outcome::kFail:
+      return "fail";
+    case Outcome::kNotApplicable:
+      return "n/a";
+  }
+  return "unknown";
+}
+
+bool ComplianceReport::compliant() const {
+  return std::none_of(results_.begin(), results_.end(),
+                      [](const AssertionResult& r) { return r.outcome == Outcome::kFail; });
+}
+
+std::vector<const AssertionResult*> ComplianceReport::failures() const {
+  std::vector<const AssertionResult*> out;
+  for (const AssertionResult& result : results_) {
+    if (result.outcome == Outcome::kFail) out.push_back(&result);
+  }
+  return out;
+}
+
+std::vector<const AssertionResult*> ComplianceReport::warnings() const {
+  std::vector<const AssertionResult*> out;
+  for (const AssertionResult& result : results_) {
+    if (result.outcome == Outcome::kWarning) out.push_back(&result);
+  }
+  return out;
+}
+
+bool ComplianceReport::failed(std::string_view id) const {
+  return std::any_of(results_.begin(), results_.end(), [id](const AssertionResult& r) {
+    return r.id == id && r.outcome == Outcome::kFail;
+  });
+}
+
+std::string ComplianceReport::summary() const {
+  std::vector<const AssertionResult*> failed_list = failures();
+  std::string out = failed_list.empty() ? "PASS" : "FAIL (";
+  for (std::size_t i = 0; i < failed_list.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += failed_list[i]->id;
+  }
+  if (!failed_list.empty()) out += ")";
+  const std::size_t warning_count = warnings().size();
+  if (warning_count > 0) {
+    out += "; " + std::to_string(warning_count) + " warning";
+    if (warning_count > 1) out += "s";
+  }
+  return out;
+}
+
+}  // namespace wsx::wsi

@@ -1,0 +1,330 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace wsx::xml {
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+         c == '.';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> parse_document() {
+    Document doc;
+    skip_bom();
+    skip_misc_allowing_prolog(doc);
+    if (at_end()) return fail("xml.no-root", "document has no root element");
+    Result<Element> root = parse_element_node(0);
+    if (!root.ok()) return root.error();
+    doc.root = std::move(root.value());
+    skip_trailing_misc();
+    if (!at_end()) return fail("xml.trailing-content", "content after root element");
+    return doc;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  bool looking_at(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void advance_by(std::size_t n) {
+    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+  }
+
+  void skip_space() {
+    while (!at_end() && is_space(peek())) advance();
+  }
+
+  Error fail(std::string code, std::string_view what) const {
+    return Error{std::move(code), std::string(what) + " at line " + std::to_string(line_) +
+                                      ", column " + std::to_string(column_)};
+  }
+
+  void skip_bom() {
+    if (input_.substr(0, 3) == "\xEF\xBB\xBF") pos_ = 3;
+  }
+
+  void skip_misc_allowing_prolog(Document& doc) {
+    skip_space();
+    if (looking_at("<?xml")) {
+      const std::size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) return;  // malformed prolog caught later
+      const std::string_view prolog = input_.substr(pos_, end - pos_);
+      extract_pseudo_attribute(prolog, "version", doc.version);
+      extract_pseudo_attribute(prolog, "encoding", doc.encoding);
+      advance_by(end + 2 - pos_);
+    }
+    skip_misc();
+  }
+
+  static void extract_pseudo_attribute(std::string_view prolog, std::string_view key,
+                                       std::string& out) {
+    const std::size_t key_pos = prolog.find(key);
+    if (key_pos == std::string_view::npos) return;
+    const std::size_t quote = prolog.find_first_of("\"'", key_pos);
+    if (quote == std::string_view::npos) return;
+    const char q = prolog[quote];
+    const std::size_t close = prolog.find(q, quote + 1);
+    if (close == std::string_view::npos) return;
+    out = std::string(prolog.substr(quote + 1, close - quote - 1));
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_space();
+      if (looking_at("<!--")) {
+        const std::size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = input_.size();
+          return;
+        }
+        advance_by(end + 3 - pos_);
+      } else if (looking_at("<?")) {
+        const std::size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          pos_ = input_.size();
+          return;
+        }
+        advance_by(end + 2 - pos_);
+      } else if (looking_at("<!DOCTYPE")) {
+        // Skip doctype without internal subset; reject subsets.
+        std::size_t scan = pos_;
+        int depth = 0;
+        for (; scan < input_.size(); ++scan) {
+          if (input_[scan] == '[') ++depth;
+          if (input_[scan] == ']') --depth;
+          if (input_[scan] == '>' && depth == 0) break;
+        }
+        advance_by(scan + 1 - pos_);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_trailing_misc() { skip_misc(); }
+
+  Result<std::string> parse_name() {
+    if (at_end() || !is_name_start(peek())) return fail("xml.bad-name", "expected a name");
+    const std::size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return fail("xml.bad-entity", "unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (!entity.empty() && entity[0] == '#') {
+        unsigned long value = 0;
+        try {
+          value = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')
+                      ? std::stoul(std::string(entity.substr(2)), nullptr, 16)
+                      : std::stoul(std::string(entity.substr(1)), nullptr, 10);
+        } catch (...) {
+          return fail("xml.bad-entity", "malformed character reference");
+        }
+        append_utf8(out, value);
+      } else {
+        return fail("xml.unknown-entity", "unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  static void append_utf8(std::string& out, unsigned long cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<Attribute> parse_attribute() {
+    Result<std::string> name = parse_name();
+    if (!name.ok()) return name.error();
+    skip_space();
+    if (at_end() || peek() != '=') return fail("xml.expected-eq", "expected '=' after attribute");
+    advance();
+    skip_space();
+    if (at_end() || (peek() != '"' && peek() != '\'')) {
+      return fail("xml.expected-quote", "expected quoted attribute value");
+    }
+    const char quote = peek();
+    advance();
+    const std::size_t start = pos_;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') return fail("xml.lt-in-attr", "'<' not allowed in attribute value");
+      advance();
+    }
+    if (at_end()) return fail("xml.unterminated-attr", "unterminated attribute value");
+    Result<std::string> value = decode_entities(input_.substr(start, pos_ - start));
+    if (!value.ok()) return value.error();
+    advance();  // closing quote
+    return Attribute{std::move(name.value()), std::move(value.value())};
+  }
+
+  Result<Element> parse_element_node(std::size_t depth) {
+    if (depth > options_.max_depth) return fail("xml.too-deep", "maximum nesting depth exceeded");
+    if (at_end() || peek() != '<') return fail("xml.expected-element", "expected '<'");
+    advance();
+    Result<std::string> name = parse_name();
+    if (!name.ok()) return name.error();
+    Element element{std::move(name.value())};
+
+    while (true) {
+      skip_space();
+      if (at_end()) return fail("xml.unterminated-tag", "unterminated start tag");
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      if (looking_at("/>")) {
+        advance_by(2);
+        return element;
+      }
+      Result<Attribute> attr = parse_attribute();
+      if (!attr.ok()) return attr.error();
+      if (element.has_attribute(attr.value().name)) {
+        return fail("xml.duplicate-attr", "duplicate attribute '" + attr.value().name + "'");
+      }
+      element.attributes().push_back(std::move(attr.value()));
+    }
+
+    // Content until matching end tag.
+    while (true) {
+      if (at_end()) {
+        return fail("xml.unterminated-element", "missing end tag for '" + element.name() + "'");
+      }
+      if (looking_at("</")) {
+        advance_by(2);
+        Result<std::string> end_name = parse_name();
+        if (!end_name.ok()) return end_name.error();
+        if (end_name.value() != element.name()) {
+          return fail("xml.mismatched-tag", "end tag '" + end_name.value() +
+                                                "' does not match start tag '" + element.name() +
+                                                "'");
+        }
+        skip_space();
+        if (at_end() || peek() != '>') return fail("xml.bad-end-tag", "malformed end tag");
+        advance();
+        return element;
+      }
+      if (looking_at("<!--")) {
+        const std::size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return fail("xml.unterminated-comment", "unterminated comment");
+        }
+        if (options_.keep_comments) {
+          element.add_comment(std::string(input_.substr(pos_ + 4, end - pos_ - 4)));
+        }
+        advance_by(end + 3 - pos_);
+        continue;
+      }
+      if (looking_at("<![CDATA[")) {
+        const std::size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return fail("xml.unterminated-cdata", "unterminated CDATA section");
+        }
+        element.add_cdata(std::string(input_.substr(pos_ + 9, end - pos_ - 9)));
+        advance_by(end + 3 - pos_);
+        continue;
+      }
+      if (looking_at("<?")) {
+        const std::size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return fail("xml.unterminated-pi", "unterminated processing instruction");
+        }
+        advance_by(end + 2 - pos_);
+        continue;
+      }
+      if (peek() == '<') {
+        Result<Element> child = parse_element_node(depth + 1);
+        if (!child.ok()) return child.error();
+        element.add_child(std::move(child.value()));
+        continue;
+      }
+      // Character data.
+      const std::size_t start = pos_;
+      while (!at_end() && peek() != '<') advance();
+      Result<std::string> text = decode_entities(input_.substr(start, pos_ - start));
+      if (!text.ok()) return text.error();
+      if (!trim(text.value()).empty()) element.add_text(std::move(text.value()));
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Result<Document> parse(std::string_view input, const ParseOptions& options) {
+  return Parser{input, options}.parse_document();
+}
+
+Result<Element> parse_element(std::string_view input, const ParseOptions& options) {
+  Result<Document> doc = parse(input, options);
+  if (!doc.ok()) return doc.error();
+  return std::move(doc.value().root);
+}
+
+}  // namespace wsx::xml

@@ -1,0 +1,32 @@
+// parser.hpp — namespace-aware, hand-written XML 1.0 parser.
+//
+// Supports the subset of XML used by WSDL/XSD/SOAP documents: prolog,
+// elements, attributes, character data, CDATA sections, comments,
+// processing instructions (skipped), DOCTYPE (skipped), the five built-in
+// entities, and decimal/hex character references. DTDs with internal
+// subsets, and external entities, are rejected (as real WS stacks do for
+// security reasons).
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "xml/node.hpp"
+
+namespace wsx::xml {
+
+struct ParseOptions {
+  /// Keep comment nodes in the tree (WSDL tooling typically discards them).
+  bool keep_comments = true;
+  /// Reject documents whose total nesting depth exceeds this bound.
+  std::size_t max_depth = 256;
+};
+
+/// Parses a complete XML document. Error codes use the "xml." prefix and
+/// include 1-based line/column positions in the message.
+Result<Document> parse(std::string_view input, const ParseOptions& options = {});
+
+/// Parses a document and returns just the root element.
+Result<Element> parse_element(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace wsx::xml

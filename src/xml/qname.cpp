@@ -1,0 +1,19 @@
+#include "xml/qname.hpp"
+
+namespace wsx::xml {
+
+std::string QName::expanded() const {
+  if (namespace_uri_.empty()) return local_name_;
+  return "{" + namespace_uri_ + "}" + local_name_;
+}
+
+std::string QName::lexical() const {
+  if (prefix_.empty()) return local_name_;
+  return prefix_ + ":" + local_name_;
+}
+
+QName xsd(std::string local_name) {
+  return QName{std::string(ns::kXsd), std::move(local_name), "xsd"};
+}
+
+}  // namespace wsx::xml

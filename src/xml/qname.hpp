@@ -1,0 +1,73 @@
+// qname.hpp — namespace-qualified names as used throughout XML, XSD and WSDL.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace wsx::xml {
+
+/// Well-known namespace URIs used by the web-services stack.
+namespace ns {
+inline constexpr std::string_view kXsd = "http://www.w3.org/2001/XMLSchema";
+inline constexpr std::string_view kXsi = "http://www.w3.org/2001/XMLSchema-instance";
+inline constexpr std::string_view kWsdl = "http://schemas.xmlsoap.org/wsdl/";
+inline constexpr std::string_view kWsdlSoap = "http://schemas.xmlsoap.org/wsdl/soap/";
+inline constexpr std::string_view kSoapEnvelope = "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr std::string_view kSoap12Envelope = "http://www.w3.org/2003/05/soap-envelope";
+inline constexpr std::string_view kSoapEncoding = "http://schemas.xmlsoap.org/soap/encoding/";
+inline constexpr std::string_view kSoapHttp = "http://schemas.xmlsoap.org/soap/http";
+inline constexpr std::string_view kWsAddressing = "http://www.w3.org/2005/08/addressing";
+inline constexpr std::string_view kXmlNs = "http://www.w3.org/XML/1998/namespace";
+}  // namespace ns
+
+/// A namespace-qualified name. The prefix is presentation-only and ignored
+/// by comparisons; two QNames are equal iff URI and local part match.
+class QName {
+ public:
+  QName() = default;
+  QName(std::string namespace_uri, std::string local_name)
+      : namespace_uri_(std::move(namespace_uri)), local_name_(std::move(local_name)) {}
+  QName(std::string namespace_uri, std::string local_name, std::string prefix)
+      : namespace_uri_(std::move(namespace_uri)),
+        local_name_(std::move(local_name)),
+        prefix_(std::move(prefix)) {}
+
+  const std::string& namespace_uri() const { return namespace_uri_; }
+  const std::string& local_name() const { return local_name_; }
+  const std::string& prefix() const { return prefix_; }
+
+  bool empty() const { return local_name_.empty(); }
+
+  /// "{uri}local" form used in messages and map keys.
+  std::string expanded() const;
+  /// "prefix:local" (or "local" when no prefix) as it appears lexically.
+  std::string lexical() const;
+
+  friend bool operator==(const QName& a, const QName& b) {
+    return a.namespace_uri_ == b.namespace_uri_ && a.local_name_ == b.local_name_;
+  }
+  friend bool operator!=(const QName& a, const QName& b) { return !(a == b); }
+  friend bool operator<(const QName& a, const QName& b) {
+    return a.namespace_uri_ != b.namespace_uri_ ? a.namespace_uri_ < b.namespace_uri_
+                                                : a.local_name_ < b.local_name_;
+  }
+
+ private:
+  std::string namespace_uri_;
+  std::string local_name_;
+  std::string prefix_;
+};
+
+/// Convenience: QName in the XML Schema namespace (e.g. xsd("string")).
+QName xsd(std::string local_name);
+
+}  // namespace wsx::xml
+
+template <>
+struct std::hash<wsx::xml::QName> {
+  std::size_t operator()(const wsx::xml::QName& name) const noexcept {
+    return std::hash<std::string>{}(name.namespace_uri()) * 1315423911u ^
+           std::hash<std::string>{}(name.local_name());
+  }
+};

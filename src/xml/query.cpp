@@ -1,0 +1,112 @@
+#include "xml/query.hpp"
+
+#include "common/strings.hpp"
+
+namespace wsx::xml {
+
+NamespaceScope::NamespaceScope() {
+  frames_.push_back({{"xml", std::string(ns::kXmlNs)}});
+}
+
+void NamespaceScope::push(const Element& element) {
+  std::vector<Binding> frame;
+  for (const Attribute& attr : element.attributes()) {
+    if (attr.name == "xmlns") {
+      frame.push_back({"", attr.value});
+    } else if (starts_with(attr.name, "xmlns:")) {
+      frame.push_back({attr.name.substr(6), attr.value});
+    }
+  }
+  frames_.push_back(std::move(frame));
+}
+
+void NamespaceScope::pop() {
+  if (frames_.size() > 1) frames_.pop_back();
+}
+
+std::optional<std::string> NamespaceScope::resolve_prefix(std::string_view prefix) const {
+  for (auto frame = frames_.rbegin(); frame != frames_.rend(); ++frame) {
+    for (const Binding& binding : *frame) {
+      if (binding.prefix == prefix) return binding.uri;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<QName> NamespaceScope::resolve(std::string_view lexical,
+                                             bool use_default_ns) const {
+  const std::size_t colon = lexical.find(':');
+  if (colon == std::string_view::npos) {
+    std::string uri;
+    if (use_default_ns) {
+      if (std::optional<std::string> resolved = resolve_prefix("")) uri = *resolved;
+    }
+    return QName{std::move(uri), std::string(lexical)};
+  }
+  const std::string_view prefix = lexical.substr(0, colon);
+  const std::string_view local = lexical.substr(colon + 1);
+  std::optional<std::string> uri = resolve_prefix(prefix);
+  if (!uri) return std::nullopt;  // undeclared prefix — caller decides severity
+  return QName{std::move(*uri), std::string(local), std::string(prefix)};
+}
+
+namespace {
+
+void walk_impl(const Element& element, NamespaceScope& scope,
+               const std::function<void(const Element&, const NamespaceScope&)>& visit) {
+  scope.push(element);
+  visit(element, scope);
+  for (const Node& node : element.children()) {
+    if (const Element* child = node.as_element()) walk_impl(*child, scope, visit);
+  }
+  scope.pop();
+}
+
+}  // namespace
+
+void walk(const Element& root,
+          const std::function<void(const Element&, const NamespaceScope&)>& visit) {
+  NamespaceScope scope;
+  walk_impl(root, scope, visit);
+}
+
+std::vector<const Element*> find_all(const Element& root, const QName& name) {
+  std::vector<const Element*> out;
+  walk(root, [&](const Element& element, const NamespaceScope& scope) {
+    if (&element == &root) return;
+    std::optional<QName> resolved = scope.resolve(element.name());
+    if (resolved && *resolved == name) out.push_back(&element);
+  });
+  return out;
+}
+
+const Element* find_first(const Element& root, const QName& name) {
+  std::vector<const Element*> all = find_all(root, name);
+  return all.empty() ? nullptr : all.front();
+}
+
+Element* find_descendant(Element& root,
+                         const std::function<bool(const Element&)>& predicate) {
+  if (predicate(root)) return &root;
+  for (Node& node : root.children()) {
+    if (Element* child = node.as_element()) {
+      if (Element* found = find_descendant(*child, predicate)) return found;
+    }
+  }
+  return nullptr;
+}
+
+const Element* find_descendant(const Element& root,
+                               const std::function<bool(const Element&)>& predicate) {
+  return find_descendant(const_cast<Element&>(root), predicate);
+}
+
+std::optional<QName> resolved_name(const Element& root, const Element& target) {
+  std::optional<QName> result;
+  walk(root, [&](const Element& element, const NamespaceScope& scope) {
+    if (&element == &target) result = scope.resolve(element.name());
+  });
+  return result;
+}
+
+}  // namespace wsx::xml

@@ -1,0 +1,63 @@
+// query.hpp — namespace resolution and tree queries over parsed XML.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/node.hpp"
+#include "xml/qname.hpp"
+
+namespace wsx::xml {
+
+/// Lexically-scoped namespace environment. Push a frame per element while
+/// walking the tree; lookups see the innermost binding of a prefix.
+class NamespaceScope {
+ public:
+  NamespaceScope();
+
+  /// Pushes the declarations found on `element` (xmlns / xmlns:p attributes).
+  void push(const Element& element);
+  void pop();
+
+  /// URI bound to `prefix`, or nullopt. The empty prefix looks up the
+  /// default namespace; "xml" is always bound per the XML spec.
+  std::optional<std::string> resolve_prefix(std::string_view prefix) const;
+
+  /// Resolves a lexical QName ("p:local" or "local"). Unprefixed names take
+  /// the default namespace when `use_default_ns` is set (element names do;
+  /// attribute names and many WSDL attribute values do not).
+  std::optional<QName> resolve(std::string_view lexical, bool use_default_ns = true) const;
+
+ private:
+  struct Binding {
+    std::string prefix;
+    std::string uri;
+  };
+  std::vector<std::vector<Binding>> frames_;
+};
+
+/// Walks the tree depth-first, maintaining a NamespaceScope, and invokes
+/// `visit(element, scope)` for every element (including the root).
+void walk(const Element& root,
+          const std::function<void(const Element&, const NamespaceScope&)>& visit);
+
+/// All descendant (not self) elements whose resolved QName equals `name`.
+std::vector<const Element*> find_all(const Element& root, const QName& name);
+
+/// First descendant element with the given resolved QName, or nullptr.
+const Element* find_first(const Element& root, const QName& name);
+
+/// Resolves the element's own name against declarations in scope starting
+/// from `root` (the element must be a descendant-or-self of root).
+std::optional<QName> resolved_name(const Element& root, const Element& target);
+
+/// Depth-first search (self included) for the first element satisfying
+/// `predicate`; mutable variant for tree editing.
+Element* find_descendant(Element& root, const std::function<bool(const Element&)>& predicate);
+const Element* find_descendant(const Element& root,
+                               const std::function<bool(const Element&)>& predicate);
+
+}  // namespace wsx::xml

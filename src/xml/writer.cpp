@@ -1,0 +1,143 @@
+#include "xml/writer.hpp"
+
+namespace wsx::xml {
+namespace {
+
+void append_escaped(std::string& out, std::string_view text, bool in_attribute) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        if (in_attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& options) : options_(options) {}
+
+  void write_element(const Element& element, std::size_t depth) {
+    indent(depth);
+    out_ += '<';
+    out_ += element.name();
+    for (const Attribute& attr : element.attributes()) {
+      out_ += ' ';
+      out_ += attr.name;
+      out_ += "=\"";
+      append_escaped(out_, attr.value, /*in_attribute=*/true);
+      out_ += '"';
+    }
+    if (element.children().empty()) {
+      out_ += "/>";
+      newline();
+      return;
+    }
+    out_ += '>';
+
+    const bool text_only = is_text_only(element);
+    if (!text_only) newline();
+    for (const Node& node : element.children()) {
+      if (const Element* child = node.as_element()) {
+        write_element(*child, depth + 1);
+      } else if (const Text* text = std::get_if<Text>(&node)) {
+        if (!text_only) indent(depth + 1);
+        append_escaped(out_, text->value, /*in_attribute=*/false);
+        if (!text_only) newline();
+      } else if (const CData* cdata = std::get_if<CData>(&node)) {
+        if (!text_only) indent(depth + 1);
+        out_ += "<![CDATA[";
+        out_ += cdata->value;
+        out_ += "]]>";
+        if (!text_only) newline();
+      } else if (const Comment* comment = std::get_if<Comment>(&node)) {
+        if (!text_only) indent(depth + 1);
+        out_ += "<!--";
+        out_ += comment->value;
+        out_ += "-->";
+        if (!text_only) newline();
+      }
+    }
+    if (!text_only) indent(depth);
+    out_ += "</";
+    out_ += element.name();
+    out_ += '>';
+    newline();
+  }
+
+  std::string take() { return std::move(out_); }
+
+  void write_declaration(const Document& doc) {
+    out_ += "<?xml version=\"" + doc.version + "\" encoding=\"" + doc.encoding + "\"?>";
+    newline();
+  }
+
+  void write_default_declaration() {
+    out_ += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    newline();
+  }
+
+ private:
+  static bool is_text_only(const Element& element) {
+    for (const Node& node : element.children()) {
+      if (node.is_element() || std::holds_alternative<Comment>(node)) return false;
+    }
+    return true;
+  }
+
+  void indent(std::size_t depth) {
+    if (options_.pretty) out_.append(depth * options_.indent_width, ' ');
+  }
+
+  void newline() {
+    if (options_.pretty) out_ += '\n';
+  }
+
+  const WriteOptions& options_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  append_escaped(out, text, /*in_attribute=*/false);
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  append_escaped(out, text, /*in_attribute=*/true);
+  return out;
+}
+
+std::string write(const Element& root, const WriteOptions& options) {
+  Writer writer{options};
+  if (options.xml_declaration) writer.write_default_declaration();
+  writer.write_element(root, 0);
+  return writer.take();
+}
+
+std::string write(const Document& document, const WriteOptions& options) {
+  Writer writer{options};
+  if (options.xml_declaration) writer.write_declaration(document);
+  writer.write_element(document.root, 0);
+  return writer.take();
+}
+
+}  // namespace wsx::xml

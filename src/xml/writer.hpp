@@ -1,0 +1,24 @@
+// writer.hpp — XML serializer.
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+
+namespace wsx::xml {
+
+struct WriteOptions {
+  bool pretty = true;          ///< indent nested elements
+  std::size_t indent_width = 2;
+  bool xml_declaration = true; ///< emit <?xml version="1.0" encoding="UTF-8"?>
+};
+
+/// Escapes the five XML special characters for element content.
+std::string escape_text(std::string_view text);
+/// Escapes text for use inside a double-quoted attribute value.
+std::string escape_attribute(std::string_view text);
+
+std::string write(const Element& root, const WriteOptions& options = {});
+std::string write(const Document& document, const WriteOptions& options = {});
+
+}  // namespace wsx::xml

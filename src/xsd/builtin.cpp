@@ -1,0 +1,58 @@
+#include "xsd/builtin.hpp"
+
+#include <array>
+#include <utility>
+
+namespace wsx::xsd {
+namespace {
+
+constexpr std::array<std::pair<Builtin, std::string_view>, 23> kTable{{
+    {Builtin::kString, "string"},
+    {Builtin::kBoolean, "boolean"},
+    {Builtin::kByte, "byte"},
+    {Builtin::kShort, "short"},
+    {Builtin::kInt, "int"},
+    {Builtin::kLong, "long"},
+    {Builtin::kUnsignedByte, "unsignedByte"},
+    {Builtin::kUnsignedShort, "unsignedShort"},
+    {Builtin::kUnsignedInt, "unsignedInt"},
+    {Builtin::kUnsignedLong, "unsignedLong"},
+    {Builtin::kFloat, "float"},
+    {Builtin::kDouble, "double"},
+    {Builtin::kDecimal, "decimal"},
+    {Builtin::kInteger, "integer"},
+    {Builtin::kDateTime, "dateTime"},
+    {Builtin::kDate, "date"},
+    {Builtin::kTime, "time"},
+    {Builtin::kDuration, "duration"},
+    {Builtin::kBase64Binary, "base64Binary"},
+    {Builtin::kHexBinary, "hexBinary"},
+    {Builtin::kAnyType, "anyType"},
+    {Builtin::kAnyUri, "anyURI"},
+    {Builtin::kQNameType, "QName"},
+}};
+
+}  // namespace
+
+std::string_view local_name(Builtin type) {
+  for (const auto& [builtin, name] : kTable) {
+    if (builtin == type) return name;
+  }
+  return "string";
+}
+
+xml::QName qname(Builtin type) { return xml::xsd(std::string(local_name(type))); }
+
+std::optional<Builtin> builtin_from_local_name(std::string_view name) {
+  for (const auto& [builtin, candidate] : kTable) {
+    if (candidate == name) return builtin;
+  }
+  return std::nullopt;
+}
+
+bool is_builtin(const xml::QName& name) {
+  return name.namespace_uri() == xml::ns::kXsd &&
+         builtin_from_local_name(name.local_name()).has_value();
+}
+
+}  // namespace wsx::xsd

@@ -1,0 +1,49 @@
+// builtin.hpp — XML Schema built-in datatypes used by WS bindings.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "xml/qname.hpp"
+
+namespace wsx::xsd {
+
+enum class Builtin {
+  kString,
+  kBoolean,
+  kByte,
+  kShort,
+  kInt,
+  kLong,
+  kUnsignedByte,
+  kUnsignedShort,
+  kUnsignedInt,
+  kUnsignedLong,
+  kFloat,
+  kDouble,
+  kDecimal,
+  kInteger,
+  kDateTime,
+  kDate,
+  kTime,
+  kDuration,
+  kBase64Binary,
+  kHexBinary,
+  kAnyType,
+  kAnyUri,
+  kQNameType,
+};
+
+/// Lexical local name of a built-in type ("string", "dateTime", ...).
+std::string_view local_name(Builtin type);
+
+/// Fully qualified QName ({http://www.w3.org/2001/XMLSchema}local).
+xml::QName qname(Builtin type);
+
+/// Reverse lookup by local name; nullopt for unknown names.
+std::optional<Builtin> builtin_from_local_name(std::string_view name);
+
+/// True iff `name` refers to a built-in XML Schema datatype (or anyType).
+bool is_builtin(const xml::QName& name);
+
+}  // namespace wsx::xsd

@@ -1,0 +1,54 @@
+#include "xsd/model.hpp"
+
+#include <algorithm>
+
+namespace wsx::xsd {
+
+std::vector<const ElementDecl*> ComplexType::elements() const {
+  std::vector<const ElementDecl*> out;
+  for (const Particle& particle : particles) {
+    if (const ElementDecl* element = std::get_if<ElementDecl>(&particle)) out.push_back(element);
+  }
+  return out;
+}
+
+std::size_t ComplexType::any_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(particles.begin(), particles.end(), [](const Particle& particle) {
+        return std::holds_alternative<AnyParticle>(particle);
+      }));
+}
+
+std::size_t ComplexType::nesting_depth() const {
+  std::size_t max_child = 0;
+  for (const Particle& particle : particles) {
+    const ElementDecl* element = std::get_if<ElementDecl>(&particle);
+    if (element != nullptr && element->inline_type.has_value()) {
+      max_child = std::max(max_child, element->inline_type->nesting_depth());
+    }
+  }
+  return 1 + max_child;
+}
+
+const ComplexType* Schema::find_complex_type(std::string_view name) const {
+  for (const ComplexType& type : complex_types) {
+    if (type.name == name) return &type;
+  }
+  return nullptr;
+}
+
+const SimpleTypeDecl* Schema::find_simple_type(std::string_view name) const {
+  for (const SimpleTypeDecl& type : simple_types) {
+    if (type.name == name) return &type;
+  }
+  return nullptr;
+}
+
+const ElementDecl* Schema::find_element(std::string_view name) const {
+  for (const ElementDecl& element : elements) {
+    if (element.name == name) return &element;
+  }
+  return nullptr;
+}
+
+}  // namespace wsx::xsd

@@ -1,0 +1,117 @@
+// model.hpp — value-semantic model of the XML Schema subset emitted by
+// web-service frameworks: complex types with sequences of elements,
+// wildcards (xs:any), attributes (incl. ref= and attributeGroup ref=),
+// simple-type enumerations, imports.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/box.hpp"
+#include "xml/qname.hpp"
+#include "xsd/builtin.hpp"
+
+namespace wsx::xsd {
+
+struct ComplexType;
+
+/// Sentinel for maxOccurs="unbounded".
+inline constexpr int kUnbounded = -1;
+
+/// xs:element — either a local declaration (name + type / inline anonymous
+/// type) or a reference (ref=QName) to a top-level element.
+struct ElementDecl {
+  std::string name;               ///< empty when this is a ref
+  xml::QName type;                ///< empty when inline_type or ref is used
+  Box<ComplexType> inline_type;   ///< anonymous nested complexType
+  xml::QName ref;                 ///< element reference; empty when unused
+  int min_occurs = 1;
+  int max_occurs = 1;             ///< kUnbounded for "unbounded"
+  bool nillable = false;
+
+  bool is_ref() const { return !ref.empty(); }
+  bool is_array() const { return max_occurs == kUnbounded || max_occurs > 1; }
+  friend bool operator==(const ElementDecl&, const ElementDecl&) = default;
+};
+
+/// xs:any wildcard particle.
+struct AnyParticle {
+  std::string namespace_constraint = "##any";
+  std::string process_contents = "lax";
+  int min_occurs = 1;
+  int max_occurs = 1;
+  friend bool operator==(const AnyParticle&, const AnyParticle&) = default;
+};
+
+using Particle = std::variant<ElementDecl, AnyParticle>;
+
+/// xs:attribute — local (name + type) or reference (ref=QName).
+struct AttributeDecl {
+  std::string name;
+  xml::QName type;
+  xml::QName ref;  ///< e.g. ref="xml:lang"; empty when unused
+  bool required = false;
+
+  bool is_ref() const { return !ref.empty(); }
+  friend bool operator==(const AttributeDecl&, const AttributeDecl&) = default;
+};
+
+/// xs:attributeGroup ref=...
+struct AttributeGroupRef {
+  xml::QName ref;
+  friend bool operator==(const AttributeGroupRef&, const AttributeGroupRef&) = default;
+};
+
+/// xs:complexType with xs:sequence content, optionally derived by
+/// extension (xs:complexContent/xs:extension base=...).
+struct ComplexType {
+  std::string name;  ///< empty for anonymous types
+  xml::QName base;   ///< extension base; empty for underived types
+  std::vector<Particle> particles;
+  std::vector<AttributeDecl> attributes;
+  std::vector<AttributeGroupRef> attribute_groups;
+  friend bool operator==(const ComplexType&, const ComplexType&) = default;
+
+  bool is_derived() const { return !base.empty(); }
+
+  /// Elements of the sequence (skipping wildcards).
+  std::vector<const ElementDecl*> elements() const;
+  /// Number of xs:any wildcard particles.
+  std::size_t any_count() const;
+  /// Maximum depth of inline anonymous types (a flat type has depth 1).
+  std::size_t nesting_depth() const;
+};
+
+/// xs:simpleType restriction (enumeration facet only — what WS frameworks
+/// emit for native enums).
+struct SimpleTypeDecl {
+  std::string name;
+  xml::QName base;
+  std::vector<std::string> enumeration;
+  friend bool operator==(const SimpleTypeDecl&, const SimpleTypeDecl&) = default;
+};
+
+struct SchemaImport {
+  std::string namespace_uri;
+  std::string schema_location;  ///< empty = import without location
+  friend bool operator==(const SchemaImport&, const SchemaImport&) = default;
+};
+
+/// One xs:schema document.
+struct Schema {
+  std::string target_namespace;
+  bool element_form_qualified = true;
+  std::vector<SchemaImport> imports;
+  std::vector<ComplexType> complex_types;
+  std::vector<SimpleTypeDecl> simple_types;
+  std::vector<ElementDecl> elements;  ///< top-level element declarations
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+  const ComplexType* find_complex_type(std::string_view name) const;
+  const SimpleTypeDecl* find_simple_type(std::string_view name) const;
+  const ElementDecl* find_element(std::string_view name) const;
+};
+
+}  // namespace wsx::xsd

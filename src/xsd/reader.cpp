@@ -1,0 +1,221 @@
+#include "xsd/reader.hpp"
+
+#include <string>
+
+namespace wsx::xsd {
+namespace {
+
+class SchemaReader {
+ public:
+  explicit SchemaReader(xml::NamespaceScope scope) : scope_(std::move(scope)) {}
+
+  Result<Schema> read(const xml::Element& root) {
+    scope_.push(root);
+    Schema schema;
+    if (std::optional<std::string> tns = root.attribute("targetNamespace")) {
+      schema.target_namespace = *tns;
+    }
+    if (std::optional<std::string> form = root.attribute("elementFormDefault")) {
+      schema.element_form_qualified = (*form == "qualified");
+    }
+    for (const xml::Element* child : root.child_elements()) {
+      const std::string local = child->local_name();
+      if (local == "import") {
+        SchemaImport import;
+        import.namespace_uri = child->attribute("namespace").value_or("");
+        import.schema_location = child->attribute("schemaLocation").value_or("");
+        schema.imports.push_back(std::move(import));
+      } else if (local == "element") {
+        Result<ElementDecl> element = read_element(*child);
+        if (!element.ok()) return element.error();
+        schema.elements.push_back(std::move(element.value()));
+      } else if (local == "complexType") {
+        Result<ComplexType> type = read_complex_type(*child);
+        if (!type.ok()) return type.error();
+        schema.complex_types.push_back(std::move(type.value()));
+      } else if (local == "simpleType") {
+        Result<SimpleTypeDecl> type = read_simple_type(*child);
+        if (!type.ok()) return type.error();
+        schema.simple_types.push_back(std::move(type.value()));
+      }
+      // Unknown schema constructs are skipped, as the studied tools do.
+    }
+    scope_.pop();
+    return schema;
+  }
+
+ private:
+  /// Resolves a lexical QName attribute value. Undeclared prefixes are
+  /// preserved as QName{"", local, prefix} so downstream resolution can
+  /// report them.
+  xml::QName resolve_qname(const std::string& lexical) const {
+    if (std::optional<xml::QName> resolved =
+            scope_.resolve(lexical, /*use_default_ns=*/true)) {
+      return *resolved;
+    }
+    const std::size_t colon = lexical.find(':');
+    if (colon == std::string::npos) return xml::QName{"", lexical};
+    return xml::QName{"", lexical.substr(colon + 1), lexical.substr(0, colon)};
+  }
+
+  static Result<int> read_occurs(const xml::Element& node, std::string_view attr,
+                                 int fallback) {
+    std::optional<std::string> raw = node.attribute(attr);
+    if (!raw) return fallback;
+    if (*raw == "unbounded") return kUnbounded;
+    try {
+      return std::stoi(*raw);
+    } catch (...) {
+      return Error{"xsd.bad-occurs", "invalid " + std::string(attr) + " value '" + *raw + "'"};
+    }
+  }
+
+  Result<ElementDecl> read_element(const xml::Element& node) {
+    scope_.push(node);
+    ElementDecl element;
+    element.name = node.attribute("name").value_or("");
+    if (std::optional<std::string> type = node.attribute("type")) {
+      element.type = resolve_qname(*type);
+    }
+    if (std::optional<std::string> ref = node.attribute("ref")) {
+      element.ref = resolve_qname(*ref);
+    }
+    Result<int> min_occurs = read_occurs(node, "minOccurs", 1);
+    if (!min_occurs.ok()) {
+      scope_.pop();
+      return min_occurs.error();
+    }
+    element.min_occurs = min_occurs.value();
+    Result<int> max_occurs = read_occurs(node, "maxOccurs", 1);
+    if (!max_occurs.ok()) {
+      scope_.pop();
+      return max_occurs.error();
+    }
+    element.max_occurs = max_occurs.value();
+    element.nillable = node.attribute("nillable").value_or("false") == "true";
+    if (const xml::Element* inline_type = node.child("complexType")) {
+      Result<ComplexType> type = read_complex_type(*inline_type);
+      if (!type.ok()) {
+        scope_.pop();
+        return type.error();
+      }
+      element.inline_type = Box<ComplexType>{std::move(type.value())};
+    }
+    scope_.pop();
+    return element;
+  }
+
+  Result<ComplexType> read_complex_type(const xml::Element& node) {
+    scope_.push(node);
+    ComplexType type;
+    type.name = node.attribute("name").value_or("");
+
+    // Derivation by extension: content sits under complexContent/extension.
+    const xml::Element* content = &node;
+    if (const xml::Element* complex_content = node.child("complexContent")) {
+      scope_.push(*complex_content);
+      if (const xml::Element* extension = complex_content->child("extension")) {
+        scope_.push(*extension);
+        if (std::optional<std::string> base = extension->attribute("base")) {
+          type.base = resolve_qname(*base);
+        }
+        Status status = read_content(*extension, type);
+        scope_.pop();
+        scope_.pop();
+        scope_.pop();
+        if (!status.ok()) return status.error();
+        return type;
+      }
+      scope_.pop();
+    }
+    Status status = read_content(*content, type);
+    scope_.pop();
+    if (!status.ok()) return status.error();
+    return type;
+  }
+
+  /// Parses sequence/attribute/attributeGroup children of `node` into
+  /// `type`.
+  Status read_content(const xml::Element& node, ComplexType& type) {
+    if (const xml::Element* sequence = node.child("sequence")) {
+      scope_.push(*sequence);
+      for (const xml::Element* particle : sequence->child_elements()) {
+        const std::string local = particle->local_name();
+        if (local == "element") {
+          Result<ElementDecl> element = read_element(*particle);
+          if (!element.ok()) {
+            scope_.pop();
+            return element.error();
+          }
+          type.particles.emplace_back(std::move(element.value()));
+        } else if (local == "any") {
+          AnyParticle any;
+          any.namespace_constraint = particle->attribute("namespace").value_or("##any");
+          any.process_contents = particle->attribute("processContents").value_or("lax");
+          Result<int> min_occurs = read_occurs(*particle, "minOccurs", 1);
+          Result<int> max_occurs = read_occurs(*particle, "maxOccurs", 1);
+          if (!min_occurs.ok() || !max_occurs.ok()) {
+            scope_.pop();
+            return Error{"xsd.bad-occurs", "invalid occurrence bound on xs:any"};
+          }
+          any.min_occurs = min_occurs.value();
+          any.max_occurs = max_occurs.value();
+          type.particles.emplace_back(std::move(any));
+        }
+      }
+      scope_.pop();
+    }
+    for (const xml::Element* child : node.child_elements()) {
+      const std::string local = child->local_name();
+      if (local == "attribute") {
+        AttributeDecl attribute;
+        attribute.name = child->attribute("name").value_or("");
+        if (std::optional<std::string> attr_type = child->attribute("type")) {
+          attribute.type = resolve_qname(*attr_type);
+        }
+        if (std::optional<std::string> ref = child->attribute("ref")) {
+          attribute.ref = resolve_qname(*ref);
+        }
+        attribute.required = child->attribute("use").value_or("") == "required";
+        type.attributes.push_back(std::move(attribute));
+      } else if (local == "attributeGroup") {
+        if (std::optional<std::string> ref = child->attribute("ref")) {
+          type.attribute_groups.push_back(AttributeGroupRef{resolve_qname(*ref)});
+        }
+      }
+    }
+    return Status::success();
+  }
+
+  Result<SimpleTypeDecl> read_simple_type(const xml::Element& node) {
+    scope_.push(node);
+    SimpleTypeDecl type;
+    type.name = node.attribute("name").value_or("");
+    if (const xml::Element* restriction = node.child("restriction")) {
+      scope_.push(*restriction);
+      if (std::optional<std::string> base = restriction->attribute("base")) {
+        type.base = resolve_qname(*base);
+      }
+      for (const xml::Element* facet : restriction->children_named("enumeration")) {
+        type.enumeration.push_back(facet->attribute("value").value_or(""));
+      }
+      scope_.pop();
+    }
+    scope_.pop();
+    return type;
+  }
+
+  xml::NamespaceScope scope_;
+};
+
+}  // namespace
+
+Result<Schema> from_xml(const xml::Element& schema_element, xml::NamespaceScope scope) {
+  if (schema_element.local_name() != "schema") {
+    return Error{"xsd.not-a-schema",
+                 "expected an xs:schema element, got '" + schema_element.name() + "'"};
+  }
+  return SchemaReader{std::move(scope)}.read(schema_element);
+}
+
+}  // namespace wsx::xsd

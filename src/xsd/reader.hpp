@@ -1,0 +1,20 @@
+// reader.hpp — builds a Schema model from a parsed <xs:schema> element.
+#pragma once
+
+#include "common/result.hpp"
+#include "xml/node.hpp"
+#include "xml/query.hpp"
+#include "xsd/model.hpp"
+
+namespace wsx::xsd {
+
+/// Parses `schema_element` (resolved name must be {xsd}schema). QName-valued
+/// attributes (type=, ref=, base=) are resolved against `scope`, which must
+/// reflect the declarations in force at the schema element (pass a default
+/// scope for standalone documents). QNames whose prefix is undeclared are
+/// recorded with an empty namespace URI and the original prefix — the
+/// resolver reports them as unresolved rather than failing the parse, which
+/// is exactly how the studied client tools encounter them.
+Result<Schema> from_xml(const xml::Element& schema_element, xml::NamespaceScope scope = {});
+
+}  // namespace wsx::xsd

@@ -1,0 +1,62 @@
+// resolver.hpp — reference resolution and structural validity over a set of
+// schemas (typically the wsdl:types section of one service description).
+//
+// This is the substrate behind several of the paper's findings: the WCF
+// DataSet-style WSDLs carry `ref="s:schema"` / `ref="s:lang"` references
+// that do not resolve, and the Java-stack W3CEndpointReference WSDLs carry
+// references into a namespace that is declared but never imported. Client
+// tools differ in *which* unresolved reference kinds they tolerate — that
+// difference is what the study measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xml/qname.hpp"
+#include "xsd/model.hpp"
+
+namespace wsx::xsd {
+
+enum class RefKind {
+  kTypeRef,            ///< element/@type or attribute/@type or restriction/@base
+  kElementRef,         ///< element/@ref
+  kAttributeRef,       ///< attribute/@ref
+  kAttributeGroupRef,  ///< attributeGroup/@ref
+};
+
+const char* to_string(RefKind kind);
+
+struct UnresolvedRef {
+  RefKind kind;
+  xml::QName target;
+  std::string context;  ///< where it appeared, e.g. "complexType DataTable"
+  bool undeclared_prefix = false;  ///< the prefix itself had no binding
+  friend bool operator==(const UnresolvedRef&, const UnresolvedRef&) = default;
+};
+
+struct ValidityIssue {
+  std::string code;     ///< e.g. "xsd.dual-type-declaration"
+  std::string context;
+  friend bool operator==(const ValidityIssue&, const ValidityIssue&) = default;
+};
+
+/// Result of checking a schema set.
+struct ResolutionReport {
+  std::vector<UnresolvedRef> unresolved;
+  std::vector<ValidityIssue> issues;
+
+  bool clean() const { return unresolved.empty() && issues.empty(); }
+  bool has_unresolved(RefKind kind) const;
+};
+
+/// Checks every QName reference in `schemas` against built-in types, the
+/// declarations in all provided schemas, and `external_namespaces`
+/// (namespaces the checker should treat as opaque-but-known, e.g. because a
+/// resolvable import exists). Also reports structural issues:
+///   - "xsd.dual-type-declaration": element carries both type= and an
+///     inline anonymous type (invalid per XML Schema structures);
+///   - "xsd.unnamed-top-level-element": top-level element without a name.
+ResolutionReport resolve(const std::vector<Schema>& schemas,
+                         const std::vector<std::string>& external_namespaces = {});
+
+}  // namespace wsx::xsd

@@ -1,0 +1,188 @@
+#include "xsd/values.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace wsx::xsd {
+namespace {
+
+bool all_digits(std::string_view text) {
+  return !text.empty() && std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+/// Optional sign followed by digits.
+bool is_integer_lexical(std::string_view value) {
+  if (!value.empty() && (value.front() == '+' || value.front() == '-')) {
+    value.remove_prefix(1);
+  }
+  return all_digits(value);
+}
+
+/// Checks an integer lexical against inclusive bounds given as strings of
+/// equal magnitude handling (simple and allocation-light: compare by
+/// length then lexicographically).
+bool integer_in_range(std::string_view value, long long min_value,
+                      unsigned long long max_value) {
+  if (!is_integer_lexical(value)) return false;
+  errno = 0;
+  const std::string text(value);
+  if (value.front() == '-') {
+    const long long parsed = std::strtoll(text.c_str(), nullptr, 10);
+    return errno == 0 && parsed >= min_value;
+  }
+  const unsigned long long parsed = std::strtoull(text.c_str(), nullptr, 10);
+  return errno == 0 && parsed <= max_value;
+}
+
+/// "[-+]?digits(.digits)?([eE][-+]?digits)?" plus the special values.
+bool is_float_lexical(std::string_view value) {
+  if (value == "NaN" || value == "INF" || value == "-INF") return true;
+  std::size_t i = 0;
+  const auto digits = [&](std::size_t& index) {
+    const std::size_t start = index;
+    while (index < value.size() && std::isdigit(static_cast<unsigned char>(value[index]))) {
+      ++index;
+    }
+    return index > start;
+  };
+  if (i < value.size() && (value[i] == '+' || value[i] == '-')) ++i;
+  bool any = digits(i);
+  if (i < value.size() && value[i] == '.') {
+    ++i;
+    any = digits(i) || any;
+  }
+  if (!any) return false;
+  if (i < value.size() && (value[i] == 'e' || value[i] == 'E')) {
+    ++i;
+    if (i < value.size() && (value[i] == '+' || value[i] == '-')) ++i;
+    if (!digits(i)) return false;
+  }
+  return i == value.size();
+}
+
+/// "CCYY-MM-DD" with basic range checks.
+bool is_date_lexical(std::string_view value) {
+  if (value.size() != 10 || value[4] != '-' || value[7] != '-') return false;
+  if (!all_digits(value.substr(0, 4)) || !all_digits(value.substr(5, 2)) ||
+      !all_digits(value.substr(8, 2))) {
+    return false;
+  }
+  const int month = (value[5] - '0') * 10 + (value[6] - '0');
+  const int day = (value[8] - '0') * 10 + (value[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+/// "hh:mm:ss(.fff)?" with basic range checks.
+bool is_time_lexical(std::string_view value) {
+  if (value.size() < 8 || value[2] != ':' || value[5] != ':') return false;
+  if (!all_digits(value.substr(0, 2)) || !all_digits(value.substr(3, 2)) ||
+      !all_digits(value.substr(6, 2))) {
+    return false;
+  }
+  const int hours = (value[0] - '0') * 10 + (value[1] - '0');
+  const int minutes = (value[3] - '0') * 10 + (value[4] - '0');
+  const int seconds = (value[6] - '0') * 10 + (value[7] - '0');
+  if (hours > 23 || minutes > 59 || seconds > 59) return false;
+  if (value.size() == 8) return true;
+  return value[8] == '.' && all_digits(value.substr(9));
+}
+
+bool is_base64_lexical(std::string_view value) {
+  if (value.size() % 4 != 0) return false;
+  std::size_t padding = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (c == '=') {
+      ++padding;
+      if (i + 2 < value.size()) return false;  // '=' only at the end
+      continue;
+    }
+    if (padding > 0) return false;
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '+' && c != '/') return false;
+  }
+  return padding <= 2;
+}
+
+}  // namespace
+
+bool is_valid_value(Builtin type, std::string_view value) {
+  switch (type) {
+    case Builtin::kString:
+    case Builtin::kAnyType:
+    case Builtin::kAnyUri:
+      return true;
+    case Builtin::kBoolean:
+      return value == "true" || value == "false" || value == "1" || value == "0";
+    case Builtin::kByte:
+      return integer_in_range(value, -128, 127);
+    case Builtin::kShort:
+      return integer_in_range(value, -32768, 32767);
+    case Builtin::kInt:
+      return integer_in_range(value, -2147483648LL, 2147483647ULL);
+    case Builtin::kLong:
+      return integer_in_range(value, (-9223372036854775807LL - 1), 9223372036854775807ULL);
+    case Builtin::kUnsignedByte:
+      return !value.empty() && value.front() != '-' && integer_in_range(value, 0, 255);
+    case Builtin::kUnsignedShort:
+      return !value.empty() && value.front() != '-' && integer_in_range(value, 0, 65535);
+    case Builtin::kUnsignedInt:
+      return !value.empty() && value.front() != '-' &&
+             integer_in_range(value, 0, 4294967295ULL);
+    case Builtin::kUnsignedLong:
+      return !value.empty() && value.front() != '-' &&
+             integer_in_range(value, 0, 18446744073709551615ULL);
+    case Builtin::kInteger:
+      return is_integer_lexical(value);
+    case Builtin::kFloat:
+    case Builtin::kDouble:
+      return is_float_lexical(value);
+    case Builtin::kDecimal:
+      return is_float_lexical(value) && value.find_first_of("eE") == std::string_view::npos &&
+             value != "NaN" && value != "INF" && value != "-INF";
+    case Builtin::kDate:
+      return is_date_lexical(value);
+    case Builtin::kTime:
+      return is_time_lexical(value);
+    case Builtin::kDateTime: {
+      const std::size_t t = value.find('T');
+      if (t == std::string_view::npos) return false;
+      std::string_view time_part = value.substr(t + 1);
+      if (!time_part.empty() && time_part.back() == 'Z') time_part.remove_suffix(1);
+      return is_date_lexical(value.substr(0, t)) && is_time_lexical(time_part);
+    }
+    case Builtin::kDuration:
+      return !value.empty() && (value.front() == 'P' || value.substr(0, 2) == "-P");
+    case Builtin::kBase64Binary:
+      return is_base64_lexical(value);
+    case Builtin::kHexBinary:
+      return value.size() % 2 == 0 &&
+             std::all_of(value.begin(), value.end(), [](unsigned char c) {
+               return std::isxdigit(c) != 0;
+             });
+    case Builtin::kQNameType:
+      return !value.empty() && value.find(' ') == std::string_view::npos;
+  }
+  return false;
+}
+
+bool is_valid_value(const SimpleTypeDecl& type, std::string_view value) {
+  if (!type.base.empty()) {
+    const std::optional<Builtin> base = builtin_from_local_name(type.base.local_name());
+    if (base && !is_valid_value(*base, value)) return false;
+  }
+  if (type.enumeration.empty()) return true;
+  return std::find(type.enumeration.begin(), type.enumeration.end(), value) !=
+         type.enumeration.end();
+}
+
+Status validate_value(Builtin type, std::string_view value) {
+  if (is_valid_value(type, value)) return Status::success();
+  return Error{"xsd.invalid-value", "'" + std::string(value) +
+                                        "' is not a valid xsd:" +
+                                        std::string(local_name(type)) + " value"};
+}
+
+}  // namespace wsx::xsd

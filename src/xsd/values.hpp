@@ -1,0 +1,25 @@
+// values.hpp — lexical validation of instance values against built-in
+// schema datatypes, plus enumeration facets. Used by the execution step to
+// type-check payloads the way real binders do during unmarshalling.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "xsd/builtin.hpp"
+#include "xsd/model.hpp"
+
+namespace wsx::xsd {
+
+/// True when `value` is a lexically valid instance of `type` (XML Schema
+/// Part 2 lexical spaces; whitespace must already be collapsed).
+bool is_valid_value(Builtin type, std::string_view value);
+
+/// Validates against a simple-type declaration: base type lexical check
+/// plus the enumeration facet when present.
+bool is_valid_value(const SimpleTypeDecl& type, std::string_view value);
+
+/// Status variant with a diagnostic message.
+Status validate_value(Builtin type, std::string_view value);
+
+}  // namespace wsx::xsd

@@ -1,0 +1,154 @@
+#include "xsd/writer.hpp"
+
+namespace wsx::xsd {
+namespace {
+
+class SchemaWriter {
+ public:
+  SchemaWriter(const Schema& schema, const SchemaWriteOptions& options)
+      : schema_(schema), options_(options) {}
+
+  xml::Element build() {
+    xml::Element root{options_.schema_prefix + ":schema"};
+    root.declare_namespace(options_.schema_prefix, xml::ns::kXsd);
+    if (!schema_.target_namespace.empty()) {
+      root.declare_namespace(options_.target_prefix, schema_.target_namespace);
+      root.set_attribute("targetNamespace", schema_.target_namespace);
+    }
+    root.set_attribute("elementFormDefault",
+                       schema_.element_form_qualified ? "qualified" : "unqualified");
+    for (const SchemaImport& import : schema_.imports) {
+      xml::Element& node = root.add_element(prefixed("import"));
+      node.set_attribute("namespace", import.namespace_uri);
+      if (!import.schema_location.empty()) {
+        node.set_attribute("schemaLocation", import.schema_location);
+      }
+    }
+    for (const ElementDecl& element : schema_.elements) {
+      root.add_child(element_to_xml(element));
+    }
+    for (const ComplexType& type : schema_.complex_types) {
+      root.add_child(complex_type_to_xml(type));
+    }
+    for (const SimpleTypeDecl& type : schema_.simple_types) {
+      root.add_child(simple_type_to_xml(type));
+    }
+    return root;
+  }
+
+ private:
+  std::string prefixed(std::string_view local) const {
+    return options_.schema_prefix + ":" + std::string(local);
+  }
+
+  /// Renders a QName lexically using the writer's prefix conventions.
+  std::string qname_ref(const xml::QName& name) const {
+    if (name.namespace_uri() == xml::ns::kXsd) {
+      return options_.schema_prefix + ":" + name.local_name();
+    }
+    if (name.namespace_uri() == schema_.target_namespace) {
+      return options_.target_prefix + ":" + name.local_name();
+    }
+    if (name.namespace_uri() == xml::ns::kXmlNs) {
+      return "xml:" + name.local_name();
+    }
+    // Foreign namespace: fall back to the stored prefix. When the model has
+    // none, emit the bare prefixless name — mirroring the under-declared
+    // references real generators produce.
+    return name.prefix().empty() ? name.local_name() : name.lexical();
+  }
+
+  xml::Element element_to_xml(const ElementDecl& element) const {
+    xml::Element node{prefixed("element")};
+    if (element.is_ref()) {
+      node.set_attribute("ref", qname_ref(element.ref));
+    } else {
+      node.set_attribute("name", element.name);
+      if (!element.type.empty()) node.set_attribute("type", qname_ref(element.type));
+    }
+    if (element.min_occurs != 1) {
+      node.set_attribute("minOccurs", std::to_string(element.min_occurs));
+    }
+    if (element.max_occurs == kUnbounded) {
+      node.set_attribute("maxOccurs", "unbounded");
+    } else if (element.max_occurs != 1) {
+      node.set_attribute("maxOccurs", std::to_string(element.max_occurs));
+    }
+    if (element.nillable) node.set_attribute("nillable", "true");
+    if (element.inline_type.has_value()) {
+      node.add_child(complex_type_to_xml(*element.inline_type));
+    }
+    return node;
+  }
+
+  xml::Element complex_type_to_xml(const ComplexType& type) const {
+    xml::Element node{prefixed("complexType")};
+    if (!type.name.empty()) node.set_attribute("name", type.name);
+    // Derived types wrap their content in complexContent/extension.
+    xml::Element* content_parent = &node;
+    if (type.is_derived()) {
+      xml::Element& complex_content = node.add_element(prefixed("complexContent"));
+      xml::Element& extension = complex_content.add_element(prefixed("extension"));
+      extension.set_attribute("base", qname_ref(type.base));
+      content_parent = &extension;
+    }
+    xml::Element& body = *content_parent;
+    if (!type.particles.empty()) {
+      xml::Element& sequence = body.add_element(prefixed("sequence"));
+      for (const Particle& particle : type.particles) {
+        if (const ElementDecl* element = std::get_if<ElementDecl>(&particle)) {
+          sequence.add_child(element_to_xml(*element));
+        } else if (const AnyParticle* any = std::get_if<AnyParticle>(&particle)) {
+          xml::Element& any_node = sequence.add_element(prefixed("any"));
+          any_node.set_attribute("namespace", any->namespace_constraint);
+          any_node.set_attribute("processContents", any->process_contents);
+          if (any->min_occurs != 1) {
+            any_node.set_attribute("minOccurs", std::to_string(any->min_occurs));
+          }
+          if (any->max_occurs == kUnbounded) {
+            any_node.set_attribute("maxOccurs", "unbounded");
+          } else if (any->max_occurs != 1) {
+            any_node.set_attribute("maxOccurs", std::to_string(any->max_occurs));
+          }
+        }
+      }
+    }
+    for (const AttributeDecl& attribute : type.attributes) {
+      xml::Element& attr_node = body.add_element(prefixed("attribute"));
+      if (attribute.is_ref()) {
+        attr_node.set_attribute("ref", qname_ref(attribute.ref));
+      } else {
+        attr_node.set_attribute("name", attribute.name);
+        if (!attribute.type.empty()) attr_node.set_attribute("type", qname_ref(attribute.type));
+      }
+      if (attribute.required) attr_node.set_attribute("use", "required");
+    }
+    for (const AttributeGroupRef& group : type.attribute_groups) {
+      xml::Element& group_node = body.add_element(prefixed("attributeGroup"));
+      group_node.set_attribute("ref", qname_ref(group.ref));
+    }
+    return node;
+  }
+
+  xml::Element simple_type_to_xml(const SimpleTypeDecl& type) const {
+    xml::Element node{prefixed("simpleType")};
+    if (!type.name.empty()) node.set_attribute("name", type.name);
+    xml::Element& restriction = node.add_element(prefixed("restriction"));
+    restriction.set_attribute("base", qname_ref(type.base));
+    for (const std::string& value : type.enumeration) {
+      restriction.add_element(prefixed("enumeration")).set_attribute("value", value);
+    }
+    return node;
+  }
+
+  const Schema& schema_;
+  const SchemaWriteOptions& options_;
+};
+
+}  // namespace
+
+xml::Element to_xml(const Schema& schema, const SchemaWriteOptions& options) {
+  return SchemaWriter{schema, options}.build();
+}
+
+}  // namespace wsx::xsd

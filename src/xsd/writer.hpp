@@ -1,0 +1,23 @@
+// writer.hpp — serializes a Schema model to an xs:schema XML element.
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+#include "xsd/model.hpp"
+
+namespace wsx::xsd {
+
+struct SchemaWriteOptions {
+  /// Prefix bound to the XML Schema namespace. Java stacks emit "xs"/"xsd";
+  /// WCF emits "s" — which is where the paper's infamous "s:schema" and
+  /// "s:lang" references come from.
+  std::string schema_prefix = "xs";
+  /// Prefix bound to the schema's target namespace.
+  std::string target_prefix = "tns";
+};
+
+/// Builds the <xs:schema> element (with namespace declarations) for `schema`.
+xml::Element to_xml(const Schema& schema, const SchemaWriteOptions& options = {});
+
+}  // namespace wsx::xsd

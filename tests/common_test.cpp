@@ -1,0 +1,161 @@
+// Unit tests for Result/Status, Box and DiagnosticSink (src/common/).
+#include <gtest/gtest.h>
+
+#include "common/box.hpp"
+#include "common/diagnostics.hpp"
+#include "common/result.hpp"
+
+namespace wsx {
+namespace {
+
+Result<int> parse_positive(int value) {
+  if (value <= 0) return Error{"neg", "value must be positive"};
+  return value;
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = parse_positive(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(static_cast<bool>(result));
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = parse_positive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "neg");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(-1).value_or(42), 42);
+  EXPECT_EQ(parse_positive(3).value_or(42), 3);
+}
+
+TEST(Result, MoveExtractsValue) {
+  Result<std::string> result = std::string{"payload"};
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> result = std::string{"abc"};
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status status = Error{"io", "disk full"};
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().message, "disk full");
+}
+
+TEST(Box, DefaultIsEmpty) {
+  Box<int> box;
+  EXPECT_FALSE(box.has_value());
+}
+
+TEST(Box, HoldsAndDereferences) {
+  Box<int> box{5};
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ(*box, 5);
+}
+
+TEST(Box, CopyIsDeep) {
+  Box<int> a{1};
+  Box<int> b = a;
+  *b = 2;
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(Box, CopyAssignIsDeep) {
+  Box<std::string> a{std::string{"x"}};
+  Box<std::string> b;
+  b = a;
+  *b += "y";
+  EXPECT_EQ(*a, "x");
+  EXPECT_EQ(*b, "xy");
+}
+
+TEST(Box, EqualityComparesContents) {
+  EXPECT_EQ(Box<int>{3}, Box<int>{3});
+  EXPECT_FALSE(Box<int>{3} == Box<int>{4});
+  EXPECT_EQ(Box<int>{}, Box<int>{});
+  EXPECT_FALSE(Box<int>{} == Box<int>{1});
+}
+
+TEST(Box, SelfRecursiveStructure) {
+  struct Node {
+    int value = 0;
+    Box<Node> next;
+  };
+  Node root{1, Box<Node>{Node{2, {}}}};
+  Node copy = root;  // deep copy through the Box
+  copy.next->value = 99;
+  EXPECT_EQ(root.next->value, 2);
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_STREQ(to_string(Severity::kNote), "note");
+  EXPECT_STREQ(to_string(Severity::kWarning), "warning");
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kCrash), "crash");
+}
+
+TEST(DiagnosticSink, StartsEmpty) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_FALSE(sink.has_warnings());
+}
+
+TEST(DiagnosticSink, CountsBySeverity) {
+  DiagnosticSink sink;
+  sink.note("a", "n");
+  sink.warn("b", "w");
+  sink.warn("c", "w2");
+  sink.error("d", "e");
+  EXPECT_EQ(sink.count(Severity::kNote), 1u);
+  EXPECT_EQ(sink.count(Severity::kWarning), 2u);
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_TRUE(sink.has_warnings());
+}
+
+TEST(DiagnosticSink, CrashCountsAsError) {
+  DiagnosticSink sink;
+  sink.crash("jsc", "131 INTERNAL COMPILER CRASH");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_FALSE(sink.has_warnings());
+}
+
+TEST(DiagnosticSink, NotesAreNeitherWarningsNorErrors) {
+  DiagnosticSink sink;
+  sink.note("zend", "uncommon data structure");
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_FALSE(sink.has_warnings());
+}
+
+TEST(DiagnosticSink, MergeAppendsAll) {
+  DiagnosticSink a;
+  a.warn("w", "1");
+  DiagnosticSink b;
+  b.error("e", "2");
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_TRUE(a.has_errors());
+}
+
+TEST(DiagnosticSink, PreservesSubject) {
+  DiagnosticSink sink;
+  sink.error("code", "message", "types.java");
+  EXPECT_EQ(sink.diagnostics().front().subject, "types.java");
+}
+
+}  // namespace
+}  // namespace wsx

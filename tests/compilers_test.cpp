@@ -1,0 +1,217 @@
+// Unit tests for the code model and compiler simulators (src/codemodel/,
+// src/compilers/).
+#include <gtest/gtest.h>
+
+#include "compilers/compiler.hpp"
+
+namespace wsx::compilers {
+namespace {
+
+code::Artifacts clean_artifacts(code::Language language) {
+  code::Artifacts artifacts;
+  artifacts.language = language;
+  code::Class cls;
+  cls.name = "Payload";
+  cls.fields.push_back({"value", "string", false});
+  code::Method method;
+  method.name = "describe";
+  method.referenced_symbols.push_back("value");
+  cls.methods.push_back(std::move(method));
+  code::CompilationUnit unit;
+  unit.name = "types";
+  unit.classes.push_back(std::move(cls));
+  artifacts.units.push_back(std::move(unit));
+  artifacts.client_operations.push_back("echo");
+  return artifacts;
+}
+
+TEST(LanguageMeta, Names) {
+  EXPECT_STREQ(code::to_string(code::Language::kJava), "Java");
+  EXPECT_STREQ(code::to_string(code::Language::kVisualBasic), "Visual Basic .NET");
+  EXPECT_STREQ(code::to_string(code::Language::kPhp), "PHP");
+}
+
+TEST(LanguageMeta, CompilationRequirementMatchesTableII) {
+  EXPECT_TRUE(code::requires_compilation(code::Language::kJava));
+  EXPECT_TRUE(code::requires_compilation(code::Language::kCSharp));
+  EXPECT_TRUE(code::requires_compilation(code::Language::kVisualBasic));
+  EXPECT_TRUE(code::requires_compilation(code::Language::kJScript));
+  EXPECT_TRUE(code::requires_compilation(code::Language::kCpp));
+  EXPECT_FALSE(code::requires_compilation(code::Language::kPhp));
+  EXPECT_FALSE(code::requires_compilation(code::Language::kPython));
+}
+
+TEST(Factory, ReturnsCompilerPerCompiledLanguage) {
+  for (code::Language language :
+       {code::Language::kJava, code::Language::kCSharp, code::Language::kVisualBasic,
+        code::Language::kJScript, code::Language::kCpp}) {
+    const auto compiler = make_compiler(language);
+    ASSERT_NE(compiler, nullptr);
+    EXPECT_EQ(compiler->language(), language);
+  }
+  EXPECT_EQ(make_compiler(code::Language::kPhp), nullptr);
+  EXPECT_EQ(make_compiler(code::Language::kPython), nullptr);
+}
+
+TEST(AllCompilers, CleanArtifactsCompileClean) {
+  for (code::Language language :
+       {code::Language::kJava, code::Language::kCSharp, code::Language::kVisualBasic,
+        code::Language::kJScript, code::Language::kCpp}) {
+    const auto compiler = make_compiler(language);
+    const DiagnosticSink sink = compiler->compile(clean_artifacts(language));
+    EXPECT_FALSE(sink.has_errors()) << code::to_string(language);
+    EXPECT_FALSE(sink.has_warnings()) << code::to_string(language);
+  }
+}
+
+TEST(JavaCompiler, WarnsOnceOnRawCollections) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  artifacts.units.front().classes.front().fields.push_back(
+      {"cache", "java.util.ArrayList", /*raw_collection=*/true});
+  const DiagnosticSink sink = make_compiler(code::Language::kJava)->compile(artifacts);
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_EQ(sink.count(Severity::kWarning), 1u);
+  EXPECT_NE(sink.diagnostics().front().message.find("unchecked or unsafe operations"),
+            std::string::npos);
+}
+
+TEST(CSharpCompiler, DoesNotWarnOnRawCollections) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kCSharp);
+  artifacts.units.front().classes.front().fields.push_back({"cache", "ArrayList", true});
+  EXPECT_TRUE(make_compiler(code::Language::kCSharp)->compile(artifacts).empty());
+}
+
+TEST(JavaCompiler, ErrorsOnUnresolvedIdentifier) {
+  // The Axis1 Exception-wrapper defect: field renamed, reference not.
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  artifacts.units.front().classes.front().fields.front().name = "message1";
+  const DiagnosticSink sink = make_compiler(code::Language::kJava)->compile(artifacts);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics().front().code, "javac.unresolved-identifier");
+}
+
+TEST(JavaCompiler, ResolvesSymbolsAgainstParamsAndLocals) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  code::Method& method = artifacts.units.front().classes.front().methods.front();
+  method.referenced_symbols = {"arg", "tmp", "value"};
+  method.params.push_back({"arg", "int"});
+  method.local_decls.push_back("tmp");
+  EXPECT_FALSE(make_compiler(code::Language::kJava)->compile(artifacts).has_errors());
+}
+
+TEST(JavaCompiler, ErrorsOnDuplicateFields) {
+  // The Axis2 double-wildcard defect: two "extraElement" members.
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  artifacts.units.front().classes.front().fields.push_back({"extraElement", "anyType", false});
+  artifacts.units.front().classes.front().fields.push_back({"extraElement", "anyType", false});
+  const DiagnosticSink sink = make_compiler(code::Language::kJava)->compile(artifacts);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics().front().code, "javac.duplicate-member");
+}
+
+TEST(JavaCompiler, ErrorsOnDuplicateParameters) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  code::Method& method = artifacts.units.front().classes.front().methods.front();
+  method.params.push_back({"a", "int"});
+  method.params.push_back({"a", "int"});
+  EXPECT_TRUE(make_compiler(code::Language::kJava)->compile(artifacts).has_errors());
+}
+
+TEST(CaseSensitivity, CaseCollidingFieldsPassCSharpFailVb) {
+  // The VB.NET mechanism of §IV.B.3: identifiers differing only in case.
+  code::Artifacts artifacts = clean_artifacts(code::Language::kCSharp);
+  artifacts.units.front().classes.front().fields.push_back({"Value", "string", false});
+  EXPECT_FALSE(make_compiler(code::Language::kCSharp)->compile(artifacts).has_errors());
+  EXPECT_FALSE(make_compiler(code::Language::kJava)->compile(artifacts).has_errors());
+  EXPECT_FALSE(make_compiler(code::Language::kJScript)->compile(artifacts).has_errors());
+
+  const DiagnosticSink vb = make_compiler(code::Language::kVisualBasic)->compile(artifacts);
+  ASSERT_TRUE(vb.has_errors());
+  EXPECT_EQ(vb.diagnostics().front().code, "vbc.duplicate-member");
+}
+
+TEST(VbCompiler, ParameterCollidingWithMethodNameFails) {
+  // "a parameter and a method share the same name leading to a collision".
+  code::Artifacts artifacts = clean_artifacts(code::Language::kVisualBasic);
+  code::Method& method = artifacts.units.front().classes.front().methods.front();
+  method.params.push_back({"Describe", "string"});  // collides case-insensitively
+  EXPECT_TRUE(make_compiler(code::Language::kVisualBasic)->compile(artifacts).has_errors());
+  // C# compares with case: no collision.
+  EXPECT_FALSE(make_compiler(code::Language::kCSharp)->compile(artifacts).has_errors());
+}
+
+TEST(VbCompiler, ResolvesIdentifiersCaseInsensitively) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kVisualBasic);
+  code::Method& method = artifacts.units.front().classes.front().methods.front();
+  method.referenced_symbols = {"VALUE"};
+  EXPECT_FALSE(make_compiler(code::Language::kVisualBasic)->compile(artifacts).has_errors());
+}
+
+TEST(JScriptCompiler, ErrorsOnMissingBody) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJScript);
+  artifacts.units.front().classes.front().methods.front().has_body = false;
+  const DiagnosticSink sink = make_compiler(code::Language::kJScript)->compile(artifacts);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics().front().code, "jsc.missing-body");
+}
+
+TEST(JScriptCompiler, CrashesOnPathologicalUnit) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJScript);
+  artifacts.units.front().pathological = true;
+  const DiagnosticSink sink = make_compiler(code::Language::kJScript)->compile(artifacts);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics().front().severity, Severity::kCrash);
+  EXPECT_EQ(sink.diagnostics().front().message, "131 INTERNAL COMPILER CRASH");
+}
+
+TEST(JScriptCompiler, CrashAbortsRemainingUnits) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJScript);
+  artifacts.units.front().pathological = true;
+  code::CompilationUnit broken;
+  broken.name = "second";
+  code::Class cls;
+  cls.name = "X";
+  cls.fields.push_back({"dup", "t", false});
+  cls.fields.push_back({"dup", "t", false});
+  broken.classes.push_back(std::move(cls));
+  artifacts.units.push_back(std::move(broken));
+  const DiagnosticSink sink = make_compiler(code::Language::kJScript)->compile(artifacts);
+  EXPECT_EQ(sink.diagnostics().size(), 1u);  // only the crash is reported
+}
+
+TEST(CppCompiler, ErrorsOnDuplicateMembers) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kCpp);
+  artifacts.units.front().classes.front().fields.push_back({"value", "string", false});
+  EXPECT_TRUE(make_compiler(code::Language::kCpp)->compile(artifacts).has_errors());
+}
+
+TEST(Instantiation, CleanClientPasses) {
+  EXPECT_TRUE(check_instantiation(clean_artifacts(code::Language::kPython)).empty());
+}
+
+TEST(Instantiation, WarnsOnClientWithoutOperations) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kPhp);
+  artifacts.client_operations.clear();
+  const DiagnosticSink sink = check_instantiation(artifacts);
+  EXPECT_FALSE(sink.has_errors());
+  ASSERT_TRUE(sink.has_warnings());
+  EXPECT_EQ(sink.diagnostics().front().code, "dynamic.no-operations");
+}
+
+TEST(Instantiation, ErrorsWhenNothingWasGenerated) {
+  code::Artifacts artifacts;
+  const DiagnosticSink sink = check_instantiation(artifacts);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(ArtifactsModel, ClassCountSpansUnits) {
+  code::Artifacts artifacts = clean_artifacts(code::Language::kJava);
+  code::CompilationUnit extra;
+  extra.classes.push_back(code::Class{});
+  extra.classes.push_back(code::Class{});
+  artifacts.units.push_back(std::move(extra));
+  EXPECT_EQ(artifacts.class_count(), 3u);
+}
+
+}  // namespace
+}  // namespace wsx::compilers

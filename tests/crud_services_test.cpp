@@ -1,0 +1,137 @@
+// Tests for the higher-complexity (CRUD) service shape — the paper's
+// future-work extension.
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/message.hpp"
+#include "wsdl/parser.hpp"
+#include "wsi/profile.hpp"
+
+namespace wsx::frameworks {
+namespace {
+
+DeployedService crud_service(std::string_view type_name) {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = make_server("Metro 2.3");
+  const catalog::TypeInfo* type = catalog.find(type_name);
+  EXPECT_NE(type, nullptr);
+  ServiceSpec spec{type, ServiceShape::kCrud};
+  Result<DeployedService> service = server->deploy(spec);
+  EXPECT_TRUE(service.ok());
+  return std::move(service.value());
+}
+
+TEST(CrudShape, NamesAndMetadata) {
+  EXPECT_STREQ(to_string(ServiceShape::kSimpleEcho), "simple-echo");
+  EXPECT_STREQ(to_string(ServiceShape::kCrud), "crud");
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const catalog::TypeInfo* type = catalog.find(catalog::java_names::kSimpleDateFormat);
+  EXPECT_EQ((ServiceSpec{type, ServiceShape::kCrud}).service_name(),
+            "CrudSimpleDateFormat");
+}
+
+TEST(CrudShape, DeclaresThreeOperations) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  ASSERT_EQ(service.wsdl.port_types.size(), 1u);
+  const wsdl::PortType& port_type = service.wsdl.port_types.front();
+  ASSERT_EQ(port_type.operations.size(), 3u);
+  EXPECT_EQ(port_type.operations[0].name, "store");
+  EXPECT_EQ(port_type.operations[1].name, "fetch");
+  EXPECT_EQ(port_type.operations[2].name, "list");
+  EXPECT_EQ(service.wsdl.bindings.front().operations.size(), 3u);
+  EXPECT_EQ(service.wsdl.messages.size(), 6u);
+}
+
+TEST(CrudShape, ListReturnsAnUnboundedArray) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  const xsd::Schema& schema = service.wsdl.schemas.front();
+  const xsd::ElementDecl* wrapper = schema.find_element("listResponse");
+  ASSERT_NE(wrapper, nullptr);
+  ASSERT_TRUE(wrapper->inline_type.has_value());
+  const std::vector<const xsd::ElementDecl*> elements = wrapper->inline_type->elements();
+  ASSERT_EQ(elements.size(), 1u);
+  EXPECT_EQ(elements.front()->max_occurs, xsd::kUnbounded);
+}
+
+TEST(CrudShape, StaysWsiCompliantForPlainTypes) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  const wsi::ComplianceReport report = wsi::check(service.wsdl);
+  EXPECT_TRUE(report.compliant()) << report.summary();
+}
+
+TEST(CrudShape, ServedTextRoundTrips) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  Result<wsdl::Definitions> reparsed = wsdl::parse(service.wsdl_text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->operation_count(), 3u);
+}
+
+TEST(CrudShape, ClientsGenerateThreeProxyMethods) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  for (const auto& client : make_clients()) {
+    GenerationResult result = client->generate(service.wsdl_text);
+    ASSERT_TRUE(result.produced_artifacts()) << client->name();
+    EXPECT_EQ(result.artifacts->client_operations.size(), 3u) << client->name();
+  }
+}
+
+TEST(CrudShape, FaultAttachesToStoreOperation) {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  for (const catalog::TypeInfo& type : catalog.types()) {
+    if (!type.has(catalog::Trait::kThrowableDerived) ||
+        type.has(catalog::Trait::kRawGenericApi)) {
+      continue;
+    }
+    const DeployedService service = crud_service(type.qualified_name());
+    const wsdl::PortType& port_type = service.wsdl.port_types.front();
+    EXPECT_EQ(port_type.operations[0].faults.size(), 1u);
+    EXPECT_TRUE(port_type.operations[1].faults.empty());
+    EXPECT_TRUE(wsi::check(service.wsdl).compliant());
+    break;
+  }
+}
+
+TEST(CrudShape, AllOperationsInvocableOverSoap) {
+  const DeployedService service = crud_service(catalog::java_names::kXmlGregorianCalendar);
+  const auto server = make_server("Metro 2.3");
+  // store
+  Result<soap::Envelope> store =
+      soap::build_request(service.wsdl, "store", {{"arg0", "payload"}});
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(server->handle_request(service, *store).is_fault());
+  // fetch
+  Result<soap::Envelope> fetch =
+      soap::build_request(service.wsdl, "fetch", {{"arg0", "id-1"}});
+  ASSERT_TRUE(fetch.ok());
+  const soap::Envelope fetched = server->handle_request(service, *fetch);
+  EXPECT_FALSE(fetched.is_fault());
+  EXPECT_EQ(soap::response_value(fetched).value(), "id-1");
+  // list (no arguments)
+  Result<soap::Envelope> list = soap::build_request(service.wsdl, "list", {});
+  ASSERT_TRUE(list.ok());
+  EXPECT_FALSE(server->handle_request(service, *list).is_fault());
+}
+
+TEST(CrudShape, W3CEndpointReferenceStillBreaksTheSameClients) {
+  const DeployedService service = crud_service(catalog::java_names::kW3CEndpointReference);
+  EXPECT_TRUE(wsi::check(service.wsdl).failed("R2102"));
+  const auto metro = make_client("Oracle Metro 2.3");
+  EXPECT_TRUE(metro->generate(service.wsdl_text).diagnostics.has_errors());
+  const auto gsoap = make_client("gSOAP Toolkit 2.8.16");
+  EXPECT_FALSE(gsoap->generate(service.wsdl_text).diagnostics.has_errors());
+}
+
+TEST(CrudShape, JBossStillPublishesZeroOperationCrudWsdl) {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = make_server("JBossWS CXF 4.2.3");
+  const catalog::TypeInfo* future = catalog.find(catalog::java_names::kFuture);
+  Result<DeployedService> service =
+      server->deploy(ServiceSpec{future, ServiceShape::kCrud});
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service->wsdl.operation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wsx::frameworks

@@ -1,0 +1,173 @@
+// Tests for multi-document descriptions and import flattening
+// (src/wsdl/import_store.*).
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "wsdl/import_store.hpp"
+#include "wsdl/parser.hpp"
+#include "wsdl/writer.hpp"
+#include "wsi/profile.hpp"
+
+namespace wsx::wsdl {
+namespace {
+
+/// Splits a served single-document description into a root document
+/// (service + binding + import) and an interface document (everything
+/// else), stored under two locations.
+struct SplitFixture {
+  DocumentStore store;
+  Definitions original;
+  std::string root_location{"http://host/service.wsdl"};
+  std::string interface_location{"http://host/interface.wsdl"};
+};
+
+SplitFixture make_split_fixture() {
+  SplitFixture fixture;
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = frameworks::make_server("Metro 2.3");
+  const catalog::TypeInfo* type = catalog.find(catalog::java_names::kXmlGregorianCalendar);
+  fixture.original = server->deploy(frameworks::ServiceSpec{type})->wsdl;
+
+  Definitions interface_doc;
+  interface_doc.name = fixture.original.name + "Interface";
+  interface_doc.target_namespace = fixture.original.target_namespace;
+  interface_doc.schemas = fixture.original.schemas;
+  interface_doc.messages = fixture.original.messages;
+  interface_doc.port_types = fixture.original.port_types;
+
+  Definitions root_doc;
+  root_doc.name = fixture.original.name;
+  root_doc.target_namespace = fixture.original.target_namespace;
+  root_doc.bindings = fixture.original.bindings;
+  root_doc.services = fixture.original.services;
+  root_doc.imports.push_back(
+      {fixture.original.target_namespace, fixture.interface_location});
+
+  fixture.store.add(fixture.root_location, to_string(root_doc));
+  fixture.store.add(fixture.interface_location, to_string(interface_doc));
+  return fixture;
+}
+
+TEST(DocumentStoreApi, AddAndGet) {
+  DocumentStore store;
+  EXPECT_EQ(store.get("x"), nullptr);
+  store.add("x", "<a/>");
+  ASSERT_NE(store.get("x"), nullptr);
+  EXPECT_EQ(*store.get("x"), "<a/>");
+  store.add("x", "<b/>");  // replace
+  EXPECT_EQ(*store.get("x"), "<b/>");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Flatten, MergesSplitDescription) {
+  SplitFixture fixture = make_split_fixture();
+  Result<Definitions> flattened = load_flattened(fixture.store, fixture.root_location);
+  ASSERT_TRUE(flattened.ok());
+  EXPECT_TRUE(flattened->imports.empty());
+  EXPECT_EQ(flattened->schemas, fixture.original.schemas);
+  EXPECT_EQ(flattened->messages, fixture.original.messages);
+  EXPECT_EQ(flattened->port_types, fixture.original.port_types);
+  EXPECT_EQ(flattened->bindings, fixture.original.bindings);
+  EXPECT_EQ(flattened->services, fixture.original.services);
+}
+
+TEST(Flatten, FlattenedDescriptionPassesWsiAndClients) {
+  SplitFixture fixture = make_split_fixture();
+  Result<Definitions> flattened = load_flattened(fixture.store, fixture.root_location);
+  ASSERT_TRUE(flattened.ok());
+  EXPECT_TRUE(wsi::check(*flattened).compliant());
+  // The split root alone would break strict clients; the flattened text
+  // consumes cleanly everywhere.
+  const std::string text = to_string(*flattened);
+  for (const auto& client : frameworks::make_clients()) {
+    EXPECT_FALSE(client->generate(text).diagnostics.has_errors()) << client->name();
+  }
+}
+
+TEST(Flatten, UnknownRootFails) {
+  DocumentStore store;
+  Result<Definitions> flattened = load_flattened(store, "http://nowhere/");
+  ASSERT_FALSE(flattened.ok());
+  EXPECT_EQ(flattened.error().code, "wsdl.unknown-location");
+}
+
+TEST(Flatten, UnknownImportLocationFails) {
+  SplitFixture fixture = make_split_fixture();
+  DocumentStore store;
+  store.add(fixture.root_location, *fixture.store.get(fixture.root_location));
+  // interface document intentionally missing
+  Result<Definitions> flattened = load_flattened(store, fixture.root_location);
+  ASSERT_FALSE(flattened.ok());
+  EXPECT_EQ(flattened.error().code, "wsdl.unknown-location");
+}
+
+TEST(Flatten, LocationlessImportFails) {
+  Definitions doc;
+  doc.target_namespace = "urn:x";
+  doc.imports.push_back({"urn:other", ""});
+  DocumentStore store;
+  store.add("root", to_string(doc));
+  Result<Definitions> flattened = load_flattened(store, "root");
+  ASSERT_FALSE(flattened.ok());
+  EXPECT_EQ(flattened.error().code, "wsdl.unresolved-import");
+}
+
+TEST(Flatten, CyclesAreDetected) {
+  Definitions a;
+  a.target_namespace = "urn:a";
+  a.imports.push_back({"urn:b", "b"});
+  Definitions b;
+  b.target_namespace = "urn:b";
+  b.imports.push_back({"urn:a", "a"});
+  DocumentStore store;
+  store.add("a", to_string(a));
+  store.add("b", to_string(b));
+  Result<Definitions> flattened = load_flattened(store, "a");
+  ASSERT_FALSE(flattened.ok());
+  EXPECT_EQ(flattened.error().code, "wsdl.import-cycle");
+}
+
+TEST(Flatten, DiamondImportsMergeOnce) {
+  // root imports b and c; both import d — d must merge exactly once.
+  Definitions d;
+  d.target_namespace = "urn:d";
+  d.port_types.push_back({"SharedPort", {}});
+  Definitions b;
+  b.target_namespace = "urn:b";
+  b.imports.push_back({"urn:d", "d"});
+  Definitions c;
+  c.target_namespace = "urn:c";
+  c.imports.push_back({"urn:d", "d"});
+  Definitions root;
+  root.target_namespace = "urn:root";
+  root.imports.push_back({"urn:b", "b"});
+  root.imports.push_back({"urn:c", "c"});
+  DocumentStore store;
+  store.add("b", to_string(b));
+  store.add("c", to_string(c));
+  store.add("d", to_string(d));
+  store.add("root", to_string(root));
+  Result<Definitions> flattened = load_flattened(store, "root");
+  ASSERT_TRUE(flattened.ok());
+  std::size_t shared = 0;
+  for (const PortType& port_type : flattened->port_types) {
+    if (port_type.name == "SharedPort") ++shared;
+  }
+  EXPECT_EQ(shared, 1u);
+}
+
+TEST(Flatten, MalformedImportedDocumentReportsLocation) {
+  Definitions root;
+  root.target_namespace = "urn:x";
+  root.imports.push_back({"urn:bad", "bad"});
+  DocumentStore store;
+  store.add("root", to_string(root));
+  store.add("bad", "<not-wsdl");
+  Result<Definitions> flattened = load_flattened(store, "root");
+  ASSERT_FALSE(flattened.ok());
+  EXPECT_NE(flattened.error().message.find("'bad'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsx::wsdl

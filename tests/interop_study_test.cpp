@@ -1,0 +1,221 @@
+// Integration tests for the study runner and classification (src/interop/),
+// on scaled populations.
+#include <gtest/gtest.h>
+
+#include "frameworks/registry.hpp"
+#include "interop/report.hpp"
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+namespace {
+
+/// A small but structurally complete configuration (every trait present).
+StudyConfig small_config() {
+  StudyConfig config;
+  config.java_spec.plain_beans = 30;
+  config.java_spec.throwable_clean = 5;
+  config.java_spec.throwable_raw = 2;
+  config.java_spec.raw_generic_beans = 3;
+  config.java_spec.anytype_array_beans = 2;
+  config.java_spec.no_default_ctor = 5;
+  config.java_spec.abstract_classes = 3;
+  config.java_spec.interfaces = 4;
+  config.java_spec.generic_types = 2;
+  config.dotnet_spec.plain_types = 40;
+  config.dotnet_spec.dataset_plain = 2;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 3;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 10;
+  config.dotnet_spec.no_default_ctor = 8;
+  config.dotnet_spec.generic_types = 5;
+  config.dotnet_spec.abstract_classes = 4;
+  config.dotnet_spec.interfaces = 3;
+  return config;
+}
+
+class SmallStudy : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { result_ = new StudyResult(run_study(small_config())); }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const StudyResult& result() { return *result_; }
+  static StudyResult* result_;
+};
+
+StudyResult* SmallStudy::result_ = nullptr;
+
+TEST_F(SmallStudy, RunsAllThreeServers) {
+  ASSERT_EQ(result().servers.size(), 3u);
+  EXPECT_EQ(result().servers[0].application_server, "GlassFish 4.0");
+  EXPECT_EQ(result().servers[1].application_server, "JBoss AS 7.2");
+  EXPECT_EQ(result().servers[2].application_server, "IIS 8.0.8418.0 (Express)");
+}
+
+TEST_F(SmallStudy, EveryCellRunsOneTestPerDeployedService) {
+  for (const ServerResult& server : result().servers) {
+    ASSERT_EQ(server.cells.size(), 11u);
+    for (const CellResult& cell : server.cells) {
+      EXPECT_EQ(cell.tests, server.services_deployed);
+    }
+  }
+}
+
+TEST_F(SmallStudy, CreatedEqualsDeployedPlusRefused) {
+  for (const ServerResult& server : result().servers) {
+    EXPECT_EQ(server.services_created,
+              server.services_deployed + server.deployment_refusals);
+  }
+}
+
+TEST_F(SmallStudy, DescriptionStepNeverErrors) {
+  for (const ServerResult& server : result().servers) {
+    EXPECT_EQ(server.description_errors, 0u);
+  }
+}
+
+TEST_F(SmallStudy, DescriptionWarningsAreWsiFailuresPlusUnusable) {
+  for (const ServerResult& server : result().servers) {
+    EXPECT_EQ(server.description_warnings,
+              server.wsi_failures + server.zero_operation_services);
+  }
+}
+
+TEST_F(SmallStudy, JBossPublishesTwoZeroOperationServices) {
+  EXPECT_EQ(result().servers[1].zero_operation_services, 2u);  // Future, Response
+  EXPECT_EQ(result().servers[0].zero_operation_services, 0u);  // Metro refuses
+  EXPECT_EQ(result().servers[2].zero_operation_services, 0u);
+}
+
+TEST_F(SmallStudy, CompilationWarningsComeOnlyFromAxis) {
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) {
+      const bool is_axis = cell.client.find("Axis") != std::string::npos;
+      if (is_axis) {
+        EXPECT_EQ(cell.compilation.warnings, server.services_deployed) << cell.client;
+      } else {
+        EXPECT_EQ(cell.compilation.warnings, 0u) << cell.client;
+      }
+    }
+  }
+}
+
+TEST_F(SmallStudy, DynamicClientsHaveNoCompilationOutcomes) {
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) {
+      if (!cell.compiled) {
+        EXPECT_EQ(cell.compilation.warnings, 0u) << cell.client;
+        EXPECT_EQ(cell.compilation.errors, 0u) << cell.client;
+      }
+    }
+  }
+}
+
+TEST_F(SmallStudy, TotalsAggregateCells) {
+  std::size_t generation_errors = 0;
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) generation_errors += cell.generation.errors;
+  }
+  EXPECT_EQ(result().total_generation().errors, generation_errors);
+  EXPECT_EQ(result().total_interop_errors(),
+            result().total_generation().errors + result().total_compilation().errors);
+}
+
+TEST_F(SmallStudy, SamePlatformFailuresAreSubsetOfSameFramework) {
+  EXPECT_LE(result().same_platform_failures, result().same_framework_failures);
+  EXPECT_GT(result().same_platform_failures, 0u);
+}
+
+TEST_F(SmallStudy, FlaggedDownstreamErrorsBoundedByFlagged) {
+  EXPECT_LE(result().flagged_services_with_downstream_error, result().flagged_services);
+  EXPECT_GT(result().flagged_services, 0u);
+}
+
+TEST_F(SmallStudy, SampleDiagnosticsAreCollected) {
+  bool any_sample = false;
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) {
+      if (!cell.samples.empty()) any_sample = true;
+    }
+  }
+  EXPECT_TRUE(any_sample);
+}
+
+TEST_F(SmallStudy, SingleThreadedRunIsIdentical) {
+  StudyConfig config = small_config();
+  config.threads = 1;
+  const StudyResult serial = run_study(config);
+  ASSERT_EQ(serial.servers.size(), result().servers.size());
+  for (std::size_t s = 0; s < serial.servers.size(); ++s) {
+    const ServerResult& a = serial.servers[s];
+    const ServerResult& b = result().servers[s];
+    EXPECT_EQ(a.description_warnings, b.description_warnings);
+    for (std::size_t c = 0; c < a.cells.size(); ++c) {
+      EXPECT_EQ(a.cells[c].generation, b.cells[c].generation) << a.cells[c].client;
+      EXPECT_EQ(a.cells[c].compilation, b.cells[c].compilation) << a.cells[c].client;
+    }
+  }
+  EXPECT_EQ(serial.same_platform_failures, result().same_platform_failures);
+  EXPECT_EQ(serial.total_tests(), result().total_tests());
+}
+
+TEST_F(SmallStudy, ErrorCodesAreCatalogued) {
+  // The cell-level error-code histogram must account for at least every
+  // errored test (a test can contribute several codes).
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) {
+      std::size_t catalogued = 0;
+      for (const auto& [code, count] : cell.error_codes) {
+        EXPECT_FALSE(code.empty());
+        catalogued += count;
+      }
+      EXPECT_GE(catalogued, cell.generation.errors + cell.compilation.errors) << cell.client;
+    }
+  }
+}
+
+TEST_F(SmallStudy, FailureCatalogRendersKnownCodes) {
+  const std::string catalog = format_failure_catalog(result());
+  EXPECT_NE(catalog.find("javac.unresolved-identifier"), std::string::npos);
+  EXPECT_NE(catalog.find("distinct error codes"), std::string::npos);
+  EXPECT_NE(catalog.find("Apache Axis1 1.4"), std::string::npos);
+}
+
+TEST_F(SmallStudy, ReportsRenderWithoutCrashing) {
+  EXPECT_FALSE(format_fig4(result()).empty());
+  EXPECT_FALSE(format_table3(result()).empty());
+  EXPECT_FALSE(format_findings(result()).empty());
+  EXPECT_NE(format_table1().find("GlassFish"), std::string::npos);
+  EXPECT_NE(format_table2().find("wsimport"), std::string::npos);
+}
+
+TEST(ServerCampaign, CustomClientRosterIsHonoured) {
+  const catalog::TypeCatalog java = catalog::make_java_catalog(small_config().java_spec);
+  const std::vector<frameworks::ServiceSpec> services = frameworks::make_services(java);
+  std::vector<std::unique_ptr<frameworks::ClientFramework>> clients;
+  clients.push_back(frameworks::make_client("Oracle Metro 2.3"));
+  const auto server = frameworks::make_server("Metro 2.3");
+  const ServerResult result =
+      run_server_campaign(*server, services, clients, StudyConfig{});
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells.front().client, "Oracle Metro 2.3");
+  EXPECT_EQ(result.cells.front().tests, result.services_deployed);
+}
+
+TEST(StepCountsApi, AccumulatesWithPlusEquals) {
+  StepCounts a{1, 2};
+  StepCounts b{10, 20};
+  a += b;
+  EXPECT_EQ(a.warnings, 11u);
+  EXPECT_EQ(a.errors, 22u);
+}
+
+}  // namespace
+}  // namespace wsx::interop

@@ -1,0 +1,113 @@
+// Tests for campaign snapshotting and run diffing (src/interop/persistence.*).
+#include <gtest/gtest.h>
+
+#include "interop/persistence.hpp"
+
+namespace wsx::interop {
+namespace {
+
+StudyConfig tiny() {
+  StudyConfig config;
+  config.java_spec.plain_beans = 6;
+  config.java_spec.throwable_clean = 1;
+  config.java_spec.throwable_raw = 1;
+  config.java_spec.raw_generic_beans = 1;
+  config.java_spec.anytype_array_beans = 1;
+  config.java_spec.no_default_ctor = 1;
+  config.java_spec.abstract_classes = 1;
+  config.java_spec.interfaces = 1;
+  config.java_spec.generic_types = 1;
+  config.dotnet_spec.plain_types = 6;
+  config.dotnet_spec.dataset_plain = 1;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 1;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 1;
+  config.dotnet_spec.no_default_ctor = 1;
+  config.dotnet_spec.generic_types = 1;
+  config.dotnet_spec.abstract_classes = 1;
+  config.dotnet_spec.interfaces = 1;
+  return config;
+}
+
+TEST(Persistence, SnapshotRoundTrips) {
+  const StudyResult run = run_study(tiny());
+  const std::string csv = to_snapshot_csv(run);
+  Result<std::vector<SnapshotCell>> cells = parse_snapshot_csv(csv);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->size(), 33u);  // 3 servers × 11 clients
+  // Spot-check one cell against the in-memory result.
+  const ServerResult& metro = run.servers.front();
+  const SnapshotCell& first = cells->front();
+  EXPECT_EQ(first.server, metro.server);
+  EXPECT_EQ(first.client, metro.cells.front().client);
+  EXPECT_EQ(first.tests, metro.cells.front().tests);
+  EXPECT_EQ(first.generation, metro.cells.front().generation);
+  EXPECT_EQ(first.compilation, metro.cells.front().compilation);
+}
+
+TEST(Persistence, IdenticalRunsDiffEmpty) {
+  const StudyResult run = run_study(tiny());
+  Result<std::vector<SnapshotCell>> before = parse_snapshot_csv(to_snapshot_csv(run));
+  Result<std::vector<SnapshotCell>> after = parse_snapshot_csv(to_snapshot_csv(run));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(diff_snapshots(*before, *after).empty());
+  EXPECT_NE(format_diff({}).find("no behavioural changes"), std::string::npos);
+}
+
+TEST(Persistence, ChangedCellsAreReported) {
+  std::vector<SnapshotCell> before = {
+      {"S", "A", 100, {0, 1}, {10, 2}},
+      {"S", "B", 100, {0, 0}, {0, 0}},
+  };
+  std::vector<SnapshotCell> after = before;
+  after[0].generation.errors = 5;
+  after[1].compilation.warnings = 7;
+  const std::vector<CellDiff> diff = diff_snapshots(before, after);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].metric, "generation_errors");
+  EXPECT_EQ(diff[0].before, 1u);
+  EXPECT_EQ(diff[0].after, 5u);
+  EXPECT_EQ(diff[1].metric, "compilation_warnings");
+  const std::string text = format_diff(diff);
+  EXPECT_NE(text.find("generation_errors 1 -> 5"), std::string::npos);
+}
+
+TEST(Persistence, MissingCellsDiffAgainstZero) {
+  std::vector<SnapshotCell> before = {{"S", "A", 10, {1, 1}, {1, 1}}};
+  std::vector<SnapshotCell> after;  // tool removed from the roster
+  const std::vector<CellDiff> diff = diff_snapshots(before, after);
+  EXPECT_EQ(diff.size(), 5u);  // every metric dropped to 0
+  // And the reverse: a new tool appears.
+  const std::vector<CellDiff> reverse = diff_snapshots(after, before);
+  EXPECT_EQ(reverse.size(), 5u);
+  EXPECT_EQ(reverse.front().before, 0u);
+}
+
+TEST(Persistence, RejectsMalformedSnapshots) {
+  EXPECT_FALSE(parse_snapshot_csv("").ok());
+  EXPECT_FALSE(parse_snapshot_csv("nonsense header\n1,2,3").ok());
+  EXPECT_EQ(parse_snapshot_csv("server,client,tests,a,b,c,d\nS,A,1,2,3").error().code,
+            "snapshot.bad-record");
+  EXPECT_EQ(
+      parse_snapshot_csv("server,client,tests,a,b,c,d\nS,A,one,2,3,4,5").error().code,
+      "snapshot.bad-number");
+}
+
+TEST(Persistence, QuotedFieldsParse) {
+  const char* csv =
+      "server,client,tests,gw,ge,cw,ce\n\"Server, with comma\",\"He said \"\"hi\"\"\",1,2,3,4,5\n";
+  Result<std::vector<SnapshotCell>> cells = parse_snapshot_csv(csv);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->front().server, "Server, with comma");
+  EXPECT_EQ(cells->front().client, "He said \"hi\"");
+}
+
+}  // namespace
+}  // namespace wsx::interop

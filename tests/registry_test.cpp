@@ -1,0 +1,194 @@
+// Tests for the UDDI-style registry with admission auditing
+// (src/registry/) and the CSV exports of the extension studies.
+#include <gtest/gtest.h>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "fuzz/campaign.hpp"
+#include "interop/communication.hpp"
+#include "registry/registry.hpp"
+
+namespace wsx::registry {
+namespace {
+
+frameworks::DeployedService deploy(const frameworks::ServerFramework& server,
+                                   std::string_view type_name) {
+  static const catalog::TypeCatalog java = catalog::make_java_catalog();
+  static const catalog::TypeCatalog dotnet = catalog::make_dotnet_catalog();
+  const catalog::TypeCatalog& catalog = server.language() == "C#" ? dotnet : java;
+  const catalog::TypeInfo* type = catalog.find(type_name);
+  EXPECT_NE(type, nullptr) << type_name;
+  return std::move(server.deploy(frameworks::ServiceSpec{type}).value());
+}
+
+/// A trait-free bean: every tool consumes it (with the usual warnings).
+std::string plain_java_type() {
+  static const catalog::TypeCatalog java = catalog::make_java_catalog();
+  for (const catalog::TypeInfo& type : java.types()) {
+    if (type.traits == (static_cast<std::uint64_t>(catalog::Trait::kDefaultCtor) |
+                        static_cast<std::uint64_t>(catalog::Trait::kSerializable))) {
+      return type.qualified_name();
+    }
+  }
+  return {};
+}
+
+TEST(Registry, PlainServiceAuditsYellowDueToAxisWarnings) {
+  // Even a clean service cannot audit green across the full roster: the
+  // Axis artifacts always compile with unchecked-operations warnings and
+  // JScript warns on every Java description — the audit makes the study's
+  // background noise visible per service.
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  Result<Audit> verdict = registry.publish(*metro, deploy(*metro, plain_java_type()));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, Audit::kYellow);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, Axis2IncompatibleTypeAuditsRed) {
+  // XMLGregorianCalendar looks harmless but Axis2's artifacts fail to
+  // compile — the audit catches what the WS-I check cannot.
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  Result<Audit> verdict =
+      registry.publish(*metro, deploy(*metro, catalog::java_names::kXmlGregorianCalendar));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, Audit::kRed);
+  EXPECT_EQ(registry.find("EchoXMLGregorianCalendar")->failing_clients, 1u);
+}
+
+TEST(Registry, WsiOnlyAuditCanBeGreen) {
+  RegistryOptions options;
+  options.audition_with_clients = false;
+  ServiceRegistry registry{options};
+  const auto metro = frameworks::make_server("Metro 2.3");
+  Result<Audit> verdict =
+      registry.publish(*metro, deploy(*metro, catalog::java_names::kXmlGregorianCalendar));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, Audit::kGreen);
+}
+
+TEST(Registry, BrokenServiceAuditsRed) {
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  Result<Audit> verdict = registry.publish(
+      *metro, deploy(*metro, catalog::java_names::kW3CEndpointReference));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, Audit::kRed);
+  const Entry* entry = registry.find("EchoW3CEndpointReference");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GT(entry->failing_clients, 0u);
+  EXPECT_FALSE(entry->audit_notes.empty());
+}
+
+TEST(Registry, ZeroOperationServiceAuditsRed) {
+  ServiceRegistry registry;
+  const auto jboss = frameworks::make_server("JBossWS CXF 4.2.3");
+  Result<Audit> verdict =
+      registry.publish(*jboss, deploy(*jboss, catalog::java_names::kFuture));
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, Audit::kRed);
+}
+
+TEST(Registry, AdmissionGateRefusesRedServices) {
+  RegistryOptions options;
+  options.reject_red = true;
+  ServiceRegistry registry{options};
+  const auto metro = frameworks::make_server("Metro 2.3");
+  Result<Audit> verdict = registry.publish(
+      *metro, deploy(*metro, catalog::java_names::kW3CEndpointReference));
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, "registry.audition-failed");
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, DuplicateKeysAreRejected) {
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  ASSERT_TRUE(registry
+                  .publish(*metro,
+                           deploy(*metro, catalog::java_names::kXmlGregorianCalendar))
+                  .ok());
+  Result<Audit> again = registry.publish(
+      *metro, deploy(*metro, catalog::java_names::kXmlGregorianCalendar));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, "registry.duplicate-key");
+}
+
+TEST(Registry, ConsumableLookupFiltersByVerdict) {
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  ASSERT_TRUE(registry.publish(*metro, deploy(*metro, plain_java_type())).ok());
+  ASSERT_TRUE(
+      registry.publish(*metro, deploy(*metro, catalog::java_names::kW3CEndpointReference))
+          .ok());
+  EXPECT_EQ(registry.find_consumable(Audit::kGreen).size(), 0u);
+  EXPECT_EQ(registry.find_consumable(Audit::kYellow).size(), 1u);
+  EXPECT_EQ(registry.find_consumable(Audit::kRed).size(), 2u);
+}
+
+TEST(Registry, TypeLookupMatchesSubstrings) {
+  ServiceRegistry registry;
+  const auto metro = frameworks::make_server("Metro 2.3");
+  ASSERT_TRUE(registry
+                  .publish(*metro,
+                           deploy(*metro, catalog::java_names::kXmlGregorianCalendar))
+                  .ok());
+  EXPECT_EQ(registry.find_by_type("GregorianCalendar").size(), 1u);
+  EXPECT_EQ(registry.find_by_type("javax.xml").size(), 1u);
+  EXPECT_TRUE(registry.find_by_type("System.Data").empty());
+}
+
+TEST(Registry, AuditNames) {
+  EXPECT_STREQ(to_string(Audit::kGreen), "green");
+  EXPECT_STREQ(to_string(Audit::kRed), "red");
+  EXPECT_STREQ(to_string(Audit::kNotAudited), "not-audited");
+}
+
+TEST(CsvExports, CommunicationCsvHasOneRowPerCell) {
+  interop::StudyConfig config;
+  config.java_spec.plain_beans = 3;
+  config.java_spec.throwable_clean = 1;
+  config.java_spec.throwable_raw = 1;
+  config.java_spec.raw_generic_beans = 1;
+  config.java_spec.anytype_array_beans = 1;
+  config.java_spec.no_default_ctor = 1;
+  config.java_spec.abstract_classes = 1;
+  config.java_spec.interfaces = 1;
+  config.java_spec.generic_types = 1;
+  config.dotnet_spec.plain_types = 3;
+  config.dotnet_spec.dataset_plain = 1;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 1;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 1;
+  config.dotnet_spec.no_default_ctor = 1;
+  config.dotnet_spec.generic_types = 1;
+  config.dotnet_spec.abstract_classes = 1;
+  config.dotnet_spec.interfaces = 1;
+  const std::string csv =
+      interop::communication_csv(interop::run_communication_study(config));
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 33);
+  EXPECT_EQ(csv.find("server,client,blocked"), 0u);
+}
+
+TEST(CsvExports, FuzzCsvCoversToolsTimesKinds) {
+  fuzz::FuzzConfig config;
+  config.corpus_per_server = 1;
+  const fuzz::FuzzReport report = fuzz::run_fuzz_campaign(config);
+  const std::string csv = fuzz::fuzz_csv(report);
+  // header + 11 tools × 16 mutation kinds
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            1 + 11 * static_cast<long>(fuzz::kMutationKindCount));
+  EXPECT_EQ(csv.find("client,mutation,"), 0u);
+}
+
+}  // namespace
+}  // namespace wsx::registry

@@ -1,0 +1,82 @@
+// Tests for the artifact source renderer (src/codemodel/render.*).
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "codemodel/render.hpp"
+#include "frameworks/registry.hpp"
+
+namespace wsx::code {
+namespace {
+
+CompilationUnit sample_unit() {
+  CompilationUnit unit;
+  unit.name = "types";
+  Class cls;
+  cls.name = "Payload";
+  cls.base = "Base";
+  cls.fields.push_back({"value", "string", false});
+  cls.fields.push_back({"cache", "java.util.ArrayList", true});
+  Method method;
+  method.name = "describe";
+  method.return_type = "string";
+  method.params.push_back({"verbose", "boolean"});
+  method.referenced_symbols = {"value"};
+  method.local_decls = {"tmp"};
+  cls.methods.push_back(std::move(method));
+  Method broken;
+  broken.name = "dangling";
+  broken.has_body = false;
+  cls.methods.push_back(std::move(broken));
+  unit.classes.push_back(std::move(cls));
+  return unit;
+}
+
+TEST(Render, JavaStyleShowsTypesAndDefects) {
+  const std::string text = render(sample_unit(), Language::kJava);
+  EXPECT_NE(text.find("class Payload extends Base {"), std::string::npos);
+  EXPECT_NE(text.find("private string value;"), std::string::npos);
+  EXPECT_NE(text.find("/* raw collection */"), std::string::npos);
+  EXPECT_NE(text.find("public string describe(boolean verbose)"), std::string::npos);
+  EXPECT_NE(text.find("<missing body>"), std::string::npos);
+  EXPECT_NE(text.find("use(value);"), std::string::npos);
+}
+
+TEST(Render, VbStyleOmitsTypesBeforeNames) {
+  const std::string text = render(sample_unit(), Language::kVisualBasic);
+  EXPECT_NE(text.find("Class Payload"), std::string::npos);
+  EXPECT_NE(text.find("Private value"), std::string::npos);
+  EXPECT_NE(text.find("Public describe(verbose)"), std::string::npos);
+}
+
+TEST(Render, PathologicalUnitsAreMarked) {
+  CompilationUnit unit = sample_unit();
+  unit.pathological = true;
+  EXPECT_NE(render(unit, Language::kJScript).find("crashes the real compiler"),
+            std::string::npos);
+}
+
+TEST(Render, RealArtifactsShowTheAxis1Defect) {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = frameworks::make_server("Metro 2.3");
+  const auto axis1 = frameworks::make_client("Apache Axis1 1.4");
+  for (const catalog::TypeInfo& type : catalog.types()) {
+    if (!type.has(catalog::Trait::kThrowableDerived) ||
+        type.has(catalog::Trait::kRawGenericApi)) {
+      continue;
+    }
+    Result<frameworks::DeployedService> service =
+        server->deploy(frameworks::ServiceSpec{&type});
+    ASSERT_TRUE(service.ok());
+    frameworks::GenerationResult generation = axis1->generate(service->wsdl_text);
+    ASSERT_TRUE(generation.produced_artifacts());
+    const std::string text = render(*generation.artifacts);
+    // The defect is visible: the field is message1 but the use site says
+    // message.
+    EXPECT_NE(text.find("message1"), std::string::npos);
+    EXPECT_NE(text.find("use(message)"), std::string::npos);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace wsx::code

@@ -1,0 +1,155 @@
+// The reproduction suite: runs the paper's full campaign (22024 services,
+// 79629 tests) once and asserts every Fig. 4 bar, every Table III cell and
+// every §IV headline aggregate against the values reconstructed from the
+// paper (src/interop/paper_reference.hpp, DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include "interop/paper_reference.hpp"
+#include "interop/report.hpp"
+#include "interop/study.hpp"
+
+namespace wsx::interop {
+namespace {
+
+class FullStudy : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { result_ = new StudyResult(run_study()); }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const StudyResult& result() { return *result_; }
+  static StudyResult* result_;
+};
+
+StudyResult* FullStudy::result_ = nullptr;
+
+TEST_F(FullStudy, TotalTestsExecuted) {
+  EXPECT_EQ(result().total_tests(), paper::kTotalTests);  // 79629
+}
+
+TEST_F(FullStudy, ServiceCorpus) {
+  EXPECT_EQ(result().total_services_created(), paper::kServicesCreated);      // 22024
+  EXPECT_EQ(result().total_deployment_refusals(), paper::kWsdlFailures);      // 14785
+  EXPECT_EQ(result().total_services_created() - result().total_deployment_refusals(),
+            paper::kServicesDeployed);                                        // 7239
+}
+
+TEST_F(FullStudy, PerServerDeploymentCounts) {
+  ASSERT_EQ(result().servers.size(), 3u);
+  EXPECT_EQ(result().servers[0].services_deployed, 2489u);  // GlassFish
+  EXPECT_EQ(result().servers[1].services_deployed, 2248u);  // JBoss AS
+  EXPECT_EQ(result().servers[2].services_deployed, 2502u);  // IIS
+}
+
+TEST_F(FullStudy, Fig4MatchesEveryBar) {
+  for (const ServerResult& server : result().servers) {
+    const std::string_view short_name = paper::normalize_server_name(server.server);
+    const paper::Fig4Row* reference = nullptr;
+    for (const paper::Fig4Row& row : paper::kFig4) {
+      if (row.server == short_name) reference = &row;
+    }
+    ASSERT_NE(reference, nullptr) << server.server;
+    EXPECT_EQ(server.description_warnings, reference->description_warnings) << server.server;
+    EXPECT_EQ(server.description_errors, reference->description_errors) << server.server;
+    EXPECT_EQ(server.generation_totals().warnings, reference->generation_warnings)
+        << server.server;
+    EXPECT_EQ(server.generation_totals().errors, reference->generation_errors)
+        << server.server;
+    EXPECT_EQ(server.compilation_totals().warnings, reference->compilation_warnings)
+        << server.server;
+    EXPECT_EQ(server.compilation_totals().errors, reference->compilation_errors)
+        << server.server;
+  }
+}
+
+TEST_F(FullStudy, TableIIIMatchesEveryCell) {
+  std::size_t matched = 0;
+  for (const ServerResult& server : result().servers) {
+    const std::string_view server_short = paper::normalize_server_name(server.server);
+    for (const CellResult& cell : server.cells) {
+      const std::string_view client_short = paper::normalize_client_name(cell.client);
+      for (const paper::Table3Cell& reference : paper::kTable3) {
+        if (reference.server != server_short || reference.client != client_short) continue;
+        ++matched;
+        EXPECT_EQ(cell.generation.warnings, reference.generation_warnings)
+            << server.server << " / " << cell.client;
+        EXPECT_EQ(cell.generation.errors, reference.generation_errors)
+            << server.server << " / " << cell.client;
+        EXPECT_EQ(cell.compilation.warnings, reference.compilation_warnings)
+            << server.server << " / " << cell.client;
+        EXPECT_EQ(cell.compilation.errors, reference.compilation_errors)
+            << server.server << " / " << cell.client;
+      }
+    }
+  }
+  EXPECT_EQ(matched, paper::kTable3.size());  // all 33 cells compared
+}
+
+TEST_F(FullStudy, HeadlineAggregates) {
+  EXPECT_EQ(result().total_description_warnings(), paper::kDescriptionWarnings);  // 86
+  EXPECT_EQ(result().total_generation().warnings, paper::kGenerationWarnings);
+  EXPECT_EQ(result().total_generation().errors, paper::kGenerationErrors);
+  EXPECT_EQ(result().total_compilation().warnings, paper::kCompilationWarnings);  // 14478
+  EXPECT_EQ(result().total_compilation().errors, paper::kCompilationErrors);      // 1301
+  EXPECT_EQ(result().total_interop_errors(), paper::kInteropErrors);
+}
+
+TEST_F(FullStudy, SamePlatformFailuresMatchThe307) {
+  EXPECT_EQ(result().same_platform_failures, paper::kSamePlatformFailures);  // 307
+}
+
+TEST_F(FullStudy, WsIAblationMatchesThe95Point3Percent) {
+  EXPECT_EQ(result().flagged_services, paper::kFlaggedServices);  // 86
+  EXPECT_EQ(result().flagged_services_with_downstream_error,
+            paper::kFlaggedWithDownstreamError);  // 82 -> 95.3%
+}
+
+TEST_F(FullStudy, MostGenerationErrorsComeFromFlaggedDescriptions) {
+  // Paper: "About 97% of the errors in this step are produced when using
+  // WSDL documents that failed the WS-I check."
+  const double share =
+      100.0 * static_cast<double>(result().generation_errors_on_flagged) /
+      static_cast<double>(result().generation_errors_on_flagged +
+                          result().generation_errors_on_compliant);
+  EXPECT_GT(share, 90.0);
+  EXPECT_LE(share, 100.0);
+}
+
+TEST_F(FullStudy, AxisCompilationErrorsMatchThe889) {
+  // "Axis1 artifacts generated for Metro and JBossWS services resulted in
+  // 889 artifact compilation errors."
+  std::size_t axis1_java_errors = 0;
+  for (const ServerResult& server : result().servers) {
+    if (paper::normalize_server_name(server.server) == "WCF .NET") continue;
+    for (const CellResult& cell : server.cells) {
+      if (cell.client == "Apache Axis1 1.4") axis1_java_errors += cell.compilation.errors;
+    }
+  }
+  EXPECT_EQ(axis1_java_errors, 889u);
+}
+
+TEST_F(FullStudy, Axis2HasExactlyFiveCompilationErrors) {
+  // "The Axis2 platform shows 5 compilation errors, of which 2 account for
+  // the services that use the javax.xml.datatype.XMLGregorianCalendar class."
+  std::size_t axis2_errors = 0;
+  for (const ServerResult& server : result().servers) {
+    for (const CellResult& cell : server.cells) {
+      if (cell.client == "Apache Axis2 1.6.2") axis2_errors += cell.compilation.errors;
+    }
+  }
+  EXPECT_EQ(axis2_errors, 5u);
+}
+
+TEST_F(FullStudy, FindingsReportShowsNoDivergence) {
+  const std::string report = format_findings(result());
+  EXPECT_EQ(report.find("DIVERGE"), std::string::npos) << report;
+}
+
+TEST_F(FullStudy, Fig4ReportShowsNoDivergence) {
+  const std::string report = format_fig4(result());
+  EXPECT_EQ(report.find("DIVERGE"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace wsx::interop

@@ -1,0 +1,74 @@
+// Tests for the rpc/literal binding variant of the description builder.
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/wsdl_builder.hpp"
+#include "wsdl/parser.hpp"
+#include "wsdl/writer.hpp"
+#include "wsi/profile.hpp"
+
+namespace wsx::frameworks {
+namespace {
+
+wsdl::Definitions rpc_definitions() {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const catalog::TypeInfo* type = catalog.find(catalog::java_names::kXmlGregorianCalendar);
+  WsdlBuilderOptions options;
+  options.namespace_root = "http://rpc.example.org/";
+  options.endpoint_root = "http://localhost/rpc/";
+  options.binding_style = wsdl::SoapStyle::kRpc;
+  return build_echo_wsdl(ServiceSpec{type}, options);
+}
+
+TEST(RpcStyle, PartsUseTypeNotElement) {
+  const wsdl::Definitions defs = rpc_definitions();
+  for (const wsdl::Message& message : defs.messages) {
+    for (const wsdl::Part& part : message.parts) {
+      EXPECT_TRUE(part.element.empty()) << message.name;
+      EXPECT_FALSE(part.type.empty()) << message.name;
+    }
+  }
+  EXPECT_EQ(defs.bindings.front().style, wsdl::SoapStyle::kRpc);
+}
+
+TEST(RpcStyle, NoWrapperElementsAreDeclared) {
+  const wsdl::Definitions defs = rpc_definitions();
+  EXPECT_TRUE(defs.schemas.front().elements.empty());
+  EXPECT_FALSE(defs.schemas.front().complex_types.empty());  // the bean stays
+}
+
+TEST(RpcStyle, PassesWsiBasicProfile) {
+  const wsi::ComplianceReport report = wsi::check(rpc_definitions());
+  EXPECT_TRUE(report.compliant()) << report.summary();
+  EXPECT_FALSE(report.failed("R2203"));
+}
+
+TEST(RpcStyle, ElementPartsInRpcBindingFailWsi) {
+  wsdl::Definitions defs = rpc_definitions();
+  defs.messages.front().parts.front().type = {};
+  defs.messages.front().parts.front().element =
+      xml::QName{defs.target_namespace, "echo"};
+  EXPECT_TRUE(wsi::check(defs).failed("R2203"));
+}
+
+TEST(RpcStyle, RoundTripsThroughText) {
+  const wsdl::Definitions defs = rpc_definitions();
+  Result<wsdl::Definitions> reparsed = wsdl::parse(wsdl::to_string(defs));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->bindings.front().style, wsdl::SoapStyle::kRpc);
+  EXPECT_EQ(reparsed->messages, defs.messages);
+}
+
+TEST(RpcStyle, ClientsConsumeRpcDescriptions) {
+  const std::string text = wsdl::to_string(rpc_definitions());
+  for (const auto& client : make_clients()) {
+    GenerationResult result = client->generate(text);
+    EXPECT_FALSE(result.diagnostics.has_errors()) << client->name();
+    ASSERT_TRUE(result.produced_artifacts()) << client->name();
+    EXPECT_EQ(result.artifacts->client_operations.size(), 1u) << client->name();
+  }
+}
+
+}  // namespace
+}  // namespace wsx::frameworks

@@ -1,0 +1,109 @@
+// Tests for the cross-campaign tool scorecard (src/interop/scorecard.*).
+#include <gtest/gtest.h>
+
+#include "interop/scorecard.hpp"
+
+namespace wsx::interop {
+namespace {
+
+StudyConfig scaled_config() {
+  StudyConfig config;
+  config.java_spec.plain_beans = 15;
+  config.java_spec.throwable_clean = 2;
+  config.java_spec.throwable_raw = 1;
+  config.java_spec.raw_generic_beans = 1;
+  config.java_spec.anytype_array_beans = 1;
+  config.java_spec.no_default_ctor = 2;
+  config.java_spec.abstract_classes = 1;
+  config.java_spec.interfaces = 1;
+  config.java_spec.generic_types = 1;
+  config.dotnet_spec.plain_types = 15;
+  config.dotnet_spec.dataset_plain = 1;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 2;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 3;
+  config.dotnet_spec.no_default_ctor = 3;
+  config.dotnet_spec.generic_types = 2;
+  config.dotnet_spec.abstract_classes = 1;
+  config.dotnet_spec.interfaces = 1;
+  return config;
+}
+
+class ScorecardFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const StudyConfig config = scaled_config();
+    fuzz::FuzzConfig fuzz_config;
+    fuzz_config.corpus_per_server = 1;
+    scorecard_ = new Scorecard(build_scorecard(run_study(config),
+                                               run_communication_study(config),
+                                               fuzz::run_fuzz_campaign(fuzz_config)));
+  }
+  static void TearDownTestSuite() {
+    delete scorecard_;
+    scorecard_ = nullptr;
+  }
+  static const Scorecard& scorecard() { return *scorecard_; }
+  static Scorecard* scorecard_;
+};
+
+Scorecard* ScorecardFixture::scorecard_ = nullptr;
+
+TEST_F(ScorecardFixture, OneCardPerTool) {
+  EXPECT_EQ(scorecard().tools.size(), 11u);
+  EXPECT_NE(scorecard().find("Zend Framework 1.9"), nullptr);
+  EXPECT_EQ(scorecard().find("Nope"), nullptr);
+}
+
+TEST_F(ScorecardFixture, SortedByStaticFailureRate) {
+  for (std::size_t i = 1; i < scorecard().tools.size(); ++i) {
+    EXPECT_LE(scorecard().tools[i - 1].static_failure_rate(),
+              scorecard().tools[i].static_failure_rate());
+  }
+}
+
+TEST_F(ScorecardFixture, ZendIsStaticallyCleanButFailsOnTheWire) {
+  const ToolScorecard* zend = scorecard().find("Zend Framework 1.9");
+  ASSERT_NE(zend, nullptr);
+  EXPECT_EQ(zend->generation_errors + zend->compilation_errors, 0u);
+  EXPECT_GT(zend->wire_failures, 0u);
+}
+
+TEST_F(ScorecardFixture, ZendRanksFirstStatically) {
+  // Zend is the only tool with zero static errors at every scale — it
+  // tolerates everything (and pays for it on the wire).
+  EXPECT_EQ(scorecard().tools.front().client, "Zend Framework 1.9");
+  EXPECT_EQ(scorecard().tools.front().static_failure_rate(), 0.0);
+}
+
+TEST_F(ScorecardFixture, RatesAreBoundedPercentages) {
+  for (const ToolScorecard& tool : scorecard().tools) {
+    EXPECT_GE(tool.static_failure_rate(), 0.0);
+    EXPECT_LE(tool.static_failure_rate(), 100.0);
+    EXPECT_GE(tool.wire_failure_rate(), 0.0);
+    EXPECT_LE(tool.wire_failure_rate(), 100.0);
+    EXPECT_LE(tool.silent_on_broken, tool.fuzz_mutants);
+  }
+}
+
+TEST_F(ScorecardFixture, FormatRendersEveryTool) {
+  const std::string text = format_scorecard(scorecard());
+  EXPECT_NE(text.find("Zend Framework 1.9"), std::string::npos);
+  EXPECT_NE(text.find("Apache Axis1 1.4"), std::string::npos);
+  EXPECT_NE(text.find("silent-on-broken"), std::string::npos);
+}
+
+TEST(ScorecardMath, EmptyCardHasZeroRates) {
+  ToolScorecard empty;
+  EXPECT_EQ(empty.static_failure_rate(), 0.0);
+  EXPECT_EQ(empty.wire_failure_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace wsx::interop

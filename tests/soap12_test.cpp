@@ -1,0 +1,127 @@
+// Tests for SOAP 1.2 support, version negotiation and mustUnderstand
+// header processing.
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/envelope.hpp"
+#include "soap/message.hpp"
+
+namespace wsx::soap {
+namespace {
+
+TEST(Soap12, VersionMetadata) {
+  EXPECT_STREQ(to_string(SoapVersion::k11), "SOAP 1.1");
+  EXPECT_STREQ(to_string(SoapVersion::k12), "SOAP 1.2");
+  EXPECT_EQ(envelope_namespace(SoapVersion::k11), xml::ns::kSoapEnvelope);
+  EXPECT_EQ(envelope_namespace(SoapVersion::k12), xml::ns::kSoap12Envelope);
+}
+
+TEST(Soap12, PayloadRoundTripsInBothVersions) {
+  for (SoapVersion version : {SoapVersion::k11, SoapVersion::k12}) {
+    xml::Element payload{"m:ping"};
+    payload.declare_namespace("m", "urn:x");
+    const Envelope envelope{payload, version};
+    const std::string wire = write(envelope);
+    Result<Envelope> parsed = parse(wire);
+    ASSERT_TRUE(parsed.ok()) << to_string(version);
+    EXPECT_EQ(parsed->version(), version);
+    EXPECT_EQ(parsed->body().local_name(), "ping");
+  }
+}
+
+TEST(Soap12, FaultShapeDiffersButRoundTrips) {
+  const Envelope fault =
+      Envelope::make_fault({"soapenv:Sender", "bad call", "details"}, SoapVersion::k12);
+  const std::string wire = write(fault);
+  // The 1.2 structure uses Code/Value and Reason/Text.
+  EXPECT_NE(wire.find("soapenv:Code"), std::string::npos);
+  EXPECT_NE(wire.find("soapenv:Reason"), std::string::npos);
+  EXPECT_EQ(wire.find("faultcode"), std::string::npos);
+  Result<Envelope> parsed = parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_fault());
+  EXPECT_EQ(parsed->fault().fault_code, "soapenv:Sender");
+  EXPECT_EQ(parsed->fault().fault_string, "bad call");
+  EXPECT_EQ(parsed->fault().detail, "details");
+}
+
+TEST(Soap12, UnknownEnvelopeNamespaceIsRejected) {
+  Result<Envelope> parsed = parse(
+      R"(<e:Envelope xmlns:e="urn:not-soap"><e:Body><x/></e:Body></e:Envelope>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "soap.version-mismatch");
+}
+
+TEST(Soap12, MustUnderstandHeaderDetection) {
+  Envelope envelope{xml::Element{"m:op"}};
+  EXPECT_FALSE(envelope.has_must_understand_headers());
+  xml::Element transaction{"tx:transaction"};
+  transaction.declare_namespace("tx", "urn:tx");
+  envelope.add_must_understand_header(transaction);
+  EXPECT_TRUE(envelope.has_must_understand_headers());
+  // Survives the wire.
+  Result<Envelope> parsed = parse(write(envelope));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->has_must_understand_headers());
+}
+
+TEST(Soap12, PlainHeadersDoNotDemandUnderstanding) {
+  Envelope envelope{xml::Element{"m:op"}};
+  xml::Element note{"n:note"};
+  note.set_attribute("mustUnderstand", "0");
+  envelope.add_header(note);
+  EXPECT_FALSE(envelope.has_must_understand_headers());
+}
+
+class ServerVersioning : public ::testing::Test {
+ protected:
+  static const frameworks::DeployedService& service() {
+    static const frameworks::DeployedService deployed = [] {
+      const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+      const auto server = frameworks::make_server("Metro 2.3");
+      const catalog::TypeInfo* type =
+          catalog.find(catalog::java_names::kXmlGregorianCalendar);
+      return std::move(server->deploy(frameworks::ServiceSpec{type}).value());
+    }();
+    return deployed;
+  }
+};
+
+TEST_F(ServerVersioning, Soap12RequestGetsVersionMismatchFault) {
+  const auto server = frameworks::make_server("Metro 2.3");
+  Result<Envelope> request = build_request(service().wsdl, "echo", {{"arg0", "x"}});
+  ASSERT_TRUE(request.ok());
+  request->set_version(SoapVersion::k12);
+  const Envelope response = server->handle_request(service(), *request);
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().fault_code, "soap:VersionMismatch");
+}
+
+TEST_F(ServerVersioning, MustUnderstandHeaderGetsFault) {
+  const auto server = frameworks::make_server("Metro 2.3");
+  Result<Envelope> request = build_request(service().wsdl, "echo", {{"arg0", "x"}});
+  ASSERT_TRUE(request.ok());
+  xml::Element security{"sec:Security"};
+  security.declare_namespace("sec", "urn:security");
+  request->add_must_understand_header(security);
+  const Envelope response = server->handle_request(service(), *request);
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().fault_code, "soap:MustUnderstand");
+}
+
+TEST_F(ServerVersioning, PlainHeadersAreIgnored) {
+  const auto server = frameworks::make_server("Metro 2.3");
+  Result<Envelope> request = build_request(service().wsdl, "echo", {{"arg0", "ok"}});
+  ASSERT_TRUE(request.ok());
+  xml::Element trace{"t:traceId"};
+  trace.declare_namespace("t", "urn:trace");
+  trace.add_text("abc");
+  request->add_header(trace);
+  const Envelope response = server->handle_request(service(), *request);
+  EXPECT_FALSE(response.is_fault());
+  EXPECT_EQ(response_value(response).value(), "ok");
+}
+
+}  // namespace
+}  // namespace wsx::soap

@@ -1,0 +1,148 @@
+// Unit tests for SOAP envelopes and messages (src/soap/).
+#include <gtest/gtest.h>
+
+#include "soap/message.hpp"
+#include "wsdl/model.hpp"
+
+namespace wsx::soap {
+namespace {
+
+wsdl::Definitions echo_defs() {
+  wsdl::Definitions defs;
+  defs.target_namespace = "urn:echo";
+  wsdl::PortType port_type;
+  port_type.name = "P";
+  port_type.operations.push_back({"echo", "echo", "echoResponse", {}});
+  defs.port_types.push_back(std::move(port_type));
+  return defs;
+}
+
+TEST(Envelope, WritesAndParsesPayload) {
+  xml::Element payload{"m:ping"};
+  payload.declare_namespace("m", "urn:x");
+  payload.add_element("m:value").add_text("42");
+  const Envelope envelope{payload};
+  const std::string wire = write(envelope);
+  Result<Envelope> parsed = parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->is_fault());
+  EXPECT_EQ(parsed->body().local_name(), "ping");
+}
+
+TEST(Envelope, HeaderEntriesRoundTrip) {
+  Envelope envelope{xml::Element{"m:op"}};
+  xml::Element header{"m:transactionId"};
+  header.add_text("tx-7");
+  envelope.add_header(header);
+  Result<Envelope> parsed = parse(write(envelope));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->header_entries().size(), 1u);
+  EXPECT_EQ(parsed->header_entries().front().text(), "tx-7");
+}
+
+TEST(Envelope, FaultRoundTrips) {
+  const Envelope envelope = Envelope::make_fault({"soap:Client", "bad request", "detail here"});
+  EXPECT_TRUE(envelope.is_fault());
+  Result<Envelope> parsed = parse(write(envelope));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_fault());
+  EXPECT_EQ(parsed->fault().fault_code, "soap:Client");
+  EXPECT_EQ(parsed->fault().fault_string, "bad request");
+  EXPECT_EQ(parsed->fault().detail, "detail here");
+}
+
+TEST(Envelope, RejectsNonEnvelopeRoot) {
+  Result<Envelope> parsed = parse("<html/>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "soap.not-an-envelope");
+}
+
+TEST(Envelope, RejectsMissingBody) {
+  Result<Envelope> parsed = parse(
+      R"(<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/">
+         </soapenv:Envelope>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "soap.missing-body");
+}
+
+TEST(Envelope, RejectsEmptyBody) {
+  Result<Envelope> parsed = parse(
+      R"(<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/">
+           <soapenv:Body/>
+         </soapenv:Envelope>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "soap.empty-body");
+}
+
+TEST(Message, BuildsRequestForKnownOperation) {
+  Result<Envelope> request = build_request(echo_defs(), "echo", {{"arg0", "hi"}});
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->body().local_name(), "echo");
+  const std::vector<Argument> arguments = request_arguments(*request);
+  ASSERT_EQ(arguments.size(), 1u);
+  EXPECT_EQ(arguments.front().name, "arg0");
+  EXPECT_EQ(arguments.front().value, "hi");
+}
+
+TEST(Message, RejectsUnknownOperation) {
+  Result<Envelope> request = build_request(echo_defs(), "nope", {});
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.error().code, "soap.unknown-operation");
+}
+
+TEST(Message, BuildsResponseWithReturnValue) {
+  Result<Envelope> response = build_response(echo_defs(), "echo", "pong");
+  ASSERT_TRUE(response.ok());
+  Result<std::string> value = response_value(*response);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "pong");
+}
+
+TEST(Message, RejectsResponseForOneWayOperation) {
+  wsdl::Definitions defs = echo_defs();
+  defs.port_types.front().operations.front().output_message.clear();
+  Result<Envelope> response = build_response(defs, "echo", "x");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, "soap.one-way");
+}
+
+TEST(Message, RequestOperationExtractsName) {
+  Result<Envelope> request = build_request(echo_defs(), "echo", {});
+  ASSERT_TRUE(request.ok());
+  Result<std::string> operation = request_operation(*request);
+  ASSERT_TRUE(operation.ok());
+  EXPECT_EQ(*operation, "echo");
+}
+
+TEST(Message, RequestOperationRejectsFault) {
+  const Envelope fault = Envelope::make_fault({"soap:Server", "boom", ""});
+  Result<std::string> operation = request_operation(fault);
+  ASSERT_FALSE(operation.ok());
+}
+
+TEST(Message, ResponseValueSurfacesFaults) {
+  const Envelope fault = Envelope::make_fault({"soap:Server", "exec failed", ""});
+  Result<std::string> value = response_value(fault);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.error().code, "soap.fault");
+  EXPECT_NE(value.error().message.find("exec failed"), std::string::npos);
+}
+
+TEST(Message, ResponseValueRejectsNonResponsePayloads) {
+  Result<Envelope> request = build_request(echo_defs(), "echo", {});
+  Result<std::string> value = response_value(*request);
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.error().code, "soap.not-a-response");
+}
+
+TEST(Message, WireRoundTripPreservesValues) {
+  Result<Envelope> request =
+      build_request(echo_defs(), "echo", {{"arg0", "<xml> & entities"}});
+  ASSERT_TRUE(request.ok());
+  Result<Envelope> reparsed = parse(write(*request));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(request_arguments(*reparsed).front().value, "<xml> & entities");
+}
+
+}  // namespace
+}  // namespace wsx::soap

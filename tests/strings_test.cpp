@@ -1,0 +1,83 @@
+// Unit tests for the shared string utilities (src/common/strings.*).
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace wsx {
+namespace {
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("wsdl:definitions", "wsdl:"));
+  EXPECT_FALSE(starts_with("wsdl", "wsdl:"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(Strings, EndsWith) {
+  EXPECT_TRUE(ends_with("TimeoutException", "Exception"));
+  EXPECT_FALSE(ends_with("Exception", "TimeoutException"));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, SplitBasic) {
+  const std::vector<std::string> parts = split("a:b:c", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const std::vector<std::string> parts = split(":a::", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const std::vector<std::string> parts = split("abc", ':');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"java", "util", "List"};
+  EXPECT_EQ(join(parts, "."), "java.util.List");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, TrimRemovesXmlWhitespace) {
+  EXPECT_EQ(trim("  \t\r\n x \n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("DataTable"), "datatable");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, IequalsMatchesVbIdentifierRules) {
+  EXPECT_TRUE(iequals("Value", "value"));
+  EXPECT_TRUE(iequals("TEXT", "text"));
+  EXPECT_FALSE(iequals("value", "values"));
+  EXPECT_FALSE(iequals("", "x"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, Capitalize) {
+  EXPECT_EQ(capitalize("message"), "Message");
+  EXPECT_EQ(capitalize(""), "");
+  EXPECT_EQ(capitalize("X"), "X");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+}  // namespace
+}  // namespace wsx

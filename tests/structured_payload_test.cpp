@@ -1,0 +1,134 @@
+// Tests for structured (typed) payload marshalling and the binder's
+// field-level schema validation during execution.
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/message.hpp"
+
+namespace wsx::frameworks {
+namespace {
+
+/// A deployed service over a plain bean whose first field is typed.
+struct Fixture {
+  DeployedService service;
+  const catalog::TypeInfo* type = nullptr;
+  std::unique_ptr<ServerFramework> server;
+};
+
+Fixture make_fixture() {
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  Fixture fixture;
+  fixture.server = make_server("Metro 2.3");
+  for (const catalog::TypeInfo& candidate : catalog.types()) {
+    const bool plain =
+        candidate.traits == (static_cast<std::uint64_t>(catalog::Trait::kDefaultCtor) |
+                             static_cast<std::uint64_t>(catalog::Trait::kSerializable));
+    if (!plain) continue;
+    // Need at least one non-string field so type validation can fail.
+    bool has_typed_field = false;
+    for (const catalog::FieldSpec& field : candidate.fields) {
+      if (field.type == xsd::Builtin::kInt || field.type == xsd::Builtin::kBoolean) {
+        has_typed_field = true;
+      }
+    }
+    if (!has_typed_field) continue;
+    fixture.type = &candidate;
+    fixture.service = std::move(fixture.server->deploy(ServiceSpec{&candidate}).value());
+    return fixture;
+  }
+  ADD_FAILURE() << "no suitable bean found";
+  return fixture;
+}
+
+std::vector<soap::Argument> valid_fields(const catalog::TypeInfo& type) {
+  std::vector<soap::Argument> fields;
+  for (const catalog::FieldSpec& field : type.fields) {
+    switch (field.type) {
+      case xsd::Builtin::kInt:
+      case xsd::Builtin::kLong:
+      case xsd::Builtin::kShort:
+      case xsd::Builtin::kByte:
+      case xsd::Builtin::kDecimal:
+        fields.push_back({field.name, "42"});
+        break;
+      case xsd::Builtin::kBoolean:
+        fields.push_back({field.name, "true"});
+        break;
+      case xsd::Builtin::kDouble:
+      case xsd::Builtin::kFloat:
+        fields.push_back({field.name, "2.5"});
+        break;
+      case xsd::Builtin::kDateTime:
+        fields.push_back({field.name, "2014-06-23T09:30:00Z"});
+        break;
+      default:
+        fields.push_back({field.name, "text"});
+    }
+  }
+  return fields;
+}
+
+TEST(StructuredPayload, BuilderNestsFieldsUnderArg0) {
+  const Fixture fixture = make_fixture();
+  Result<soap::Envelope> request = soap::build_structured_request(
+      fixture.service.wsdl, "echo", valid_fields(*fixture.type));
+  ASSERT_TRUE(request.ok());
+  const std::vector<soap::Argument> fields = soap::structured_fields(*request);
+  EXPECT_EQ(fields.size(), fixture.type->fields.size());
+}
+
+TEST(StructuredPayload, ValidBeanRoundTrips) {
+  const Fixture fixture = make_fixture();
+  Result<soap::Envelope> request = soap::build_structured_request(
+      fixture.service.wsdl, "echo", valid_fields(*fixture.type));
+  ASSERT_TRUE(request.ok());
+  const soap::Envelope response =
+      fixture.server->handle_request(fixture.service, *request);
+  EXPECT_FALSE(response.is_fault())
+      << (response.is_fault() ? response.fault().fault_string : "");
+}
+
+TEST(StructuredPayload, UnknownFieldFaults) {
+  const Fixture fixture = make_fixture();
+  std::vector<soap::Argument> fields = valid_fields(*fixture.type);
+  fields.push_back({"notAField", "x"});
+  Result<soap::Envelope> request =
+      soap::build_structured_request(fixture.service.wsdl, "echo", fields);
+  const soap::Envelope response =
+      fixture.server->handle_request(fixture.service, *request);
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_NE(response.fault().fault_string.find("unexpected element"), std::string::npos);
+}
+
+TEST(StructuredPayload, TypeMismatchFaults) {
+  const Fixture fixture = make_fixture();
+  std::vector<soap::Argument> fields;
+  for (const catalog::FieldSpec& field : fixture.type->fields) {
+    if (field.type == xsd::Builtin::kInt || field.type == xsd::Builtin::kBoolean) {
+      fields.push_back({field.name, "certainly-not-a-number"});
+      break;
+    }
+  }
+  ASSERT_FALSE(fields.empty());
+  Result<soap::Envelope> request =
+      soap::build_structured_request(fixture.service.wsdl, "echo", fields);
+  const soap::Envelope response =
+      fixture.server->handle_request(fixture.service, *request);
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_NE(response.fault().fault_string.find("unmarshalling error"), std::string::npos);
+}
+
+TEST(StructuredPayload, FlatStringPayloadStillWorks) {
+  // The untyped path (plain text under arg0) remains valid.
+  const Fixture fixture = make_fixture();
+  Result<soap::Envelope> request =
+      soap::build_request(fixture.service.wsdl, "echo", {{"arg0", "plain"}});
+  const soap::Envelope response =
+      fixture.server->handle_request(fixture.service, *request);
+  ASSERT_FALSE(response.is_fault());
+  EXPECT_EQ(soap::response_value(response).value(), "plain");
+}
+
+}  // namespace
+}  // namespace wsx::frameworks

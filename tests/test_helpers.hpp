@@ -1,0 +1,72 @@
+// test_helpers.hpp — shared fixtures for the wsinterop test suite.
+#pragma once
+
+#include "wsdl/model.hpp"
+
+namespace wsx::testing {
+
+/// A minimal, fully WS-I-compliant echo description (document/literal
+/// wrapped, one operation), used as the baseline that individual tests
+/// then break in targeted ways.
+inline wsdl::Definitions compliant_echo_definitions() {
+  wsdl::Definitions defs;
+  defs.name = "Echo";
+  defs.target_namespace = "urn:echo";
+
+  xsd::Schema schema;
+  schema.target_namespace = "urn:echo";
+  xsd::ComplexType payload;
+  payload.name = "Payload";
+  xsd::ElementDecl field;
+  field.name = "value";
+  field.type = xsd::qname(xsd::Builtin::kString);
+  payload.particles.emplace_back(std::move(field));
+  schema.complex_types.push_back(std::move(payload));
+
+  const auto wrapper = [](const std::string& name, const std::string& child) {
+    xsd::ElementDecl element;
+    element.name = name;
+    xsd::ComplexType type;
+    xsd::ElementDecl arg;
+    arg.name = child;
+    arg.type = xml::QName{"urn:echo", "Payload"};
+    type.particles.emplace_back(std::move(arg));
+    element.inline_type = Box<xsd::ComplexType>{std::move(type)};
+    return element;
+  };
+  schema.elements.push_back(wrapper("echo", "arg0"));
+  schema.elements.push_back(wrapper("echoResponse", "return"));
+  defs.schemas.push_back(std::move(schema));
+
+  wsdl::Message input;
+  input.name = "echo";
+  input.parts.push_back({"parameters", xml::QName{"urn:echo", "echo"}, {}});
+  defs.messages.push_back(std::move(input));
+  wsdl::Message output;
+  output.name = "echoResponse";
+  output.parts.push_back({"parameters", xml::QName{"urn:echo", "echoResponse"}, {}});
+  defs.messages.push_back(std::move(output));
+
+  wsdl::PortType port_type;
+  port_type.name = "EchoPort";
+  port_type.operations.push_back({"echo", "echo", "echoResponse", {}});
+  defs.port_types.push_back(std::move(port_type));
+
+  wsdl::Binding binding;
+  binding.name = "EchoBinding";
+  binding.port_type = xml::QName{"urn:echo", "EchoPort"};
+  wsdl::BindingOperation operation;
+  operation.name = "echo";
+  operation.soap_action = "";
+  binding.operations.push_back(std::move(operation));
+  defs.bindings.push_back(std::move(binding));
+
+  wsdl::Service service;
+  service.name = "EchoService";
+  service.ports.push_back(
+      {"EchoPort", xml::QName{"urn:echo", "EchoBinding"}, "http://localhost/echo"});
+  defs.services.push_back(std::move(service));
+  return defs;
+}
+
+}  // namespace wsx::testing

@@ -1,0 +1,155 @@
+// Tests for the message-conformance sniffer (soap/validate.*), the JSON
+// emitter (common/json.*) and the per-test observer/log facility.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "interop/study.hpp"
+#include "soap/message.hpp"
+#include "soap/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace wsx {
+namespace {
+
+using testing::compliant_echo_definitions;
+
+TEST(Validate, ConformingRequestIsClean) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  Result<soap::Envelope> request = soap::build_request(defs, "echo", {{"arg0", "x"}});
+  ASSERT_TRUE(request.ok());
+  EXPECT_TRUE(soap::validate_request(defs, *request).empty());
+}
+
+TEST(Validate, UnknownOperationIsFlagged) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  soap::Envelope bogus{xml::Element{"m:transfer"}};
+  const std::vector<soap::ValidationIssue> issues = soap::validate_request(defs, bogus);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues.front().code, "msg.unknown-operation");
+}
+
+TEST(Validate, UnexpectedArgumentIsFlagged) {
+  // The Zend "uncommon data structure" marshalling: a child element the
+  // wrapper never declared.
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  Result<soap::Envelope> request =
+      soap::build_request(defs, "echo", {{"arg0Struct", "x"}});
+  ASSERT_TRUE(request.ok());
+  const std::vector<soap::ValidationIssue> issues = soap::validate_request(defs, *request);
+  ASSERT_EQ(issues.size(), 2u);  // unexpected arg0Struct + missing arg0
+  EXPECT_EQ(issues[0].code, "msg.unexpected-argument");
+  EXPECT_EQ(issues[1].code, "msg.missing-argument");
+}
+
+TEST(Validate, FaultRequestIsFlagged) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  const soap::Envelope fault = soap::Envelope::make_fault({"soap:Client", "x", ""});
+  const std::vector<soap::ValidationIssue> issues = soap::validate_request(defs, fault);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues.front().code, "msg.fault-request");
+}
+
+TEST(Validate, ConformingResponseIsClean) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  Result<soap::Envelope> response = soap::build_response(defs, "echo", "pong");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(soap::validate_response(defs, "echo", *response).empty());
+}
+
+TEST(Validate, WrongResponseWrapperIsFlagged) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  soap::Envelope bogus{xml::Element{"m:otherResponse"}};
+  const std::vector<soap::ValidationIssue> issues =
+      soap::validate_response(defs, "echo", bogus);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues.front().code, "msg.wrong-response-wrapper");
+}
+
+TEST(Validate, FaultResponseIsAlwaysPermitted) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  const soap::Envelope fault = soap::Envelope::make_fault({"soap:Server", "x", ""});
+  EXPECT_TRUE(soap::validate_response(defs, "echo", fault).empty());
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectWriterBuildsValidObjects) {
+  const std::string object = json::ObjectWriter{}
+                                 .field("name", "Echo\"Svc\"")
+                                 .field("count", std::size_t{42})
+                                 .field("ok", true)
+                                 .field("ratio", 0.5)
+                                 .raw_field("nested", "{\"a\":1}")
+                                 .str();
+  EXPECT_EQ(object,
+            "{\"name\":\"Echo\\\"Svc\\\"\",\"count\":42,\"ok\":true,"
+            "\"ratio\":0.5,\"nested\":{\"a\":1}}");
+}
+
+TEST(Json, EmptyObject) { EXPECT_EQ(json::ObjectWriter{}.str(), "{}"); }
+
+TEST(TestLog, RecordsRenderAsJsonLines) {
+  interop::TestRecord record;
+  record.server = "Metro 2.3";
+  record.client = "gSOAP Toolkit 2.8.16";
+  record.service = "EchoSimpleDateFormat";
+  record.type_name = "java.text.SimpleDateFormat";
+  record.description_flagged = true;
+  record.generation_error = true;
+  const std::string line = interop::to_json_line(record);
+  EXPECT_NE(line.find("\"server\":\"Metro 2.3\""), std::string::npos);
+  EXPECT_NE(line.find("\"generation_error\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"compilation_error\":false"), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(TestLog, ObserverSeesEveryTest) {
+  interop::StudyConfig config;
+  config.java_spec.plain_beans = 5;
+  config.java_spec.throwable_clean = 1;
+  config.java_spec.throwable_raw = 1;
+  config.java_spec.raw_generic_beans = 1;
+  config.java_spec.anytype_array_beans = 1;
+  config.java_spec.no_default_ctor = 1;
+  config.java_spec.abstract_classes = 1;
+  config.java_spec.interfaces = 1;
+  config.java_spec.generic_types = 1;
+  config.dotnet_spec.plain_types = 5;
+  config.dotnet_spec.dataset_plain = 1;
+  config.dotnet_spec.dataset_duplicated = 1;
+  config.dotnet_spec.dataset_nested = 1;
+  config.dotnet_spec.dataset_array = 1;
+  config.dotnet_spec.encoded_binding = 1;
+  config.dotnet_spec.missing_soap_action = 1;
+  config.dotnet_spec.deep_nesting_clean = 1;
+  config.dotnet_spec.deep_nesting_pathological = 1;
+  config.dotnet_spec.generator_crash = 1;
+  config.dotnet_spec.non_serializable = 1;
+  config.dotnet_spec.no_default_ctor = 1;
+  config.dotnet_spec.generic_types = 1;
+  config.dotnet_spec.abstract_classes = 1;
+  config.dotnet_spec.interfaces = 1;
+
+  std::size_t seen = 0;
+  std::size_t errors_seen = 0;
+  config.observer = [&](const interop::TestRecord& record) {
+    ++seen;
+    if (record.generation_error || record.compilation_error) ++errors_seen;
+    EXPECT_FALSE(record.server.empty());
+    EXPECT_FALSE(record.client.empty());
+    EXPECT_FALSE(record.service.empty());
+  };
+  const interop::StudyResult result = interop::run_study(config);
+  EXPECT_EQ(seen, result.total_tests());
+  EXPECT_GT(errors_seen, 0u);
+}
+
+}  // namespace
+}  // namespace wsx

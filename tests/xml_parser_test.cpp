@@ -1,0 +1,155 @@
+// Unit tests for the XML parser (src/xml/parser.*).
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace wsx::xml {
+namespace {
+
+TEST(XmlParser, ParsesMinimalDocument) {
+  Result<Document> doc = parse("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.name(), "root");
+  EXPECT_TRUE(doc->root.children().empty());
+}
+
+TEST(XmlParser, ParsesPrologVersionAndEncoding) {
+  Result<Document> doc = parse("<?xml version=\"1.1\" encoding=\"ISO-8859-1\"?><a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version, "1.1");
+  EXPECT_EQ(doc->encoding, "ISO-8859-1");
+}
+
+TEST(XmlParser, ParsesAttributes) {
+  Result<Element> root = parse_element(R"(<a x="1" y="two"/>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->attribute("x"), "1");
+  EXPECT_EQ(root->attribute("y"), "two");
+  EXPECT_FALSE(root->attribute("z").has_value());
+}
+
+TEST(XmlParser, RejectsDuplicateAttributes) {
+  Result<Element> root = parse_element(R"(<a x="1" x="2"/>)");
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code, "xml.duplicate-attr");
+}
+
+TEST(XmlParser, ParsesNestedElementsAndText) {
+  Result<Element> root = parse_element("<a><b>hello</b><c/></a>");
+  ASSERT_TRUE(root.ok());
+  ASSERT_NE(root->child("b"), nullptr);
+  EXPECT_EQ(root->child("b")->text(), "hello");
+  ASSERT_NE(root->child("c"), nullptr);
+}
+
+TEST(XmlParser, DecodesBuiltinEntities) {
+  Result<Element> root = parse_element("<a>&lt;&gt;&amp;&apos;&quot;</a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->text(), "<>&'\"");
+}
+
+TEST(XmlParser, DecodesNumericCharacterReferences) {
+  Result<Element> root = parse_element("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->text(), "AB");
+}
+
+TEST(XmlParser, RejectsUnknownEntity) {
+  Result<Element> root = parse_element("<a>&nope;</a>");
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code, "xml.unknown-entity");
+}
+
+TEST(XmlParser, ParsesCdata) {
+  Result<Element> root = parse_element("<a><![CDATA[<raw&stuff>]]></a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->text(), "<raw&stuff>");
+}
+
+TEST(XmlParser, KeepsCommentsWhenRequested) {
+  Result<Element> root = parse_element("<a><!--note--><b/></a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->children().size(), 2u);
+}
+
+TEST(XmlParser, DropsCommentsWhenConfigured) {
+  ParseOptions options;
+  options.keep_comments = false;
+  Result<Element> root = parse_element("<a><!--note--><b/></a>", options);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(XmlParser, RejectsMismatchedTags) {
+  Result<Element> root = parse_element("<a><b></a></b>");
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code, "xml.mismatched-tag");
+}
+
+TEST(XmlParser, RejectsUnterminatedElement) {
+  Result<Element> root = parse_element("<a><b>");
+  ASSERT_FALSE(root.ok());
+}
+
+TEST(XmlParser, RejectsTrailingContent) {
+  Result<Document> doc = parse("<a/><b/>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.error().code, "xml.trailing-content");
+}
+
+TEST(XmlParser, SkipsDoctypeAndProcessingInstructions) {
+  Result<Document> doc =
+      parse("<?xml version=\"1.0\"?><!DOCTYPE a><?pi data?><a><?inner?></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.name(), "a");
+}
+
+TEST(XmlParser, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 300; ++i) deep += "</a>";
+  Result<Element> root = parse_element(deep);
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.error().code, "xml.too-deep");
+}
+
+TEST(XmlParser, ReportsLineAndColumn) {
+  Result<Element> root = parse_element("<a>\n  <b x=></b>\n</a>");
+  ASSERT_FALSE(root.ok());
+  EXPECT_NE(root.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(XmlParser, SkipsUtf8ByteOrderMark) {
+  Result<Element> root = parse_element("\xEF\xBB\xBF<a/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->name(), "a");
+}
+
+TEST(XmlRoundTrip, WriteThenParsePreservesTree) {
+  Element root{"wsdl:definitions"};
+  root.declare_namespace("wsdl", "http://schemas.xmlsoap.org/wsdl/");
+  root.set_attribute("name", "Echo<Svc>");
+  Element& child = root.add_element("wsdl:types");
+  child.add_text("a & b");
+  const std::string text = write(root);
+  Result<Element> reparsed = parse_element(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->name(), "wsdl:definitions");
+  EXPECT_EQ(reparsed->attribute("name"), "Echo<Svc>");
+  EXPECT_EQ(reparsed->child("types")->text(), "a & b");
+}
+
+TEST(XmlWriter, EscapesAttributeQuotes) {
+  Element root{"a"};
+  root.set_attribute("t", "say \"hi\"");
+  const std::string text = write(root);
+  EXPECT_NE(text.find("&quot;hi&quot;"), std::string::npos);
+  Result<Element> reparsed = parse_element(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->attribute("t"), "say \"hi\"");
+}
+
+}  // namespace
+}  // namespace wsx::xml

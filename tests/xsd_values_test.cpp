@@ -1,0 +1,143 @@
+// Tests for lexical value validation (src/xsd/values.*) and the typed
+// unmarshalling path in the execution step.
+#include <gtest/gtest.h>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/message.hpp"
+#include "xsd/values.hpp"
+
+namespace wsx::xsd {
+namespace {
+
+TEST(Values, StringAcceptsAnything) {
+  EXPECT_TRUE(is_valid_value(Builtin::kString, ""));
+  EXPECT_TRUE(is_valid_value(Builtin::kString, "any <text> at all"));
+  EXPECT_TRUE(is_valid_value(Builtin::kAnyType, "likewise"));
+}
+
+TEST(Values, BooleanLexicalSpace) {
+  for (const char* good : {"true", "false", "1", "0"}) {
+    EXPECT_TRUE(is_valid_value(Builtin::kBoolean, good)) << good;
+  }
+  for (const char* bad : {"TRUE", "yes", "", "2"}) {
+    EXPECT_FALSE(is_valid_value(Builtin::kBoolean, bad)) << bad;
+  }
+}
+
+TEST(Values, IntRangeIsEnforced) {
+  EXPECT_TRUE(is_valid_value(Builtin::kInt, "2147483647"));
+  EXPECT_TRUE(is_valid_value(Builtin::kInt, "-2147483648"));
+  EXPECT_TRUE(is_valid_value(Builtin::kInt, "+42"));
+  EXPECT_FALSE(is_valid_value(Builtin::kInt, "2147483648"));
+  EXPECT_FALSE(is_valid_value(Builtin::kInt, "12.5"));
+  EXPECT_FALSE(is_valid_value(Builtin::kInt, "twelve"));
+  EXPECT_FALSE(is_valid_value(Builtin::kInt, ""));
+}
+
+TEST(Values, NarrowIntegerTypes) {
+  EXPECT_TRUE(is_valid_value(Builtin::kByte, "-128"));
+  EXPECT_FALSE(is_valid_value(Builtin::kByte, "128"));
+  EXPECT_TRUE(is_valid_value(Builtin::kShort, "32767"));
+  EXPECT_FALSE(is_valid_value(Builtin::kShort, "40000"));
+  EXPECT_TRUE(is_valid_value(Builtin::kUnsignedByte, "255"));
+  EXPECT_FALSE(is_valid_value(Builtin::kUnsignedByte, "-1"));
+  EXPECT_TRUE(is_valid_value(Builtin::kUnsignedLong, "18446744073709551615"));
+  EXPECT_FALSE(is_valid_value(Builtin::kUnsignedLong, "18446744073709551616"));
+}
+
+TEST(Values, UnboundedIntegerType) {
+  EXPECT_TRUE(is_valid_value(Builtin::kInteger, "99999999999999999999999999"));
+  EXPECT_FALSE(is_valid_value(Builtin::kInteger, "1e3"));
+}
+
+TEST(Values, FloatLexicalSpace) {
+  for (const char* good : {"1", "-1.5", "+0.25", "1e10", "2.5E-3", "NaN", "INF", "-INF"}) {
+    EXPECT_TRUE(is_valid_value(Builtin::kFloat, good)) << good;
+  }
+  for (const char* bad : {"", ".", "1e", "e5", "1.2.3", "inf"}) {
+    EXPECT_FALSE(is_valid_value(Builtin::kDouble, bad)) << bad;
+  }
+}
+
+TEST(Values, DecimalExcludesExponentAndSpecials) {
+  EXPECT_TRUE(is_valid_value(Builtin::kDecimal, "-12.34"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDecimal, "1e5"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDecimal, "NaN"));
+}
+
+TEST(Values, DateTimeLexicalSpace) {
+  EXPECT_TRUE(is_valid_value(Builtin::kDate, "2014-06-23"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDate, "2014-13-01"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDate, "23-06-2014"));
+  EXPECT_TRUE(is_valid_value(Builtin::kTime, "09:30:00"));
+  EXPECT_TRUE(is_valid_value(Builtin::kTime, "09:30:00.125"));
+  EXPECT_FALSE(is_valid_value(Builtin::kTime, "25:00:00"));
+  EXPECT_TRUE(is_valid_value(Builtin::kDateTime, "2014-06-23T09:30:00"));
+  EXPECT_TRUE(is_valid_value(Builtin::kDateTime, "2014-06-23T09:30:00Z"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDateTime, "2014-06-23 09:30:00"));
+}
+
+TEST(Values, BinaryLexicalSpaces) {
+  EXPECT_TRUE(is_valid_value(Builtin::kBase64Binary, "SGVsbG8="));
+  EXPECT_TRUE(is_valid_value(Builtin::kBase64Binary, "AAAA"));
+  EXPECT_FALSE(is_valid_value(Builtin::kBase64Binary, "SGV!bG8="));
+  EXPECT_FALSE(is_valid_value(Builtin::kBase64Binary, "AAA"));
+  EXPECT_TRUE(is_valid_value(Builtin::kHexBinary, "DEADbeef"));
+  EXPECT_FALSE(is_valid_value(Builtin::kHexBinary, "DEADBEE"));
+  EXPECT_FALSE(is_valid_value(Builtin::kHexBinary, "XY"));
+}
+
+TEST(Values, DurationAndQName) {
+  EXPECT_TRUE(is_valid_value(Builtin::kDuration, "P1DT2H"));
+  EXPECT_TRUE(is_valid_value(Builtin::kDuration, "-P3M"));
+  EXPECT_FALSE(is_valid_value(Builtin::kDuration, "1D"));
+  EXPECT_TRUE(is_valid_value(Builtin::kQNameType, "tns:Point"));
+  EXPECT_FALSE(is_valid_value(Builtin::kQNameType, "has space"));
+}
+
+TEST(Values, EnumerationFacet) {
+  SimpleTypeDecl color;
+  color.base = qname(Builtin::kString);
+  color.enumeration = {"RED", "GREEN"};
+  EXPECT_TRUE(is_valid_value(color, "RED"));
+  EXPECT_FALSE(is_valid_value(color, "BLUE"));
+  // Base lexical check applies first.
+  SimpleTypeDecl level;
+  level.base = qname(Builtin::kInt);
+  level.enumeration = {"1", "2"};
+  EXPECT_TRUE(is_valid_value(level, "1"));
+  EXPECT_FALSE(is_valid_value(level, "one"));
+}
+
+TEST(Values, StatusVariantCarriesMessage) {
+  const Status ok = validate_value(Builtin::kInt, "7");
+  EXPECT_TRUE(ok.ok());
+  const Status bad = validate_value(Builtin::kInt, "x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "xsd.invalid-value");
+  EXPECT_NE(bad.error().message.find("xsd:int"), std::string::npos);
+}
+
+TEST(Execution, EnumServiceRejectsOutOfSpaceValues) {
+  const catalog::TypeCatalog catalog = catalog::make_dotnet_catalog();
+  const auto server = frameworks::make_server("WCF .NET 4.0.30319.17929");
+  const catalog::TypeInfo* type = catalog.find(catalog::dotnet_names::kSocketError);
+  Result<frameworks::DeployedService> service =
+      server->deploy(frameworks::ServiceSpec{type});
+  ASSERT_TRUE(service.ok());
+
+  Result<soap::Envelope> bad =
+      soap::build_request(service->wsdl, "echo", {{"arg0", "NotAnEnumValue"}});
+  const soap::Envelope rejected = server->handle_request(*service, *bad);
+  ASSERT_TRUE(rejected.is_fault());
+  EXPECT_NE(rejected.fault().fault_string.find("unmarshalling error"), std::string::npos);
+
+  Result<soap::Envelope> good =
+      soap::build_request(service->wsdl, "echo", {{"arg0", type->enum_values.front()}});
+  const soap::Envelope accepted = server->handle_request(*service, *good);
+  EXPECT_FALSE(accepted.is_fault());
+}
+
+}  // namespace
+}  // namespace wsx::xsd

@@ -1,0 +1,350 @@
+// wsinterop — the command-line interoperability assessment tool.
+//
+// The paper released its harness "so that developers and researchers can
+// extend this study"; this binary is that tool for the reproduction:
+//
+//   wsinterop run [--scale PCT] [--threads N] [--format text|csv|markdown]
+//       reruns the campaign and prints Fig.4 + Table III + findings
+//   wsinterop lint FILE [--strict]
+//       WS-I Basic Profile check of a WSDL file
+//   wsinterop describe SERVER TYPE
+//       prints the WSDL a server publishes for a native type
+//   wsinterop test SERVER TYPE CLIENT
+//       drives one (service, client) pair through steps 1-3
+//   wsinterop fuzz [--corpus N]
+//       WSDL robustness fuzzing across all client tools
+//   wsinterop communicate
+//       the Communication+Execution extension study
+//   wsinterop list
+//       available server and client frameworks
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codemodel/render.hpp"
+#include "compilers/compiler.hpp"
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "fuzz/campaign.hpp"
+#include "interop/communication.hpp"
+#include "interop/persistence.hpp"
+#include "interop/report.hpp"
+#include "interop/report_formats.hpp"
+#include "interop/scorecard.hpp"
+#include "interop/study.hpp"
+#include "wsdl/parser.hpp"
+#include "wsi/profile.hpp"
+
+using namespace wsx;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: wsinterop "
+               "<run|lint|describe|test|fuzz|communicate|scorecard|diff|list> [options]\n"
+               "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
+               "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
+               "  diff        BEFORE.csv AFTER.csv\n"
+               "  lint        FILE [--strict]\n"
+               "  describe    SERVER TYPE\n"
+               "  test        SERVER TYPE CLIENT [--dump]\n"
+               "  fuzz        [--corpus N]\n"
+               "  communicate\n"
+               "  scorecard\n"
+               "  list\n";
+  return 2;
+}
+
+/// Scales both population specs to roughly PCT percent of the paper's.
+void apply_scale(interop::StudyConfig& config, std::size_t percent) {
+  const auto scaled = [percent](std::size_t value) {
+    return std::max<std::size_t>(1, value * percent / 100);
+  };
+  auto& java = config.java_spec;
+  java.plain_beans = scaled(java.plain_beans);
+  java.throwable_clean = scaled(java.throwable_clean);
+  java.throwable_raw = scaled(java.throwable_raw);
+  java.raw_generic_beans = scaled(java.raw_generic_beans);
+  java.anytype_array_beans = scaled(java.anytype_array_beans);
+  java.no_default_ctor = scaled(java.no_default_ctor);
+  java.abstract_classes = scaled(java.abstract_classes);
+  java.interfaces = scaled(java.interfaces);
+  java.generic_types = scaled(java.generic_types);
+  auto& dotnet = config.dotnet_spec;
+  dotnet.plain_types = scaled(dotnet.plain_types);
+  dotnet.dataset_plain = scaled(dotnet.dataset_plain);
+  dotnet.deep_nesting_clean = scaled(dotnet.deep_nesting_clean);
+  dotnet.deep_nesting_pathological = scaled(dotnet.deep_nesting_pathological);
+  dotnet.non_serializable = scaled(dotnet.non_serializable);
+  dotnet.no_default_ctor = scaled(dotnet.no_default_ctor);
+  dotnet.generic_types = scaled(dotnet.generic_types);
+  dotnet.abstract_classes = scaled(dotnet.abstract_classes);
+  dotnet.interfaces = scaled(dotnet.interfaces);
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  interop::StudyConfig config;
+  std::string format = "text";
+  std::string log_path;
+  std::string snapshot_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      apply_scale(config, std::stoul(args[++i]));
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      config.threads = std::stoul(args[++i]);
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else if (args[i] == "--log" && i + 1 < args.size()) {
+      log_path = args[++i];
+    } else if (args[i] == "--snapshot" && i + 1 < args.size()) {
+      snapshot_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  std::ofstream log_file;
+  if (!log_path.empty()) {
+    log_file.open(log_path);
+    if (!log_file) {
+      std::cerr << "wsinterop: cannot open log file " << log_path << "\n";
+      return 1;
+    }
+    config.observer = [&log_file](const interop::TestRecord& record) {
+      log_file << interop::to_json_line(record) << "\n";
+    };
+  }
+  const interop::StudyResult result = interop::run_study(config);
+  if (!snapshot_path.empty()) {
+    std::ofstream snapshot(snapshot_path);
+    if (!snapshot) {
+      std::cerr << "wsinterop: cannot open snapshot file " << snapshot_path << "\n";
+      return 1;
+    }
+    snapshot << interop::to_snapshot_csv(result);
+  }
+  if (format == "csv") {
+    std::cout << interop::fig4_csv(result) << "\n" << interop::table3_csv(result);
+  } else if (format == "markdown") {
+    std::cout << interop::fig4_markdown(result) << "\n" << interop::table3_markdown(result);
+  } else {
+    std::cout << interop::format_fig4(result) << "\n"
+              << interop::format_table3(result) << "\n"
+              << interop::format_findings(result) << "\n"
+              << interop::format_failure_catalog(result);
+  }
+  return 0;
+}
+
+int cmd_lint(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  wsi::Profile profile;
+  std::string path;
+  for (const std::string& arg : args) {
+    if (arg == "--strict") {
+      profile.require_operations = true;
+    } else {
+      path = arg;
+    }
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "wsinterop: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<wsdl::Definitions> defs = wsdl::parse(buffer.str());
+  if (!defs.ok()) {
+    std::cerr << "wsinterop: parse error: " << defs.error().message << "\n";
+    return 1;
+  }
+  const wsi::ComplianceReport report = wsi::check(*defs, profile);
+  for (const wsi::AssertionResult& assertion : report.results()) {
+    std::cout << "[" << to_string(assertion.outcome) << "] " << assertion.id << " "
+              << assertion.title;
+    if (!assertion.detail.empty()) std::cout << " — " << assertion.detail;
+    std::cout << "\n";
+  }
+  std::cout << report.summary() << "\n";
+  return report.compliant() ? 0 : 2;
+}
+
+const catalog::TypeInfo* find_type(const frameworks::ServerFramework& server,
+                                   const std::string& type_name,
+                                   catalog::TypeCatalog& storage) {
+  storage = server.language() == "C#" ? catalog::make_dotnet_catalog()
+                                      : catalog::make_java_catalog();
+  return storage.find(type_name);
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const auto server = frameworks::make_server(args[0]);
+  if (server == nullptr) {
+    std::cerr << "wsinterop: unknown server '" << args[0] << "' (see 'wsinterop list')\n";
+    return 1;
+  }
+  catalog::TypeCatalog storage{"", {}};
+  const catalog::TypeInfo* type = find_type(*server, args[1], storage);
+  if (type == nullptr) {
+    std::cerr << "wsinterop: unknown type '" << args[1] << "'\n";
+    return 1;
+  }
+  Result<frameworks::DeployedService> service =
+      server->deploy(frameworks::ServiceSpec{type});
+  if (!service.ok()) {
+    std::cerr << "wsinterop: " << service.error().message << "\n";
+    return 1;
+  }
+  std::cout << service->wsdl_text;
+  return 0;
+}
+
+int cmd_test(const std::vector<std::string>& args_in) {
+  std::vector<std::string> args = args_in;
+  bool dump = false;
+  std::erase_if(args, [&dump](const std::string& arg) {
+    if (arg == "--dump") {
+      dump = true;
+      return true;
+    }
+    return false;
+  });
+  if (args.size() != 3) return usage();
+  const auto server = frameworks::make_server(args[0]);
+  const auto client = frameworks::make_client(args[2]);
+  if (server == nullptr || client == nullptr) {
+    std::cerr << "wsinterop: unknown framework (see 'wsinterop list')\n";
+    return 1;
+  }
+  catalog::TypeCatalog storage{"", {}};
+  const catalog::TypeInfo* type = find_type(*server, args[1], storage);
+  if (type == nullptr) {
+    std::cerr << "wsinterop: unknown type '" << args[1] << "'\n";
+    return 1;
+  }
+  Result<frameworks::DeployedService> service =
+      server->deploy(frameworks::ServiceSpec{type});
+  if (!service.ok()) {
+    std::cout << "step 1 (description): REFUSED — " << service.error().message << "\n";
+    return 0;
+  }
+  std::cout << "step 1 (description): published, WS-I "
+            << wsi::check(service->wsdl).summary() << "\n";
+  frameworks::GenerationResult generation = client->generate(service->wsdl_text);
+  for (const Diagnostic& diagnostic : generation.diagnostics.diagnostics()) {
+    std::cout << "step 2 (generation): [" << to_string(diagnostic.severity) << "] "
+              << diagnostic.code << ": " << diagnostic.message << "\n";
+  }
+  if (!generation.produced_artifacts()) {
+    std::cout << "step 2 (generation): no artifacts produced\n";
+    return 0;
+  }
+  if (generation.diagnostics.empty()) std::cout << "step 2 (generation): clean\n";
+  if (dump) {
+    std::cout << "--- generated artifacts ---\n"
+              << code::render(*generation.artifacts) << "---------------------------\n";
+  }
+  if (!client->requires_compilation()) {
+    const DiagnosticSink inst = compilers::check_instantiation(*generation.artifacts);
+    std::cout << "step 3 (instantiation): " << (inst.empty() ? "clean" : "") << "\n";
+    for (const Diagnostic& diagnostic : inst.diagnostics()) {
+      std::cout << "step 3 (instantiation): [" << to_string(diagnostic.severity) << "] "
+                << diagnostic.message << "\n";
+    }
+    return 0;
+  }
+  const auto compiler = compilers::make_compiler(client->language());
+  const DiagnosticSink sink = compiler->compile(*generation.artifacts);
+  if (sink.empty()) std::cout << "step 3 (compilation): clean\n";
+  for (const Diagnostic& diagnostic : sink.diagnostics()) {
+    std::cout << "step 3 (compilation): [" << to_string(diagnostic.severity) << "] "
+              << diagnostic.code << ": " << diagnostic.message << "\n";
+  }
+  return 0;
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+  fuzz::FuzzConfig config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--corpus" && i + 1 < args.size()) {
+      config.corpus_per_server = std::stoul(args[++i]);
+    } else {
+      return usage();
+    }
+  }
+  std::cout << fuzz::format_fuzz(fuzz::run_fuzz_campaign(config));
+  return 0;
+}
+
+int cmd_communicate() {
+  std::cout << interop::format_communication(interop::run_communication_study());
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const auto read_snapshot =
+      [](const std::string& path) -> Result<std::vector<interop::SnapshotCell>> {
+    std::ifstream file(path);
+    if (!file) return Error{"snapshot.unreadable", "cannot open " + path};
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return interop::parse_snapshot_csv(buffer.str());
+  };
+  Result<std::vector<interop::SnapshotCell>> before = read_snapshot(args[0]);
+  Result<std::vector<interop::SnapshotCell>> after = read_snapshot(args[1]);
+  if (!before.ok() || !after.ok()) {
+    std::cerr << "wsinterop: "
+              << (!before.ok() ? before.error().message : after.error().message) << "\n";
+    return 1;
+  }
+  const std::vector<interop::CellDiff> diff = interop::diff_snapshots(*before, *after);
+  std::cout << interop::format_diff(diff);
+  return diff.empty() ? 0 : 3;
+}
+
+int cmd_scorecard() {
+  const interop::StudyResult study = interop::run_study();
+  const interop::CommunicationResult communication = interop::run_communication_study();
+  fuzz::FuzzConfig fuzz_config;
+  fuzz_config.corpus_per_server = 5;
+  const fuzz::FuzzReport fuzzing = fuzz::run_fuzz_campaign(fuzz_config);
+  std::cout << interop::format_scorecard(
+      interop::build_scorecard(study, communication, fuzzing));
+  return 0;
+}
+
+int cmd_list() {
+  std::cout << "servers:\n";
+  for (const auto& server : frameworks::make_servers()) {
+    std::cout << "  " << server->name() << "  (" << server->application_server() << ", "
+              << server->language() << ")\n";
+  }
+  std::cout << "clients:\n";
+  for (const auto& client : frameworks::make_clients()) {
+    std::cout << "  " << client->name() << "  (" << client->tool() << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "run") return cmd_run(args);
+  if (command == "lint") return cmd_lint(args);
+  if (command == "describe") return cmd_describe(args);
+  if (command == "test") return cmd_test(args);
+  if (command == "fuzz") return cmd_fuzz(args);
+  if (command == "communicate") return cmd_communicate();
+  if (command == "scorecard") return cmd_scorecard();
+  if (command == "diff") return cmd_diff(args);
+  if (command == "list") return cmd_list();
+  return usage();
+}
