@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_catalog.dir/bench_failure_catalog.cpp.o"
+  "CMakeFiles/bench_failure_catalog.dir/bench_failure_catalog.cpp.o.d"
+  "bench_failure_catalog"
+  "bench_failure_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

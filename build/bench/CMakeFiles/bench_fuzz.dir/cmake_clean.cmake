@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzz.dir/bench_fuzz.cpp.o"
+  "CMakeFiles/bench_fuzz.dir/bench_fuzz.cpp.o.d"
+  "bench_fuzz"
+  "bench_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

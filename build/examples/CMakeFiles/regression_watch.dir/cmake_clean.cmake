@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_watch.dir/regression_watch.cpp.o"
+  "CMakeFiles/regression_watch.dir/regression_watch.cpp.o.d"
+  "regression_watch"
+  "regression_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

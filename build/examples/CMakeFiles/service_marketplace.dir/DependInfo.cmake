@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/service_marketplace.cpp" "examples/CMakeFiles/service_marketplace.dir/service_marketplace.cpp.o" "gcc" "examples/CMakeFiles/service_marketplace.dir/service_marketplace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsx_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsx_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsi/CMakeFiles/wsx_wsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/codemodel/CMakeFiles/wsx_codemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilers/CMakeFiles/wsx_compilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/wsx_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/wsx_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/interop/CMakeFiles/wsx_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/wsx_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/wsx_registry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

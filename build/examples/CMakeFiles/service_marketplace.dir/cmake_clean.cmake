@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_marketplace.dir/service_marketplace.cpp.o"
+  "CMakeFiles/service_marketplace.dir/service_marketplace.cpp.o.d"
+  "service_marketplace"
+  "service_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

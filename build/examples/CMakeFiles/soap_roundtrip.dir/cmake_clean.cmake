@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_roundtrip.dir/soap_roundtrip.cpp.o"
+  "CMakeFiles/soap_roundtrip.dir/soap_roundtrip.cpp.o.d"
+  "soap_roundtrip"
+  "soap_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

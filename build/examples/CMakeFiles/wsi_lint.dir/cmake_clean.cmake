@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsi_lint.dir/wsi_lint.cpp.o"
+  "CMakeFiles/wsi_lint.dir/wsi_lint.cpp.o.d"
+  "wsi_lint"
+  "wsi_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsi_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

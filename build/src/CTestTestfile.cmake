@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("xsd")
+subdirs("wsdl")
+subdirs("soap")
+subdirs("wsi")
+subdirs("codemodel")
+subdirs("compilers")
+subdirs("catalog")
+subdirs("frameworks")
+subdirs("interop")
+subdirs("fuzz")
+subdirs("registry")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/dotnet_catalog.cpp" "src/catalog/CMakeFiles/wsx_catalog.dir/dotnet_catalog.cpp.o" "gcc" "src/catalog/CMakeFiles/wsx_catalog.dir/dotnet_catalog.cpp.o.d"
+  "/root/repo/src/catalog/java_catalog.cpp" "src/catalog/CMakeFiles/wsx_catalog.dir/java_catalog.cpp.o" "gcc" "src/catalog/CMakeFiles/wsx_catalog.dir/java_catalog.cpp.o.d"
+  "/root/repo/src/catalog/name_pool.cpp" "src/catalog/CMakeFiles/wsx_catalog.dir/name_pool.cpp.o" "gcc" "src/catalog/CMakeFiles/wsx_catalog.dir/name_pool.cpp.o.d"
+  "/root/repo/src/catalog/type_info.cpp" "src/catalog/CMakeFiles/wsx_catalog.dir/type_info.cpp.o" "gcc" "src/catalog/CMakeFiles/wsx_catalog.dir/type_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_catalog.dir/dotnet_catalog.cpp.o"
+  "CMakeFiles/wsx_catalog.dir/dotnet_catalog.cpp.o.d"
+  "CMakeFiles/wsx_catalog.dir/java_catalog.cpp.o"
+  "CMakeFiles/wsx_catalog.dir/java_catalog.cpp.o.d"
+  "CMakeFiles/wsx_catalog.dir/name_pool.cpp.o"
+  "CMakeFiles/wsx_catalog.dir/name_pool.cpp.o.d"
+  "CMakeFiles/wsx_catalog.dir/type_info.cpp.o"
+  "CMakeFiles/wsx_catalog.dir/type_info.cpp.o.d"
+  "libwsx_catalog.a"
+  "libwsx_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_codemodel.dir/model.cpp.o"
+  "CMakeFiles/wsx_codemodel.dir/model.cpp.o.d"
+  "CMakeFiles/wsx_codemodel.dir/render.cpp.o"
+  "CMakeFiles/wsx_codemodel.dir/render.cpp.o.d"
+  "libwsx_codemodel.a"
+  "libwsx_codemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_codemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

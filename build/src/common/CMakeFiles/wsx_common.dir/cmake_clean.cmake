@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_common.dir/diagnostics.cpp.o"
+  "CMakeFiles/wsx_common.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/wsx_common.dir/json.cpp.o"
+  "CMakeFiles/wsx_common.dir/json.cpp.o.d"
+  "CMakeFiles/wsx_common.dir/strings.cpp.o"
+  "CMakeFiles/wsx_common.dir/strings.cpp.o.d"
+  "libwsx_common.a"
+  "libwsx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsx_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compilers/compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/compiler.cpp.o.d"
+  "/root/repo/src/compilers/cpp_compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/cpp_compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/cpp_compiler.cpp.o.d"
+  "/root/repo/src/compilers/csharp_compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/csharp_compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/csharp_compiler.cpp.o.d"
+  "/root/repo/src/compilers/dynamic_checker.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/dynamic_checker.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/dynamic_checker.cpp.o.d"
+  "/root/repo/src/compilers/java_compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/java_compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/java_compiler.cpp.o.d"
+  "/root/repo/src/compilers/jscript_compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/jscript_compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/jscript_compiler.cpp.o.d"
+  "/root/repo/src/compilers/semantic_checks.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/semantic_checks.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/semantic_checks.cpp.o.d"
+  "/root/repo/src/compilers/vb_compiler.cpp" "src/compilers/CMakeFiles/wsx_compilers.dir/vb_compiler.cpp.o" "gcc" "src/compilers/CMakeFiles/wsx_compilers.dir/vb_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codemodel/CMakeFiles/wsx_codemodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_compilers.dir/compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/compiler.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/cpp_compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/cpp_compiler.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/csharp_compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/csharp_compiler.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/dynamic_checker.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/dynamic_checker.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/java_compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/java_compiler.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/jscript_compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/jscript_compiler.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/semantic_checks.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/semantic_checks.cpp.o.d"
+  "CMakeFiles/wsx_compilers.dir/vb_compiler.cpp.o"
+  "CMakeFiles/wsx_compilers.dir/vb_compiler.cpp.o.d"
+  "libwsx_compilers.a"
+  "libwsx_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

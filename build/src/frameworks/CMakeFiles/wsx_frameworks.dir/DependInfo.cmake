@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frameworks/artifact_builder.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/artifact_builder.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/artifact_builder.cpp.o.d"
+  "/root/repo/src/frameworks/axis1_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/axis1_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/axis1_client.cpp.o.d"
+  "/root/repo/src/frameworks/axis2_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/axis2_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/axis2_client.cpp.o.d"
+  "/root/repo/src/frameworks/client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/client.cpp.o.d"
+  "/root/repo/src/frameworks/cxf_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/cxf_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/cxf_client.cpp.o.d"
+  "/root/repo/src/frameworks/dotnet_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/dotnet_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/dotnet_client.cpp.o.d"
+  "/root/repo/src/frameworks/features.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/features.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/features.cpp.o.d"
+  "/root/repo/src/frameworks/gsoap_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/gsoap_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/gsoap_client.cpp.o.d"
+  "/root/repo/src/frameworks/jbossws_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/jbossws_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/jbossws_client.cpp.o.d"
+  "/root/repo/src/frameworks/jbossws_server.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/jbossws_server.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/jbossws_server.cpp.o.d"
+  "/root/repo/src/frameworks/metro_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/metro_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/metro_client.cpp.o.d"
+  "/root/repo/src/frameworks/metro_server.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/metro_server.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/metro_server.cpp.o.d"
+  "/root/repo/src/frameworks/registry.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/registry.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/registry.cpp.o.d"
+  "/root/repo/src/frameworks/server.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/server.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/server.cpp.o.d"
+  "/root/repo/src/frameworks/service.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/service.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/service.cpp.o.d"
+  "/root/repo/src/frameworks/suds_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/suds_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/suds_client.cpp.o.d"
+  "/root/repo/src/frameworks/wcf_server.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/wcf_server.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/wcf_server.cpp.o.d"
+  "/root/repo/src/frameworks/wsdl_builder.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/wsdl_builder.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/wsdl_builder.cpp.o.d"
+  "/root/repo/src/frameworks/zend_client.cpp" "src/frameworks/CMakeFiles/wsx_frameworks.dir/zend_client.cpp.o" "gcc" "src/frameworks/CMakeFiles/wsx_frameworks.dir/zend_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsx_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsx_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsi/CMakeFiles/wsx_wsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/codemodel/CMakeFiles/wsx_codemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilers/CMakeFiles/wsx_compilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/wsx_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

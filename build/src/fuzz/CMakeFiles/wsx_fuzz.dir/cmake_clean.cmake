@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_fuzz.dir/campaign.cpp.o"
+  "CMakeFiles/wsx_fuzz.dir/campaign.cpp.o.d"
+  "CMakeFiles/wsx_fuzz.dir/mutation.cpp.o"
+  "CMakeFiles/wsx_fuzz.dir/mutation.cpp.o.d"
+  "libwsx_fuzz.a"
+  "libwsx_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_interop.dir/communication.cpp.o"
+  "CMakeFiles/wsx_interop.dir/communication.cpp.o.d"
+  "CMakeFiles/wsx_interop.dir/persistence.cpp.o"
+  "CMakeFiles/wsx_interop.dir/persistence.cpp.o.d"
+  "CMakeFiles/wsx_interop.dir/report.cpp.o"
+  "CMakeFiles/wsx_interop.dir/report.cpp.o.d"
+  "CMakeFiles/wsx_interop.dir/report_formats.cpp.o"
+  "CMakeFiles/wsx_interop.dir/report_formats.cpp.o.d"
+  "CMakeFiles/wsx_interop.dir/scorecard.cpp.o"
+  "CMakeFiles/wsx_interop.dir/scorecard.cpp.o.d"
+  "CMakeFiles/wsx_interop.dir/study.cpp.o"
+  "CMakeFiles/wsx_interop.dir/study.cpp.o.d"
+  "libwsx_interop.a"
+  "libwsx_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_registry.dir/registry.cpp.o"
+  "CMakeFiles/wsx_registry.dir/registry.cpp.o.d"
+  "libwsx_registry.a"
+  "libwsx_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

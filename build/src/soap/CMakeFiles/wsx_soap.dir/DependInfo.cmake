@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soap/envelope.cpp" "src/soap/CMakeFiles/wsx_soap.dir/envelope.cpp.o" "gcc" "src/soap/CMakeFiles/wsx_soap.dir/envelope.cpp.o.d"
+  "/root/repo/src/soap/http.cpp" "src/soap/CMakeFiles/wsx_soap.dir/http.cpp.o" "gcc" "src/soap/CMakeFiles/wsx_soap.dir/http.cpp.o.d"
+  "/root/repo/src/soap/message.cpp" "src/soap/CMakeFiles/wsx_soap.dir/message.cpp.o" "gcc" "src/soap/CMakeFiles/wsx_soap.dir/message.cpp.o.d"
+  "/root/repo/src/soap/validate.cpp" "src/soap/CMakeFiles/wsx_soap.dir/validate.cpp.o" "gcc" "src/soap/CMakeFiles/wsx_soap.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsx_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

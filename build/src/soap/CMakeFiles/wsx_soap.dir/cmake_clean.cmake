@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_soap.dir/envelope.cpp.o"
+  "CMakeFiles/wsx_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/wsx_soap.dir/http.cpp.o"
+  "CMakeFiles/wsx_soap.dir/http.cpp.o.d"
+  "CMakeFiles/wsx_soap.dir/message.cpp.o"
+  "CMakeFiles/wsx_soap.dir/message.cpp.o.d"
+  "CMakeFiles/wsx_soap.dir/validate.cpp.o"
+  "CMakeFiles/wsx_soap.dir/validate.cpp.o.d"
+  "libwsx_soap.a"
+  "libwsx_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

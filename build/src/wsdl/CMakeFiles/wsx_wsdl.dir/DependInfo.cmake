@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsdl/import_store.cpp" "src/wsdl/CMakeFiles/wsx_wsdl.dir/import_store.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsx_wsdl.dir/import_store.cpp.o.d"
+  "/root/repo/src/wsdl/model.cpp" "src/wsdl/CMakeFiles/wsx_wsdl.dir/model.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsx_wsdl.dir/model.cpp.o.d"
+  "/root/repo/src/wsdl/parser.cpp" "src/wsdl/CMakeFiles/wsx_wsdl.dir/parser.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsx_wsdl.dir/parser.cpp.o.d"
+  "/root/repo/src/wsdl/writer.cpp" "src/wsdl/CMakeFiles/wsx_wsdl.dir/writer.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsx_wsdl.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

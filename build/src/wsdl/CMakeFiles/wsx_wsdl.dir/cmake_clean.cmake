@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_wsdl.dir/import_store.cpp.o"
+  "CMakeFiles/wsx_wsdl.dir/import_store.cpp.o.d"
+  "CMakeFiles/wsx_wsdl.dir/model.cpp.o"
+  "CMakeFiles/wsx_wsdl.dir/model.cpp.o.d"
+  "CMakeFiles/wsx_wsdl.dir/parser.cpp.o"
+  "CMakeFiles/wsx_wsdl.dir/parser.cpp.o.d"
+  "CMakeFiles/wsx_wsdl.dir/writer.cpp.o"
+  "CMakeFiles/wsx_wsdl.dir/writer.cpp.o.d"
+  "libwsx_wsdl.a"
+  "libwsx_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wsx_wsdl.
+# This may be replaced when dependencies are built.

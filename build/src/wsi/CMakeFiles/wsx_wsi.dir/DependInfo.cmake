@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsi/assertions.cpp" "src/wsi/CMakeFiles/wsx_wsi.dir/assertions.cpp.o" "gcc" "src/wsi/CMakeFiles/wsx_wsi.dir/assertions.cpp.o.d"
+  "/root/repo/src/wsi/profile.cpp" "src/wsi/CMakeFiles/wsx_wsi.dir/profile.cpp.o" "gcc" "src/wsi/CMakeFiles/wsx_wsi.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsx_wsdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_wsi.dir/assertions.cpp.o"
+  "CMakeFiles/wsx_wsi.dir/assertions.cpp.o.d"
+  "CMakeFiles/wsx_wsi.dir/profile.cpp.o"
+  "CMakeFiles/wsx_wsi.dir/profile.cpp.o.d"
+  "libwsx_wsi.a"
+  "libwsx_wsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_wsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wsx_wsi.
+# This may be replaced when dependencies are built.

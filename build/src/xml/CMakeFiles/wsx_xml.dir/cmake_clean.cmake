@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_xml.dir/node.cpp.o"
+  "CMakeFiles/wsx_xml.dir/node.cpp.o.d"
+  "CMakeFiles/wsx_xml.dir/parser.cpp.o"
+  "CMakeFiles/wsx_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/wsx_xml.dir/qname.cpp.o"
+  "CMakeFiles/wsx_xml.dir/qname.cpp.o.d"
+  "CMakeFiles/wsx_xml.dir/query.cpp.o"
+  "CMakeFiles/wsx_xml.dir/query.cpp.o.d"
+  "CMakeFiles/wsx_xml.dir/writer.cpp.o"
+  "CMakeFiles/wsx_xml.dir/writer.cpp.o.d"
+  "libwsx_xml.a"
+  "libwsx_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

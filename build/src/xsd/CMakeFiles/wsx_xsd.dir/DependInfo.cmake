@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsd/builtin.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/builtin.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/builtin.cpp.o.d"
+  "/root/repo/src/xsd/model.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/model.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/model.cpp.o.d"
+  "/root/repo/src/xsd/reader.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/reader.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/reader.cpp.o.d"
+  "/root/repo/src/xsd/resolver.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/resolver.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/resolver.cpp.o.d"
+  "/root/repo/src/xsd/values.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/values.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/values.cpp.o.d"
+  "/root/repo/src/xsd/writer.cpp" "src/xsd/CMakeFiles/wsx_xsd.dir/writer.cpp.o" "gcc" "src/xsd/CMakeFiles/wsx_xsd.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsx_xsd.dir/builtin.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/builtin.cpp.o.d"
+  "CMakeFiles/wsx_xsd.dir/model.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/model.cpp.o.d"
+  "CMakeFiles/wsx_xsd.dir/reader.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/reader.cpp.o.d"
+  "CMakeFiles/wsx_xsd.dir/resolver.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/resolver.cpp.o.d"
+  "CMakeFiles/wsx_xsd.dir/values.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/values.cpp.o.d"
+  "CMakeFiles/wsx_xsd.dir/writer.cpp.o"
+  "CMakeFiles/wsx_xsd.dir/writer.cpp.o.d"
+  "libwsx_xsd.a"
+  "libwsx_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsx_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

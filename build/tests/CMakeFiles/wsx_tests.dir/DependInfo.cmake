@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binding_customization_test.cpp" "tests/CMakeFiles/wsx_tests.dir/binding_customization_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/binding_customization_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/wsx_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/client_policy_matrix_test.cpp" "tests/CMakeFiles/wsx_tests.dir/client_policy_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/client_policy_matrix_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/wsx_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/communication_test.cpp" "tests/CMakeFiles/wsx_tests.dir/communication_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/communication_test.cpp.o.d"
+  "/root/repo/tests/compilers_test.cpp" "tests/CMakeFiles/wsx_tests.dir/compilers_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/compilers_test.cpp.o.d"
+  "/root/repo/tests/crud_services_test.cpp" "tests/CMakeFiles/wsx_tests.dir/crud_services_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/crud_services_test.cpp.o.d"
+  "/root/repo/tests/faults_and_formats_test.cpp" "tests/CMakeFiles/wsx_tests.dir/faults_and_formats_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/faults_and_formats_test.cpp.o.d"
+  "/root/repo/tests/frameworks_client_test.cpp" "tests/CMakeFiles/wsx_tests.dir/frameworks_client_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/frameworks_client_test.cpp.o.d"
+  "/root/repo/tests/frameworks_server_test.cpp" "tests/CMakeFiles/wsx_tests.dir/frameworks_server_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/frameworks_server_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/wsx_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/import_store_test.cpp" "tests/CMakeFiles/wsx_tests.dir/import_store_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/import_store_test.cpp.o.d"
+  "/root/repo/tests/interop_study_test.cpp" "tests/CMakeFiles/wsx_tests.dir/interop_study_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/interop_study_test.cpp.o.d"
+  "/root/repo/tests/persistence_test.cpp" "tests/CMakeFiles/wsx_tests.dir/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/persistence_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/wsx_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/wsx_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/render_test.cpp" "tests/CMakeFiles/wsx_tests.dir/render_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/render_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/wsx_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/reproduction_test.cpp" "tests/CMakeFiles/wsx_tests.dir/reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/reproduction_test.cpp.o.d"
+  "/root/repo/tests/rpc_style_test.cpp" "tests/CMakeFiles/wsx_tests.dir/rpc_style_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/rpc_style_test.cpp.o.d"
+  "/root/repo/tests/scorecard_test.cpp" "tests/CMakeFiles/wsx_tests.dir/scorecard_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/scorecard_test.cpp.o.d"
+  "/root/repo/tests/soap12_test.cpp" "tests/CMakeFiles/wsx_tests.dir/soap12_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/soap12_test.cpp.o.d"
+  "/root/repo/tests/soap_test.cpp" "tests/CMakeFiles/wsx_tests.dir/soap_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/soap_test.cpp.o.d"
+  "/root/repo/tests/strings_test.cpp" "tests/CMakeFiles/wsx_tests.dir/strings_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/strings_test.cpp.o.d"
+  "/root/repo/tests/structured_payload_test.cpp" "tests/CMakeFiles/wsx_tests.dir/structured_payload_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/structured_payload_test.cpp.o.d"
+  "/root/repo/tests/validate_and_log_test.cpp" "tests/CMakeFiles/wsx_tests.dir/validate_and_log_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/validate_and_log_test.cpp.o.d"
+  "/root/repo/tests/wsdl_test.cpp" "tests/CMakeFiles/wsx_tests.dir/wsdl_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/wsdl_test.cpp.o.d"
+  "/root/repo/tests/wsi_test.cpp" "tests/CMakeFiles/wsx_tests.dir/wsi_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/wsi_test.cpp.o.d"
+  "/root/repo/tests/xml_parser_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xml_parser_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xml_parser_test.cpp.o.d"
+  "/root/repo/tests/xml_query_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xml_query_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xml_query_test.cpp.o.d"
+  "/root/repo/tests/xsd_derivation_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xsd_derivation_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xsd_derivation_test.cpp.o.d"
+  "/root/repo/tests/xsd_resolver_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xsd_resolver_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xsd_resolver_test.cpp.o.d"
+  "/root/repo/tests/xsd_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xsd_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xsd_test.cpp.o.d"
+  "/root/repo/tests/xsd_values_test.cpp" "tests/CMakeFiles/wsx_tests.dir/xsd_values_test.cpp.o" "gcc" "tests/CMakeFiles/wsx_tests.dir/xsd_values_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/wsx_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsx_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsx_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsi/CMakeFiles/wsx_wsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/codemodel/CMakeFiles/wsx_codemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilers/CMakeFiles/wsx_compilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/wsx_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/wsx_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/interop/CMakeFiles/wsx_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/wsx_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/wsx_registry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

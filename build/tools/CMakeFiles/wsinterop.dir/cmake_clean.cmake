@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsinterop.dir/wsinterop_cli.cpp.o"
+  "CMakeFiles/wsinterop.dir/wsinterop_cli.cpp.o.d"
+  "wsinterop"
+  "wsinterop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsinterop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
