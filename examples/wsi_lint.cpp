@@ -1,11 +1,15 @@
-// wsi_lint — a WS-I Basic Profile linter for WSDL files. Reads a WSDL from
-// a file (or generates a demo description when run without arguments) and
-// prints every assertion result. Pass --strict to enable the paper's
-// minOccurs>=1 operations rule.
+// wsi_lint — a WSDL linter. Reads a WSDL from a file (or generates a demo
+// description when run without arguments), prints every WS-I Basic Profile
+// assertion result, then the full wsx::analysis rule-pack findings (the
+// BP-invisible checks: anyType, wildcards, collection types, recursion...).
+// Pass --strict to enable the paper's minOccurs>=1 operations rule, --sarif
+// FILE to also write the findings as SARIF 2.1.0.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "analysis/registry.hpp"
+#include "analysis/sarif.hpp"
 #include "catalog/dotnet_catalog.hpp"
 #include "frameworks/registry.hpp"
 #include "wsdl/parser.hpp"
@@ -15,7 +19,8 @@ using namespace wsx;
 
 namespace {
 
-int lint(const wsdl::Definitions& defs, const wsi::Profile& profile) {
+int lint(const wsdl::Definitions& defs, const wsi::Profile& profile, std::string uri,
+         const std::string& sarif_path) {
   const wsi::ComplianceReport report = wsi::check(defs, profile);
   for (const wsi::AssertionResult& assertion : report.results()) {
     std::cout << "  [" << to_string(assertion.outcome) << "] " << assertion.id << " — "
@@ -24,6 +29,20 @@ int lint(const wsdl::Definitions& defs, const wsi::Profile& profile) {
     std::cout << "\n";
   }
   std::cout << "result: " << report.summary() << "\n";
+
+  // The same document through the full lint pack: these are the findings
+  // the WS-I assertions cannot express.
+  analysis::AnalysisInput input;
+  input.definitions = &defs;
+  input.uri = std::move(uri);
+  const analysis::AnalysisResult full = analysis::analyze(input);
+  std::cout << "lint: " << analysis::summarize(full.findings) << "\n"
+            << analysis::format_findings(full.findings);
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    out << analysis::to_sarif(full.findings);
+    std::cout << "sarif written to " << sarif_path << "\n";
+  }
   return report.compliant() ? 0 : 2;
 }
 
@@ -32,10 +51,13 @@ int lint(const wsdl::Definitions& defs, const wsi::Profile& profile) {
 int main(int argc, char** argv) {
   wsi::Profile profile;
   std::string path;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict") {
       profile.require_operations = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else {
       path = arg;
     }
@@ -64,7 +86,7 @@ int main(int argc, char** argv) {
           server->deploy(frameworks::ServiceSpec{type});
       if (!service.ok()) continue;
       std::cout << "== " << type->qualified_name() << " on " << server->name() << "\n";
-      lint(service->wsdl, profile);
+      lint(service->wsdl, profile, type->name + ".wsdl", sarif_path);
       std::cout << "\n";
     }
     return 0;
@@ -83,5 +105,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "== " << path << "\n";
-  return lint(*defs, profile);
+  return lint(*defs, profile, path, sarif_path);
 }

@@ -1,0 +1,49 @@
+// baseline.hpp — suppression files for adopting the linter on an existing
+// corpus: record today's findings, then only new findings fail the build.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.hpp"
+#include "common/result.hpp"
+
+namespace wsx::analysis {
+
+/// A set of accepted findings. The on-disk format is line-oriented text —
+/// one "rule_id<TAB>uri<TAB>fingerprint" entry per finding, sorted — so
+/// baselines diff cleanly under version control. The fingerprint hashes the
+/// finding's identity (rule, subject, message) rather than its position, so
+/// baselines survive unrelated edits that shift line numbers.
+class Baseline {
+ public:
+  Baseline() = default;
+
+  /// Records every finding as accepted.
+  static Baseline from_findings(const std::vector<Finding>& findings);
+
+  /// Parses the text format. Blank lines and '#' comment lines are ignored.
+  /// Error code "baseline.malformed-line" names the offending line number.
+  static Result<Baseline> parse(std::string_view text);
+
+  /// Serializes to the text format (sorted, trailing newline, leading
+  /// comment header).
+  std::string str() const;
+
+  bool suppresses(const Finding& finding) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The fingerprint recorded for a finding (exposed for tests).
+  static std::string fingerprint(const Finding& finding);
+
+ private:
+  static std::string entry_key(const Finding& finding);
+  std::set<std::string> entries_;
+};
+
+/// Removes findings the baseline suppresses, preserving order.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings, const Baseline& baseline);
+
+}  // namespace wsx::analysis

@@ -1,0 +1,221 @@
+#include "analysis/corpus.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/server.hpp"
+#include "interop/study.hpp"
+#include "wsdl/parser.hpp"
+
+namespace wsx::analysis {
+namespace {
+
+/// One deployed description awaiting analysis.
+struct LintJob {
+  std::string server;
+  std::string service;
+  std::string type_name;
+  std::string uri;
+  std::string wsdl_text;
+  bool zero_operations = false;
+};
+
+ServiceAnalysis lint_one(const LintJob& job, const RuleConfig& rules) {
+  ServiceAnalysis analysis;
+  analysis.server = job.server;
+  analysis.service = job.service;
+  analysis.type_name = job.type_name;
+  analysis.uri = job.uri;
+  analysis.zero_operations = job.zero_operations;
+  // Lint the published text, not the in-memory model — findings then carry
+  // the line/column positions consumers would see.
+  const Result<wsdl::Definitions> parsed = wsdl::parse(job.wsdl_text);
+  if (!parsed.ok()) {
+    Finding finding;
+    finding.rule_id = "WSX0001";
+    finding.severity = Severity::kCrash;
+    finding.message = "published WSDL does not parse: " + parsed.error().message;
+    finding.location.uri = job.uri;
+    analysis.findings.push_back(std::move(finding));
+    return analysis;
+  }
+  AnalysisInput input;
+  input.definitions = &parsed.value();
+  input.uri = job.uri;
+  analysis.findings = analyze(input, rules).findings;
+  return analysis;
+}
+
+std::size_t worker_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+}  // namespace
+
+bool ServiceAnalysis::flagged_by(std::string_view rule_id) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [rule_id](const Finding& f) { return f.rule_id == rule_id; });
+}
+
+double RuleStats::precision() const {
+  const std::size_t flagged = true_positives + false_positives;
+  return flagged == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(flagged);
+}
+
+double RuleStats::recall() const {
+  const std::size_t errored = true_positives + false_negatives;
+  return errored == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(errored);
+}
+
+std::vector<Finding> CorpusReport::all_findings() const {
+  std::vector<Finding> out;
+  for (const ServiceAnalysis& service : services) {
+    out.insert(out.end(), service.findings.begin(), service.findings.end());
+  }
+  return out;
+}
+
+std::size_t CorpusReport::services_with_findings() const {
+  return static_cast<std::size_t>(
+      std::count_if(services.begin(), services.end(),
+                    [](const ServiceAnalysis& s) { return !s.findings.empty(); }));
+}
+
+std::string CorpusReport::summary() const {
+  return std::to_string(services.size()) + " services on " + std::to_string(servers) +
+         " servers: " + std::to_string(services_with_findings()) + " with findings";
+}
+
+CorpusReport analyze_corpus(const CorpusOptions& options) {
+  CorpusReport report;
+
+  // Preparation: the same corpus the study deploys (§III.A).
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(options.java_spec);
+  const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(options.dotnet_spec);
+  const std::vector<frameworks::ServiceSpec> java_services =
+      frameworks::make_services(java_catalog, options.shape);
+  const std::vector<frameworks::ServiceSpec> dotnet_services =
+      frameworks::make_services(dotnet_catalog, options.shape);
+  const auto servers = frameworks::make_servers();
+  report.servers = servers.size();
+
+  std::vector<LintJob> jobs;
+  for (const auto& server : servers) {
+    const bool is_dotnet = server->language() == "C#";
+    const std::vector<frameworks::ServiceSpec>& services =
+        is_dotnet ? dotnet_services : java_services;
+    for (const frameworks::ServiceSpec& spec : services) {
+      if (!server->can_deploy(*spec.type)) {
+        ++report.deploy_refusals;
+        continue;
+      }
+      Result<frameworks::DeployedService> deployed = server->deploy(spec);
+      if (!deployed.ok()) {
+        ++report.deploy_refusals;
+        continue;
+      }
+      LintJob job;
+      job.server = server->name();
+      job.service = spec.service_name();
+      job.type_name = spec.type->name;
+      job.uri = job.server + "/" + job.service + ".wsdl";
+      job.wsdl_text = std::move(deployed.value().wsdl_text);
+      job.zero_operations = deployed.value().wsdl.operation_count() == 0;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Parallel lint: fixed slices merged in index order, so the report is
+  // identical for any --jobs value.
+  report.services.resize(jobs.size());
+  const std::size_t workers = std::min(worker_count(options.jobs), std::max<std::size_t>(jobs.size(), 1));
+  const std::size_t chunk = (jobs.size() + workers - 1) / std::max<std::size_t>(workers, 1);
+  const auto run_slice = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      report.services[i] = lint_one(jobs[i], options.rules);
+    }
+  };
+  if (workers <= 1 || jobs.size() <= 1) {
+    run_slice(0, jobs.size());
+  } else {
+    std::vector<std::future<void>> futures;
+    for (std::size_t begin = 0; begin < jobs.size(); begin += chunk) {
+      futures.push_back(std::async(std::launch::async, run_slice, begin,
+                                   std::min(jobs.size(), begin + chunk)));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+
+  // Failure-prediction join: replay the study over the same corpus and mark
+  // services at least one client errored against (§III.B).
+  if (options.join_study) {
+    report.joined = true;
+    std::map<std::string, bool, std::less<>> errored;  // server/service → error
+    interop::StudyConfig study;
+    study.java_spec = options.java_spec;
+    study.dotnet_spec = options.dotnet_spec;
+    study.shape = options.shape;
+    study.threads = options.study_threads;
+    study.observer = [&errored](const interop::TestRecord& record) {
+      bool& slot = errored[record.server + "/" + record.service];
+      slot = slot || record.generation_error || record.compilation_error;
+    };
+    (void)interop::run_study(study);
+    for (ServiceAnalysis& service : report.services) {
+      const auto it = errored.find(service.server + "/" + service.service);
+      service.downstream_error = it != errored.end() && it->second;
+    }
+  }
+
+  // Per-rule tallies in registration order.
+  for (const auto& rule : RuleRegistry::builtin().rules()) {
+    const RuleInfo& info = rule->info();
+    if (!options.rules.enabled(info)) continue;
+    RuleStats stats;
+    stats.rule_id = info.id;
+    for (const ServiceAnalysis& service : report.services) {
+      const std::size_t hits = static_cast<std::size_t>(
+          std::count_if(service.findings.begin(), service.findings.end(),
+                        [&info](const Finding& f) { return f.rule_id == info.id; }));
+      stats.findings += hits;
+      const bool flagged = hits != 0;
+      if (flagged) ++stats.services_flagged;
+      if (!report.joined) continue;
+      if (flagged && service.downstream_error) ++stats.true_positives;
+      if (flagged && !service.downstream_error) ++stats.false_positives;
+      if (!flagged && service.downstream_error) ++stats.false_negatives;
+    }
+    report.rules.push_back(std::move(stats));
+  }
+  return report;
+}
+
+std::string format_report(const CorpusReport& report) {
+  std::string out = report.summary() + "\n";
+  if (report.deploy_refusals != 0) {
+    out += "  (" + std::to_string(report.deploy_refusals) + " deploy refusals excluded)\n";
+  }
+  const auto percent = [](double value) {
+    return std::to_string(static_cast<int>(value * 100.0 + 0.5)) + "%";
+  };
+  for (const RuleStats& stats : report.rules) {
+    if (stats.findings == 0 && !report.joined) continue;
+    out += "  " + stats.rule_id + ": " + std::to_string(stats.findings) + " findings in " +
+           std::to_string(stats.services_flagged) + " services";
+    if (report.joined && stats.services_flagged != 0) {
+      out += " | precision " + percent(stats.precision()) + ", recall " +
+             percent(stats.recall());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wsx::analysis

@@ -1,0 +1,85 @@
+// corpus.hpp — the corpus-parallel lint driver and the failure-prediction
+// join. Deploys the study's catalog-generated services on every server
+// framework, lints each published WSDL across a thread pool, and — when
+// asked — joins the per-rule hits against interop::study outcomes to score
+// each rule's predictive power (the paper's description-step-flags-predict-
+// downstream-errors claim, §IV.A).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.hpp"
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "frameworks/service.hpp"
+
+namespace wsx::analysis {
+
+struct CorpusOptions {
+  catalog::JavaCatalogSpec java_spec;      ///< defaults: the paper's population
+  catalog::DotNetCatalogSpec dotnet_spec;  ///< defaults: the paper's population
+  frameworks::ServiceShape shape = frameworks::ServiceShape::kSimpleEcho;
+  std::size_t jobs = 0;  ///< lint worker threads; 0 = hardware concurrency
+  RuleConfig rules;      ///< rule selection/severity tuning
+
+  /// Runs the interop study over the same corpus and computes per-rule
+  /// precision/recall against downstream generation/compilation errors.
+  bool join_study = false;
+  std::size_t study_threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Lint outcome of one deployed service.
+struct ServiceAnalysis {
+  std::string server;     ///< server framework name
+  std::string service;    ///< e.g. "EchoSimpleDateFormat"
+  std::string type_name;  ///< native type behind the service
+  std::string uri;        ///< "server/service.wsdl", stamped into findings
+  std::vector<Finding> findings;
+  bool zero_operations = false;  ///< the study's "unusable" classification
+  /// With join_study: at least one client hit a generation or compilation
+  /// error against this service.
+  bool downstream_error = false;
+
+  bool flagged_by(std::string_view rule_id) const;
+};
+
+/// Predictive power of one rule against the joined study outcomes.
+struct RuleStats {
+  std::string rule_id;
+  std::size_t findings = 0;          ///< total findings emitted
+  std::size_t services_flagged = 0;  ///< services with >= 1 finding
+  // Populated only with CorpusOptions::join_study:
+  std::size_t true_positives = 0;   ///< flagged and downstream error
+  std::size_t false_positives = 0;  ///< flagged, no downstream error
+  std::size_t false_negatives = 0;  ///< downstream error, not flagged
+
+  double precision() const;  ///< TP / (TP + FP); 0 when nothing flagged
+  double recall() const;     ///< TP / (TP + FN); 0 when no errors happened
+};
+
+struct CorpusReport {
+  std::vector<ServiceAnalysis> services;  ///< deterministic corpus order
+  /// Per-rule hit counts in registry registration order (rules that never
+  /// fired included, so reports are shape-stable).
+  std::vector<RuleStats> rules;
+  std::size_t servers = 0;
+  std::size_t deploy_refusals = 0;  ///< services a server would not deploy
+  bool joined = false;              ///< RuleStats carry TP/FP/FN
+
+  /// Every finding across the corpus, in corpus order.
+  std::vector<Finding> all_findings() const;
+  std::size_t services_with_findings() const;
+  /// One line, e.g. "1894 services on 3 servers: 120 with findings".
+  std::string summary() const;
+};
+
+/// Deploys, lints (in parallel), and optionally joins against the study.
+/// Output is deterministic for a given options value regardless of `jobs`.
+CorpusReport analyze_corpus(const CorpusOptions& options = {});
+
+/// Human-readable per-rule table (hits, and precision/recall when joined).
+std::string format_report(const CorpusReport& report);
+
+}  // namespace wsx::analysis

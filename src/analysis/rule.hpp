@@ -1,0 +1,111 @@
+// rule.hpp — the static-analysis rule framework over WSDL/XSD documents.
+//
+// The paper's method is static analysis at scale: run every published
+// description through description-time checks and show that they predict
+// downstream client-generation/compilation failures (§III.B.d, §IV). This
+// module generalizes the ad-hoc WS-I checker into a rule engine: every
+// check is a Rule with a stable id, a category, a configurable severity and
+// a paper reference; violations are Findings carrying source locations and
+// fix-it hints, serializable as pretty text or SARIF 2.1.0.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "wsdl/import_store.hpp"
+#include "wsdl/model.hpp"
+
+namespace wsx::analysis {
+
+/// Rule families. Conformance rules mirror WS-I Basic Profile assertions;
+/// the rest are the checks BP cannot express (paper §IV).
+enum class Category {
+  kConformance,  ///< WS-I BP 1.1 assertions (R2xxx)
+  kStructure,    ///< document structure beyond BP (e.g. §IV.A operations)
+  kSchema,       ///< embedded-schema hygiene (unused/duplicate/recursive)
+  kImports,      ///< cross-document import graph
+  kPortability,  ///< constructs known to break specific client stacks
+};
+
+const char* to_string(Category category);
+
+/// Immutable metadata of one rule.
+struct RuleInfo {
+  std::string id;     ///< stable identifier, e.g. "WSX1001" or BP "R2102"
+  std::string title;  ///< one-line statement of the requirement
+  Category category = Category::kSchema;
+  Severity default_severity = Severity::kError;
+  std::string paper_ref;  ///< paper section the rule traces to, e.g. "§IV.A"
+};
+
+/// One document under analysis, plus optional cross-document context.
+struct AnalysisInput {
+  const wsdl::Definitions* definitions = nullptr;  ///< required
+  std::string uri;  ///< document identity, stamped into finding locations
+  /// Cross-document passes (import cycles, unresolved imports) resolve
+  /// locations against this store; rules must tolerate nullptr.
+  const wsdl::DocumentStore* store = nullptr;
+  std::string root_location;  ///< key of *definitions within *store
+};
+
+/// One rule violation. `severity` is the configured (not necessarily the
+/// default) severity at analysis time.
+struct Finding {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  std::string message;
+  std::string subject;  ///< construct the finding is about
+  SourceLocation location;
+  std::string fixit;  ///< suggested remedy; "" = none
+
+  Diagnostic to_diagnostic() const;
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Sink handed to a rule; stamps rule id, configured severity and document
+/// URI onto every reported violation.
+class Reporter {
+ public:
+  Reporter(const RuleInfo& info, Severity severity, std::string uri,
+           std::vector<Finding>& out)
+      : info_(info), severity_(severity), uri_(std::move(uri)), out_(out) {}
+
+  void report(std::string message, std::string subject = {},
+              SourceLocation location = {}, std::string fixit = {});
+
+  std::size_t reported() const { return reported_; }
+
+ private:
+  const RuleInfo& info_;
+  Severity severity_;
+  std::string uri_;
+  std::vector<Finding>& out_;
+  std::size_t reported_ = 0;
+};
+
+/// A single analysis pass. Rules are stateless: `run` may be called
+/// concurrently from the corpus driver's worker threads.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const RuleInfo& info() const = 0;
+  virtual void run(const AnalysisInput& input, Reporter& out) const = 0;
+};
+
+/// Convenience adapter: a rule from metadata plus a free function.
+class LambdaRule : public Rule {
+ public:
+  using CheckFn = void (*)(const AnalysisInput&, Reporter&);
+  LambdaRule(RuleInfo info, CheckFn fn) : info_(std::move(info)), fn_(fn) {}
+
+  const RuleInfo& info() const override { return info_; }
+  void run(const AnalysisInput& input, Reporter& out) const override { fn_(input, out); }
+
+ private:
+  RuleInfo info_;
+  CheckFn fn_;
+};
+
+}  // namespace wsx::analysis

@@ -1,0 +1,122 @@
+// rules_imports.cpp — cross-document passes over the import graph. These
+// run with full power when the AnalysisInput carries a DocumentStore (the
+// corpus driver and the multi-document CLI mode provide one) and degrade to
+// single-document checks otherwise.
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.hpp"
+#include "wsdl/parser.hpp"
+#include "xml/qname.hpp"
+
+namespace wsx::analysis {
+namespace {
+
+/// WSX1008: imports a consumer cannot follow. Two shapes: xs:import with no
+/// schemaLocation whose namespace no local schema supplies (tools must
+/// guess), and wsdl:import whose location the store cannot fetch (dead
+/// split-description links).
+void check_unresolved_imports(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  std::set<std::string, std::less<>> local_namespaces;
+  for (const xsd::Schema& schema : defs.schemas) {
+    local_namespaces.insert(schema.target_namespace);
+  }
+  const SourceLocation at = defs.locate("definitions:");
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::SchemaImport& import : schema.imports) {
+      if (!import.schema_location.empty()) continue;
+      if (import.namespace_uri == xml::ns::kXsd) continue;
+      if (local_namespaces.count(import.namespace_uri) != 0) continue;
+      out.report("schema import of namespace '" + import.namespace_uri +
+                     "' has no schemaLocation and no local schema supplies it",
+                 import.namespace_uri, at,
+                 "add schemaLocation= or embed the schema in wsdl:types");
+    }
+  }
+  if (input.store == nullptr) return;
+  for (const wsdl::WsdlImport& import : defs.imports) {
+    if (import.location.empty()) continue;  // R2007 reports locationless imports
+    if (input.store->get(import.location) != nullptr) continue;
+    out.report("wsdl:import location '" + import.location + "' cannot be fetched",
+               import.location, defs.locate("import:" + import.namespace_uri),
+               "publish the imported document at the referenced location");
+  }
+}
+
+/// WSX1009: wsdl:import cycles. Follows import locations through the
+/// DocumentStore from the root document; consumers that flatten imports
+/// either loop or bail out on such graphs.
+void check_import_cycles(const AnalysisInput& input, Reporter& out) {
+  if (input.store == nullptr || input.root_location.empty()) return;
+  const wsdl::DocumentStore& store = *input.store;
+
+  // location → imported locations; parsed documents are cached so each is
+  // read once even when imported from several places.
+  std::map<std::string, std::vector<std::string>, std::less<>> graph;
+  const std::function<void(const std::string&)> load = [&](const std::string& location) {
+    if (graph.count(location) != 0) return;
+    auto& imports = graph[location];
+    const std::string* text = store.get(location);
+    if (text == nullptr) return;  // WSX1008 reports unfetchable locations
+    Result<wsdl::Definitions> parsed = wsdl::parse(*text);
+    if (!parsed.ok()) return;  // parse failures surface elsewhere
+    for (const wsdl::WsdlImport& import : parsed.value().imports) {
+      if (!import.location.empty()) imports.push_back(import.location);
+    }
+    for (const std::string& next : imports) load(next);
+  };
+  load(input.root_location);
+
+  std::set<std::string, std::less<>> done;
+  std::vector<std::string> path;
+  std::set<std::string, std::less<>> on_path;
+  const std::function<void(const std::string&)> visit = [&](const std::string& location) {
+    path.push_back(location);
+    on_path.insert(location);
+    for (const std::string& next : graph[location]) {
+      if (on_path.count(next) != 0) {
+        std::string chain = next;
+        for (auto it = std::find(path.begin(), path.end(), next); it != path.end(); ++it) {
+          if (*it != next) continue;
+          for (auto rest = it + 1; rest != path.end(); ++rest) chain += " -> " + *rest;
+          break;
+        }
+        chain += " -> " + next;
+        out.report("wsdl:import cycle: " + chain, next, SourceLocation{input.root_location},
+                   "break the cycle by merging or restructuring the documents");
+        continue;
+      }
+      if (done.count(next) == 0) visit(next);
+    }
+    on_path.erase(location);
+    path.pop_back();
+    done.insert(location);
+  };
+  visit(input.root_location);
+}
+
+void add_rule(RuleRegistry& registry, const char* id, const char* title, Severity severity,
+              LambdaRule::CheckFn fn) {
+  RuleInfo info;
+  info.id = id;
+  info.title = title;
+  info.category = Category::kImports;
+  info.default_severity = severity;
+  info.paper_ref = "§III.B.d";
+  registry.add(std::make_unique<LambdaRule>(std::move(info), fn));
+}
+
+}  // namespace
+
+void register_import_rules(RuleRegistry& registry) {
+  add_rule(registry, "WSX1008", "Imports must be resolvable", Severity::kWarning,
+           check_unresolved_imports);
+  add_rule(registry, "WSX1009", "The wsdl:import graph must be acyclic", Severity::kError,
+           check_import_cycles);
+}
+
+}  // namespace wsx::analysis

@@ -1,0 +1,387 @@
+// rules_schema.cpp — the WSX lint pack over document structure and embedded
+// schemas: the checks WS-I Basic Profile cannot express but that the paper
+// shows predict client-side failures (§IV). Ids are stable WSX1xxx codes.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/registry.hpp"
+#include "xml/qname.hpp"
+
+namespace wsx::analysis {
+namespace {
+
+/// Invokes `fn(element, context)` for every element declaration in the
+/// schema set, descending into inline anonymous types.
+void for_each_element(const std::vector<xsd::Schema>& schemas,
+                      const std::function<void(const xsd::ElementDecl&, const std::string&)>& fn) {
+  const std::function<void(const xsd::ComplexType&, const std::string&)> walk_type =
+      [&](const xsd::ComplexType& type, const std::string& context) {
+        for (const xsd::Particle& particle : type.particles) {
+          const auto* element = std::get_if<xsd::ElementDecl>(&particle);
+          if (element == nullptr) continue;
+          fn(*element, context);
+          if (element->inline_type.has_value()) {
+            walk_type(*element->inline_type, context + "/" + element->name);
+          }
+        }
+      };
+  for (const xsd::Schema& schema : schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      walk_type(type, "complexType " + type.name);
+    }
+    for (const xsd::ElementDecl& element : schema.elements) {
+      fn(element, "element " + element.name);
+      if (element.inline_type.has_value()) {
+        walk_type(*element.inline_type, "element " + element.name);
+      }
+    }
+  }
+}
+
+/// Invokes `fn(attribute, context)` for every attribute declaration.
+void for_each_attribute(
+    const std::vector<xsd::Schema>& schemas,
+    const std::function<void(const xsd::AttributeDecl&, const std::string&)>& fn) {
+  const std::function<void(const xsd::ComplexType&, const std::string&)> walk_type =
+      [&](const xsd::ComplexType& type, const std::string& context) {
+        for (const xsd::AttributeDecl& attribute : type.attributes) fn(attribute, context);
+        for (const xsd::Particle& particle : type.particles) {
+          const auto* element = std::get_if<xsd::ElementDecl>(&particle);
+          if (element != nullptr && element->inline_type.has_value()) {
+            walk_type(*element->inline_type, context + "/" + element->name);
+          }
+        }
+      };
+  for (const xsd::Schema& schema : schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      walk_type(type, "complexType " + type.name);
+    }
+    for (const xsd::ElementDecl& element : schema.elements) {
+      if (element.inline_type.has_value()) {
+        walk_type(*element.inline_type, "element " + element.name);
+      }
+    }
+  }
+}
+
+/// WSX1001 (§IV.A): a description must expose at least one operation.
+/// JBossWS publishes compliant-but-unusable descriptions whose portTypes
+/// declare nothing; every studied client stack rejects or no-ops on them.
+void check_operations_present(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  if (defs.port_types.empty()) {
+    out.report("no portType declares any operation", "wsdl:definitions",
+               defs.locate("definitions:"), "declare a portType with at least one operation");
+    return;
+  }
+  for (const wsdl::PortType& port_type : defs.port_types) {
+    if (!port_type.operations.empty()) continue;
+    out.report("portType '" + port_type.name + "' declares no operations", port_type.name,
+               defs.locate("portType:" + port_type.name),
+               "declare at least one wsdl:operation");
+  }
+}
+
+bool is_xsd_any_type(const xml::QName& type) {
+  return type.namespace_uri() == xml::ns::kXsd &&
+         (type.local_name() == "anyType" || type.local_name() == "anySimpleType");
+}
+
+/// WSX1002 (§IV.B): xs:anyType erases the schema contract; client
+/// generators map it to object/Object and consumers must reverse-engineer
+/// the payload.
+void check_any_type(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  const SourceLocation at = defs.locate("definitions:");
+  for_each_element(defs.schemas, [&](const xsd::ElementDecl& element, const std::string& ctx) {
+    if (!is_xsd_any_type(element.type)) return;
+    out.report("element '" + element.name + "' in " + ctx + " is typed xs:" +
+                   element.type.local_name(),
+               ctx + "/" + element.name, at, "declare a concrete schema type");
+  });
+  for_each_attribute(defs.schemas,
+                     [&](const xsd::AttributeDecl& attribute, const std::string& ctx) {
+                       if (!is_xsd_any_type(attribute.type)) return;
+                       out.report("attribute '" + attribute.name + "' in " + ctx +
+                                      " is typed xs:" + attribute.type.local_name(),
+                                  ctx + "/@" + attribute.name, at,
+                                  "declare a concrete schema type");
+                     });
+}
+
+/// WSX1003 (§IV.B): xs:any wildcard content (the DataSet/DataTable family)
+/// defeats static proxy generation — the wire content has no compile-time
+/// shape.
+void check_wildcards(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  const SourceLocation at = defs.locate("definitions:");
+  const std::function<void(const xsd::ComplexType&, const std::string&)> walk_type =
+      [&](const xsd::ComplexType& type, const std::string& context) {
+        for (const xsd::Particle& particle : type.particles) {
+          if (const auto* any = std::get_if<xsd::AnyParticle>(&particle)) {
+            out.report("xs:any wildcard (namespace=\"" + any->namespace_constraint + "\") in " +
+                           context,
+                       context, at, "model the payload with named types");
+          } else if (const auto* element = std::get_if<xsd::ElementDecl>(&particle)) {
+            if (element->inline_type.has_value()) {
+              walk_type(*element->inline_type, context + "/" + element->name);
+            }
+          }
+        }
+      };
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      walk_type(type, "complexType " + type.name);
+    }
+    for (const xsd::ElementDecl& element : schema.elements) {
+      if (element.inline_type.has_value()) {
+        walk_type(*element.inline_type, "element " + element.name);
+      }
+    }
+  }
+}
+
+/// WSX1004 (§IV.B): schema types named after one platform's collection
+/// classes. Such types round-trip only between homogeneous stacks; foreign
+/// consumers get opaque or miscased mappings.
+void check_collection_types(const AnalysisInput& input, Reporter& out) {
+  static const std::set<std::string, std::less<>> kCollectionNames = {
+      "ArrayList",  "ArrayOfAnyType", "DataSet",  "DataTable", "HashMap",
+      "Hashtable",  "HashSet",        "LinkedList", "TreeMap", "Vector",
+  };
+  const wsdl::Definitions& defs = *input.definitions;
+  const SourceLocation at = defs.locate("definitions:");
+  std::set<std::string, std::less<>> reported;
+  const auto flag = [&](const std::string& name, const std::string& context) {
+    if (kCollectionNames.count(name) == 0) return;
+    if (!reported.insert(name + "|" + context).second) return;
+    out.report("platform collection type '" + name + "' in " + context, name, at,
+               "expose an array of a named item type instead");
+  };
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      flag(type.name, "wsdl:types");
+    }
+  }
+  for_each_element(defs.schemas, [&](const xsd::ElementDecl& element, const std::string& ctx) {
+    if (!element.type.empty()) flag(std::string(element.type.local_name()), ctx);
+  });
+}
+
+/// True when a named complex type `name` exists in any schema whose target
+/// namespace matches `ns` (or matches loosely when the reference carries no
+/// namespace — the single-tns case the studied stacks emit).
+const xsd::ComplexType* find_named_type(const std::vector<xsd::Schema>& schemas,
+                                        const xml::QName& ref) {
+  for (const xsd::Schema& schema : schemas) {
+    if (!ref.namespace_uri().empty() && schema.target_namespace != ref.namespace_uri()) {
+      continue;
+    }
+    if (const xsd::ComplexType* type = schema.find_complex_type(ref.local_name())) return type;
+  }
+  return nullptr;
+}
+
+/// WSX1005 (§IV.A): recursive complex types where every edge of the cycle
+/// is required (minOccurs >= 1) and non-nillable. Serializers either refuse
+/// such types or emit infinitely deep instances; the paper's minOccurs
+/// advocacy argues for an explicit optional escape hatch.
+void check_required_recursion(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  const std::vector<xsd::Schema>& schemas = defs.schemas;
+
+  // Adjacency over named complex types, required edges only.
+  std::map<const xsd::ComplexType*, std::vector<const xsd::ComplexType*>> edges;
+  std::vector<const xsd::ComplexType*> order;
+  for (const xsd::Schema& schema : schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      order.push_back(&type);
+      auto& out_edges = edges[&type];
+      const std::function<void(const xsd::ComplexType&)> collect =
+          [&](const xsd::ComplexType& node) {
+            for (const xsd::Particle& particle : node.particles) {
+              const auto* element = std::get_if<xsd::ElementDecl>(&particle);
+              if (element == nullptr) continue;
+              if (element->min_occurs < 1 || element->nillable) continue;
+              if (!element->type.empty()) {
+                if (const xsd::ComplexType* target = find_named_type(schemas, element->type)) {
+                  out_edges.push_back(target);
+                }
+              }
+              if (element->inline_type.has_value()) collect(*element->inline_type);
+            }
+          };
+      collect(type);
+    }
+  }
+
+  // Colour DFS; every node on a grey back-edge path is part of a required
+  // cycle. Declaration order keeps the report deterministic.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<const xsd::ComplexType*, Colour> colour;
+  std::set<const xsd::ComplexType*> in_cycle;
+  std::vector<const xsd::ComplexType*> path;
+  const std::function<void(const xsd::ComplexType*)> visit = [&](const xsd::ComplexType* node) {
+    colour[node] = Colour::kGrey;
+    path.push_back(node);
+    for (const xsd::ComplexType* next : edges[node]) {
+      if (colour[next] == Colour::kGrey) {
+        for (auto it = std::find(path.begin(), path.end(), next); it != path.end(); ++it) {
+          in_cycle.insert(*it);
+        }
+      } else if (colour[next] == Colour::kWhite) {
+        visit(next);
+      }
+    }
+    path.pop_back();
+    colour[node] = Colour::kBlack;
+  };
+  for (const xsd::ComplexType* node : order) {
+    if (colour[node] == Colour::kWhite) visit(node);
+  }
+
+  const SourceLocation at = defs.locate("definitions:");
+  for (const xsd::ComplexType* node : order) {
+    if (in_cycle.count(node) == 0) continue;
+    out.report("complexType '" + node->name +
+                   "' is recursive with no optional or nillable escape",
+               node->name, at,
+               "set minOccurs=\"0\" or nillable=\"true\" on the recursive element");
+  }
+}
+
+/// Collects every type name referenced anywhere in the description
+/// (element/attribute type=, extension base=, simpleType base=, rpc part
+/// type=), for the unused-type check.
+std::set<std::string, std::less<>> referenced_type_names(const wsdl::Definitions& defs) {
+  std::set<std::string, std::less<>> used;
+  for_each_element(defs.schemas, [&](const xsd::ElementDecl& element, const std::string&) {
+    if (!element.type.empty()) used.insert(std::string(element.type.local_name()));
+  });
+  for_each_attribute(defs.schemas, [&](const xsd::AttributeDecl& attribute, const std::string&) {
+    if (!attribute.type.empty()) used.insert(std::string(attribute.type.local_name()));
+  });
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      if (!type.base.empty()) used.insert(std::string(type.base.local_name()));
+    }
+    for (const xsd::SimpleTypeDecl& type : schema.simple_types) {
+      if (!type.base.empty()) used.insert(std::string(type.base.local_name()));
+    }
+  }
+  for (const wsdl::Message& message : defs.messages) {
+    for (const wsdl::Part& part : message.parts) {
+      if (!part.type.empty()) used.insert(std::string(part.type.local_name()));
+    }
+  }
+  return used;
+}
+
+/// WSX1006: named types nothing references. Dead declarations bloat every
+/// generated client and frequently mark refactoring leftovers.
+void check_unused_types(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  const std::set<std::string, std::less<>> used = referenced_type_names(defs);
+  const SourceLocation at = defs.locate("definitions:");
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      if (type.name.empty() || used.count(type.name) != 0) continue;
+      out.report("complexType '" + type.name + "' is never referenced", type.name, at,
+                 "remove the declaration or reference it");
+    }
+    for (const xsd::SimpleTypeDecl& type : schema.simple_types) {
+      if (type.name.empty() || used.count(type.name) != 0) continue;
+      out.report("simpleType '" + type.name + "' is never referenced", type.name, at,
+                 "remove the declaration or reference it");
+    }
+  }
+}
+
+/// WSX1007: the same (targetNamespace, name) declared twice. Generators
+/// pick one arbitrarily — peers can disagree about which.
+void check_duplicate_types(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  const SourceLocation at = defs.locate("definitions:");
+  std::map<std::string, std::size_t> counts;
+  const auto key = [](const std::string& tns, const std::string& name) {
+    return "{" + tns + "}" + name;
+  };
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      if (!type.name.empty()) ++counts[key(schema.target_namespace, type.name)];
+    }
+    for (const xsd::SimpleTypeDecl& type : schema.simple_types) {
+      if (!type.name.empty()) ++counts[key(schema.target_namespace, type.name)];
+    }
+  }
+  for (const auto& [qualified, count] : counts) {
+    if (count < 2) continue;
+    out.report("type '" + qualified + "' is declared " + std::to_string(count) + " times",
+               qualified, at, "keep a single declaration per qualified name");
+  }
+}
+
+/// WSX1010: the same operation name exposed by multiple portTypes. Client
+/// generators deriving method or message class names from operation names
+/// collide across ports.
+void check_operation_overloading(const AnalysisInput& input, Reporter& out) {
+  const wsdl::Definitions& defs = *input.definitions;
+  std::map<std::string, std::vector<const wsdl::PortType*>> by_name;
+  for (const wsdl::PortType& port_type : defs.port_types) {
+    std::set<std::string, std::less<>> seen;
+    for (const wsdl::Operation& operation : port_type.operations) {
+      if (!seen.insert(operation.name).second) continue;  // in-portType dup = R2304
+      by_name[operation.name].push_back(&port_type);
+    }
+  }
+  for (const auto& [name, port_types] : by_name) {
+    if (port_types.size() < 2) continue;
+    std::string owners;
+    for (const wsdl::PortType* port_type : port_types) {
+      if (!owners.empty()) owners += ", ";
+      owners += "'" + port_type->name + "'";
+    }
+    out.report("operation '" + name + "' is declared by " +
+                   std::to_string(port_types.size()) + " portTypes (" + owners + ")",
+               name, defs.locate("operation:" + port_types.front()->name + "/" + name),
+               "give each portType's operations distinct names");
+  }
+}
+
+void add_rule(RuleRegistry& registry, const char* id, const char* title, Category category,
+              Severity severity, const char* paper_ref, LambdaRule::CheckFn fn) {
+  RuleInfo info;
+  info.id = id;
+  info.title = title;
+  info.category = category;
+  info.default_severity = severity;
+  info.paper_ref = paper_ref;
+  registry.add(std::make_unique<LambdaRule>(std::move(info), fn));
+}
+
+}  // namespace
+
+void register_schema_rules(RuleRegistry& registry) {
+  add_rule(registry, "WSX1001", "Description should expose at least one operation",
+           Category::kStructure, Severity::kWarning, "§IV.A", check_operations_present);
+  add_rule(registry, "WSX1002", "Avoid xs:anyType typed content", Category::kPortability,
+           Severity::kWarning, "§IV.B", check_any_type);
+  add_rule(registry, "WSX1003", "Avoid xs:any wildcard content", Category::kPortability,
+           Severity::kWarning, "§IV.B", check_wildcards);
+  add_rule(registry, "WSX1004", "Avoid platform collection types", Category::kPortability,
+           Severity::kWarning, "§IV.B", check_collection_types);
+  add_rule(registry, "WSX1005", "Recursive types need an optional or nillable escape",
+           Category::kSchema, Severity::kWarning, "§IV.A", check_required_recursion);
+  add_rule(registry, "WSX1006", "Named types should be referenced", Category::kSchema,
+           Severity::kNote, "§IV.B", check_unused_types);
+  add_rule(registry, "WSX1007", "Qualified type names must be declared once",
+           Category::kSchema, Severity::kError, "§III.B.d", check_duplicate_types);
+  add_rule(registry, "WSX1010", "Operation names should be unique across portTypes",
+           Category::kPortability, Severity::kWarning, "§IV.B", check_operation_overloading);
+}
+
+}  // namespace wsx::analysis

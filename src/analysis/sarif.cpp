@@ -1,0 +1,121 @@
+#include "analysis/sarif.hpp"
+
+#include <map>
+
+#include "common/json.hpp"
+
+namespace wsx::analysis {
+namespace {
+
+constexpr const char* kSarifSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+    "sarif-schema-2.1.0.json";
+
+std::string rule_entry(const RuleInfo& info) {
+  json::ObjectWriter text;
+  text.field("text", info.title);
+  json::ObjectWriter config;
+  config.field("level", sarif_level(info.default_severity));
+  json::ObjectWriter properties;
+  properties.field("category", to_string(info.category));
+  if (!info.paper_ref.empty()) properties.field("paperRef", info.paper_ref);
+  json::ObjectWriter rule;
+  rule.field("id", info.id);
+  rule.raw_field("shortDescription", text.str());
+  rule.raw_field("defaultConfiguration", config.str());
+  rule.raw_field("properties", properties.str());
+  return rule.str();
+}
+
+std::string location_entry(const Finding& finding) {
+  json::ObjectWriter artifact;
+  artifact.field("uri", finding.location.uri);
+  json::ObjectWriter physical;
+  physical.raw_field("artifactLocation", artifact.str());
+  if (finding.location.known()) {
+    json::ObjectWriter region;
+    region.field("startLine", finding.location.line);
+    region.field("startColumn", finding.location.column);
+    physical.raw_field("region", region.str());
+  }
+  json::ObjectWriter location;
+  location.raw_field("physicalLocation", physical.str());
+  if (!finding.subject.empty()) {
+    json::ObjectWriter message;
+    message.field("text", finding.subject);
+    json::ObjectWriter logical;
+    logical.field("name", finding.subject);
+    json::ArrayWriter logical_locations;
+    logical_locations.raw_item(logical.str());
+    location.raw_field("logicalLocations", logical_locations.str());
+  }
+  return location.str();
+}
+
+std::string result_entry(const Finding& finding, const std::map<std::string, std::size_t>& index) {
+  json::ObjectWriter message;
+  std::string text = finding.message;
+  if (!finding.fixit.empty()) text += " (fix: " + finding.fixit + ")";
+  message.field("text", text);
+  json::ObjectWriter result;
+  result.field("ruleId", finding.rule_id);
+  const auto it = index.find(finding.rule_id);
+  if (it != index.end()) result.field("ruleIndex", it->second);
+  result.field("level", sarif_level(finding.severity));
+  result.raw_field("message", message.str());
+  json::ArrayWriter locations;
+  locations.raw_item(location_entry(finding));
+  result.raw_field("locations", locations.str());
+  return result.str();
+}
+
+}  // namespace
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+    case Severity::kCrash:
+      return "error";
+  }
+  return "none";
+}
+
+std::string to_sarif(const std::vector<Finding>& findings, const RuleRegistry& registry) {
+  json::ArrayWriter rules;
+  std::map<std::string, std::size_t> rule_index;
+  for (const auto& rule : registry.rules()) {
+    rule_index.emplace(rule->info().id, rule_index.size());
+    rules.raw_item(rule_entry(rule->info()));
+  }
+
+  json::ObjectWriter driver;
+  driver.field("name", "wsinterop-lint");
+  driver.field("informationUri", "https://example.invalid/wsx");
+  driver.field("version", "0.1.0");
+  driver.raw_field("rules", rules.str());
+  json::ObjectWriter tool;
+  tool.raw_field("driver", driver.str());
+
+  json::ArrayWriter results;
+  for (const Finding& finding : findings) {
+    results.raw_item(result_entry(finding, rule_index));
+  }
+
+  json::ObjectWriter run;
+  run.raw_field("tool", tool.str());
+  run.raw_field("results", results.str());
+  json::ArrayWriter runs;
+  runs.raw_item(run.str());
+
+  json::ObjectWriter log;
+  log.field("$schema", kSarifSchema);
+  log.field("version", "2.1.0");
+  log.raw_field("runs", runs.str());
+  return log.str();
+}
+
+}  // namespace wsx::analysis

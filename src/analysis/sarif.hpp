@@ -1,0 +1,23 @@
+// sarif.hpp — SARIF 2.1.0 serialization of analysis findings, the exchange
+// format CI systems and code-scanning UIs ingest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/registry.hpp"
+
+namespace wsx::analysis {
+
+/// Serializes `findings` as one SARIF 2.1.0 log with a single run. The
+/// tool.driver.rules array lists every rule of `registry` in registration
+/// order; results reference rules by ruleId and ruleIndex. Source locations
+/// become physicalLocation artifactLocation/region entries (the region is
+/// omitted when the finding has no line information).
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const RuleRegistry& registry = RuleRegistry::builtin());
+
+/// SARIF level for a diagnostic severity ("note" / "warning" / "error").
+const char* sarif_level(Severity severity);
+
+}  // namespace wsx::analysis

@@ -18,6 +18,17 @@ const char* to_string(Severity severity) {
   return "unknown";
 }
 
+std::string SourceLocation::str() const {
+  std::string out = uri;
+  if (known()) {
+    if (!out.empty()) out += ':';
+    out += std::to_string(line);
+    out += ':';
+    out += std::to_string(column);
+  }
+  return out;
+}
+
 void DiagnosticSink::note(std::string code, std::string message, std::string subject) {
   add({Severity::kNote, std::move(code), std::move(message), std::move(subject)});
 }

@@ -19,12 +19,30 @@ enum class Severity {
 
 const char* to_string(Severity severity);
 
-/// One message from a tool (WSDL generator, artifact generator, compiler).
+/// Position of a diagnostic inside a source document. Lines and columns are
+/// 1-based; 0 means "unknown" (e.g. for models built programmatically
+/// rather than parsed from text).
+struct SourceLocation {
+  std::string uri;          ///< document path/URI; "" = unknown document
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool known() const { return line != 0; }
+  /// "uri:line:col", omitting unknown parts.
+  std::string str() const;
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// One message from a tool (WSDL generator, artifact generator, compiler,
+/// lint rule).
 struct Diagnostic {
   Severity severity = Severity::kNote;
   std::string code;     ///< stable identifier, e.g. "axis1.unresolved-ident"
   std::string message;  ///< human-readable text
   std::string subject;  ///< what the diagnostic is about (class, file, symbol)
+  SourceLocation location;  ///< where in the source document, when known
+  std::string fixit;    ///< suggested remedy; "" = none
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };

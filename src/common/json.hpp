@@ -1,11 +1,16 @@
-// json.hpp — a minimal JSON emitter for campaign logs.
+// json.hpp — a minimal JSON emitter plus a small value parser.
 //
-// Write-only on purpose: the library exports results (JSON-lines test
-// records, report payloads); it never consumes JSON.
+// Originally write-only (JSON-lines test records, report payloads); the
+// analysis subsystem added the reader so SARIF output can be structurally
+// verified and baseline files can be consumed without new dependencies.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
 
 namespace wsx::json {
 
@@ -34,5 +39,70 @@ class ObjectWriter {
   std::string out_;
   bool first_ = true;
 };
+
+/// Builds one JSON array incrementally: item(...) calls, then str().
+class ArrayWriter {
+ public:
+  ArrayWriter();
+
+  ArrayWriter& item(std::string_view value);          ///< string item
+  ArrayWriter& raw_item(std::string_view json_value); ///< pre-rendered value
+
+  /// Finalizes and returns the array text ("[...]").
+  std::string str() const;
+  bool empty() const { return first_; }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+/// A parsed JSON value. Numbers are stored as double (sufficient for the
+/// line/column/count payloads this library reads back).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Preconditions: matching kind (asserted).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// items().size() for arrays, members().size() for objects, else 0.
+  std::size_t size() const;
+
+  static Value make_null();
+  static Value make_bool(bool value);
+  static Value make_number(double value);
+  static Value make_string(std::string value);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document. Error codes use the "json." prefix and name
+/// the offset of the problem.
+Result<Value> parse(std::string_view text);
 
 }  // namespace wsx::json

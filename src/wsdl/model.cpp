@@ -29,6 +29,16 @@ const Binding* Definitions::find_binding(std::string_view name) const {
   return nullptr;
 }
 
+SourceLocation Definitions::locate(std::string_view key) const {
+  if (const auto it = source_locations.find(key); it != source_locations.end()) {
+    return it->second;
+  }
+  if (const auto it = source_locations.find("definitions:"); it != source_locations.end()) {
+    return it->second;
+  }
+  return {};
+}
+
 std::size_t Definitions::operation_count() const {
   std::size_t count = 0;
   for (const PortType& port_type : port_types) count += port_type.operations.size();

@@ -2,10 +2,12 @@
 // types / message / portType / binding / service with SOAP 1.1 extensions).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "xml/node.hpp"
 #include "xml/qname.hpp"
 #include "xsd/model.hpp"
@@ -119,9 +121,20 @@ struct Definitions {
   /// without importing — the W3CEndpointReference failure mode.
   std::vector<std::pair<std::string, std::string>> extra_namespaces;
 
+  /// Source positions of named constructs, keyed "kind:name" (e.g.
+  /// "portType:EchoPort", "message:echo", "operation:EchoPort/echo",
+  /// "definitions:"). Populated by the parser when the model comes from
+  /// text; empty for programmatically built models. Lint rules use this to
+  /// anchor diagnostics to lines of the published document.
+  std::map<std::string, SourceLocation, std::less<>> source_locations;
+
   const Message* find_message(std::string_view name) const;
   const PortType* find_port_type(std::string_view name) const;
   const Binding* find_binding(std::string_view name) const;
+
+  /// Location recorded for `key` ("kind:name"), falling back to the
+  /// wsdl:definitions element, else an unknown location.
+  SourceLocation locate(std::string_view key) const;
 
   /// Total operation count across all portTypes.
   std::size_t operation_count() const;

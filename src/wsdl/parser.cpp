@@ -13,6 +13,15 @@ std::string local_part(std::string_view lexical) {
   return std::string(colon == std::string_view::npos ? lexical : lexical.substr(colon + 1));
 }
 
+/// Records `node`'s start-tag position (when it was parsed from text) under
+/// "kind:name" in the definitions' source map.
+void record_location(Definitions& defs, std::string_view kind, std::string_view name,
+                     const xml::Element& node) {
+  if (node.source_line() == 0) return;
+  defs.source_locations[std::string(kind) + ":" + std::string(name)] =
+      SourceLocation{"", node.source_line(), node.source_column()};
+}
+
 class WsdlParser {
  public:
   Result<Definitions> parse(const xml::Element& root) {
@@ -24,6 +33,7 @@ class WsdlParser {
     Definitions defs;
     defs.name = root.attribute("name").value_or("");
     defs.target_namespace = root.attribute("targetNamespace").value_or("");
+    record_location(defs, "definitions", "", root);
     for (const xml::Attribute& attr : root.attributes()) {
       constexpr std::string_view kXmlnsPrefix = "xmlns:";
       if (attr.name.rfind(kXmlnsPrefix, 0) == 0) {
@@ -41,6 +51,7 @@ class WsdlParser {
         WsdlImport import;
         import.namespace_uri = child->attribute("namespace").value_or("");
         import.location = child->attribute("location").value_or("");
+        record_location(defs, "import", import.namespace_uri, *child);
         defs.imports.push_back(std::move(import));
       } else if (is_wsdl_ns && local == "types") {
         Status status = parse_types(*child, defs);
@@ -50,8 +61,10 @@ class WsdlParser {
         }
       } else if (is_wsdl_ns && local == "message") {
         defs.messages.push_back(parse_message(*child));
+        record_location(defs, "message", defs.messages.back().name, *child);
       } else if (is_wsdl_ns && local == "portType") {
-        defs.port_types.push_back(parse_port_type(*child));
+        defs.port_types.push_back(parse_port_type(*child, defs));
+        record_location(defs, "portType", defs.port_types.back().name, *child);
       } else if (is_wsdl_ns && local == "binding") {
         Result<Binding> binding = parse_binding(*child);
         if (!binding.ok()) {
@@ -59,8 +72,10 @@ class WsdlParser {
           return binding.error();
         }
         defs.bindings.push_back(std::move(binding.value()));
+        record_location(defs, "binding", defs.bindings.back().name, *child);
       } else if (is_wsdl_ns && local == "service") {
         defs.services.push_back(parse_service(*child));
+        record_location(defs, "service", defs.services.back().name, *child);
       } else {
         // Vendor extension element — preserve verbatim.
         defs.extension_elements.push_back(*child);
@@ -111,12 +126,13 @@ class WsdlParser {
     return message;
   }
 
-  PortType parse_port_type(const xml::Element& node) {
+  PortType parse_port_type(const xml::Element& node, Definitions& defs) {
     PortType port_type;
     port_type.name = node.attribute("name").value_or("");
     for (const xml::Element* op_node : node.children_named("operation")) {
       Operation operation;
       operation.name = op_node->attribute("name").value_or("");
+      record_location(defs, "operation", port_type.name + "/" + operation.name, *op_node);
       if (const xml::Element* input = op_node->child("input")) {
         operation.input_message = local_part(input->attribute("message").value_or(""));
       }

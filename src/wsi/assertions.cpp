@@ -1,345 +1,80 @@
-// assertions.cpp — the BP 1.1 assertion implementations.
-//
-// Assertion ids follow the WS-I Basic Profile 1.1 numbering for the checks
-// it actually defines; ids in the R28xx block cover schema validity, which
-// BP incorporates by reference to XML Schema.
-#include <functional>
+// assertions.cpp — the BP 1.1 checker as a thin adapter over the
+// wsx::analysis rule registry. The assertion implementations live in
+// src/analysis/rules_wsi.cpp (ids R2xxx) and rules_schema.cpp (WSX1001,
+// the paper's §IV.A recommendation, surfaced here under its legacy id
+// WSX-OP1); this file only maps findings back onto AssertionResults so
+// existing callers compile and behave unchanged.
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "analysis/registry.hpp"
 #include "wsi/profile.hpp"
-#include "xsd/resolver.hpp"
 
 namespace wsx::wsi {
 namespace {
 
-using Check = std::function<void(const wsdl::Definitions&, const Profile&,
-                                 std::vector<AssertionResult>&)>;
+/// Canonical assertion order of the original checker (report order and the
+/// order failed ids appear in summaries).
+constexpr std::string_view kAssertionIds[] = {
+    "R2001", "R2007", "R2102", "R2800", "R2304", "R2204", "R2203", "R2706",
+    "R2744", "R2701", "R2718", "R2097", "R2723", "R2105", "R2401", "WSX-OP1",
+};
 
-void add(std::vector<AssertionResult>& results, std::string id, std::string title,
-         Outcome outcome, std::string detail = {}) {
-  results.push_back({std::move(id), std::move(title), outcome, std::move(detail)});
+/// The §IV.A rule runs in the registry under its lint id.
+constexpr std::string_view kOperationsRule = "WSX1001";
+constexpr std::string_view kOperationsAssertion = "WSX-OP1";
+
+std::string_view rule_id_for(std::string_view assertion_id) {
+  return assertion_id == kOperationsAssertion ? kOperationsRule : assertion_id;
 }
 
-/// R2001-flavoured structural soundness: a definitions element must carry a
-/// target namespace for its names to be referenceable.
-void check_target_namespace(const wsdl::Definitions& defs, const Profile&,
-                            std::vector<AssertionResult>& results) {
-  const bool ok = !defs.target_namespace.empty();
-  add(results, "R2001", "DESCRIPTION must declare a targetNamespace",
-      ok ? Outcome::kPass : Outcome::kFail,
-      ok ? "" : "wsdl:definitions has no targetNamespace");
-}
-
-/// R2007: a wsdl:import must state a location the consumer can retrieve.
-void check_import_locations(const wsdl::Definitions& defs, const Profile&,
-                            std::vector<AssertionResult>& results) {
-  for (const wsdl::WsdlImport& import : defs.imports) {
-    if (import.location.empty()) {
-      add(results, "R2007", "wsdl:import must declare a location", Outcome::kFail,
-          "import of namespace '" + import.namespace_uri + "' has no location");
-      return;
+Outcome outcome_for(const std::vector<const analysis::Finding*>& findings) {
+  if (findings.empty()) return Outcome::kPass;
+  Outcome outcome = Outcome::kWarning;
+  for (const analysis::Finding* finding : findings) {
+    if (finding->severity == Severity::kError || finding->severity == Severity::kCrash) {
+      outcome = Outcome::kFail;
     }
   }
-  add(results, "R2007", "wsdl:import must declare a location", Outcome::kPass);
-}
-
-/// R2102: QName references in the description must resolve. This is the
-/// assertion the DataSet-style (s:schema / s:lang) and the
-/// W3CEndpointReference WSDLs fail.
-void check_qname_resolution(const wsdl::Definitions& defs, const Profile&,
-                            std::vector<AssertionResult>& results) {
-  const xsd::ResolutionReport report = xsd::resolve(defs.schemas);
-  if (report.unresolved.empty()) {
-    add(results, "R2102", "QName references must resolve", Outcome::kPass);
-    return;
-  }
-  std::string detail;
-  for (const xsd::UnresolvedRef& ref : report.unresolved) {
-    if (!detail.empty()) detail += "; ";
-    detail += std::string(to_string(ref.kind)) + " '" + ref.target.lexical() + "' in " +
-              ref.context;
-  }
-  add(results, "R2102", "QName references must resolve", Outcome::kFail, detail);
-}
-
-/// R2800-flavoured: embedded schemas must be valid XML Schema. Catches the
-/// dual type declaration (type= plus inline anonymous type) and unnamed
-/// top-level elements.
-void check_schema_validity(const wsdl::Definitions& defs, const Profile&,
-                           std::vector<AssertionResult>& results) {
-  const xsd::ResolutionReport report = xsd::resolve(defs.schemas);
-  if (report.issues.empty()) {
-    add(results, "R2800", "Embedded schemas must be valid XML Schema", Outcome::kPass);
-    return;
-  }
-  std::string detail;
-  for (const xsd::ValidityIssue& issue : report.issues) {
-    if (!detail.empty()) detail += "; ";
-    detail += issue.code + " in " + issue.context;
-  }
-  add(results, "R2800", "Embedded schemas must be valid XML Schema", Outcome::kFail, detail);
-}
-
-/// R2304: operations within a portType must have unique signatures.
-void check_operation_uniqueness(const wsdl::Definitions& defs, const Profile&,
-                                std::vector<AssertionResult>& results) {
-  for (const wsdl::PortType& port_type : defs.port_types) {
-    for (std::size_t i = 0; i < port_type.operations.size(); ++i) {
-      for (std::size_t j = i + 1; j < port_type.operations.size(); ++j) {
-        if (port_type.operations[i].name == port_type.operations[j].name) {
-          add(results, "R2304", "Operations within a portType must be uniquely named",
-              Outcome::kFail,
-              "duplicate operation '" + port_type.operations[i].name + "' in portType '" +
-                  port_type.name + "'");
-          return;
-        }
-      }
-    }
-  }
-  add(results, "R2304", "Operations within a portType must be uniquely named", Outcome::kPass);
-}
-
-/// R2201/R2204: a document-literal binding must reference messages whose
-/// parts use element= (and at most one body part). R2203: rpc-literal parts
-/// must use type=.
-void check_part_style(const wsdl::Definitions& defs, const Profile&,
-                      std::vector<AssertionResult>& results) {
-  bool doc_ok = true;
-  bool rpc_ok = true;
-  std::string detail;
-  for (const wsdl::Binding& binding : defs.bindings) {
-    const wsdl::PortType* port_type = defs.find_port_type(binding.port_type.local_name());
-    if (port_type == nullptr) continue;
-    for (const wsdl::Operation& operation : port_type->operations) {
-      for (const std::string& message_name :
-           {operation.input_message, operation.output_message}) {
-        if (message_name.empty()) continue;
-        const wsdl::Message* message = defs.find_message(message_name);
-        if (message == nullptr) continue;
-        for (const wsdl::Part& part : message->parts) {
-          if (binding.style == wsdl::SoapStyle::kDocument && part.element.empty()) {
-            doc_ok = false;
-            detail = "document-style part '" + part.name + "' lacks element=";
-          }
-          if (binding.style == wsdl::SoapStyle::kRpc && part.type.empty()) {
-            rpc_ok = false;
-            detail = "rpc-style part '" + part.name + "' lacks type=";
-          }
-        }
-        if (binding.style == wsdl::SoapStyle::kDocument && message->parts.size() > 1) {
-          doc_ok = false;
-          detail = "document-style message '" + message->name + "' has multiple parts";
-        }
-      }
-    }
-  }
-  add(results, "R2204", "Document-literal bindings must use element= parts (one body part)",
-      doc_ok ? Outcome::kPass : Outcome::kFail, doc_ok ? "" : detail);
-  add(results, "R2203", "Rpc-literal bindings must use type= parts",
-      rpc_ok ? Outcome::kPass : Outcome::kFail, rpc_ok ? "" : detail);
-}
-
-/// R2706: a binding must use use="literal"; SOAP encoding is prohibited.
-void check_literal_use(const wsdl::Definitions& defs, const Profile&,
-                       std::vector<AssertionResult>& results) {
-  for (const wsdl::Binding& binding : defs.bindings) {
-    for (const wsdl::BindingOperation& operation : binding.operations) {
-      if (operation.input_use == wsdl::SoapUse::kEncoded ||
-          operation.output_use == wsdl::SoapUse::kEncoded) {
-        add(results, "R2706", "Bindings must use literal encoding", Outcome::kFail,
-            "operation '" + operation.name + "' in binding '" + binding.name +
-                "' uses SOAP encoding");
-        return;
-      }
-    }
-  }
-  add(results, "R2706", "Bindings must use literal encoding", Outcome::kPass);
-}
-
-/// R2744/R2745: soap:operation must carry a soapAction attribute (its value
-/// may be an empty string, but the attribute itself must be present so that
-/// receivers can match the HTTP header).
-void check_soap_action(const wsdl::Definitions& defs, const Profile&,
-                       std::vector<AssertionResult>& results) {
-  for (const wsdl::Binding& binding : defs.bindings) {
-    for (const wsdl::BindingOperation& operation : binding.operations) {
-      if (!operation.has_soap_action) {
-        add(results, "R2744", "soap:operation must declare soapAction", Outcome::kFail,
-            "operation '" + operation.name + "' in binding '" + binding.name +
-                "' has no soapAction attribute");
-        return;
-      }
-    }
-  }
-  add(results, "R2744", "soap:operation must declare soapAction", Outcome::kPass);
-}
-
-/// R2701/R2720: bindings must reference an existing portType, binding
-/// operations must exist in the portType, and every portType operation
-/// should be bound.
-void check_binding_coverage(const wsdl::Definitions& defs, const Profile&,
-                            std::vector<AssertionResult>& results) {
-  for (const wsdl::Binding& binding : defs.bindings) {
-    const wsdl::PortType* port_type = defs.find_port_type(binding.port_type.local_name());
-    if (port_type == nullptr) {
-      add(results, "R2701", "Bindings must reference an existing portType", Outcome::kFail,
-          "binding '" + binding.name + "' references unknown portType '" +
-              binding.port_type.local_name() + "'");
-      return;
-    }
-    for (const wsdl::BindingOperation& bound : binding.operations) {
-      const bool exists =
-          std::any_of(port_type->operations.begin(), port_type->operations.end(),
-                      [&bound](const wsdl::Operation& op) { return op.name == bound.name; });
-      if (!exists) {
-        add(results, "R2718", "Binding operations must exist in the portType", Outcome::kFail,
-            "binding '" + binding.name + "' binds unknown operation '" + bound.name + "'");
-        return;
-      }
-    }
-    for (const wsdl::Operation& declared : port_type->operations) {
-      const bool bound = std::any_of(
-          binding.operations.begin(), binding.operations.end(),
-          [&declared](const wsdl::BindingOperation& op) { return op.name == declared.name; });
-      if (!bound) {
-        add(results, "R2718", "Binding operations must exist in the portType", Outcome::kFail,
-            "portType operation '" + declared.name + "' is not bound by '" + binding.name +
-                "'");
-        return;
-      }
-    }
-  }
-  add(results, "R2701", "Bindings must reference an existing portType", Outcome::kPass);
-  add(results, "R2718", "Binding operations must exist in the portType", Outcome::kPass);
-}
-
-/// R2105-flavoured: message parts using element= must reference an element
-/// declared by the embedded schemas. Catches dangling wrapper references
-/// (renamed wrapper elements, undeclared prefixes).
-void check_part_element_resolution(const wsdl::Definitions& defs, const Profile&,
-                                   std::vector<AssertionResult>& results) {
-  for (const wsdl::Message& message : defs.messages) {
-    for (const wsdl::Part& part : message.parts) {
-      if (part.element.empty()) continue;
-      bool declared = false;
-      for (const xsd::Schema& schema : defs.schemas) {
-        if (schema.target_namespace == part.element.namespace_uri() &&
-            schema.find_element(part.element.local_name()) != nullptr) {
-          declared = true;
-        }
-      }
-      if (!declared) {
-        add(results, "R2105", "Message parts must reference declared elements",
-            Outcome::kFail,
-            "part '" + part.name + "' of message '" + message.name +
-                "' references undeclared element '" + part.element.lexical() + "'");
-        return;
-      }
-    }
-  }
-  add(results, "R2105", "Message parts must reference declared elements", Outcome::kPass);
-}
-
-/// R2097-flavoured: operations must reference messages that exist.
-void check_message_references(const wsdl::Definitions& defs, const Profile&,
-                              std::vector<AssertionResult>& results) {
-  for (const wsdl::PortType& port_type : defs.port_types) {
-    for (const wsdl::Operation& operation : port_type.operations) {
-      std::vector<std::string> referenced = {operation.input_message,
-                                             operation.output_message};
-      for (const wsdl::FaultRef& fault : operation.faults) referenced.push_back(fault.message);
-      for (const std::string& message_name : referenced) {
-        if (message_name.empty()) continue;
-        if (defs.find_message(message_name) == nullptr) {
-          add(results, "R2097", "Operations must reference existing messages", Outcome::kFail,
-              "operation '" + operation.name + "' references unknown message '" + message_name +
-                  "'");
-          return;
-        }
-      }
-    }
-  }
-  add(results, "R2097", "Operations must reference existing messages", Outcome::kPass);
-}
-
-/// R2723-flavoured: every fault declared by a portType operation must be
-/// bound by the binding under the same name.
-void check_fault_coverage(const wsdl::Definitions& defs, const Profile&,
-                          std::vector<AssertionResult>& results) {
-  for (const wsdl::Binding& binding : defs.bindings) {
-    const wsdl::PortType* port_type = defs.find_port_type(binding.port_type.local_name());
-    if (port_type == nullptr) continue;
-    for (const wsdl::Operation& operation : port_type->operations) {
-      const wsdl::BindingOperation* bound = nullptr;
-      for (const wsdl::BindingOperation& candidate : binding.operations) {
-        if (candidate.name == operation.name) bound = &candidate;
-      }
-      if (bound == nullptr) continue;  // reported by R2718
-      for (const wsdl::FaultRef& fault : operation.faults) {
-        const bool covered = std::any_of(
-            bound->fault_names.begin(), bound->fault_names.end(),
-            [&fault](const std::string& name) { return name == fault.name; });
-        if (!covered) {
-          add(results, "R2723", "Bindings must bind every declared fault", Outcome::kFail,
-              "fault '" + fault.name + "' of operation '" + operation.name +
-                  "' is not bound by '" + binding.name + "'");
-          return;
-        }
-      }
-    }
-  }
-  add(results, "R2723", "Bindings must bind every declared fault", Outcome::kPass);
-}
-
-/// R2401-flavoured: a wsdl:service must expose at least one SOAP/HTTP port
-/// with an absolute location.
-void check_service_ports(const wsdl::Definitions& defs, const Profile&,
-                         std::vector<AssertionResult>& results) {
-  for (const wsdl::Service& service : defs.services) {
-    for (const wsdl::Port& port : service.ports) {
-      if (port.location.rfind("http://", 0) != 0 && port.location.rfind("https://", 0) != 0) {
-        add(results, "R2401", "soap:address must use an absolute http(s) URI", Outcome::kFail,
-            "port '" + port.name + "' has location '" + port.location + "'");
-        return;
-      }
-      if (defs.find_binding(port.binding.local_name()) == nullptr) {
-        add(results, "R2401", "soap:address must use an absolute http(s) URI", Outcome::kFail,
-            "port '" + port.name + "' references unknown binding '" +
-                port.binding.local_name() + "'");
-        return;
-      }
-    }
-  }
-  add(results, "R2401", "soap:address must use an absolute http(s) URI", Outcome::kPass);
-}
-
-/// The paper's §IV.A advocacy: a description without a single invocable
-/// operation is unusable. The real WSDL schema allows it (minOccurs=0), so
-/// by default this is a warning — exactly why the JBossWS zero-operation
-/// WSDLs "pass the WS-I tests and still were unusable". With
-/// Profile::require_operations it becomes a failure.
-void check_has_operations(const wsdl::Definitions& defs, const Profile& profile,
-                          std::vector<AssertionResult>& results) {
-  const bool has_ops = defs.operation_count() > 0;
-  Outcome outcome = Outcome::kPass;
-  if (!has_ops) outcome = profile.require_operations ? Outcome::kFail : Outcome::kWarning;
-  add(results, "WSX-OP1", "Description should expose at least one operation", outcome,
-      has_ops ? "" : "no portType declares any operation");
+  return outcome;
 }
 
 }  // namespace
 
 ComplianceReport check(const wsdl::Definitions& definitions, const Profile& profile) {
-  static const Check kChecks[] = {
-      check_target_namespace, check_import_locations,  check_qname_resolution,
-      check_schema_validity,
-      check_operation_uniqueness, check_part_style,    check_literal_use,
-      check_soap_action,      check_binding_coverage,  check_message_references,
-      check_fault_coverage,   check_part_element_resolution, check_service_ports,
-      check_has_operations,
-  };
+  const analysis::RuleRegistry& registry = analysis::RuleRegistry::builtin();
+
+  analysis::RuleConfig config;
+  for (const std::string_view assertion_id : kAssertionIds) {
+    config.only.insert(std::string(rule_id_for(assertion_id)));
+  }
+  if (profile.require_operations) {
+    config.severity_overrides[std::string(kOperationsRule)] = Severity::kError;
+  }
+
+  analysis::AnalysisInput input;
+  input.definitions = &definitions;
+  const analysis::AnalysisResult analyzed = analysis::analyze(input, config, registry);
+
   std::vector<AssertionResult> results;
-  for (const Check& check_fn : kChecks) check_fn(definitions, profile, results);
+  for (const std::string_view assertion_id : kAssertionIds) {
+    const std::string_view rule_id = rule_id_for(assertion_id);
+    std::vector<const analysis::Finding*> findings;
+    for (const analysis::Finding& finding : analyzed.findings) {
+      if (finding.rule_id == rule_id) findings.push_back(&finding);
+    }
+    AssertionResult result;
+    result.id = std::string(assertion_id);
+    const analysis::Rule* rule = registry.find(rule_id);
+    result.title = rule != nullptr ? rule->info().title : std::string(assertion_id);
+    result.outcome = outcome_for(findings);
+    for (const analysis::Finding* finding : findings) {
+      if (!result.detail.empty()) result.detail += "; ";
+      result.detail += finding->message;
+    }
+    results.push_back(std::move(result));
+  }
   return ComplianceReport{std::move(results)};
 }
 

@@ -98,12 +98,24 @@ class Element {
   /// Looks up a prefix declared on *this element only* (no ancestor walk).
   std::optional<std::string> local_namespace_for_prefix(std::string_view prefix) const;
 
+  /// 1-based position of the start tag in the parsed source; 0 when the
+  /// element was built programmatically. Excluded from operator== so a
+  /// serialized-then-reparsed tree still compares equal to the original.
+  std::size_t source_line() const { return source_line_; }
+  std::size_t source_column() const { return source_column_; }
+  void set_source_location(std::size_t line, std::size_t column) {
+    source_line_ = line;
+    source_column_ = column;
+  }
+
   friend bool operator==(const Element&, const Element&);
 
  private:
   std::string name_;
   std::vector<Attribute> attributes_;
   std::vector<Node> children_;
+  std::size_t source_line_ = 0;
+  std::size_t source_column_ = 0;
 };
 
 struct Node : std::variant<Element, Text, CData, Comment> {

@@ -222,10 +222,13 @@ class Parser {
   Result<Element> parse_element_node(std::size_t depth) {
     if (depth > options_.max_depth) return fail("xml.too-deep", "maximum nesting depth exceeded");
     if (at_end() || peek() != '<') return fail("xml.expected-element", "expected '<'");
+    const std::size_t tag_line = line_;
+    const std::size_t tag_column = column_;
     advance();
     Result<std::string> name = parse_name();
     if (!name.ok()) return name.error();
     Element element{std::move(name.value())};
+    element.set_source_location(tag_line, tag_column);
 
     while (true) {
       skip_space();

@@ -83,7 +83,11 @@ class Writer {
   std::string take() { return std::move(out_); }
 
   void write_declaration(const Document& doc) {
-    out_ += "<?xml version=\"" + doc.version + "\" encoding=\"" + doc.encoding + "\"?>";
+    out_ += "<?xml version=\"";
+    out_ += doc.version;
+    out_ += "\" encoding=\"";
+    out_ += doc.encoding;
+    out_ += "\"?>";
     newline();
   }
 

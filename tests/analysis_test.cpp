@@ -1,0 +1,582 @@
+// Unit tests for the wsx::analysis lint engine (src/analysis/): the rule
+// pack, registry configuration, SARIF 2.1.0 serialization, baseline
+// suppression files, and the JSON reader they rely on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/sarif.hpp"
+#include "common/json.hpp"
+#include "test_helpers.hpp"
+#include "wsdl/parser.hpp"
+#include "wsdl/writer.hpp"
+
+namespace wsx::analysis {
+namespace {
+
+using testing::compliant_echo_definitions;
+
+/// Runs a subset of the built-in pack against a programmatic model.
+std::vector<Finding> run_rules(const wsdl::Definitions& defs,
+                               std::initializer_list<const char*> only,
+                               const wsdl::DocumentStore* store = nullptr,
+                               const std::string& root_location = {}) {
+  AnalysisInput input;
+  input.definitions = &defs;
+  input.uri = "echo.wsdl";
+  input.store = store;
+  input.root_location = root_location;
+  RuleConfig config;
+  for (const char* id : only) config.only.insert(id);
+  return analyze(input, config).findings;
+}
+
+// ---------------------------------------------------------------- engine --
+
+TEST(AnalysisEngine, CompliantFixtureIsClean) {
+  const wsdl::Definitions defs = compliant_echo_definitions();
+  AnalysisInput input;
+  input.definitions = &defs;
+  input.uri = "echo.wsdl";
+  const AnalysisResult result = analyze(input);
+  EXPECT_TRUE(result.findings.empty()) << format_findings(result.findings);
+  EXPECT_FALSE(result.has_errors());
+  EXPECT_EQ(summarize(result.findings), "clean");
+}
+
+TEST(AnalysisEngine, BuiltinRegistryHasUniqueIdsInStableOrder) {
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  ASSERT_GE(registry.rules().size(), 24u);  // 15 BP assertions + WSX pack
+  std::set<std::string> ids;
+  for (const auto& rule : registry.rules()) {
+    EXPECT_TRUE(ids.insert(rule->info().id).second)
+        << "duplicate rule id " << rule->info().id;
+  }
+  // BP assertions come first, lint rules after.
+  EXPECT_EQ(registry.rules().front()->info().category, Category::kConformance);
+  ASSERT_NE(registry.find("R2102"), nullptr);
+  ASSERT_NE(registry.find("WSX1001"), nullptr);
+  EXPECT_EQ(registry.find("WSX1001")->info().paper_ref, "§IV.A");
+  EXPECT_EQ(registry.find("WSX9999"), nullptr);
+}
+
+TEST(AnalysisEngine, RuleConfigControlsSelectionAndSeverity) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.port_types.front().operations.clear();
+
+  AnalysisInput input;
+  input.definitions = &defs;
+  input.uri = "echo.wsdl";
+
+  // Default: WSX1001 fires as a warning.
+  RuleConfig config;
+  config.only.insert("WSX1001");
+  std::vector<Finding> findings = analyze(input, config).findings;
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().severity, Severity::kWarning);
+
+  // A severity override promotes it to an error.
+  config.severity_overrides["WSX1001"] = Severity::kError;
+  findings = analyze(input, config).findings;
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().severity, Severity::kError);
+
+  // Disabling wins over `only`.
+  config.disabled.insert("WSX1001");
+  EXPECT_TRUE(analyze(input, config).findings.empty());
+}
+
+TEST(AnalysisEngine, ReporterStampsDocumentUriOntoFindings) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.port_types.front().operations.clear();
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1001"});
+  ASSERT_EQ(findings.size(), 1u);
+  // Programmatic models carry no positions; the document URI still lands.
+  EXPECT_EQ(findings.front().location.uri, "echo.wsdl");
+  EXPECT_FALSE(findings.front().location.known());
+}
+
+TEST(AnalysisEngine, FindingConvertsToDiagnostic) {
+  Finding finding;
+  finding.rule_id = "WSX1001";
+  finding.severity = Severity::kWarning;
+  finding.message = "portType 'Idle' declares no operations";
+  finding.subject = "Idle";
+  finding.location = SourceLocation{"lint.wsdl", 3, 3};
+  finding.fixit = "declare at least one wsdl:operation";
+  const Diagnostic diagnostic = finding.to_diagnostic();
+  EXPECT_EQ(diagnostic.code, "lint.WSX1001");
+  EXPECT_EQ(diagnostic.severity, Severity::kWarning);
+  EXPECT_EQ(diagnostic.message, finding.message);
+  EXPECT_EQ(diagnostic.subject, finding.subject);
+  EXPECT_EQ(diagnostic.location, finding.location);
+  EXPECT_EQ(diagnostic.fixit, finding.fixit);
+}
+
+TEST(AnalysisEngine, FormatFindingsAndSummarize) {
+  Finding error;
+  error.rule_id = "WSX1007";
+  error.severity = Severity::kError;
+  error.message = "type '{urn:x}Dup' is declared 2 times";
+  error.location = SourceLocation{"doc.wsdl", 3, 1};
+  error.fixit = "keep a single declaration per qualified name";
+  Finding warning;
+  warning.rule_id = "WSX1002";
+  warning.severity = Severity::kWarning;
+  warning.message = "element 'blob' is typed xs:anyType";
+  warning.location.uri = "doc.wsdl";
+
+  const std::string text = format_findings({error, warning});
+  EXPECT_NE(text.find("doc.wsdl:3:1: error: [WSX1007] type '{urn:x}Dup' is declared 2 times\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("    fix: keep a single declaration per qualified name\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("doc.wsdl: warning: [WSX1002] element 'blob' is typed xs:anyType\n"),
+            std::string::npos);
+
+  EXPECT_EQ(summarize({error, warning}), "1 error, 1 warning");
+  EXPECT_EQ(summarize({}), "clean");
+}
+
+// ------------------------------------------------------------- rule pack --
+
+TEST(LintRules, Wsx1001FlagsEmptyPortType) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  EXPECT_TRUE(run_rules(defs, {"WSX1001"}).empty());
+  defs.port_types.front().operations.clear();
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1001"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().message, "portType 'EchoPort' declares no operations");
+  EXPECT_EQ(findings.front().subject, "EchoPort");
+  EXPECT_FALSE(findings.front().fixit.empty());
+}
+
+TEST(LintRules, Wsx1001FlagsDescriptionWithoutPortTypes) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.port_types.clear();
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1001"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().message, "no portType declares any operation");
+}
+
+TEST(LintRules, Wsx1002FlagsAnyTypedContent) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  xsd::ComplexType& payload = defs.schemas.front().complex_types.front();
+  xsd::ElementDecl blob;
+  blob.name = "blob";
+  blob.type = xml::QName{std::string(xml::ns::kXsd), "anyType"};
+  payload.particles.emplace_back(std::move(blob));
+  xsd::AttributeDecl meta;
+  meta.name = "meta";
+  meta.type = xml::QName{std::string(xml::ns::kXsd), "anySimpleType"};
+  payload.attributes.push_back(std::move(meta));
+
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1002"});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("xs:anyType"), std::string::npos);
+  EXPECT_EQ(findings[0].subject, "complexType Payload/blob");
+  EXPECT_NE(findings[1].message.find("xs:anySimpleType"), std::string::npos);
+  EXPECT_EQ(findings[1].subject, "complexType Payload/@meta");
+}
+
+TEST(LintRules, Wsx1003FlagsWildcardParticles) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  EXPECT_TRUE(run_rules(defs, {"WSX1003"}).empty());
+  defs.schemas.front().complex_types.front().particles.emplace_back(xsd::AnyParticle{});
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1003"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings.front().message.find("xs:any wildcard"), std::string::npos);
+  EXPECT_EQ(findings.front().subject, "complexType Payload");
+}
+
+TEST(LintRules, Wsx1004FlagsPlatformCollectionTypes) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  xsd::Schema& schema = defs.schemas.front();
+  xsd::ComplexType data_set;
+  data_set.name = "DataSet";
+  schema.complex_types.push_back(std::move(data_set));
+  xsd::ElementDecl items;
+  items.name = "items";
+  items.type = xml::QName{"urn:echo", "Vector"};
+  schema.complex_types.front().particles.emplace_back(std::move(items));
+
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1004"});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].subject, "DataSet");
+  EXPECT_EQ(findings[1].subject, "Vector");
+}
+
+TEST(LintRules, Wsx1005FlagsRequiredRecursionOnly) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  xsd::ComplexType node;
+  node.name = "Node";
+  xsd::ElementDecl next;
+  next.name = "next";
+  next.type = xml::QName{"urn:echo", "Node"};
+  node.particles.emplace_back(std::move(next));
+  defs.schemas.front().complex_types.push_back(std::move(node));
+
+  std::vector<Finding> findings = run_rules(defs, {"WSX1005"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().subject, "Node");
+  EXPECT_NE(findings.front().message.find("recursive"), std::string::npos);
+
+  // An optional edge breaks the cycle…
+  auto& particle = defs.schemas.front().complex_types.back().particles.front();
+  std::get<xsd::ElementDecl>(particle).min_occurs = 0;
+  EXPECT_TRUE(run_rules(defs, {"WSX1005"}).empty());
+  // …and so does a nillable one.
+  std::get<xsd::ElementDecl>(particle).min_occurs = 1;
+  std::get<xsd::ElementDecl>(particle).nillable = true;
+  EXPECT_TRUE(run_rules(defs, {"WSX1005"}).empty());
+}
+
+TEST(LintRules, Wsx1006FlagsUnusedNamedTypes) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  EXPECT_TRUE(run_rules(defs, {"WSX1006"}).empty());  // Payload is referenced
+  xsd::ComplexType orphan;
+  orphan.name = "Orphan";
+  defs.schemas.front().complex_types.push_back(std::move(orphan));
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1006"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().severity, Severity::kNote);
+  EXPECT_EQ(findings.front().message, "complexType 'Orphan' is never referenced");
+}
+
+TEST(LintRules, Wsx1007FlagsDuplicateQualifiedNames) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  xsd::ComplexType dup;
+  dup.name = "Payload";
+  defs.schemas.front().complex_types.push_back(std::move(dup));
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1007"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().severity, Severity::kError);
+  EXPECT_EQ(findings.front().message, "type '{urn:echo}Payload' is declared 2 times");
+}
+
+TEST(LintRules, Wsx1010FlagsCrossPortTypeOverloading) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  wsdl::PortType second;
+  second.name = "EchoPortV2";
+  second.operations.push_back({"echo", "echo", "echoResponse", {}});
+  defs.port_types.push_back(std::move(second));
+  const std::vector<Finding> findings = run_rules(defs, {"WSX1010"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings.front().message.find("2 portTypes"), std::string::npos);
+  EXPECT_EQ(findings.front().subject, "echo");
+}
+
+TEST(LintRules, Wsx1010LeavesInPortTypeDuplicatesToR2304) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.port_types.front().operations.push_back({"echo", "echo", "echoResponse", {}});
+  EXPECT_TRUE(run_rules(defs, {"WSX1010"}).empty());
+  const std::vector<Finding> findings = run_rules(defs, {"R2304"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().message, "duplicate operation 'echo' in portType 'EchoPort'");
+}
+
+TEST(LintRules, Wsx1008FlagsLocationlessSchemaImports) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  xsd::Schema& schema = defs.schemas.front();
+  schema.imports.push_back({"urn:elsewhere", ""});
+  std::vector<Finding> findings = run_rules(defs, {"WSX1008"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings.front().message.find("urn:elsewhere"), std::string::npos);
+
+  // A schemaLocation, a locally supplied namespace, or the XSD namespace
+  // itself are all resolvable.
+  schema.imports.back().schema_location = "http://host/elsewhere.xsd";
+  schema.imports.push_back({"urn:echo", ""});
+  schema.imports.push_back({std::string(xml::ns::kXsd), ""});
+  EXPECT_TRUE(run_rules(defs, {"WSX1008"}).empty());
+}
+
+TEST(LintRules, Wsx1008FlagsUnfetchableWsdlImports) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.imports.push_back({"urn:elsewhere", "http://host/missing.wsdl"});
+
+  // Without a store the cross-document half degrades to silence.
+  EXPECT_TRUE(run_rules(defs, {"WSX1008"}).empty());
+
+  wsdl::DocumentStore store;
+  std::vector<Finding> findings = run_rules(defs, {"WSX1008"}, &store);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings.front().message.find("cannot be fetched"), std::string::npos);
+
+  store.add("http://host/missing.wsdl", "<wsdl:definitions "
+            "xmlns:wsdl=\"http://schemas.xmlsoap.org/wsdl/\"/>");
+  EXPECT_TRUE(run_rules(defs, {"WSX1008"}, &store).empty());
+}
+
+TEST(LintRules, Wsx1009FlagsImportCycles) {
+  wsdl::Definitions doc_a;
+  doc_a.name = "A";
+  doc_a.target_namespace = "urn:a";
+  doc_a.imports.push_back({"urn:b", "b.wsdl"});
+  wsdl::Definitions doc_b;
+  doc_b.name = "B";
+  doc_b.target_namespace = "urn:b";
+  doc_b.imports.push_back({"urn:a", "a.wsdl"});
+
+  wsdl::DocumentStore store;
+  store.add("a.wsdl", wsdl::to_string(doc_a));
+  store.add("b.wsdl", wsdl::to_string(doc_b));
+
+  std::vector<Finding> findings = run_rules(doc_a, {"WSX1009"}, &store, "a.wsdl");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().severity, Severity::kError);
+  EXPECT_EQ(findings.front().message, "wsdl:import cycle: a.wsdl -> b.wsdl -> a.wsdl");
+
+  // Breaking the back edge clears the rule.
+  doc_b.imports.clear();
+  store.add("b.wsdl", wsdl::to_string(doc_b));
+  EXPECT_TRUE(run_rules(doc_a, {"WSX1009"}, &store, "a.wsdl").empty());
+}
+
+TEST(LintRules, ConformanceAssertionsRunAsRegistryRules) {
+  wsdl::Definitions defs = compliant_echo_definitions();
+  defs.target_namespace.clear();
+  const std::vector<Finding> findings = run_rules(defs, {"R2001"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().rule_id, "R2001");
+  EXPECT_EQ(RuleRegistry::builtin().find("R2001")->info().category,
+            Category::kConformance);
+}
+
+// ------------------------------------------------------- source locations --
+
+constexpr const char* kEmptyPortTypeWsdl =
+    "<wsdl:definitions xmlns:wsdl=\"http://schemas.xmlsoap.org/wsdl/\"\n"
+    "    targetNamespace=\"urn:lint\">\n"
+    "  <wsdl:portType name=\"Idle\"/>\n"
+    "</wsdl:definitions>\n";
+
+TEST(SourceLocations, ParserRecordsConstructPositions) {
+  const Result<wsdl::Definitions> defs = wsdl::parse(kEmptyPortTypeWsdl);
+  ASSERT_TRUE(defs.ok());
+  EXPECT_EQ(defs->locate("definitions:").line, 1u);
+  const SourceLocation port_type = defs->locate("portType:Idle");
+  EXPECT_EQ(port_type.line, 3u);
+  EXPECT_EQ(port_type.column, 3u);
+  // Unknown constructs fall back to the wsdl:definitions position, so every
+  // finding points at least at the document root.
+  EXPECT_EQ(defs->locate("portType:NoSuch").line, 1u);
+  EXPECT_FALSE(wsdl::Definitions{}.locate("portType:NoSuch").known());
+}
+
+TEST(SourceLocations, FindingsCarryParsedPositions) {
+  const Result<wsdl::Definitions> defs = wsdl::parse(kEmptyPortTypeWsdl);
+  ASSERT_TRUE(defs.ok());
+  AnalysisInput input;
+  input.definitions = &defs.value();
+  input.uri = "lint.wsdl";
+  RuleConfig config;
+  config.only.insert("WSX1001");
+  const std::vector<Finding> findings = analyze(input, config).findings;
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().location.uri, "lint.wsdl");
+  EXPECT_EQ(findings.front().location.line, 3u);
+  EXPECT_EQ(findings.front().location.str(), "lint.wsdl:3:3");
+}
+
+// ------------------------------------------------------------------ SARIF --
+
+/// A fixed findings pair exercised by both the structural and the golden
+/// test: one fully populated, one with no position and no subject.
+std::vector<Finding> sample_findings() {
+  Finding flagged;
+  flagged.rule_id = "WSX1001";
+  flagged.severity = Severity::kWarning;
+  flagged.message = "portType 'Idle' declares no operations";
+  flagged.subject = "Idle";
+  flagged.location = SourceLocation{"lint.wsdl", 3, 3};
+  flagged.fixit = "declare at least one wsdl:operation";
+  Finding note;
+  note.rule_id = "WSX1006";
+  note.severity = Severity::kNote;
+  note.message = "complexType 'Orphan' is never referenced";
+  note.location.uri = "lint.wsdl";
+  return {flagged, note};
+}
+
+TEST(Sarif, LevelMapping) {
+  EXPECT_STREQ(sarif_level(Severity::kNote), "note");
+  EXPECT_STREQ(sarif_level(Severity::kWarning), "warning");
+  EXPECT_STREQ(sarif_level(Severity::kError), "error");
+  EXPECT_STREQ(sarif_level(Severity::kCrash), "error");
+}
+
+TEST(Sarif, LogIsStructurallyValid) {
+  const Result<json::Value> parsed = json::parse(to_sarif(sample_findings()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const json::Value& log = parsed.value();
+
+  ASSERT_NE(log.find("$schema"), nullptr);
+  EXPECT_NE(log.find("$schema")->as_string().find("sarif-schema-2.1.0.json"),
+            std::string::npos);
+  EXPECT_EQ(log.find("version")->as_string(), "2.1.0");
+
+  const json::Value* runs = log.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->size(), 1u);
+  const json::Value& run = runs->items().front();
+
+  // tool.driver.rules lists the whole registry in registration order.
+  const json::Value* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->as_string(), "wsinterop-lint");
+  const json::Value* rules = driver->find("rules");
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  ASSERT_EQ(rules->size(), registry.rules().size());
+  for (std::size_t i = 0; i < registry.rules().size(); ++i) {
+    const json::Value& rule = rules->items()[i];
+    EXPECT_EQ(rule.find("id")->as_string(), registry.rules()[i]->info().id);
+    EXPECT_FALSE(rule.find("shortDescription")->find("text")->as_string().empty());
+    const std::string level =
+        rule.find("defaultConfiguration")->find("level")->as_string();
+    EXPECT_TRUE(level == "note" || level == "warning" || level == "error") << level;
+    EXPECT_FALSE(rule.find("properties")->find("category")->as_string().empty());
+  }
+
+  const json::Value* results = run.find("results");
+  ASSERT_EQ(results->size(), 2u);
+
+  // Result 0: full position, subject, fix-it folded into the message.
+  const json::Value& first = results->items()[0];
+  EXPECT_EQ(first.find("ruleId")->as_string(), "WSX1001");
+  std::size_t wsx1001_index = 0;
+  while (registry.rules()[wsx1001_index]->info().id != "WSX1001") ++wsx1001_index;
+  EXPECT_EQ(first.find("ruleIndex")->as_number(),
+            static_cast<double>(wsx1001_index));
+  EXPECT_EQ(first.find("level")->as_string(), "warning");
+  EXPECT_NE(first.find("message")->find("text")->as_string().find(
+                "(fix: declare at least one wsdl:operation)"),
+            std::string::npos);
+  const json::Value& physical =
+      *first.find("locations")->items().front().find("physicalLocation");
+  EXPECT_EQ(physical.find("artifactLocation")->find("uri")->as_string(), "lint.wsdl");
+  EXPECT_EQ(physical.find("region")->find("startLine")->as_number(), 3.0);
+  EXPECT_EQ(physical.find("region")->find("startColumn")->as_number(), 3.0);
+  EXPECT_EQ(first.find("locations")
+                ->items()
+                .front()
+                .find("logicalLocations")
+                ->items()
+                .front()
+                .find("name")
+                ->as_string(),
+            "Idle");
+
+  // Result 1: unknown position → no region; no subject → no logicalLocations.
+  const json::Value& second = results->items()[1];
+  EXPECT_EQ(second.find("level")->as_string(), "note");
+  const json::Value& location = second.find("locations")->items().front();
+  EXPECT_EQ(location.find("physicalLocation")->find("region"), nullptr);
+  EXPECT_EQ(location.find("logicalLocations"), nullptr);
+}
+
+TEST(Sarif, MatchesGoldenLog) {
+  std::ifstream in(std::string(WSX_TEST_DATA_DIR) + "/lint_golden.sarif",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing tests/data/lint_golden.sarif";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), to_sarif(sample_findings()) + "\n");
+}
+
+// --------------------------------------------------------------- baseline --
+
+TEST(BaselineSuppression, RoundTripsThroughText) {
+  const std::vector<Finding> findings = sample_findings();
+  const Baseline baseline = Baseline::from_findings(findings);
+  EXPECT_EQ(baseline.size(), 2u);
+  EXPECT_TRUE(baseline.suppresses(findings[0]));
+  EXPECT_TRUE(baseline.suppresses(findings[1]));
+  EXPECT_TRUE(apply_baseline(findings, baseline).empty());
+
+  const Result<Baseline> reparsed = Baseline::parse(baseline.str());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->str(), baseline.str());
+  EXPECT_TRUE(reparsed->suppresses(findings[0]));
+}
+
+TEST(BaselineSuppression, OnlyNewFindingsSurvive) {
+  const std::vector<Finding> findings = sample_findings();
+  const Baseline baseline = Baseline::from_findings({findings[0]});
+  const std::vector<Finding> remaining = apply_baseline(findings, baseline);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining.front(), findings[1]);
+}
+
+TEST(BaselineSuppression, FingerprintIgnoresPositionButNotMessage) {
+  std::vector<Finding> findings = sample_findings();
+  Finding moved = findings[0];
+  moved.location.line = 99;  // unrelated edits shift lines, not identity
+  EXPECT_EQ(Baseline::fingerprint(moved), Baseline::fingerprint(findings[0]));
+  moved.message += " (changed)";
+  EXPECT_NE(Baseline::fingerprint(moved), Baseline::fingerprint(findings[0]));
+}
+
+TEST(BaselineSuppression, ParseSkipsCommentsAndReportsMalformedLines) {
+  const Result<Baseline> ok = Baseline::parse(
+      "# header comment\n"
+      "\n"
+      "WSX1001\tlint.wsdl\t0011223344556677\r\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+
+  const Result<Baseline> bad = Baseline::parse("# header\nWSX1001\tonly-one-tab\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "baseline.malformed-line");
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos);
+}
+
+// ------------------------------------------------------------ JSON reader --
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null")->is_null());
+  EXPECT_TRUE(json::parse("true")->as_bool());
+  EXPECT_FALSE(json::parse("false")->as_bool());
+  EXPECT_EQ(json::parse("42")->as_number(), 42.0);
+  EXPECT_EQ(json::parse("-3.5")->as_number(), -3.5);
+  EXPECT_EQ(json::parse("6.25e2")->as_number(), 625.0);
+  EXPECT_EQ(json::parse("\"a\\n\\\"b\\\" \\u0041\"")->as_string(), "a\n\"b\" A");
+}
+
+TEST(JsonReader, ParsesNestedStructures) {
+  const Result<json::Value> parsed =
+      json::parse(R"({"name": "lint", "hits": [1, 2, 3], "meta": {"ok": true}})");
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& value = parsed.value();
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.size(), 3u);
+  EXPECT_EQ(value.find("name")->as_string(), "lint");
+  ASSERT_EQ(value.find("hits")->size(), 3u);
+  EXPECT_EQ(value.find("hits")->items()[2].as_number(), 3.0);
+  EXPECT_TRUE(value.find("meta")->find("ok")->as_bool());
+  EXPECT_EQ(value.find("absent"), nullptr);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").ok());
+  EXPECT_FALSE(json::parse("{").ok());
+  EXPECT_FALSE(json::parse("[1,").ok());
+  EXPECT_EQ(json::parse("tru").error().code, "json.bad-literal");
+  EXPECT_EQ(json::parse("1 2").error().code, "json.trailing-content");
+  EXPECT_EQ(json::parse("\"abc").error().code, "json.unterminated-string");
+}
+
+TEST(JsonReader, RoundTripsEscapedStrings) {
+  const std::string weird = "tab\t quote\" backslash\\ newline\n";
+  const Result<json::Value> parsed = json::parse("\"" + json::escape(weird) + "\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), weird);
+}
+
+}  // namespace
+}  // namespace wsx::analysis

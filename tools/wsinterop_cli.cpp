@@ -17,12 +17,17 @@
 //       the Communication+Execution extension study
 //   wsinterop list
 //       available server and client frameworks
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.hpp"
+#include "analysis/corpus.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/sarif.hpp"
 #include "codemodel/render.hpp"
 #include "compilers/compiler.hpp"
 #include "catalog/dotnet_catalog.hpp"
@@ -42,13 +47,29 @@ using namespace wsx;
 
 namespace {
 
+/// Parses a non-negative decimal count. Unlike std::stoul this neither
+/// throws on garbage nor accepts trailing junk, so "--jobs abc" is a usage
+/// error rather than an abort.
+bool parse_count(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
 int usage() {
   std::cerr << "usage: wsinterop "
                "<run|lint|describe|test|fuzz|communicate|scorecard|diff|list> [options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
-               "  lint        FILE [--strict]\n"
+               "  lint        FILE... | --corpus [--scale PCT] [--join-study]\n"
+               "              [--strict] [--jobs N] [--sarif OUT.json]\n"
+               "              [--baseline FILE] [--write-baseline FILE] [--disable ID,...]\n"
                "  describe    SERVER TYPE\n"
                "  test        SERVER TYPE CLIENT [--dump]\n"
                "  fuzz        [--corpus N]\n"
@@ -59,11 +80,11 @@ int usage() {
 }
 
 /// Scales both population specs to roughly PCT percent of the paper's.
-void apply_scale(interop::StudyConfig& config, std::size_t percent) {
+void apply_scale(catalog::JavaCatalogSpec& java, catalog::DotNetCatalogSpec& dotnet,
+                 std::size_t percent) {
   const auto scaled = [percent](std::size_t value) {
     return std::max<std::size_t>(1, value * percent / 100);
   };
-  auto& java = config.java_spec;
   java.plain_beans = scaled(java.plain_beans);
   java.throwable_clean = scaled(java.throwable_clean);
   java.throwable_raw = scaled(java.throwable_raw);
@@ -73,7 +94,6 @@ void apply_scale(interop::StudyConfig& config, std::size_t percent) {
   java.abstract_classes = scaled(java.abstract_classes);
   java.interfaces = scaled(java.interfaces);
   java.generic_types = scaled(java.generic_types);
-  auto& dotnet = config.dotnet_spec;
   dotnet.plain_types = scaled(dotnet.plain_types);
   dotnet.dataset_plain = scaled(dotnet.dataset_plain);
   dotnet.deep_nesting_clean = scaled(dotnet.deep_nesting_clean);
@@ -85,6 +105,10 @@ void apply_scale(interop::StudyConfig& config, std::size_t percent) {
   dotnet.interfaces = scaled(dotnet.interfaces);
 }
 
+void apply_scale(interop::StudyConfig& config, std::size_t percent) {
+  apply_scale(config.java_spec, config.dotnet_spec, percent);
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   interop::StudyConfig config;
   std::string format = "text";
@@ -92,9 +116,11 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string snapshot_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--scale" && i + 1 < args.size()) {
-      apply_scale(config, std::stoul(args[++i]));
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(config, percent);
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      config.threads = std::stoul(args[++i]);
+      if (!parse_count(args[++i], config.threads)) return usage();
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
     } else if (args[i] == "--log" && i + 1 < args.size()) {
@@ -138,38 +164,141 @@ int cmd_run(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Options shared by file and corpus lint modes.
+struct LintOptions {
+  std::vector<std::string> files;
+  bool corpus = false;
+  bool join_study = false;
+  std::size_t scale = 100;
+  std::size_t jobs = 0;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  analysis::RuleConfig rules;
+};
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "wsinterop: cannot open " << path << " for writing\n";
+    return false;
+  }
+  file << text;
+  return true;
+}
+
 int cmd_lint(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  wsi::Profile profile;
-  std::string path;
-  for (const std::string& arg : args) {
-    if (arg == "--strict") {
-      profile.require_operations = true;
+  LintOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--corpus") {
+      options.corpus = true;
+    } else if (args[i] == "--join-study") {
+      options.join_study = true;
+    } else if (args[i] == "--strict") {
+      options.rules.severity_overrides["WSX1001"] = Severity::kError;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], options.scale)) return usage();
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], options.jobs)) return usage();
+    } else if (args[i] == "--sarif" && i + 1 < args.size()) {
+      options.sarif_path = args[++i];
+    } else if (args[i] == "--baseline" && i + 1 < args.size()) {
+      options.baseline_path = args[++i];
+    } else if (args[i] == "--write-baseline" && i + 1 < args.size()) {
+      options.write_baseline_path = args[++i];
+    } else if (args[i] == "--disable" && i + 1 < args.size()) {
+      std::string ids = args[++i];
+      std::size_t start = 0;
+      while (start <= ids.size()) {
+        const std::size_t comma = ids.find(',', start);
+        const std::string id =
+            ids.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!id.empty()) options.rules.disabled.insert(id);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
     } else {
-      path = arg;
+      options.files.push_back(args[i]);
     }
   }
-  std::ifstream file(path);
-  if (!file) {
-    std::cerr << "wsinterop: cannot open " << path << "\n";
+  // Exactly one input mode: files, or the generated corpus.
+  if (options.corpus ? !options.files.empty() : options.files.empty()) return usage();
+
+  analysis::Baseline baseline;
+  if (!options.baseline_path.empty()) {
+    std::ifstream file(options.baseline_path);
+    if (!file) {
+      std::cerr << "wsinterop: cannot open baseline " << options.baseline_path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    Result<analysis::Baseline> parsed = analysis::Baseline::parse(buffer.str());
+    if (!parsed.ok()) {
+      std::cerr << "wsinterop: " << parsed.error().message << "\n";
+      return 1;
+    }
+    baseline = std::move(parsed.value());
+  }
+
+  std::vector<analysis::Finding> findings;
+  if (options.corpus) {
+    analysis::CorpusOptions corpus;
+    apply_scale(corpus.java_spec, corpus.dotnet_spec, options.scale);
+    corpus.jobs = options.jobs;
+    corpus.rules = options.rules;
+    corpus.join_study = options.join_study;
+    const analysis::CorpusReport report = analysis::analyze_corpus(corpus);
+    findings = report.all_findings();
+    std::cout << analysis::format_report(report);
+  } else {
+    for (const std::string& path : options.files) {
+      std::ifstream file(path);
+      if (!file) {
+        std::cerr << "wsinterop: cannot open " << path << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      Result<wsdl::Definitions> defs = wsdl::parse(buffer.str());
+      if (!defs.ok()) {
+        std::cerr << "wsinterop: parse error in " << path << ": " << defs.error().message
+                  << "\n";
+        return 1;
+      }
+      analysis::AnalysisInput input;
+      input.definitions = &defs.value();
+      input.uri = path;
+      const analysis::AnalysisResult result = analysis::analyze(input, options.rules);
+      findings.insert(findings.end(), result.findings.begin(), result.findings.end());
+    }
+  }
+
+  if (!options.write_baseline_path.empty()) {
+    if (!write_text_file(options.write_baseline_path,
+                         analysis::Baseline::from_findings(findings).str())) {
+      return 1;
+    }
+  }
+  const std::size_t before = findings.size();
+  findings = analysis::apply_baseline(std::move(findings), baseline);
+  if (!options.sarif_path.empty() &&
+      !write_text_file(options.sarif_path, analysis::to_sarif(findings))) {
     return 1;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  Result<wsdl::Definitions> defs = wsdl::parse(buffer.str());
-  if (!defs.ok()) {
-    std::cerr << "wsinterop: parse error: " << defs.error().message << "\n";
-    return 1;
+  std::cout << analysis::format_findings(findings);
+  std::cout << analysis::summarize(findings);
+  if (before != findings.size()) {
+    std::cout << " (" << before - findings.size() << " baselined)";
   }
-  const wsi::ComplianceReport report = wsi::check(*defs, profile);
-  for (const wsi::AssertionResult& assertion : report.results()) {
-    std::cout << "[" << to_string(assertion.outcome) << "] " << assertion.id << " "
-              << assertion.title;
-    if (!assertion.detail.empty()) std::cout << " — " << assertion.detail;
-    std::cout << "\n";
-  }
-  std::cout << report.summary() << "\n";
-  return report.compliant() ? 0 : 2;
+  std::cout << "\n";
+  const bool has_errors =
+      std::any_of(findings.begin(), findings.end(), [](const analysis::Finding& f) {
+        return f.severity == Severity::kError || f.severity == Severity::kCrash;
+      });
+  return has_errors ? 2 : 0;
 }
 
 const catalog::TypeInfo* find_type(const frameworks::ServerFramework& server,
@@ -271,7 +400,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   fuzz::FuzzConfig config;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--corpus" && i + 1 < args.size()) {
-      config.corpus_per_server = std::stoul(args[++i]);
+      if (!parse_count(args[++i], config.corpus_per_server)) return usage();
     } else {
       return usage();
     }
