@@ -1,0 +1,27 @@
+// bench_chaos — the wire-fault resilience study (experiment X5). Runs the
+// chaos campaign at a reduced scale with the default plan, prints the
+// per-server matrix and the per-client policy table, and writes
+// BENCH_chaos.json with per-client recovery rates so the robustness
+// trajectory is machine-readable across commits.
+#include <fstream>
+#include <iostream>
+
+#include "chaos/campaign.hpp"
+#include "chaos/policy.hpp"
+
+int main(int argc, char** argv) {
+  wsx::chaos::ChaosConfig config;
+  config.jobs = 0;  // hardware concurrency; the result is jobs-independent
+  const wsx::chaos::ChaosResult result = wsx::chaos::run_chaos_study(config);
+  std::cout << wsx::chaos::format_chaos(result) << "\n";
+  std::cout << wsx::chaos::format_policy_table();
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "bench_chaos: cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  json << wsx::chaos::chaos_recovery_json(result) << "\n";
+  return 0;
+}

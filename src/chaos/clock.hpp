@@ -1,0 +1,24 @@
+// clock.hpp — the virtual clock chaos runs on.
+//
+// All latencies, timeouts, backoff delays and circuit-breaker cooldowns in
+// wsx::chaos are expressed in *virtual* milliseconds on this clock, never
+// in wall time. A call chain owns its clock and advances it explicitly, so
+// a chaos run is bit-for-bit reproducible at any worker count: no attempt
+// ever observes real time, and parallel slices cannot race on a shared
+// timeline.
+#pragma once
+
+#include <cstdint>
+
+namespace wsx::chaos {
+
+class VirtualClock {
+ public:
+  std::uint64_t now_ms() const { return now_ms_; }
+  void advance(std::uint64_t ms) { now_ms_ += ms; }
+
+ private:
+  std::uint64_t now_ms_ = 0;
+};
+
+}  // namespace wsx::chaos

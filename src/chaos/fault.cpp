@@ -1,0 +1,84 @@
+#include "chaos/fault.hpp"
+
+namespace wsx::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kConnectionReset:
+      return "reset";
+    case FaultKind::kConnectTimeout:
+      return "connect-timeout";
+    case FaultKind::kReadTimeout:
+      return "read-timeout";
+    case FaultKind::kTruncatedBody:
+      return "truncated-body";
+    case FaultKind::kCorruptedByte:
+      return "corrupted-byte";
+    case FaultKind::kHttp502:
+      return "http-502";
+    case FaultKind::kHttp503:
+      return "http-503";
+    case FaultKind::kSlowResponse:
+      return "slow-response";
+    case FaultKind::kDuplicateDelivery:
+      return "duplicate-delivery";
+    case FaultKind::kDropContentType:
+      return "drop-content-type";
+    case FaultKind::kDropSoapAction:
+      return "drop-soap-action";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+  return {
+      FaultKind::kConnectionReset, FaultKind::kConnectTimeout,
+      FaultKind::kReadTimeout,     FaultKind::kTruncatedBody,
+      FaultKind::kCorruptedByte,   FaultKind::kHttp502,
+      FaultKind::kHttp503,         FaultKind::kSlowResponse,
+      FaultKind::kDuplicateDelivery, FaultKind::kDropContentType,
+      FaultKind::kDropSoapAction,
+  };
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) {
+  for (FaultKind kind : all_fault_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t chaos_mix(std::uint64_t value) {
+  // splitmix64 finalizer — cheap, well-distributed, and stable across
+  // platforms (no std:: hashing, whose result is implementation-defined).
+  value += 0x9e3779b97f4a7c15ULL;
+  value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  value = (value ^ (value >> 27)) * 0x94d049bb133111ebULL;
+  return value ^ (value >> 31);
+}
+
+std::uint64_t chaos_hash(std::uint64_t seed, std::string_view text) {
+  // FNV-1a over the id, then mixed with the seed through splitmix64.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return chaos_mix(hash ^ chaos_mix(seed));
+}
+
+CallSchedule plan_call(const FaultPlan& plan, std::string_view call_id) {
+  const std::uint64_t hash = chaos_hash(plan.seed, call_id);
+  if (plan.rate_percent == 0 || hash % 100 >= plan.rate_percent) {
+    return CallSchedule::clean(hash);
+  }
+  const std::vector<FaultKind> kinds =
+      plan.kinds.empty() ? all_fault_kinds() : plan.kinds;
+  const std::uint64_t kind_draw = chaos_mix(hash);
+  const std::uint64_t burst_draw = chaos_mix(kind_draw);
+  const unsigned max_burst = plan.max_burst == 0 ? 1 : plan.max_burst;
+  return CallSchedule(kinds[kind_draw % kinds.size()],
+                      1 + static_cast<unsigned>(burst_draw % max_burst), hash);
+}
+
+}  // namespace wsx::chaos

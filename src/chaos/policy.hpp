@@ -1,0 +1,94 @@
+// policy.hpp — per-client resilience policies and the endpoint circuit
+// breaker.
+//
+// Each of the eleven client runtime models gets a calibrated
+// ResiliencePolicy describing how the real stack behaves when the wire
+// misbehaves: how often it retransmits, what it considers retryable, how it
+// backs off, how long it waits, and whether it dares to retransmit a call
+// the server may already have executed. The differences are the point —
+// the chaos study measures how far each stack's policy carries it through
+// the same fault plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsx::chaos {
+
+struct ResiliencePolicy {
+  /// Retransmits allowed after the initial attempt.
+  unsigned max_retries = 0;
+  /// Exponential backoff: min(base * 2^k, max) + deterministic jitter in
+  /// [0, jitter_ms] before retransmit number k. All virtual milliseconds.
+  std::uint64_t base_backoff_ms = 0;
+  std::uint64_t max_backoff_ms = 0;
+  std::uint64_t jitter_ms = 0;
+  /// How long one attempt may wait for a response.
+  std::uint64_t attempt_timeout_ms = 3000;
+  /// Total virtual-time budget of one logical call, waits and backoffs
+  /// included. A call still waiting when the budget runs out has hung.
+  std::uint64_t call_budget_ms = 10000;
+
+  // What the stack considers worth retransmitting.
+  bool retry_on_reset = false;
+  bool retry_on_timeout = false;
+  bool retry_on_malformed_response = false;  ///< unparseable 200s
+  std::vector<int> retry_on_status;          ///< e.g. {502, 503}
+
+  /// Idempotency gate: when false, the stack refuses to retransmit a call
+  /// the server may already have executed (response lost after delivery) —
+  /// it fails fast instead of risking a duplicate effect.
+  bool retransmit_after_server_execution = true;
+
+  /// gSOAP's behaviour: the first wire fault aborts the call outright,
+  /// whatever it was.
+  bool abort_on_first_wire_fault = false;
+
+  bool retries_on_status(int status) const;
+  /// Backoff delay before retransmit number `retry_number` (0-based), with
+  /// jitter drawn deterministically from `salt`.
+  std::uint64_t backoff_before(unsigned retry_number, std::uint64_t salt) const;
+};
+
+/// The calibrated policy of one client runtime (matched by tool name, e.g.
+/// "Apache Axis1 1.4"). Unknown names get a conservative no-retry policy.
+ResiliencePolicy policy_for(std::string_view client_name);
+
+/// Markdown table of every client's policy (docs and bench output).
+std::string format_policy_table();
+
+struct BreakerSettings {
+  unsigned failure_threshold = 3;   ///< consecutive wire failures to open
+  std::uint64_t open_ms = 5000;     ///< cooldown before the half-open probe
+};
+
+/// A per-endpoint circuit breaker shared by every call a client makes to
+/// that endpoint. Closed passes calls through; `failure_threshold`
+/// consecutive wire-level failures open it; after `open_ms` of virtual
+/// time it goes half-open and admits a single probe, whose outcome closes
+/// or re-opens it.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerSettings settings = {}) : settings_(settings) {}
+
+  State state(std::uint64_t now_ms) const;
+  /// True when a call may proceed now (closed, or the half-open probe).
+  bool allows(std::uint64_t now_ms) const;
+  void record_success(std::uint64_t now_ms);
+  void record_failure(std::uint64_t now_ms);
+  /// Times the breaker transitioned closed/half-open → open.
+  std::size_t trips() const { return trips_; }
+
+ private:
+  BreakerSettings settings_;
+  unsigned consecutive_failures_ = 0;
+  bool open_ = false;
+  std::uint64_t opened_at_ms_ = 0;
+  std::size_t trips_ = 0;
+};
+
+}  // namespace wsx::chaos

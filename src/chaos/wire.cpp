@@ -1,0 +1,106 @@
+#include "chaos/wire.hpp"
+
+namespace wsx::chaos {
+
+std::string apply_body_fault(FaultKind kind, std::string body, std::uint64_t salt) {
+  switch (kind) {
+    case FaultKind::kTruncatedBody:
+      // The same 60% cut the fuzz module's kTruncate mutation uses, so the
+      // two corruption paths are comparable byte for byte.
+      return body.substr(0, body.size() * 6 / 10);
+    case FaultKind::kCorruptedByte: {
+      if (body.empty()) return body;
+      // Flip one byte at a deterministic offset. '#' never appears in our
+      // serialized envelopes, so the damage is always observable.
+      body[salt % body.size()] = '#';
+      return body;
+    }
+    default:
+      return body;
+  }
+}
+
+WireAttempt FaultyWire::attempt(const frameworks::DeployedService& service,
+                                const soap::HttpRequest& request,
+                                const CallSchedule& schedule,
+                                unsigned attempt_no) const {
+  WireAttempt result;
+  result.injected = schedule.fault_for_attempt(attempt_no);
+
+  if (!result.injected.has_value()) {
+    result.response = server_->handle_http(service, request);
+    result.server_executions = 1;
+    return result;
+  }
+
+  switch (*result.injected) {
+    case FaultKind::kConnectionReset:
+      result.status = WireAttempt::Status::kConnectionReset;
+      result.latency_ms = 1;
+      return result;
+    case FaultKind::kConnectTimeout:
+      result.status = WireAttempt::Status::kConnectTimeout;
+      result.latency_ms = kNeverMs;
+      return result;
+    case FaultKind::kReadTimeout:
+      // The request makes it through and the server executes it; only the
+      // response is lost. This is the attempt that makes blind retransmits
+      // dangerous for non-idempotent calls.
+      server_->handle_http(service, request);
+      result.status = WireAttempt::Status::kReadTimeout;
+      result.server_executions = 1;
+      result.latency_ms = kNeverMs;
+      return result;
+    case FaultKind::kTruncatedBody:
+    case FaultKind::kCorruptedByte:
+      result.response = server_->handle_http(service, request);
+      result.server_executions = 1;
+      result.response.body =
+          apply_body_fault(*result.injected, std::move(result.response.body),
+                           schedule.salt());
+      return result;
+    case FaultKind::kHttp502:
+      result.response.status = 502;
+      result.response.body = "<html><body>Bad Gateway</body></html>";
+      result.response.set_header("Content-Type", "text/html");
+      return result;
+    case FaultKind::kHttp503:
+      result.response.status = 503;
+      result.response.body = "<html><body>Service Unavailable</body></html>";
+      result.response.set_header("Content-Type", "text/html");
+      result.response.set_header("Retry-After", "1");
+      return result;
+    case FaultKind::kSlowResponse:
+      result.response = server_->handle_http(service, request);
+      result.server_executions = 1;
+      result.latency_ms = kSlowLatencyMs;
+      return result;
+    case FaultKind::kDuplicateDelivery: {
+      // The network replays the request; the server executes twice. The
+      // client sees one (clean) response — the damage is the second
+      // server-side effect, which the duplicate-effect sniffer reports.
+      server_->handle_http(service, request);
+      result.response = server_->handle_http(service, request);
+      result.server_executions = 2;
+      return result;
+    }
+    case FaultKind::kDropContentType: {
+      soap::HttpRequest mangled = request;
+      mangled.remove_header("Content-Type");
+      result.response = server_->handle_http(service, mangled);
+      // Rejected at the HTTP layer before dispatch — no execution.
+      return result;
+    }
+    case FaultKind::kDropSoapAction: {
+      soap::HttpRequest mangled = request;
+      mangled.remove_header("SOAPAction");
+      result.response = server_->handle_http(service, mangled);
+      // Java stacks dispatch on the body and still execute; .NET refuses.
+      result.server_executions = result.response.ok() ? 1 : 0;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace wsx::chaos

@@ -1,0 +1,103 @@
+#include "frameworks/invocation.hpp"
+
+#include "compilers/compiler.hpp"
+#include "frameworks/features.hpp"
+#include "soap/message.hpp"
+
+namespace wsx::frameworks {
+
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler) {
+  PreparedCall call;
+
+  // Steps 2–3 gate the call exactly as in the main study.
+  GenerationResult generation = client.generate(service.wsdl_text);
+  if (generation.diagnostics.has_errors() || !generation.produced_artifacts()) {
+    return call;
+  }
+  if (compiler != nullptr && compiler->compile(*generation.artifacts).has_errors()) {
+    return call;
+  }
+  if (generation.artifacts->client_operations.empty()) {
+    // The method-less client objects of the zero-operation descriptions.
+    call.status = PreparedCall::Status::kNoInvocableProxy;
+    return call;
+  }
+
+  call.operation = generation.artifacts->client_operations.front();
+  // Typed proxies send values from the parameter type's value space: for
+  // enumeration types the stub API only admits the declared constants.
+  call.payload = "probe-" + service.spec.service_name();
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty()) call.payload = simple.enumeration.front();
+    }
+  }
+
+  // Marshalling — the client runtime builds the request envelope.
+  const ClientFramework::InvocationPolicy policy = client.invocation_policy();
+  const WsdlFeatures features = analyze(service.wsdl);
+  const bool uncommon = policy.marshals_uncommon_structure &&
+                        (features.unresolved_foreign_type_ref ||
+                         features.unresolved_foreign_attr_ref || features.schema_element_ref);
+  const std::string argument_name = uncommon ? "arg0Struct" : "arg0";
+  Result<soap::Envelope> request =
+      soap::build_request(service.wsdl, call.operation, {{argument_name, call.payload}});
+  if (!request.ok()) {
+    call.status = PreparedCall::Status::kNoInvocableProxy;
+    return call;
+  }
+
+  // SOAPAction header policy.
+  bool binding_declares_action = false;
+  for (const wsdl::Binding& binding : service.wsdl.bindings) {
+    for (const wsdl::BindingOperation& bound : binding.operations) {
+      if (bound.name == call.operation && bound.has_soap_action) {
+        binding_declares_action = true;
+      }
+    }
+  }
+  call.request = soap::make_soap_request(
+      service.wsdl.services.empty() ? "http://localhost/"
+                                    : service.wsdl.services.front().ports.front().location,
+      "", soap::write(*request));
+  if (!binding_declares_action && policy.omit_soap_action_when_unspecified) {
+    // gSOAP stubs send no SOAPAction header when the binding declares none.
+    call.request.remove_header("SOAPAction");
+  }
+  call.status = PreparedCall::Status::kReady;
+  return call;
+}
+
+EchoClassification classify_echo_response(const soap::HttpResponse& response,
+                                          const std::string& payload) {
+  EchoClassification result;
+  result.http_status = response.status;
+  if (response.status == 405 || response.status == 415) {
+    result.outcome = EchoOutcome::kTransportError;
+    return result;
+  }
+  Result<soap::Envelope> envelope = soap::parse(response.body);
+  if (!envelope.ok()) {
+    result.outcome = EchoOutcome::kTransportError;
+    return result;
+  }
+  if (envelope->is_fault()) {
+    // Distinguish header-level rejections from execution faults.
+    result.outcome =
+        envelope->fault().fault_string.find("SOAPAction") != std::string::npos
+            ? EchoOutcome::kTransportError
+            : EchoOutcome::kServerFault;
+    return result;
+  }
+  Result<std::string> echoed = soap::response_value(*envelope);
+  if (!echoed.ok()) {
+    result.outcome = EchoOutcome::kServerFault;
+    return result;
+  }
+  result.outcome = *echoed == payload ? EchoOutcome::kOk : EchoOutcome::kEchoMismatch;
+  return result;
+}
+
+}  // namespace wsx::frameworks

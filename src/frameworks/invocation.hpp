@@ -1,0 +1,60 @@
+// invocation.hpp — the shared front and back half of one end-to-end echo
+// call, factored out of the communication study so the chaos campaign
+// drives the exact same call pipeline: steps 2–3 gate the call, the client
+// runtime marshals the request (including each stack's SOAPAction policy),
+// and a delivered HTTP response is classified the same way everywhere.
+// With a fault-free wire the chaos study therefore reproduces the
+// communication study's outcomes call for call.
+#pragma once
+
+#include <string>
+
+#include "frameworks/client.hpp"
+#include "frameworks/server.hpp"
+#include "soap/http.hpp"
+
+namespace wsx::compilers {
+class Compiler;
+}
+
+namespace wsx::frameworks {
+
+/// Everything needed to put one echo call on the wire, or the reason it
+/// never gets there.
+struct PreparedCall {
+  enum class Status {
+    kBlockedEarlier,    ///< steps 2–3 failed; the call never happens
+    kNoInvocableProxy,  ///< client object exists but has no method to call
+    kReady,
+  };
+  Status status = Status::kBlockedEarlier;
+  std::string operation;
+  std::string payload;         ///< the value the service must echo back
+  soap::HttpRequest request;   ///< fully built, SOAPAction policy applied
+};
+
+/// Runs generation + compilation gates and marshals the request envelope
+/// exactly as the communication study does. `compiler` may be null for
+/// tools checked by instantiation.
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler);
+
+/// How one *delivered* HTTP response relates to the call contract.
+enum class EchoOutcome {
+  kTransportError,  ///< HTTP-level rejection or unparseable response body
+  kServerFault,     ///< server returned a soap:Fault
+  kEchoMismatch,    ///< call completed but the echoed payload is wrong
+  kOk,
+};
+
+struct EchoClassification {
+  EchoOutcome outcome = EchoOutcome::kTransportError;
+  int http_status = 0;  ///< the response's status code, for 4xx/5xx detail
+};
+
+/// Classifies a delivered response against the payload the call sent.
+EchoClassification classify_echo_response(const soap::HttpResponse& response,
+                                          const std::string& payload);
+
+}  // namespace wsx::frameworks

@@ -7,7 +7,7 @@
 #include <thread>
 
 #include "compilers/compiler.hpp"
-#include "frameworks/features.hpp"
+#include "frameworks/invocation.hpp"
 #include "frameworks/registry.hpp"
 #include "soap/http.hpp"
 #include "soap/message.hpp"
@@ -67,87 +67,53 @@ std::size_t CommunicationResult::total(CommOutcome outcome) const {
 
 namespace {
 
+struct InvocationOutcome {
+  CommOutcome outcome = CommOutcome::kBlockedEarlier;
+  int http_status = 0;  ///< only meaningful for wire-level outcomes
+};
+
 /// One end-to-end invocation: marshal → HTTP → execute → unmarshal → check.
+/// The call preparation and response classification live in
+/// frameworks/invocation.* and are shared with the chaos campaign.
 /// `sniffed_violations`, when non-null, counts requests the conformance
 /// sniffer (soap/validate.hpp) flags as contract violations — measured
 /// independently of how the server reacts.
-CommOutcome invoke_once(const frameworks::ServerFramework& server,
-                        const frameworks::DeployedService& service,
-                        const frameworks::ClientFramework& client,
-                        const compilers::Compiler* compiler,
-                        std::size_t* sniffed_violations = nullptr) {
-  // Steps 2–3 gate the call exactly as in the main study.
-  frameworks::GenerationResult generation = client.generate(service.wsdl_text);
-  if (generation.diagnostics.has_errors() || !generation.produced_artifacts()) {
-    return CommOutcome::kBlockedEarlier;
+InvocationOutcome invoke_once(const frameworks::ServerFramework& server,
+                              const frameworks::DeployedService& service,
+                              const frameworks::ClientFramework& client,
+                              const compilers::Compiler* compiler,
+                              std::size_t* sniffed_violations = nullptr) {
+  const frameworks::PreparedCall call =
+      frameworks::prepare_echo_call(service, client, compiler);
+  if (call.status == frameworks::PreparedCall::Status::kBlockedEarlier) {
+    return {CommOutcome::kBlockedEarlier, 0};
   }
-  if (compiler != nullptr && compiler->compile(*generation.artifacts).has_errors()) {
-    return CommOutcome::kBlockedEarlier;
-  }
-  if (generation.artifacts->client_operations.empty()) {
-    // The method-less client objects of the zero-operation descriptions.
-    return CommOutcome::kNoInvocableProxy;
+  if (call.status == frameworks::PreparedCall::Status::kNoInvocableProxy) {
+    return {CommOutcome::kNoInvocableProxy, 0};
   }
 
-  const std::string operation = generation.artifacts->client_operations.front();
-  // Typed proxies send values from the parameter type's value space: for
-  // enumeration types the stub API only admits the declared constants.
-  std::string payload = "probe-" + service.spec.service_name();
-  for (const xsd::Schema& schema : service.wsdl.schemas) {
-    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
-      if (!simple.enumeration.empty()) payload = simple.enumeration.front();
+  if (sniffed_violations != nullptr) {
+    Result<soap::Envelope> request = soap::parse(call.request.body);
+    if (request.ok() && !soap::validate_request(service.wsdl, *request).empty()) {
+      ++*sniffed_violations;
     }
-  }
-
-  // Marshalling — the client runtime builds the request envelope.
-  const frameworks::ClientFramework::InvocationPolicy policy = client.invocation_policy();
-  const frameworks::WsdlFeatures features = frameworks::analyze(service.wsdl);
-  const bool uncommon = policy.marshals_uncommon_structure &&
-                        (features.unresolved_foreign_type_ref ||
-                         features.unresolved_foreign_attr_ref || features.schema_element_ref);
-  const std::string argument_name = uncommon ? "arg0Struct" : "arg0";
-  Result<soap::Envelope> request =
-      soap::build_request(service.wsdl, operation, {{argument_name, payload}});
-  if (!request.ok()) return CommOutcome::kNoInvocableProxy;
-
-  if (sniffed_violations != nullptr &&
-      !soap::validate_request(service.wsdl, *request).empty()) {
-    ++*sniffed_violations;
-  }
-
-  // SOAPAction header policy.
-  bool binding_declares_action = false;
-  for (const wsdl::Binding& binding : service.wsdl.bindings) {
-    for (const wsdl::BindingOperation& bound : binding.operations) {
-      if (bound.name == operation && bound.has_soap_action) binding_declares_action = true;
-    }
-  }
-  soap::HttpRequest http = soap::make_soap_request(
-      service.wsdl.services.empty() ? "http://localhost/"
-                                    : service.wsdl.services.front().ports.front().location,
-      "", soap::write(*request));
-  if (!binding_declares_action && policy.omit_soap_action_when_unspecified) {
-    // gSOAP stubs send no SOAPAction header when the binding declares none.
-    std::erase_if(http.headers,
-                  [](const soap::HttpHeader& header) { return header.name == "SOAPAction"; });
   }
 
   // The wire + Execution step.
-  const soap::HttpResponse http_response = server.handle_http(service, http);
-  if (http_response.status == 405 || http_response.status == 415) {
-    return CommOutcome::kTransportError;
+  const soap::HttpResponse http_response = server.handle_http(service, call.request);
+  const frameworks::EchoClassification classified =
+      frameworks::classify_echo_response(http_response, call.payload);
+  switch (classified.outcome) {
+    case frameworks::EchoOutcome::kTransportError:
+      return {CommOutcome::kTransportError, classified.http_status};
+    case frameworks::EchoOutcome::kServerFault:
+      return {CommOutcome::kServerFault, classified.http_status};
+    case frameworks::EchoOutcome::kEchoMismatch:
+      return {CommOutcome::kEchoMismatch, classified.http_status};
+    case frameworks::EchoOutcome::kOk:
+      break;
   }
-  Result<soap::Envelope> response = soap::parse(http_response.body);
-  if (!response.ok()) return CommOutcome::kTransportError;
-  if (response->is_fault()) {
-    // Distinguish header-level rejections from execution faults.
-    return response->fault().fault_string.find("SOAPAction") != std::string::npos
-               ? CommOutcome::kTransportError
-               : CommOutcome::kServerFault;
-  }
-  Result<std::string> echoed = soap::response_value(*response);
-  if (!echoed.ok()) return CommOutcome::kServerFault;
-  return *echoed == payload ? CommOutcome::kOk : CommOutcome::kEchoMismatch;
+  return {CommOutcome::kOk, classified.http_status};
 }
 
 }  // namespace
@@ -185,8 +151,13 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
     }
     server_result.services_deployed = deployed.size();
 
+    struct PartialCell {
+      std::array<std::size_t, kCommOutcomeCount> outcomes{};
+      std::size_t transport_4xx = 0;
+      std::size_t transport_5xx = 0;
+    };
     struct Partial {
-      std::vector<std::array<std::size_t, kCommOutcomeCount>> cells;
+      std::vector<PartialCell> cells;
       std::size_t sniffed = 0;
     };
     const std::size_t worker_count = std::max<std::size_t>(
@@ -198,10 +169,17 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       partial.cells.resize(clients.size());
       for (std::size_t index = begin; index < end; ++index) {
         for (std::size_t i = 0; i < clients.size(); ++i) {
-          const CommOutcome outcome = invoke_once(
+          const InvocationOutcome result = invoke_once(
               *server, deployed[index], *clients[i], client_compilers[i].get(),
               &partial.sniffed);
-          ++partial.cells[i][static_cast<std::size_t>(outcome)];
+          ++partial.cells[i].outcomes[static_cast<std::size_t>(result.outcome)];
+          if (result.outcome == CommOutcome::kTransportError) {
+            if (result.http_status >= 400 && result.http_status < 500) {
+              ++partial.cells[i].transport_4xx;
+            } else if (result.http_status >= 500 && result.http_status < 600) {
+              ++partial.cells[i].transport_5xx;
+            }
+          }
         }
       }
       return partial;
@@ -216,8 +194,10 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       result.sniffed_violations += partial.sniffed;
       for (std::size_t i = 0; i < clients.size(); ++i) {
         for (std::size_t outcome = 0; outcome < kCommOutcomeCount; ++outcome) {
-          server_result.cells[i].outcomes[outcome] += partial.cells[i][outcome];
+          server_result.cells[i].outcomes[outcome] += partial.cells[i].outcomes[outcome];
         }
+        server_result.cells[i].transport_4xx += partial.cells[i].transport_4xx;
+        server_result.cells[i].transport_5xx += partial.cells[i].transport_5xx;
       }
     }
     result.servers.push_back(std::move(server_result));
@@ -243,16 +223,27 @@ std::string format_communication(const CommunicationResult& result) {
           << cell.count(CommOutcome::kEchoMismatch) << "\n";
     }
   }
+  std::size_t transport_4xx = 0;
+  std::size_t transport_5xx = 0;
+  for (const CommServerResult& server : result.servers) {
+    for (const CommCell& cell : server.cells) {
+      transport_4xx += cell.transport_4xx;
+      transport_5xx += cell.transport_5xx;
+    }
+  }
   out << "totals: " << result.total_attempted() << " invocations attempted, "
       << result.total_failures() << " communication-step failures, "
       << result.sniffed_violations
       << " requests flagged by the contract-conformance sniffer\n";
+  out << "transport detail: " << transport_4xx << " refused at the HTTP layer (4xx), "
+      << transport_5xx << " rejected server-side (5xx)\n";
   return out.str();
 }
 
 std::string communication_csv(const CommunicationResult& result) {
   std::ostringstream out;
-  out << "server,client,blocked,no_proxy,transport,server_fault,mismatch,ok\n";
+  out << "server,client,blocked,no_proxy,transport,server_fault,mismatch,ok,"
+         "transport_4xx,transport_5xx\n";
   for (const CommServerResult& server : result.servers) {
     for (const CommCell& cell : server.cells) {
       out << server.server << ',' << cell.client << ','
@@ -261,7 +252,7 @@ std::string communication_csv(const CommunicationResult& result) {
           << cell.count(CommOutcome::kTransportError) << ','
           << cell.count(CommOutcome::kServerFault) << ','
           << cell.count(CommOutcome::kEchoMismatch) << ',' << cell.count(CommOutcome::kOk)
-          << '\n';
+          << ',' << cell.transport_4xx << ',' << cell.transport_5xx << '\n';
     }
   }
   return out.str();

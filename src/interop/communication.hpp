@@ -35,6 +35,14 @@ const char* to_string(CommOutcome outcome);
 struct CommCell {
   std::string client;
   std::array<std::size_t, kCommOutcomeCount> outcomes{};
+  /// Transport-level detail: kTransportError split by HTTP status class.
+  /// 4xx means the request was refused (405/415 — retrying is pointless);
+  /// 5xx means the server side rejected or failed at the HTTP layer
+  /// (e.g. the .NET SOAPAction refusal). An unparseable body on a 2xx
+  /// status falls in neither bucket, so transport_4xx + transport_5xx <=
+  /// count(kTransportError); the outcome buckets themselves are unchanged.
+  std::size_t transport_4xx = 0;
+  std::size_t transport_5xx = 0;
 
   std::size_t count(CommOutcome outcome) const {
     return outcomes[static_cast<std::size_t>(outcome)];

@@ -20,6 +20,12 @@ double ToolScorecard::wire_failure_rate() const {
          static_cast<double>(invocations_attempted);
 }
 
+double ToolScorecard::wire_resilience_rate() const {
+  if (chaos_challenged == 0) return 0.0;
+  return 100.0 * static_cast<double>(chaos_resilient) /
+         static_cast<double>(chaos_challenged);
+}
+
 const ToolScorecard* Scorecard::find(std::string_view client) const {
   for (const ToolScorecard& tool : tools) {
     if (tool.client == client) return &tool;
@@ -67,13 +73,28 @@ Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& c
   return scorecard;
 }
 
+Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& communication,
+                          const fuzz::FuzzReport& fuzzing, const chaos::ChaosResult& chaos) {
+  Scorecard scorecard = build_scorecard(study, communication, fuzzing);
+  for (const chaos::ChaosServerResult& server : chaos.servers) {
+    for (const chaos::ChaosCell& cell : server.cells) {
+      for (ToolScorecard& tool : scorecard.tools) {
+        if (tool.client != cell.client) continue;
+        tool.chaos_challenged += cell.challenged;
+        tool.chaos_resilient += cell.challenged_ok;
+      }
+    }
+  }
+  return scorecard;
+}
+
 std::string format_scorecard(const Scorecard& scorecard) {
   std::ostringstream out;
-  out << "Tool report card (steps 1-3 / wire / fuzzing), best static rate first\n";
+  out << "Tool report card (steps 1-3 / wire / fuzzing / chaos), best static rate first\n";
   out << "  " << std::left << std::setw(40) << "client" << std::right << std::setw(10)
       << "gen errs" << std::setw(10) << "comp errs" << std::setw(9) << "static%"
       << std::setw(10) << "wire errs" << std::setw(8) << "wire%" << std::setw(18)
-      << "silent-on-broken" << "\n";
+      << "silent-on-broken" << std::setw(8) << "resil%" << "\n";
   for (const ToolScorecard& tool : scorecard.tools) {
     out << "  " << std::left << std::setw(40)
         << std::string(paper::normalize_client_name(tool.client)) << std::right
@@ -81,11 +102,14 @@ std::string format_scorecard(const Scorecard& scorecard) {
         << std::setw(8) << std::fixed << std::setprecision(2) << tool.static_failure_rate()
         << "%" << std::setw(10) << tool.wire_failures << std::setw(7) << std::setprecision(2)
         << tool.wire_failure_rate() << "%" << std::setw(12) << tool.silent_on_broken << " / "
-        << tool.fuzz_mutants << "\n";
+        << tool.fuzz_mutants << std::setw(7) << std::setprecision(1)
+        << tool.wire_resilience_rate() << "%" << "\n";
   }
   out << "\nReading guide: low static% + low wire% + low silent-on-broken is what a\n"
          "framework selector wants; a tool can look clean on steps 1-3 and still\n"
-         "fail on the wire (Zend) or hide defects by accepting broken input.\n";
+         "fail on the wire (Zend) or hide defects by accepting broken input.\n"
+         "resil% is the share of fault-challenged chaos calls the stack still\n"
+         "carried to success (0 when the chaos campaign didn't run).\n";
   return out.str();
 }
 

@@ -1,13 +1,14 @@
 // scorecard.hpp — one report card per client tool, synthesized from the
-// three campaigns: the paper's steps 1–3 study, the communication
-// extension, and the robustness fuzzing. This is the artifact a framework
-// selector would actually want: "if I pick this client stack, what is my
-// exposure?"
+// campaigns: the paper's steps 1–3 study, the communication extension,
+// the robustness fuzzing, and (optionally) the wire-fault chaos study.
+// This is the artifact a framework selector would actually want: "if I
+// pick this client stack, what is my exposure?"
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.hpp"
 #include "fuzz/campaign.hpp"
 #include "interop/communication.hpp"
 #include "interop/study.hpp"
@@ -30,10 +31,16 @@ struct ToolScorecard {
   std::size_t fuzz_mutants = 0;
   std::size_t silent_on_broken = 0;
 
+  // Wire-fault chaos study (zero when the campaign didn't run).
+  std::size_t chaos_challenged = 0;  ///< calls that saw an injected fault
+  std::size_t chaos_resilient = 0;   ///< challenged calls that still succeeded
+
   /// Steps 1–3 error rate in percent.
   double static_failure_rate() const;
   /// Wire failure rate in percent (of attempted invocations).
   double wire_failure_rate() const;
+  /// Share of fault-challenged calls the stack still carried to success.
+  double wire_resilience_rate() const;
 };
 
 struct Scorecard {
@@ -45,6 +52,10 @@ struct Scorecard {
 /// Combines the three campaign results into per-tool cards.
 Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& communication,
                           const fuzz::FuzzReport& fuzzing);
+
+/// As above, folding in the chaos campaign's resilience column.
+Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& communication,
+                          const fuzz::FuzzReport& fuzzing, const chaos::ChaosResult& chaos);
 
 /// Renders the card table.
 std::string format_scorecard(const Scorecard& scorecard);

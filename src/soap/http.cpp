@@ -13,6 +13,8 @@ std::optional<std::string> find_header(const std::vector<HttpHeader>& headers,
   return std::nullopt;
 }
 
+// Upserts the FIRST matching entry; later duplicates stay untouched so a
+// duplicated header keeps its wire shape (lookup is first-wins anyway).
 void upsert_header(std::vector<HttpHeader>& headers, std::string name, std::string value) {
   for (HttpHeader& header : headers) {
     if (iequals(header.name, name)) {
@@ -21,6 +23,12 @@ void upsert_header(std::vector<HttpHeader>& headers, std::string name, std::stri
     }
   }
   headers.push_back({std::move(name), std::move(value)});
+}
+
+std::size_t erase_headers(std::vector<HttpHeader>& headers, std::string_view name) {
+  return std::erase_if(headers, [name](const HttpHeader& header) {
+    return iequals(header.name, name);
+  });
 }
 
 }  // namespace
@@ -33,12 +41,28 @@ void HttpRequest::set_header(std::string name, std::string value) {
   upsert_header(headers, std::move(name), std::move(value));
 }
 
+void HttpRequest::add_header(std::string name, std::string value) {
+  headers.push_back({std::move(name), std::move(value)});
+}
+
+std::size_t HttpRequest::remove_header(std::string_view name) {
+  return erase_headers(headers, name);
+}
+
 std::optional<std::string> HttpResponse::header(std::string_view name) const {
   return find_header(headers, name);
 }
 
 void HttpResponse::set_header(std::string name, std::string value) {
   upsert_header(headers, std::move(name), std::move(value));
+}
+
+void HttpResponse::add_header(std::string name, std::string value) {
+  headers.push_back({std::move(name), std::move(value)});
+}
+
+std::size_t HttpResponse::remove_header(std::string_view name) {
+  return erase_headers(headers, name);
 }
 
 HttpRequest make_soap_request(std::string url, std::string soap_action,

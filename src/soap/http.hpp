@@ -4,8 +4,18 @@
 // server models through this wire: requests carry Content-Type and
 // SOAPAction headers exactly like SOAP-over-HTTP POST, and servers apply
 // the same header checks real stacks do.
+//
+// Header semantics (pinned — the chaos wire's header-drop/duplicate faults
+// depend on them):
+//   * lookup is case-insensitive and FIRST-WINS: `header(name)` returns the
+//     value of the first matching entry, later duplicates are ignored;
+//   * `set_header` upserts the first matching entry and leaves any later
+//     duplicates in place;
+//   * `add_header` always appends, so it can create duplicates;
+//   * the `headers` vector preserves insertion order on serialization.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,8 +34,10 @@ struct HttpRequest {
   std::vector<HttpHeader> headers;
   std::string body;
 
-  std::optional<std::string> header(std::string_view name) const;
-  void set_header(std::string name, std::string value);
+  std::optional<std::string> header(std::string_view name) const;  ///< first-wins
+  void set_header(std::string name, std::string value);  ///< upserts first match
+  void add_header(std::string name, std::string value);  ///< appends (may duplicate)
+  std::size_t remove_header(std::string_view name);      ///< removes all matches
 };
 
 struct HttpResponse {
@@ -33,10 +45,19 @@ struct HttpResponse {
   std::vector<HttpHeader> headers;
   std::string body;
 
-  std::optional<std::string> header(std::string_view name) const;
-  void set_header(std::string name, std::string value);
+  std::optional<std::string> header(std::string_view name) const;  ///< first-wins
+  void set_header(std::string name, std::string value);  ///< upserts first match
+  void add_header(std::string name, std::string value);  ///< appends (may duplicate)
+  std::size_t remove_header(std::string_view name);      ///< removes all matches
 
   bool ok() const { return status >= 200 && status < 300; }
+  /// Transport-level status classes: a 4xx means the request itself was
+  /// refused (retrying is pointless), a 5xx means the server side failed
+  /// (the class real stacks consider retryable for idempotent calls).
+  bool is_client_error() const { return status >= 400 && status < 500; }
+  bool is_server_error() const { return status >= 500 && status < 600; }
+  /// 2 for 2xx, 4 for 4xx, 5 for 5xx, ...
+  int status_class() const { return status / 100; }
 };
 
 /// Builds the canonical SOAP 1.1 POST for `envelope_text`.

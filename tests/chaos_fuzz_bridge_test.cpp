@@ -1,0 +1,134 @@
+// The fuzz ↔ chaos bridge: the WSDL mutation operators (src/fuzz) and the
+// wire corruption faults (src/chaos) damage documents through different
+// doors, but the damage must be classified consistently — a document broken
+// by either path fails parsing/classification the same way, and a clean
+// document passes both. This pins the two subsystems to one notion of
+// "broken on the wire".
+#include <gtest/gtest.h>
+
+#include "catalog/java_catalog.hpp"
+#include "chaos/fault.hpp"
+#include "chaos/wire.hpp"
+#include "frameworks/invocation.hpp"
+#include "frameworks/registry.hpp"
+#include "fuzz/mutation.hpp"
+#include "soap/message.hpp"
+
+namespace wsx {
+namespace {
+
+class Bridge : public ::testing::Test {
+ protected:
+  static const frameworks::DeployedService& service() {
+    static const frameworks::DeployedService deployed = [] {
+      const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+      const auto server = frameworks::make_server("Metro 2.3");
+      const catalog::TypeInfo* type =
+          catalog.find(catalog::java_names::kXmlGregorianCalendar);
+      return std::move(server->deploy(frameworks::ServiceSpec{type}).value());
+    }();
+    return deployed;
+  }
+
+  /// A clean echo response straight off the (faultless) wire.
+  static soap::HttpResponse clean_response(const std::string& payload) {
+    const auto server = frameworks::make_server("Metro 2.3");
+    Result<soap::Envelope> envelope =
+        soap::build_request(service().wsdl, "echo", {{"arg0", payload}});
+    const soap::HttpRequest request =
+        soap::make_soap_request("http://localhost/echo", "", soap::write(*envelope));
+    return server->handle_http(service(), request);
+  }
+};
+
+TEST_F(Bridge, CleanDocumentPassesBothPaths) {
+  const soap::HttpResponse response = clean_response("ping");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(frameworks::classify_echo_response(response, "ping").outcome,
+            frameworks::EchoOutcome::kOk);
+  EXPECT_TRUE(soap::parse(response.body).ok());
+}
+
+TEST_F(Bridge, WireTruncationMatchesTheFuzzTruncateOperator) {
+  // Both subsystems cut to 60% of the document — the corruption is the
+  // same transformation whether it arrives via a mutated description or a
+  // truncated response body.
+  const soap::HttpResponse response = clean_response("ping");
+  ASSERT_GE(response.body.size(), 64u);  // kTruncate's applicability floor
+  const std::string wire_cut =
+      chaos::apply_body_fault(chaos::FaultKind::kTruncatedBody, response.body, 1);
+  const std::optional<fuzz::Mutant> mutant =
+      fuzz::mutate(response.body, fuzz::MutationKind::kTruncate);
+  ASSERT_TRUE(mutant.has_value());
+  EXPECT_EQ(wire_cut, mutant->wsdl_text);
+}
+
+TEST_F(Bridge, TruncatedEnvelopeFailsClassificationLikeAMutantFailsParsing) {
+  const soap::HttpResponse clean = clean_response("ping");
+  soap::HttpResponse truncated = clean;
+  truncated.body =
+      chaos::apply_body_fault(chaos::FaultKind::kTruncatedBody, clean.body, 1);
+  // The wire path: the truncated response is a transport-level failure.
+  EXPECT_FALSE(soap::parse(truncated.body).ok());
+  EXPECT_EQ(frameworks::classify_echo_response(truncated, "ping").outcome,
+            frameworks::EchoOutcome::kTransportError);
+}
+
+TEST_F(Bridge, MismatchedTagMutantIsUnparseableAsAnEnvelopeToo)
+{
+  // The fuzz operator that breaks one end tag applies to envelope text just
+  // as it does to WSDL text, and the SOAP parser must reject the result —
+  // no silent acceptance of malformed XML on either path.
+  const soap::HttpResponse response = clean_response("ping");
+  const std::optional<fuzz::Mutant> mutant =
+      fuzz::mutate(response.body, fuzz::MutationKind::kMismatchedTag);
+  ASSERT_TRUE(mutant.has_value());
+  EXPECT_FALSE(soap::parse(mutant->wsdl_text).ok());
+  soap::HttpResponse broken = response;
+  broken.body = mutant->wsdl_text;
+  EXPECT_EQ(frameworks::classify_echo_response(broken, "ping").outcome,
+            frameworks::EchoOutcome::kTransportError);
+}
+
+TEST_F(Bridge, CorruptedPayloadByteShowsUpAsAnEchoMismatch) {
+  // A flipped byte inside the echoed value keeps the XML well-formed but
+  // must fail the payload comparison — corruption that parsing cannot see
+  // is still caught by the echo check.
+  const soap::HttpResponse clean = clean_response("ping");
+  const std::size_t offset = clean.body.find("ping");
+  ASSERT_NE(offset, std::string::npos);
+  soap::HttpResponse corrupted = clean;
+  corrupted.body =
+      chaos::apply_body_fault(chaos::FaultKind::kCorruptedByte, clean.body, offset);
+  ASSERT_NE(corrupted.body, clean.body);
+  EXPECT_TRUE(soap::parse(corrupted.body).ok());
+  EXPECT_EQ(frameworks::classify_echo_response(corrupted, "ping").outcome,
+            frameworks::EchoOutcome::kEchoMismatch);
+}
+
+TEST_F(Bridge, CorruptedStructuralByteIsATransportError) {
+  // A flipped byte on markup breaks well-formedness: same classification a
+  // fuzz text-level mutant gets when its WSDL no longer parses.
+  const soap::HttpResponse clean = clean_response("ping");
+  const std::size_t offset = clean.body.rfind('<');
+  ASSERT_NE(offset, std::string::npos);
+  soap::HttpResponse corrupted = clean;
+  corrupted.body =
+      chaos::apply_body_fault(chaos::FaultKind::kCorruptedByte, clean.body, offset);
+  EXPECT_FALSE(soap::parse(corrupted.body).ok());
+  EXPECT_EQ(frameworks::classify_echo_response(corrupted, "ping").outcome,
+            frameworks::EchoOutcome::kTransportError);
+}
+
+TEST_F(Bridge, HeaderFaultsAreNotBodyFaults) {
+  // apply_body_fault is a no-op for non-body fault kinds — header drops and
+  // intermediary errors must not silently mangle the document.
+  const soap::HttpResponse response = clean_response("ping");
+  EXPECT_EQ(chaos::apply_body_fault(chaos::FaultKind::kDropSoapAction, response.body, 3),
+            response.body);
+  EXPECT_EQ(chaos::apply_body_fault(chaos::FaultKind::kHttp503, response.body, 3),
+            response.body);
+}
+
+}  // namespace
+}  // namespace wsx

@@ -1,0 +1,381 @@
+// Tests for the wire-fault chaos subsystem (src/chaos/*): the fault plan,
+// the resilience policies, the circuit breaker, and the campaign's core
+// guarantees — determinism across worker counts, zero-fault equivalence
+// with the communication study, and emergent per-client profiles.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chaos/campaign.hpp"
+#include "chaos/fault.hpp"
+#include "chaos/policy.hpp"
+#include "chaos/wire.hpp"
+#include "interop/communication.hpp"
+
+namespace wsx::chaos {
+namespace {
+
+// ---------------------------------------------------------------- fault plan
+
+TEST(FaultPlan, ScheduleIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  const CallSchedule a = plan_call(plan, "Metro 2.3|EchoFoo|Zend|0");
+  const CallSchedule b = plan_call(plan, "Metro 2.3|EchoFoo|Zend|0");
+  EXPECT_EQ(a.faulted(), b.faulted());
+  EXPECT_EQ(a.burst(), b.burst());
+  EXPECT_EQ(a.salt(), b.salt());
+  for (unsigned attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(a.fault_for_attempt(attempt), b.fault_for_attempt(attempt));
+  }
+}
+
+TEST(FaultPlan, SeedChangesTheSchedule) {
+  FaultPlan a;
+  a.seed = 1;
+  FaultPlan b;
+  b.seed = 2;
+  // Over many calls the two seeds must diverge somewhere.
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    const std::string id = "s|svc" + std::to_string(i) + "|c|0";
+    const CallSchedule sa = plan_call(a, id);
+    const CallSchedule sb = plan_call(b, id);
+    diverged = sa.faulted() != sb.faulted() ||
+               sa.fault_for_attempt(0) != sb.fault_for_attempt(0);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, RateZeroMeansCleanWire) {
+  FaultPlan plan;
+  plan.rate_percent = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(plan_call(plan, "id" + std::to_string(i)).faulted());
+  }
+}
+
+TEST(FaultPlan, RateHundredFaultsEveryCall) {
+  FaultPlan plan;
+  plan.rate_percent = 100;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan_call(plan, "id" + std::to_string(i)).faulted());
+  }
+}
+
+TEST(FaultPlan, RespectsEnabledKinds) {
+  FaultPlan plan;
+  plan.rate_percent = 100;
+  plan.kinds = {FaultKind::kHttp503};
+  for (int i = 0; i < 20; ++i) {
+    const CallSchedule schedule = plan_call(plan, "id" + std::to_string(i));
+    EXPECT_EQ(schedule.fault_for_attempt(0), FaultKind::kHttp503);
+  }
+}
+
+TEST(FaultPlan, BurstEndsAndLaterAttemptsAreClean) {
+  FaultPlan plan;
+  plan.rate_percent = 100;
+  plan.max_burst = 2;
+  const CallSchedule schedule = plan_call(plan, "some-call");
+  ASSERT_TRUE(schedule.faulted());
+  ASSERT_GE(schedule.burst(), 1u);
+  ASSERT_LE(schedule.burst(), 2u);
+  EXPECT_TRUE(schedule.fault_for_attempt(schedule.burst() - 1).has_value());
+  EXPECT_FALSE(schedule.fault_for_attempt(schedule.burst()).has_value());
+}
+
+TEST(FaultKindMeta, NamesRoundTripThroughTheParser) {
+  for (const FaultKind kind : all_fault_kinds()) {
+    const std::optional<FaultKind> parsed = parse_fault_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_fault_kind("nope").has_value());
+  EXPECT_EQ(all_fault_kinds().size(), kFaultKindCount);
+}
+
+// -------------------------------------------------------------------- policy
+
+TEST(Policy, EveryRosterClientHasACalibration) {
+  // All eleven client tools resolve to a non-default policy or an explicit
+  // conservative one; at least three materially different profiles exist.
+  const ResiliencePolicy metro = policy_for("Oracle Metro 2.3");
+  const ResiliencePolicy gsoap = policy_for("gSOAP Toolkit 2.8.16");
+  const ResiliencePolicy suds = policy_for("suds Python 0.4");
+  EXPECT_GT(metro.max_retries, 0u);
+  EXPECT_TRUE(metro.retry_on_reset);
+  EXPECT_TRUE(gsoap.abort_on_first_wire_fault);
+  EXPECT_EQ(suds.max_retries, 0u);
+  EXPECT_EQ(suds.attempt_timeout_ms, suds.call_budget_ms);  // the hang profile
+}
+
+TEST(Policy, IdempotencyGateIsCalibratedPerStack) {
+  EXPECT_FALSE(policy_for("Apache CXF 2.7.6").retransmit_after_server_execution);
+  EXPECT_FALSE(
+      policy_for(".NET Framework 4.0.30319.17929 (C#)").retransmit_after_server_execution);
+  EXPECT_TRUE(policy_for("Oracle Metro 2.3").retransmit_after_server_execution);
+}
+
+TEST(Policy, BackoffGrowsAndStaysCappedAndDeterministic) {
+  const ResiliencePolicy dotnet = policy_for(".NET Framework 4.0.30319.17929 (C#)");
+  const std::uint64_t b0 = dotnet.backoff_before(0, 99);
+  const std::uint64_t b1 = dotnet.backoff_before(1, 99);
+  const std::uint64_t b5 = dotnet.backoff_before(5, 99);
+  EXPECT_GE(b0, dotnet.base_backoff_ms);
+  EXPECT_GE(b1, 2 * dotnet.base_backoff_ms);
+  EXPECT_LE(b5, dotnet.max_backoff_ms + dotnet.jitter_ms);
+  EXPECT_EQ(dotnet.backoff_before(1, 99), b1);  // same salt, same delay
+}
+
+TEST(Policy, UnknownClientGetsConservativeDefault) {
+  const ResiliencePolicy policy = policy_for("Some Unknown Stack 1.0");
+  EXPECT_EQ(policy.max_retries, 0u);
+  EXPECT_FALSE(policy.retry_on_reset);
+}
+
+TEST(Policy, TableRendersEveryFamily) {
+  const std::string table = format_policy_table();
+  EXPECT_NE(table.find("Oracle Metro"), std::string::npos);
+  EXPECT_NE(table.find("gSOAP"), std::string::npos);
+  EXPECT_NE(table.find("suds"), std::string::npos);
+}
+
+// ------------------------------------------------------------ circuit breaker
+
+TEST(Breaker, OpensAfterConsecutiveFailuresAndCoolsDown) {
+  BreakerSettings settings;
+  settings.failure_threshold = 3;
+  settings.open_ms = 1000;
+  CircuitBreaker breaker(settings);
+  EXPECT_TRUE(breaker.allows(0));
+  breaker.record_failure(10);
+  breaker.record_failure(20);
+  EXPECT_TRUE(breaker.allows(25));  // below threshold, still closed
+  breaker.record_failure(30);
+  EXPECT_EQ(breaker.state(31), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allows(31));
+  EXPECT_EQ(breaker.trips(), 1u);
+  // After the cooldown the breaker admits a probe.
+  EXPECT_EQ(breaker.state(1030), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allows(1030));
+}
+
+TEST(Breaker, HalfOpenProbeDecidesTheNextState) {
+  BreakerSettings settings;
+  settings.failure_threshold = 1;
+  settings.open_ms = 100;
+  CircuitBreaker failed(settings);
+  failed.record_failure(0);
+  ASSERT_EQ(failed.state(100), CircuitBreaker::State::kHalfOpen);
+  failed.record_failure(100);  // probe failed → re-open, counted as a trip
+  EXPECT_EQ(failed.state(150), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(failed.trips(), 2u);
+
+  CircuitBreaker recovered(settings);
+  recovered.record_failure(0);
+  recovered.record_success(100);  // probe succeeded → closed again
+  EXPECT_EQ(recovered.state(101), CircuitBreaker::State::kClosed);
+}
+
+TEST(Breaker, SuccessResetsTheFailureStreak) {
+  BreakerSettings settings;
+  settings.failure_threshold = 2;
+  CircuitBreaker breaker(settings);
+  breaker.record_failure(0);
+  breaker.record_success(1);
+  breaker.record_failure(2);
+  EXPECT_EQ(breaker.state(3), CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------------------------ campaign
+
+/// Small population: enough services for differentiated counts, fast
+/// enough for a unit test.
+ChaosConfig scaled_config() {
+  ChaosConfig config;
+  config.java_spec.plain_beans = 20;
+  config.java_spec.throwable_clean = 2;
+  config.java_spec.throwable_raw = 1;
+  config.java_spec.raw_generic_beans = 1;
+  config.java_spec.anytype_array_beans = 1;
+  config.java_spec.no_default_ctor = 2;
+  config.java_spec.abstract_classes = 1;
+  config.java_spec.interfaces = 1;
+  config.java_spec.generic_types = 1;
+  config.dotnet_spec.plain_types = 20;
+  config.dotnet_spec.dataset_plain = 2;
+  config.dotnet_spec.deep_nesting_clean = 1;
+  config.dotnet_spec.non_serializable = 2;
+  config.dotnet_spec.no_default_ctor = 2;
+  config.dotnet_spec.generic_types = 1;
+  config.dotnet_spec.abstract_classes = 1;
+  config.dotnet_spec.interfaces = 1;
+  return config;
+}
+
+class ChaosStudy : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ChaosConfig config = scaled_config();
+    config.plan.rate_percent = 60;  // plenty of challenged calls
+    config.calls_per_pair = 2;
+    config.jobs = 2;
+    result_ = new ChaosResult(run_chaos_study(config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ChaosResult& result() { return *result_; }
+  static ChaosResult* result_;
+
+  /// The cell of the first server whose client starts with `prefix`,
+  /// aggregated over all servers.
+  static ChaosCell aggregate(std::string_view prefix) {
+    ChaosCell total;
+    for (const ChaosServerResult& server : result().servers) {
+      for (const ChaosCell& cell : server.cells) {
+        if (cell.client.rfind(prefix, 0) != 0) continue;
+        total.client = cell.client;
+        for (std::size_t i = 0; i < kChaosOutcomeCount; ++i) {
+          total.outcomes[i] += cell.outcomes[i];
+        }
+        total.retransmits += cell.retransmits;
+        total.challenged += cell.challenged;
+        total.challenged_ok += cell.challenged_ok;
+      }
+    }
+    return total;
+  }
+};
+
+ChaosResult* ChaosStudy::result_ = nullptr;
+
+TEST_F(ChaosStudy, FaultsActuallyChallengeCalls) {
+  EXPECT_GT(result().total_attempted(), 0u);
+  EXPECT_GT(result().total_challenged(), 0u);
+  EXPECT_GT(result().total_challenged_ok(), 0u);
+}
+
+TEST_F(ChaosStudy, ClientProfilesDiverge) {
+  // At least three materially different resilience profiles must emerge
+  // from the same fault plan: a retrier that recovers, an aborter that
+  // fails fast without a single retransmit, and a stack that hangs.
+  const ChaosCell metro = aggregate("Oracle Metro");
+  const ChaosCell gsoap = aggregate("gSOAP");
+  const ChaosCell suds = aggregate("suds");
+  EXPECT_GT(metro.count(ChaosOutcome::kRecovered), 0u);
+  EXPECT_GT(metro.retransmits, 0u);
+  EXPECT_EQ(gsoap.count(ChaosOutcome::kRecovered), 0u);
+  EXPECT_EQ(gsoap.retransmits, 0u);
+  EXPECT_GT(gsoap.count(ChaosOutcome::kFailedFast), 0u);
+  EXPECT_GT(suds.count(ChaosOutcome::kHung), 0u);
+  EXPECT_EQ(suds.retransmits, 0u);
+}
+
+TEST_F(ChaosStudy, RecoveryRatesDiffer) {
+  // Resilience is a spectrum, not a constant: the best and worst stacks
+  // must be separated by their recovery rate.
+  std::set<long> rates;
+  for (const char* prefix : {"Oracle Metro", "Apache CXF", "gSOAP", "Zend", "suds"}) {
+    rates.insert(static_cast<long>(aggregate(prefix).recovery_rate()));
+  }
+  EXPECT_GE(rates.size(), 3u);
+}
+
+TEST_F(ChaosStudy, IdempotencyGateShowsInDotNet) {
+  // .NET retries resets but refuses to retransmit once the server executed;
+  // Metro retransmits blindly and therefore records degraded successes.
+  const ChaosCell metro = aggregate("Oracle Metro");
+  EXPECT_GT(metro.count(ChaosOutcome::kDegradedOk), 0u);
+}
+
+TEST_F(ChaosStudy, AttemptedPlusBlockedCoversAllCalls) {
+  for (const ChaosServerResult& server : result().servers) {
+    for (const ChaosCell& cell : server.cells) {
+      EXPECT_EQ(cell.attempted() + cell.count(ChaosOutcome::kBlockedEarlier),
+                server.services_deployed * result().calls_per_pair)
+          << server.server << " / " << cell.client;
+    }
+  }
+}
+
+TEST_F(ChaosStudy, ChallengedBoundsHold) {
+  for (const ChaosServerResult& server : result().servers) {
+    for (const ChaosCell& cell : server.cells) {
+      EXPECT_LE(cell.challenged_ok, cell.challenged);
+      EXPECT_LE(cell.challenged, cell.attempted());
+      EXPECT_LE(cell.challenged, cell.faulted_attempts);
+    }
+  }
+}
+
+TEST_F(ChaosStudy, RendersCoverEveryClient) {
+  const std::string text = format_chaos(result());
+  const std::string markdown = chaos_markdown(result());
+  const std::string csv = chaos_csv(result());
+  for (const char* name : {"Oracle Metro", "gSOAP", "suds", "Zend"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+    EXPECT_NE(markdown.find(name), std::string::npos) << name;
+    EXPECT_NE(csv.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(csv.find("server,client,blocked,ok,recovered"), 0u);
+  EXPECT_NE(chaos_recovery_json(result()).find("\"recovery_rate\""), std::string::npos);
+}
+
+TEST(ChaosDeterminism, WorkerCountDoesNotChangeTheResult) {
+  ChaosConfig config = scaled_config();
+  config.plan.seed = 7;
+  config.calls_per_pair = 2;
+  config.jobs = 1;
+  const std::string serial = chaos_csv(run_chaos_study(config));
+  config.jobs = 8;
+  const std::string parallel = chaos_csv(run_chaos_study(config));
+  EXPECT_EQ(serial, parallel);  // byte-identical, not just equal counts
+}
+
+TEST(ChaosEquivalence, ZeroFaultRateMatchesTheCommunicationStudy) {
+  // With a clean wire the campaign must degenerate to the communication
+  // study: same success counts per (server, client) cell, no resilience
+  // machinery engaged anywhere.
+  ChaosConfig chaos_config = scaled_config();
+  chaos_config.plan.rate_percent = 0;
+  chaos_config.calls_per_pair = 1;
+  const ChaosResult chaos = run_chaos_study(chaos_config);
+
+  interop::StudyConfig comm_config;
+  comm_config.java_spec = chaos_config.java_spec;
+  comm_config.dotnet_spec = chaos_config.dotnet_spec;
+  const interop::CommunicationResult comm = run_communication_study(comm_config);
+
+  ASSERT_EQ(chaos.servers.size(), comm.servers.size());
+  for (std::size_t s = 0; s < chaos.servers.size(); ++s) {
+    ASSERT_EQ(chaos.servers[s].cells.size(), comm.servers[s].cells.size());
+    for (std::size_t c = 0; c < chaos.servers[s].cells.size(); ++c) {
+      const ChaosCell& chaos_cell = chaos.servers[s].cells[c];
+      const interop::CommCell& comm_cell = comm.servers[s].cells[c];
+      ASSERT_EQ(chaos_cell.client, comm_cell.client);
+      EXPECT_EQ(chaos_cell.count(ChaosOutcome::kOk),
+                comm_cell.count(interop::CommOutcome::kOk))
+          << chaos.servers[s].server << " / " << chaos_cell.client;
+      EXPECT_EQ(chaos_cell.count(ChaosOutcome::kRecovered), 0u);
+      EXPECT_EQ(chaos_cell.count(ChaosOutcome::kDegradedOk), 0u);
+      EXPECT_EQ(chaos_cell.count(ChaosOutcome::kExhaustedRetries), 0u);
+      EXPECT_EQ(chaos_cell.count(ChaosOutcome::kHung), 0u);
+      EXPECT_EQ(chaos_cell.retransmits, 0u);
+      EXPECT_EQ(chaos_cell.challenged, 0u);
+      EXPECT_EQ(chaos_cell.breaker_trips, 0u);
+    }
+  }
+}
+
+TEST(ChaosOutcomeMeta, Names) {
+  EXPECT_STREQ(to_string(ChaosOutcome::kOk), "ok");
+  EXPECT_STREQ(to_string(ChaosOutcome::kRecovered), "recovered");
+  EXPECT_STREQ(to_string(ChaosOutcome::kHung), "hung");
+  EXPECT_STREQ(to_string(ChaosOutcome::kFailedFast), "failed fast");
+}
+
+}  // namespace
+}  // namespace wsx::chaos

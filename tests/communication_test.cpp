@@ -209,6 +209,28 @@ TEST_F(CommStudy, BlockedEarlierMatchesMainStudyGates) {
   }
 }
 
+TEST_F(CommStudy, TransportDetailSplitsByStatusClass) {
+  // The 4xx/5xx split refines kTransportError without changing it: the
+  // two buckets never exceed the transport count (unparseable 2xx bodies
+  // fall in neither).
+  for (const CommServerResult& server : result().servers) {
+    for (const CommCell& cell : server.cells) {
+      EXPECT_LE(cell.transport_4xx + cell.transport_5xx,
+                cell.count(CommOutcome::kTransportError))
+          << server.server << " / " << cell.client;
+    }
+  }
+  // gSOAP's missing-SOAPAction rejections on WCF are server-side 500s.
+  EXPECT_EQ(cell(2, "gSOAP").transport_5xx, 2u);
+  EXPECT_EQ(cell(2, "gSOAP").transport_4xx, 0u);
+}
+
+TEST_F(CommStudy, CsvCarriesTheTransportDetailColumns) {
+  const std::string csv = communication_csv(result());
+  EXPECT_EQ(csv.find("server,client,blocked"), 0u);
+  EXPECT_NE(csv.find("transport_4xx,transport_5xx"), std::string::npos);
+}
+
 TEST_F(CommStudy, FormatRendersAllServers) {
   const std::string text = format_communication(result());
   EXPECT_NE(text.find("Metro 2.3"), std::string::npos);

@@ -103,6 +103,43 @@ TEST(ScorecardMath, EmptyCardHasZeroRates) {
   ToolScorecard empty;
   EXPECT_EQ(empty.static_failure_rate(), 0.0);
   EXPECT_EQ(empty.wire_failure_rate(), 0.0);
+  EXPECT_EQ(empty.wire_resilience_rate(), 0.0);
+}
+
+TEST_F(ScorecardFixture, WithoutChaosTheResilienceColumnIsEmpty) {
+  for (const ToolScorecard& tool : scorecard().tools) {
+    EXPECT_EQ(tool.chaos_challenged, 0u);
+    EXPECT_EQ(tool.chaos_resilient, 0u);
+  }
+}
+
+TEST(ScorecardChaos, ChaosOverloadFillsTheResilienceColumn) {
+  const StudyConfig config = scaled_config();
+  fuzz::FuzzConfig fuzz_config;
+  fuzz_config.corpus_per_server = 1;
+  chaos::ChaosConfig chaos_config;
+  chaos_config.java_spec = config.java_spec;
+  chaos_config.dotnet_spec = config.dotnet_spec;
+  chaos_config.plan.rate_percent = 60;
+  chaos_config.jobs = 2;
+  const Scorecard scorecard = build_scorecard(
+      run_study(config), run_communication_study(config),
+      fuzz::run_fuzz_campaign(fuzz_config), chaos::run_chaos_study(chaos_config));
+  std::size_t challenged = 0;
+  for (const ToolScorecard& tool : scorecard.tools) {
+    challenged += tool.chaos_challenged;
+    EXPECT_LE(tool.chaos_resilient, tool.chaos_challenged);
+    EXPECT_GE(tool.wire_resilience_rate(), 0.0);
+    EXPECT_LE(tool.wire_resilience_rate(), 100.0);
+  }
+  EXPECT_GT(challenged, 0u);
+  // The retriers must out-recover the aborters under the same fault plan.
+  const ToolScorecard* metro = scorecard.find("Oracle Metro 2.3");
+  const ToolScorecard* gsoap = scorecard.find("gSOAP Toolkit 2.8.16");
+  ASSERT_NE(metro, nullptr);
+  ASSERT_NE(gsoap, nullptr);
+  EXPECT_GT(metro->wire_resilience_rate(), gsoap->wire_resilience_rate());
+  EXPECT_NE(format_scorecard(scorecard).find("resil%"), std::string::npos);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Unit tests for SOAP envelopes and messages (src/soap/).
 #include <gtest/gtest.h>
 
+#include "soap/http.hpp"
 #include "soap/message.hpp"
 #include "wsdl/model.hpp"
 
@@ -142,6 +143,73 @@ TEST(Message, WireRoundTripPreservesValues) {
   Result<Envelope> reparsed = parse(write(*request));
   ASSERT_TRUE(reparsed.ok());
   EXPECT_EQ(request_arguments(*reparsed).front().value, "<xml> & entities");
+}
+
+// Duplicate-header semantics are pinned (http.hpp): first-wins lookup,
+// upsert-first set, append-only add, order-preserving storage. The chaos
+// wire's header faults rely on exactly these rules.
+
+TEST(HttpHeaders, LookupIsFirstWinsAcrossDuplicates) {
+  HttpRequest request;
+  request.add_header("X-Trace", "one");
+  request.add_header("x-trace", "two");
+  ASSERT_EQ(request.headers.size(), 2u);
+  EXPECT_EQ(request.header("X-TRACE"), "one");
+}
+
+TEST(HttpHeaders, SetHeaderUpsertsTheFirstMatchAndKeepsLaterDuplicates) {
+  HttpResponse response;
+  response.add_header("Warning", "a");
+  response.add_header("Warning", "b");
+  response.set_header("warning", "c");
+  ASSERT_EQ(response.headers.size(), 2u);
+  EXPECT_EQ(response.headers[0].value, "c");  // first match updated in place
+  EXPECT_EQ(response.headers[1].value, "b");  // later duplicate untouched
+  EXPECT_EQ(response.header("Warning"), "c");
+}
+
+TEST(HttpHeaders, SetHeaderInsertsWhenAbsent) {
+  HttpRequest request;
+  request.set_header("SOAPAction", "\"urn:op\"");
+  ASSERT_EQ(request.headers.size(), 1u);
+  EXPECT_EQ(request.header("soapaction"), "\"urn:op\"");
+}
+
+TEST(HttpHeaders, RemoveHeaderDropsEveryMatchCaseInsensitively) {
+  HttpRequest request;
+  request.add_header("Cookie", "a");
+  request.add_header("COOKIE", "b");
+  request.add_header("Content-Type", "text/xml");
+  EXPECT_EQ(request.remove_header("cookie"), 2u);
+  EXPECT_EQ(request.remove_header("cookie"), 0u);
+  ASSERT_EQ(request.headers.size(), 1u);
+  EXPECT_EQ(request.headers[0].name, "Content-Type");
+}
+
+TEST(HttpHeaders, InsertionOrderIsPreserved) {
+  HttpRequest request;
+  request.add_header("A", "1");
+  request.add_header("B", "2");
+  request.add_header("A", "3");
+  ASSERT_EQ(request.headers.size(), 3u);
+  EXPECT_EQ(request.headers[0], (HttpHeader{"A", "1"}));
+  EXPECT_EQ(request.headers[1], (HttpHeader{"B", "2"}));
+  EXPECT_EQ(request.headers[2], (HttpHeader{"A", "3"}));
+}
+
+TEST(HttpHeaders, StatusClassHelpers) {
+  HttpResponse response;
+  response.status = 404;
+  EXPECT_TRUE(response.is_client_error());
+  EXPECT_FALSE(response.is_server_error());
+  EXPECT_EQ(response.status_class(), 4);
+  response.status = 503;
+  EXPECT_FALSE(response.is_client_error());
+  EXPECT_TRUE(response.is_server_error());
+  EXPECT_EQ(response.status_class(), 5);
+  response.status = 200;
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.status_class(), 2);
 }
 
 }  // namespace

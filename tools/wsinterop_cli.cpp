@@ -15,6 +15,8 @@
 //       WSDL robustness fuzzing across all client tools
 //   wsinterop communicate
 //       the Communication+Execution extension study
+//   wsinterop chaos [--seed N] [--rate PCT] [--faults LIST] [--calls N]
+//       wire-fault resilience study over the faulty wire
 //   wsinterop list
 //       available server and client frameworks
 #include <algorithm>
@@ -26,6 +28,7 @@
 
 #include "analysis/baseline.hpp"
 #include "analysis/corpus.hpp"
+#include "chaos/campaign.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sarif.hpp"
 #include "codemodel/render.hpp"
@@ -63,7 +66,8 @@ bool parse_count(const std::string& text, std::size_t& out) {
 
 int usage() {
   std::cerr << "usage: wsinterop "
-               "<run|lint|describe|test|fuzz|communicate|scorecard|diff|list> [options]\n"
+               "<run|lint|describe|test|fuzz|communicate|chaos|scorecard|diff|list> "
+               "[options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
@@ -74,7 +78,10 @@ int usage() {
                "  test        SERVER TYPE CLIENT [--dump]\n"
                "  fuzz        [--corpus N]\n"
                "  communicate\n"
-               "  scorecard\n"
+               "  chaos       [--seed N] [--rate PCT] [--faults KIND,...] [--burst N]\n"
+               "              [--calls N] [--scale PCT] [--jobs N] [--csv FILE]\n"
+               "              [--format text|csv|markdown|json]\n"
+               "  scorecard   [--chaos]\n"
                "  list\n";
   return 2;
 }
@@ -414,6 +421,72 @@ int cmd_communicate() {
   return 0;
 }
 
+int cmd_chaos(const std::vector<std::string>& args) {
+  chaos::ChaosConfig config;
+  std::string format = "text";
+  std::string csv_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--seed" && i + 1 < args.size()) {
+      std::size_t seed = 0;
+      if (!parse_count(args[++i], seed)) return usage();
+      config.plan.seed = seed;
+    } else if (args[i] == "--rate" && i + 1 < args.size()) {
+      std::size_t rate = 0;
+      if (!parse_count(args[++i], rate) || rate > 100) return usage();
+      config.plan.rate_percent = static_cast<unsigned>(rate);
+    } else if (args[i] == "--faults" && i + 1 < args.size()) {
+      std::stringstream kinds(args[++i]);
+      std::string name;
+      while (std::getline(kinds, name, ',')) {
+        const std::optional<chaos::FaultKind> kind = chaos::parse_fault_kind(name);
+        if (!kind.has_value()) {
+          std::cerr << "wsinterop: unknown fault kind '" << name << "'; kinds are:";
+          for (const chaos::FaultKind known : chaos::all_fault_kinds()) {
+            std::cerr << ' ' << chaos::to_string(known);
+          }
+          std::cerr << "\n";
+          return 2;
+        }
+        config.plan.kinds.push_back(*kind);
+      }
+    } else if (args[i] == "--burst" && i + 1 < args.size()) {
+      std::size_t burst = 0;
+      if (!parse_count(args[++i], burst) || burst == 0) return usage();
+      config.plan.max_burst = static_cast<unsigned>(burst);
+    } else if (args[i] == "--calls" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], config.calls_per_pair) || config.calls_per_pair == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(config.java_spec, config.dotnet_spec, percent);
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], config.jobs)) return usage();
+    } else if (args[i] == "--csv" && i + 1 < args.size()) {
+      csv_path = args[++i];
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const chaos::ChaosResult result = chaos::run_chaos_study(config);
+  if (!csv_path.empty() && !write_text_file(csv_path, chaos::chaos_csv(result))) return 1;
+  if (format == "csv") {
+    std::cout << chaos::chaos_csv(result);
+  } else if (format == "markdown") {
+    std::cout << chaos::chaos_markdown(result);
+  } else if (format == "json") {
+    std::cout << chaos::chaos_recovery_json(result) << "\n";
+  } else if (format == "text") {
+    std::cout << chaos::format_chaos(result);
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
 int cmd_diff(const std::vector<std::string>& args) {
   if (args.size() != 2) return usage();
   const auto read_snapshot =
@@ -436,14 +509,28 @@ int cmd_diff(const std::vector<std::string>& args) {
   return diff.empty() ? 0 : 3;
 }
 
-int cmd_scorecard() {
+int cmd_scorecard(const std::vector<std::string>& args) {
+  bool with_chaos = false;
+  for (const std::string& arg : args) {
+    if (arg == "--chaos") {
+      with_chaos = true;
+    } else {
+      return usage();
+    }
+  }
   const interop::StudyResult study = interop::run_study();
   const interop::CommunicationResult communication = interop::run_communication_study();
   fuzz::FuzzConfig fuzz_config;
   fuzz_config.corpus_per_server = 5;
   const fuzz::FuzzReport fuzzing = fuzz::run_fuzz_campaign(fuzz_config);
-  std::cout << interop::format_scorecard(
-      interop::build_scorecard(study, communication, fuzzing));
+  if (with_chaos) {
+    const chaos::ChaosResult chaos_result = chaos::run_chaos_study();
+    std::cout << interop::format_scorecard(
+        interop::build_scorecard(study, communication, fuzzing, chaos_result));
+  } else {
+    std::cout << interop::format_scorecard(
+        interop::build_scorecard(study, communication, fuzzing));
+  }
   return 0;
 }
 
@@ -472,7 +559,8 @@ int main(int argc, char** argv) {
   if (command == "test") return cmd_test(args);
   if (command == "fuzz") return cmd_fuzz(args);
   if (command == "communicate") return cmd_communicate();
-  if (command == "scorecard") return cmd_scorecard();
+  if (command == "chaos") return cmd_chaos(args);
+  if (command == "scorecard") return cmd_scorecard(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "list") return cmd_list();
   return usage();
