@@ -1,0 +1,145 @@
+// bench_study — end-to-end study throughput with the obs pipeline.
+//
+// Runs the full-scale campaign twice — once with tracing/metrics off (the
+// pure-harness baseline) and once with both sinks live — and writes
+// BENCH_study.json: tests executed, wall seconds, tests/sec, per-phase
+// wall time from the metric histograms, and the instrumentation overhead
+// as a ratio. The overhead budget is 5% (docs/OBSERVABILITY.md); the JSON
+// records the measured number so CI history can watch it drift.
+//
+//   bench_study [--scale PCT] [--threads N] [--out FILE.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "interop/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace wsx;
+
+bool parse_count(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+void scale_config(interop::StudyConfig& config, std::size_t percent) {
+  const auto scaled = [percent](std::size_t value) {
+    return std::max<std::size_t>(1, value * percent / 100);
+  };
+  auto& java = config.java_spec;
+  java.plain_beans = scaled(java.plain_beans);
+  java.throwable_clean = scaled(java.throwable_clean);
+  java.throwable_raw = scaled(java.throwable_raw);
+  java.raw_generic_beans = scaled(java.raw_generic_beans);
+  java.anytype_array_beans = scaled(java.anytype_array_beans);
+  java.no_default_ctor = scaled(java.no_default_ctor);
+  java.abstract_classes = scaled(java.abstract_classes);
+  java.interfaces = scaled(java.interfaces);
+  java.generic_types = scaled(java.generic_types);
+  auto& dotnet = config.dotnet_spec;
+  dotnet.plain_types = scaled(dotnet.plain_types);
+  dotnet.dataset_plain = scaled(dotnet.dataset_plain);
+  dotnet.deep_nesting_clean = scaled(dotnet.deep_nesting_clean);
+  dotnet.deep_nesting_pathological = scaled(dotnet.deep_nesting_pathological);
+  dotnet.non_serializable = scaled(dotnet.non_serializable);
+  dotnet.no_default_ctor = scaled(dotnet.no_default_ctor);
+  dotnet.generic_types = scaled(dotnet.generic_types);
+  dotnet.abstract_classes = scaled(dotnet.abstract_classes);
+  dotnet.interfaces = scaled(dotnet.interfaces);
+}
+
+double seconds_for(const interop::StudyConfig& config, std::size_t& tests_out) {
+  const auto start = std::chrono::steady_clock::now();
+  const interop::StudyResult result = interop::run_study(config);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  tests_out = result.total_tests();
+  return elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t scale = 100;
+  std::size_t threads = 0;
+  std::string out_path = "BENCH_study.json";
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], scale)) return 2;
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], threads)) return 2;
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      std::cerr << "usage: bench_study [--scale PCT] [--threads N] [--out FILE.json]\n";
+      return 2;
+    }
+  }
+
+  interop::StudyConfig config;
+  if (scale != 100) scale_config(config, scale);
+  config.threads = threads;
+
+  // Warm-up run: touches every lazily-built catalog/framework singleton so
+  // neither measured run pays first-use costs.
+  std::size_t tests = 0;
+  (void)seconds_for(config, tests);
+
+  // Baseline: instrumentation compiled in, sinks off (the default for every
+  // production caller).
+  const double plain_seconds = seconds_for(config, tests);
+
+  // Instrumented: both sinks live, same work.
+  obs::Tracer tracer;
+  obs::Registry registry;
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  std::size_t traced_tests = 0;
+  const double traced_seconds = seconds_for(config, traced_tests);
+
+  const double tests_per_sec =
+      plain_seconds > 0.0 ? static_cast<double>(tests) / plain_seconds : 0.0;
+  const double overhead =
+      plain_seconds > 0.0 ? traced_seconds / plain_seconds - 1.0 : 0.0;
+
+  json::ObjectWriter phases;
+  for (const char* name :
+       {"study.phase.prepare_us", "study.phase.deploy_us", "study.phase.wsi_check_us",
+        "study.phase.testing_us"}) {
+    phases.field(name, static_cast<std::size_t>(registry.histogram(name).sum()));
+  }
+  json::ObjectWriter doc;
+  doc.field("benchmark", "study");
+  doc.field("scale_percent", scale);
+  doc.field("tests", tests);
+  doc.field("seconds", plain_seconds);
+  doc.field("tests_per_sec", tests_per_sec);
+  doc.field("traced_seconds", traced_seconds);
+  doc.field("instrumentation_overhead", overhead);
+  doc.raw_field("phase_sum_us", phases.str());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_study: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << doc.str() << "\n";
+  std::cout << "study: " << tests << " tests in " << plain_seconds << " s ("
+            << static_cast<std::size_t>(tests_per_sec) << " tests/s), traced "
+            << traced_seconds << " s (overhead "
+            << static_cast<long long>(overhead * 1000.0) / 10.0 << "%) -> " << out_path
+            << "\n";
+  return 0;
+}

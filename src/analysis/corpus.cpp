@@ -1,12 +1,11 @@
 #include "analysis/corpus.hpp"
 
 #include <algorithm>
-#include <future>
 #include <map>
 #include <set>
-#include <thread>
 
 #include "catalog/java_catalog.hpp"
+#include "common/pool.hpp"
 #include "frameworks/registry.hpp"
 #include "frameworks/server.hpp"
 #include "interop/study.hpp"
@@ -51,12 +50,6 @@ ServiceAnalysis lint_one(const LintJob& job, const RuleConfig& rules) {
   return analysis;
 }
 
-std::size_t worker_count(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 1 : hardware;
-}
-
 }  // namespace
 
 bool ServiceAnalysis::flagged_by(std::string_view rule_id) const {
@@ -96,7 +89,11 @@ std::string CorpusReport::summary() const {
 CorpusReport analyze_corpus(const CorpusOptions& options) {
   CorpusReport report;
 
+  obs::Span run_span(options.tracer, "lint-corpus");
+
   // Preparation: the same corpus the study deploys (§III.A).
+  obs::Span deploy_span(options.tracer, "pass:deploy", run_span);
+  obs::ScopedTimer deploy_timer = obs::timer(options.metrics, "lint.phase.deploy_us");
   const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(options.java_spec);
   const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(options.dotnet_spec);
   const std::vector<frameworks::ServiceSpec> java_services =
@@ -131,31 +128,51 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
       jobs.push_back(std::move(job));
     }
   }
+  obs::add(options.metrics, "lint.services_total", jobs.size());
+  obs::add(options.metrics, "lint.deploy_refusals", report.deploy_refusals);
+  deploy_span.annotate("services", jobs.size());
+  deploy_span.annotate("refused", report.deploy_refusals);
+  deploy_span.end();
+  deploy_timer.stop();
 
   // Parallel lint: fixed slices merged in index order, so the report is
   // identical for any --jobs value.
-  report.services.resize(jobs.size());
-  const std::size_t workers = std::min(worker_count(options.jobs), std::max<std::size_t>(jobs.size(), 1));
-  const std::size_t chunk = (jobs.size() + workers - 1) / std::max<std::size_t>(workers, 1);
+  obs::Span lint_span(options.tracer, "pass:lint", run_span);
+  obs::ScopedTimer lint_timer = obs::timer(options.metrics, "lint.phase.lint_us");
   const auto run_slice = [&](std::size_t begin, std::size_t end) {
+    std::vector<ServiceAnalysis> slice;
+    slice.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      report.services[i] = lint_one(jobs[i], options.rules);
+      obs::ScopedTimer one = obs::timer(options.metrics, "lint.step.lint_us");
+      slice.push_back(lint_one(jobs[i], options.rules));
     }
+    return slice;
   };
-  if (workers <= 1 || jobs.size() <= 1) {
-    run_slice(0, jobs.size());
-  } else {
-    std::vector<std::future<void>> futures;
-    for (std::size_t begin = 0; begin < jobs.size(); begin += chunk) {
-      futures.push_back(std::async(std::launch::async, run_slice, begin,
-                                   std::min(jobs.size(), begin + chunk)));
-    }
-    for (std::future<void>& future : futures) future.get();
+  PoolStats pool_stats;
+  std::vector<std::vector<ServiceAnalysis>> slices =
+      parallel_slices(jobs.size(), options.jobs, run_slice, &pool_stats);
+  if (options.metrics != nullptr) {
+    options.metrics->gauge("lint.pool.workers").set_max(
+        static_cast<std::int64_t>(pool_stats.workers));
+    options.metrics->gauge("lint.pool.max_queue_depth").set_max(
+        static_cast<std::int64_t>(pool_stats.max_queue_depth));
   }
+  report.services.reserve(jobs.size());
+  for (std::vector<ServiceAnalysis>& slice : slices) {
+    for (ServiceAnalysis& service : slice) {
+      obs::add(options.metrics, "lint.findings_total", service.findings.size());
+      report.services.push_back(std::move(service));
+    }
+  }
+  lint_span.annotate("linted", report.services.size());
+  lint_span.end();
+  lint_timer.stop();
 
   // Failure-prediction join: replay the study over the same corpus and mark
   // services at least one client errored against (§III.B).
   if (options.join_study) {
+    obs::Span join_span(options.tracer, "pass:join", run_span);
+    obs::ScopedTimer join_timer = obs::timer(options.metrics, "lint.phase.join_us");
     report.joined = true;
     std::map<std::string, bool, std::less<>> errored;  // server/service → error
     interop::StudyConfig study;
@@ -175,6 +192,8 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
   }
 
   // Per-rule tallies in registration order.
+  obs::Span tally_span(options.tracer, "pass:tally", run_span);
+  obs::ScopedTimer tally_timer = obs::timer(options.metrics, "lint.phase.tally_us");
   for (const auto& rule : RuleRegistry::builtin().rules()) {
     const RuleInfo& info = rule->info();
     if (!options.rules.enabled(info)) continue;
@@ -191,6 +210,9 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
       if (flagged && service.downstream_error) ++stats.true_positives;
       if (flagged && !service.downstream_error) ++stats.false_positives;
       if (!flagged && service.downstream_error) ++stats.false_negatives;
+    }
+    if (stats.findings != 0) {
+      obs::add(options.metrics, "lint.rule." + stats.rule_id, stats.findings);
     }
     report.rules.push_back(std::move(stats));
   }

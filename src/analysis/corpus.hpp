@@ -14,6 +14,8 @@
 #include "catalog/dotnet_catalog.hpp"
 #include "catalog/java_catalog.hpp"
 #include "frameworks/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wsx::analysis {
 
@@ -28,6 +30,12 @@ struct CorpusOptions {
   /// precision/recall against downstream generation/compilation errors.
   bool join_study = false;
   std::size_t study_threads = 0;  ///< 0 = hardware concurrency
+
+  /// Observability sinks, both optional (null = off). Spans: run → pass
+  /// (deploy/lint/join/tally); metrics use the "lint." prefix, including
+  /// one "lint.rule.<ID>" hit counter per firing rule.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Lint outcome of one deployed service.

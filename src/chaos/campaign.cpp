@@ -1,13 +1,12 @@
 #include "chaos/campaign.hpp"
 
-#include <future>
 #include <iomanip>
 #include <sstream>
-#include <thread>
 
 #include "chaos/clock.hpp"
 #include "chaos/wire.hpp"
 #include "common/json.hpp"
+#include "common/pool.hpp"
 #include "compilers/compiler.hpp"
 #include "frameworks/invocation.hpp"
 #include "frameworks/registry.hpp"
@@ -232,6 +231,7 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
   result.plan = config.plan;
   result.calls_per_pair = config.calls_per_pair;
 
+  obs::Span run_span(config.tracer, "chaos");
   const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
   const catalog::TypeCatalog dotnet_catalog =
       catalog::make_dotnet_catalog(config.dotnet_spec);
@@ -257,6 +257,10 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
       server_result.cells.push_back(std::move(cell));
     }
 
+    // One chaos round per server: every client chain against its services.
+    obs::Span round_span(config.tracer, "round:" + server_result.server, run_span);
+    obs::Span deploy_span(config.tracer, "phase:deploy", round_span);
+    obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "chaos.phase.deploy_us");
     std::vector<frameworks::DeployedService> deployed;
     for (const catalog::TypeInfo& type : catalog.types()) {
       Result<frameworks::DeployedService> service =
@@ -264,6 +268,10 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
       if (service.ok()) deployed.push_back(std::move(service.value()));
     }
     server_result.services_deployed = deployed.size();
+    obs::add(config.metrics, "chaos.services_deployed", deployed.size());
+    deploy_span.annotate("deployed", deployed.size());
+    deploy_span.end();
+    deploy_timer.stop();
 
     // Invocations parallelize over services; every chain (one client against
     // one endpoint) runs sequentially inside its slice with its own virtual
@@ -277,10 +285,8 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
       std::size_t breaker_trips = 0;
       std::uint64_t virtual_ms = 0;
     };
-    const std::size_t worker_count = std::max<std::size_t>(
-        1, config.jobs != 0 ? config.jobs : std::thread::hardware_concurrency());
-    const std::size_t chunk =
-        (deployed.size() + worker_count - 1) / std::max<std::size_t>(1, worker_count);
+    obs::Span calls_span(config.tracer, "phase:calls", round_span);
+    obs::ScopedTimer calls_timer = obs::timer(config.metrics, "chaos.phase.calls_us");
     const auto run_slice = [&](std::size_t begin, std::size_t end) {
       std::vector<PartialCell> partial(clients.size());
       for (std::size_t index = begin; index < end; ++index) {
@@ -309,6 +315,9 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
             ++cell.outcomes[static_cast<std::size_t>(record.outcome)];
             cell.retransmits += record.retransmits;
             cell.faulted_attempts += record.faulted_attempts;
+            obs::add(config.metrics, "chaos.calls_total");
+            obs::add(config.metrics, "chaos.retransmits", record.retransmits);
+            obs::add(config.metrics, "chaos.faults_injected", record.faulted_attempts);
             if (record.faulted_attempts > 0) {
               ++cell.challenged;
               if (record.outcome == ChaosOutcome::kOk ||
@@ -324,13 +333,16 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
       }
       return partial;
     };
-    std::vector<std::future<std::vector<PartialCell>>> futures;
-    for (std::size_t begin = 0; begin < deployed.size(); begin += chunk) {
-      futures.push_back(std::async(std::launch::async, run_slice, begin,
-                                   std::min(deployed.size(), begin + chunk)));
+    PoolStats pool_stats;
+    const std::vector<std::vector<PartialCell>> partials =
+        parallel_slices(deployed.size(), config.jobs, run_slice, &pool_stats);
+    if (config.metrics != nullptr) {
+      config.metrics->gauge("chaos.pool.workers").set_max(
+          static_cast<std::int64_t>(pool_stats.workers));
+      config.metrics->gauge("chaos.pool.max_queue_depth").set_max(
+          static_cast<std::int64_t>(pool_stats.max_queue_depth));
     }
-    for (auto& future : futures) {
-      const std::vector<PartialCell> partial = future.get();
+    for (const std::vector<PartialCell>& partial : partials) {
       for (std::size_t i = 0; i < clients.size(); ++i) {
         ChaosCell& cell = server_result.cells[i];
         for (std::size_t outcome = 0; outcome < kChaosOutcomeCount; ++outcome) {
@@ -344,6 +356,17 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
         cell.virtual_ms += partial[i].virtual_ms;
       }
     }
+    for (const ChaosCell& cell : server_result.cells) {
+      obs::add(config.metrics, "chaos.breaker_trips", cell.breaker_trips);
+      obs::add(config.metrics, "chaos.challenged", cell.challenged);
+      obs::add(config.metrics, "chaos.challenged_ok", cell.challenged_ok);
+      obs::Span cell_span(config.tracer, "cell:" + cell.client, calls_span);
+      cell_span.annotate("attempted", cell.attempted());
+      cell_span.annotate("challenged", cell.challenged);
+      cell_span.annotate("retransmits", cell.retransmits);
+    }
+    calls_span.end();
+    calls_timer.stop();
     result.servers.push_back(std::move(server_result));
   }
   return result;

@@ -23,6 +23,8 @@
 #include "catalog/java_catalog.hpp"
 #include "chaos/fault.hpp"
 #include "chaos/policy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wsx::chaos {
 
@@ -92,6 +94,11 @@ struct ChaosConfig {
   /// early call can fail-fast later ones.
   std::size_t calls_per_pair = 1;
   std::size_t jobs = 0;  ///< worker threads; 0 = hardware concurrency
+
+  /// Observability sinks, both optional (null = off). Spans: run → round
+  /// (per server) → phase → cell; metrics use the "chaos." prefix.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs the chaos campaign. Output is a pure function of the config —

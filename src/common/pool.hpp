@@ -1,0 +1,193 @@
+// pool.hpp — the shared instrumented worker pool behind every campaign.
+//
+// Before this header existed, study, communication, chaos and lint-corpus
+// each hand-rolled a std::async slice loop with its own worker-count
+// arithmetic. They now all resolve thread counts through resolve_workers()
+// (so `--jobs 0` / `threads=0` means the same thing everywhere) and run
+// their slices on a WorkerPool, which counts tasks, failures and queue
+// depth so the observability layer can report them.
+//
+// The pool is deliberately work-stealing-free: slices are fixed at submit
+// time and merged in slice order, which is what keeps every campaign's
+// output independent of the worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wsx {
+
+/// Hard ceiling on explicit worker counts. Requests above this are a usage
+/// error (a typo'd `--jobs 10000` would otherwise exhaust the process).
+inline constexpr std::size_t kMaxWorkers = 256;
+
+/// The one thread-count resolution rule: 0 means "ask the hardware", and
+/// the result is always at least 1 (hardware_concurrency may report 0).
+inline std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+/// True when `requested` is an acceptable --jobs/threads value: 0 (auto)
+/// or an explicit count no larger than kMaxWorkers.
+inline bool valid_worker_count(std::size_t requested) { return requested <= kMaxWorkers; }
+
+/// What one pool run observed; feeds the obs metric registry.
+struct PoolStats {
+  std::size_t workers = 0;          ///< resolved thread count
+  std::size_t tasks_run = 0;        ///< tasks that completed (failed included)
+  std::size_t tasks_failed = 0;     ///< tasks that threw
+  std::size_t max_queue_depth = 0;  ///< queued-tasks high-water mark
+};
+
+/// Fixed-size thread pool. Tasks are run in FIFO order; a task that throws
+/// records the exception (surfaced by wait()) instead of terminating, so a
+/// failing slice can never hang or kill the campaign silently.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t requested_workers) {
+    stats_.workers = resolve_workers(requested_workers);
+    threads_.reserve(stats_.workers);
+    for (std::size_t i = 0; i < stats_.workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+      if (queue_.size() > stats_.max_queue_depth) stats_.max_queue_depth = queue_.size();
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task threw (in submission order of completion).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_ != nullptr) {
+      const std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Stats snapshot; call after wait() for final numbers.
+  PoolStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.tasks_run;
+        if (error != nullptr) {
+          ++stats_.tasks_failed;
+          if (first_error_ == nullptr) first_error_ = error;
+        }
+        --pending_;
+      }
+      if (pending_ == 0) idle_.notify_all();
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  PoolStats stats_;
+};
+
+/// Runs `slice_fn(begin, end)` over [0, count) in contiguous slices — one
+/// per worker, the partition every campaign previously computed by hand —
+/// and returns the slice results *in slice order*, so merges are
+/// deterministic for any worker count. The first exception a slice threw
+/// is rethrown after all slices finish. `stats_out`, when non-null,
+/// receives the pool's instrumentation.
+template <typename F>
+auto parallel_slices(std::size_t count, std::size_t requested_workers, F&& slice_fn,
+                     PoolStats* stats_out = nullptr)
+    -> std::vector<std::invoke_result_t<F&, std::size_t, std::size_t>> {
+  using R = std::invoke_result_t<F&, std::size_t, std::size_t>;
+  static_assert(!std::is_void_v<R>,
+                "parallel_slices expects slice_fn to return its partial result");
+  const std::size_t workers = std::min(resolve_workers(requested_workers),
+                                       count == 0 ? std::size_t{1} : count);
+  const std::size_t chunk = count == 0 ? 1 : (count + workers - 1) / workers;
+
+  std::vector<std::size_t> begins;
+  for (std::size_t begin = 0; begin < count; begin += chunk) begins.push_back(begin);
+  std::vector<R> results(begins.size());
+
+  if (workers <= 1 || begins.size() <= 1) {
+    // Run inline — same code path, no threads; stats still reported.
+    for (std::size_t i = 0; i < begins.size(); ++i) {
+      results[i] = slice_fn(begins[i], std::min(count, begins[i] + chunk));
+    }
+    if (stats_out != nullptr) {
+      stats_out->workers = 1;
+      stats_out->tasks_run = begins.size();
+      stats_out->tasks_failed = 0;
+      stats_out->max_queue_depth = 0;
+    }
+    return results;
+  }
+
+  WorkerPool pool(workers);
+  for (std::size_t i = 0; i < begins.size(); ++i) {
+    pool.submit([&, i] {
+      results[i] = slice_fn(begins[i], std::min(count, begins[i] + chunk));
+    });
+  }
+  pool.wait();
+  if (stats_out != nullptr) *stats_out = pool.stats();
+  return results;
+}
+
+}  // namespace wsx

@@ -1,11 +1,9 @@
 #include "interop/communication.hpp"
 
-#include <atomic>
-#include <future>
 #include <iomanip>
 #include <sstream>
-#include <thread>
 
+#include "common/pool.hpp"
 #include "compilers/compiler.hpp"
 #include "frameworks/invocation.hpp"
 #include "frameworks/registry.hpp"
@@ -121,6 +119,7 @@ InvocationOutcome invoke_once(const frameworks::ServerFramework& server,
 CommunicationResult run_communication_study(const StudyConfig& config) {
   CommunicationResult result;
 
+  obs::Span run_span(config.tracer, "communication");
   const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
   const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(config.dotnet_spec);
   const auto servers = frameworks::make_servers();
@@ -141,8 +140,12 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       server_result.cells.push_back(std::move(cell));
     }
 
+    obs::Span server_span(config.tracer, "server:" + server_result.server, run_span);
+
     // Deployment is cheap and sequential; invocations parallelize over
     // services (the same plan as the main campaign runner).
+    obs::Span deploy_span(config.tracer, "phase:deploy", server_span);
+    obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "comm.phase.deploy_us");
     std::vector<frameworks::DeployedService> deployed;
     for (const catalog::TypeInfo& type : catalog.types()) {
       Result<frameworks::DeployedService> service =
@@ -150,6 +153,10 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       if (service.ok()) deployed.push_back(std::move(service.value()));
     }
     server_result.services_deployed = deployed.size();
+    obs::add(config.metrics, "comm.services_deployed", deployed.size());
+    deploy_span.annotate("deployed", deployed.size());
+    deploy_span.end();
+    deploy_timer.stop();
 
     struct PartialCell {
       std::array<std::size_t, kCommOutcomeCount> outcomes{};
@@ -160,10 +167,8 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       std::vector<PartialCell> cells;
       std::size_t sniffed = 0;
     };
-    const std::size_t worker_count = std::max<std::size_t>(
-        1, config.threads != 0 ? config.threads : std::thread::hardware_concurrency());
-    const std::size_t chunk =
-        (deployed.size() + worker_count - 1) / std::max<std::size_t>(1, worker_count);
+    obs::Span invoke_span(config.tracer, "phase:invoke", server_span);
+    obs::ScopedTimer invoke_timer = obs::timer(config.metrics, "comm.phase.invoke_us");
     const auto run_slice = [&](std::size_t begin, std::size_t end) {
       Partial partial;
       partial.cells.resize(clients.size());
@@ -173,6 +178,11 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
               *server, deployed[index], *clients[i], client_compilers[i].get(),
               &partial.sniffed);
           ++partial.cells[i].outcomes[static_cast<std::size_t>(result.outcome)];
+          obs::add(config.metrics, "comm.invocations_total");
+          if (result.outcome != CommOutcome::kBlockedEarlier &&
+              result.outcome != CommOutcome::kOk) {
+            obs::add(config.metrics, "comm.failures");
+          }
           if (result.outcome == CommOutcome::kTransportError) {
             if (result.http_status >= 400 && result.http_status < 500) {
               ++partial.cells[i].transport_4xx;
@@ -184,13 +194,16 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       }
       return partial;
     };
-    std::vector<std::future<Partial>> futures;
-    for (std::size_t begin = 0; begin < deployed.size(); begin += chunk) {
-      futures.push_back(std::async(std::launch::async, run_slice, begin,
-                                   std::min(deployed.size(), begin + chunk)));
+    PoolStats pool_stats;
+    const std::vector<Partial> partials =
+        parallel_slices(deployed.size(), config.threads, run_slice, &pool_stats);
+    if (config.metrics != nullptr) {
+      config.metrics->gauge("comm.pool.workers").set_max(
+          static_cast<std::int64_t>(pool_stats.workers));
+      config.metrics->gauge("comm.pool.max_queue_depth").set_max(
+          static_cast<std::int64_t>(pool_stats.max_queue_depth));
     }
-    for (std::future<Partial>& future : futures) {
-      const Partial partial = future.get();
+    for (const Partial& partial : partials) {
       result.sniffed_violations += partial.sniffed;
       for (std::size_t i = 0; i < clients.size(); ++i) {
         for (std::size_t outcome = 0; outcome < kCommOutcomeCount; ++outcome) {
@@ -200,8 +213,16 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
         server_result.cells[i].transport_5xx += partial.cells[i].transport_5xx;
       }
     }
+    for (const CommCell& cell : server_result.cells) {
+      obs::Span cell_span(config.tracer, "cell:" + cell.client, invoke_span);
+      cell_span.annotate("attempted", cell.attempted());
+      cell_span.annotate("ok", cell.count(CommOutcome::kOk));
+    }
+    invoke_span.end();
+    invoke_timer.stop();
     result.servers.push_back(std::move(server_result));
   }
+  obs::add(config.metrics, "comm.sniffed_violations", result.sniffed_violations);
   return result;
 }
 

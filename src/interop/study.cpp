@@ -1,11 +1,10 @@
 #include "interop/study.hpp"
 
 #include <algorithm>
-#include <future>
 #include <mutex>
-#include <thread>
 
 #include "common/json.hpp"
+#include "common/pool.hpp"
 #include "common/strings.hpp"
 #include "compilers/compiler.hpp"
 #include "frameworks/registry.hpp"
@@ -35,6 +34,7 @@ struct TestOutcome {
   bool generation_error = false;
   bool compilation_warning = false;
   bool compilation_error = false;
+  bool artifacts_generated = false;
   std::vector<Diagnostic> errors;  ///< error diagnostics for sampling
 
   bool any_error() const { return generation_error || compilation_error; }
@@ -42,11 +42,14 @@ struct TestOutcome {
 
 TestOutcome run_one_test(const frameworks::DeployedService& service,
                          const frameworks::ClientFramework& client,
-                         const compilers::Compiler* compiler) {
+                         const compilers::Compiler* compiler,
+                         obs::Registry* metrics) {
   TestOutcome outcome;
 
   // Step (b): client artifact generation.
+  obs::ScopedTimer generation_timer = obs::timer(metrics, "study.step.generation_us");
   frameworks::GenerationResult generation = client.generate(service.wsdl_text);
+  generation_timer.stop();
   outcome.generation_warning = generation.diagnostics.has_warnings();
   outcome.generation_error = generation.diagnostics.has_errors();
   for (const Diagnostic& diagnostic : generation.diagnostics.diagnostics()) {
@@ -57,6 +60,7 @@ TestOutcome run_one_test(const frameworks::DeployedService& service,
   // Erratic tools may leave partial artifacts behind even after reporting
   // an error (§III.B.c); when they do, the artifacts proceed to step (c).
   if (!generation.produced_artifacts()) return outcome;
+  outcome.artifacts_generated = true;
 
   // Step (c): compilation — or, for dynamic clients, the instantiation
   // check, whose outcome the study reports under the generation step
@@ -74,7 +78,9 @@ TestOutcome run_one_test(const frameworks::DeployedService& service,
     return outcome;
   }
 
+  obs::ScopedTimer compilation_timer = obs::timer(metrics, "study.step.compilation_us");
   const DiagnosticSink compile_diagnostics = compiler->compile(*generation.artifacts);
+  compilation_timer.stop();
   outcome.compilation_warning = compile_diagnostics.has_warnings();
   outcome.compilation_error = compile_diagnostics.has_errors();
   for (const Diagnostic& diagnostic : compile_diagnostics.diagnostics()) {
@@ -169,13 +175,17 @@ ServerResult run_server_campaign(
     const frameworks::ServerFramework& server,
     const std::vector<frameworks::ServiceSpec>& services,
     const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
-    const StudyConfig& config, StudyResult* cross_totals) {
+    const StudyConfig& config, StudyResult* cross_totals, obs::SpanId parent_span) {
   ServerResult result;
   result.server = server.name();
   result.application_server = server.application_server();
   result.services_created = services.size();
 
+  obs::Span server_span(config.tracer, "server:" + result.server, parent_span);
+
   // --- Testing-phase step (a): description generation at deployment. ---
+  obs::Span deploy_span(config.tracer, "phase:deploy", server_span);
+  obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "study.phase.deploy_us");
   std::vector<frameworks::DeployedService> deployed;
   std::vector<bool> flagged;  // failed WS-I or unusable (zero operations)
   deployed.reserve(services.size());
@@ -188,8 +198,17 @@ ServerResult run_server_campaign(
     deployed.push_back(std::move(deployment.value()));
   }
   result.services_deployed = deployed.size();
+  obs::add(config.metrics, "study.services_created", services.size());
+  obs::add(config.metrics, "study.services_deployed", deployed.size());
+  obs::add(config.metrics, "study.deployment_refusals", result.deployment_refusals);
+  deploy_span.annotate("deployed", result.services_deployed);
+  deploy_span.annotate("refused", result.deployment_refusals);
+  deploy_span.end();
+  deploy_timer.stop();
 
   // WS-I Basic Profile check of every published description (§III.B.d).
+  obs::Span wsi_span(config.tracer, "phase:wsi-check", server_span);
+  obs::ScopedTimer wsi_timer = obs::timer(config.metrics, "study.phase.wsi_check_us");
   flagged.resize(deployed.size(), false);
   for (std::size_t i = 0; i < deployed.size(); ++i) {
     const wsi::ComplianceReport report = wsi::check(deployed[i].wsdl);
@@ -199,6 +218,10 @@ ServerResult run_server_campaign(
     flagged[i] = !report.compliant() || zero_ops;
     if (flagged[i]) ++result.description_warnings;
   }
+  obs::add(config.metrics, "study.description_flags", result.description_warnings);
+  wsi_span.annotate("flagged", result.description_warnings);
+  wsi_span.end();
+  wsi_timer.stop();
 
   // Ablation: the deploy-time WS-I gate withdraws flagged descriptions
   // before any client consumes them.
@@ -222,9 +245,8 @@ ServerResult run_server_campaign(
     client_compilers.push_back(compilers::make_compiler(client->language()));
   }
 
-  const std::size_t worker_count = std::max<std::size_t>(
-      1, config.threads != 0 ? config.threads : std::thread::hardware_concurrency());
-  const std::size_t chunk = (deployed.size() + worker_count - 1) / std::max<std::size_t>(1, worker_count);
+  obs::Span testing_span(config.tracer, "phase:testing", server_span);
+  obs::ScopedTimer testing_timer = obs::timer(config.metrics, "study.phase.testing_us");
 
   std::mutex observer_mutex;
   const auto run_slice = [&](std::size_t begin, std::size_t end) {
@@ -237,12 +259,21 @@ ServerResult run_server_campaign(
         const frameworks::ClientFramework& client = *clients[client_index];
         CellResult& cell = partial.cells[client_index];
         const TestOutcome outcome =
-            run_one_test(service, client, client_compilers[client_index].get());
+            run_one_test(service, client, client_compilers[client_index].get(),
+                         config.metrics);
         ++cell.tests;
+        obs::add(config.metrics, "study.tests_total");
+        if (outcome.artifacts_generated) {
+          obs::add(config.metrics, "study.artifacts_generated");
+        }
         if (outcome.generation_warning) ++cell.generation.warnings;
         if (outcome.generation_error) ++cell.generation.errors;
         if (outcome.compilation_warning) ++cell.compilation.warnings;
         if (outcome.compilation_error) ++cell.compilation.errors;
+        if (outcome.generation_error) obs::add(config.metrics, "study.generation_errors");
+        if (outcome.compilation_error) {
+          obs::add(config.metrics, "study.compilation_errors");
+        }
         if (cell.samples.size() < config.samples_per_cell && !outcome.errors.empty()) {
           cell.samples.push_back(outcome.errors.front());
         }
@@ -292,10 +323,14 @@ ServerResult run_server_campaign(
     return partial;
   };
 
-  std::vector<std::future<Partial>> futures;
-  for (std::size_t begin = 0; begin < deployed.size(); begin += chunk) {
-    const std::size_t end = std::min(deployed.size(), begin + chunk);
-    futures.push_back(std::async(std::launch::async, run_slice, begin, end));
+  PoolStats pool_stats;
+  const std::vector<Partial> partials =
+      parallel_slices(deployed.size(), config.threads, run_slice, &pool_stats);
+  if (config.metrics != nullptr) {
+    config.metrics->gauge("study.pool.workers").set_max(
+        static_cast<std::int64_t>(pool_stats.workers));
+    config.metrics->gauge("study.pool.max_queue_depth").set_max(
+        static_cast<std::int64_t>(pool_stats.max_queue_depth));
   }
 
   // Deterministic merge, in slice order.
@@ -305,8 +340,7 @@ ServerResult run_server_campaign(
     result.cells[i].client_language = clients[i]->language();
     result.cells[i].compiled = clients[i]->requires_compilation();
   }
-  for (std::future<Partial>& future : futures) {
-    const Partial partial = future.get();
+  for (const Partial& partial : partials) {
     for (std::size_t i = 0; i < clients.size(); ++i) {
       CellResult& cell = result.cells[i];
       const CellResult& part = partial.cells[i];
@@ -330,13 +364,29 @@ ServerResult run_server_campaign(
     }
   }
   if (cross_totals != nullptr) cross_totals->flagged_services += result.description_warnings;
+
+  // One span per server×client cell, annotated with its Table III numbers.
+  for (const CellResult& cell : result.cells) {
+    obs::Span cell_span(config.tracer, "cell:" + cell.client, testing_span);
+    cell_span.annotate("tests", cell.tests);
+    cell_span.annotate("generation_errors", cell.generation.errors);
+    cell_span.annotate("compilation_errors", cell.compilation.errors);
+  }
+  testing_span.end();
+  testing_timer.stop();
   return result;
 }
 
 StudyResult run_study(const StudyConfig& config) {
   StudyResult result;
 
+  obs::Span run_span(config.tracer, "study");
+  const std::uint64_t started_us =
+      config.metrics != nullptr ? config.metrics->clock().now_us() : 0;
+
   // Preparation phase: catalogs and services (§III.A).
+  obs::Span prepare_span(config.tracer, "phase:prepare", run_span);
+  obs::ScopedTimer prepare_timer = obs::timer(config.metrics, "study.phase.prepare_us");
   const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
   const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(config.dotnet_spec);
   const std::vector<frameworks::ServiceSpec> java_services =
@@ -346,13 +396,25 @@ StudyResult run_study(const StudyConfig& config) {
 
   const auto servers = frameworks::make_servers();
   const auto clients = frameworks::make_clients();
+  prepare_span.end();
+  prepare_timer.stop();
 
   for (const auto& server : servers) {
     const bool is_dotnet = server->language() == "C#";
     const std::vector<frameworks::ServiceSpec>& services =
         is_dotnet ? dotnet_services : java_services;
     result.servers.push_back(
-        run_server_campaign(*server, services, clients, config, &result));
+        run_server_campaign(*server, services, clients, config, &result, run_span.id()));
+  }
+
+  if (config.metrics != nullptr) {
+    // Throughput gauge (runtime-dependent, excluded from deterministic
+    // exports; zero under a frozen clock).
+    const std::uint64_t elapsed_us = config.metrics->clock().now_us() - started_us;
+    const std::size_t tests = result.total_tests();
+    config.metrics->gauge("study.tests_per_sec")
+        .set(elapsed_us == 0 ? 0
+                             : static_cast<std::int64_t>(tests * 1000000 / elapsed_us));
   }
   return result;
 }

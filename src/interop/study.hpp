@@ -19,6 +19,8 @@
 #include "common/diagnostics.hpp"
 #include "frameworks/client.hpp"
 #include "frameworks/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wsx::interop {
 
@@ -141,13 +143,22 @@ struct StudyConfig {
   /// Optional per-test observer (e.g. a JSON-lines logger). Called from
   /// worker threads under an internal mutex; keep it cheap.
   std::function<void(const TestRecord&)> observer;
+
+  /// Observability sinks, both optional (null = off, zero overhead). The
+  /// tracer receives the span tree (run → server → phase → cell); the
+  /// registry receives counters and per-step wall-time histograms under
+  /// the "study."/"comm." prefixes (see docs/OBSERVABILITY.md).
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs one server's campaign: deploy every service, run every client.
+/// `parent_span` nests the campaign's spans under the run's root span.
 ServerResult run_server_campaign(const frameworks::ServerFramework& server,
                                  const std::vector<frameworks::ServiceSpec>& services,
                                  const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
-                                 const StudyConfig& config, StudyResult* cross_totals = nullptr);
+                                 const StudyConfig& config, StudyResult* cross_totals = nullptr,
+                                 obs::SpanId parent_span = obs::kNoSpan);
 
 /// Runs the full study: both catalogs, all three servers, all 11 clients.
 StudyResult run_study(const StudyConfig& config = {});

@@ -1,0 +1,50 @@
+// clock.hpp — the time source behind wsx::obs.
+//
+// Tracing and metrics must be *verifiably deterministic*: the span tree
+// shape and every exported counter are pure functions of the campaign
+// inputs, and only timestamps/durations may vary between runs. All
+// observability timestamps therefore flow through this interface — the
+// production SteadyClock reads the monotonic clock, while FixedClock is
+// the virtual-clock hook the determinism test pack installs so that two
+// runs at different worker counts export byte-identical JSON.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wsx::obs {
+
+/// Monotonic microsecond time source. Implementations must be safe to
+/// call from multiple threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_us() const = 0;
+};
+
+/// Wall-clock implementation on std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_us() const override {
+    const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(since_epoch).count());
+  }
+};
+
+/// Virtual clock for determinism tests: always reports `frozen_at`. With a
+/// frozen clock every span duration and every duration histogram sum is
+/// exactly zero, so exports cannot differ by scheduling.
+class FixedClock final : public Clock {
+ public:
+  explicit FixedClock(std::uint64_t frozen_at = 0) : frozen_at_(frozen_at) {}
+  std::uint64_t now_us() const override { return frozen_at_; }
+
+ private:
+  std::uint64_t frozen_at_;
+};
+
+/// The process-wide default time source (a SteadyClock).
+const Clock& steady_clock();
+
+}  // namespace wsx::obs

@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace wsx::obs {
+
+const Clock& steady_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+const std::uint64_t Histogram::kBounds[Histogram::kBucketCount - 1] = {
+    100, 1000, 10000, 100000, 1000000, 5000000, 10000000};
+
+void Histogram::observe(std::uint64_t value_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || value_us < min_) min_ = value_us;
+  if (value_us > max_) max_ = value_us;
+  ++count_;
+  sum_ += value_us;
+  std::size_t index = 0;
+  while (index < kBucketCount - 1 && value_us > kBounds[index]) ++index;
+  ++buckets_[index];
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::uint64_t Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+std::uint64_t Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+std::uint64_t Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index < kBucketCount ? buckets_[index] : 0;
+}
+
+Registry::Registry(const Clock* clock)
+    : clock_(clock != nullptr ? clock : &steady_clock()) {}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+ScopedTimer Registry::timer(std::string_view name) {
+  return ScopedTimer(&histogram(name), clock_);
+}
+
+std::string Registry::to_json(Export mode) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  json::ObjectWriter counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.field(name, static_cast<std::size_t>(counter->value()));
+  }
+  json::ObjectWriter histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    json::ObjectWriter entry;
+    entry.field("count", static_cast<std::size_t>(histogram->count()));
+    entry.field("sum_us", static_cast<std::size_t>(histogram->sum()));
+    if (mode == Export::kFull) {
+      entry.field("min_us", static_cast<std::size_t>(histogram->min()));
+      entry.field("max_us", static_cast<std::size_t>(histogram->max()));
+      json::ArrayWriter buckets;
+      for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        buckets.raw_item(std::to_string(histogram->bucket(i)));
+      }
+      entry.raw_field("buckets", buckets.str());
+    }
+    histograms.raw_field(name, entry.str());
+  }
+  json::ObjectWriter root;
+  root.raw_field("counters", counters.str());
+  if (mode == Export::kFull) {
+    json::ObjectWriter gauges;
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.field(name, static_cast<long long>(gauge->value()));
+    }
+    root.raw_field("gauges", gauges.str());
+  }
+  root.raw_field("histograms", histograms.str());
+  return root.str();
+}
+
+std::string Registry::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " = " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + " = " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::uint64_t count = histogram->count();
+    out += name + ": n=" + std::to_string(count) +
+           " sum=" + std::to_string(histogram->sum()) + "us";
+    if (count != 0) {
+      out += " avg=" + std::to_string(histogram->sum() / count) + "us" +
+             " max=" + std::to_string(histogram->max()) + "us";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ScopedTimer::stop() {
+  if (histogram_ == nullptr) return;
+  histogram_->observe(clock_->now_us() - start_us_);
+  histogram_ = nullptr;
+}
+
+ScopedTimer timer(Registry* registry, std::string_view name) {
+  if (registry == nullptr) return {};
+  return registry->timer(name);
+}
+
+void add(Registry* registry, std::string_view name, std::uint64_t delta) {
+  if (registry != nullptr) registry->counter(name).add(delta);
+}
+
+}  // namespace wsx::obs

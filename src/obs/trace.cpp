@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/json.hpp"
+
+namespace wsx::obs {
+namespace {
+
+/// Serialized attribute list, used both for export and as a sort
+/// tie-breaker between same-named siblings.
+std::string attributes_json(const SpanData& span) {
+  json::ObjectWriter attributes;
+  for (const auto& [key, value] : span.attributes) attributes.field(key, value);
+  return attributes.str();
+}
+
+/// Canonical traversal order: indices into `spans`, parents before
+/// children, siblings sorted by (name, attributes), with depth tracked
+/// for rendering.
+struct CanonicalNode {
+  std::size_t index;
+  std::size_t depth;
+};
+
+std::vector<CanonicalNode> canonical_order(const std::vector<SpanData>& spans) {
+  std::map<SpanId, std::size_t> by_id;
+  for (std::size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+
+  std::map<SpanId, std::vector<std::size_t>> children;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanId parent = spans[i].parent;
+    if (parent == kNoSpan || by_id.find(parent) == by_id.end()) {
+      roots.push_back(i);
+    } else {
+      children[parent].push_back(i);
+    }
+  }
+  const auto canonical_less = [&spans](std::size_t a, std::size_t b) {
+    if (spans[a].name != spans[b].name) return spans[a].name < spans[b].name;
+    return attributes_json(spans[a]) < attributes_json(spans[b]);
+  };
+  std::sort(roots.begin(), roots.end(), canonical_less);
+  for (auto& [parent, list] : children) std::sort(list.begin(), list.end(), canonical_less);
+
+  std::vector<CanonicalNode> order;
+  order.reserve(spans.size());
+  // Iterative DFS; a stack entry is (span index, depth).
+  std::vector<CanonicalNode> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) stack.push_back({*it, 0});
+  while (!stack.empty()) {
+    const CanonicalNode node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    const auto kids = children.find(spans[node.index].id);
+    if (kids == children.end()) continue;
+    for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+      stack.push_back({*it, node.depth + 1});
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Tracer::Tracer(const Clock* clock)
+    : clock_(clock != nullptr ? clock : &steady_clock()) {}
+
+SpanId Tracer::begin_span(std::string_view name, SpanId parent) {
+  const std::uint64_t now = clock_->now_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanData span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::end_span(SpanId id) {
+  if (id == kNoSpan) return;
+  const std::uint64_t now = clock_->now_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (SpanData& span : spans_) {
+    if (span.id != id || span.ended) continue;
+    span.end_us = now;
+    span.ended = true;
+    return;
+  }
+}
+
+void Tracer::annotate(SpanId id, std::string_view key, std::string_view value) {
+  if (id == kNoSpan) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (SpanData& span : spans_) {
+    if (span.id != id) continue;
+    span.attributes.emplace_back(std::string(key), std::string(value));
+    return;
+  }
+}
+
+std::vector<SpanData> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string Tracer::to_jsonl() const {
+  const std::vector<SpanData> snapshot = spans();
+  const std::vector<CanonicalNode> order = canonical_order(snapshot);
+  // Renumber ids in canonical order so the export is independent of the
+  // racy recording order.
+  std::map<SpanId, std::size_t> canonical_id;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    canonical_id[snapshot[order[i].index].id] = i + 1;
+  }
+  std::string out;
+  for (const CanonicalNode& node : order) {
+    const SpanData& span = snapshot[node.index];
+    const auto parent = canonical_id.find(span.parent);
+    json::ObjectWriter line;
+    line.field("id", canonical_id[span.id]);
+    line.field("parent", parent == canonical_id.end() ? std::size_t{0} : parent->second);
+    line.field("name", span.name);
+    line.field("start_us", static_cast<std::size_t>(span.start_us));
+    line.field("duration_us",
+               static_cast<std::size_t>(span.ended ? span.end_us - span.start_us : 0));
+    line.raw_field("attributes", attributes_json(span));
+    out += line.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::summary() const {
+  const std::vector<SpanData> snapshot = spans();
+  const std::vector<CanonicalNode> order = canonical_order(snapshot);
+  std::string out;
+  for (const CanonicalNode& node : order) {
+    const SpanData& span = snapshot[node.index];
+    out.append(node.depth * 2, ' ');
+    out += span.name;
+    if (span.ended) {
+      const std::uint64_t duration = span.end_us - span.start_us;
+      if (duration >= 1000) {
+        out += "  " + std::to_string(duration / 1000) + "." +
+               std::to_string(duration % 1000 / 100) + "ms";
+      } else {
+        out += "  " + std::to_string(duration) + "us";
+      }
+    }
+    for (const auto& [key, value] : span.attributes) {
+      out += "  " + key + "=" + value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::shape() const {
+  const std::vector<SpanData> snapshot = spans();
+  std::string out;
+  for (const CanonicalNode& node : canonical_order(snapshot)) {
+    out.append(node.depth, '.');
+    out += snapshot[node.index].name;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wsx::obs

@@ -1,0 +1,125 @@
+// trace.hpp — span-tree tracing for the study pipelines.
+//
+// A Tracer collects spans (named, nested, attributed, timestamped on an
+// obs::Clock) from any number of worker threads and exports the finished
+// tree in *canonical* form: siblings sorted by name, span ids renumbered
+// in canonical depth-first order. Canonicalization is what makes the
+// export deterministic — workers race to record spans, but two runs of
+// the same campaign at different worker counts produce the same tree
+// shape, and (under a FixedClock) byte-identical JSONL.
+//
+// Span granularity across the campaigns: one root per run, one span per
+// testing-phase step (a–d), one per server×client cell, one per chaos
+// round, one per lint pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace wsx::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One recorded span, as stored (pre-canonicalization).
+struct SpanData {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  bool ended = false;
+};
+
+class Span;
+
+/// Thread-safe span collector. Campaigns receive a `Tracer*` that may be
+/// null (tracing off); the Span RAII wrapper makes null-tracer call sites
+/// zero-cost no-ops.
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock = nullptr);
+
+  const Clock& clock() const { return *clock_; }
+
+  SpanId begin_span(std::string_view name, SpanId parent = kNoSpan);
+  void end_span(SpanId id);
+  void annotate(SpanId id, std::string_view key, std::string_view value);
+
+  /// Snapshot of every recorded span, in recording order.
+  std::vector<SpanData> spans() const;
+
+  /// One JSON object per line, canonical order. Schema per line:
+  ///   {"id":N,"parent":N,"name":S,"start_us":N,"duration_us":N,
+  ///    "attributes":{...}}
+  std::string to_jsonl() const;
+
+  /// Indented tree with durations and attributes — the compact text
+  /// summary `wsinterop profile` prints.
+  std::string summary() const;
+
+  /// Tree shape only (canonical DFS of names, no timing): the value the
+  /// determinism test pack compares across worker counts.
+  std::string shape() const;
+
+ private:
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<SpanData> spans_;
+  SpanId next_id_ = 1;
+};
+
+/// RAII span handle. Default-constructed or null-tracer spans are inert,
+/// so instrumented code never branches on whether tracing is enabled.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::string_view name)
+      : tracer_(tracer),
+        id_(tracer != nullptr ? tracer->begin_span(name) : kNoSpan) {}
+  Span(Tracer* tracer, std::string_view name, const Span& parent)
+      : tracer_(tracer),
+        id_(tracer != nullptr ? tracer->begin_span(name, parent.id()) : kNoSpan) {}
+  Span(Tracer* tracer, std::string_view name, SpanId parent)
+      : tracer_(tracer),
+        id_(tracer != nullptr ? tracer->begin_span(name, parent) : kNoSpan) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    end();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = kNoSpan;
+    return *this;
+  }
+  ~Span() { end(); }
+
+  SpanId id() const { return id_; }
+  void annotate(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, key, value);
+  }
+  void annotate(std::string_view key, std::size_t value) {
+    annotate(key, std::string_view(std::to_string(value)));
+  }
+  /// Ends the span now instead of at destruction.
+  void end() {
+    if (tracer_ != nullptr) tracer_->end_span(id_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace wsx::obs

@@ -1,0 +1,206 @@
+// json_roundtrip_property_test — seeded property tests for common/json
+// against the payloads the obs layer exports: metric documents with large
+// counts, span attributes carrying UTF-8 and control characters, and
+// deeply nested structures. Every case writes with ObjectWriter/ArrayWriter
+// and must read back identically through json::parse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wsx::json {
+namespace {
+
+/// Deterministic generator: every failure reproduces from the case index.
+std::mt19937 rng_for_case(std::uint32_t case_index) {
+  return std::mt19937(0x5eed0000u + case_index);
+}
+
+std::string random_string(std::mt19937& rng) {
+  // Mix printable ASCII, control characters, JSON specials, and multi-byte
+  // UTF-8 sequences — everything a span attribute or metric name may carry.
+  static const std::vector<std::string> utf8_samples = {
+      "\xC3\xA9",          // é
+      "\xE2\x82\xAC",      // €
+      "\xE6\xBC\xA2",      // 漢
+      "\xF0\x9F\x94\xA7",  // wrench emoji (4-byte)
+  };
+  std::uniform_int_distribution<int> length(0, 24);
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::string out;
+  const int n = length(rng);
+  for (int i = 0; i < n; ++i) {
+    switch (kind(rng)) {
+      case 0:
+        out += static_cast<char>(std::uniform_int_distribution<int>(0x20, 0x7E)(rng));
+        break;
+      case 1:
+        out += static_cast<char>(std::uniform_int_distribution<int>(0x00, 0x1F)(rng));
+        break;
+      case 2:
+        out += '"';
+        break;
+      case 3:
+        out += '\\';
+        break;
+      default:
+        out += utf8_samples[std::uniform_int_distribution<std::size_t>(
+            0, utf8_samples.size() - 1)(rng)];
+    }
+  }
+  return out;
+}
+
+TEST(JsonRoundTrip, ArbitraryStringsSurviveEscapeAndParse) {
+  for (std::uint32_t c = 0; c < 200; ++c) {
+    std::mt19937 rng = rng_for_case(c);
+    const std::string original = random_string(rng);
+    const std::string doc = "\"" + escape(original) + "\"";
+    const Result<Value> parsed = parse(doc);
+    ASSERT_TRUE(parsed.ok()) << "case " << c << ": " << parsed.error().message;
+    ASSERT_TRUE(parsed->is_string()) << "case " << c;
+    EXPECT_EQ(parsed->as_string(), original) << "case " << c;
+  }
+}
+
+TEST(JsonRoundTrip, LargeCountsSurviveExactly) {
+  // Counters are uint64 but JSON numbers read back as double; every count
+  // below 2^53 must round-trip without loss.
+  const std::vector<std::uint64_t> counts = {
+      0, 1, 999, 1u << 20, (1ull << 32) - 1, 1ull << 40, (1ull << 53) - 1};
+  ObjectWriter writer;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    writer.field("c" + std::to_string(i), static_cast<std::size_t>(counts[i]));
+  }
+  const Result<Value> parsed = parse(writer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const Value* field = parsed->find("c" + std::to_string(i));
+    ASSERT_NE(field, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(field->as_number()), counts[i]) << "index " << i;
+  }
+}
+
+TEST(JsonRoundTrip, RandomObjectsSurvive) {
+  for (std::uint32_t c = 0; c < 100; ++c) {
+    std::mt19937 rng = rng_for_case(1000 + c);
+    std::uniform_int_distribution<int> field_count(0, 12);
+    std::uniform_int_distribution<std::uint64_t> number(0, (1ull << 53) - 1);
+    const int n = field_count(rng);
+    std::vector<std::pair<std::string, std::string>> strings;
+    std::vector<std::pair<std::string, std::uint64_t>> numbers;
+    ObjectWriter writer;
+    for (int i = 0; i < n; ++i) {
+      // Key uniqueness by construction; values random.
+      const std::string key = "k" + std::to_string(i) + random_string(rng);
+      if (i % 2 == 0) {
+        const std::string value = random_string(rng);
+        writer.field(key, std::string_view(value));
+        strings.emplace_back(key, value);
+      } else {
+        const std::uint64_t value = number(rng);
+        writer.field(key, static_cast<std::size_t>(value));
+        numbers.emplace_back(key, value);
+      }
+    }
+    const Result<Value> parsed = parse(writer.str());
+    ASSERT_TRUE(parsed.ok()) << "case " << c << ": " << parsed.error().message;
+    EXPECT_EQ(parsed->size(), static_cast<std::size_t>(n));
+    for (const auto& [key, value] : strings) {
+      const Value* field = parsed->find(key);
+      ASSERT_NE(field, nullptr) << "case " << c << " key " << key;
+      EXPECT_EQ(field->as_string(), value) << "case " << c;
+    }
+    for (const auto& [key, value] : numbers) {
+      const Value* field = parsed->find(key);
+      ASSERT_NE(field, nullptr) << "case " << c << " key " << key;
+      EXPECT_EQ(static_cast<std::uint64_t>(field->as_number()), value) << "case " << c;
+    }
+  }
+}
+
+TEST(JsonRoundTrip, DeepNestingParsesUpToTheDocumentedLimit) {
+  // The parser caps nesting at 128 levels; build a 100-deep array through
+  // ArrayWriter raw_item composition and walk it back down.
+  std::string doc = "[]";
+  const int depth = 100;
+  for (int i = 1; i < depth; ++i) {
+    ArrayWriter wrapper;
+    wrapper.raw_item(doc);
+    doc = wrapper.str();
+  }
+  const Result<Value> parsed = parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Value* level = &*parsed;
+  int walked = 1;
+  while (level->is_array() && !level->items().empty()) {
+    level = &level->items()[0];
+    ++walked;
+  }
+  EXPECT_EQ(walked, depth);
+}
+
+TEST(JsonRoundTrip, BeyondLimitNestingFailsCleanly) {
+  std::string doc = "[]";
+  for (int i = 0; i < 200; ++i) doc = "[" + doc + "]";
+  const Result<Value> parsed = parse(doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "json.too-deep");
+}
+
+TEST(JsonRoundTrip, MetricExportsParseForRandomContents) {
+  // Registry::to_json over randomized metric names/values is always valid
+  // JSON, in both export modes.
+  for (std::uint32_t c = 0; c < 25; ++c) {
+    std::mt19937 rng = rng_for_case(2000 + c);
+    std::uniform_int_distribution<int> metric_count(0, 10);
+    std::uniform_int_distribution<std::uint64_t> value(0, 1ull << 40);
+    obs::Registry registry;
+    const int n = metric_count(rng);
+    for (int i = 0; i < n; ++i) {
+      const std::string name = "m" + std::to_string(i) + "." + random_string(rng);
+      switch (i % 3) {
+        case 0: registry.counter(name).add(value(rng)); break;
+        case 1: registry.gauge(name).set(static_cast<std::int64_t>(value(rng))); break;
+        default: registry.histogram(name).observe(value(rng));
+      }
+    }
+    for (const obs::Export mode : {obs::Export::kFull, obs::Export::kDeterministic}) {
+      const Result<Value> parsed = parse(registry.to_json(mode));
+      ASSERT_TRUE(parsed.ok()) << "case " << c << ": " << parsed.error().message;
+    }
+  }
+}
+
+TEST(JsonRoundTrip, TraceExportsParseForRandomSpanNames) {
+  // Every to_jsonl line parses and reproduces the randomized span name and
+  // attribute bytes exactly.
+  for (std::uint32_t c = 0; c < 25; ++c) {
+    std::mt19937 rng = rng_for_case(3000 + c);
+    obs::Tracer tracer;
+    const std::string name = random_string(rng);
+    const std::string attr_value = random_string(rng);
+    const obs::SpanId root = tracer.begin_span(name);
+    tracer.annotate(root, "payload", attr_value);
+    tracer.end_span(root);
+    const std::string jsonl = tracer.to_jsonl();
+    const std::string line = jsonl.substr(0, jsonl.find('\n'));
+    const Result<Value> parsed = parse(line);
+    ASSERT_TRUE(parsed.ok()) << "case " << c << ": " << parsed.error().message;
+    EXPECT_EQ(parsed->find("name")->as_string(), name) << "case " << c;
+    const Value* attributes = parsed->find("attributes");
+    ASSERT_NE(attributes, nullptr);
+    ASSERT_NE(attributes->find("payload"), nullptr) << "case " << c;
+    EXPECT_EQ(attributes->find("payload")->as_string(), attr_value) << "case " << c;
+  }
+}
+
+}  // namespace
+}  // namespace wsx::json

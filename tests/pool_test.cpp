@@ -1,0 +1,159 @@
+// pool_test — units for the shared worker pool (common/pool.hpp): the one
+// thread-count resolution rule every campaign now routes through, slice
+// ordering, exception surfacing (a throwing task fails the run instead of
+// hanging it), and the pool's instrumentation counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/pool.hpp"
+
+namespace wsx {
+namespace {
+
+TEST(ResolveWorkers, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::size_t expected = hardware == 0 ? 1 : hardware;
+  EXPECT_EQ(resolve_workers(0), expected);
+  EXPECT_GE(resolve_workers(0), 1u);
+}
+
+TEST(ResolveWorkers, ExplicitCountsPassThrough) {
+  EXPECT_EQ(resolve_workers(1), 1u);
+  EXPECT_EQ(resolve_workers(7), 7u);
+  EXPECT_EQ(resolve_workers(kMaxWorkers), kMaxWorkers);
+}
+
+TEST(ResolveWorkers, ValidRangeIsZeroThroughMax) {
+  EXPECT_TRUE(valid_worker_count(0));
+  EXPECT_TRUE(valid_worker_count(1));
+  EXPECT_TRUE(valid_worker_count(kMaxWorkers));
+  EXPECT_FALSE(valid_worker_count(kMaxWorkers + 1));
+  EXPECT_FALSE(valid_worker_count(100000));
+}
+
+TEST(WorkerPool, RunsEverySubmittedTask) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_EQ(stats.tasks_run, 100u);
+  EXPECT_EQ(stats.tasks_failed, 0u);
+}
+
+TEST(WorkerPool, ThrowingTaskSurfacesFromWaitInsteadOfHanging) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.submit([] { throw std::runtime_error("slice failed"); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure is counted and the other tasks still ran.
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.stats().tasks_failed, 1u);
+  // A second wait() does not rethrow the already-surfaced error.
+  pool.wait();
+}
+
+TEST(WorkerPool, WaitIsReusableAcrossBatches) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ParallelSlices, ResultsArriveInSliceOrder) {
+  // Each slice returns its own range; concatenated they must reproduce
+  // [0, count) exactly, for every worker count.
+  const auto run = [](std::size_t count, std::size_t workers) {
+    const std::vector<std::vector<std::size_t>> slices = parallel_slices(
+        count, workers, [](std::size_t begin, std::size_t end) {
+          std::vector<std::size_t> out(end - begin);
+          std::iota(out.begin(), out.end(), begin);
+          return out;
+        });
+    std::vector<std::size_t> merged;
+    for (const std::vector<std::size_t>& slice : slices) {
+      merged.insert(merged.end(), slice.begin(), slice.end());
+    }
+    return merged;
+  };
+  std::vector<std::size_t> expected(97);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(run(97, 1), expected);
+  EXPECT_EQ(run(97, 4), expected);
+  EXPECT_EQ(run(97, 8), expected);
+  EXPECT_EQ(run(97, 200), expected);
+}
+
+TEST(ParallelSlices, SlicesCoverEverythingExactlyOnce) {
+  std::atomic<std::size_t> total{0};
+  (void)parallel_slices(1000, 8, [&total](std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+    return end - begin;
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ParallelSlices, EmptyCountProducesNoSlices) {
+  const std::vector<int> result =
+      parallel_slices(0, 4, [](std::size_t, std::size_t) { return 1; });
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(ParallelSlices, SingleWorkerRunsInline) {
+  PoolStats stats;
+  const std::thread::id main_thread = std::this_thread::get_id();
+  const std::vector<bool> result = parallel_slices(
+      10, 1,
+      [main_thread](std::size_t, std::size_t) {
+        return std::this_thread::get_id() == main_thread;
+      },
+      &stats);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0]);
+  EXPECT_EQ(stats.workers, 1u);
+  EXPECT_EQ(stats.tasks_run, 1u);
+}
+
+TEST(ParallelSlices, SliceExceptionPropagates) {
+  EXPECT_THROW(parallel_slices(100, 4,
+                               [](std::size_t begin, std::size_t) -> int {
+                                 if (begin == 0) throw std::runtime_error("boom");
+                                 return 0;
+                               }),
+               std::runtime_error);
+}
+
+TEST(ParallelSlices, StatsReportResolvedWorkersAndTasks) {
+  PoolStats stats;
+  (void)parallel_slices(
+      100, 4, [](std::size_t begin, std::size_t end) { return end - begin; }, &stats);
+  EXPECT_EQ(stats.workers, 4u);
+  EXPECT_EQ(stats.tasks_run, 4u);
+  EXPECT_EQ(stats.tasks_failed, 0u);
+}
+
+TEST(ParallelSlices, WorkerCountCappedByItemCount) {
+  PoolStats stats;
+  (void)parallel_slices(
+      3, 16, [](std::size_t begin, std::size_t end) { return end - begin; }, &stats);
+  EXPECT_LE(stats.workers, 3u);
+  EXPECT_EQ(stats.tasks_run, 3u);
+}
+
+}  // namespace
+}  // namespace wsx

@@ -17,8 +17,14 @@
 //       the Communication+Execution extension study
 //   wsinterop chaos [--seed N] [--rate PCT] [--faults LIST] [--calls N]
 //       wire-fault resilience study over the faulty wire
+//   wsinterop profile [--scale PCT] [--jobs N]
+//       sized-down study with tracing on; prints the phase breakdown
 //   wsinterop list
 //       available server and client frameworks
+//
+// Every campaign verb accepts --trace=FILE.jsonl (canonical span tree,
+// one JSON object per line) and --metrics=FILE.json (counter/gauge/
+// histogram export); see docs/OBSERVABILITY.md.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -32,6 +38,7 @@
 #include "analysis/registry.hpp"
 #include "analysis/sarif.hpp"
 #include "codemodel/render.hpp"
+#include "common/pool.hpp"
 #include "compilers/compiler.hpp"
 #include "catalog/dotnet_catalog.hpp"
 #include "catalog/java_catalog.hpp"
@@ -43,6 +50,8 @@
 #include "interop/report_formats.hpp"
 #include "interop/scorecard.hpp"
 #include "interop/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wsdl/parser.hpp"
 #include "wsi/profile.hpp"
 
@@ -66,7 +75,7 @@ bool parse_count(const std::string& text, std::size_t& out) {
 
 int usage() {
   std::cerr << "usage: wsinterop "
-               "<run|lint|describe|test|fuzz|communicate|chaos|scorecard|diff|list> "
+               "<run|lint|describe|test|fuzz|communicate|chaos|profile|scorecard|diff|list> "
                "[options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
@@ -77,14 +86,78 @@ int usage() {
                "  describe    SERVER TYPE\n"
                "  test        SERVER TYPE CLIENT [--dump]\n"
                "  fuzz        [--corpus N]\n"
-               "  communicate\n"
+               "  communicate [--scale PCT] [--threads N]\n"
                "  chaos       [--seed N] [--rate PCT] [--faults KIND,...] [--burst N]\n"
                "              [--calls N] [--scale PCT] [--jobs N] [--csv FILE]\n"
                "              [--format text|csv|markdown|json]\n"
-               "  scorecard   [--chaos]\n"
-               "  list\n";
+               "  profile     [--scale PCT] [--jobs N]\n"
+               "  scorecard   [--chaos] [--jobs N]\n"
+               "  list\n"
+               "campaign verbs (run, lint --corpus, communicate, chaos, profile) also\n"
+               "accept --trace FILE.jsonl and --metrics FILE.json\n";
   return 2;
 }
+
+/// Parses a --jobs/--threads value and enforces the shared worker-count
+/// range (0 = auto, explicit counts capped at kMaxWorkers). Out-of-range
+/// values are a usage error, not a silent thread explosion.
+bool parse_jobs(const std::string& text, std::size_t& out) {
+  if (!parse_count(text, out)) return false;
+  if (!wsx::valid_worker_count(out)) {
+    std::cerr << "wsinterop: worker count " << out << " out of range (max "
+              << wsx::kMaxWorkers << ", 0 = auto)\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "wsinterop: cannot open " << path << " for writing\n";
+    return false;
+  }
+  file << text;
+  return true;
+}
+
+/// Observability sinks shared by the campaign verbs: allocated only when
+/// the matching flag was given, exported on scope exit by flush().
+struct ObsSinks {
+  std::string trace_path;
+  std::string metrics_path;
+  obs::Tracer tracer;
+  obs::Registry registry;
+
+  obs::Tracer* tracer_or_null() { return trace_path.empty() ? nullptr : &tracer; }
+  obs::Registry* metrics_or_null() { return metrics_path.empty() ? nullptr : &registry; }
+
+  /// Writes the requested export files; true on success.
+  bool flush() {
+    if (!trace_path.empty() && !write_text_file(trace_path, tracer.to_jsonl())) {
+      return false;
+    }
+    if (!metrics_path.empty() &&
+        !write_text_file(metrics_path, registry.to_json() + "\n")) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Consumes "--trace FILE" / "--metrics FILE" at args[i]; returns true
+  /// and advances i when the argument was one of ours.
+  bool consume(const std::vector<std::string>& args, std::size_t& i) {
+    if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+      return true;
+    }
+    if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+      return true;
+    }
+    return false;
+  }
+};
 
 /// Scales both population specs to roughly PCT percent of the paper's.
 void apply_scale(catalog::JavaCatalogSpec& java, catalog::DotNetCatalogSpec& dotnet,
@@ -118,16 +191,19 @@ void apply_scale(interop::StudyConfig& config, std::size_t percent) {
 
 int cmd_run(const std::vector<std::string>& args) {
   interop::StudyConfig config;
+  ObsSinks sinks;
   std::string format = "text";
   std::string log_path;
   std::string snapshot_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--scale" && i + 1 < args.size()) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
       std::size_t percent = 0;
       if (!parse_count(args[++i], percent)) return usage();
       apply_scale(config, percent);
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      if (!parse_count(args[++i], config.threads)) return usage();
+      if (!parse_jobs(args[++i], config.threads)) return usage();
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
     } else if (args[i] == "--log" && i + 1 < args.size()) {
@@ -149,7 +225,10 @@ int cmd_run(const std::vector<std::string>& args) {
       log_file << interop::to_json_line(record) << "\n";
     };
   }
+  config.tracer = sinks.tracer_or_null();
+  config.metrics = sinks.metrics_or_null();
   const interop::StudyResult result = interop::run_study(config);
+  if (!sinks.flush()) return 1;
   if (!snapshot_path.empty()) {
     std::ofstream snapshot(snapshot_path);
     if (!snapshot) {
@@ -184,20 +263,13 @@ struct LintOptions {
   analysis::RuleConfig rules;
 };
 
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream file(path);
-  if (!file) {
-    std::cerr << "wsinterop: cannot open " << path << " for writing\n";
-    return false;
-  }
-  file << text;
-  return true;
-}
-
 int cmd_lint(const std::vector<std::string>& args) {
   LintOptions options;
+  ObsSinks sinks;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--corpus") {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--corpus") {
       options.corpus = true;
     } else if (args[i] == "--join-study") {
       options.join_study = true;
@@ -206,7 +278,7 @@ int cmd_lint(const std::vector<std::string>& args) {
     } else if (args[i] == "--scale" && i + 1 < args.size()) {
       if (!parse_count(args[++i], options.scale)) return usage();
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-      if (!parse_count(args[++i], options.jobs)) return usage();
+      if (!parse_jobs(args[++i], options.jobs)) return usage();
     } else if (args[i] == "--sarif" && i + 1 < args.size()) {
       options.sarif_path = args[++i];
     } else if (args[i] == "--baseline" && i + 1 < args.size()) {
@@ -257,7 +329,10 @@ int cmd_lint(const std::vector<std::string>& args) {
     corpus.jobs = options.jobs;
     corpus.rules = options.rules;
     corpus.join_study = options.join_study;
+    corpus.tracer = sinks.tracer_or_null();
+    corpus.metrics = sinks.metrics_or_null();
     const analysis::CorpusReport report = analysis::analyze_corpus(corpus);
+    if (!sinks.flush()) return 1;
     findings = report.all_findings();
     std::cout << analysis::format_report(report);
   } else {
@@ -416,17 +491,39 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_communicate() {
-  std::cout << interop::format_communication(interop::run_communication_study());
+int cmd_communicate(const std::vector<std::string>& args) {
+  interop::StudyConfig config;
+  ObsSinks sinks;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(config, percent);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], config.threads)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  config.tracer = sinks.tracer_or_null();
+  config.metrics = sinks.metrics_or_null();
+  const interop::CommunicationResult result = interop::run_communication_study(config);
+  if (!sinks.flush()) return 1;
+  std::cout << interop::format_communication(result);
   return 0;
 }
 
 int cmd_chaos(const std::vector<std::string>& args) {
   chaos::ChaosConfig config;
+  ObsSinks sinks;
   std::string format = "text";
   std::string csv_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--seed" && i + 1 < args.size()) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
       std::size_t seed = 0;
       if (!parse_count(args[++i], seed)) return usage();
       config.plan.seed = seed;
@@ -462,7 +559,7 @@ int cmd_chaos(const std::vector<std::string>& args) {
       if (!parse_count(args[++i], percent)) return usage();
       apply_scale(config.java_spec, config.dotnet_spec, percent);
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
-      if (!parse_count(args[++i], config.jobs)) return usage();
+      if (!parse_jobs(args[++i], config.jobs)) return usage();
     } else if (args[i] == "--csv" && i + 1 < args.size()) {
       csv_path = args[++i];
     } else if (args[i] == "--format" && i + 1 < args.size()) {
@@ -471,7 +568,10 @@ int cmd_chaos(const std::vector<std::string>& args) {
       return usage();
     }
   }
+  config.tracer = sinks.tracer_or_null();
+  config.metrics = sinks.metrics_or_null();
   const chaos::ChaosResult result = chaos::run_chaos_study(config);
+  if (!sinks.flush()) return 1;
   if (!csv_path.empty() && !write_text_file(csv_path, chaos::chaos_csv(result))) return 1;
   if (format == "csv") {
     std::cout << chaos::chaos_csv(result);
@@ -511,26 +611,68 @@ int cmd_diff(const std::vector<std::string>& args) {
 
 int cmd_scorecard(const std::vector<std::string>& args) {
   bool with_chaos = false;
-  for (const std::string& arg : args) {
-    if (arg == "--chaos") {
+  std::size_t jobs = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--chaos") {
       with_chaos = true;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], jobs)) return usage();
     } else {
       return usage();
     }
   }
-  const interop::StudyResult study = interop::run_study();
-  const interop::CommunicationResult communication = interop::run_communication_study();
+  interop::StudyConfig study_config;
+  study_config.threads = jobs;
+  const interop::StudyResult study = interop::run_study(study_config);
+  const interop::CommunicationResult communication =
+      interop::run_communication_study(study_config);
   fuzz::FuzzConfig fuzz_config;
   fuzz_config.corpus_per_server = 5;
   const fuzz::FuzzReport fuzzing = fuzz::run_fuzz_campaign(fuzz_config);
   if (with_chaos) {
-    const chaos::ChaosResult chaos_result = chaos::run_chaos_study();
+    chaos::ChaosConfig chaos_config;
+    chaos_config.jobs = jobs;
+    const chaos::ChaosResult chaos_result = chaos::run_chaos_study(chaos_config);
     std::cout << interop::format_scorecard(
         interop::build_scorecard(study, communication, fuzzing, chaos_result));
   } else {
     std::cout << interop::format_scorecard(
         interop::build_scorecard(study, communication, fuzzing));
   }
+  return 0;
+}
+
+/// Runs a sized-down study with tracing and metrics always on and prints
+/// the per-phase breakdown — the quickest way to see where a campaign
+/// spends its time without setting up export files.
+int cmd_profile(const std::vector<std::string>& args) {
+  std::size_t scale = 10;
+  std::size_t jobs = 0;
+  ObsSinks sinks;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], scale)) return usage();
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], jobs)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  interop::StudyConfig config;
+  apply_scale(config, scale);
+  config.threads = jobs;
+  // Profiling without sinks would be pointless, so both are always live;
+  // --trace/--metrics additionally export them.
+  config.tracer = &sinks.tracer;
+  config.metrics = &sinks.registry;
+  const interop::StudyResult result = interop::run_study(config);
+  if (!sinks.flush()) return 1;
+  std::cout << "profile: study at scale " << scale << "% — " << result.total_tests()
+            << " tests\n\n"
+            << sinks.tracer.summary() << "\n"
+            << sinks.registry.summary();
   return 0;
 }
 
@@ -558,8 +700,9 @@ int main(int argc, char** argv) {
   if (command == "describe") return cmd_describe(args);
   if (command == "test") return cmd_test(args);
   if (command == "fuzz") return cmd_fuzz(args);
-  if (command == "communicate") return cmd_communicate();
+  if (command == "communicate") return cmd_communicate(args);
   if (command == "chaos") return cmd_chaos(args);
+  if (command == "profile") return cmd_profile(args);
   if (command == "scorecard") return cmd_scorecard(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "list") return cmd_list();
