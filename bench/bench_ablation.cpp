@@ -9,6 +9,7 @@
 
 #include "frameworks/dotnet_client.hpp"
 #include "frameworks/jbossws_server.hpp"
+#include "frameworks/shared_description.hpp"
 #include "frameworks/registry.hpp"
 #include "interop/study.hpp"
 
@@ -25,8 +26,9 @@ class CaseSensitiveVbClient final : public frameworks::ClientFramework {
   }
   std::string tool() const override { return "wsdl.exe"; }
   code::Language language() const override { return code::Language::kCSharp; }
-  frameworks::GenerationResult generate(std::string_view wsdl_text) const override {
-    return inner_.generate(wsdl_text);
+  frameworks::GenerationResult generate(
+      const frameworks::SharedDescription& description) const override {
+    return inner_.generate(description);
   }
 
  private:

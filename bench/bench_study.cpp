@@ -116,8 +116,8 @@ int main(int argc, char** argv) {
 
   json::ObjectWriter phases;
   for (const char* name :
-       {"study.phase.prepare_us", "study.phase.deploy_us", "study.phase.wsi_check_us",
-        "study.phase.testing_us"}) {
+       {"study.phase.prepare_us", "study.phase.deploy_us", "study.phase.parse_us",
+        "study.phase.wsi_check_us", "study.phase.testing_us"}) {
     phases.field(name, static_cast<std::size_t>(registry.histogram(name).sum()));
   }
   json::ObjectWriter doc;

@@ -7,8 +7,8 @@
 
 #include "catalog/java_catalog.hpp"
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
 #include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
 #include "interop/study.hpp"
 #include "wsi/profile.hpp"
 
@@ -24,23 +24,25 @@ class StrictClient final : public frameworks::ClientFramework {
   std::string tool() const override { return "strictgen"; }
   code::Language language() const override { return code::Language::kJava; }
 
-  frameworks::GenerationResult generate(std::string_view wsdl_text) const override {
+  using frameworks::ClientFramework::generate;
+  frameworks::GenerationResult generate(
+      const frameworks::SharedDescription& description) const override {
     frameworks::GenerationResult result;
-    Result<frameworks::ParsedWsdl> parsed = frameworks::parse_and_analyze(wsdl_text);
-    if (!parsed.ok()) {
-      result.diagnostics.error("strictgen.parse", parsed.error().message);
+    if (!description.parsed_ok()) {
+      result.diagnostics.error("strictgen.parse", description.parse_error().message);
       return result;
     }
     wsi::Profile profile;
     profile.require_operations = true;  // the paper's minOccurs>=1 advocacy
-    const wsi::ComplianceReport report = wsi::check(parsed->defs, profile);
+    const wsi::ComplianceReport report = wsi::check(description.definitions(), profile);
     if (!report.compliant()) {
       result.diagnostics.error("strictgen.ws-i", "description rejected: " + report.summary());
       return result;
     }
     frameworks::ArtifactBuildOptions options;
     options.language = code::Language::kJava;
-    result.artifacts = frameworks::build_artifacts(parsed->defs, parsed->features, options);
+    result.artifacts =
+        frameworks::build_artifacts(description.definitions(), description.features(), options);
     return result;
   }
 };

@@ -68,7 +68,7 @@ std::string NamePool::next_class_name(const std::string& suffix) {
     } else {
       name += suffix;
     }
-    if (used_.insert(name).second) return name;
+    if (used_.insert(name)) return name;
   }
   // Pool exhausted for this shape: fall back to an indexed name, still
   // unique and deterministic.
@@ -76,7 +76,7 @@ std::string NamePool::next_class_name(const std::string& suffix) {
   do {
     name = std::string(kRoots[rng_.below(kRoots.size())]) + std::to_string(used_.size()) +
            suffix;
-  } while (!used_.insert(name).second);
+  } while (!used_.insert(name));
   return name;
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/intern.hpp"
 #include "xsd/builtin.hpp"
 
 namespace wsx::catalog {
@@ -46,7 +46,7 @@ class NamePool {
 
  private:
   Rng rng_;
-  std::unordered_set<std::string> used_;
+  StringInterner used_;
 };
 
 }  // namespace wsx::catalog

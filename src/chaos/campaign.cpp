@@ -10,6 +10,7 @@
 #include "compilers/compiler.hpp"
 #include "frameworks/invocation.hpp"
 #include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::chaos {
 
@@ -273,6 +274,34 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
     deploy_span.end();
     deploy_timer.stop();
 
+    // Parse-once: a shared description per service feeds every client
+    // chain's generation gate below (faults are injected on the wire, not
+    // on the WSDL bytes, so the parse is invariant across calls).
+    std::vector<frameworks::SharedDescription> descriptions;
+    if (config.parse_cache) {
+      obs::Span parse_span(config.tracer, "phase:parse", round_span);
+      obs::ScopedTimer parse_timer = obs::timer(config.metrics, "chaos.phase.parse_us");
+      const auto build_slice = [&](std::size_t begin, std::size_t end) {
+        std::vector<frameworks::SharedDescription> built;
+        built.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          built.push_back(
+              frameworks::SharedDescription::from_deployed(deployed[i], /*with_wsi=*/false));
+        }
+        return built;
+      };
+      descriptions.reserve(deployed.size());
+      for (std::vector<frameworks::SharedDescription>& slice :
+           parallel_slices(deployed.size(), config.jobs, build_slice)) {
+        for (frameworks::SharedDescription& description : slice) {
+          descriptions.push_back(std::move(description));
+        }
+      }
+      obs::add(config.metrics, "chaos.parse.wsdl_parses", descriptions.size());
+      parse_span.end();
+      parse_timer.stop();
+    }
+
     // Invocations parallelize over services; every chain (one client against
     // one endpoint) runs sequentially inside its slice with its own virtual
     // clock and breaker, so the result is independent of the slicing.
@@ -293,8 +322,14 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
         const frameworks::DeployedService& service = deployed[index];
         for (std::size_t i = 0; i < clients.size(); ++i) {
           PartialCell& cell = partial[i];
-          const frameworks::PreparedCall call = frameworks::prepare_echo_call(
-              service, *clients[i], client_compilers[i].get());
+          const frameworks::PreparedCall call =
+              config.parse_cache
+                  ? frameworks::prepare_echo_call(service, descriptions[index], *clients[i],
+                                                  client_compilers[i].get())
+                  : frameworks::prepare_echo_call(service, *clients[i],
+                                                  client_compilers[i].get());
+          obs::add(config.metrics,
+                   config.parse_cache ? "chaos.parse.cache_hits" : "chaos.parse.wsdl_parses");
           if (call.status != frameworks::PreparedCall::Status::kReady) {
             cell.outcomes[static_cast<std::size_t>(ChaosOutcome::kBlockedEarlier)] +=
                 config.calls_per_pair;

@@ -95,6 +95,11 @@ struct ChaosConfig {
   std::size_t calls_per_pair = 1;
   std::size_t jobs = 0;  ///< worker threads; 0 = hardware concurrency
 
+  /// Parse-once pipeline: build one SharedDescription per deployed service
+  /// and share it across every client chain's generation gate (identical
+  /// outcomes; see interop::StudyConfig::parse_cache).
+  bool parse_cache = true;
+
   /// Observability sinks, both optional (null = off). Spans: run → round
   /// (per server) → phase → cell; metrics use the "chaos." prefix.
   obs::Tracer* tracer = nullptr;

@@ -57,6 +57,9 @@ class DiagnosticSink {
   void crash(std::string code, std::string message, std::string subject = {});
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  /// Mutable access, for consumers that aggregate by moving diagnostics out
+  /// of a sink they own instead of copying them.
+  std::vector<Diagnostic>& diagnostics() { return diagnostics_; }
   bool empty() const { return diagnostics_.empty(); }
 
   std::size_t count(Severity severity) const;

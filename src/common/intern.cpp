@@ -1,0 +1,21 @@
+#include "common/intern.hpp"
+
+namespace wsx {
+
+const std::string& StringInterner::intern(std::string_view text) {
+  const auto found = entries_.find(text);
+  if (found != entries_.end()) return *found;
+  return *entries_.emplace(text).first;
+}
+
+bool StringInterner::insert(std::string_view text) {
+  if (entries_.find(text) != entries_.end()) return false;
+  entries_.emplace(text);
+  return true;
+}
+
+bool StringInterner::contains(std::string_view text) const {
+  return entries_.find(text) != entries_.end();
+}
+
+}  // namespace wsx

@@ -1,18 +1,17 @@
 #include "frameworks/axis1_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult Axis1Client::generate(std::string_view wsdl_text) const {
+GenerationResult Axis1Client::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("axis1.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("axis1.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   if (features.unresolved_foreign_type_ref) {
     result.diagnostics.error("axis1.unresolved-type",
@@ -38,7 +37,7 @@ GenerationResult Axis1Client::generate(std::string_view wsdl_text) const {
   options.language = code::Language::kJava;
   options.raw_collection_stubs = true;
   options.throwable_wrapper_defect = !patched_;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

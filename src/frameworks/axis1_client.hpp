@@ -22,7 +22,8 @@ class Axis1Client final : public ClientFramework {
   std::string name() const override { return "Apache Axis1 1.4"; }
   std::string tool() const override { return "wsdl2java"; }
   code::Language language() const override { return code::Language::kJava; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
  private:
   bool patched_ = false;

@@ -1,18 +1,17 @@
 #include "frameworks/axis2_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult Axis2Client::generate(std::string_view wsdl_text) const {
+GenerationResult Axis2Client::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("axis2.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("axis2.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   if (features.unresolved_foreign_type_ref) {
     result.diagnostics.error("axis2.unresolved-type",
@@ -38,7 +37,7 @@ GenerationResult Axis2Client::generate(std::string_view wsdl_text) const {
   options.local_suffix_defect = true;
   options.wildcard_member_per_any = true;
   options.enum_wrapper_defect = true;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

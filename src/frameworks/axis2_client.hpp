@@ -16,7 +16,8 @@ class Axis2Client final : public ClientFramework {
   std::string name() const override { return "Apache Axis2 1.6.2"; }
   std::string tool() const override { return "wsdl2java"; }
   code::Language language() const override { return code::Language::kJava; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 };
 
 }  // namespace wsx::frameworks

@@ -1,8 +1,11 @@
 #include "frameworks/client.hpp"
 
+#include "frameworks/shared_description.hpp"
+
 namespace wsx::frameworks {
 
-// Currently all behaviour lives in the concrete client models; this
-// translation unit anchors the vtable.
+GenerationResult ClientFramework::generate(std::string_view wsdl_text) const {
+  return generate(SharedDescription::from_text(wsdl_text));
+}
 
 }  // namespace wsx::frameworks

@@ -8,12 +8,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "codemodel/model.hpp"
 #include "common/diagnostics.hpp"
 
 namespace wsx::frameworks {
+
+class SharedDescription;
 
 /// Outcome of one artifact-generation run.
 struct GenerationResult {
@@ -38,8 +41,16 @@ class ClientFramework {
   /// are checked by instantiation instead.
   bool requires_compilation() const { return code::requires_compilation(language()); }
 
-  /// Generates client artifacts from served WSDL text.
-  virtual GenerationResult generate(std::string_view wsdl_text) const = 0;
+  /// Generates client artifacts from a pre-parsed shared description. This
+  /// is the primary entry point: campaigns parse each served WSDL once and
+  /// hand the same immutable description to every client tool.
+  virtual GenerationResult generate(const SharedDescription& description) const = 0;
+
+  /// Convenience for callers holding raw served text (fuzzing and chaos
+  /// paths mutate bytes, so there is nothing to share): parses the text
+  /// into a throwaway SharedDescription and delegates to the virtual
+  /// overload above.
+  GenerationResult generate(std::string_view wsdl_text) const;
 
   /// Runtime marshalling behaviour for the Communication step (the paper's
   /// future work). These model how the generated/ dynamic proxies behave

@@ -20,7 +20,8 @@ class CxfClient final : public ClientFramework {
   std::string name() const override { return "Apache CXF 2.7.6"; }
   std::string tool() const override { return "wsdl2java"; }
   code::Language language() const override { return code::Language::kJava; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
  private:
   bool customized_ = false;

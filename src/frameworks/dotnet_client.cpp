@@ -3,7 +3,7 @@
 #include <cassert>
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
@@ -23,14 +23,13 @@ std::string DotNetClient::name() const {
   }
 }
 
-GenerationResult DotNetClient::generate(std::string_view wsdl_text) const {
+GenerationResult DotNetClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("wsdl.exe.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("wsdl.exe.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   if (features.unresolved_foreign_type_ref) {
     result.diagnostics.error("wsdl.exe.unresolved-type",
@@ -98,7 +97,7 @@ GenerationResult DotNetClient::generate(std::string_view wsdl_text) const {
     options.missing_body_on_complex_shapes = true;
     options.pathological_marker_on_very_deep = true;
   }
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

@@ -23,7 +23,8 @@ class DotNetClient final : public ClientFramework {
   std::string name() const override;
   std::string tool() const override { return "wsdl.exe"; }
   code::Language language() const override { return target_; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
  private:
   code::Language target_;

@@ -1,18 +1,17 @@
 #include "frameworks/gsoap_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult GsoapClient::generate(std::string_view wsdl_text) const {
+GenerationResult GsoapClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("wsdl2h.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("wsdl2h.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   // --- Stage 1: wsdl2h. ---
   // Unknown foreign types/attributes map to xsd__anyType (tolerated), but a
@@ -46,7 +45,7 @@ GenerationResult GsoapClient::generate(std::string_view wsdl_text) const {
 
   ArtifactBuildOptions options;
   options.language = code::Language::kCpp;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

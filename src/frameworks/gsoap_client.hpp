@@ -17,7 +17,8 @@ class GsoapClient final : public ClientFramework {
   std::string name() const override { return "gSOAP Toolkit 2.8.16"; }
   std::string tool() const override { return "wsdl2h.exe and soapcpp2.exe"; }
   code::Language language() const override { return code::Language::kCpp; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
   InvocationPolicy invocation_policy() const override {
     InvocationPolicy policy;

@@ -2,6 +2,7 @@
 
 #include "compilers/compiler.hpp"
 #include "frameworks/features.hpp"
+#include "frameworks/shared_description.hpp"
 #include "soap/message.hpp"
 
 namespace wsx::frameworks {
@@ -9,10 +10,18 @@ namespace wsx::frameworks {
 PreparedCall prepare_echo_call(const DeployedService& service,
                                const ClientFramework& client,
                                const compilers::Compiler* compiler) {
+  return prepare_echo_call(service, SharedDescription::from_deployed(service, /*with_wsi=*/false),
+                           client, compiler);
+}
+
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const SharedDescription& description,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler) {
   PreparedCall call;
 
   // Steps 2–3 gate the call exactly as in the main study.
-  GenerationResult generation = client.generate(service.wsdl_text);
+  GenerationResult generation = client.generate(description);
   if (generation.diagnostics.has_errors() || !generation.produced_artifacts()) {
     return call;
   }
@@ -35,9 +44,12 @@ PreparedCall prepare_echo_call(const DeployedService& service,
     }
   }
 
-  // Marshalling — the client runtime builds the request envelope.
+  // Marshalling — the client runtime builds the request envelope. The
+  // server-model feature vector is precomputed by the shared description.
   const ClientFramework::InvocationPolicy policy = client.invocation_policy();
-  const WsdlFeatures features = analyze(service.wsdl);
+  const WsdlFeatures features =
+      description.server_features() != nullptr ? *description.server_features()
+                                               : analyze(service.wsdl);
   const bool uncommon = policy.marshals_uncommon_structure &&
                         (features.unresolved_foreign_type_ref ||
                          features.unresolved_foreign_attr_ref || features.schema_element_ref);

@@ -35,8 +35,18 @@ struct PreparedCall {
 
 /// Runs generation + compilation gates and marshals the request envelope
 /// exactly as the communication study does. `compiler` may be null for
-/// tools checked by instantiation.
+/// tools checked by instantiation. Parses the served text and analyzes the
+/// server model on every call; campaign loops should build one
+/// SharedDescription per service and use the overload below.
 PreparedCall prepare_echo_call(const DeployedService& service,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler);
+
+/// Parse-once variant: `description` must have been built from `service`
+/// (SharedDescription::from_deployed), so generation consumes the shared
+/// parse and marshalling reuses the cached server-model features.
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const SharedDescription& description,
                                const ClientFramework& client,
                                const compilers::Compiler* compiler);
 

@@ -1,18 +1,17 @@
 #include "frameworks/jbossws_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult JBossWsClient::generate(std::string_view wsdl_text) const {
+GenerationResult JBossWsClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("wsconsume.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("wsconsume.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   // Binding-related failures downgrade to warnings when a manual bindings
   // customization is supplied (paper §IV.B.2).
@@ -63,7 +62,7 @@ GenerationResult JBossWsClient::generate(std::string_view wsdl_text) const {
 
   ArtifactBuildOptions options;
   options.language = code::Language::kJava;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

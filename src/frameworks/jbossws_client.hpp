@@ -20,7 +20,8 @@ class JBossWsClient final : public ClientFramework {
   std::string name() const override { return "JBossWS CXF 4.2.3"; }
   std::string tool() const override { return "wsconsume"; }
   code::Language language() const override { return code::Language::kJava; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
  private:
   bool customized_ = false;

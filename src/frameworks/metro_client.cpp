@@ -1,18 +1,17 @@
 #include "frameworks/metro_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult MetroClient::generate(std::string_view wsdl_text) const {
+GenerationResult MetroClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("wsimport.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("wsimport.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   // The binding-related failures are curable by a manual customization
   // (§IV.B.2); with one in place they downgrade to warnings.
@@ -74,7 +73,7 @@ GenerationResult MetroClient::generate(std::string_view wsdl_text) const {
 
   ArtifactBuildOptions options;
   options.language = code::Language::kJava;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

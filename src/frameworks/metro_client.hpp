@@ -24,7 +24,8 @@ class MetroClient final : public ClientFramework {
   std::string name() const override { return "Oracle Metro 2.3"; }
   std::string tool() const override { return "wsimport"; }
   code::Language language() const override { return code::Language::kJava; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
  private:
   bool customized_ = false;

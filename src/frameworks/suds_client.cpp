@@ -1,18 +1,17 @@
 #include "frameworks/suds_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult SudsClient::generate(std::string_view wsdl_text) const {
+GenerationResult SudsClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("suds.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("suds.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   if (features.unresolved_foreign_type_ref) {
     result.diagnostics.error("suds.unresolved-type", "Type not found: referenced schema type");
@@ -40,7 +39,7 @@ GenerationResult SudsClient::generate(std::string_view wsdl_text) const {
 
   ArtifactBuildOptions options;
   options.language = code::Language::kPython;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

@@ -14,7 +14,8 @@ class SudsClient final : public ClientFramework {
   std::string name() const override { return "suds Python 0.4"; }
   std::string tool() const override { return "suds Python client"; }
   code::Language language() const override { return code::Language::kPython; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 };
 
 }  // namespace wsx::frameworks

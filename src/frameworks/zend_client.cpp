@@ -1,18 +1,17 @@
 #include "frameworks/zend_client.hpp"
 
 #include "frameworks/artifact_builder.hpp"
-#include "frameworks/client_common.hpp"
+#include "frameworks/shared_description.hpp"
 
 namespace wsx::frameworks {
 
-GenerationResult ZendClient::generate(std::string_view wsdl_text) const {
+GenerationResult ZendClient::generate(const SharedDescription& description) const {
   GenerationResult result;
-  Result<ParsedWsdl> parsed = parse_and_analyze(wsdl_text);
-  if (!parsed.ok()) {
-    result.diagnostics.error("zend.parse", parsed.error().message);
+  if (!description.parsed_ok()) {
+    result.diagnostics.error("zend.parse", description.parse_error().message);
     return result;
   }
-  const WsdlFeatures& features = parsed->features;
+  const WsdlFeatures& features = description.features();
 
   if (features.zero_operations) {
     result.diagnostics.warn("zend.no-operations",
@@ -27,7 +26,7 @@ GenerationResult ZendClient::generate(std::string_view wsdl_text) const {
 
   ArtifactBuildOptions options;
   options.language = code::Language::kPhp;
-  result.artifacts = build_artifacts(parsed->defs, features, options);
+  result.artifacts = build_artifacts(description.definitions(), features, options);
   return result;
 }
 

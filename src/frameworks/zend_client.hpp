@@ -16,7 +16,8 @@ class ZendClient final : public ClientFramework {
   std::string name() const override { return "Zend Framework 1.9"; }
   std::string tool() const override { return "Zend_Soap_Client"; }
   code::Language language() const override { return code::Language::kPhp; }
-  GenerationResult generate(std::string_view wsdl_text) const override;
+  using ClientFramework::generate;
+  GenerationResult generate(const SharedDescription& description) const override;
 
   InvocationPolicy invocation_policy() const override {
     InvocationPolicy policy;

@@ -7,6 +7,7 @@
 #include "compilers/compiler.hpp"
 #include "frameworks/invocation.hpp"
 #include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
 #include "soap/http.hpp"
 #include "soap/message.hpp"
 #include "soap/validate.hpp"
@@ -78,11 +79,14 @@ struct InvocationOutcome {
 /// independently of how the server reacts.
 InvocationOutcome invoke_once(const frameworks::ServerFramework& server,
                               const frameworks::DeployedService& service,
+                              const frameworks::SharedDescription* description,
                               const frameworks::ClientFramework& client,
                               const compilers::Compiler* compiler,
                               std::size_t* sniffed_violations = nullptr) {
   const frameworks::PreparedCall call =
-      frameworks::prepare_echo_call(service, client, compiler);
+      description != nullptr
+          ? frameworks::prepare_echo_call(service, *description, client, compiler)
+          : frameworks::prepare_echo_call(service, client, compiler);
   if (call.status == frameworks::PreparedCall::Status::kBlockedEarlier) {
     return {CommOutcome::kBlockedEarlier, 0};
   }
@@ -158,6 +162,34 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
     deploy_span.end();
     deploy_timer.stop();
 
+    // Parse-once: one shared description per service (no WS-I — the
+    // communication study never consults the verdict), shared by all 11
+    // clients' generation gates and the marshaller.
+    std::vector<frameworks::SharedDescription> descriptions;
+    if (config.parse_cache) {
+      obs::Span parse_span(config.tracer, "phase:parse", server_span);
+      obs::ScopedTimer parse_timer = obs::timer(config.metrics, "comm.phase.parse_us");
+      const auto build_slice = [&](std::size_t begin, std::size_t end) {
+        std::vector<frameworks::SharedDescription> built;
+        built.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          built.push_back(
+              frameworks::SharedDescription::from_deployed(deployed[i], /*with_wsi=*/false));
+        }
+        return built;
+      };
+      descriptions.reserve(deployed.size());
+      for (std::vector<frameworks::SharedDescription>& slice :
+           parallel_slices(deployed.size(), config.threads, build_slice)) {
+        for (frameworks::SharedDescription& description : slice) {
+          descriptions.push_back(std::move(description));
+        }
+      }
+      obs::add(config.metrics, "comm.parse.wsdl_parses", descriptions.size());
+      parse_span.end();
+      parse_timer.stop();
+    }
+
     struct PartialCell {
       std::array<std::size_t, kCommOutcomeCount> outcomes{};
       std::size_t transport_4xx = 0;
@@ -175,10 +207,13 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       for (std::size_t index = begin; index < end; ++index) {
         for (std::size_t i = 0; i < clients.size(); ++i) {
           const InvocationOutcome result = invoke_once(
-              *server, deployed[index], *clients[i], client_compilers[i].get(),
-              &partial.sniffed);
+              *server, deployed[index],
+              config.parse_cache ? &descriptions[index] : nullptr, *clients[i],
+              client_compilers[i].get(), &partial.sniffed);
           ++partial.cells[i].outcomes[static_cast<std::size_t>(result.outcome)];
           obs::add(config.metrics, "comm.invocations_total");
+          obs::add(config.metrics,
+                   config.parse_cache ? "comm.parse.cache_hits" : "comm.parse.wsdl_parses");
           if (result.outcome != CommOutcome::kBlockedEarlier &&
               result.outcome != CommOutcome::kOk) {
             obs::add(config.metrics, "comm.failures");

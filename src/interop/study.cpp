@@ -8,6 +8,7 @@
 #include "common/strings.hpp"
 #include "compilers/compiler.hpp"
 #include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
 #include "wsi/profile.hpp"
 
 namespace wsx::interop {
@@ -40,23 +41,47 @@ struct TestOutcome {
   bool any_error() const { return generation_error || compilation_error; }
 };
 
+/// Moves the error/crash diagnostics out of `sink` into `errors`. Clean
+/// sinks — the overwhelmingly common case — skip the scan entirely, and
+/// failing ones reserve once and move instead of copying string payloads.
+void take_errors(DiagnosticSink& sink, std::vector<Diagnostic>& errors) {
+  if (!sink.has_errors()) return;
+  std::size_t count = 0;
+  for (const Diagnostic& diagnostic : sink.diagnostics()) {
+    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
+      ++count;
+    }
+  }
+  errors.reserve(errors.size() + count);
+  for (Diagnostic& diagnostic : sink.diagnostics()) {
+    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
+      errors.push_back(std::move(diagnostic));
+    }
+  }
+}
+
 TestOutcome run_one_test(const frameworks::DeployedService& service,
+                         const frameworks::SharedDescription* description,
                          const frameworks::ClientFramework& client,
                          const compilers::Compiler* compiler,
                          obs::Registry* metrics) {
   TestOutcome outcome;
 
-  // Step (b): client artifact generation.
+  // Step (b): client artifact generation — against the campaign's shared
+  // parse when the cache is on, or re-parsing the served text when off.
   obs::ScopedTimer generation_timer = obs::timer(metrics, "study.step.generation_us");
-  frameworks::GenerationResult generation = client.generate(service.wsdl_text);
+  frameworks::GenerationResult generation = description != nullptr
+                                                ? client.generate(*description)
+                                                : client.generate(service.wsdl_text);
   generation_timer.stop();
+  if (description != nullptr) {
+    obs::add(metrics, "study.parse.cache_hits");
+  } else {
+    obs::add(metrics, "study.parse.wsdl_parses");
+  }
   outcome.generation_warning = generation.diagnostics.has_warnings();
   outcome.generation_error = generation.diagnostics.has_errors();
-  for (const Diagnostic& diagnostic : generation.diagnostics.diagnostics()) {
-    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
-      outcome.errors.push_back(diagnostic);
-    }
-  }
+  take_errors(generation.diagnostics, outcome.errors);
   // Erratic tools may leave partial artifacts behind even after reporting
   // an error (§III.B.c); when they do, the artifacts proceed to step (c).
   if (!generation.produced_artifacts()) return outcome;
@@ -66,28 +91,19 @@ TestOutcome run_one_test(const frameworks::DeployedService& service,
   // check, whose outcome the study reports under the generation step
   // (Table II footnote 3: these clients have no compilation column).
   if (compiler == nullptr) {
-    const DiagnosticSink instantiation =
-        compilers::check_instantiation(*generation.artifacts);
+    DiagnosticSink instantiation = compilers::check_instantiation(*generation.artifacts);
     outcome.generation_warning |= instantiation.has_warnings();
     outcome.generation_error |= instantiation.has_errors();
-    for (const Diagnostic& diagnostic : instantiation.diagnostics()) {
-      if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
-        outcome.errors.push_back(diagnostic);
-      }
-    }
+    take_errors(instantiation, outcome.errors);
     return outcome;
   }
 
   obs::ScopedTimer compilation_timer = obs::timer(metrics, "study.step.compilation_us");
-  const DiagnosticSink compile_diagnostics = compiler->compile(*generation.artifacts);
+  DiagnosticSink compile_diagnostics = compiler->compile(*generation.artifacts);
   compilation_timer.stop();
   outcome.compilation_warning = compile_diagnostics.has_warnings();
   outcome.compilation_error = compile_diagnostics.has_errors();
-  for (const Diagnostic& diagnostic : compile_diagnostics.diagnostics()) {
-    if (diagnostic.severity == Severity::kError || diagnostic.severity == Severity::kCrash) {
-      outcome.errors.push_back(diagnostic);
-    }
-  }
+  take_errors(compile_diagnostics, outcome.errors);
   return outcome;
 }
 
@@ -206,17 +222,54 @@ ServerResult run_server_campaign(
   deploy_span.end();
   deploy_timer.stop();
 
+  // Parse-once phase: one SharedDescription per deployed service, built in
+  // parallel. The descriptions carry the client-view parse, the marshalling
+  // feature vector, and the WS-I verdict consumed by the phase below and by
+  // every client in the testing phase.
+  std::vector<frameworks::SharedDescription> descriptions;
+  if (config.parse_cache) {
+    obs::Span parse_span(config.tracer, "phase:parse", server_span);
+    obs::ScopedTimer parse_timer = obs::timer(config.metrics, "study.phase.parse_us");
+    const auto build_slice = [&](std::size_t begin, std::size_t end) {
+      std::vector<frameworks::SharedDescription> built;
+      built.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        built.push_back(frameworks::SharedDescription::from_deployed(deployed[i]));
+      }
+      return built;
+    };
+    descriptions.reserve(deployed.size());
+    for (std::vector<frameworks::SharedDescription>& slice :
+         parallel_slices(deployed.size(), config.threads, build_slice)) {
+      for (frameworks::SharedDescription& description : slice) {
+        descriptions.push_back(std::move(description));
+      }
+    }
+    obs::add(config.metrics, "study.parse.wsdl_parses", descriptions.size());
+    parse_span.annotate("descriptions", descriptions.size());
+    parse_span.end();
+    parse_timer.stop();
+  }
+
   // WS-I Basic Profile check of every published description (§III.B.d).
+  // With the parse cache on, the verdicts were computed alongside the
+  // shared parse above and are only tallied here.
   obs::Span wsi_span(config.tracer, "phase:wsi-check", server_span);
   obs::ScopedTimer wsi_timer = obs::timer(config.metrics, "study.phase.wsi_check_us");
   flagged.resize(deployed.size(), false);
   for (std::size_t i = 0; i < deployed.size(); ++i) {
-    const wsi::ComplianceReport report = wsi::check(deployed[i].wsdl);
-    const bool zero_ops = deployed[i].wsdl.operation_count() == 0;
-    if (!report.compliant()) ++result.wsi_failures;
-    if (zero_ops) ++result.zero_operation_services;
-    flagged[i] = !report.compliant() || zero_ops;
-    if (flagged[i]) ++result.description_warnings;
+    const auto tally = [&](const wsi::ComplianceReport& report) {
+      const bool zero_ops = deployed[i].wsdl.operation_count() == 0;
+      if (!report.compliant()) ++result.wsi_failures;
+      if (zero_ops) ++result.zero_operation_services;
+      flagged[i] = !report.compliant() || zero_ops;
+      if (flagged[i]) ++result.description_warnings;
+    };
+    if (config.parse_cache) {
+      tally(*descriptions[i].wsi_report());
+    } else {
+      tally(wsi::check(deployed[i].wsdl));
+    }
   }
   obs::add(config.metrics, "study.description_flags", result.description_warnings);
   wsi_span.annotate("flagged", result.description_warnings);
@@ -227,14 +280,17 @@ ServerResult run_server_campaign(
   // before any client consumes them.
   if (config.wsi_deploy_gate) {
     std::vector<frameworks::DeployedService> kept;
+    std::vector<frameworks::SharedDescription> kept_descriptions;
     for (std::size_t i = 0; i < deployed.size(); ++i) {
       if (flagged[i]) {
         ++result.gate_rejections;
       } else {
         kept.push_back(std::move(deployed[i]));
+        if (config.parse_cache) kept_descriptions.push_back(std::move(descriptions[i]));
       }
     }
     deployed = std::move(kept);
+    descriptions = std::move(kept_descriptions);
     flagged.assign(deployed.size(), false);
     result.services_deployed = deployed.size();
   }
@@ -258,9 +314,9 @@ ServerResult run_server_campaign(
       for (std::size_t client_index = 0; client_index < clients.size(); ++client_index) {
         const frameworks::ClientFramework& client = *clients[client_index];
         CellResult& cell = partial.cells[client_index];
-        const TestOutcome outcome =
-            run_one_test(service, client, client_compilers[client_index].get(),
-                         config.metrics);
+        const TestOutcome outcome = run_one_test(
+            service, config.parse_cache ? &descriptions[service_index] : nullptr, client,
+            client_compilers[client_index].get(), config.metrics);
         ++cell.tests;
         obs::add(config.metrics, "study.tests_total");
         if (outcome.artifacts_generated) {

@@ -140,6 +140,13 @@ struct StudyConfig {
   /// them. Off by default — the paper's measured reality.
   bool wsi_deploy_gate = false;
 
+  /// Parse-once pipeline: each deployed service's served WSDL is parsed and
+  /// analyzed exactly once (SharedDescription) and shared by the WS-I check
+  /// and every client tool, instead of once per consumer. Results are
+  /// byte-identical either way (only the "study.parse.*" counters differ);
+  /// the escape hatch exists for A/B measurement (`--no-parse-cache`).
+  bool parse_cache = true;
+
   /// Optional per-test observer (e.g. a JSON-lines logger). Called from
   /// worker threads under an internal mutex; keep it cheap.
   std::function<void(const TestRecord&)> observer;

@@ -4,6 +4,7 @@
 
 #include "compilers/compiler.hpp"
 #include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
 #include "wsi/profile.hpp"
 
 namespace wsx::registry {
@@ -57,8 +58,12 @@ struct ServiceRegistry::Impl {
   }
 
   /// The audition: WS-I + the full client roster against the description.
+  /// The description is parsed once (SharedDescription) and shared by the
+  /// compliance check and every auditor.
   void audit(Entry& entry) {
-    const wsi::ComplianceReport compliance = wsi::check(entry.service.wsdl);
+    const frameworks::SharedDescription description =
+        frameworks::SharedDescription::from_deployed(entry.service);
+    const wsi::ComplianceReport& compliance = *description.wsi_report();
     const bool zero_ops = entry.service.wsdl.operation_count() == 0;
     bool any_warning = !compliance.warnings().empty();
     bool red = !compliance.compliant() || zero_ops;
@@ -69,8 +74,7 @@ struct ServiceRegistry::Impl {
 
     if (options.audition_with_clients) {
       for (std::size_t i = 0; i < auditors.size(); ++i) {
-        const frameworks::GenerationResult generation =
-            auditors[i]->generate(entry.service.wsdl_text);
+        const frameworks::GenerationResult generation = auditors[i]->generate(description);
         bool failed = generation.diagnostics.has_errors() || !generation.produced_artifacts();
         if (!failed && compilers[i] != nullptr) {
           failed = compilers[i]->compile(*generation.artifacts).has_errors();

@@ -43,8 +43,15 @@ class WsdlParser {
 
     for (const xml::Element* child : root.child_elements()) {
       const std::string local = child->local_name();
-      std::optional<xml::QName> name = scope_.resolve(child->name());
-      const bool is_wsdl_ns = name && name->namespace_uri() == xml::ns::kWsdl;
+      // Prefix-only lookup: we just need to know whether the element sits in
+      // the WSDL namespace, so compare against the scope's stored URI instead
+      // of materializing a QName per child.
+      const std::string_view lexical = child->name();
+      const std::size_t colon = lexical.find(':');
+      const std::string_view prefix =
+          colon == std::string_view::npos ? std::string_view{} : lexical.substr(0, colon);
+      const std::string* ns_uri = scope_.find_prefix(prefix);
+      const bool is_wsdl_ns = ns_uri != nullptr && *ns_uri == xml::ns::kWsdl;
       if (is_wsdl_ns && local == "documentation") {
         defs.documentation = child->text();
       } else if (is_wsdl_ns && local == "import") {

@@ -1,6 +1,7 @@
 #include "xml/parser.hpp"
 
-#include <cctype>
+#include <array>
+#include <cstring>
 #include <string>
 
 #include "common/strings.hpp"
@@ -8,16 +9,33 @@
 namespace wsx::xml {
 namespace {
 
+// Branch-free character classes. std::isalpha and friends are out-of-line
+// locale-aware calls; a 256-entry table keeps name/space scanning to a load
+// and a test per byte.
+enum : unsigned char { kNameStart = 1, kNameChar = 2, kSpace = 4 };
+
+constexpr std::array<unsigned char, 256> build_char_classes() {
+  std::array<unsigned char, 256> table{};
+  for (int c = 'A'; c <= 'Z'; ++c) table[c] = kNameStart | kNameChar;
+  for (int c = 'a'; c <= 'z'; ++c) table[c] = kNameStart | kNameChar;
+  table['_'] = table[':'] = kNameStart | kNameChar;
+  for (int c = '0'; c <= '9'; ++c) table[c] = kNameChar;
+  table['-'] = table['.'] = kNameChar;
+  table[' '] = table['\t'] = table['\r'] = table['\n'] = kSpace;
+  return table;
+}
+
+constexpr std::array<unsigned char, 256> kCharClass = build_char_classes();
+
 bool is_name_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+  return (kCharClass[static_cast<unsigned char>(c)] & kNameStart) != 0;
 }
 
 bool is_name_char(char c) {
-  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
-         c == '.';
+  return (kCharClass[static_cast<unsigned char>(c)] & kNameChar) != 0;
 }
 
-bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+bool is_space(char c) { return (kCharClass[static_cast<unsigned char>(c)] & kSpace) != 0; }
 
 class Parser {
  public:
@@ -38,37 +56,54 @@ class Parser {
   }
 
  private:
+  struct Location {
+    std::size_t line;
+    std::size_t column;
+  };
+
   bool at_end() const { return pos_ >= input_.size(); }
   char peek() const { return input_[pos_]; }
   bool looking_at(std::string_view token) const {
     return input_.substr(pos_, token.size()) == token;
   }
 
-  void advance() {
-    if (input_[pos_] == '\n') {
+  /// 1-based line/column of `pos`. Positions are only ever requested in
+  /// document order (element start tags, then errors at the failure point),
+  /// so the newline scan resumes from where the previous request stopped —
+  /// the parser itself moves with plain index arithmetic and pays nothing
+  /// for location tracking on the hot path.
+  Location location_at(std::size_t pos) {
+    const char* base = input_.data();
+    while (loc_scanned_ < pos) {
+      const void* nl = std::memchr(base + loc_scanned_, '\n', pos - loc_scanned_);
+      if (nl == nullptr) break;
+      const std::size_t idx = static_cast<std::size_t>(static_cast<const char*>(nl) - base);
       ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
+      line_start_ = idx + 1;
+      loc_scanned_ = idx + 1;
     }
-    ++pos_;
-  }
-
-  void advance_by(std::size_t n) {
-    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+    if (pos > loc_scanned_) loc_scanned_ = pos;
+    return Location{line_, pos - line_start_ + 1};
   }
 
   void skip_space() {
-    while (!at_end() && is_space(peek())) advance();
+    while (pos_ < input_.size() && is_space(input_[pos_])) ++pos_;
   }
 
-  Error fail(std::string code, std::string_view what) const {
-    return Error{std::move(code), std::string(what) + " at line " + std::to_string(line_) +
-                                      ", column " + std::to_string(column_)};
+  Error fail(std::string code, std::string_view what) {
+    const Location loc = location_at(pos_);
+    return Error{std::move(code), std::string(what) + " at line " + std::to_string(loc.line) +
+                                      ", column " + std::to_string(loc.column)};
   }
 
   void skip_bom() {
-    if (input_.substr(0, 3) == "\xEF\xBB\xBF") pos_ = 3;
+    if (input_.substr(0, 3) == "\xEF\xBB\xBF") {
+      pos_ = 3;
+      // The BOM is not part of column accounting: column 1 stays the first
+      // real character, as it did when the BOM was skipped silently.
+      line_start_ = 3;
+      loc_scanned_ = 3;
+    }
   }
 
   void skip_misc_allowing_prolog(Document& doc) {
@@ -79,7 +114,7 @@ class Parser {
       const std::string_view prolog = input_.substr(pos_, end - pos_);
       extract_pseudo_attribute(prolog, "version", doc.version);
       extract_pseudo_attribute(prolog, "encoding", doc.encoding);
-      advance_by(end + 2 - pos_);
+      pos_ = end + 2;
     }
     skip_misc();
   }
@@ -105,14 +140,14 @@ class Parser {
           pos_ = input_.size();
           return;
         }
-        advance_by(end + 3 - pos_);
+        pos_ = end + 3;
       } else if (looking_at("<?")) {
         const std::size_t end = input_.find("?>", pos_);
         if (end == std::string_view::npos) {
           pos_ = input_.size();
           return;
         }
-        advance_by(end + 2 - pos_);
+        pos_ = end + 2;
       } else if (looking_at("<!DOCTYPE")) {
         // Skip doctype without internal subset; reject subsets.
         std::size_t scan = pos_;
@@ -122,7 +157,7 @@ class Parser {
           if (input_[scan] == ']') --depth;
           if (input_[scan] == '>' && depth == 0) break;
         }
-        advance_by(scan + 1 - pos_);
+        pos_ = scan < input_.size() ? scan + 1 : input_.size();
       } else {
         return;
       }
@@ -131,19 +166,29 @@ class Parser {
 
   void skip_trailing_misc() { skip_misc(); }
 
-  Result<std::string> parse_name() {
+  /// Scans a name token in place; the view aliases input_ and stays valid
+  /// for the parse. Callers that store the name copy it exactly once.
+  Result<std::string_view> scan_name() {
     if (at_end() || !is_name_start(peek())) return fail("xml.bad-name", "expected a name");
     const std::size_t start = pos_;
-    while (!at_end() && is_name_char(peek())) advance();
-    return std::string(input_.substr(start, pos_ - start));
+    std::size_t p = pos_ + 1;
+    while (p < input_.size() && is_name_char(input_[p])) ++p;
+    pos_ = p;
+    return input_.substr(start, p - start);
   }
 
   Result<std::string> decode_entities(std::string_view raw) {
+    std::size_t amp = raw.find('&');
+    if (amp == std::string_view::npos) return std::string(raw);  // common case: no entities
     std::string out;
     out.reserve(raw.size());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
+    out.append(raw, 0, amp);
+    for (std::size_t i = amp; i < raw.size(); ++i) {
       if (raw[i] != '&') {
-        out += raw[i];
+        const std::size_t next = raw.find('&', i);
+        const std::size_t run_end = next == std::string_view::npos ? raw.size() : next;
+        out.append(raw, i, run_end - i);
+        i = run_end - 1;
         continue;
       }
       const std::size_t semi = raw.find(';', i);
@@ -196,49 +241,50 @@ class Parser {
   }
 
   Result<Attribute> parse_attribute() {
-    Result<std::string> name = parse_name();
+    Result<std::string_view> name = scan_name();
     if (!name.ok()) return name.error();
     skip_space();
     if (at_end() || peek() != '=') return fail("xml.expected-eq", "expected '=' after attribute");
-    advance();
+    ++pos_;
     skip_space();
     if (at_end() || (peek() != '"' && peek() != '\'')) {
       return fail("xml.expected-quote", "expected quoted attribute value");
     }
     const char quote = peek();
-    advance();
+    ++pos_;
     const std::size_t start = pos_;
-    while (!at_end() && peek() != quote) {
-      if (peek() == '<') return fail("xml.lt-in-attr", "'<' not allowed in attribute value");
-      advance();
+    const std::size_t stop = input_.find_first_of(quote == '"' ? "\"<" : "'<", pos_);
+    if (stop == std::string_view::npos) {
+      pos_ = input_.size();
+      return fail("xml.unterminated-attr", "unterminated attribute value");
     }
-    if (at_end()) return fail("xml.unterminated-attr", "unterminated attribute value");
-    Result<std::string> value = decode_entities(input_.substr(start, pos_ - start));
+    pos_ = stop;
+    if (input_[stop] == '<') return fail("xml.lt-in-attr", "'<' not allowed in attribute value");
+    Result<std::string> value = decode_entities(input_.substr(start, stop - start));
     if (!value.ok()) return value.error();
-    advance();  // closing quote
-    return Attribute{std::move(name.value()), std::move(value.value())};
+    ++pos_;  // closing quote
+    return Attribute{std::string(name.value()), std::move(value.value())};
   }
 
   Result<Element> parse_element_node(std::size_t depth) {
     if (depth > options_.max_depth) return fail("xml.too-deep", "maximum nesting depth exceeded");
     if (at_end() || peek() != '<') return fail("xml.expected-element", "expected '<'");
-    const std::size_t tag_line = line_;
-    const std::size_t tag_column = column_;
-    advance();
-    Result<std::string> name = parse_name();
+    const Location tag_loc = location_at(pos_);
+    ++pos_;
+    Result<std::string_view> name = scan_name();
     if (!name.ok()) return name.error();
-    Element element{std::move(name.value())};
-    element.set_source_location(tag_line, tag_column);
+    Element element{std::string(name.value())};
+    element.set_source_location(tag_loc.line, tag_loc.column);
 
     while (true) {
       skip_space();
       if (at_end()) return fail("xml.unterminated-tag", "unterminated start tag");
       if (peek() == '>') {
-        advance();
+        ++pos_;
         break;
       }
       if (looking_at("/>")) {
-        advance_by(2);
+        pos_ += 2;
         return element;
       }
       Result<Attribute> attr = parse_attribute();
@@ -246,76 +292,85 @@ class Parser {
       if (element.has_attribute(attr.value().name)) {
         return fail("xml.duplicate-attr", "duplicate attribute '" + attr.value().name + "'");
       }
+      if (element.attributes().empty()) element.attributes().reserve(4);
       element.attributes().push_back(std::move(attr.value()));
     }
 
-    // Content until matching end tag.
+    // Content until matching end tag. Dispatch on the character after '<'
+    // instead of re-comparing token substrings for every child.
     while (true) {
       if (at_end()) {
         return fail("xml.unterminated-element", "missing end tag for '" + element.name() + "'");
       }
-      if (looking_at("</")) {
-        advance_by(2);
-        Result<std::string> end_name = parse_name();
+      if (peek() != '<') {
+        // Character data.
+        const std::size_t start = pos_;
+        const std::size_t lt = input_.find('<', pos_);
+        pos_ = lt == std::string_view::npos ? input_.size() : lt;
+        Result<std::string> text = decode_entities(input_.substr(start, pos_ - start));
+        if (!text.ok()) return text.error();
+        if (!trim(text.value()).empty()) element.add_text(std::move(text.value()));
+        continue;
+      }
+      const char next = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+      if (next == '/') {
+        pos_ += 2;
+        Result<std::string_view> end_name = scan_name();
         if (!end_name.ok()) return end_name.error();
         if (end_name.value() != element.name()) {
-          return fail("xml.mismatched-tag", "end tag '" + end_name.value() +
+          return fail("xml.mismatched-tag", "end tag '" + std::string(end_name.value()) +
                                                 "' does not match start tag '" + element.name() +
                                                 "'");
         }
         skip_space();
         if (at_end() || peek() != '>') return fail("xml.bad-end-tag", "malformed end tag");
-        advance();
+        ++pos_;
         return element;
       }
-      if (looking_at("<!--")) {
-        const std::size_t end = input_.find("-->", pos_);
-        if (end == std::string_view::npos) {
-          return fail("xml.unterminated-comment", "unterminated comment");
+      if (next == '!') {
+        if (looking_at("<!--")) {
+          const std::size_t end = input_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return fail("xml.unterminated-comment", "unterminated comment");
+          }
+          if (options_.keep_comments) {
+            element.add_comment(std::string(input_.substr(pos_ + 4, end - pos_ - 4)));
+          }
+          pos_ = end + 3;
+          continue;
         }
-        if (options_.keep_comments) {
-          element.add_comment(std::string(input_.substr(pos_ + 4, end - pos_ - 4)));
+        if (looking_at("<![CDATA[")) {
+          const std::size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return fail("xml.unterminated-cdata", "unterminated CDATA section");
+          }
+          element.add_cdata(std::string(input_.substr(pos_ + 9, end - pos_ - 9)));
+          pos_ = end + 3;
+          continue;
         }
-        advance_by(end + 3 - pos_);
-        continue;
-      }
-      if (looking_at("<![CDATA[")) {
-        const std::size_t end = input_.find("]]>", pos_);
-        if (end == std::string_view::npos) {
-          return fail("xml.unterminated-cdata", "unterminated CDATA section");
-        }
-        element.add_cdata(std::string(input_.substr(pos_ + 9, end - pos_ - 9)));
-        advance_by(end + 3 - pos_);
-        continue;
-      }
-      if (looking_at("<?")) {
+      } else if (next == '?') {
         const std::size_t end = input_.find("?>", pos_);
         if (end == std::string_view::npos) {
           return fail("xml.unterminated-pi", "unterminated processing instruction");
         }
-        advance_by(end + 2 - pos_);
+        pos_ = end + 2;
         continue;
       }
-      if (peek() == '<') {
-        Result<Element> child = parse_element_node(depth + 1);
-        if (!child.ok()) return child.error();
-        element.add_child(std::move(child.value()));
-        continue;
-      }
-      // Character data.
-      const std::size_t start = pos_;
-      while (!at_end() && peek() != '<') advance();
-      Result<std::string> text = decode_entities(input_.substr(start, pos_ - start));
-      if (!text.ok()) return text.error();
-      if (!trim(text.value()).empty()) element.add_text(std::move(text.value()));
+      if (element.children().empty()) element.children().reserve(4);
+      Result<Element> child = parse_element_node(depth + 1);
+      if (!child.ok()) return child.error();
+      element.add_child(std::move(child.value()));
     }
   }
 
   std::string_view input_;
   ParseOptions options_;
   std::size_t pos_ = 0;
+  // Lazy location state: how far newline counting has progressed, the line
+  // number at that point, and the index just past the last '\n' seen.
+  std::size_t loc_scanned_ = 0;
   std::size_t line_ = 1;
-  std::size_t column_ = 1;
+  std::size_t line_start_ = 0;
 };
 
 }  // namespace

@@ -25,12 +25,17 @@ void NamespaceScope::pop() {
 }
 
 std::optional<std::string> NamespaceScope::resolve_prefix(std::string_view prefix) const {
+  if (const std::string* uri = find_prefix(prefix)) return *uri;
+  return std::nullopt;
+}
+
+const std::string* NamespaceScope::find_prefix(std::string_view prefix) const {
   for (auto frame = frames_.rbegin(); frame != frames_.rend(); ++frame) {
     for (const Binding& binding : *frame) {
-      if (binding.prefix == prefix) return binding.uri;
+      if (binding.prefix == prefix) return &binding.uri;
     }
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 std::optional<QName> NamespaceScope::resolve(std::string_view lexical,
@@ -39,15 +44,15 @@ std::optional<QName> NamespaceScope::resolve(std::string_view lexical,
   if (colon == std::string_view::npos) {
     std::string uri;
     if (use_default_ns) {
-      if (std::optional<std::string> resolved = resolve_prefix("")) uri = *resolved;
+      if (const std::string* resolved = find_prefix("")) uri = *resolved;
     }
     return QName{std::move(uri), std::string(lexical)};
   }
   const std::string_view prefix = lexical.substr(0, colon);
   const std::string_view local = lexical.substr(colon + 1);
-  std::optional<std::string> uri = resolve_prefix(prefix);
-  if (!uri) return std::nullopt;  // undeclared prefix — caller decides severity
-  return QName{std::move(*uri), std::string(local), std::string(prefix)};
+  const std::string* uri = find_prefix(prefix);
+  if (uri == nullptr) return std::nullopt;  // undeclared prefix — caller decides severity
+  return QName{*uri, std::string(local), std::string(prefix)};
 }
 
 namespace {

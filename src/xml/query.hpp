@@ -26,6 +26,12 @@ class NamespaceScope {
   /// default namespace; "xml" is always bound per the XML spec.
   std::optional<std::string> resolve_prefix(std::string_view prefix) const;
 
+  /// Zero-copy variant: pointer to the bound URI (valid until the scope is
+  /// mutated), or nullptr when the prefix is undeclared. Hot paths that only
+  /// compare the URI use this to skip the std::string copy resolve_prefix
+  /// makes.
+  const std::string* find_prefix(std::string_view prefix) const;
+
   /// Resolves a lexical QName ("p:local" or "local"). Unprefixed names take
   /// the default namespace when `use_default_ns` is set (element names do;
   /// attribute names and many WSDL attribute values do not).

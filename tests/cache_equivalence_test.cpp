@@ -1,0 +1,279 @@
+// cache_equivalence_test — the parse-once cache must be invisible in every
+// campaign output. Each campaign (study, communication, chaos) runs with
+// the cache on and off, at jobs 1 and jobs 8, and must produce:
+//   * byte-identical CSV / JSONL artefacts, and
+//   * identical deterministic metric exports and span-tree shapes once the
+//     cache's own bookkeeping (every "*.parse.*" metric and the
+//     "phase:parse" span) is stripped.
+// The bookkeeping itself is then checked directly: cache off means zero
+// cache hits and one parse per generation gate; cache on means one parse
+// per deployed service and a cache hit per test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "chaos/campaign.hpp"
+#include "interop/communication.hpp"
+#include "interop/persistence.hpp"
+#include "interop/report_formats.hpp"
+#include "interop/study.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wsx {
+namespace {
+
+/// Small-but-not-tiny populations so 8 workers all get non-empty slices
+/// (same sizing rationale as the obs determinism pack).
+catalog::JavaCatalogSpec small_java() {
+  catalog::JavaCatalogSpec spec;
+  spec.plain_beans = 40;
+  spec.throwable_clean = 8;
+  spec.throwable_raw = 2;
+  spec.raw_generic_beans = 4;
+  spec.anytype_array_beans = 2;
+  spec.no_default_ctor = 12;
+  spec.abstract_classes = 6;
+  spec.interfaces = 8;
+  spec.generic_types = 4;
+  return spec;
+}
+
+catalog::DotNetCatalogSpec small_dotnet() {
+  catalog::DotNetCatalogSpec spec;
+  spec.plain_types = 42;
+  spec.dataset_plain = 2;
+  spec.deep_nesting_clean = 6;
+  spec.deep_nesting_pathological = 1;
+  spec.non_serializable = 16;
+  spec.no_default_ctor = 14;
+  spec.generic_types = 8;
+  spec.abstract_classes = 5;
+  spec.interfaces = 4;
+  return spec;
+}
+
+/// Drops every line containing `needle` — used to remove the "phase:parse"
+/// span from the tree shape before comparing across cache modes.
+std::string strip_lines_containing(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(needle) == std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+/// Removes the cache's own bookkeeping from a deterministic metric export:
+/// every field whose name contains ".parse" ("study.parse.cache_hits",
+/// "study.phase.parse_us", ...). Values are either integers or the flat
+/// {"count":N,"sum_us":N} histogram entries, so a single-level skip is
+/// enough.
+std::string strip_parse_fields(const std::string& json) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      out += json[i++];
+      continue;
+    }
+    const std::size_t name_end = json.find('"', i + 1);
+    const std::string_view name(json.data() + i + 1, name_end - i - 1);
+    if (name.find(".parse") == std::string_view::npos || json[name_end + 1] != ':') {
+      out.append(json, i, name_end + 1 - i);
+      i = name_end + 1;
+      continue;
+    }
+    std::size_t value_end = name_end + 2;
+    if (json[value_end] == '{') {
+      value_end = json.find('}', value_end) + 1;
+    } else {
+      while (value_end < json.size() && json[value_end] != ',' && json[value_end] != '}') {
+        ++value_end;
+      }
+    }
+    if (value_end < json.size() && json[value_end] == ',') {
+      ++value_end;  // interior field: swallow its trailing comma
+    } else if (!out.empty() && out.back() == ',') {
+      out.pop_back();  // last field: swallow the comma before it
+    }
+    i = value_end;
+  }
+  return out;
+}
+
+/// Everything a study run emits that the cache must not change.
+struct StudyArtifacts {
+  std::string fig4_csv;
+  std::string table3_csv;
+  std::string snapshot_csv;
+  std::vector<std::string> jsonl;  ///< one to_json_line() per test
+  std::string metrics;             ///< deterministic export, parse metrics stripped
+  std::string shape;               ///< span tree, phase:parse stripped
+  std::size_t cache_hits = 0;
+  std::size_t wsdl_parses = 0;
+  std::size_t tests = 0;
+};
+
+StudyArtifacts run_study(bool cache, std::size_t threads) {
+  const obs::FixedClock frozen;
+  obs::Tracer tracer(&frozen);
+  obs::Registry registry(&frozen);
+  interop::StudyConfig config;
+  config.java_spec = small_java();
+  config.dotnet_spec = small_dotnet();
+  config.threads = threads;
+  config.parse_cache = cache;
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  StudyArtifacts out;
+  config.observer = [&out](const interop::TestRecord& record) {
+    out.jsonl.push_back(interop::to_json_line(record));
+  };
+  const interop::StudyResult result = interop::run_study(config);
+  out.fig4_csv = interop::fig4_csv(result);
+  out.table3_csv = interop::table3_csv(result);
+  out.snapshot_csv = interop::to_snapshot_csv(result);
+  // Observer calls interleave across workers, so the log is order-free:
+  // sort before comparing (at jobs 1 the raw order is already stable).
+  std::sort(out.jsonl.begin(), out.jsonl.end());
+  out.metrics = strip_parse_fields(registry.to_json(obs::Export::kDeterministic));
+  out.shape = strip_lines_containing(tracer.shape(), "phase:parse");
+  out.cache_hits = static_cast<std::size_t>(registry.counter("study.parse.cache_hits").value());
+  out.wsdl_parses =
+      static_cast<std::size_t>(registry.counter("study.parse.wsdl_parses").value());
+  out.tests = result.total_tests();
+  return out;
+}
+
+void expect_same_study_outputs(const StudyArtifacts& a, const StudyArtifacts& b) {
+  EXPECT_EQ(a.fig4_csv, b.fig4_csv);
+  EXPECT_EQ(a.table3_csv, b.table3_csv);
+  EXPECT_EQ(a.snapshot_csv, b.snapshot_csv);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.shape, b.shape);
+}
+
+TEST(CacheEquivalence, StudyOutputsAreIdenticalWithAndWithoutCache) {
+  const StudyArtifacts on1 = run_study(/*cache=*/true, /*threads=*/1);
+  const StudyArtifacts off1 = run_study(/*cache=*/false, /*threads=*/1);
+  const StudyArtifacts on8 = run_study(/*cache=*/true, /*threads=*/8);
+  const StudyArtifacts off8 = run_study(/*cache=*/false, /*threads=*/8);
+  expect_same_study_outputs(on1, off1);
+  expect_same_study_outputs(on1, on8);
+  expect_same_study_outputs(on1, off8);
+  // The artefacts are non-trivial.
+  EXPECT_GT(on1.tests, 0u);
+  EXPECT_FALSE(on1.jsonl.empty());
+  EXPECT_NE(on1.metrics.find("study.tests_total"), std::string::npos);
+}
+
+TEST(CacheEquivalence, StudyCacheBookkeepingMatchesMode) {
+  const StudyArtifacts on = run_study(/*cache=*/true, /*threads=*/8);
+  const StudyArtifacts off = run_study(/*cache=*/false, /*threads=*/8);
+  // Cache on: one parse per deployed service, one hit per generation gate.
+  EXPECT_GT(on.cache_hits, 0u);
+  EXPECT_GT(on.wsdl_parses, 0u);
+  EXPECT_LT(on.wsdl_parses, on.tests);
+  // Cache off: no hits, and at least one parse per test that reaches the
+  // generation gate.
+  EXPECT_EQ(off.cache_hits, 0u);
+  EXPECT_GT(off.wsdl_parses, on.wsdl_parses);
+}
+
+/// Communication study: the cache feeds prepare_echo_call instead of the
+/// generation gate, but the contract is the same.
+struct CommArtifacts {
+  std::string csv;
+  std::string text;
+  std::string metrics;
+  std::string shape;
+
+  bool operator==(const CommArtifacts&) const = default;
+};
+
+CommArtifacts run_comm(bool cache, std::size_t threads) {
+  const obs::FixedClock frozen;
+  obs::Tracer tracer(&frozen);
+  obs::Registry registry(&frozen);
+  interop::StudyConfig config;
+  config.java_spec = small_java();
+  config.dotnet_spec = small_dotnet();
+  config.threads = threads;
+  config.parse_cache = cache;
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  const interop::CommunicationResult result = interop::run_communication_study(config);
+  CommArtifacts out;
+  out.csv = interop::communication_csv(result);
+  out.text = interop::format_communication(result);
+  out.metrics = strip_parse_fields(registry.to_json(obs::Export::kDeterministic));
+  out.shape = strip_lines_containing(tracer.shape(), "phase:parse");
+  return out;
+}
+
+TEST(CacheEquivalence, CommunicationOutputsAreIdenticalWithAndWithoutCache) {
+  const CommArtifacts on1 = run_comm(/*cache=*/true, /*threads=*/1);
+  const CommArtifacts off1 = run_comm(/*cache=*/false, /*threads=*/1);
+  const CommArtifacts on8 = run_comm(/*cache=*/true, /*threads=*/8);
+  const CommArtifacts off8 = run_comm(/*cache=*/false, /*threads=*/8);
+  EXPECT_EQ(on1, off1);
+  EXPECT_EQ(on1, on8);
+  EXPECT_EQ(on1, off8);
+  EXPECT_NE(on1.csv.find(','), std::string::npos);
+}
+
+/// Chaos campaign: the cache feeds the per-pair call chain.
+struct ChaosArtifacts {
+  std::string csv;
+  std::string recovery_json;
+  std::string metrics;
+  std::string shape;
+
+  bool operator==(const ChaosArtifacts&) const = default;
+};
+
+ChaosArtifacts run_chaos(bool cache, std::size_t jobs) {
+  const obs::FixedClock frozen;
+  obs::Tracer tracer(&frozen);
+  obs::Registry registry(&frozen);
+  chaos::ChaosConfig config;
+  config.java_spec = small_java();
+  config.dotnet_spec = small_dotnet();
+  config.plan.seed = 7;
+  config.calls_per_pair = 2;
+  config.jobs = jobs;
+  config.parse_cache = cache;
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  const chaos::ChaosResult result = chaos::run_chaos_study(config);
+  ChaosArtifacts out;
+  out.csv = chaos::chaos_csv(result);
+  out.recovery_json = chaos::chaos_recovery_json(result);
+  out.metrics = strip_parse_fields(registry.to_json(obs::Export::kDeterministic));
+  out.shape = strip_lines_containing(tracer.shape(), "phase:parse");
+  return out;
+}
+
+TEST(CacheEquivalence, ChaosOutputsAreIdenticalWithAndWithoutCache) {
+  const ChaosArtifacts on1 = run_chaos(/*cache=*/true, /*jobs=*/1);
+  const ChaosArtifacts off1 = run_chaos(/*cache=*/false, /*jobs=*/1);
+  const ChaosArtifacts on8 = run_chaos(/*cache=*/true, /*jobs=*/8);
+  const ChaosArtifacts off8 = run_chaos(/*cache=*/false, /*jobs=*/8);
+  EXPECT_EQ(on1, off1);
+  EXPECT_EQ(on1, on8);
+  EXPECT_EQ(on1, off8);
+  EXPECT_NE(on1.csv.find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsx

@@ -94,7 +94,9 @@ int usage() {
                "  scorecard   [--chaos] [--jobs N]\n"
                "  list\n"
                "campaign verbs (run, lint --corpus, communicate, chaos, profile) also\n"
-               "accept --trace FILE.jsonl and --metrics FILE.json\n";
+               "accept --trace FILE.jsonl and --metrics FILE.json; run, communicate,\n"
+               "chaos and profile accept --no-parse-cache to re-parse each WSDL per\n"
+               "client instead of sharing one parsed description per service\n";
   return 2;
 }
 
@@ -210,6 +212,8 @@ int cmd_run(const std::vector<std::string>& args) {
       log_path = args[++i];
     } else if (args[i] == "--snapshot" && i + 1 < args.size()) {
       snapshot_path = args[++i];
+    } else if (args[i] == "--no-parse-cache") {
+      config.parse_cache = false;
     } else {
       return usage();
     }
@@ -503,6 +507,8 @@ int cmd_communicate(const std::vector<std::string>& args) {
       apply_scale(config, percent);
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
+    } else if (args[i] == "--no-parse-cache") {
+      config.parse_cache = false;
     } else {
       return usage();
     }
@@ -564,6 +570,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
       csv_path = args[++i];
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
+    } else if (args[i] == "--no-parse-cache") {
+      config.parse_cache = false;
     } else {
       return usage();
     }
@@ -648,6 +656,7 @@ int cmd_scorecard(const std::vector<std::string>& args) {
 int cmd_profile(const std::vector<std::string>& args) {
   std::size_t scale = 10;
   std::size_t jobs = 0;
+  bool parse_cache = true;
   ObsSinks sinks;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (sinks.consume(args, i)) {
@@ -656,6 +665,8 @@ int cmd_profile(const std::vector<std::string>& args) {
       if (!parse_count(args[++i], scale)) return usage();
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], jobs)) return usage();
+    } else if (args[i] == "--no-parse-cache") {
+      parse_cache = false;
     } else {
       return usage();
     }
@@ -663,6 +674,7 @@ int cmd_profile(const std::vector<std::string>& args) {
   interop::StudyConfig config;
   apply_scale(config, scale);
   config.threads = jobs;
+  config.parse_cache = parse_cache;
   // Profiling without sinks would be pointless, so both are always live;
   // --trace/--metrics additionally export them.
   config.tracer = &sinks.tracer;
