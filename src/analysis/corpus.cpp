@@ -12,19 +12,8 @@
 #include "wsdl/parser.hpp"
 
 namespace wsx::analysis {
-namespace {
 
-/// One deployed description awaiting analysis.
-struct LintJob {
-  std::string server;
-  std::string service;
-  std::string type_name;
-  std::string uri;
-  std::string wsdl_text;
-  bool zero_operations = false;
-};
-
-ServiceAnalysis lint_one(const LintJob& job, const RuleConfig& rules) {
+ServiceAnalysis lint_service(const LintJob& job, const RuleConfig& rules) {
   ServiceAnalysis analysis;
   analysis.server = job.server;
   analysis.service = job.service;
@@ -49,8 +38,6 @@ ServiceAnalysis lint_one(const LintJob& job, const RuleConfig& rules) {
   analysis.findings = analyze(input, rules).findings;
   return analysis;
 }
-
-}  // namespace
 
 bool ServiceAnalysis::flagged_by(std::string_view rule_id) const {
   return std::any_of(findings.begin(), findings.end(),
@@ -86,13 +73,10 @@ std::string CorpusReport::summary() const {
          " servers: " + std::to_string(services_with_findings()) + " with findings";
 }
 
-CorpusReport analyze_corpus(const CorpusOptions& options) {
-  CorpusReport report;
-
-  obs::Span run_span(options.tracer, "lint-corpus");
-
+std::vector<LintJob> build_lint_corpus(const CorpusOptions& options, CorpusReport& report,
+                                       obs::SpanId parent_span) {
   // Preparation: the same corpus the study deploys (§III.A).
-  obs::Span deploy_span(options.tracer, "pass:deploy", run_span);
+  obs::Span deploy_span(options.tracer, "pass:deploy", parent_span);
   obs::ScopedTimer deploy_timer = obs::timer(options.metrics, "lint.phase.deploy_us");
   const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(options.java_spec);
   const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(options.dotnet_spec);
@@ -134,6 +118,14 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
   deploy_span.annotate("refused", report.deploy_refusals);
   deploy_span.end();
   deploy_timer.stop();
+  return jobs;
+}
+
+CorpusReport analyze_corpus(const CorpusOptions& options) {
+  CorpusReport report;
+
+  obs::Span run_span(options.tracer, "lint-corpus");
+  const std::vector<LintJob> jobs = build_lint_corpus(options, report, run_span.id());
 
   // Parallel lint: fixed slices merged in index order, so the report is
   // identical for any --jobs value.
@@ -144,7 +136,7 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
     slice.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
       obs::ScopedTimer one = obs::timer(options.metrics, "lint.step.lint_us");
-      slice.push_back(lint_one(jobs[i], options.rules));
+      slice.push_back(lint_service(jobs[i], options.rules));
     }
     return slice;
   };
@@ -168,10 +160,16 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
   lint_span.end();
   lint_timer.stop();
 
+  finalize_corpus_report(report, options, run_span.id());
+  return report;
+}
+
+void finalize_corpus_report(CorpusReport& report, const CorpusOptions& options,
+                            obs::SpanId parent_span) {
   // Failure-prediction join: replay the study over the same corpus and mark
   // services at least one client errored against (§III.B).
   if (options.join_study) {
-    obs::Span join_span(options.tracer, "pass:join", run_span);
+    obs::Span join_span(options.tracer, "pass:join", parent_span);
     obs::ScopedTimer join_timer = obs::timer(options.metrics, "lint.phase.join_us");
     report.joined = true;
     std::map<std::string, bool, std::less<>> errored;  // server/service → error
@@ -192,7 +190,7 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
   }
 
   // Per-rule tallies in registration order.
-  obs::Span tally_span(options.tracer, "pass:tally", run_span);
+  obs::Span tally_span(options.tracer, "pass:tally", parent_span);
   obs::ScopedTimer tally_timer = obs::timer(options.metrics, "lint.phase.tally_us");
   for (const auto& rule : RuleRegistry::builtin().rules()) {
     const RuleInfo& info = rule->info();
@@ -216,7 +214,6 @@ CorpusReport analyze_corpus(const CorpusOptions& options) {
     }
     report.rules.push_back(std::move(stats));
   }
-  return report;
 }
 
 std::string format_report(const CorpusReport& report) {

@@ -87,6 +87,37 @@ struct CorpusReport {
 /// Output is deterministic for a given options value regardless of `jobs`.
 CorpusReport analyze_corpus(const CorpusOptions& options = {});
 
+// --- Corpus passes, exposed for the resilience supervisor ---------------
+//
+// analyze_corpus = build_lint_corpus → lint_service per job → ordered
+// merge → finalize_corpus_report. The supervised driver replaces the
+// middle with checkpointable tasks and folds records through the same
+// sequence, so both paths produce identical reports.
+
+/// One deployed description awaiting analysis.
+struct LintJob {
+  std::string server;
+  std::string service;
+  std::string type_name;
+  std::string uri;
+  std::string wsdl_text;
+  bool zero_operations = false;
+};
+
+/// The deploy pass: generates and deploys the corpus on every server,
+/// seeding `report.servers` / `report.deploy_refusals`. Job order is the
+/// canonical corpus order.
+std::vector<LintJob> build_lint_corpus(const CorpusOptions& options, CorpusReport& report,
+                                       obs::SpanId parent_span = obs::kNoSpan);
+
+/// Lints one job (pure; safe to call from worker threads).
+ServiceAnalysis lint_service(const LintJob& job, const RuleConfig& rules);
+
+/// The join + tally passes over `report.services` (which must already be
+/// in corpus order).
+void finalize_corpus_report(CorpusReport& report, const CorpusOptions& options,
+                            obs::SpanId parent_span = obs::kNoSpan);
+
 /// Human-readable per-rule table (hits, and precision/recall when joined).
 std::string format_report(const CorpusReport& report);
 

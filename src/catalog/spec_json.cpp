@@ -1,0 +1,132 @@
+#include "catalog/spec_json.hpp"
+
+#include "common/json.hpp"
+
+namespace wsx::catalog {
+
+namespace {
+
+Error fail(std::string_view what) {
+  return Error{"spec.bad-field", "catalog spec JSON: " + std::string(what)};
+}
+
+/// Reads one required non-negative integer field.
+Result<std::uint64_t> read_count(const json::Value& object, std::string_view key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr || !member->is_number() || member->as_number() < 0) {
+    return fail("missing or invalid field '" + std::string(key) + "'");
+  }
+  return static_cast<std::uint64_t>(member->as_number());
+}
+
+}  // namespace
+
+std::string to_json(const JavaCatalogSpec& spec) {
+  return json::ObjectWriter{}
+      .field("seed", static_cast<std::size_t>(spec.seed))
+      .field("plain_beans", spec.plain_beans)
+      .field("throwable_clean", spec.throwable_clean)
+      .field("throwable_raw", spec.throwable_raw)
+      .field("raw_generic_beans", spec.raw_generic_beans)
+      .field("anytype_array_beans", spec.anytype_array_beans)
+      .field("async_interfaces", spec.async_interfaces)
+      .field("no_default_ctor", spec.no_default_ctor)
+      .field("abstract_classes", spec.abstract_classes)
+      .field("interfaces", spec.interfaces)
+      .field("generic_types", spec.generic_types)
+      .str();
+}
+
+std::string to_json(const DotNetCatalogSpec& spec) {
+  return json::ObjectWriter{}
+      .field("seed", static_cast<std::size_t>(spec.seed))
+      .field("plain_types", spec.plain_types)
+      .field("dataset_plain", spec.dataset_plain)
+      .field("dataset_duplicated", spec.dataset_duplicated)
+      .field("dataset_nested", spec.dataset_nested)
+      .field("dataset_array", spec.dataset_array)
+      .field("encoded_binding", spec.encoded_binding)
+      .field("missing_soap_action", spec.missing_soap_action)
+      .field("deep_nesting_clean", spec.deep_nesting_clean)
+      .field("deep_nesting_pathological", spec.deep_nesting_pathological)
+      .field("generator_crash", spec.generator_crash)
+      .field("non_serializable", spec.non_serializable)
+      .field("no_default_ctor", spec.no_default_ctor)
+      .field("generic_types", spec.generic_types)
+      .field("abstract_classes", spec.abstract_classes)
+      .field("interfaces", spec.interfaces)
+      .str();
+}
+
+Result<JavaCatalogSpec> java_spec_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& object = parsed.value();
+  if (!object.is_object()) return fail("expected an object");
+  JavaCatalogSpec spec;
+  struct FieldRef {
+    const char* key;
+    std::size_t* value;
+  };
+  Result<std::uint64_t> seed = read_count(object, "seed");
+  if (!seed.ok()) return seed.error();
+  spec.seed = seed.value();
+  const FieldRef fields[] = {
+      {"plain_beans", &spec.plain_beans},
+      {"throwable_clean", &spec.throwable_clean},
+      {"throwable_raw", &spec.throwable_raw},
+      {"raw_generic_beans", &spec.raw_generic_beans},
+      {"anytype_array_beans", &spec.anytype_array_beans},
+      {"async_interfaces", &spec.async_interfaces},
+      {"no_default_ctor", &spec.no_default_ctor},
+      {"abstract_classes", &spec.abstract_classes},
+      {"interfaces", &spec.interfaces},
+      {"generic_types", &spec.generic_types},
+  };
+  for (const FieldRef& field : fields) {
+    Result<std::uint64_t> value = read_count(object, field.key);
+    if (!value.ok()) return value.error();
+    *field.value = static_cast<std::size_t>(value.value());
+  }
+  return spec;
+}
+
+Result<DotNetCatalogSpec> dotnet_spec_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& object = parsed.value();
+  if (!object.is_object()) return fail("expected an object");
+  DotNetCatalogSpec spec;
+  struct FieldRef {
+    const char* key;
+    std::size_t* value;
+  };
+  Result<std::uint64_t> seed = read_count(object, "seed");
+  if (!seed.ok()) return seed.error();
+  spec.seed = seed.value();
+  const FieldRef fields[] = {
+      {"plain_types", &spec.plain_types},
+      {"dataset_plain", &spec.dataset_plain},
+      {"dataset_duplicated", &spec.dataset_duplicated},
+      {"dataset_nested", &spec.dataset_nested},
+      {"dataset_array", &spec.dataset_array},
+      {"encoded_binding", &spec.encoded_binding},
+      {"missing_soap_action", &spec.missing_soap_action},
+      {"deep_nesting_clean", &spec.deep_nesting_clean},
+      {"deep_nesting_pathological", &spec.deep_nesting_pathological},
+      {"generator_crash", &spec.generator_crash},
+      {"non_serializable", &spec.non_serializable},
+      {"no_default_ctor", &spec.no_default_ctor},
+      {"generic_types", &spec.generic_types},
+      {"abstract_classes", &spec.abstract_classes},
+      {"interfaces", &spec.interfaces},
+  };
+  for (const FieldRef& field : fields) {
+    Result<std::uint64_t> value = read_count(object, field.key);
+    if (!value.ok()) return value.error();
+    *field.value = static_cast<std::size_t>(value.value());
+  }
+  return spec;
+}
+
+}  // namespace wsx::catalog

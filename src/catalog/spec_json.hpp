@@ -1,0 +1,28 @@
+// spec_json.hpp — canonical JSON round-trip for the catalog population
+// specs. The resilience journal fingerprints a campaign by its full config;
+// the specs are the largest part of that config, and `wsinterop resume`
+// rebuilds them from the journal header, so serialization must be lossless
+// and canonical (fixed field order, integer formatting — see
+// json::to_text's round-trip guarantee).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "common/result.hpp"
+
+namespace wsx::catalog {
+
+/// Renders the spec as one JSON object with every population quota.
+std::string to_json(const JavaCatalogSpec& spec);
+std::string to_json(const DotNetCatalogSpec& spec);
+
+/// Parses a spec serialized by to_json. Errors use the "spec." prefix;
+/// every field is required (a journal written by a newer layout must not
+/// silently resume with defaults).
+Result<JavaCatalogSpec> java_spec_from_json(std::string_view text);
+Result<DotNetCatalogSpec> dotnet_spec_from_json(std::string_view text);
+
+}  // namespace wsx::catalog

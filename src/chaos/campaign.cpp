@@ -32,6 +32,8 @@ const char* to_string(ChaosOutcome outcome) {
       return "failed fast";
     case ChaosOutcome::kHung:
       return "hung";
+    case ChaosOutcome::kTimedOut:
+      return "timed out";
   }
   return "unknown";
 }
@@ -227,6 +229,55 @@ CallRecord execute_call(const FaultyWire& wire,
 
 }  // namespace
 
+ChainDelta run_chaos_chain(const FaultyWire& wire,
+                           const frameworks::ServerFramework& server,
+                           const frameworks::DeployedService& service,
+                           const frameworks::SharedDescription* description,
+                           const frameworks::ClientFramework& client,
+                           const compilers::Compiler* compiler,
+                           const ResiliencePolicy& policy, const ChaosConfig& config) {
+  ChainDelta delta;
+  const frameworks::PreparedCall call =
+      description != nullptr
+          ? frameworks::prepare_echo_call(service, *description, client, compiler)
+          : frameworks::prepare_echo_call(service, client, compiler);
+  obs::add(config.metrics,
+           config.parse_cache ? "chaos.parse.cache_hits" : "chaos.parse.wsdl_parses");
+  if (call.status != frameworks::PreparedCall::Status::kReady) {
+    delta.outcomes[static_cast<std::size_t>(ChaosOutcome::kBlockedEarlier)] +=
+        config.calls_per_pair;
+    return delta;
+  }
+  // One chain per (client, endpoint): clock and breaker persist across the
+  // pair's calls, so bursts on an early call can fail-fast later ones.
+  VirtualClock clock;
+  CircuitBreaker breaker(config.breaker);
+  for (std::size_t call_no = 0; call_no < config.calls_per_pair; ++call_no) {
+    const std::string call_id = server.name() + '|' + service.spec.service_name() + '|' +
+                                client.name() + '|' + std::to_string(call_no);
+    const CallSchedule schedule = wire.schedule(call_id);
+    const CallRecord record =
+        execute_call(wire, service, call, policy, schedule, clock, breaker);
+    ++delta.outcomes[static_cast<std::size_t>(record.outcome)];
+    delta.retransmits += record.retransmits;
+    delta.faulted_attempts += record.faulted_attempts;
+    obs::add(config.metrics, "chaos.calls_total");
+    obs::add(config.metrics, "chaos.retransmits", record.retransmits);
+    obs::add(config.metrics, "chaos.faults_injected", record.faulted_attempts);
+    if (record.faulted_attempts > 0) {
+      ++delta.challenged;
+      if (record.outcome == ChaosOutcome::kOk ||
+          record.outcome == ChaosOutcome::kRecovered ||
+          record.outcome == ChaosOutcome::kDegradedOk) {
+        ++delta.challenged_ok;
+      }
+    }
+  }
+  delta.breaker_trips = breaker.trips();
+  delta.virtual_ms = clock.now_ms();
+  return delta;
+}
+
 ChaosResult run_chaos_study(const ChaosConfig& config) {
   ChaosResult result;
   result.plan = config.plan;
@@ -305,71 +356,32 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
     // Invocations parallelize over services; every chain (one client against
     // one endpoint) runs sequentially inside its slice with its own virtual
     // clock and breaker, so the result is independent of the slicing.
-    struct PartialCell {
-      std::array<std::size_t, kChaosOutcomeCount> outcomes{};
-      std::size_t retransmits = 0;
-      std::size_t faulted_attempts = 0;
-      std::size_t challenged = 0;
-      std::size_t challenged_ok = 0;
-      std::size_t breaker_trips = 0;
-      std::uint64_t virtual_ms = 0;
-    };
     obs::Span calls_span(config.tracer, "phase:calls", round_span);
     obs::ScopedTimer calls_timer = obs::timer(config.metrics, "chaos.phase.calls_us");
     const auto run_slice = [&](std::size_t begin, std::size_t end) {
-      std::vector<PartialCell> partial(clients.size());
+      std::vector<ChainDelta> partial(clients.size());
       for (std::size_t index = begin; index < end; ++index) {
-        const frameworks::DeployedService& service = deployed[index];
         for (std::size_t i = 0; i < clients.size(); ++i) {
-          PartialCell& cell = partial[i];
-          const frameworks::PreparedCall call =
-              config.parse_cache
-                  ? frameworks::prepare_echo_call(service, descriptions[index], *clients[i],
-                                                  client_compilers[i].get())
-                  : frameworks::prepare_echo_call(service, *clients[i],
-                                                  client_compilers[i].get());
-          obs::add(config.metrics,
-                   config.parse_cache ? "chaos.parse.cache_hits" : "chaos.parse.wsdl_parses");
-          if (call.status != frameworks::PreparedCall::Status::kReady) {
-            cell.outcomes[static_cast<std::size_t>(ChaosOutcome::kBlockedEarlier)] +=
-                config.calls_per_pair;
-            continue;
+          const ChainDelta delta = run_chaos_chain(
+              wire, *server, deployed[index],
+              config.parse_cache ? &descriptions[index] : nullptr, *clients[i],
+              client_compilers[i].get(), policies[i], config);
+          ChainDelta& cell = partial[i];
+          for (std::size_t outcome = 0; outcome < kChaosOutcomeCount; ++outcome) {
+            cell.outcomes[outcome] += delta.outcomes[outcome];
           }
-          // One chain per (client, endpoint): clock and breaker persist
-          // across the pair's calls.
-          VirtualClock clock;
-          CircuitBreaker breaker(config.breaker);
-          for (std::size_t call_no = 0; call_no < config.calls_per_pair; ++call_no) {
-            const std::string call_id = server->name() + '|' +
-                                        service.spec.service_name() + '|' +
-                                        clients[i]->name() + '|' +
-                                        std::to_string(call_no);
-            const CallSchedule schedule = wire.schedule(call_id);
-            const CallRecord record = execute_call(wire, service, call, policies[i],
-                                                   schedule, clock, breaker);
-            ++cell.outcomes[static_cast<std::size_t>(record.outcome)];
-            cell.retransmits += record.retransmits;
-            cell.faulted_attempts += record.faulted_attempts;
-            obs::add(config.metrics, "chaos.calls_total");
-            obs::add(config.metrics, "chaos.retransmits", record.retransmits);
-            obs::add(config.metrics, "chaos.faults_injected", record.faulted_attempts);
-            if (record.faulted_attempts > 0) {
-              ++cell.challenged;
-              if (record.outcome == ChaosOutcome::kOk ||
-                  record.outcome == ChaosOutcome::kRecovered ||
-                  record.outcome == ChaosOutcome::kDegradedOk) {
-                ++cell.challenged_ok;
-              }
-            }
-          }
-          cell.breaker_trips += breaker.trips();
-          cell.virtual_ms += clock.now_ms();
+          cell.retransmits += delta.retransmits;
+          cell.faulted_attempts += delta.faulted_attempts;
+          cell.challenged += delta.challenged;
+          cell.challenged_ok += delta.challenged_ok;
+          cell.breaker_trips += delta.breaker_trips;
+          cell.virtual_ms += delta.virtual_ms;
         }
       }
       return partial;
     };
     PoolStats pool_stats;
-    const std::vector<std::vector<PartialCell>> partials =
+    const std::vector<std::vector<ChainDelta>> partials =
         parallel_slices(deployed.size(), config.jobs, run_slice, &pool_stats);
     if (config.metrics != nullptr) {
       config.metrics->gauge("chaos.pool.workers").set_max(
@@ -377,7 +389,7 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
       config.metrics->gauge("chaos.pool.max_queue_depth").set_max(
           static_cast<std::int64_t>(pool_stats.max_queue_depth));
     }
-    for (const std::vector<PartialCell>& partial : partials) {
+    for (const std::vector<ChainDelta>& partial : partials) {
       for (std::size_t i = 0; i < clients.size(); ++i) {
         ChaosCell& cell = server_result.cells[i];
         for (std::size_t outcome = 0; outcome < kChaosOutcomeCount; ++outcome) {
@@ -433,8 +445,8 @@ std::string format_chaos(const ChaosResult& result) {
     out << "  " << std::left << std::setw(44) << "client" << std::right << std::setw(6)
         << "calls" << std::setw(6) << "ok" << std::setw(10) << "recovered" << std::setw(9)
         << "degraded" << std::setw(9) << "app-fail" << std::setw(10) << "exhausted"
-        << std::setw(10) << "fail-fast" << std::setw(6) << "hung" << std::setw(6) << "retx"
-        << "\n";
+        << std::setw(10) << "fail-fast" << std::setw(6) << "hung" << std::setw(10)
+        << "timed-out" << std::setw(6) << "retx" << "\n";
     for (const ChaosCell& cell : server.cells) {
       out << "  " << std::left << std::setw(44) << cell.client << std::right << std::setw(6)
           << cell.attempted() << std::setw(6) << cell.count(ChaosOutcome::kOk)
@@ -443,7 +455,8 @@ std::string format_chaos(const ChaosResult& result) {
           << cell.count(ChaosOutcome::kAppFailure) << std::setw(10)
           << cell.count(ChaosOutcome::kExhaustedRetries) << std::setw(10)
           << cell.count(ChaosOutcome::kFailedFast) << std::setw(6)
-          << cell.count(ChaosOutcome::kHung) << std::setw(6) << cell.retransmits << "\n";
+          << cell.count(ChaosOutcome::kHung) << std::setw(10)
+          << cell.count(ChaosOutcome::kTimedOut) << std::setw(6) << cell.retransmits << "\n";
     }
   }
   out << "totals: " << result.total_attempted() << " calls, "
@@ -485,8 +498,8 @@ std::string chaos_markdown(const ChaosResult& result) {
   out << "## Wire-fault resilience matrix\n\n";
   out << plan_summary(result) << "\n\n";
   out << "| client | ok | recovered | degraded | app-failure | exhausted | "
-         "failed-fast | hung | retransmits | recovery% |\n";
-  out << "|---|---|---|---|---|---|---|---|---|---|\n";
+         "failed-fast | hung | timed-out | retransmits | recovery% |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|\n";
   const auto count = [](const Row& row, ChaosOutcome outcome) {
     return row.outcomes[static_cast<std::size_t>(outcome)];
   };
@@ -501,7 +514,8 @@ std::string chaos_markdown(const ChaosResult& result) {
         << count(row, ChaosOutcome::kAppFailure) << " | "
         << count(row, ChaosOutcome::kExhaustedRetries) << " | "
         << count(row, ChaosOutcome::kFailedFast) << " | "
-        << count(row, ChaosOutcome::kHung) << " | " << row.retransmits << " | "
+        << count(row, ChaosOutcome::kHung) << " | " << count(row, ChaosOutcome::kTimedOut)
+        << " | " << row.retransmits << " | "
         << std::fixed << std::setprecision(1) << rate << " |\n";
   }
   return out.str();
@@ -510,8 +524,8 @@ std::string chaos_markdown(const ChaosResult& result) {
 std::string chaos_csv(const ChaosResult& result) {
   std::ostringstream out;
   out << "server,client,blocked,ok,recovered,degraded,app_failure,exhausted,"
-         "failed_fast,hung,retransmits,faulted_attempts,challenged,challenged_ok,"
-         "breaker_trips,virtual_ms\n";
+         "failed_fast,hung,timed_out,retransmits,faulted_attempts,challenged,"
+         "challenged_ok,breaker_trips,virtual_ms\n";
   for (const ChaosServerResult& server : result.servers) {
     for (const ChaosCell& cell : server.cells) {
       out << server.server << ',' << cell.client << ','
@@ -521,7 +535,8 @@ std::string chaos_csv(const ChaosResult& result) {
           << cell.count(ChaosOutcome::kAppFailure) << ','
           << cell.count(ChaosOutcome::kExhaustedRetries) << ','
           << cell.count(ChaosOutcome::kFailedFast) << ','
-          << cell.count(ChaosOutcome::kHung) << ',' << cell.retransmits << ','
+          << cell.count(ChaosOutcome::kHung) << ',' << cell.count(ChaosOutcome::kTimedOut)
+          << ',' << cell.retransmits << ','
           << cell.faulted_attempts << ',' << cell.challenged << ',' << cell.challenged_ok
           << ',' << cell.breaker_trips << ',' << cell.virtual_ms << '\n';
     }

@@ -26,7 +26,20 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+namespace wsx::compilers {
+class Compiler;
+}  // namespace wsx::compilers
+
+namespace wsx::frameworks {
+class ClientFramework;
+class ServerFramework;
+class SharedDescription;
+struct DeployedService;
+}  // namespace wsx::frameworks
+
 namespace wsx::chaos {
+
+class FaultyWire;
 
 /// How one logical call ended, resilience included.
 enum class ChaosOutcome {
@@ -42,8 +55,11 @@ enum class ChaosOutcome {
   kFailedFast,        ///< the policy (or the circuit breaker, or the
                       ///< idempotency gate) aborted without retransmitting
   kHung,              ///< still waiting when the call budget ran out
+  kTimedOut,          ///< the supervisor's per-task deadline aborted the
+                      ///< chain before this call ran (resilience layer;
+                      ///< never produced by an unsupervised run)
 };
-inline constexpr std::size_t kChaosOutcomeCount = 8;
+inline constexpr std::size_t kChaosOutcomeCount = 9;
 
 const char* to_string(ChaosOutcome outcome);
 
@@ -109,6 +125,32 @@ struct ChaosConfig {
 /// Runs the chaos campaign. Output is a pure function of the config —
 /// identical for every `jobs` value.
 ChaosResult run_chaos_study(const ChaosConfig& config = {});
+
+/// Everything one client chain contributes to its (server, client) cell:
+/// calls_per_pair logical calls against one endpoint over a persistent
+/// virtual clock and circuit breaker. The unit the campaign parallelizes
+/// over, and the unit the resilience supervisor checkpoints.
+struct ChainDelta {
+  std::array<std::size_t, kChaosOutcomeCount> outcomes{};
+  std::size_t retransmits = 0;
+  std::size_t faulted_attempts = 0;
+  std::size_t challenged = 0;
+  std::size_t challenged_ok = 0;
+  std::size_t breaker_trips = 0;
+  std::uint64_t virtual_ms = 0;
+};
+
+/// Runs one chain. `description` is the campaign's shared parse (null =
+/// re-parse, the --no-parse-cache path); `compiler` is null for dynamic
+/// clients. Pure in its inputs — the determinism guarantee of the chaos
+/// study rests on it.
+ChainDelta run_chaos_chain(const FaultyWire& wire,
+                           const frameworks::ServerFramework& server,
+                           const frameworks::DeployedService& service,
+                           const frameworks::SharedDescription* description,
+                           const frameworks::ClientFramework& client,
+                           const compilers::Compiler* compiler,
+                           const ResiliencePolicy& policy, const ChaosConfig& config);
 
 /// Human-readable per-server matrix.
 std::string format_chaos(const ChaosResult& result);

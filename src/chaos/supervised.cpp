@@ -1,0 +1,302 @@
+#include "chaos/supervised.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "catalog/spec_json.hpp"
+#include "chaos/wire.hpp"
+#include "common/json.hpp"
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
+
+namespace wsx::chaos {
+namespace {
+
+Error bad_config(const std::string& what) {
+  return Error{"resilience.bad-config", "chaos config: " + what};
+}
+
+Error bad_record(const std::string& id, const std::string& what) {
+  return Error{"resilience.bad-record", "task record for '" + id + "': " + what};
+}
+
+bool read_count(const json::Value& value, std::string_view key, std::size_t& out) {
+  const json::Value* member = value.find(key);
+  if (member == nullptr || !member->is_number()) return false;
+  out = static_cast<std::size_t>(member->as_number());
+  return true;
+}
+
+std::string chain_delta_json(const ChainDelta& delta) {
+  json::ArrayWriter outcomes;
+  for (const std::size_t count : delta.outcomes) {
+    outcomes.raw_item(std::to_string(count));
+  }
+  return json::ObjectWriter{}
+      .raw_field("o", outcomes.str())
+      .field("rt", delta.retransmits)
+      .field("fa", delta.faulted_attempts)
+      .field("ch", delta.challenged)
+      .field("cok", delta.challenged_ok)
+      .field("bt", delta.breaker_trips)
+      .field("vms", static_cast<std::size_t>(delta.virtual_ms))
+      .str();
+}
+
+bool chain_delta_from_json(const json::Value& value, ChainDelta& out) {
+  const json::Value* outcomes = value.find("o");
+  if (outcomes == nullptr || !outcomes->is_array() ||
+      outcomes->size() != kChaosOutcomeCount) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kChaosOutcomeCount; ++i) {
+    const json::Value& count = outcomes->items()[i];
+    if (!count.is_number()) return false;
+    out.outcomes[i] = static_cast<std::size_t>(count.as_number());
+  }
+  std::size_t vms = 0;
+  if (!read_count(value, "rt", out.retransmits) || !read_count(value, "fa", out.faulted_attempts) ||
+      !read_count(value, "ch", out.challenged) || !read_count(value, "cok", out.challenged_ok) ||
+      !read_count(value, "bt", out.breaker_trips) || !read_count(value, "vms", vms)) {
+    return false;
+  }
+  out.virtual_ms = vms;
+  return true;
+}
+
+std::pair<std::size_t, std::size_t> locate_task(const std::vector<std::size_t>& first_task,
+                                                std::size_t task) {
+  std::size_t server_index = first_task.size() - 1;
+  while (first_task[server_index] > task) --server_index;
+  return {server_index, task - first_task[server_index]};
+}
+
+}  // namespace
+
+std::string chaos_config_json(const ChaosConfig& config) {
+  json::ArrayWriter kinds;
+  for (const FaultKind kind : config.plan.kinds) kinds.item(to_string(kind));
+  return json::ObjectWriter{}
+      .raw_field("java", catalog::to_json(config.java_spec))
+      .raw_field("dotnet", catalog::to_json(config.dotnet_spec))
+      .field("seed", static_cast<std::size_t>(config.plan.seed))
+      .field("rate_percent", static_cast<std::size_t>(config.plan.rate_percent))
+      .field("max_burst", static_cast<std::size_t>(config.plan.max_burst))
+      .raw_field("kinds", kinds.str())
+      .field("breaker_failure_threshold",
+             static_cast<std::size_t>(config.breaker.failure_threshold))
+      .field("breaker_open_ms", static_cast<std::size_t>(config.breaker.open_ms))
+      .field("calls_per_pair", config.calls_per_pair)
+      .field("parse_cache", config.parse_cache)
+      .str();
+}
+
+Result<ChaosConfig> chaos_config_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  ChaosConfig config;
+  const json::Value* java = parsed->find("java");
+  const json::Value* dotnet = parsed->find("dotnet");
+  if (java == nullptr || !java->is_object() || dotnet == nullptr || !dotnet->is_object()) {
+    return bad_config("missing catalog specs");
+  }
+  Result<catalog::JavaCatalogSpec> java_spec = catalog::java_spec_from_json(json::to_text(*java));
+  if (!java_spec.ok()) return java_spec.error();
+  config.java_spec = java_spec.value();
+  Result<catalog::DotNetCatalogSpec> dotnet_spec =
+      catalog::dotnet_spec_from_json(json::to_text(*dotnet));
+  if (!dotnet_spec.ok()) return dotnet_spec.error();
+  config.dotnet_spec = dotnet_spec.value();
+
+  std::size_t seed = 0;
+  std::size_t rate_percent = 0;
+  std::size_t max_burst = 0;
+  std::size_t failure_threshold = 0;
+  std::size_t open_ms = 0;
+  if (!read_count(*parsed, "seed", seed) || !read_count(*parsed, "rate_percent", rate_percent) ||
+      !read_count(*parsed, "max_burst", max_burst) ||
+      !read_count(*parsed, "breaker_failure_threshold", failure_threshold) ||
+      !read_count(*parsed, "breaker_open_ms", open_ms) ||
+      !read_count(*parsed, "calls_per_pair", config.calls_per_pair)) {
+    return bad_config("missing plan/breaker counters");
+  }
+  config.plan.seed = seed;
+  config.plan.rate_percent = static_cast<unsigned>(rate_percent);
+  config.plan.max_burst = static_cast<unsigned>(max_burst);
+  config.breaker.failure_threshold = static_cast<unsigned>(failure_threshold);
+  config.breaker.open_ms = open_ms;
+  const json::Value* kinds = parsed->find("kinds");
+  if (kinds == nullptr || !kinds->is_array()) return bad_config("missing kinds");
+  for (const json::Value& kind : kinds->items()) {
+    if (!kind.is_string()) return bad_config("malformed fault kind");
+    const std::optional<FaultKind> known = parse_fault_kind(kind.as_string());
+    if (!known.has_value()) return bad_config("unknown fault kind '" + kind.as_string() + "'");
+    config.plan.kinds.push_back(*known);
+  }
+  const json::Value* cache = parsed->find("parse_cache");
+  if (cache == nullptr || !cache->is_bool()) return bad_config("missing parse_cache");
+  config.parse_cache = cache->as_bool();
+  return config;
+}
+
+Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
+                                                   const SupervisedChaosOptions& options) {
+  SupervisedChaosResult out;
+  ChaosResult& result = out.chaos;
+  result.plan = config.plan;
+  result.calls_per_pair = config.calls_per_pair;
+
+  obs::Span run_span(config.tracer, "chaos");
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
+  const catalog::TypeCatalog dotnet_catalog =
+      catalog::make_dotnet_catalog(config.dotnet_spec);
+  const auto servers = frameworks::make_servers();
+  const auto clients = frameworks::make_clients();
+  std::vector<std::unique_ptr<compilers::Compiler>> client_compilers;
+  std::vector<ResiliencePolicy> policies;
+  for (const auto& client : clients) {
+    client_compilers.push_back(compilers::make_compiler(client->language()));
+    policies.push_back(policy_for(client->name()));
+  }
+
+  // Deploy + shared parse up front, as in run_chaos_study; the chains run
+  // under supervision.
+  struct PreparedRound {
+    std::unique_ptr<FaultyWire> wire;
+    std::vector<frameworks::DeployedService> deployed;
+    std::vector<frameworks::SharedDescription> descriptions;
+  };
+  std::vector<PreparedRound> prepared;
+  std::vector<std::size_t> first_task;
+  resilience::CampaignTasks tasks;
+  tasks.campaign = "chaos";
+  tasks.config_json = chaos_config_json(config);
+  for (const auto& server : servers) {
+    const catalog::TypeCatalog& catalog =
+        server->language() == "C#" ? dotnet_catalog : java_catalog;
+    obs::Span round_span(config.tracer, "round:" + server->name(), run_span);
+    obs::Span deploy_span(config.tracer, "phase:deploy", round_span);
+    obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "chaos.phase.deploy_us");
+    PreparedRound round;
+    round.wire = std::make_unique<FaultyWire>(*server, config.plan);
+    for (const catalog::TypeInfo& type : catalog.types()) {
+      Result<frameworks::DeployedService> service =
+          server->deploy(frameworks::ServiceSpec{&type});
+      if (service.ok()) round.deployed.push_back(std::move(service.value()));
+    }
+    obs::add(config.metrics, "chaos.services_deployed", round.deployed.size());
+    deploy_span.annotate("deployed", round.deployed.size());
+    deploy_span.end();
+    deploy_timer.stop();
+    if (config.parse_cache) {
+      obs::Span parse_span(config.tracer, "phase:parse", round_span);
+      obs::ScopedTimer parse_timer = obs::timer(config.metrics, "chaos.phase.parse_us");
+      round.descriptions.reserve(round.deployed.size());
+      for (const frameworks::DeployedService& service : round.deployed) {
+        round.descriptions.push_back(
+            frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false));
+      }
+      obs::add(config.metrics, "chaos.parse.wsdl_parses", round.descriptions.size());
+      parse_span.end();
+      parse_timer.stop();
+    }
+    first_task.push_back(tasks.ids.size());
+    for (const frameworks::DeployedService& service : round.deployed) {
+      tasks.ids.push_back(server->name() + "|" + service.spec.service_name());
+    }
+    prepared.push_back(std::move(round));
+  }
+
+  // One task = every client chain against one endpoint. Each chain's
+  // virtual milliseconds are charged against the supervisor deadline.
+  tasks.run = [&](std::size_t index, resilience::TaskContext& context) {
+    const auto [server_index, service_index] = locate_task(first_task, index);
+    const PreparedRound& round = prepared[server_index];
+    const frameworks::DeployedService& service = round.deployed[service_index];
+    const frameworks::SharedDescription* description =
+        config.parse_cache ? &round.descriptions[service_index] : nullptr;
+    json::ArrayWriter rows;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const ChainDelta delta =
+          run_chaos_chain(*round.wire, *servers[server_index], service, description,
+                          *clients[i], client_compilers[i].get(), policies[i], config);
+      context.charge(delta.virtual_ms);
+      rows.raw_item(chain_delta_json(delta));
+    }
+    return json::ObjectWriter{}.raw_field("clients", rows.str()).str();
+  };
+
+  obs::Span calls_span(config.tracer, "phase:calls", run_span);
+  obs::ScopedTimer calls_timer = obs::timer(config.metrics, "chaos.phase.calls_us");
+  resilience::SupervisorOptions sup;
+  sup.journal = options.journal;
+  sup.jobs = config.jobs;
+  sup.checkpoint_path = options.checkpoint_path;
+  sup.resume = options.resume;
+  sup.trip_after_tasks = options.trip_after_tasks;
+  sup.metrics = config.metrics;
+  Result<resilience::SupervisorReport> supervised = resilience::supervise(tasks, sup);
+  calls_span.end();
+  calls_timer.stop();
+  if (!supervised.ok()) return supervised.error();
+  out.supervisor = std::move(supervised.value());
+
+  // Fold in task order. Completed chains add their deltas; deadline
+  // quarantines synthesize kTimedOut for the whole pair population.
+  for (std::size_t server_index = 0; server_index < servers.size(); ++server_index) {
+    ChaosServerResult server_result;
+    server_result.server = servers[server_index]->name();
+    server_result.services_deployed = prepared[server_index].deployed.size();
+    for (const auto& client : clients) {
+      ChaosCell cell;
+      cell.client = client->name();
+      server_result.cells.push_back(std::move(cell));
+    }
+    result.servers.push_back(std::move(server_result));
+  }
+  for (const resilience::TaskOutcome& task : out.supervisor.tasks) {
+    const auto [server_index, service_index] = locate_task(first_task, task.task);
+    ChaosServerResult& server_result = result.servers[server_index];
+    if (task.state == resilience::TaskState::kQuarantined && task.timed_out) {
+      for (ChaosCell& cell : server_result.cells) {
+        cell.outcomes[static_cast<std::size_t>(ChaosOutcome::kTimedOut)] +=
+            config.calls_per_pair;
+      }
+      continue;
+    }
+    if (task.state != resilience::TaskState::kCompleted) continue;
+    Result<json::Value> record = json::parse(task.record);
+    if (!record.ok()) return record.error();
+    const json::Value* rows = record->find("clients");
+    if (rows == nullptr || !rows->is_array() || rows->size() != clients.size()) {
+      return bad_record(task.id, "client row count mismatch");
+    }
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      ChainDelta delta;
+      if (!chain_delta_from_json(rows->items()[i], delta)) {
+        return bad_record(task.id, "malformed chain delta");
+      }
+      ChaosCell& cell = server_result.cells[i];
+      for (std::size_t outcome = 0; outcome < kChaosOutcomeCount; ++outcome) {
+        cell.outcomes[outcome] += delta.outcomes[outcome];
+      }
+      cell.retransmits += delta.retransmits;
+      cell.faulted_attempts += delta.faulted_attempts;
+      cell.challenged += delta.challenged;
+      cell.challenged_ok += delta.challenged_ok;
+      cell.breaker_trips += delta.breaker_trips;
+      cell.virtual_ms += delta.virtual_ms;
+    }
+  }
+  for (const ChaosServerResult& server_result : result.servers) {
+    for (const ChaosCell& cell : server_result.cells) {
+      obs::add(config.metrics, "chaos.breaker_trips", cell.breaker_trips);
+      obs::add(config.metrics, "chaos.challenged", cell.challenged);
+      obs::add(config.metrics, "chaos.challenged_ok", cell.challenged_ok);
+    }
+  }
+  return out;
+}
+
+}  // namespace wsx::chaos

@@ -1,0 +1,46 @@
+// supervised.hpp — the chaos campaign re-driven under the resilience
+// supervisor (src/resilience/supervisor.hpp).
+//
+// Task granularity is one deployed service per server; one task runs every
+// client's chain against that endpoint and charges each chain's virtual
+// milliseconds against the supervisor's per-task deadline. A deadline- or
+// crash-quarantined service is not silently dropped: when the quarantine
+// was caused by the deadline, every client cell of that service is folded
+// as the kTimedOut chaos outcome (calls_per_pair calls each), so the
+// resilience matrix still accounts for the full call population.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "chaos/campaign.hpp"
+#include "common/result.hpp"
+#include "resilience/supervisor.hpp"
+
+namespace wsx::chaos {
+
+/// Supervisor knobs for the chaos verb (mirrors interop::SupervisedOptions;
+/// jobs lives in ChaosConfig::jobs).
+struct SupervisedChaosOptions {
+  resilience::JournalOptions journal;
+  std::string checkpoint_path;
+  const resilience::Journal* resume = nullptr;
+  std::size_t trip_after_tasks = 0;
+};
+
+/// Canonical config fingerprint for the chaos campaign, and its inverse
+/// (used by `wsinterop resume`). Round-trips byte-identically through
+/// json::parse + to_text; jobs/sinks are deliberately excluded.
+std::string chaos_config_json(const ChaosConfig& config);
+Result<ChaosConfig> chaos_config_from_json(std::string_view text);
+
+struct SupervisedChaosResult {
+  ChaosResult chaos;
+  resilience::SupervisorReport supervisor;
+};
+
+/// Runs the chaos campaign under supervision.
+Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
+                                                   const SupervisedChaosOptions& options);
+
+}  // namespace wsx::chaos

@@ -18,6 +18,21 @@ const char* to_string(Severity severity) {
   return "unknown";
 }
 
+bool severity_from_string(std::string_view text, Severity& out) {
+  if (text == "note") {
+    out = Severity::kNote;
+  } else if (text == "warning") {
+    out = Severity::kWarning;
+  } else if (text == "error") {
+    out = Severity::kError;
+  } else if (text == "crash") {
+    out = Severity::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string SourceLocation::str() const {
   std::string out = uri;
   if (known()) {

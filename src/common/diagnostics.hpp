@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wsx {
@@ -18,6 +19,11 @@ enum class Severity {
 };
 
 const char* to_string(Severity severity);
+
+/// Inverse of to_string(Severity); false when `text` names no severity.
+/// Used by consumers that round-trip diagnostics through JSON (the
+/// resilience journal's task records).
+bool severity_from_string(std::string_view text, Severity& out);
 
 /// Position of a diagnostic inside a source document. Lines and columns are
 /// 1-based; 0 means "unknown" (e.g. for models built programmatically

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -402,5 +403,69 @@ class JsonParser {
 }  // namespace
 
 Result<Value> parse(std::string_view text) { return JsonParser{text}.parse(); }
+
+namespace {
+
+void append_value(const Value& value, std::string& out) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber: {
+      const double number = value.as_number();
+      // Integers below 2^53 are exact in double, so re-emitting them through
+      // integer formatting reproduces what ObjectWriter wrote originally.
+      if (number == std::floor(number) && std::fabs(number) < 9007199254740992.0) {
+        out += std::to_string(static_cast<long long>(number));
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", number);
+        out += buffer;
+      }
+      break;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(value.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        append_value(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        append_value(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_text(const Value& value) {
+  std::string out;
+  append_value(value, out);
+  return out;
+}
 
 }  // namespace wsx::json

@@ -105,4 +105,11 @@ class Value {
 /// the offset of the problem.
 Result<Value> parse(std::string_view text);
 
+/// Serializes a parsed Value back to compact JSON text. Field order is
+/// preserved, and integral numbers print without a decimal point, so a
+/// document built from ObjectWriter/ArrayWriter integer, bool and string
+/// fields round-trips byte-identically through parse() + to_text() — the
+/// property the resilience journal's config fingerprint relies on.
+std::string to_text(const Value& value);
+
 }  // namespace wsx::json

@@ -18,6 +18,8 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -47,6 +49,22 @@ struct PoolStats {
   std::size_t tasks_run = 0;        ///< tasks that completed (failed included)
   std::size_t tasks_failed = 0;     ///< tasks that threw
   std::size_t max_queue_depth = 0;  ///< queued-tasks high-water mark
+};
+
+/// Thrown by WorkerPool::wait() when more than one task failed. A single
+/// failure rethrows the original exception unchanged; multiple failures
+/// would otherwise be silently collapsed to whichever happened first, so
+/// they are aggregated here with every message preserved in task order.
+class PoolError : public std::runtime_error {
+ public:
+  PoolError(std::string what, std::vector<std::string> messages)
+      : std::runtime_error(std::move(what)), messages_(std::move(messages)) {}
+
+  /// One message per failed task, in the order the failures were recorded.
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
 };
 
 /// Fixed-size thread pool. Tasks are run in FIFO order; a task that throws
@@ -84,17 +102,34 @@ class WorkerPool {
     wake_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished. Rethrows the first
-  /// exception any task threw (in submission order of completion).
+  /// Blocks until every submitted task has finished. A single task failure
+  /// rethrows that exception unchanged; when several tasks failed, throws a
+  /// PoolError aggregating every failure message so no error is dropped.
   void wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock, [this] { return pending_ == 0; });
-    if (first_error_ != nullptr) {
-      const std::exception_ptr error = first_error_;
-      first_error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(error);
+    if (errors_.empty()) return;
+    const std::vector<std::exception_ptr> errors = std::move(errors_);
+    errors_.clear();
+    lock.unlock();
+    if (errors.size() == 1) std::rethrow_exception(errors.front());
+    std::vector<std::string> messages;
+    messages.reserve(errors.size());
+    for (const std::exception_ptr& error : errors) {
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        messages.emplace_back(e.what());
+      } catch (...) {
+        messages.emplace_back("unknown exception");
+      }
     }
+    std::string what = std::to_string(messages.size()) + " pool tasks failed: ";
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      if (i != 0) what += "; ";
+      what += messages[i];
+    }
+    throw PoolError(std::move(what), std::move(messages));
   }
 
   /// Stats snapshot; call after wait() for final numbers.
@@ -125,7 +160,7 @@ class WorkerPool {
         ++stats_.tasks_run;
         if (error != nullptr) {
           ++stats_.tasks_failed;
-          if (first_error_ == nullptr) first_error_ = error;
+          errors_.push_back(error);
         }
         --pending_;
       }
@@ -140,7 +175,7 @@ class WorkerPool {
   std::vector<std::thread> threads_;
   std::size_t pending_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::exception_ptr> errors_;
   PoolStats stats_;
 };
 

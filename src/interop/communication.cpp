@@ -64,25 +64,14 @@ std::size_t CommunicationResult::total(CommOutcome outcome) const {
   return total;
 }
 
-namespace {
-
-struct InvocationOutcome {
-  CommOutcome outcome = CommOutcome::kBlockedEarlier;
-  int http_status = 0;  ///< only meaningful for wire-level outcomes
-};
-
-/// One end-to-end invocation: marshal → HTTP → execute → unmarshal → check.
 /// The call preparation and response classification live in
 /// frameworks/invocation.* and are shared with the chaos campaign.
-/// `sniffed_violations`, when non-null, counts requests the conformance
-/// sniffer (soap/validate.hpp) flags as contract violations — measured
-/// independently of how the server reacts.
-InvocationOutcome invoke_once(const frameworks::ServerFramework& server,
-                              const frameworks::DeployedService& service,
-                              const frameworks::SharedDescription* description,
-                              const frameworks::ClientFramework& client,
-                              const compilers::Compiler* compiler,
-                              std::size_t* sniffed_violations = nullptr) {
+InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
+                                   const frameworks::DeployedService& service,
+                                   const frameworks::SharedDescription* description,
+                                   const frameworks::ClientFramework& client,
+                                   const compilers::Compiler* compiler,
+                                   std::size_t* sniffed_violations) {
   const frameworks::PreparedCall call =
       description != nullptr
           ? frameworks::prepare_echo_call(service, *description, client, compiler)
@@ -117,8 +106,6 @@ InvocationOutcome invoke_once(const frameworks::ServerFramework& server,
   }
   return {CommOutcome::kOk, classified.http_status};
 }
-
-}  // namespace
 
 CommunicationResult run_communication_study(const StudyConfig& config) {
   CommunicationResult result;
@@ -206,7 +193,7 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
       partial.cells.resize(clients.size());
       for (std::size_t index = begin; index < end; ++index) {
         for (std::size_t i = 0; i < clients.size(); ++i) {
-          const InvocationOutcome result = invoke_once(
+          const InvocationOutcome result = invoke_echo_once(
               *server, deployed[index],
               config.parse_cache ? &descriptions[index] : nullptr, *clients[i],
               client_compilers[i].get(), &partial.sniffed);

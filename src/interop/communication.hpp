@@ -71,6 +71,25 @@ struct CommunicationResult {
 /// Runs the communication study on top of the usual campaign configuration.
 CommunicationResult run_communication_study(const StudyConfig& config = {});
 
+/// Wire-level outcome of one end-to-end echo invocation. Exposed for the
+/// resilience supervisor, which drives invocations one service at a time.
+struct InvocationOutcome {
+  CommOutcome outcome = CommOutcome::kBlockedEarlier;
+  int http_status = 0;  ///< only meaningful for wire-level outcomes
+};
+
+/// One end-to-end invocation: marshal → HTTP → execute → unmarshal → check.
+/// `description` is the campaign's shared parse (null = re-parse, the
+/// --no-parse-cache path); `compiler` is null for dynamic clients.
+/// `sniffed_violations`, when non-null, is incremented for requests the
+/// conformance sniffer (soap/validate.hpp) flags as contract violations.
+InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
+                                   const frameworks::DeployedService& service,
+                                   const frameworks::SharedDescription* description,
+                                   const frameworks::ClientFramework& client,
+                                   const compilers::Compiler* compiler,
+                                   std::size_t* sniffed_violations = nullptr);
+
 /// Renders the extension table (no paper reference exists; this is the
 /// future-work experiment).
 std::string format_communication(const CommunicationResult& result);

@@ -14,33 +14,6 @@
 namespace wsx::interop {
 namespace {
 
-/// Framework identity across the client/server subsystem split (the paper's
-/// same-framework analysis, §V).
-bool same_framework(const std::string& server, const std::string& client) {
-  if (starts_with(server, "Metro") && starts_with(client, "Oracle Metro")) return true;
-  if (starts_with(server, "JBossWS") && starts_with(client, "JBossWS")) return true;
-  if (starts_with(server, "WCF") && starts_with(client, ".NET")) return true;
-  return false;
-}
-
-bool same_platform(const std::string& server, const std::string& client) {
-  // The strict reading behind the paper's 307: client and server running on
-  // the very same installed platform (.NET hosts all three languages).
-  return starts_with(server, "WCF") && starts_with(client, ".NET");
-}
-
-/// Per-(service, client) outcome, pre-aggregation.
-struct TestOutcome {
-  bool generation_warning = false;
-  bool generation_error = false;
-  bool compilation_warning = false;
-  bool compilation_error = false;
-  bool artifacts_generated = false;
-  std::vector<Diagnostic> errors;  ///< error diagnostics for sampling
-
-  bool any_error() const { return generation_error || compilation_error; }
-};
-
 /// Moves the error/crash diagnostics out of `sink` into `errors`. Clean
 /// sinks — the overwhelmingly common case — skip the scan entirely, and
 /// failing ones reserve once and move instead of copying string payloads.
@@ -60,12 +33,39 @@ void take_errors(DiagnosticSink& sink, std::vector<Diagnostic>& errors) {
   }
 }
 
-TestOutcome run_one_test(const frameworks::DeployedService& service,
-                         const frameworks::SharedDescription* description,
-                         const frameworks::ClientFramework& client,
-                         const compilers::Compiler* compiler,
-                         obs::Registry* metrics) {
-  TestOutcome outcome;
+/// Partial aggregation produced by one worker over a slice of services.
+struct Partial {
+  std::vector<CellResult> cells;
+  std::size_t same_framework_failures = 0;
+  std::size_t same_platform_failures = 0;
+  std::size_t flagged_with_downstream_error = 0;
+  std::size_t generation_errors_on_flagged = 0;
+  std::size_t generation_errors_on_compliant = 0;
+};
+
+}  // namespace
+
+bool same_framework_pair(const std::string& server, const std::string& client) {
+  // Framework identity across the client/server subsystem split (the
+  // paper's same-framework analysis, §V).
+  if (starts_with(server, "Metro") && starts_with(client, "Oracle Metro")) return true;
+  if (starts_with(server, "JBossWS") && starts_with(client, "JBossWS")) return true;
+  if (starts_with(server, "WCF") && starts_with(client, ".NET")) return true;
+  return false;
+}
+
+bool same_platform_pair(const std::string& server, const std::string& client) {
+  // The strict reading behind the paper's 307: client and server running on
+  // the very same installed platform (.NET hosts all three languages).
+  return starts_with(server, "WCF") && starts_with(client, ".NET");
+}
+
+ClientTestOutcome run_client_test(const frameworks::DeployedService& service,
+                                  const frameworks::SharedDescription* description,
+                                  const frameworks::ClientFramework& client,
+                                  const compilers::Compiler* compiler,
+                                  obs::Registry* metrics) {
+  ClientTestOutcome outcome;
 
   // Step (b): client artifact generation — against the campaign's shared
   // parse when the cache is on, or re-parsing the served text when off.
@@ -106,18 +106,6 @@ TestOutcome run_one_test(const frameworks::DeployedService& service,
   take_errors(compile_diagnostics, outcome.errors);
   return outcome;
 }
-
-/// Partial aggregation produced by one worker over a slice of services.
-struct Partial {
-  std::vector<CellResult> cells;
-  std::size_t same_framework_failures = 0;
-  std::size_t same_platform_failures = 0;
-  std::size_t flagged_with_downstream_error = 0;
-  std::size_t generation_errors_on_flagged = 0;
-  std::size_t generation_errors_on_compliant = 0;
-};
-
-}  // namespace
 
 std::string to_json_line(const TestRecord& record) {
   return json::ObjectWriter{}
@@ -187,23 +175,20 @@ std::size_t StudyResult::total_interop_errors() const {
   return total_generation().errors + total_compilation().errors;
 }
 
-ServerResult run_server_campaign(
-    const frameworks::ServerFramework& server,
-    const std::vector<frameworks::ServiceSpec>& services,
-    const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
-    const StudyConfig& config, StudyResult* cross_totals, obs::SpanId parent_span) {
-  ServerResult result;
+PreparedServer prepare_server_campaign(const frameworks::ServerFramework& server,
+                                       const std::vector<frameworks::ServiceSpec>& services,
+                                       const StudyConfig& config, obs::SpanId parent_span) {
+  PreparedServer prepared;
+  ServerResult& result = prepared.result;
   result.server = server.name();
   result.application_server = server.application_server();
   result.services_created = services.size();
 
-  obs::Span server_span(config.tracer, "server:" + result.server, parent_span);
-
   // --- Testing-phase step (a): description generation at deployment. ---
-  obs::Span deploy_span(config.tracer, "phase:deploy", server_span);
+  obs::Span deploy_span(config.tracer, "phase:deploy", parent_span);
   obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "study.phase.deploy_us");
-  std::vector<frameworks::DeployedService> deployed;
-  std::vector<bool> flagged;  // failed WS-I or unusable (zero operations)
+  std::vector<frameworks::DeployedService>& deployed = prepared.deployed;
+  std::vector<bool>& flagged = prepared.flagged;  // failed WS-I or unusable
   deployed.reserve(services.size());
   for (const frameworks::ServiceSpec& spec : services) {
     Result<frameworks::DeployedService> deployment = server.deploy(spec);
@@ -226,9 +211,9 @@ ServerResult run_server_campaign(
   // parallel. The descriptions carry the client-view parse, the marshalling
   // feature vector, and the WS-I verdict consumed by the phase below and by
   // every client in the testing phase.
-  std::vector<frameworks::SharedDescription> descriptions;
+  std::vector<frameworks::SharedDescription>& descriptions = prepared.descriptions;
   if (config.parse_cache) {
-    obs::Span parse_span(config.tracer, "phase:parse", server_span);
+    obs::Span parse_span(config.tracer, "phase:parse", parent_span);
     obs::ScopedTimer parse_timer = obs::timer(config.metrics, "study.phase.parse_us");
     const auto build_slice = [&](std::size_t begin, std::size_t end) {
       std::vector<frameworks::SharedDescription> built;
@@ -254,7 +239,7 @@ ServerResult run_server_campaign(
   // WS-I Basic Profile check of every published description (§III.B.d).
   // With the parse cache on, the verdicts were computed alongside the
   // shared parse above and are only tallied here.
-  obs::Span wsi_span(config.tracer, "phase:wsi-check", server_span);
+  obs::Span wsi_span(config.tracer, "phase:wsi-check", parent_span);
   obs::ScopedTimer wsi_timer = obs::timer(config.metrics, "study.phase.wsi_check_us");
   flagged.resize(deployed.size(), false);
   for (std::size_t i = 0; i < deployed.size(); ++i) {
@@ -294,6 +279,21 @@ ServerResult run_server_campaign(
     flagged.assign(deployed.size(), false);
     result.services_deployed = deployed.size();
   }
+  return prepared;
+}
+
+ServerResult run_server_campaign(
+    const frameworks::ServerFramework& server,
+    const std::vector<frameworks::ServiceSpec>& services,
+    const std::vector<std::unique_ptr<frameworks::ClientFramework>>& clients,
+    const StudyConfig& config, StudyResult* cross_totals, obs::SpanId parent_span) {
+  obs::Span server_span(config.tracer, "server:" + server.name(), parent_span);
+  PreparedServer prepared =
+      prepare_server_campaign(server, services, config, server_span.id());
+  ServerResult result = std::move(prepared.result);
+  const std::vector<frameworks::DeployedService>& deployed = prepared.deployed;
+  const std::vector<frameworks::SharedDescription>& descriptions = prepared.descriptions;
+  const std::vector<bool>& flagged = prepared.flagged;
 
   // --- Steps (b)+(c)+(d) for every client, parallel over services. ---
   std::vector<std::unique_ptr<compilers::Compiler>> client_compilers;
@@ -314,7 +314,7 @@ ServerResult run_server_campaign(
       for (std::size_t client_index = 0; client_index < clients.size(); ++client_index) {
         const frameworks::ClientFramework& client = *clients[client_index];
         CellResult& cell = partial.cells[client_index];
-        const TestOutcome outcome = run_one_test(
+        const ClientTestOutcome outcome = run_client_test(
             service, config.parse_cache ? &descriptions[service_index] : nullptr, client,
             client_compilers[client_index].get(), config.metrics);
         ++cell.tests;
@@ -359,10 +359,10 @@ ServerResult run_server_campaign(
         }
         if (outcome.any_error()) {
           service_errored = true;
-          if (same_framework(result.server, client.name())) {
+          if (same_framework_pair(result.server, client.name())) {
             ++partial.same_framework_failures;
           }
-          if (same_platform(result.server, client.name())) {
+          if (same_platform_pair(result.server, client.name())) {
             ++partial.same_platform_failures;
           }
         }

@@ -19,8 +19,13 @@
 #include "common/diagnostics.hpp"
 #include "frameworks/client.hpp"
 #include "frameworks/server.hpp"
+#include "frameworks/shared_description.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+
+namespace wsx::compilers {
+class Compiler;
+}  // namespace wsx::compilers
 
 namespace wsx::interop {
 
@@ -169,5 +174,58 @@ ServerResult run_server_campaign(const frameworks::ServerFramework& server,
 
 /// Runs the full study: both catalogs, all three servers, all 11 clients.
 StudyResult run_study(const StudyConfig& config = {});
+
+// --- Testing-phase primitives, exposed for the supervised runner ---------
+//
+// The resilience supervisor re-drives the testing phase one service at a
+// time (so tasks can be checkpointed, retried and quarantined), then folds
+// the per-test outcomes through the same aggregation run_server_campaign
+// applies. These hooks are that shared vocabulary.
+
+/// Outcome of one client tool against one deployed service.
+struct ClientTestOutcome {
+  bool generation_warning = false;
+  bool generation_error = false;
+  bool compilation_warning = false;
+  bool compilation_error = false;
+  bool artifacts_generated = false;
+  std::vector<Diagnostic> errors;  ///< error/crash diagnostics, tool order
+
+  bool any_error() const { return generation_error || compilation_error; }
+};
+
+/// Steps (b)+(c) for one (service, client) pair: artifact generation, then
+/// compilation or the instantiation check. `description` is the campaign's
+/// shared parse (null = re-parse the served text, the --no-parse-cache
+/// path); `compiler` is null for dynamic clients.
+ClientTestOutcome run_client_test(const frameworks::DeployedService& service,
+                                  const frameworks::SharedDescription* description,
+                                  const frameworks::ClientFramework& client,
+                                  const compilers::Compiler* compiler,
+                                  obs::Registry* metrics);
+
+/// The paper's same-framework / same-platform classification of a
+/// (server, client) name pair (§V).
+bool same_framework_pair(const std::string& server, const std::string& client);
+bool same_platform_pair(const std::string& server, const std::string& client);
+
+/// Everything run_server_campaign computes before the testing phase:
+/// deployment, the shared parse, WS-I verdicts, and (optionally) the
+/// deploy-time gate. `result` carries the deploy/WS-I counters with empty
+/// cells; `flagged[i]` pairs with `deployed[i]`; `descriptions` is empty
+/// when the parse cache is off.
+struct PreparedServer {
+  ServerResult result;
+  std::vector<frameworks::DeployedService> deployed;
+  std::vector<frameworks::SharedDescription> descriptions;
+  std::vector<bool> flagged;
+};
+
+/// Runs the deploy / parse / wsi-check / gate phases for one server.
+/// `parent_span` nests the phase spans (typically the server span).
+PreparedServer prepare_server_campaign(const frameworks::ServerFramework& server,
+                                       const std::vector<frameworks::ServiceSpec>& services,
+                                       const StudyConfig& config,
+                                       obs::SpanId parent_span = obs::kNoSpan);
 
 }  // namespace wsx::interop

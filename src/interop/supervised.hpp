@@ -1,0 +1,64 @@
+// supervised.hpp — the study and communication campaigns re-driven under
+// the resilience supervisor (src/resilience/supervisor.hpp).
+//
+// Task granularity is one deployed service per server: the supervisor
+// checkpoints, retries and quarantines (server, service) units, and the
+// per-client outcomes are folded back — in task order — through the exact
+// aggregation run_server_campaign applies. An uninterrupted supervised run,
+// a resumed one, and any jobs value therefore produce byte-identical
+// reports (pinned by tests/supervised_campaign_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "interop/communication.hpp"
+#include "interop/study.hpp"
+#include "resilience/supervisor.hpp"
+
+namespace wsx::interop {
+
+/// Supervisor knobs shared by every supervised campaign verb.
+struct SupervisedOptions {
+  resilience::JournalOptions journal;  ///< cadence/deadline/quarantine/budget
+  std::size_t jobs = 0;                ///< worker threads; 0 = hardware
+  std::string checkpoint_path;         ///< journal file; "" = no checkpointing
+  const resilience::Journal* resume = nullptr;  ///< parsed journal to resume
+  std::size_t trip_after_tasks = 0;    ///< crash simulation (tests/CI)
+};
+
+/// Canonical config fingerprint for the study campaign, and its inverse
+/// (used by `wsinterop resume` to re-derive the config from the journal
+/// header). Round-trips byte-identically through json::parse + to_text.
+/// Only the determinism-relevant knobs are part of the fingerprint;
+/// threads/observer/sinks deliberately are not.
+std::string study_config_json(const StudyConfig& config);
+Result<StudyConfig> study_config_from_json(std::string_view text);
+
+/// Fingerprint for the communication campaign (the study knobs it ignores —
+/// samples, shape, gate — are excluded).
+std::string communication_config_json(const StudyConfig& config);
+Result<StudyConfig> communication_config_from_json(std::string_view text);
+
+struct SupervisedStudyResult {
+  StudyResult study;
+  resilience::SupervisorReport supervisor;
+};
+
+/// Runs the full study under supervision. Quarantined and not-admitted
+/// services contribute nothing to `study` (the supervisor report carries
+/// the coverage counters that explain the gap).
+Result<SupervisedStudyResult> run_study_supervised(const StudyConfig& config,
+                                                   const SupervisedOptions& options);
+
+struct SupervisedCommunicationResult {
+  CommunicationResult communication;
+  resilience::SupervisorReport supervisor;
+};
+
+/// Runs the communication study under supervision.
+Result<SupervisedCommunicationResult> run_communication_supervised(
+    const StudyConfig& config, const SupervisedOptions& options);
+
+}  // namespace wsx::interop

@@ -1,0 +1,187 @@
+#include "resilience/journal.hpp"
+
+#include <set>
+
+namespace wsx::resilience {
+
+namespace {
+
+/// Format marker in the header line; bump on incompatible layout changes.
+constexpr const char* kFormat = "wsx.resilience.v1";
+
+Error fail(std::string code, std::string message) {
+  return Error{"journal." + std::move(code), std::move(message)};
+}
+
+Result<std::size_t> read_count(const json::Value& object, std::string_view key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr || !member->is_number()) {
+    return fail("missing-field", "expected numeric field '" + std::string(key) + "'");
+  }
+  const double number = member->as_number();
+  if (number < 0) return fail("bad-field", "negative value for '" + std::string(key) + "'");
+  return static_cast<std::size_t>(number);
+}
+
+Result<std::string> read_string(const json::Value& object, std::string_view key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr || !member->is_string()) {
+    return fail("missing-field", "expected string field '" + std::string(key) + "'");
+  }
+  return member->as_string();
+}
+
+}  // namespace
+
+const char* to_string(JournalState state) {
+  switch (state) {
+    case JournalState::kCompleted:
+      return "completed";
+    case JournalState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+std::string Journal::header_line() const {
+  json::ObjectWriter writer;
+  writer.field("journal", kFormat)
+      .field("campaign", campaign)
+      .raw_field("config", config_json)
+      .field("tasks", tasks)
+      .field("checkpoint_every", options.checkpoint_every)
+      .field("task_deadline_ms", static_cast<std::size_t>(options.task_deadline_ms))
+      .field("quarantine_after", options.quarantine_after)
+      .field("budget_ms", static_cast<std::size_t>(options.budget_ms))
+      .field("budget_tasks", options.budget_tasks);
+  return writer.str();
+}
+
+std::string Journal::entry_line(const JournalEntry& entry) {
+  json::ObjectWriter writer;
+  writer.field("task", entry.task)
+      .field("id", entry.id)
+      .field("state", to_string(entry.state))
+      .field("attempts", entry.attempts)
+      .field("timed_out", entry.timed_out)
+      .field("virtual_ms", static_cast<std::size_t>(entry.virtual_ms));
+  if (entry.state == JournalState::kCompleted) {
+    writer.raw_field("record", entry.record);
+  } else {
+    writer.field("reason", entry.reason);
+  }
+  return writer.str();
+}
+
+Result<Journal> Journal::parse(std::string_view text) {
+  Journal journal;
+  bool saw_header = false;
+  std::set<std::size_t> seen_tasks;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? std::string_view::npos : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    Result<json::Value> parsed = json::parse(line);
+    if (!parsed.ok()) {
+      return fail("bad-line", "line " + std::to_string(line_no) + ": " + parsed.error().message);
+    }
+    const json::Value& object = parsed.value();
+    if (!object.is_object()) {
+      return fail("bad-line", "line " + std::to_string(line_no) + ": expected an object");
+    }
+
+    if (!saw_header) {
+      Result<std::string> format = read_string(object, "journal");
+      if (!format.ok()) return format.error();
+      if (format.value() != kFormat) {
+        return fail("bad-format", "unsupported journal format '" + format.value() + "'");
+      }
+      Result<std::string> campaign = read_string(object, "campaign");
+      if (!campaign.ok()) return campaign.error();
+      const json::Value* config = object.find("config");
+      if (config == nullptr) return fail("missing-field", "header lacks 'config'");
+      Result<std::size_t> tasks = read_count(object, "tasks");
+      if (!tasks.ok()) return tasks.error();
+      Result<std::size_t> cadence = read_count(object, "checkpoint_every");
+      if (!cadence.ok()) return cadence.error();
+      Result<std::size_t> deadline = read_count(object, "task_deadline_ms");
+      if (!deadline.ok()) return deadline.error();
+      Result<std::size_t> quarantine = read_count(object, "quarantine_after");
+      if (!quarantine.ok()) return quarantine.error();
+      Result<std::size_t> budget_ms = read_count(object, "budget_ms");
+      if (!budget_ms.ok()) return budget_ms.error();
+      Result<std::size_t> budget_tasks = read_count(object, "budget_tasks");
+      if (!budget_tasks.ok()) return budget_tasks.error();
+      journal.campaign = std::move(campaign.value());
+      journal.config_json = json::to_text(*config);
+      journal.tasks = tasks.value();
+      journal.options.checkpoint_every = cadence.value();
+      journal.options.task_deadline_ms = deadline.value();
+      journal.options.quarantine_after = quarantine.value();
+      journal.options.budget_ms = budget_ms.value();
+      journal.options.budget_tasks = budget_tasks.value();
+      saw_header = true;
+      continue;
+    }
+
+    JournalEntry entry;
+    Result<std::size_t> task = read_count(object, "task");
+    if (!task.ok()) return task.error();
+    entry.task = task.value();
+    if (entry.task >= journal.tasks) {
+      return fail("bad-entry", "line " + std::to_string(line_no) + ": task index " +
+                                   std::to_string(entry.task) + " out of range");
+    }
+    Result<std::string> id = read_string(object, "id");
+    if (!id.ok()) return id.error();
+    entry.id = std::move(id.value());
+    Result<std::string> state = read_string(object, "state");
+    if (!state.ok()) return state.error();
+    if (state.value() == "completed") {
+      entry.state = JournalState::kCompleted;
+    } else if (state.value() == "quarantined") {
+      entry.state = JournalState::kQuarantined;
+    } else {
+      return fail("bad-entry",
+                  "line " + std::to_string(line_no) + ": unknown state '" + state.value() + "'");
+    }
+    Result<std::size_t> attempts = read_count(object, "attempts");
+    if (!attempts.ok()) return attempts.error();
+    entry.attempts = attempts.value();
+    const json::Value* timed_out = object.find("timed_out");
+    if (timed_out == nullptr || !timed_out->is_bool()) {
+      return fail("missing-field", "line " + std::to_string(line_no) + ": expected 'timed_out'");
+    }
+    entry.timed_out = timed_out->as_bool();
+    Result<std::size_t> virtual_ms = read_count(object, "virtual_ms");
+    if (!virtual_ms.ok()) return virtual_ms.error();
+    entry.virtual_ms = virtual_ms.value();
+    if (entry.state == JournalState::kCompleted) {
+      const json::Value* record = object.find("record");
+      if (record == nullptr) {
+        return fail("missing-field", "line " + std::to_string(line_no) + ": expected 'record'");
+      }
+      entry.record = json::to_text(*record);
+    } else {
+      Result<std::string> reason = read_string(object, "reason");
+      if (!reason.ok()) return reason.error();
+      entry.reason = std::move(reason.value());
+    }
+    // An interrupted append can at worst repeat a block's lines; the first
+    // copy of a task wins, later duplicates are dropped.
+    if (seen_tasks.insert(entry.task).second) {
+      journal.entries.push_back(std::move(entry));
+    }
+  }
+
+  if (!saw_header) return fail("empty", "journal has no header line");
+  return journal;
+}
+
+}  // namespace wsx::resilience

@@ -65,6 +65,62 @@ TEST(WorkerPool, ThrowingTaskSurfacesFromWaitInsteadOfHanging) {
   pool.wait();
 }
 
+TEST(WorkerPool, SingleFailureRethrowsOriginalExceptionType) {
+  // One failed task must surface the original exception, not a PoolError —
+  // callers catching a specific domain exception keep working.
+  WorkerPool pool(2);
+  pool.submit([] { throw std::invalid_argument("only failure"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "only failure");
+  }
+}
+
+TEST(WorkerPool, MultipleFailuresAggregateIntoPoolError) {
+  // Regression: wait() used to keep only the first stored exception, so a
+  // multi-failure batch was under-reported. Every message must survive.
+  WorkerPool pool(2);
+  pool.submit([] { throw std::runtime_error("task A failed"); });
+  pool.submit([] { throw std::runtime_error("task B failed"); });
+  pool.submit([] { throw std::runtime_error("task C failed"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() did not throw";
+  } catch (const PoolError& e) {
+    EXPECT_EQ(e.messages().size(), 3u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 pool tasks failed"), std::string::npos);
+    EXPECT_NE(what.find("task A failed"), std::string::npos);
+    EXPECT_NE(what.find("task B failed"), std::string::npos);
+    EXPECT_NE(what.find("task C failed"), std::string::npos);
+  }
+  EXPECT_EQ(pool.stats().tasks_failed, 3u);
+  // The aggregated error is consumed: a second wait() is clean.
+  pool.wait();
+}
+
+TEST(WorkerPool, NonStdExceptionsAggregateWithPlaceholderMessage) {
+  WorkerPool pool(2);
+  pool.submit([] { throw 42; });  // NOLINT(hicpp-exception-baseclass)
+  pool.submit([] { throw std::runtime_error("typed failure"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() did not throw";
+  } catch (const PoolError& e) {
+    ASSERT_EQ(e.messages().size(), 2u);
+    bool saw_placeholder = false;
+    bool saw_typed = false;
+    for (const std::string& message : e.messages()) {
+      if (message == "unknown exception") saw_placeholder = true;
+      if (message == "typed failure") saw_typed = true;
+    }
+    EXPECT_TRUE(saw_placeholder);
+    EXPECT_TRUE(saw_typed);
+  }
+}
+
 TEST(WorkerPool, WaitIsReusableAcrossBatches) {
   WorkerPool pool(2);
   std::atomic<int> ran{0};

@@ -21,20 +21,31 @@
 //       sized-down study with tracing on; prints the phase breakdown
 //   wsinterop list
 //       available server and client frameworks
+//   wsinterop resume JOURNAL [--jobs N] [--format ...]
+//       finishes an interrupted supervised campaign from its checkpoint
+//       journal; the final report is byte-identical to a straight run
 //
 // Every campaign verb accepts --trace=FILE.jsonl (canonical span tree,
 // one JSON object per line) and --metrics=FILE.json (counter/gauge/
-// histogram export); see docs/OBSERVABILITY.md.
+// histogram export); see docs/OBSERVABILITY.md. The four supervised
+// campaign verbs (run, communicate, chaos, lint --corpus) additionally
+// accept the resilience flags (--checkpoint, --checkpoint-every,
+// --task-deadline-ms, --quarantine-after, --budget-ms, --budget-tasks);
+// see docs/RESILIENCE.md.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "analysis/baseline.hpp"
 #include "analysis/corpus.hpp"
+#include "analysis/supervised_corpus.hpp"
 #include "chaos/campaign.hpp"
+#include "chaos/supervised.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/sarif.hpp"
 #include "codemodel/render.hpp"
@@ -50,8 +61,11 @@
 #include "interop/report_formats.hpp"
 #include "interop/scorecard.hpp"
 #include "interop/study.hpp"
+#include "interop/supervised.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/supervisor.hpp"
 #include "wsdl/parser.hpp"
 #include "wsi/profile.hpp"
 
@@ -75,8 +89,8 @@ bool parse_count(const std::string& text, std::size_t& out) {
 
 int usage() {
   std::cerr << "usage: wsinterop "
-               "<run|lint|describe|test|fuzz|communicate|chaos|profile|scorecard|diff|list> "
-               "[options]\n"
+               "<run|lint|describe|test|fuzz|communicate|chaos|profile|scorecard|diff|"
+               "resume|list> [options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
@@ -92,11 +106,16 @@ int usage() {
                "              [--format text|csv|markdown|json]\n"
                "  profile     [--scale PCT] [--jobs N]\n"
                "  scorecard   [--chaos] [--jobs N]\n"
+               "  resume      JOURNAL [--jobs N] [--format ...] [--trip-after N]\n"
                "  list\n"
                "campaign verbs (run, lint --corpus, communicate, chaos, profile) also\n"
                "accept --trace FILE.jsonl and --metrics FILE.json; run, communicate,\n"
                "chaos and profile accept --no-parse-cache to re-parse each WSDL per\n"
-               "client instead of sharing one parsed description per service\n";
+               "client instead of sharing one parsed description per service\n"
+               "supervised verbs (run, lint --corpus, communicate, chaos) also accept\n"
+               "the resilience flags: --checkpoint FILE.journal, --checkpoint-every N,\n"
+               "--task-deadline-ms N, --quarantine-after N, --budget-ms N,\n"
+               "--budget-tasks N, --trip-after N (exit 75 when the run trips)\n";
   return 2;
 }
 
@@ -161,6 +180,83 @@ struct ObsSinks {
   }
 };
 
+/// The resilience supervisor flags shared by the supervised campaign verbs
+/// (run, communicate, chaos, lint --corpus). Any one of them switches the
+/// verb onto the supervised execution path; verbs without a supervised path
+/// never consume them, so they fall through to the usage error there.
+struct ResilienceFlags {
+  resilience::JournalOptions journal;
+  std::string checkpoint_path;
+  std::size_t trip_after_tasks = 0;
+  bool any = false;   ///< a resilience flag was given
+  bool bad = false;   ///< ...but its value was missing or malformed
+
+  bool enabled() const { return any; }
+
+  /// Consumes one resilience flag at args[i]; returns true and advances i
+  /// when the argument was one of ours (check `bad` afterwards).
+  bool consume(const std::vector<std::string>& args, std::size_t& i) {
+    const auto count_value = [&](auto& out) {
+      any = true;
+      std::size_t value = 0;
+      if (i + 1 >= args.size() || !parse_count(args[i + 1], value)) {
+        bad = true;
+        return;
+      }
+      ++i;
+      out = static_cast<std::remove_reference_t<decltype(out)>>(value);
+    };
+    if (args[i] == "--checkpoint") {
+      any = true;
+      if (i + 1 >= args.size()) {
+        bad = true;
+      } else {
+        checkpoint_path = args[++i];
+      }
+      return true;
+    }
+    if (args[i] == "--checkpoint-every") {
+      count_value(journal.checkpoint_every);
+      return true;
+    }
+    if (args[i] == "--task-deadline-ms") {
+      count_value(journal.task_deadline_ms);
+      return true;
+    }
+    if (args[i] == "--quarantine-after") {
+      count_value(journal.quarantine_after);
+      return true;
+    }
+    if (args[i] == "--budget-ms") {
+      count_value(journal.budget_ms);
+      return true;
+    }
+    if (args[i] == "--budget-tasks") {
+      count_value(journal.budget_tasks);
+      return true;
+    }
+    if (args[i] == "--trip-after") {
+      count_value(trip_after_tasks);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Appends the supervisor section to a supervised campaign's report and
+/// maps the outcome to the process exit code: 75 (EX_TEMPFAIL) when the
+/// crash-simulation trip fired — the journal has the partial state — and
+/// `ok_code` otherwise.
+int finish_supervised(const resilience::SupervisorReport& report, const std::string& format,
+                      int ok_code) {
+  if (format == "csv" || format == "json") {
+    std::cout << "\n" << resilience::supervisor_json(report) << "\n";
+  } else {
+    std::cout << "\n" << resilience::supervisor_markdown(report);
+  }
+  return report.tripped ? 75 : ok_code;
+}
+
 /// Scales both population specs to roughly PCT percent of the paper's.
 void apply_scale(catalog::JavaCatalogSpec& java, catalog::DotNetCatalogSpec& dotnet,
                  std::size_t percent) {
@@ -191,20 +287,38 @@ void apply_scale(interop::StudyConfig& config, std::size_t percent) {
   apply_scale(config.java_spec, config.dotnet_spec, percent);
 }
 
+/// Renders a (possibly supervised) study result in the requested format.
+/// Shared by `run` and `resume` of a study journal.
+void print_study(const interop::StudyResult& result, const std::string& format) {
+  if (format == "csv") {
+    std::cout << interop::fig4_csv(result) << "\n" << interop::table3_csv(result);
+  } else if (format == "markdown") {
+    std::cout << interop::fig4_markdown(result) << "\n" << interop::table3_markdown(result);
+  } else {
+    std::cout << interop::format_fig4(result) << "\n"
+              << interop::format_table3(result) << "\n"
+              << interop::format_findings(result) << "\n"
+              << interop::format_failure_catalog(result);
+  }
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   interop::StudyConfig config;
   ObsSinks sinks;
+  ResilienceFlags res;
   std::string format = "text";
   std::string log_path;
   std::string snapshot_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (sinks.consume(args, i)) {
       continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
     } else if (args[i] == "--scale" && i + 1 < args.size()) {
       std::size_t percent = 0;
       if (!parse_count(args[++i], percent)) return usage();
       apply_scale(config, percent);
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+    } else if ((args[i] == "--threads" || args[i] == "--jobs") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
@@ -231,7 +345,25 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   config.tracer = sinks.tracer_or_null();
   config.metrics = sinks.metrics_or_null();
-  const interop::StudyResult result = interop::run_study(config);
+  interop::StudyResult result;
+  resilience::SupervisorReport supervisor;
+  if (res.enabled()) {
+    interop::SupervisedOptions sup;
+    sup.journal = res.journal;
+    sup.jobs = config.threads;
+    sup.checkpoint_path = res.checkpoint_path;
+    sup.trip_after_tasks = res.trip_after_tasks;
+    Result<interop::SupervisedStudyResult> supervised =
+        interop::run_study_supervised(config, sup);
+    if (!supervised.ok()) {
+      std::cerr << "wsinterop: " << supervised.error().message << "\n";
+      return 1;
+    }
+    result = std::move(supervised.value().study);
+    supervisor = std::move(supervised.value().supervisor);
+  } else {
+    result = interop::run_study(config);
+  }
   if (!sinks.flush()) return 1;
   if (!snapshot_path.empty()) {
     std::ofstream snapshot(snapshot_path);
@@ -241,16 +373,8 @@ int cmd_run(const std::vector<std::string>& args) {
     }
     snapshot << interop::to_snapshot_csv(result);
   }
-  if (format == "csv") {
-    std::cout << interop::fig4_csv(result) << "\n" << interop::table3_csv(result);
-  } else if (format == "markdown") {
-    std::cout << interop::fig4_markdown(result) << "\n" << interop::table3_markdown(result);
-  } else {
-    std::cout << interop::format_fig4(result) << "\n"
-              << interop::format_table3(result) << "\n"
-              << interop::format_findings(result) << "\n"
-              << interop::format_failure_catalog(result);
-  }
+  print_study(result, format);
+  if (res.enabled()) return finish_supervised(supervisor, format, 0);
   return 0;
 }
 
@@ -270,9 +394,12 @@ struct LintOptions {
 int cmd_lint(const std::vector<std::string>& args) {
   LintOptions options;
   ObsSinks sinks;
+  ResilienceFlags res;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (sinks.consume(args, i)) {
       continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
     } else if (args[i] == "--corpus") {
       options.corpus = true;
     } else if (args[i] == "--join-study") {
@@ -306,8 +433,10 @@ int cmd_lint(const std::vector<std::string>& args) {
       options.files.push_back(args[i]);
     }
   }
-  // Exactly one input mode: files, or the generated corpus.
+  // Exactly one input mode: files, or the generated corpus. The resilience
+  // flags supervise the corpus lint only — on file lists they are an error.
   if (options.corpus ? !options.files.empty() : options.files.empty()) return usage();
+  if (res.enabled() && !options.corpus) return usage();
 
   analysis::Baseline baseline;
   if (!options.baseline_path.empty()) {
@@ -327,6 +456,7 @@ int cmd_lint(const std::vector<std::string>& args) {
   }
 
   std::vector<analysis::Finding> findings;
+  resilience::SupervisorReport supervisor;
   if (options.corpus) {
     analysis::CorpusOptions corpus;
     apply_scale(corpus.java_spec, corpus.dotnet_spec, options.scale);
@@ -335,7 +465,23 @@ int cmd_lint(const std::vector<std::string>& args) {
     corpus.join_study = options.join_study;
     corpus.tracer = sinks.tracer_or_null();
     corpus.metrics = sinks.metrics_or_null();
-    const analysis::CorpusReport report = analysis::analyze_corpus(corpus);
+    analysis::CorpusReport report;
+    if (res.enabled()) {
+      analysis::SupervisedCorpusOptions sup;
+      sup.journal = res.journal;
+      sup.checkpoint_path = res.checkpoint_path;
+      sup.trip_after_tasks = res.trip_after_tasks;
+      Result<analysis::SupervisedCorpusResult> supervised =
+          analysis::analyze_corpus_supervised(corpus, sup);
+      if (!supervised.ok()) {
+        std::cerr << "wsinterop: " << supervised.error().message << "\n";
+        return 1;
+      }
+      report = std::move(supervised.value().report);
+      supervisor = std::move(supervised.value().supervisor);
+    } else {
+      report = analysis::analyze_corpus(corpus);
+    }
     if (!sinks.flush()) return 1;
     findings = report.all_findings();
     std::cout << analysis::format_report(report);
@@ -384,6 +530,7 @@ int cmd_lint(const std::vector<std::string>& args) {
       std::any_of(findings.begin(), findings.end(), [](const analysis::Finding& f) {
         return f.severity == Severity::kError || f.severity == Severity::kCrash;
       });
+  if (res.enabled()) return finish_supervised(supervisor, "text", has_errors ? 2 : 0);
   return has_errors ? 2 : 0;
 }
 
@@ -498,14 +645,17 @@ int cmd_fuzz(const std::vector<std::string>& args) {
 int cmd_communicate(const std::vector<std::string>& args) {
   interop::StudyConfig config;
   ObsSinks sinks;
+  ResilienceFlags res;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (sinks.consume(args, i)) {
       continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
     } else if (args[i] == "--scale" && i + 1 < args.size()) {
       std::size_t percent = 0;
       if (!parse_count(args[++i], percent)) return usage();
       apply_scale(config, percent);
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+    } else if ((args[i] == "--threads" || args[i] == "--jobs") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
@@ -515,20 +665,59 @@ int cmd_communicate(const std::vector<std::string>& args) {
   }
   config.tracer = sinks.tracer_or_null();
   config.metrics = sinks.metrics_or_null();
+  if (res.enabled()) {
+    interop::SupervisedOptions sup;
+    sup.journal = res.journal;
+    sup.jobs = config.threads;
+    sup.checkpoint_path = res.checkpoint_path;
+    sup.trip_after_tasks = res.trip_after_tasks;
+    Result<interop::SupervisedCommunicationResult> supervised =
+        interop::run_communication_supervised(config, sup);
+    if (!supervised.ok()) {
+      std::cerr << "wsinterop: " << supervised.error().message << "\n";
+      return 1;
+    }
+    if (!sinks.flush()) return 1;
+    std::cout << interop::format_communication(supervised.value().communication);
+    return finish_supervised(supervised.value().supervisor, "text", 0);
+  }
   const interop::CommunicationResult result = interop::run_communication_study(config);
   if (!sinks.flush()) return 1;
   std::cout << interop::format_communication(result);
   return 0;
 }
 
+/// Renders a (possibly supervised) chaos result in the requested format;
+/// returns 0 on success, 1 on an unwritable --csv file, and the usage exit
+/// on an unknown format. Shared by `chaos` and `resume` of a chaos journal.
+int print_chaos(const chaos::ChaosResult& result, const std::string& format,
+                const std::string& csv_path) {
+  if (!csv_path.empty() && !write_text_file(csv_path, chaos::chaos_csv(result))) return 1;
+  if (format == "csv") {
+    std::cout << chaos::chaos_csv(result);
+  } else if (format == "markdown") {
+    std::cout << chaos::chaos_markdown(result);
+  } else if (format == "json") {
+    std::cout << chaos::chaos_recovery_json(result) << "\n";
+  } else if (format == "text") {
+    std::cout << chaos::format_chaos(result);
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
 int cmd_chaos(const std::vector<std::string>& args) {
   chaos::ChaosConfig config;
   ObsSinks sinks;
+  ResilienceFlags res;
   std::string format = "text";
   std::string csv_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (sinks.consume(args, i)) {
       continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       std::size_t seed = 0;
       if (!parse_count(args[++i], seed)) return usage();
@@ -578,21 +767,24 @@ int cmd_chaos(const std::vector<std::string>& args) {
   }
   config.tracer = sinks.tracer_or_null();
   config.metrics = sinks.metrics_or_null();
+  if (res.enabled()) {
+    chaos::SupervisedChaosOptions sup;
+    sup.journal = res.journal;
+    sup.checkpoint_path = res.checkpoint_path;
+    sup.trip_after_tasks = res.trip_after_tasks;
+    Result<chaos::SupervisedChaosResult> supervised = chaos::run_chaos_supervised(config, sup);
+    if (!supervised.ok()) {
+      std::cerr << "wsinterop: " << supervised.error().message << "\n";
+      return 1;
+    }
+    if (!sinks.flush()) return 1;
+    const int rc = print_chaos(supervised.value().chaos, format, csv_path);
+    if (rc != 0) return rc;
+    return finish_supervised(supervised.value().supervisor, format, 0);
+  }
   const chaos::ChaosResult result = chaos::run_chaos_study(config);
   if (!sinks.flush()) return 1;
-  if (!csv_path.empty() && !write_text_file(csv_path, chaos::chaos_csv(result))) return 1;
-  if (format == "csv") {
-    std::cout << chaos::chaos_csv(result);
-  } else if (format == "markdown") {
-    std::cout << chaos::chaos_markdown(result);
-  } else if (format == "json") {
-    std::cout << chaos::chaos_recovery_json(result) << "\n";
-  } else if (format == "text") {
-    std::cout << chaos::format_chaos(result);
-  } else {
-    return usage();
-  }
-  return 0;
+  return print_chaos(result, format, csv_path);
 }
 
 int cmd_diff(const std::vector<std::string>& args) {
@@ -688,6 +880,135 @@ int cmd_profile(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `wsinterop resume JOURNAL` — finishes an interrupted supervised campaign.
+/// The campaign config and the deterministic supervisor knobs come from the
+/// journal header (a fingerprint mismatch is impossible by construction);
+/// only the throughput knobs (--jobs), the output format, and the crash
+/// simulation may be chosen anew. Checkpointing continues into the same
+/// journal file.
+int cmd_resume(const std::vector<std::string>& args) {
+  std::string journal_path;
+  std::size_t jobs = 0;
+  std::string format = "text";
+  std::size_t trip = 0;
+  ObsSinks sinks;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], jobs)) return usage();
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else if (args[i] == "--trip-after" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], trip)) return usage();
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else if (journal_path.empty()) {
+      journal_path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (journal_path.empty()) return usage();
+
+  std::ifstream file(journal_path);
+  if (!file) {
+    std::cerr << "wsinterop: cannot open journal " << journal_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<resilience::Journal> parsed = resilience::Journal::parse(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "wsinterop: " << parsed.error().message << "\n";
+    return 1;
+  }
+  const resilience::Journal& journal = parsed.value();
+  const auto fail = [](const Error& error) {
+    std::cerr << "wsinterop: " << error.message << "\n";
+    return 1;
+  };
+
+  if (journal.campaign == "study") {
+    Result<interop::StudyConfig> config = interop::study_config_from_json(journal.config_json);
+    if (!config.ok()) return fail(config.error());
+    config->threads = jobs;
+    config->tracer = sinks.tracer_or_null();
+    config->metrics = sinks.metrics_or_null();
+    interop::SupervisedOptions sup;
+    sup.journal = journal.options;
+    sup.jobs = jobs;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<interop::SupervisedStudyResult> result = interop::run_study_supervised(*config, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    print_study(result->study, format);
+    return finish_supervised(result->supervisor, format, 0);
+  }
+  if (journal.campaign == "communication") {
+    Result<interop::StudyConfig> config =
+        interop::communication_config_from_json(journal.config_json);
+    if (!config.ok()) return fail(config.error());
+    config->threads = jobs;
+    config->tracer = sinks.tracer_or_null();
+    config->metrics = sinks.metrics_or_null();
+    interop::SupervisedOptions sup;
+    sup.journal = journal.options;
+    sup.jobs = jobs;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<interop::SupervisedCommunicationResult> result =
+        interop::run_communication_supervised(*config, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    std::cout << interop::format_communication(result->communication);
+    return finish_supervised(result->supervisor, "text", 0);
+  }
+  if (journal.campaign == "chaos") {
+    Result<chaos::ChaosConfig> config = chaos::chaos_config_from_json(journal.config_json);
+    if (!config.ok()) return fail(config.error());
+    config->jobs = jobs;
+    config->tracer = sinks.tracer_or_null();
+    config->metrics = sinks.metrics_or_null();
+    chaos::SupervisedChaosOptions sup;
+    sup.journal = journal.options;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<chaos::SupervisedChaosResult> result = chaos::run_chaos_supervised(*config, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    const int rc = print_chaos(result->chaos, format, "");
+    if (rc != 0) return rc;
+    return finish_supervised(result->supervisor, format, 0);
+  }
+  if (journal.campaign == "lint-corpus") {
+    Result<analysis::CorpusOptions> options =
+        analysis::corpus_config_from_json(journal.config_json);
+    if (!options.ok()) return fail(options.error());
+    options->jobs = jobs;
+    options->tracer = sinks.tracer_or_null();
+    options->metrics = sinks.metrics_or_null();
+    analysis::SupervisedCorpusOptions sup;
+    sup.journal = journal.options;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<analysis::SupervisedCorpusResult> result =
+        analysis::analyze_corpus_supervised(*options, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    std::cout << analysis::format_report(result->report);
+    return finish_supervised(result->supervisor, "text", 0);
+  }
+  std::cerr << "wsinterop: journal " << journal_path << " names unknown campaign '"
+            << journal.campaign << "'\n";
+  return 1;
+}
+
 int cmd_list() {
   std::cout << "servers:\n";
   for (const auto& server : frameworks::make_servers()) {
@@ -717,6 +1038,7 @@ int main(int argc, char** argv) {
   if (command == "profile") return cmd_profile(args);
   if (command == "scorecard") return cmd_scorecard(args);
   if (command == "diff") return cmd_diff(args);
+  if (command == "resume") return cmd_resume(args);
   if (command == "list") return cmd_list();
   return usage();
 }
