@@ -1,0 +1,816 @@
+#include "analysis/predict.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/fingerprint.hpp"
+#include "common/json.hpp"
+#include "common/pool.hpp"
+#include "common/strings.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/server.hpp"
+#include "interop/study.hpp"
+
+namespace wsx::analysis::predict {
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Mirrors build_type_class: the field list one complexType compiles to
+/// (defect-free shape — defects are modelled as their own signals).
+std::vector<std::string> class_field_names(const xsd::ComplexType& type) {
+  std::vector<std::string> names;
+  bool ref_member_emitted = false;
+  for (const xsd::ElementDecl* element : type.elements()) {
+    if (element->is_ref()) {
+      // Repeated refs collapse onto one opaque member.
+      if (!ref_member_emitted) {
+        names.emplace_back("schemaData");
+        ref_member_emitted = true;
+      }
+      continue;
+    }
+    names.push_back(element->name);
+  }
+  if (type.any_count() > 0) names.emplace_back("any");
+  return names;
+}
+
+bool has_duplicate(const std::vector<std::string>& names, bool fold_case) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (fold_case ? iequals(names[i], names[j]) : names[i] == names[j]) return true;
+    }
+  }
+  // The generated describe() method collides with a member of the same name.
+  return std::any_of(names.begin(), names.end(), [fold_case](const std::string& name) {
+    return fold_case ? iequals(name, "describe") : name == "describe";
+  });
+}
+
+void apply_rules(const ClientModel& model, Step step, const Facts& facts, StepPrediction& out) {
+  for (const Rule& rule : model.rules) {
+    if (rule.step != step || !rule.when(facts)) continue;
+    if (rule.severity == Outcome::kError) {
+      out.error = true;
+    } else {
+      out.warning = true;
+    }
+    out.mechanisms.emplace_back(rule.mechanism);
+  }
+}
+
+void finish_step(StepPrediction& step) {
+  std::sort(step.mechanisms.begin(), step.mechanisms.end());
+  step.mechanisms.erase(std::unique(step.mechanisms.begin(), step.mechanisms.end()),
+                        step.mechanisms.end());
+}
+
+std::string step_json(const StepPrediction& step) {
+  json::ArrayWriter mechanisms;
+  for (const std::string& mechanism : step.mechanisms) mechanisms.item(mechanism);
+  return json::ObjectWriter()
+      .field("warning", step.warning)
+      .field("error", step.error)
+      .raw_field("mechanisms", mechanisms.str())
+      .str();
+}
+
+Result<StepPrediction> step_from_json(const json::Value& value) {
+  const json::Value* warning = value.find("warning");
+  const json::Value* error = value.find("error");
+  const json::Value* mechanisms = value.find("mechanisms");
+  if (warning == nullptr || !warning->is_bool() || error == nullptr || !error->is_bool() ||
+      mechanisms == nullptr || !mechanisms->is_array()) {
+    return Error{"predict.bad-record", "step object missing warning/error/mechanisms"};
+  }
+  StepPrediction step;
+  step.warning = warning->as_bool();
+  step.error = error->as_bool();
+  for (const json::Value& item : mechanisms->items()) {
+    if (!item.is_string()) return Error{"predict.bad-record", "mechanism is not a string"};
+    step.mechanisms.push_back(item.as_string());
+  }
+  return step;
+}
+
+int percent(double value) { return static_cast<int>(value * 100.0 + 0.5); }
+
+const char* outcome_word(Outcome outcome) { return to_string(outcome); }
+
+void tally(ClientScore& score, const ClientPrediction& predicted,
+           const interop::TestRecord& actual) {
+  ++score.tests;
+  const bool predicted_error = predicted.any_error();
+  const bool actual_error = actual.generation_error || actual.compilation_error;
+  if (predicted_error && actual_error) ++score.true_positives;
+  if (predicted_error && !actual_error) ++score.false_positives;
+  if (!predicted_error && actual_error) ++score.false_negatives;
+  if (!predicted_error && !actual_error) ++score.true_negatives;
+  if (predicted.generation.warning == actual.generation_warning &&
+      predicted.generation.error == actual.generation_error &&
+      predicted.compilation.warning == actual.compilation_warning &&
+      predicted.compilation.error == actual.compilation_error) {
+    ++score.exact_matches;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kWarning:
+      return "warning";
+    default:
+      return "error";
+  }
+}
+
+bool outcome_from_string(std::string_view text, Outcome& out) {
+  if (text == "ok") {
+    out = Outcome::kOk;
+  } else if (text == "warning") {
+    out = Outcome::kWarning;
+  } else if (text == "error") {
+    out = Outcome::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ShapeSignals collect_signals(const wsdl::Definitions& defs) {
+  ShapeSignals signals;
+
+  // The class names a generated types unit contains: every complexType plus
+  // one enum wrapper per enumeration simpleType (base resolution space).
+  std::set<std::string, std::less<>> class_names;
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      if (!type.name.empty()) class_names.insert(type.name);
+    }
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty()) {
+        class_names.insert(simple.name);
+        signals.has_enum = true;
+      }
+    }
+  }
+
+  for (const xsd::Schema& schema : defs.schemas) {
+    for (const xsd::ComplexType& type : schema.complex_types) {
+      signals.has_named_types = true;
+
+      const std::vector<std::string> fields = class_field_names(type);
+      if (has_duplicate(fields, /*fold_case=*/false)) signals.duplicate_members = true;
+      if (has_duplicate(fields, /*fold_case=*/true)) signals.duplicate_members_folded = true;
+
+      const bool throwable_name =
+          ends_with(type.name, "Exception") || ends_with(type.name, "Error");
+      for (const xsd::ElementDecl* element : type.elements()) {
+        if (element->is_ref()) continue;
+        if (throwable_name && element->name == "message") signals.throwable_wrapper = true;
+        if (element->name == "gregorian") signals.gregorian_element = true;
+      }
+
+      if (!type.base.empty() && class_names.find(type.base.local_name()) == class_names.end()) {
+        signals.unresolved_base = true;
+      }
+      if (type.any_count() >= 2) signals.double_wildcard = true;
+      const std::size_t depth = type.nesting_depth();
+      if (depth >= 3) signals.deep_nesting = true;
+      if (depth >= 5) signals.very_deep_nesting = true;
+
+      // anyType arrays anywhere in the model blank every generated
+      // accessor body under the JScript backend.
+      for (const xsd::ElementDecl* element : type.elements()) {
+        if (!element->type.empty() && element->type.local_name() == "anyType" &&
+            element->max_occurs == xsd::kUnbounded) {
+          signals.anytype_unbounded = true;
+        }
+      }
+    }
+  }
+  return signals;
+}
+
+const std::vector<ClientModel>& client_models() {
+  using O = Outcome;
+  static const std::vector<ClientModel> kModels = [] {
+    std::vector<ClientModel> models;
+
+    // Shared javac-compilation rules: artifact shapes every wsdl2java-family
+    // tool produces and javac/csc genuinely reject.
+    const Rule kDuplicateMember{Step::kCompilation, O::kError, "duplicate-member",
+                                [](const Facts& f) { return f.signals.duplicate_members; }};
+    const Rule kUnknownBase{Step::kCompilation, O::kError, "unknown-base",
+                            [](const Facts& f) { return f.signals.unresolved_base; }};
+
+    // --- Oracle Metro 2.3 (wsimport + javac) ---
+    models.push_back(ClientModel{
+        "Oracle Metro 2.3", true, false,
+        {
+            {Step::kGeneration, O::kError, "unresolved-type-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+            {Step::kGeneration, O::kError, "unresolved-attr-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_attr_ref; }},
+            {Step::kGeneration, O::kError, "schema-element-ref",
+             [](const Facts& f) { return f.features.schema_element_ref; }},
+            {Step::kGeneration, O::kError, "xsd-attr-ref",
+             [](const Facts& f) { return f.features.xsd_attr_ref; }},
+            {Step::kGeneration, O::kError, "wildcard-only-content",
+             [](const Facts& f) { return f.features.wildcard_only_content; }},
+            {Step::kGeneration, O::kError, "zero-operations",
+             [](const Facts& f) { return f.features.zero_operations; }},
+            {Step::kGeneration, O::kError, "missing-target-namespace",
+             [](const Facts& f) { return f.features.missing_target_namespace; }},
+            {Step::kGeneration, O::kError, "dangling-message-ref",
+             [](const Facts& f) { return f.features.dangling_message_reference; }},
+            {Step::kGeneration, O::kError, "dangling-part-ref",
+             [](const Facts& f) { return f.features.dangling_part_reference; }},
+            {Step::kGeneration, O::kError, "duplicate-operations",
+             [](const Facts& f) { return f.features.duplicate_operations; }},
+            {Step::kGeneration, O::kError, "unresolvable-import",
+             [](const Facts& f) { return f.features.unresolvable_wsdl_import; }},
+            {Step::kGeneration, O::kWarning, "dual-type-declaration",
+             [](const Facts& f) { return f.features.dual_type_declaration; }},
+            kDuplicateMember,
+            kUnknownBase,
+        }});
+
+    // --- Apache Axis1 1.4 (erratic: artifacts survive generation errors) ---
+    models.push_back(ClientModel{
+        "Apache Axis1 1.4", true, true,
+        {
+            {Step::kGeneration, O::kError, "unresolved-type-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+            {Step::kGeneration, O::kError, "unresolved-attr-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_attr_ref; }},
+            {Step::kGeneration, O::kError, "schema-ref-nested",
+             [](const Facts& f) { return f.features.schema_element_ref_nested; }},
+            {Step::kCompilation, O::kWarning, "raw-collections",
+             [](const Facts&) { return true; }},
+            {Step::kCompilation, O::kError, "throwable-wrapper-defect",
+             [](const Facts& f) { return f.signals.throwable_wrapper; }},
+            kDuplicateMember,
+            kUnknownBase,
+        }});
+
+    // --- Apache Axis2 1.6.2 (erratic) ---
+    models.push_back(ClientModel{
+        "Apache Axis2 1.6.2", true, true,
+        {
+            {Step::kGeneration, O::kError, "unresolved-type-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+            {Step::kGeneration, O::kError, "zero-operations",
+             [](const Facts& f) { return f.features.zero_operations; }},
+            {Step::kGeneration, O::kError, "dangling-part-ref",
+             [](const Facts& f) { return f.features.dangling_part_reference; }},
+            {Step::kGeneration, O::kError, "duplicate-operations",
+             [](const Facts& f) { return f.features.duplicate_operations; }},
+            {Step::kCompilation, O::kWarning, "raw-collections",
+             [](const Facts&) { return true; }},
+            {Step::kCompilation, O::kError, "local-suffix-defect",
+             [](const Facts& f) { return f.signals.gregorian_element; }},
+            {Step::kCompilation, O::kError, "double-wildcard-member",
+             [](const Facts& f) { return f.signals.double_wildcard; }},
+            {Step::kCompilation, O::kError, "enum-wrapper-defect",
+             [](const Facts& f) { return f.signals.has_enum; }},
+            kDuplicateMember,
+            kUnknownBase,
+        }});
+
+    // --- Apache CXF 2.7.6 / JBossWS CXF 4.2.3 (same wsdl2java core; they
+    // tolerate operation-less descriptions, unlike Metro) ---
+    const std::vector<Rule> cxf_rules = {
+        {Step::kGeneration, O::kError, "unresolved-type-ref",
+         [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+        {Step::kGeneration, O::kError, "unresolved-attr-ref",
+         [](const Facts& f) { return f.features.unresolved_foreign_attr_ref; }},
+        {Step::kGeneration, O::kError, "schema-element-ref",
+         [](const Facts& f) { return f.features.schema_element_ref; }},
+        {Step::kGeneration, O::kError, "xsd-attr-ref",
+         [](const Facts& f) { return f.features.xsd_attr_ref; }},
+        {Step::kGeneration, O::kError, "wildcard-only-content",
+         [](const Facts& f) { return f.features.wildcard_only_content; }},
+        {Step::kGeneration, O::kError, "missing-target-namespace",
+         [](const Facts& f) { return f.features.missing_target_namespace; }},
+        {Step::kGeneration, O::kError, "dangling-message-ref",
+         [](const Facts& f) { return f.features.dangling_message_reference; }},
+        {Step::kGeneration, O::kError, "dangling-part-ref",
+         [](const Facts& f) { return f.features.dangling_part_reference; }},
+        {Step::kGeneration, O::kError, "duplicate-operations",
+         [](const Facts& f) { return f.features.duplicate_operations; }},
+        {Step::kGeneration, O::kError, "unresolvable-import",
+         [](const Facts& f) { return f.features.unresolvable_wsdl_import; }},
+        kDuplicateMember,
+        kUnknownBase,
+    };
+    models.push_back(ClientModel{"Apache CXF 2.7.6", true, false, cxf_rules});
+    models.push_back(ClientModel{"JBossWS CXF 4.2.3", true, false, cxf_rules});
+
+    // --- .NET wsdl.exe family (C#, VB.NET, JScript) ---
+    const std::vector<Rule> dotnet_common = {
+        {Step::kGeneration, O::kError, "unresolved-type-ref",
+         [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+        {Step::kGeneration, O::kError, "unresolved-attr-ref",
+         [](const Facts& f) { return f.features.unresolved_foreign_attr_ref; }},
+        {Step::kGeneration, O::kError, "unresolved-attr-group",
+         [](const Facts& f) { return f.features.unresolved_attr_group; }},
+        {Step::kGeneration, O::kError, "dual-type-declaration",
+         [](const Facts& f) { return f.features.dual_type_declaration; }},
+        {Step::kGeneration, O::kError, "zero-operations",
+         [](const Facts& f) { return f.features.zero_operations; }},
+        {Step::kGeneration, O::kError, "missing-target-namespace",
+         [](const Facts& f) { return f.features.missing_target_namespace; }},
+        {Step::kGeneration, O::kError, "dangling-message-ref",
+         [](const Facts& f) { return f.features.dangling_message_reference; }},
+        {Step::kGeneration, O::kError, "dangling-part-ref",
+         [](const Facts& f) { return f.features.dangling_part_reference; }},
+        {Step::kGeneration, O::kError, "duplicate-operations",
+         [](const Facts& f) { return f.features.duplicate_operations; }},
+        {Step::kGeneration, O::kError, "unresolvable-import",
+         [](const Facts& f) { return f.features.unresolvable_wsdl_import; }},
+        {Step::kGeneration, O::kWarning, "encoded-use",
+         [](const Facts& f) { return f.features.encoded_use; }},
+    };
+
+    std::vector<Rule> csharp_rules = dotnet_common;
+    csharp_rules.push_back(kDuplicateMember);
+    csharp_rules.push_back(kUnknownBase);
+    models.push_back(
+        ClientModel{".NET Framework 4.0.30319.17929 (C#)", true, false, csharp_rules});
+
+    std::vector<Rule> vb_rules = dotnet_common;
+    vb_rules.push_back(Rule{Step::kCompilation, O::kError, "duplicate-member",
+                            [](const Facts& f) { return f.signals.duplicate_members_folded; }});
+    vb_rules.push_back(kUnknownBase);
+    models.push_back(ClientModel{".NET Framework 4.0.30319.17929 (Visual Basic .NET)", true,
+                                 false, vb_rules});
+
+    std::vector<Rule> jscript_rules = dotnet_common;
+    jscript_rules.push_back(Rule{Step::kGeneration, O::kWarning, "unknown-extension",
+                                 [](const Facts& f) {
+                                   return f.features.unknown_extension_elements;
+                                 }});
+    jscript_rules.push_back(Rule{Step::kGeneration, O::kError, "recursive-type-crash",
+                                 [](const Facts& f) { return f.features.self_recursive_type; }});
+    // The jsc crash on very deep content models masks every other
+    // compilation diagnostic (handled in predict_service).
+    jscript_rules.push_back(Rule{Step::kCompilation, O::kError, "deep-nesting-crash",
+                                 [](const Facts& f) { return f.signals.very_deep_nesting; }});
+    jscript_rules.push_back(Rule{Step::kCompilation, O::kError, "missing-body",
+                                 [](const Facts& f) {
+                                   return f.signals.deep_nesting ||
+                                          (f.signals.anytype_unbounded &&
+                                           f.signals.has_named_types);
+                                 }});
+    jscript_rules.push_back(kDuplicateMember);
+    jscript_rules.push_back(kUnknownBase);
+    models.push_back(
+        ClientModel{".NET Framework 4.0.30319.17929 (JScript .NET)", true, false, jscript_rules});
+
+    // --- gSOAP Toolkit 2.8.16 (wsdl2h + soapcpp2 + g++). The wsdl2h
+    // attribute-group failure aborts before any warning is emitted. ---
+    models.push_back(ClientModel{
+        "gSOAP Toolkit 2.8.16", true, false,
+        {
+            {Step::kGeneration, O::kError, "unresolved-attr-group",
+             [](const Facts& f) { return f.features.unresolved_attr_group; }},
+            {Step::kGeneration, O::kError, "schema-ref-duplicated",
+             [](const Facts& f) {
+               return f.features.schema_element_ref_duplicated &&
+                      !f.features.unresolved_attr_group;
+             }},
+            {Step::kGeneration, O::kWarning, "zero-operations",
+             [](const Facts& f) {
+               return f.features.zero_operations && !f.features.unresolved_attr_group;
+             }},
+            {Step::kGeneration, O::kWarning, "missing-target-namespace",
+             [](const Facts& f) {
+               return f.features.missing_target_namespace && !f.features.unresolved_attr_group;
+             }},
+            {Step::kGeneration, O::kWarning, "unresolvable-import",
+             [](const Facts& f) {
+               return f.features.unresolvable_wsdl_import && !f.features.unresolved_attr_group;
+             }},
+            kDuplicateMember,
+            kUnknownBase,
+        }});
+
+    // --- Zend Framework 1.9 (dynamic PHP; notes never classify) ---
+    models.push_back(ClientModel{
+        "Zend Framework 1.9", false, false,
+        {
+            {Step::kGeneration, O::kWarning, "zero-operations",
+             [](const Facts& f) { return f.features.zero_operations; }},
+        }});
+
+    // --- suds Python 0.4 (dynamic; warnings are emitted before the error
+    // bail-out, so both flags can be set) ---
+    models.push_back(ClientModel{
+        "suds Python 0.4", false, false,
+        {
+            {Step::kGeneration, O::kError, "unresolved-type-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_type_ref; }},
+            {Step::kGeneration, O::kError, "unresolved-attr-ref",
+             [](const Facts& f) { return f.features.unresolved_foreign_attr_ref; }},
+            {Step::kGeneration, O::kError, "schema-ref-array",
+             [](const Facts& f) { return f.features.schema_element_ref_array; }},
+            {Step::kGeneration, O::kError, "dangling-part-ref",
+             [](const Facts& f) { return f.features.dangling_part_reference; }},
+            {Step::kGeneration, O::kWarning, "zero-operations",
+             [](const Facts& f) { return f.features.zero_operations; }},
+            {Step::kGeneration, O::kWarning, "encoded-use",
+             [](const Facts& f) { return f.features.encoded_use; }},
+        }});
+
+    return models;
+  }();
+  return kModels;
+}
+
+ServicePrediction predict_service(const frameworks::SharedDescription& description) {
+  ServicePrediction out;
+  Facts facts;
+  facts.parsed = description.parsed_ok();
+  if (facts.parsed) {
+    out.fingerprint = fingerprint(description.definitions()).hex();
+    facts.features = description.features();
+    facts.signals = collect_signals(description.definitions());
+  } else {
+    // The raw served bytes are the only shape an unparseable description has.
+    out.fingerprint = hex64(fnv1a64(description.wsdl_text()));
+  }
+
+  for (const ClientModel& model : client_models()) {
+    ClientPrediction prediction;
+    prediction.client = model.client;
+    prediction.compiled = model.compiled;
+    if (!facts.parsed) {
+      prediction.generation.error = true;
+      prediction.generation.mechanisms = {"parse-failure"};
+      prediction.artifacts = false;
+      out.clients.push_back(std::move(prediction));
+      continue;
+    }
+    apply_rules(model, Step::kGeneration, facts, prediction.generation);
+    prediction.artifacts = model.artifacts_on_error || !prediction.generation.error;
+    if (prediction.compiled && prediction.artifacts) {
+      apply_rules(model, Step::kCompilation, facts, prediction.compilation);
+      const auto& mechanisms = prediction.compilation.mechanisms;
+      if (std::find(mechanisms.begin(), mechanisms.end(), "deep-nesting-crash") !=
+          mechanisms.end()) {
+        // The compiler aborts the whole compilation: nothing else surfaces.
+        prediction.compilation = StepPrediction{false, true, {"deep-nesting-crash"}};
+      }
+    }
+    finish_step(prediction.generation);
+    finish_step(prediction.compilation);
+    out.clients.push_back(std::move(prediction));
+  }
+  return out;
+}
+
+double ClientScore::precision() const {
+  const std::size_t flagged = true_positives + false_positives;
+  return flagged == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(flagged);
+}
+
+double ClientScore::recall() const {
+  const std::size_t errored = true_positives + false_negatives;
+  return errored == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(errored);
+}
+
+double ClientScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string PredictReport::summary() const {
+  const std::size_t failing = static_cast<std::size_t>(std::count_if(
+      services.begin(), services.end(), [](const ServicePredictionRecord& record) {
+        return std::any_of(record.prediction.clients.begin(), record.prediction.clients.end(),
+                           [](const ClientPrediction& c) { return c.any_error(); });
+      }));
+  return std::to_string(services.size()) + " services on " + std::to_string(servers) +
+         " servers: " + std::to_string(failing) + " predicted to fail somewhere";
+}
+
+std::vector<LintJob> build_predict_corpus(const PredictOptions& options, PredictReport& report,
+                                          obs::SpanId parent_span) {
+  // Preparation: the same corpus the study deploys (§III.A).
+  obs::Span deploy_span(options.tracer, "pass:deploy", parent_span);
+  obs::ScopedTimer deploy_timer = obs::timer(options.metrics, "predict.phase.deploy_us");
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(options.java_spec);
+  const catalog::TypeCatalog dotnet_catalog = catalog::make_dotnet_catalog(options.dotnet_spec);
+  const std::vector<frameworks::ServiceSpec> java_services =
+      frameworks::make_services(java_catalog, options.shape);
+  const std::vector<frameworks::ServiceSpec> dotnet_services =
+      frameworks::make_services(dotnet_catalog, options.shape);
+  const auto servers = frameworks::make_servers();
+  report.servers = servers.size();
+
+  std::vector<LintJob> jobs;
+  for (const auto& server : servers) {
+    const bool is_dotnet = server->language() == "C#";
+    const std::vector<frameworks::ServiceSpec>& services =
+        is_dotnet ? dotnet_services : java_services;
+    for (const frameworks::ServiceSpec& spec : services) {
+      if (!server->can_deploy(*spec.type)) {
+        ++report.deploy_refusals;
+        continue;
+      }
+      Result<frameworks::DeployedService> deployed = server->deploy(spec);
+      if (!deployed.ok()) {
+        ++report.deploy_refusals;
+        continue;
+      }
+      LintJob job;
+      job.server = server->name();
+      job.service = spec.service_name();
+      job.type_name = spec.type->name;
+      job.uri = job.server + "/" + job.service + ".wsdl";
+      job.wsdl_text = std::move(deployed.value().wsdl_text);
+      job.zero_operations = deployed.value().wsdl.operation_count() == 0;
+      jobs.push_back(std::move(job));
+    }
+  }
+  obs::add(options.metrics, "predict.services_total", jobs.size());
+  obs::add(options.metrics, "predict.deploy_refusals", report.deploy_refusals);
+  deploy_span.annotate("services", jobs.size());
+  deploy_span.annotate("refused", report.deploy_refusals);
+  deploy_span.end();
+  deploy_timer.stop();
+  return jobs;
+}
+
+ServicePredictionRecord predict_service_job(const LintJob& job) {
+  ServicePredictionRecord record;
+  record.server = job.server;
+  record.service = job.service;
+  record.type_name = job.type_name;
+  record.uri = job.uri;
+  const frameworks::SharedDescription description =
+      frameworks::SharedDescription::from_text(job.wsdl_text);
+  if (description.parsed_ok()) {
+    std::set<std::string> operations;
+    for (const wsdl::PortType& port_type : description.definitions().port_types) {
+      for (const wsdl::Operation& operation : port_type.operations) {
+        operations.insert(operation.name);
+      }
+    }
+    record.operations.assign(operations.begin(), operations.end());
+  }
+  record.prediction = predict_service(description);
+  return record;
+}
+
+PredictReport predict_corpus(const PredictOptions& options) {
+  PredictReport report;
+
+  obs::Span run_span(options.tracer, "predict-corpus");
+  const std::vector<LintJob> jobs = build_predict_corpus(options, report, run_span.id());
+
+  // Parallel prediction: fixed slices merged in index order, so the report
+  // is identical for any --jobs value.
+  obs::Span predict_span(options.tracer, "pass:predict", run_span);
+  obs::ScopedTimer predict_timer = obs::timer(options.metrics, "predict.phase.predict_us");
+  const auto run_slice = [&](std::size_t begin, std::size_t end) {
+    std::vector<ServicePredictionRecord> slice;
+    slice.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      obs::ScopedTimer one = obs::timer(options.metrics, "predict.step.predict_us");
+      slice.push_back(predict_service_job(jobs[i]));
+    }
+    return slice;
+  };
+  PoolStats pool_stats;
+  std::vector<std::vector<ServicePredictionRecord>> slices =
+      parallel_slices(jobs.size(), options.jobs, run_slice, &pool_stats);
+  if (options.metrics != nullptr) {
+    options.metrics->gauge("predict.pool.workers")
+        .set_max(static_cast<std::int64_t>(pool_stats.workers));
+    options.metrics->gauge("predict.pool.max_queue_depth")
+        .set_max(static_cast<std::int64_t>(pool_stats.max_queue_depth));
+  }
+  report.services.reserve(jobs.size());
+  for (std::vector<ServicePredictionRecord>& slice : slices) {
+    for (ServicePredictionRecord& record : slice) {
+      report.services.push_back(std::move(record));
+    }
+  }
+  predict_span.annotate("predicted", report.services.size());
+  predict_span.end();
+  predict_timer.stop();
+
+  finalize_predict_report(report, options, run_span.id());
+  return report;
+}
+
+void finalize_predict_report(PredictReport& report, const PredictOptions& options,
+                             obs::SpanId parent_span) {
+  const std::vector<ClientModel>& models = client_models();
+  report.clients.clear();
+  report.overall = ClientScore{};
+  report.overall.client = "overall";
+  for (const ClientModel& model : models) {
+    ClientScore score;
+    score.client = model.client;
+    report.clients.push_back(std::move(score));
+  }
+  if (!options.join_study) return;
+
+  // Ground truth: replay the dynamic study over the same corpus and keep
+  // each test's four step flags.
+  obs::Span join_span(options.tracer, "pass:join", parent_span);
+  obs::ScopedTimer join_timer = obs::timer(options.metrics, "predict.phase.join_us");
+  report.joined = true;
+  std::map<std::string, interop::TestRecord, std::less<>> actual;
+  interop::StudyConfig study;
+  study.java_spec = options.java_spec;
+  study.dotnet_spec = options.dotnet_spec;
+  study.shape = options.shape;
+  study.threads = options.study_threads;
+  study.observer = [&actual](const interop::TestRecord& record) {
+    actual[record.server + "|" + record.service + "|" + record.client] = record;
+  };
+  (void)interop::run_study(study);
+
+  for (const ServicePredictionRecord& service : report.services) {
+    for (std::size_t i = 0; i < service.prediction.clients.size() && i < models.size(); ++i) {
+      const ClientPrediction& prediction = service.prediction.clients[i];
+      const auto it =
+          actual.find(service.server + "|" + service.service + "|" + prediction.client);
+      if (it == actual.end()) continue;
+      tally(report.clients[i], prediction, it->second);
+      tally(report.overall, prediction, it->second);
+    }
+  }
+  obs::add(options.metrics, "predict.join.tests", report.overall.tests);
+  join_span.annotate("tests", report.overall.tests);
+  join_span.end();
+  join_timer.stop();
+}
+
+std::string record_json(const ServicePredictionRecord& record) {
+  json::ArrayWriter operations;
+  for (const std::string& operation : record.operations) operations.item(operation);
+  json::ArrayWriter clients;
+  for (const ClientPrediction& client : record.prediction.clients) {
+    clients.raw_item(json::ObjectWriter()
+                         .field("client", client.client)
+                         .field("compiled", client.compiled)
+                         .field("artifacts", client.artifacts)
+                         .raw_field("generation", step_json(client.generation))
+                         .raw_field("compilation", step_json(client.compilation))
+                         .str());
+  }
+  return json::ObjectWriter()
+      .field("server", record.server)
+      .field("service", record.service)
+      .field("type", record.type_name)
+      .field("uri", record.uri)
+      .field("fingerprint", record.prediction.fingerprint)
+      .raw_field("operations", operations.str())
+      .raw_field("clients", clients.str())
+      .str();
+}
+
+Result<ServicePredictionRecord> record_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& value = parsed.value();
+  const auto string_field = [&value](const char* key) -> const std::string* {
+    const json::Value* field = value.find(key);
+    return field != nullptr && field->is_string() ? &field->as_string() : nullptr;
+  };
+  const std::string* server = string_field("server");
+  const std::string* service = string_field("service");
+  const std::string* type = string_field("type");
+  const std::string* uri = string_field("uri");
+  const std::string* fp = string_field("fingerprint");
+  const json::Value* operations = value.find("operations");
+  const json::Value* clients = value.find("clients");
+  if (server == nullptr || service == nullptr || type == nullptr || uri == nullptr ||
+      fp == nullptr || operations == nullptr || !operations->is_array() || clients == nullptr ||
+      !clients->is_array()) {
+    return Error{"predict.bad-record", "prediction record is missing required fields"};
+  }
+  ServicePredictionRecord record;
+  record.server = *server;
+  record.service = *service;
+  record.type_name = *type;
+  record.uri = *uri;
+  record.prediction.fingerprint = *fp;
+  for (const json::Value& operation : operations->items()) {
+    if (!operation.is_string()) {
+      return Error{"predict.bad-record", "operation name is not a string"};
+    }
+    record.operations.push_back(operation.as_string());
+  }
+  for (const json::Value& client : clients->items()) {
+    const json::Value* name = client.find("client");
+    const json::Value* compiled = client.find("compiled");
+    const json::Value* artifacts = client.find("artifacts");
+    const json::Value* generation = client.find("generation");
+    const json::Value* compilation = client.find("compilation");
+    if (name == nullptr || !name->is_string() || compiled == nullptr || !compiled->is_bool() ||
+        artifacts == nullptr || !artifacts->is_bool() || generation == nullptr ||
+        compilation == nullptr) {
+      return Error{"predict.bad-record", "client prediction is missing required fields"};
+    }
+    ClientPrediction prediction;
+    prediction.client = name->as_string();
+    prediction.compiled = compiled->as_bool();
+    prediction.artifacts = artifacts->as_bool();
+    Result<StepPrediction> gen = step_from_json(*generation);
+    if (!gen.ok()) return gen.error();
+    prediction.generation = std::move(gen.value());
+    Result<StepPrediction> comp = step_from_json(*compilation);
+    if (!comp.ok()) return comp.error();
+    prediction.compilation = std::move(comp.value());
+    record.prediction.clients.push_back(std::move(prediction));
+  }
+  return record;
+}
+
+std::string format_predict_report(const PredictReport& report) {
+  std::string out = report.summary() + "\n";
+  if (report.deploy_refusals != 0) {
+    out += "  (" + std::to_string(report.deploy_refusals) + " deploy refusals excluded)\n";
+  }
+  if (!report.joined) {
+    // Unjoined: per-client predicted classification counts.
+    const std::vector<ClientModel>& models = client_models();
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      std::size_t errors = 0;
+      std::size_t warnings = 0;
+      for (const ServicePredictionRecord& service : report.services) {
+        if (i >= service.prediction.clients.size()) continue;
+        const ClientPrediction& prediction = service.prediction.clients[i];
+        if (prediction.any_error()) {
+          ++errors;
+        } else if (prediction.generation.warning || prediction.compilation.warning) {
+          ++warnings;
+        }
+      }
+      out += "  " + std::string(models[i].client) + ": " + std::to_string(errors) +
+             " predicted errors, " + std::to_string(warnings) + " predicted warnings\n";
+    }
+    return out;
+  }
+  const auto score_line = [](const ClientScore& score) {
+    return score.client + ": precision " + std::to_string(percent(score.precision())) +
+           "%, recall " + std::to_string(percent(score.recall())) + "%, F1 " +
+           std::to_string(percent(score.f1())) + "% | exact " +
+           std::to_string(score.exact_matches) + "/" + std::to_string(score.tests);
+  };
+  for (const ClientScore& score : report.clients) out += "  " + score_line(score) + "\n";
+  out += "  " + score_line(report.overall) + "\n";
+  return out;
+}
+
+std::string format_service_prediction(const ServicePrediction& prediction) {
+  std::string out = "fingerprint " + prediction.fingerprint + "\n";
+  for (const ClientPrediction& client : prediction.clients) {
+    std::string line = "  " + client.client + ": generation " +
+                       outcome_word(client.generation.outcome());
+    if (!client.compiled) {
+      line += " (dynamic; no compilation step)";
+    } else if (!client.artifacts) {
+      line += ", no artifacts";
+    } else {
+      line += ", compilation " + std::string(outcome_word(client.compilation.outcome()));
+    }
+    std::vector<std::string> mechanisms = client.generation.mechanisms;
+    mechanisms.insert(mechanisms.end(), client.compilation.mechanisms.begin(),
+                      client.compilation.mechanisms.end());
+    std::sort(mechanisms.begin(), mechanisms.end());
+    mechanisms.erase(std::unique(mechanisms.begin(), mechanisms.end()), mechanisms.end());
+    if (!mechanisms.empty()) {
+      line += " [";
+      for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+        if (i != 0) line += ", ";
+        line += mechanisms[i];
+      }
+      line += "]";
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace wsx::analysis::predict

@@ -1,0 +1,224 @@
+// predict.hpp — the static compatibility predictor.
+//
+// Given a service's SharedDescription, predicts each client tool's
+// testing-phase verdict (ok / warning-class / error-class, plus the
+// responsible footnote mechanism) *without executing* the generation or
+// compilation pipeline. The per-client rules are distilled from the
+// framework models (src/frameworks/*_client.cpp), the shared artifact
+// builder and the compiler simulators: each rule is a pure predicate over
+// the WsdlFeatures vector plus a small set of shape signals computed once
+// per description. predict_corpus() applies the predictor to the whole
+// generated corpus and — by default — joins the predictions against the
+// dynamic study's ground truth to score precision/recall/F1 on the error
+// class (docs/PREDICT.md has the methodology).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/corpus.hpp"
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "common/result.hpp"
+#include "frameworks/features.hpp"
+#include "frameworks/service.hpp"
+#include "frameworks/shared_description.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wsx::analysis::predict {
+
+/// Predicted classification of one testing-phase step.
+enum class Outcome { kOk, kWarning, kError };
+
+const char* to_string(Outcome outcome);
+bool outcome_from_string(std::string_view text, Outcome& out);
+
+/// Shape facts the compilation-step rules key on, beyond WsdlFeatures.
+/// All are computed over *named* complex types only — those are the types
+/// the artifact builder turns into classes.
+struct ShapeSignals {
+  bool throwable_wrapper = false;   ///< *Exception/*Error type with a "message" element
+  bool gregorian_element = false;   ///< element the Axis2 local_ defect trips on
+  bool unresolved_base = false;     ///< extension base not defined in the description
+  bool duplicate_members = false;   ///< colliding class members (case-sensitive)
+  bool duplicate_members_folded = false;  ///< ...compared without case (VB.NET)
+  bool double_wildcard = false;     ///< >= 2 xs:any wildcards in one type
+  bool has_enum = false;            ///< enumeration simpleType declared
+  bool has_named_types = false;     ///< at least one class will be generated
+  bool deep_nesting = false;        ///< nesting depth >= 3 (JScript missing-body)
+  bool very_deep_nesting = false;   ///< nesting depth >= 5 (JScript compiler crash)
+  bool anytype_unbounded = false;   ///< unbounded anyType element (JScript missing-body)
+};
+
+/// Computes the shape signals for a parsed description.
+ShapeSignals collect_signals(const wsdl::Definitions& defs);
+
+/// The facts a predictor rule may consult.
+struct Facts {
+  bool parsed = false;
+  frameworks::WsdlFeatures features{};  ///< zeroed when !parsed
+  ShapeSignals signals{};               ///< zeroed when !parsed
+};
+
+/// One predicted testing-phase step. Warning and error flags are
+/// independent, exactly like interop::TestRecord's ground-truth flags —
+/// most tools keep emitting warnings even once an error is certain.
+struct StepPrediction {
+  bool warning = false;
+  bool error = false;
+  /// Responsible mechanisms (footnote catalog ids), sorted and deduplicated.
+  std::vector<std::string> mechanisms;
+
+  Outcome outcome() const {
+    return error ? Outcome::kError : warning ? Outcome::kWarning : Outcome::kOk;
+  }
+  friend bool operator==(const StepPrediction&, const StepPrediction&) = default;
+};
+
+/// Predicted verdict of one client tool against one description.
+struct ClientPrediction {
+  std::string client;      ///< exact framework name (join key)
+  bool compiled = true;    ///< false: dynamic client, no compilation column
+  bool artifacts = true;   ///< artifacts predicted to reach step (c)
+  StepPrediction generation;
+  StepPrediction compilation;
+
+  bool any_error() const { return generation.error || compilation.error; }
+  friend bool operator==(const ClientPrediction&, const ClientPrediction&) = default;
+};
+
+/// Full per-client prediction for one description.
+struct ServicePrediction {
+  std::string fingerprint;  ///< canonical shape fingerprint (hex)
+  std::vector<ClientPrediction> clients;  ///< frameworks::make_clients() order
+
+  friend bool operator==(const ServicePrediction&, const ServicePrediction&) = default;
+};
+
+// --- The predictor rule registry ----------------------------------------
+
+enum class Step { kGeneration, kCompilation };
+
+/// One distilled predictor rule: when `when(facts)` holds, `mechanism` is
+/// predicted to fire at `step` with `severity`.
+struct Rule {
+  Step step;
+  Outcome severity;
+  const char* mechanism;
+  bool (*when)(const Facts&);
+};
+
+/// The predictor's model of one client tool.
+struct ClientModel {
+  const char* client;            ///< exact ClientFramework::name() string
+  bool compiled = true;          ///< has a compilation column
+  bool artifacts_on_error = false;  ///< erratic tool: artifacts despite errors
+  std::vector<Rule> rules;
+};
+
+/// The per-client rule registry, in frameworks::make_clients() order.
+const std::vector<ClientModel>& client_models();
+
+/// Predicts every client's verdict for one description.
+ServicePrediction predict_service(const frameworks::SharedDescription& description);
+
+// --- Corpus pass and ground-truth join ----------------------------------
+
+struct PredictOptions {
+  catalog::JavaCatalogSpec java_spec;      ///< defaults: the paper's population
+  catalog::DotNetCatalogSpec dotnet_spec;  ///< defaults: the paper's population
+  frameworks::ServiceShape shape = frameworks::ServiceShape::kSimpleEcho;
+  std::size_t jobs = 0;  ///< predictor worker threads; 0 = hardware concurrency
+
+  /// Runs the dynamic study over the same corpus and scores the predictions
+  /// against its per-test outcomes (precision/recall/F1 on the error class).
+  bool join_study = true;
+  std::size_t study_threads = 0;  ///< 0 = hardware concurrency
+
+  /// Observability sinks, both optional (null = off). Metrics use the
+  /// "predict." prefix.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
+};
+
+/// Prediction for one deployed service of the corpus.
+struct ServicePredictionRecord {
+  std::string server;
+  std::string service;
+  std::string type_name;
+  std::string uri;  ///< "server/service.wsdl"
+  std::vector<std::string> operations;  ///< sorted unique operation names
+  ServicePrediction prediction;
+
+  friend bool operator==(const ServicePredictionRecord&,
+                         const ServicePredictionRecord&) = default;
+};
+
+/// Predictive power of the rules for one client (or "overall"), measured
+/// against the dynamic study's error class.
+struct ClientScore {
+  std::string client;
+  std::size_t tests = 0;
+  std::size_t true_positives = 0;   ///< predicted error, observed error
+  std::size_t false_positives = 0;  ///< predicted error, no observed error
+  std::size_t false_negatives = 0;  ///< observed error, not predicted
+  std::size_t true_negatives = 0;
+  std::size_t exact_matches = 0;    ///< all four step flags predicted exactly
+
+  double precision() const;  ///< TP / (TP + FP); 1 when nothing predicted
+  double recall() const;     ///< TP / (TP + FN); 1 when nothing observed
+  double f1() const;
+};
+
+struct PredictReport {
+  std::vector<ServicePredictionRecord> services;  ///< deterministic corpus order
+  std::vector<ClientScore> clients;  ///< with join_study, make_clients() order
+  ClientScore overall;               ///< micro-average across clients
+  std::size_t servers = 0;
+  std::size_t deploy_refusals = 0;
+  bool joined = false;
+
+  /// One line, e.g. "57 services on 3 servers: 31 predicted to fail somewhere".
+  std::string summary() const;
+};
+
+/// Predicts the whole corpus (in parallel) and optionally joins against the
+/// dynamic study. Output is deterministic for a given options value
+/// regardless of `jobs`.
+PredictReport predict_corpus(const PredictOptions& options = {});
+
+// --- Corpus passes, exposed for the resilience supervisor ---------------
+//
+// predict_corpus = build_predict_corpus → predict_service_job per job →
+// ordered merge → finalize_predict_report, mirroring the lint corpus
+// driver so both the straight and the supervised path produce identical
+// reports.
+
+/// The deploy pass: one job per deployed description, canonical corpus
+/// order. Seeds `report.servers` / `report.deploy_refusals`.
+std::vector<LintJob> build_predict_corpus(const PredictOptions& options, PredictReport& report,
+                                          obs::SpanId parent_span = obs::kNoSpan);
+
+/// Predicts one job (pure; safe to call from worker threads).
+ServicePredictionRecord predict_service_job(const LintJob& job);
+
+/// The join + scoring passes over `report.services` (already corpus-ordered).
+void finalize_predict_report(PredictReport& report, const PredictOptions& options,
+                             obs::SpanId parent_span = obs::kNoSpan);
+
+/// JSON round-trip for one record (the resilience journal's task payload).
+std::string record_json(const ServicePredictionRecord& record);
+Result<ServicePredictionRecord> record_from_json(std::string_view text);
+
+/// Human-readable report: per-client predicted/observed error counts and
+/// precision/recall/F1 when joined.
+std::string format_predict_report(const PredictReport& report);
+
+/// Human-readable verdict table for one description (the single-service
+/// `wsinterop predict SERVER TYPE` output).
+std::string format_service_prediction(const ServicePrediction& prediction);
+
+}  // namespace wsx::analysis::predict

@@ -1,0 +1,237 @@
+#include "analysis/substitution.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+
+namespace wsx::analysis::predict {
+namespace {
+
+Outcome worst_outcome(const ClientPrediction& prediction) {
+  if (prediction.any_error()) return Outcome::kError;
+  if (prediction.generation.warning || prediction.compilation.warning) return Outcome::kWarning;
+  return Outcome::kOk;
+}
+
+/// Case-insensitive substring match (ASCII), for client-name lookups.
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+/// Jaccard similarity of two sorted operation-name sets.
+double operations_similarity(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  std::size_t common = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t unioned = a.size() + b.size() - common;
+  return unioned == 0 ? 1.0 : static_cast<double>(common) / static_cast<double>(unioned);
+}
+
+}  // namespace
+
+SubstitutionIndex build_index(const PredictReport& report) {
+  SubstitutionIndex index;
+  for (const ClientModel& model : client_models()) index.clients.emplace_back(model.client);
+  index.entries.reserve(report.services.size());
+  for (const ServicePredictionRecord& record : report.services) {
+    IndexEntry entry;
+    entry.server = record.server;
+    entry.service = record.service;
+    entry.type_name = record.type_name;
+    entry.fingerprint = record.prediction.fingerprint;
+    entry.operations = record.operations;
+    entry.verdicts.reserve(record.prediction.clients.size());
+    for (const ClientPrediction& prediction : record.prediction.clients) {
+      entry.verdicts.push_back(worst_outcome(prediction));
+    }
+    index.entries.push_back(std::move(entry));
+  }
+  return index;
+}
+
+std::string index_json(const SubstitutionIndex& index) {
+  json::ArrayWriter clients;
+  for (const std::string& client : index.clients) clients.item(client);
+  json::ArrayWriter entries;
+  for (const IndexEntry& entry : index.entries) {
+    json::ArrayWriter operations;
+    for (const std::string& operation : entry.operations) operations.item(operation);
+    json::ArrayWriter verdicts;
+    for (const Outcome verdict : entry.verdicts) verdicts.item(to_string(verdict));
+    entries.raw_item(json::ObjectWriter()
+                         .field("server", entry.server)
+                         .field("service", entry.service)
+                         .field("type", entry.type_name)
+                         .field("fingerprint", entry.fingerprint)
+                         .raw_field("operations", operations.str())
+                         .raw_field("verdicts", verdicts.str())
+                         .str());
+  }
+  return json::ObjectWriter()
+      .field("version", kIndexVersion)
+      .raw_field("clients", clients.str())
+      .raw_field("entries", entries.str())
+      .str();
+}
+
+Result<SubstitutionIndex> index_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const json::Value& value = parsed.value();
+  const json::Value* version = value.find("version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<std::size_t>(version->as_number()) != kIndexVersion) {
+    return Error{"predict.bad-index", "unsupported substitution index version"};
+  }
+  const json::Value* clients = value.find("clients");
+  const json::Value* entries = value.find("entries");
+  if (clients == nullptr || !clients->is_array() || entries == nullptr || !entries->is_array()) {
+    return Error{"predict.bad-index", "index document is missing clients/entries"};
+  }
+  SubstitutionIndex index;
+  for (const json::Value& client : clients->items()) {
+    if (!client.is_string()) return Error{"predict.bad-index", "client name is not a string"};
+    index.clients.push_back(client.as_string());
+  }
+  for (const json::Value& item : entries->items()) {
+    const json::Value* server = item.find("server");
+    const json::Value* service = item.find("service");
+    const json::Value* type = item.find("type");
+    const json::Value* fp = item.find("fingerprint");
+    const json::Value* operations = item.find("operations");
+    const json::Value* verdicts = item.find("verdicts");
+    if (server == nullptr || !server->is_string() || service == nullptr ||
+        !service->is_string() || type == nullptr || !type->is_string() || fp == nullptr ||
+        !fp->is_string() || operations == nullptr || !operations->is_array() ||
+        verdicts == nullptr || !verdicts->is_array()) {
+      return Error{"predict.bad-index", "index entry is missing required fields"};
+    }
+    IndexEntry entry;
+    entry.server = server->as_string();
+    entry.service = service->as_string();
+    entry.type_name = type->as_string();
+    entry.fingerprint = fp->as_string();
+    for (const json::Value& operation : operations->items()) {
+      if (!operation.is_string()) {
+        return Error{"predict.bad-index", "operation name is not a string"};
+      }
+      entry.operations.push_back(operation.as_string());
+    }
+    if (verdicts->items().size() != index.clients.size()) {
+      return Error{"predict.bad-index", "entry verdict count does not match client count"};
+    }
+    for (const json::Value& verdict : verdicts->items()) {
+      Outcome outcome = Outcome::kOk;
+      if (!verdict.is_string() || !outcome_from_string(verdict.as_string(), outcome)) {
+        return Error{"predict.bad-index", "unknown verdict value"};
+      }
+      entry.verdicts.push_back(outcome);
+    }
+    index.entries.push_back(std::move(entry));
+  }
+  return index;
+}
+
+Result<std::vector<Candidate>> substitute(const SubstitutionIndex& index,
+                                          const SubstituteQuery& query) {
+  // Client: exact name first, then case-insensitive substring.
+  std::size_t client_index = index.clients.size();
+  for (std::size_t i = 0; i < index.clients.size(); ++i) {
+    if (index.clients[i] == query.client) {
+      client_index = i;
+      break;
+    }
+  }
+  if (client_index == index.clients.size()) {
+    for (std::size_t i = 0; i < index.clients.size(); ++i) {
+      if (icontains(index.clients[i], query.client)) {
+        client_index = i;
+        break;
+      }
+    }
+  }
+  if (client_index == index.clients.size()) {
+    return Error{"predict.unknown-client", "no indexed client matches '" + query.client + "'"};
+  }
+
+  // Target: "Server/Service" or bare service name, first match in corpus
+  // order.
+  const IndexEntry* target = nullptr;
+  const std::size_t slash = query.service.find('/');
+  for (const IndexEntry& entry : index.entries) {
+    const bool matches = slash == std::string::npos
+                             ? entry.service == query.service
+                             : entry.server == query.service.substr(0, slash) &&
+                                   entry.service == query.service.substr(slash + 1);
+    if (matches) {
+      target = &entry;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return Error{"predict.unknown-service", "no indexed service matches '" + query.service + "'"};
+  }
+
+  std::vector<Candidate> candidates;
+  for (const IndexEntry& entry : index.entries) {
+    if (&entry == target) continue;
+    if (client_index >= entry.verdicts.size() ||
+        entry.verdicts[client_index] != Outcome::kOk) {
+      continue;
+    }
+    Candidate candidate;
+    candidate.server = entry.server;
+    candidate.service = entry.service;
+    candidate.fingerprint = entry.fingerprint;
+    candidate.fingerprint_match = entry.fingerprint == target->fingerprint;
+    candidate.score = operations_similarity(entry.operations, target->operations) +
+                      (candidate.fingerprint_match ? 0.25 : 0.0);
+    candidates.push_back(std::move(candidate));
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.server != b.server) return a.server < b.server;
+    return a.service < b.service;
+  });
+  if (candidates.size() > query.top) candidates.resize(query.top);
+  return candidates;
+}
+
+std::string format_candidates(const SubstituteQuery& query,
+                              const std::vector<Candidate>& candidates) {
+  std::string out = "substitutes for " + query.service + " (client: " + query.client + ")\n";
+  if (candidates.empty()) {
+    out += "  (no clean candidate in the index)\n";
+    return out;
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& candidate = candidates[i];
+    // Two-decimal score, locale-free.
+    const int hundredths = static_cast<int>(candidate.score * 100.0 + 0.5);
+    out += "  " + std::to_string(i + 1) + ". " + candidate.server + "/" + candidate.service +
+           " score " + std::to_string(hundredths / 100) + "." +
+           (hundredths % 100 < 10 ? "0" : "") + std::to_string(hundredths % 100);
+    if (candidate.fingerprint_match) out += " (identical shape)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wsx::analysis::predict

@@ -155,16 +155,19 @@ class WorkerPool {
       } catch (...) {
         error = std::current_exception();
       }
+      bool drained = false;
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.tasks_run;
         if (error != nullptr) {
           ++stats_.tasks_failed;
-          errors_.push_back(error);
+          // Moved, not copied: the local copy must be dead before the lock
+          // drops, or its refcount release races wait()'s rethrow.
+          errors_.push_back(std::move(error));
         }
-        --pending_;
+        drained = --pending_ == 0;
       }
-      if (pending_ == 0) idle_.notify_all();
+      if (drained) idle_.notify_all();
     }
   }
 

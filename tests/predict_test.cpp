@@ -1,0 +1,175 @@
+// Tests for the static compatibility predictor (src/analysis/predict.*):
+// the rule registry covers the client roster, single-service predictions
+// reproduce known framework verdicts without running generation, the
+// joined corpus pass scores perfectly against the dynamic study it was
+// distilled from, and prediction records round-trip through JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/predict.hpp"
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
+
+namespace wsx::analysis::predict {
+namespace {
+
+/// A small but defect-rich population: every special catalog type (which
+/// the specs always include) plus a couple of each bucket.
+PredictOptions tiny_options() {
+  PredictOptions options;
+  catalog::JavaCatalogSpec java;
+  java.plain_beans = 2;
+  java.throwable_clean = 1;
+  java.throwable_raw = 1;
+  java.raw_generic_beans = 1;
+  java.anytype_array_beans = 1;
+  java.no_default_ctor = 1;
+  java.abstract_classes = 1;
+  java.interfaces = 1;
+  java.generic_types = 1;
+  options.java_spec = java;
+  catalog::DotNetCatalogSpec dotnet;
+  dotnet.plain_types = 2;
+  dotnet.dataset_plain = 1;
+  dotnet.dataset_duplicated = 1;
+  dotnet.encoded_binding = 1;
+  dotnet.deep_nesting_clean = 1;
+  dotnet.deep_nesting_pathological = 1;
+  dotnet.non_serializable = 1;
+  dotnet.no_default_ctor = 1;
+  dotnet.generic_types = 1;
+  dotnet.abstract_classes = 1;
+  dotnet.interfaces = 1;
+  options.dotnet_spec = dotnet;
+  options.jobs = 2;
+  options.study_threads = 2;
+  return options;
+}
+
+TEST(PredictRules, RegistryMatchesClientRoster) {
+  const std::vector<ClientModel>& models = client_models();
+  const auto clients = frameworks::make_clients();
+  ASSERT_EQ(models.size(), clients.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i].client, clients[i]->name());
+    EXPECT_EQ(models[i].compiled, clients[i]->requires_compilation()) << models[i].client;
+  }
+}
+
+TEST(PredictService, UnparsableTextPredictsUniversalGenerationError) {
+  const ServicePrediction prediction =
+      predict_service(frameworks::SharedDescription::from_text("<not-wsdl"));
+  ASSERT_EQ(prediction.clients.size(), client_models().size());
+  EXPECT_FALSE(prediction.fingerprint.empty());
+  for (const ClientPrediction& client : prediction.clients) {
+    EXPECT_TRUE(client.generation.error) << client.client;
+    ASSERT_EQ(client.generation.mechanisms.size(), 1u) << client.client;
+    EXPECT_EQ(client.generation.mechanisms.front(), "parse-failure");
+    EXPECT_FALSE(client.artifacts);
+  }
+}
+
+TEST(PredictService, ForeignTypeSplitsTheRoster) {
+  // W3CEndpointReference references a foreign schema type (§IV.B): every
+  // static binding-time tool must fail generation, while gSOAP and Zend
+  // consume the description cleanly.
+  const auto server = frameworks::make_server("Metro 2.3");
+  ASSERT_NE(server, nullptr);
+  const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const catalog::TypeInfo* type =
+      catalog.find("javax.xml.ws.wsaddressing.W3CEndpointReference");
+  ASSERT_NE(type, nullptr);
+  Result<frameworks::DeployedService> deployed =
+      server->deploy(frameworks::ServiceSpec{type});
+  ASSERT_TRUE(deployed.ok()) << deployed.error().message;
+
+  const ServicePrediction prediction =
+      predict_service(frameworks::SharedDescription::from_deployed(deployed.value()));
+  bool saw_gsoap = false;
+  bool saw_metro = false;
+  for (const ClientPrediction& client : prediction.clients) {
+    if (client.client == "gSOAP Toolkit 2.8.16") {
+      saw_gsoap = true;
+      EXPECT_FALSE(client.generation.error);
+      EXPECT_FALSE(client.compilation.error);
+    }
+    if (client.client == "Oracle Metro 2.3") {
+      saw_metro = true;
+      EXPECT_TRUE(client.generation.error);
+      EXPECT_NE(std::find(client.generation.mechanisms.begin(),
+                          client.generation.mechanisms.end(), "unresolved-type-ref"),
+                client.generation.mechanisms.end());
+      EXPECT_FALSE(client.artifacts);  // Metro refuses artifacts on error
+    }
+  }
+  EXPECT_TRUE(saw_gsoap);
+  EXPECT_TRUE(saw_metro);
+
+  const std::string formatted = format_service_prediction(prediction);
+  EXPECT_NE(formatted.find("fingerprint"), std::string::npos);
+  EXPECT_NE(formatted.find("unresolved-type-ref"), std::string::npos);
+}
+
+TEST(PredictCorpus, JoinedScoresAreExactAgainstTheDynamicStudy) {
+  PredictOptions options = tiny_options();
+  options.join_study = true;
+  const PredictReport report = predict_corpus(options);
+  ASSERT_TRUE(report.joined);
+  ASSERT_FALSE(report.services.empty());
+  ASSERT_EQ(report.clients.size(), client_models().size());
+
+  // The rules are distilled from the very framework models the study runs,
+  // so the predictor must agree with the ground truth on every flag. Any
+  // mismatch here means a framework model changed without its rule.
+  EXPECT_EQ(report.overall.exact_matches, report.overall.tests);
+  EXPECT_EQ(report.overall.false_positives, 0u);
+  EXPECT_EQ(report.overall.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(report.overall.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(report.overall.recall(), 1.0);
+  EXPECT_GT(report.overall.true_positives, 0u);  // the corpus does fail somewhere
+  for (const ClientScore& client : report.clients) {
+    EXPECT_EQ(client.exact_matches, client.tests) << client.client;
+  }
+
+  const std::string formatted = format_predict_report(report);
+  EXPECT_NE(formatted.find("precision"), std::string::npos);
+  EXPECT_NE(formatted.find("overall"), std::string::npos);
+}
+
+TEST(PredictCorpus, UnjoinedReportCountsPredictionsOnly) {
+  PredictOptions options = tiny_options();
+  options.join_study = false;
+  const PredictReport report = predict_corpus(options);
+  EXPECT_FALSE(report.joined);
+  // Score rows exist for shape stability but carry no joined tests.
+  for (const ClientScore& client : report.clients) {
+    EXPECT_EQ(client.tests, 0u) << client.client;
+  }
+  EXPECT_EQ(report.servers, 3u);
+  EXPECT_GT(report.deploy_refusals, 0u);
+  EXPECT_NE(report.summary().find("predicted to fail"), std::string::npos);
+}
+
+TEST(PredictRecord, JsonRoundTripsByteIdentically) {
+  PredictOptions options = tiny_options();
+  options.join_study = false;
+  PredictReport report;
+  const std::vector<LintJob> jobs = build_predict_corpus(options, report);
+  ASSERT_FALSE(jobs.empty());
+  for (std::size_t i = 0; i < jobs.size(); i += 7) {  // sample the corpus
+    const ServicePredictionRecord record = predict_service_job(jobs[i]);
+    const std::string json = record_json(record);
+    Result<ServicePredictionRecord> parsed = record_from_json(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed.value(), record) << jobs[i].uri;
+    EXPECT_EQ(record_json(parsed.value()), json) << jobs[i].uri;
+  }
+  EXPECT_FALSE(record_from_json("{}").ok());
+  EXPECT_FALSE(record_from_json("nope").ok());
+}
+
+}  // namespace
+}  // namespace wsx::analysis::predict

@@ -19,6 +19,11 @@
 //       wire-fault resilience study over the faulty wire
 //   wsinterop profile [--scale PCT] [--jobs N]
 //       sized-down study with tracing on; prints the phase breakdown
+//   wsinterop predict SERVER TYPE | --corpus [--index OUT.json]
+//       static compatibility prediction (no generation/compilation run);
+//       --corpus scores the predictions against the dynamic study
+//   wsinterop substitute --client X --service Y --index FILE [--top K]
+//       ranked replacement services from a serialized substitution index
 //   wsinterop list
 //       available server and client frameworks
 //   wsinterop resume JOURNAL [--jobs N] [--format ...]
@@ -27,11 +32,11 @@
 //
 // Every campaign verb accepts --trace=FILE.jsonl (canonical span tree,
 // one JSON object per line) and --metrics=FILE.json (counter/gauge/
-// histogram export); see docs/OBSERVABILITY.md. The four supervised
-// campaign verbs (run, communicate, chaos, lint --corpus) additionally
-// accept the resilience flags (--checkpoint, --checkpoint-every,
-// --task-deadline-ms, --quarantine-after, --budget-ms, --budget-tasks);
-// see docs/RESILIENCE.md.
+// histogram export); see docs/OBSERVABILITY.md. The five supervised
+// campaign verbs (run, communicate, chaos, lint --corpus, predict
+// --corpus) additionally accept the resilience flags (--checkpoint,
+// --checkpoint-every, --task-deadline-ms, --quarantine-after,
+// --budget-ms, --budget-tasks); see docs/RESILIENCE.md.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -43,7 +48,10 @@
 
 #include "analysis/baseline.hpp"
 #include "analysis/corpus.hpp"
+#include "analysis/predict.hpp"
+#include "analysis/substitution.hpp"
 #include "analysis/supervised_corpus.hpp"
+#include "analysis/supervised_predict.hpp"
 #include "chaos/campaign.hpp"
 #include "chaos/supervised.hpp"
 #include "analysis/registry.hpp"
@@ -89,8 +97,8 @@ bool parse_count(const std::string& text, std::size_t& out) {
 
 int usage() {
   std::cerr << "usage: wsinterop "
-               "<run|lint|describe|test|fuzz|communicate|chaos|profile|scorecard|diff|"
-               "resume|list> [options]\n"
+               "<run|lint|describe|test|fuzz|communicate|chaos|profile|predict|substitute|"
+               "scorecard|diff|resume|list> [options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
@@ -105,17 +113,25 @@ int usage() {
                "              [--calls N] [--scale PCT] [--jobs N] [--csv FILE]\n"
                "              [--format text|csv|markdown|json]\n"
                "  profile     [--scale PCT] [--jobs N]\n"
+               "  predict     SERVER TYPE | --corpus [--scale PCT] [--jobs N] [--no-join]\n"
+               "              [--shape simple-echo|crud] [--index OUT.json]\n"
+               "              [--min-precision PCT] [--min-recall PCT]\n"
+               "              (exit 3 when a joined corpus run misses an accuracy floor)\n"
+               "  substitute  --client NAME --service [SERVER/]SERVICE --index FILE\n"
+               "              [--top K]\n"
                "  scorecard   [--chaos] [--jobs N]\n"
                "  resume      JOURNAL [--jobs N] [--format ...] [--trip-after N]\n"
                "  list\n"
-               "campaign verbs (run, lint --corpus, communicate, chaos, profile) also\n"
-               "accept --trace FILE.jsonl and --metrics FILE.json; run, communicate,\n"
-               "chaos and profile accept --no-parse-cache to re-parse each WSDL per\n"
-               "client instead of sharing one parsed description per service\n"
-               "supervised verbs (run, lint --corpus, communicate, chaos) also accept\n"
-               "the resilience flags: --checkpoint FILE.journal, --checkpoint-every N,\n"
-               "--task-deadline-ms N, --quarantine-after N, --budget-ms N,\n"
-               "--budget-tasks N, --trip-after N (exit 75 when the run trips)\n";
+               "campaign verbs (run, lint --corpus, communicate, chaos, profile,\n"
+               "predict --corpus) also accept --trace FILE.jsonl and --metrics\n"
+               "FILE.json; run, communicate, chaos and profile accept\n"
+               "--no-parse-cache to re-parse each WSDL per client instead of sharing\n"
+               "one parsed description per service\n"
+               "supervised verbs (run, lint --corpus, communicate, chaos, predict\n"
+               "--corpus) also accept the resilience flags: --checkpoint FILE.journal,\n"
+               "--checkpoint-every N, --task-deadline-ms N, --quarantine-after N,\n"
+               "--budget-ms N, --budget-tasks N, --trip-after N (exit 75 when the run\n"
+               "trips)\n";
   return 2;
 }
 
@@ -408,7 +424,7 @@ int cmd_lint(const std::vector<std::string>& args) {
       options.rules.severity_overrides["WSX1001"] = Severity::kError;
     } else if (args[i] == "--scale" && i + 1 < args.size()) {
       if (!parse_count(args[++i], options.scale)) return usage();
-    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+    } else if ((args[i] == "--jobs" || args[i] == "--threads") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], options.jobs)) return usage();
     } else if (args[i] == "--sarif" && i + 1 < args.size()) {
       options.sarif_path = args[++i];
@@ -753,7 +769,7 @@ int cmd_chaos(const std::vector<std::string>& args) {
       std::size_t percent = 0;
       if (!parse_count(args[++i], percent)) return usage();
       apply_scale(config.java_spec, config.dotnet_spec, percent);
-    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+    } else if ((args[i] == "--jobs" || args[i] == "--threads") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.jobs)) return usage();
     } else if (args[i] == "--csv" && i + 1 < args.size()) {
       csv_path = args[++i];
@@ -785,6 +801,188 @@ int cmd_chaos(const std::vector<std::string>& args) {
   const chaos::ChaosResult result = chaos::run_chaos_study(config);
   if (!sinks.flush()) return 1;
   return print_chaos(result, format, csv_path);
+}
+
+/// `wsinterop predict SERVER TYPE` — single-service static prediction; or
+/// `wsinterop predict --corpus` — the whole generated corpus, scored
+/// against the dynamic study unless --no-join. The accuracy floors gate on
+/// the overall error-class score with integer-percent arithmetic (no
+/// floating-point boundary surprises in CI); a miss exits 3.
+int cmd_predict(const std::vector<std::string>& args) {
+  analysis::predict::PredictOptions options;
+  ObsSinks sinks;
+  ResilienceFlags res;
+  bool corpus = false;
+  std::string index_path;
+  std::size_t min_precision = 0;
+  std::size_t min_recall = 0;
+  bool gated = false;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
+    } else if (args[i] == "--corpus") {
+      corpus = true;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(options.java_spec, options.dotnet_spec, percent);
+    } else if ((args[i] == "--jobs" || args[i] == "--threads") && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], options.jobs)) return usage();
+      options.study_threads = options.jobs;
+    } else if (args[i] == "--no-join") {
+      options.join_study = false;
+    } else if (args[i] == "--shape" && i + 1 < args.size()) {
+      const std::string shape = args[++i];
+      if (shape == frameworks::to_string(frameworks::ServiceShape::kSimpleEcho)) {
+        options.shape = frameworks::ServiceShape::kSimpleEcho;
+      } else if (shape == frameworks::to_string(frameworks::ServiceShape::kCrud)) {
+        options.shape = frameworks::ServiceShape::kCrud;
+      } else {
+        std::cerr << "wsinterop: unknown shape '" << shape << "' (shapes: "
+                  << frameworks::to_string(frameworks::ServiceShape::kSimpleEcho) << ", "
+                  << frameworks::to_string(frameworks::ServiceShape::kCrud) << ")\n";
+        return 2;
+      }
+    } else if (args[i] == "--index" && i + 1 < args.size()) {
+      index_path = args[++i];
+    } else if (args[i] == "--min-precision" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], min_precision) || min_precision > 100) return usage();
+      gated = true;
+    } else if (args[i] == "--min-recall" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], min_recall) || min_recall > 100) return usage();
+      gated = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (corpus ? !positional.empty() : positional.size() != 2) return usage();
+  // Everything but SERVER TYPE is corpus-only; the floors additionally need
+  // the ground-truth join to have anything to gate on.
+  if (!corpus && (res.enabled() || !index_path.empty() || gated || !options.join_study)) {
+    return usage();
+  }
+  if (gated && !options.join_study) return usage();
+
+  if (!corpus) {
+    const auto server = frameworks::make_server(positional[0]);
+    if (server == nullptr) {
+      std::cerr << "wsinterop: unknown server '" << positional[0]
+                << "' (see 'wsinterop list')\n";
+      return 1;
+    }
+    catalog::TypeCatalog storage{"", {}};
+    const catalog::TypeInfo* type = find_type(*server, positional[1], storage);
+    if (type == nullptr) {
+      std::cerr << "wsinterop: unknown type '" << positional[1] << "'\n";
+      return 1;
+    }
+    Result<frameworks::DeployedService> service =
+        server->deploy(frameworks::ServiceSpec{type, options.shape});
+    if (!service.ok()) {
+      std::cerr << "wsinterop: " << service.error().message << "\n";
+      return 1;
+    }
+    const frameworks::SharedDescription description =
+        frameworks::SharedDescription::from_deployed(service.value());
+    std::cout << analysis::predict::format_service_prediction(
+        analysis::predict::predict_service(description));
+    return 0;
+  }
+
+  options.tracer = sinks.tracer_or_null();
+  options.metrics = sinks.metrics_or_null();
+  analysis::predict::PredictReport report;
+  resilience::SupervisorReport supervisor;
+  if (res.enabled()) {
+    analysis::predict::SupervisedPredictOptions sup;
+    sup.journal = res.journal;
+    sup.checkpoint_path = res.checkpoint_path;
+    sup.trip_after_tasks = res.trip_after_tasks;
+    Result<analysis::predict::SupervisedPredictResult> supervised =
+        analysis::predict::predict_corpus_supervised(options, sup);
+    if (!supervised.ok()) {
+      std::cerr << "wsinterop: " << supervised.error().message << "\n";
+      return 1;
+    }
+    report = std::move(supervised.value().report);
+    supervisor = std::move(supervised.value().supervisor);
+  } else {
+    report = analysis::predict::predict_corpus(options);
+  }
+  if (!sinks.flush()) return 1;
+  if (!index_path.empty() &&
+      !write_text_file(index_path,
+                       analysis::predict::index_json(
+                           analysis::predict::build_index(report)) +
+                           "\n")) {
+    return 1;
+  }
+  std::cout << analysis::predict::format_predict_report(report);
+
+  int ok_code = 0;
+  if (gated && report.joined) {
+    const analysis::predict::ClientScore& overall = report.overall;
+    const bool precision_ok =
+        100 * overall.true_positives >=
+        min_precision * (overall.true_positives + overall.false_positives);
+    const bool recall_ok =
+        100 * overall.true_positives >=
+        min_recall * (overall.true_positives + overall.false_negatives);
+    if (!precision_ok || !recall_ok) {
+      std::cout << "predict: accuracy below floor (need precision >= " << min_precision
+                << "%, recall >= " << min_recall << "%)\n";
+      ok_code = 3;
+    }
+  }
+  if (res.enabled()) return finish_supervised(supervisor, "text", ok_code);
+  return ok_code;
+}
+
+/// `wsinterop substitute` — answers "which service can replace Y for client
+/// X" from a serialized substitution index; no corpus rescan happens here.
+int cmd_substitute(const std::vector<std::string>& args) {
+  analysis::predict::SubstituteQuery query;
+  std::string index_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--client" && i + 1 < args.size()) {
+      query.client = args[++i];
+    } else if (args[i] == "--service" && i + 1 < args.size()) {
+      query.service = args[++i];
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], query.top) || query.top == 0) return usage();
+    } else if (args[i] == "--index" && i + 1 < args.size()) {
+      index_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (query.client.empty() || query.service.empty() || index_path.empty()) return usage();
+  std::ifstream file(index_path);
+  if (!file) {
+    std::cerr << "wsinterop: cannot open index " << index_path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<analysis::predict::SubstitutionIndex> index =
+      analysis::predict::index_from_json(buffer.str());
+  if (!index.ok()) {
+    std::cerr << "wsinterop: " << index.error().message << "\n";
+    return 1;
+  }
+  Result<std::vector<analysis::predict::Candidate>> candidates =
+      analysis::predict::substitute(index.value(), query);
+  if (!candidates.ok()) {
+    std::cerr << "wsinterop: " << candidates.error().message << "\n";
+    return 1;
+  }
+  std::cout << analysis::predict::format_candidates(query, candidates.value());
+  return 0;
 }
 
 int cmd_diff(const std::vector<std::string>& args) {
@@ -1004,6 +1202,26 @@ int cmd_resume(const std::vector<std::string>& args) {
     std::cout << analysis::format_report(result->report);
     return finish_supervised(result->supervisor, "text", 0);
   }
+  if (journal.campaign == "predict-corpus") {
+    Result<analysis::predict::PredictOptions> options =
+        analysis::predict::predict_config_from_json(journal.config_json);
+    if (!options.ok()) return fail(options.error());
+    options->jobs = jobs;
+    options->study_threads = jobs;
+    options->tracer = sinks.tracer_or_null();
+    options->metrics = sinks.metrics_or_null();
+    analysis::predict::SupervisedPredictOptions sup;
+    sup.journal = journal.options;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<analysis::predict::SupervisedPredictResult> result =
+        analysis::predict::predict_corpus_supervised(*options, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    std::cout << analysis::predict::format_predict_report(result->report);
+    return finish_supervised(result->supervisor, "text", 0);
+  }
   std::cerr << "wsinterop: journal " << journal_path << " names unknown campaign '"
             << journal.campaign << "'\n";
   return 1;
@@ -1036,6 +1254,8 @@ int main(int argc, char** argv) {
   if (command == "communicate") return cmd_communicate(args);
   if (command == "chaos") return cmd_chaos(args);
   if (command == "profile") return cmd_profile(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "substitute") return cmd_substitute(args);
   if (command == "scorecard") return cmd_scorecard(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "resume") return cmd_resume(args);
