@@ -193,4 +193,13 @@ void CircuitBreaker::record_failure(std::uint64_t now_ms) {
   }
 }
 
+void CircuitBreaker::export_state(obs::Registry& registry, std::string_view prefix,
+                                  std::uint64_t now_ms) const {
+  const std::string base(prefix);
+  registry.gauge(base + ".state").set(static_cast<std::int64_t>(state(now_ms)));
+  registry.gauge(base + ".trips").set(static_cast<std::int64_t>(trips_));
+  registry.gauge(base + ".consecutive_failures")
+      .set(static_cast<std::int64_t>(consecutive_failures_));
+}
+
 }  // namespace wsx::chaos

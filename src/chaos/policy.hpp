@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace wsx::chaos {
 
 struct ResiliencePolicy {
@@ -82,6 +84,14 @@ class CircuitBreaker {
   void record_failure(std::uint64_t now_ms);
   /// Times the breaker transitioned closed/half-open → open.
   std::size_t trips() const { return trips_; }
+
+  /// Publishes the breaker's observable state into `registry` as gauges
+  /// under `prefix`: "<prefix>.state" (0 closed / 1 open / 2 half-open),
+  /// "<prefix>.trips" and "<prefix>.consecutive_failures". Gauges, not
+  /// counters, because these are point-in-time values the caller re-exports
+  /// on every stats snapshot (obs counters only accumulate).
+  void export_state(obs::Registry& registry, std::string_view prefix,
+                    std::uint64_t now_ms) const;
 
  private:
   BreakerSettings settings_;

@@ -73,8 +73,9 @@ std::string Journal::entry_line(const JournalEntry& entry) {
   return writer.str();
 }
 
-Result<Journal> Journal::parse(std::string_view text) {
+Result<Journal> Journal::parse(std::string_view text, const JournalParseOptions& parse_options) {
   Journal journal;
+  if (parse_options.diagnostic != nullptr) parse_options.diagnostic->clear();
   bool saw_header = false;
   std::set<std::size_t> seen_tasks;
   std::size_t line_no = 0;
@@ -87,13 +88,35 @@ Result<Journal> Journal::parse(std::string_view text) {
     ++line_no;
     if (line.empty()) continue;
 
+    // A malformed *final* entry line is the signature of a crash mid-append;
+    // in tolerant mode it is dropped (the task re-executes on resume) with a
+    // diagnostic instead of failing the resume outright. Anything malformed
+    // with more journal after it is corruption and stays a hard error, as
+    // does a malformed header (without it there is nothing to resume).
+    const auto tail_is_blank = [&] {
+      const std::string_view rest = pos <= text.size() ? text.substr(pos) : std::string_view{};
+      return rest.find_first_not_of(" \t\r\n") == std::string_view::npos;
+    };
+    const auto entry_failure = [&](std::string code, std::string message) -> Result<Journal> {
+      if (saw_header && parse_options.tolerate_truncated_tail && tail_is_blank()) {
+        if (parse_options.diagnostic != nullptr) {
+          *parse_options.diagnostic = "discarded truncated trailing record (line " +
+                                      std::to_string(line_no) + ": " + message + ")";
+        }
+        return journal;
+      }
+      if (code.rfind("journal.", 0) != 0) code = "journal." + code;
+      return Error{std::move(code),
+                   "line " + std::to_string(line_no) + ": " + std::move(message)};
+    };
+
     Result<json::Value> parsed = json::parse(line);
     if (!parsed.ok()) {
-      return fail("bad-line", "line " + std::to_string(line_no) + ": " + parsed.error().message);
+      return entry_failure("bad-line", parsed.error().message);
     }
     const json::Value& object = parsed.value();
     if (!object.is_object()) {
-      return fail("bad-line", "line " + std::to_string(line_no) + ": expected an object");
+      return entry_failure("bad-line", "expected an object");
     }
 
     if (!saw_header) {
@@ -132,45 +155,46 @@ Result<Journal> Journal::parse(std::string_view text) {
 
     JournalEntry entry;
     Result<std::size_t> task = read_count(object, "task");
-    if (!task.ok()) return task.error();
+    if (!task.ok()) return entry_failure(task.error().code, task.error().message);
     entry.task = task.value();
     if (entry.task >= journal.tasks) {
-      return fail("bad-entry", "line " + std::to_string(line_no) + ": task index " +
-                                   std::to_string(entry.task) + " out of range");
+      return entry_failure("bad-entry",
+                           "task index " + std::to_string(entry.task) + " out of range");
     }
     Result<std::string> id = read_string(object, "id");
-    if (!id.ok()) return id.error();
+    if (!id.ok()) return entry_failure(id.error().code, id.error().message);
     entry.id = std::move(id.value());
     Result<std::string> state = read_string(object, "state");
-    if (!state.ok()) return state.error();
+    if (!state.ok()) return entry_failure(state.error().code, state.error().message);
     if (state.value() == "completed") {
       entry.state = JournalState::kCompleted;
     } else if (state.value() == "quarantined") {
       entry.state = JournalState::kQuarantined;
     } else {
-      return fail("bad-entry",
-                  "line " + std::to_string(line_no) + ": unknown state '" + state.value() + "'");
+      return entry_failure("bad-entry", "unknown state '" + state.value() + "'");
     }
     Result<std::size_t> attempts = read_count(object, "attempts");
-    if (!attempts.ok()) return attempts.error();
+    if (!attempts.ok()) return entry_failure(attempts.error().code, attempts.error().message);
     entry.attempts = attempts.value();
     const json::Value* timed_out = object.find("timed_out");
     if (timed_out == nullptr || !timed_out->is_bool()) {
-      return fail("missing-field", "line " + std::to_string(line_no) + ": expected 'timed_out'");
+      return entry_failure("missing-field", "expected 'timed_out'");
     }
     entry.timed_out = timed_out->as_bool();
     Result<std::size_t> virtual_ms = read_count(object, "virtual_ms");
-    if (!virtual_ms.ok()) return virtual_ms.error();
+    if (!virtual_ms.ok()) {
+      return entry_failure(virtual_ms.error().code, virtual_ms.error().message);
+    }
     entry.virtual_ms = virtual_ms.value();
     if (entry.state == JournalState::kCompleted) {
       const json::Value* record = object.find("record");
       if (record == nullptr) {
-        return fail("missing-field", "line " + std::to_string(line_no) + ": expected 'record'");
+        return entry_failure("missing-field", "expected 'record'");
       }
       entry.record = json::to_text(*record);
     } else {
       Result<std::string> reason = read_string(object, "reason");
-      if (!reason.ok()) return reason.error();
+      if (!reason.ok()) return entry_failure(reason.error().code, reason.error().message);
       entry.reason = std::move(reason.value());
     }
     // An interrupted append can at worst repeat a block's lines; the first

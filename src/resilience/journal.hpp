@@ -55,6 +55,20 @@ struct JournalEntry {
   std::string reason;            ///< quarantine diagnostic; "" when completed
 };
 
+/// How Journal::parse treats a malformed final record.
+struct JournalParseOptions {
+  /// A crash mid-append leaves a truncated last line. When set, such a
+  /// trailing record — malformed JSON or missing fields, but only on the
+  /// *final* non-empty line — is discarded (its task simply re-executes on
+  /// resume) instead of hard-failing the whole journal. Malformed lines
+  /// anywhere else, and a malformed header, remain hard errors: they mean
+  /// corruption, not interruption.
+  bool tolerate_truncated_tail = false;
+  /// When non-null, receives a one-line diagnostic if a tail was discarded
+  /// ("" when the journal parsed clean).
+  std::string* diagnostic = nullptr;
+};
+
 /// A parsed (or under-construction) journal.
 struct Journal {
   std::string campaign;     ///< "study" | "communication" | "chaos" | "lint-corpus"
@@ -72,7 +86,7 @@ struct Journal {
   /// Parses a whole journal document (header + entries). Error codes use
   /// the "journal." prefix. Duplicate task indices keep the first entry —
   /// an interrupted append can at worst repeat a block's lines.
-  static Result<Journal> parse(std::string_view text);
+  static Result<Journal> parse(std::string_view text, const JournalParseOptions& options = {});
 };
 
 }  // namespace wsx::resilience

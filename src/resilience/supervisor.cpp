@@ -96,7 +96,9 @@ JournalEntry to_entry(const TaskOutcome& outcome) {
   return entry;
 }
 
-void export_metrics(const SupervisorReport& report, std::size_t total, obs::Registry* metrics) {
+void export_metrics(const SupervisorReport& report, std::size_t total,
+                    const SupervisorOptions& options) {
+  obs::Registry* metrics = options.metrics;
   if (metrics == nullptr) return;
   obs::add(metrics, "resilience.tasks_total", total);
   obs::add(metrics, "resilience.tasks_completed", report.completed);
@@ -114,6 +116,21 @@ void export_metrics(const SupervisorReport& report, std::size_t total, obs::Regi
   obs::add(metrics, "resilience.attempts", attempts);
   obs::add(metrics, "resilience.attempts_timed_out", timed_out);
   if (report.degraded) obs::add(metrics, "resilience.budget_exhausted");
+  // Budget headroom as gauges (point-in-time values, dropped from the
+  // deterministic export): what a serve `stats` query or a --metrics dump
+  // reports without re-deriving it from the coverage counters.
+  if (options.journal.budget_tasks != 0) {
+    const std::size_t used = report.completed + report.quarantined;
+    metrics->gauge("resilience.budget_tasks_remaining")
+        .set(static_cast<std::int64_t>(
+            options.journal.budget_tasks > used ? options.journal.budget_tasks - used : 0));
+  }
+  if (options.journal.budget_ms != 0) {
+    metrics->gauge("resilience.budget_ms_remaining")
+        .set(static_cast<std::int64_t>(options.journal.budget_ms > report.virtual_ms_total
+                                           ? options.journal.budget_ms - report.virtual_ms_total
+                                           : 0));
+  }
 }
 
 }  // namespace
@@ -282,7 +299,7 @@ Result<SupervisorReport> supervise(const CampaignTasks& tasks, const SupervisorO
     }
   }
 
-  export_metrics(report, total, options.metrics);
+  export_metrics(report, total, options);
   return report;
 }
 

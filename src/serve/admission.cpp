@@ -1,0 +1,126 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace wsx::serve {
+
+AdmissionController::AdmissionController(AdmissionSettings settings)
+    : settings_(settings) {
+  if (settings_.lanes == 0) settings_.lanes = 1;
+  lane_free_at_.assign(settings_.lanes, 0);
+}
+
+const ClassSpec& AdmissionController::spec(QueryKind kind) const {
+  switch (kind) {
+    case QueryKind::kVerdict:
+      return settings_.verdict;
+    case QueryKind::kExplain:
+      return settings_.explain;
+    case QueryKind::kSubstitute:
+      return settings_.substitute;
+    case QueryKind::kLint:
+      return settings_.lint;
+    case QueryKind::kStats:
+      break;
+  }
+  return settings_.verdict;  // kStats never reaches admission
+}
+
+Admission AdmissionController::admit(QueryKind kind, std::uint64_t now_ms) {
+  const ClassSpec& cls = spec(kind);
+  const std::size_t class_index = static_cast<std::size_t>(kind);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Drop bookings whose start time has passed: they are in service (or
+  // done), not queued. Lazy pruning keeps admit O(queue) with no timers.
+  queued_starts_.erase(
+      std::remove_if(queued_starts_.begin(), queued_starts_.end(),
+                     [&](std::uint64_t start) { return start <= now_ms; }),
+      queued_starts_.end());
+
+  auto lane = std::min_element(lane_free_at_.begin(), lane_free_at_.end());
+  const std::uint64_t start_ms = std::max(now_ms, *lane);
+  const std::uint64_t wait_ms = start_ms - now_ms;
+
+  Admission result;
+  result.wait_ms = wait_ms;
+
+  // Shed checks first: a full queue (or an exhausted budget) is a capacity
+  // statement independent of this query's deadline.
+  const bool queue_full = wait_ms > 0 && queued_starts_.size() >= settings_.queue_capacity;
+  const bool budget_out =
+      (settings_.budget_queries != 0 && totals_.admitted >= settings_.budget_queries) ||
+      (settings_.budget_cost_ms != 0 &&
+       totals_.admitted_cost_ms + cls.cost_ms > settings_.budget_cost_ms);
+  if (queue_full || budget_out) {
+    result.status = StatusCode::kShedded;
+    ++totals_.shed;
+    ++shed_by_class_[class_index];
+    totals_.queue_depth = queued_starts_.size();
+    return result;
+  }
+
+  if (cls.deadline_ms != 0 && wait_ms + cls.cost_ms > cls.deadline_ms) {
+    result.status = StatusCode::kDeadlineExceeded;
+    ++totals_.deadline_rejected;
+    ++deadline_by_class_[class_index];
+    totals_.queue_depth = queued_starts_.size();
+    return result;
+  }
+
+  *lane = start_ms + cls.cost_ms;
+  result.status = StatusCode::kOk;
+  result.latency_ms = wait_ms + cls.cost_ms;
+  result.finish_ms = start_ms + cls.cost_ms;
+  ++totals_.admitted;
+  ++admitted_by_class_[class_index];
+  totals_.admitted_cost_ms += cls.cost_ms;
+  if (wait_ms > 0) queued_starts_.push_back(start_ms);
+  totals_.queue_depth = queued_starts_.size();
+  totals_.queue_high_water = std::max(totals_.queue_high_water, queued_starts_.size());
+  return result;
+}
+
+AdmissionSnapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+void AdmissionController::export_metrics(obs::Registry& registry) const {
+  AdmissionSnapshot totals;
+  std::uint64_t admitted[5];
+  std::uint64_t shed[5];
+  std::uint64_t deadline[5];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals = totals_;
+    std::copy(admitted_by_class_, admitted_by_class_ + 5, admitted);
+    std::copy(shed_by_class_, shed_by_class_ + 5, shed);
+    std::copy(deadline_by_class_, deadline_by_class_ + 5, deadline);
+  }
+  // Counters accumulate; exports happen on stats snapshots, so publish the
+  // delta since the counter's current value to land on the exact total.
+  const auto publish = [&](std::string_view name, std::uint64_t total) {
+    obs::Counter& counter = registry.counter(name);
+    if (total > counter.value()) counter.add(total - counter.value());
+  };
+  publish("serve.admission.admitted", totals.admitted);
+  publish("serve.admission.shed", totals.shed);
+  publish("serve.admission.deadline_rejected", totals.deadline_rejected);
+  for (const QueryKind kind :
+       {QueryKind::kVerdict, QueryKind::kExplain, QueryKind::kSubstitute, QueryKind::kLint}) {
+    const std::size_t i = static_cast<std::size_t>(kind);
+    const std::string base = std::string("serve.admission.") + to_string(kind);
+    publish(base + ".admitted", admitted[i]);
+    publish(base + ".shed", shed[i]);
+    publish(base + ".deadline_rejected", deadline[i]);
+  }
+  registry.gauge("serve.admission.queue_depth")
+      .set(static_cast<std::int64_t>(totals.queue_depth));
+  registry.gauge("serve.admission.queue_high_water")
+      .set(static_cast<std::int64_t>(totals.queue_high_water));
+  registry.gauge("serve.admission.admitted_cost_ms")
+      .set(static_cast<std::int64_t>(totals.admitted_cost_ms));
+}
+
+}  // namespace wsx::serve

@@ -1,0 +1,102 @@
+// admission.hpp — bounded-queue admission control with per-class deadlines
+// and explicit load shedding, on the virtual clock.
+//
+// The daemon models its service capacity as a fixed set of *lanes* (virtual
+// workers). Each query class has a calibrated virtual cost; admitting a
+// query books it onto the least-loaded lane, so its latency is queue wait
+// plus service cost — fully deterministic for a given arrival schedule,
+// which is what makes the overload drill and BENCH_serve.json byte-stable.
+//
+// A query is refused *before* it consumes anything:
+//   * kShedded          — the bounded queue is full (or a budget ran out);
+//   * kDeadlineExceeded — the queue has room but wait + cost already
+//                         overshoots the class deadline, so running it
+//                         would only waste capacity on a doomed answer.
+// Shedding is checked first: a full queue says nothing about deadlines and
+// the two counters must stay distinguishable in the drill.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace wsx::serve {
+
+/// Virtual cost and deadline of one query class, in virtual milliseconds.
+/// deadline_ms == 0 means the class has no deadline.
+struct ClassSpec {
+  std::uint64_t cost_ms = 1;
+  std::uint64_t deadline_ms = 0;
+};
+
+struct AdmissionSettings {
+  /// Virtual workers answering queries concurrently.
+  std::size_t lanes = 4;
+  /// Admitted-but-not-yet-started queries allowed to wait. 0 means a query
+  /// is shed unless a lane is free the moment it arrives.
+  std::size_t queue_capacity = 16;
+  /// Per-class specs indexed by QueryKind (kStats never reaches admission).
+  ClassSpec verdict{1, 50};
+  ClassSpec explain{2, 50};
+  ClassSpec substitute{4, 100};
+  ClassSpec lint{20, 400};
+  /// Optional budgets over the daemon's lifetime: admitted query count and
+  /// admitted virtual cost. 0 disables. Exhaustion sheds (kShedded) — the
+  /// queue is effectively full forever.
+  std::uint64_t budget_queries = 0;
+  std::uint64_t budget_cost_ms = 0;
+};
+
+/// Outcome of one admission attempt.
+struct Admission {
+  StatusCode status = StatusCode::kOk;
+  std::uint64_t wait_ms = 0;     ///< queue delay before service starts
+  std::uint64_t latency_ms = 0;  ///< wait + class cost (admitted only)
+  std::uint64_t finish_ms = 0;   ///< virtual completion time (admitted only)
+};
+
+/// Deterministic aggregate view for the stats query and the drill diff.
+struct AdmissionSnapshot {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_rejected = 0;
+  std::uint64_t admitted_cost_ms = 0;
+  std::size_t queue_depth = 0;       ///< as of the last admit call
+  std::size_t queue_high_water = 0;
+};
+
+/// Thread-safe admission controller. All times are virtual milliseconds
+/// supplied by the caller; the controller never reads a wall clock.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionSettings settings = {});
+
+  const ClassSpec& spec(QueryKind kind) const;
+
+  /// Decides one query's fate at virtual time `now_ms`. Callers pass a
+  /// monotonically non-decreasing clock per logical arrival order; the
+  /// controller tolerates ties (concurrent arrivals at one instant).
+  Admission admit(QueryKind kind, std::uint64_t now_ms);
+
+  AdmissionSnapshot snapshot() const;
+
+  /// Mirrors counters and gauges into `registry` under "serve.admission.".
+  /// Counters are set-once-from-totals (export is called on stats
+  /// snapshots, not per admit), gauges carry queue depth and high water.
+  void export_metrics(obs::Registry& registry) const;
+
+ private:
+  AdmissionSettings settings_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> lane_free_at_;
+  std::vector<std::uint64_t> queued_starts_;  ///< start times not yet reached
+  AdmissionSnapshot totals_;
+  std::uint64_t shed_by_class_[5] = {};
+  std::uint64_t deadline_by_class_[5] = {};
+  std::uint64_t admitted_by_class_[5] = {};
+};
+
+}  // namespace wsx::serve

@@ -1,0 +1,92 @@
+// daemon.hpp — the serve request handler: admission control in front of
+// the oracle, with a circuit breaker and poison quarantine on the one path
+// that parses untrusted input.
+//
+// handle() is the whole daemon: every transport (in-process, request
+// script, TCP) decodes a frame into a Request, calls handle() with the
+// current virtual time, and writes the Response frame back. Layering per
+// request:
+//
+//   stats ────────────────────────────────► answered (control plane —
+//                                           never shed, or the daemon goes
+//                                           blind exactly when overloaded)
+//   verdict/explain/substitute ─ admission ─► O(1) oracle lookup
+//   lint ─ admission ─ quarantine ─ breaker ─► parse + rule pack, with
+//                                              retry-then-quarantine on
+//                                              poison uploads
+//
+// The lint path is the only one executing work proportional to attacker-
+// controlled bytes, so it alone gets the breaker (repeated parse failures
+// open it and shed the whole class for a cooldown) and the quarantine
+// (one specific body failing `quarantine_after` attempts is parked for
+// the daemon's lifetime and answered kQuarantined in O(1)).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "chaos/policy.hpp"
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/oracle.hpp"
+#include "serve/protocol.hpp"
+
+namespace wsx::serve {
+
+struct DaemonSettings {
+  AdmissionSettings admission;
+  chaos::BreakerSettings breaker;   ///< lint-path circuit breaker
+  std::size_t quarantine_after = 3; ///< failed parse attempts before parking a body
+  obs::Registry* metrics = nullptr; ///< optional; stats exports land here too
+};
+
+/// Deterministic lint-path state for the stats body.
+struct LintSnapshot {
+  std::uint64_t attempts = 0;        ///< parse attempts, retries included
+  std::uint64_t parse_failures = 0;
+  std::uint64_t quarantined_hits = 0; ///< requests answered from quarantine
+  std::size_t quarantined_bodies = 0;
+  std::size_t breaker_trips = 0;
+};
+
+class Daemon {
+ public:
+  Daemon(Oracle oracle, DaemonSettings settings);
+
+  /// Answers one request at virtual time `now_ms`. Thread-safe; the oracle
+  /// is immutable and the mutable paths (admission, breaker, quarantine)
+  /// are internally locked.
+  Response handle(const Request& request, std::uint64_t now_ms);
+
+  const Oracle& oracle() const { return oracle_; }
+  const AdmissionController& admission() const { return admission_; }
+  LintSnapshot lint_snapshot() const;
+
+  /// Deterministic stats body (also the kStats response): corpus counts,
+  /// cache fingerprint, admission totals, breaker and quarantine state.
+  /// Identical between a cold daemon and a warm-restarted one that served
+  /// the same traffic — the crash drill diffs exactly this.
+  std::string stats_body(std::uint64_t now_ms);
+
+ private:
+  Response execute(const Request& request, const Admission& admission,
+                   std::uint64_t now_ms);
+  Response lint(const Request& request, const Admission& admission, std::uint64_t now_ms);
+
+  Oracle oracle_;
+  DaemonSettings settings_;
+  AdmissionController admission_;
+
+  /// Guards the whole lint execution, not just the breaker word: holding it
+  /// across the probe is what guarantees a half-open breaker admits exactly
+  /// one probe even under concurrent lint traffic.
+  mutable std::mutex lint_mutex_;
+  chaos::CircuitBreaker breaker_;
+  std::unordered_map<std::uint64_t, std::size_t> body_failures_;  ///< body hash → attempts
+  std::set<std::uint64_t> quarantined_;
+  LintSnapshot lint_totals_;
+};
+
+}  // namespace wsx::serve

@@ -1,0 +1,94 @@
+// loadgen.hpp — the closed-loop deterministic load generator for the serve
+// daemon (the `wsinterop loadgen` verb and BENCH_serve.json).
+//
+// Three phases drive one daemon through its whole overload envelope:
+//
+//   open      arrivals well under capacity — everything admitted, latency
+//             is essentially service cost;
+//   overload  arrivals several times capacity — the bounded queue fills,
+//             shedding engages, admitted p99 stays inside the class
+//             deadlines (that is the invariant shedding buys). The poison
+//             lint uploads in the mix trip quarantine and the breaker;
+//   recovery  the daemon "crashes", warm-restarts from its verdict-cache
+//             journal, and serves an open-rate phase again. Time-to-recover
+//             is the modeled virtual cost of the restart (journal replay
+//             per resumed record vs full re-prediction per executed one).
+//
+// Every quantity — arrival schedule, query mix, latencies, restart cost —
+// lives on the virtual clock, seeded from LoadgenOptions::seed, so two runs
+// produce byte-identical reports and CI can gate BENCH_serve.json tightly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "serve/daemon.hpp"
+
+namespace wsx::serve {
+
+/// Modeled virtual cost of warm restart, per precomputed record: replaying
+/// a journaled verdict vs re-running the predictor on the description.
+inline constexpr std::uint64_t kReplayCostMs = 1;
+inline constexpr std::uint64_t kRecomputeCostMs = 10;
+
+struct LoadgenOptions {
+  analysis::predict::PredictOptions predict;  ///< corpus scale/shape
+  AdmissionSettings admission;
+  chaos::BreakerSettings breaker;
+  resilience::JournalOptions journal;  ///< verdict-cache checkpoint knobs
+  std::uint64_t seed = 42;
+  std::size_t queries_per_phase = 600;
+  std::size_t open_per_ms = 1;      ///< arrivals per virtual ms, open/recovery
+  std::size_t overload_per_ms = 8;  ///< arrivals per virtual ms, overload
+  /// Verdict-cache journal file for the crash drill. "" keeps the journal
+  /// in memory (the warm restart resumes from the cold run's outcomes —
+  /// the same bytes the file would hold).
+  std::string cache_path;
+};
+
+struct PhaseStats {
+  std::string name;
+  std::size_t sent = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t deadline_rejected = 0;
+  std::size_t quarantined = 0;
+  std::size_t circuit_open = 0;
+  std::size_t bad_request = 0;
+  std::size_t not_found = 0;
+  std::uint64_t p50_ms = 0;  ///< admitted-query latency percentiles
+  std::uint64_t p99_ms = 0;
+  std::uint64_t max_ms = 0;
+  std::uint64_t duration_ms = 0;  ///< first arrival to last completion
+};
+
+struct LoadgenReport {
+  std::size_t services = 0;
+  std::size_t clients = 0;
+  std::vector<PhaseStats> phases;  ///< open, overload, recovery
+  std::uint64_t cold_precompute_ms = 0;  ///< modeled cold-start cost
+  std::uint64_t recover_ms = 0;          ///< modeled warm-restart cost
+  std::size_t warm_resumed = 0;    ///< records replayed from the journal
+  std::size_t warm_executed = 0;   ///< records re-predicted after restart
+  bool fingerprint_match = false;  ///< warm cache byte-identical to cold
+};
+
+/// Runs the three-phase drill. Deterministic: the report is a pure function
+/// of the options.
+Result<LoadgenReport> run_loadgen(const LoadgenOptions& options);
+
+/// BENCH_serve.json document (no trailing newline). Flat numeric fields so
+/// the CI gate can compare against a committed baseline.
+std::string loadgen_json(const LoadgenReport& report, std::size_t scale_percent,
+                         std::uint64_t seed);
+
+/// Invariant check over a finished drill: overload must actually shed,
+/// admitted p99 must sit within each phase-independent worst-case deadline,
+/// and the warm cache must match the cold one. Returns a list of violated
+/// invariants ("" entries never appear); empty means the drill passed.
+std::vector<std::string> check_invariants(const LoadgenReport& report,
+                                          const LoadgenOptions& options);
+
+}  // namespace wsx::serve

@@ -1,0 +1,179 @@
+#include "serve/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace wsx::serve {
+
+namespace {
+
+Error tcp_error(const std::string& what) {
+  return Error{"serve.tcp", what + ": " + std::strerror(errno)};
+}
+
+/// Writes the whole buffer, retrying on short writes and EINTR.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t wrote = ::write(fd, bytes.data(), bytes.size());
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(wrote));
+  }
+  return true;
+}
+
+/// Serves one accepted connection; returns requests answered.
+std::size_t serve_connection(int fd, Daemon& daemon, std::uint64_t& now_ms) {
+  FrameReader reader;
+  std::size_t answered = 0;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return answered;
+    }
+    if (got == 0) return answered;  // peer closed
+    reader.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+    for (;;) {
+      std::string payload;
+      Result<bool> frame = reader.next(payload);
+      if (!frame.ok()) {
+        Response bad;
+        bad.status = StatusCode::kBadRequest;
+        bad.reason = frame.error().message;
+        write_all(fd, serve::frame(encode_response(bad)));
+        return answered;  // desynchronized stream: drop the connection
+      }
+      if (!frame.value()) break;
+      ++now_ms;
+      Response response;
+      Result<Request> request = decode_request(payload);
+      if (!request.ok()) {
+        response.status = StatusCode::kBadRequest;
+        response.reason = request.error().message;
+      } else {
+        response = daemon.handle(request.value(), now_ms);
+      }
+      if (!write_all(fd, serve::frame(encode_response(response)))) return answered;
+      ++answered;
+    }
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(TcpServer&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+TcpServer::~TcpServer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<TcpServer> TcpServer::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return tcp_error("cannot create socket");
+  const int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    ::close(fd);
+    return tcp_error("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return tcp_error("cannot listen");
+  }
+  sockaddr_in bound{};
+  socklen_t length = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &length) != 0) {
+    ::close(fd);
+    return tcp_error("cannot read bound port");
+  }
+  return TcpServer(fd, ntohs(bound.sin_port));
+}
+
+Result<std::size_t> TcpServer::serve(Daemon& daemon, std::size_t max_connections,
+                                     std::uint64_t& now_ms) {
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < max_connections; ++i) {
+    const int connection = ::accept(fd_, nullptr, nullptr);
+    if (connection < 0) {
+      if (errno == EINTR) {
+        --i;
+        continue;
+      }
+      return tcp_error("accept failed");
+    }
+    answered += serve_connection(connection, daemon, now_ms);
+    ::close(connection);
+  }
+  return answered;
+}
+
+Result<Response> tcp_query(std::uint16_t port, const Request& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return tcp_error("cannot create socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    ::close(fd);
+    return tcp_error("cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+  if (!write_all(fd, frame(encode_request(request)))) {
+    ::close(fd);
+    return tcp_error("cannot send request");
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  FrameReader reader;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return tcp_error("cannot read response");
+    }
+    if (got == 0) break;
+    reader.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+    std::string payload;
+    Result<bool> frame = reader.next(payload);
+    if (!frame.ok()) {
+      ::close(fd);
+      return frame.error();
+    }
+    if (frame.value()) {
+      ::close(fd);
+      return decode_response(payload);
+    }
+  }
+  ::close(fd);
+  return Error{"serve.tcp", "connection closed before a response frame arrived"};
+}
+
+}  // namespace wsx::serve

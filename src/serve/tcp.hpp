@@ -1,0 +1,59 @@
+// tcp.hpp — the optional localhost TCP transport for the serve daemon.
+//
+// Deliberately thin: a connection is a byte stream of request frames and
+// the server writes one response frame per request, using exactly the
+// protocol.hpp codec the in-process transport uses — the daemon cannot
+// tell which transport a request arrived on. Binding is 127.0.0.1 only
+// (the oracle is a local sidecar, not a network service), port 0 asks the
+// kernel for an ephemeral port, and serve() handles a bounded number of
+// sequential connections so tests and the CLI terminate deterministically.
+//
+// Virtual time: each decoded request advances the daemon clock by one
+// virtual millisecond. Wall time never enters the admission math, so a TCP
+// drill sheds and rejects exactly like an in-process one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+
+namespace wsx::serve {
+
+class TcpServer {
+ public:
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+  TcpServer(TcpServer&& other) noexcept;
+  TcpServer& operator=(TcpServer&& other) noexcept;
+  ~TcpServer();
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Errors use
+  /// "serve.tcp" ("cannot create socket", "cannot bind", ...) — sandboxed
+  /// environments without network access get a clean error, not a crash.
+  static Result<TcpServer> listen(std::uint16_t port);
+
+  /// The bound port (the ephemeral one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts and serves up to `max_connections` connections sequentially,
+  /// answering every complete request frame. A malformed frame gets a
+  /// kBadRequest response and closes that connection. Returns the number
+  /// of requests answered. `now_ms` is advanced by one per request and
+  /// carries across connections.
+  Result<std::size_t> serve(Daemon& daemon, std::size_t max_connections,
+                            std::uint64_t& now_ms);
+
+ private:
+  explicit TcpServer(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Test/CLI client: connects to 127.0.0.1:`port`, sends one request frame,
+/// reads one response frame.
+Result<Response> tcp_query(std::uint16_t port, const Request& request);
+
+}  // namespace wsx::serve

@@ -126,6 +126,84 @@ TEST(Journal, ParseRejectsGarbage) {
   EXPECT_FALSE(Journal::parse("{\"no\":\"header fields\"}\n").ok());
 }
 
+TEST(Journal, TruncatedTailIsDiscardedOnlyInTolerantMode) {
+  Journal journal;
+  journal.campaign = "synthetic";
+  journal.config_json = "{\"n\":2}";
+  journal.tasks = 2;
+  JournalEntry done;
+  done.task = 0;
+  done.id = "task-0";
+  done.state = JournalState::kCompleted;
+  done.record = "{\"task\":0}";
+  const std::string full = journal.header_line() + "\n" + Journal::entry_line(done) + "\n";
+  const std::string cut = full.substr(0, full.size() - 5);  // crash mid-append
+
+  // Strict parse refuses; tolerant parse drops the tail and says so.
+  EXPECT_FALSE(Journal::parse(cut).ok());
+  JournalParseOptions tolerant;
+  std::string note;
+  tolerant.tolerate_truncated_tail = true;
+  tolerant.diagnostic = &note;
+  Result<Journal> parsed = Journal::parse(cut, tolerant);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_TRUE(parsed->entries.empty());
+  EXPECT_NE(note.find("truncated trailing record"), std::string::npos);
+
+  // A malformed line with more journal *after* it is corruption, not a
+  // crash signature: tolerant mode must still hard-fail.
+  const std::string corrupt =
+      journal.header_line() + "\n{\"task\":0,\"id\"\n" + Journal::entry_line(done) + "\n";
+  EXPECT_FALSE(Journal::parse(corrupt, tolerant).ok());
+}
+
+TEST(Journal, CutAtEveryByteOffsetStillConvergesOnResume) {
+  ScratchJournal scratch("cut");
+  const CampaignTasks tasks = make_campaign(9, 2, {4});
+  SupervisorOptions base;
+  base.journal.checkpoint_every = 2;
+  base.journal.quarantine_after = 2;
+
+  Result<SupervisorReport> straight = supervise(tasks, base);
+  ASSERT_TRUE(straight.ok());
+  const std::string expected = fold_fingerprint(*straight);
+
+  SupervisorOptions journaled = base;
+  journaled.checkpoint_path = scratch.path;
+  ASSERT_TRUE(supervise(tasks, journaled).ok());
+  const std::string full = scratch.read();
+  ASSERT_FALSE(full.empty());
+  const std::size_t header_end = full.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+
+  // Simulate a crash at every possible byte: any cut at or past the end of
+  // the header text must still parse in tolerant mode and resume to the
+  // exact same outcome sequence as an uninterrupted run; cuts inside the
+  // header lose the campaign identity and must stay hard errors.
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    JournalParseOptions tolerant;
+    std::string note;
+    tolerant.tolerate_truncated_tail = true;
+    tolerant.diagnostic = &note;
+    Result<Journal> parsed = Journal::parse(full.substr(0, cut), tolerant);
+    if (cut < header_end) {
+      EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(parsed.ok()) << "cut=" << cut << ": " << parsed.error().message;
+    // The diagnostic fires exactly when the cut lands mid-line.
+    const bool clean_cut =
+        full[cut - 1] == '\n' || (cut < full.size() && full[cut] == '\n');
+    EXPECT_EQ(note.empty(), clean_cut) << "cut=" << cut;
+
+    SupervisorOptions resumed = base;
+    resumed.resume = &parsed.value();
+    Result<SupervisorReport> report = supervise(tasks, resumed);
+    ASSERT_TRUE(report.ok()) << "cut=" << cut << ": " << report.error().message;
+    EXPECT_EQ(fold_fingerprint(*report), expected) << "cut=" << cut;
+  }
+}
+
 // --------------------------------------------------------------- supervisor
 
 TEST(Supervisor, CompletesEveryTaskInOrder) {

@@ -74,6 +74,11 @@
 #include "obs/trace.hpp"
 #include "resilience/journal.hpp"
 #include "resilience/supervisor.hpp"
+#include "serve/daemon.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/oracle.hpp"
+#include "serve/protocol.hpp"
+#include "serve/tcp.hpp"
 #include "wsdl/parser.hpp"
 #include "wsi/profile.hpp"
 
@@ -98,7 +103,7 @@ bool parse_count(const std::string& text, std::size_t& out) {
 int usage() {
   std::cerr << "usage: wsinterop "
                "<run|lint|describe|test|fuzz|communicate|chaos|profile|predict|substitute|"
-               "scorecard|diff|resume|list> [options]\n"
+               "serve|loadgen|scorecard|diff|resume|list> [options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
@@ -119,6 +124,14 @@ int usage() {
                "              (exit 3 when a joined corpus run misses an accuracy floor)\n"
                "  substitute  --client NAME --service [SERVER/]SERVICE --index FILE\n"
                "              [--top K]\n"
+               "  serve       [--scale PCT] [--shape S] [--jobs N] [--cache FILE.journal]\n"
+               "              [--resume] [--trip-after N] [--probe N] [--requests FILE]\n"
+               "              [--lanes N] [--queue N] [--tcp PORT --connections N] [--stats]\n"
+               "              (oracle daemon; exit 75 when the crash drill trips)\n"
+               "  loadgen     [--scale PCT] [--seed N] [--queries N] [--lanes N] [--queue N]\n"
+               "              [--cache FILE.journal] [--out BENCH_serve.json]\n"
+               "              [--check BASELINE.json] [--tolerance PCT]\n"
+               "              (overload drill; exit 3 on invariant or baseline miss)\n"
                "  scorecard   [--chaos] [--jobs N]\n"
                "  resume      JOURNAL [--jobs N] [--format ...] [--trip-after N]\n"
                "  list\n"
@@ -1116,10 +1129,20 @@ int cmd_resume(const std::vector<std::string>& args) {
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  Result<resilience::Journal> parsed = resilience::Journal::parse(buffer.str());
+  // A crash mid-append leaves a truncated last record; that is exactly the
+  // situation resume exists for, so tolerate it (the task re-executes) and
+  // say so, rather than refusing the whole journal.
+  resilience::JournalParseOptions tolerant;
+  std::string tail_note;
+  tolerant.tolerate_truncated_tail = true;
+  tolerant.diagnostic = &tail_note;
+  Result<resilience::Journal> parsed = resilience::Journal::parse(buffer.str(), tolerant);
   if (!parsed.ok()) {
     std::cerr << "wsinterop: " << parsed.error().message << "\n";
     return 1;
+  }
+  if (!tail_note.empty()) {
+    std::cerr << "wsinterop: " << journal_path << ": " << tail_note << "\n";
   }
   const resilience::Journal& journal = parsed.value();
   const auto fail = [](const Error& error) {
@@ -1227,6 +1250,349 @@ int cmd_resume(const std::vector<std::string>& args) {
   return 1;
 }
 
+/// `wsinterop serve` — loads the corpus once, precomputes every verdict
+/// under the resilience supervisor (the cache journal doubles as the warm-
+/// restart checkpoint), then answers queries from a script file, a
+/// deterministic self-probe, or a localhost TCP listener. Responses for the
+/// probe/script paths go to stdout one frame payload per line so the crash
+/// drill can diff a cold daemon against a warm-restarted one byte for byte;
+/// provenance (how many verdicts were replayed vs recomputed) goes to
+/// stderr, which keeps the stdout transcript restart-invariant.
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::OracleOptions oracle_options;
+  serve::DaemonSettings settings;
+  ObsSinks sinks;
+  bool warm = false;
+  bool stats = false;
+  std::size_t probe = 0;
+  std::string requests_path;
+  bool tcp = false;
+  std::size_t tcp_port = 0;
+  std::size_t tcp_connections = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(oracle_options.predict.java_spec, oracle_options.predict.dotnet_spec,
+                  percent);
+    } else if (args[i] == "--shape" && i + 1 < args.size()) {
+      const std::string shape = args[++i];
+      if (shape == frameworks::to_string(frameworks::ServiceShape::kSimpleEcho)) {
+        oracle_options.predict.shape = frameworks::ServiceShape::kSimpleEcho;
+      } else if (shape == frameworks::to_string(frameworks::ServiceShape::kCrud)) {
+        oracle_options.predict.shape = frameworks::ServiceShape::kCrud;
+      } else {
+        std::cerr << "wsinterop: unknown shape '" << shape << "'\n";
+        return 2;
+      }
+    } else if ((args[i] == "--jobs" || args[i] == "--threads") && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], oracle_options.predict.jobs)) return usage();
+    } else if (args[i] == "--cache" && i + 1 < args.size()) {
+      oracle_options.cache_path = args[++i];
+    } else if (args[i] == "--resume") {
+      warm = true;
+    } else if (args[i] == "--trip-after" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], oracle_options.trip_after_tasks)) return usage();
+    } else if (args[i] == "--probe" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], probe)) return usage();
+    } else if (args[i] == "--requests" && i + 1 < args.size()) {
+      requests_path = args[++i];
+    } else if (args[i] == "--lanes" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], settings.admission.lanes) ||
+          settings.admission.lanes == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--queue" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], settings.admission.queue_capacity)) return usage();
+    } else if (args[i] == "--quarantine-after" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], settings.quarantine_after) ||
+          settings.quarantine_after == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--tcp" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], tcp_port) || tcp_port > 65535) return usage();
+      tcp = true;
+    } else if (args[i] == "--connections" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], tcp_connections) || tcp_connections == 0) return usage();
+    } else if (args[i] == "--stats") {
+      stats = true;
+    } else {
+      return usage();
+    }
+  }
+  if (warm && oracle_options.cache_path.empty()) return usage();
+
+  // The study join is pointless for a daemon (and slow): serve predictions.
+  oracle_options.predict.join_study = false;
+  settings.metrics = sinks.metrics_or_null();
+
+  resilience::Journal cache;  // must outlive Oracle::load when resuming
+  if (warm) {
+    std::ifstream file(oracle_options.cache_path);
+    if (!file) {
+      std::cerr << "wsinterop: cannot open serve cache " << oracle_options.cache_path
+                << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    resilience::JournalParseOptions tolerant;
+    std::string tail_note;
+    tolerant.tolerate_truncated_tail = true;
+    tolerant.diagnostic = &tail_note;
+    Result<resilience::Journal> parsed =
+        resilience::Journal::parse(buffer.str(), tolerant);
+    if (!parsed.ok()) {
+      std::cerr << "wsinterop: " << parsed.error().message << "\n";
+      return 1;
+    }
+    if (!tail_note.empty()) {
+      std::cerr << "wsinterop: serve cache " << oracle_options.cache_path << ": "
+                << tail_note << "\n";
+    }
+    cache = std::move(parsed.value());
+    oracle_options.resume = &cache;
+  }
+
+  Result<serve::Oracle> oracle = serve::Oracle::load(oracle_options);
+  if (!oracle.ok()) {
+    std::cerr << "wsinterop: " << oracle.error().message << "\n";
+    return 1;
+  }
+  const resilience::SupervisorReport precompute = oracle->precompute();
+  std::cerr << "serve: " << oracle->services() << " services, "
+            << precompute.executed << " predicted, " << precompute.resumed
+            << " resumed from cache\n";
+  serve::Daemon daemon(std::move(oracle.value()), settings);
+  std::uint64_t now_ms = 0;
+
+  if (precompute.tripped) {
+    std::cerr << "serve: crash drill tripped after " << precompute.executed
+              << " predictions; cache journal holds the partial state\n";
+    sinks.flush();
+    return 75;
+  }
+
+  if (probe > 0) {
+    // Deterministic self-traffic against the precomputed paths (lint takes
+    // uploads, so the probe skips it). One arrival per virtual millisecond
+    // keeps the probe under capacity: every answer is kOk and the stdout
+    // transcript depends only on the corpus, never on restart history.
+    const std::vector<std::string>& clients = daemon.oracle().clients();
+    const auto& records = daemon.oracle().records();
+    if (clients.empty() || records.empty()) {
+      std::cerr << "wsinterop: serve corpus is empty; nothing to probe\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < probe; ++i) {
+      serve::Request request;
+      const std::size_t mix = i % 10;
+      request.kind = mix < 6   ? serve::QueryKind::kVerdict
+                     : mix < 8 ? serve::QueryKind::kExplain
+                               : serve::QueryKind::kSubstitute;
+      request.client = clients[i % clients.size()];
+      const auto& record = records[(i * 7) % records.size()];
+      request.service = record.server + "/" + record.service;
+      ++now_ms;
+      const serve::Response response = daemon.handle(request, now_ms);
+      std::cout << serve::to_string(request.kind) << " " << request.client << " "
+                << request.service << " -> " << serve::encode_response(response) << "\n";
+    }
+  }
+
+  if (!requests_path.empty()) {
+    std::ifstream file(requests_path);
+    if (!file) {
+      std::cerr << "wsinterop: cannot open request script " << requests_path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    serve::FrameReader reader;
+    reader.feed(buffer.str());
+    for (;;) {
+      std::string payload;
+      Result<bool> next = reader.next(payload);
+      if (!next.ok()) {
+        std::cerr << "wsinterop: " << requests_path << ": " << next.error().message
+                  << "\n";
+        return 1;
+      }
+      if (!next.value()) break;
+      ++now_ms;
+      serve::Response response;
+      Result<serve::Request> request = serve::decode_request(payload);
+      if (!request.ok()) {
+        response.status = serve::StatusCode::kBadRequest;
+        response.reason = request.error().message;
+      } else {
+        response = daemon.handle(request.value(), now_ms);
+      }
+      std::cout << serve::encode_response(response) << "\n";
+    }
+    if (reader.pending() != 0) {
+      std::cerr << "wsinterop: " << requests_path << ": " << reader.pending()
+                << " trailing bytes do not form a complete frame\n";
+      return 1;
+    }
+  }
+
+  if (tcp) {
+    Result<serve::TcpServer> server =
+        serve::TcpServer::listen(static_cast<std::uint16_t>(tcp_port));
+    if (!server.ok()) {
+      std::cerr << "wsinterop: " << server.error().message << "\n";
+      return 1;
+    }
+    std::cerr << "serve: listening on 127.0.0.1:" << server->port() << " for "
+              << tcp_connections << " connection(s)\n";
+    Result<std::size_t> answered = server->serve(daemon, tcp_connections, now_ms);
+    if (!answered.ok()) {
+      std::cerr << "wsinterop: " << answered.error().message << "\n";
+      return 1;
+    }
+    std::cerr << "serve: answered " << answered.value() << " request(s) over TCP\n";
+  }
+
+  if (stats) std::cout << daemon.stats_body(now_ms) << "\n";
+  // --metrics without --stats still deserves the export; stats_body() is
+  // what mirrors admission/breaker state into the registry.
+  if (!stats && settings.metrics != nullptr) (void)daemon.stats_body(now_ms);
+  if (!sinks.flush()) return 1;
+  return 0;
+}
+
+/// Compares every numeric field of a fresh BENCH_serve.json against a
+/// committed baseline. Returns the miss count; each miss prints one line.
+std::size_t gate_against_baseline(const json::Value& current, const json::Value& baseline,
+                                  std::size_t tolerance_percent) {
+  std::size_t misses = 0;
+  for (const auto& [key, value] : current.members()) {
+    if (!value.is_number()) continue;
+    const json::Value* expected = baseline.find(key);
+    if (expected == nullptr || !expected->is_number()) {
+      std::cout << "loadgen: baseline is missing field '" << key << "'\n";
+      ++misses;
+      continue;
+    }
+    const double got = value.as_number();
+    const double want = expected->as_number();
+    const double slack =
+        (want < 0 ? -want : want) * static_cast<double>(tolerance_percent) / 100.0;
+    const double delta = got > want ? got - want : want - got;
+    if (delta > slack) {
+      std::cout << "loadgen: " << key << " = " << got << " outside baseline " << want
+                << " +/- " << tolerance_percent << "%\n";
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+/// `wsinterop loadgen` — the deterministic three-phase overload drill
+/// (open, overload, crash + warm-restart recovery) against an in-process
+/// daemon. Writes BENCH_serve.json, checks the drill invariants, and
+/// optionally gates the fresh numbers against a committed baseline. Exit
+/// codes follow the repo gate convention: 3 on an invariant or baseline
+/// miss, 1 on IO failure, 2 on usage.
+int cmd_loadgen(const std::vector<std::string>& args) {
+  serve::LoadgenOptions options;
+  std::size_t scale = 25;
+  std::string out_path = "BENCH_serve.json";
+  std::string check_path;
+  std::size_t tolerance = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], scale)) return usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      std::size_t seed = 0;
+      if (!parse_count(args[++i], seed)) return usage();
+      options.seed = seed;
+    } else if (args[i] == "--queries" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], options.queries_per_phase) ||
+          options.queries_per_phase == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--lanes" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], options.admission.lanes) ||
+          options.admission.lanes == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--queue" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], options.admission.queue_capacity)) return usage();
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], options.predict.jobs)) return usage();
+    } else if (args[i] == "--cache" && i + 1 < args.size()) {
+      options.cache_path = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--check" && i + 1 < args.size()) {
+      check_path = args[++i];
+    } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], tolerance) || tolerance > 100) return usage();
+    } else {
+      return usage();
+    }
+  }
+  apply_scale(options.predict.java_spec, options.predict.dotnet_spec, scale);
+
+  Result<serve::LoadgenReport> report = serve::run_loadgen(options);
+  if (!report.ok()) {
+    std::cerr << "wsinterop: " << report.error().message << "\n";
+    return 1;
+  }
+  const std::string doc = serve::loadgen_json(*report, scale, options.seed);
+  if (!write_text_file(out_path, doc + "\n")) return 1;
+
+  for (const serve::PhaseStats& phase : report->phases) {
+    std::cout << "loadgen: phase " << phase.name << " — sent " << phase.sent << ", ok "
+              << phase.ok << ", shed " << phase.shed << ", deadline "
+              << phase.deadline_rejected << ", p50 " << phase.p50_ms << "ms, p99 "
+              << phase.p99_ms << "ms\n";
+  }
+  std::cout << "loadgen: warm restart resumed " << report->warm_resumed << " of "
+            << (report->warm_resumed + report->warm_executed)
+            << " verdicts; recover " << report->recover_ms << "ms vs cold "
+            << report->cold_precompute_ms << "ms; cache "
+            << (report->fingerprint_match ? "byte-identical" : "MISMATCH") << "\n";
+
+  const std::vector<std::string> violations = serve::check_invariants(*report, options);
+  for (const std::string& violation : violations) {
+    std::cout << "loadgen: INVARIANT " << violation << "\n";
+  }
+  if (!violations.empty()) return 3;
+
+  if (!check_path.empty()) {
+    std::ifstream file(check_path);
+    if (!file) {
+      std::cerr << "wsinterop: cannot open baseline " << check_path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    Result<json::Value> baseline = json::parse(buffer.str());
+    Result<json::Value> current = json::parse(doc);
+    if (!baseline.ok() || !current.ok()) {
+      std::cerr << "wsinterop: "
+                << (!baseline.ok() ? baseline.error().message : current.error().message)
+                << "\n";
+      return 1;
+    }
+    const std::size_t misses =
+        gate_against_baseline(current.value(), baseline.value(), tolerance);
+    if (misses != 0) {
+      std::cout << "loadgen: " << misses << " field(s) outside baseline " << check_path
+                << " (tolerance " << tolerance << "%)\n";
+      return 3;
+    }
+    std::cout << "loadgen: within " << tolerance << "% of baseline " << check_path
+              << "\n";
+  }
+  return 0;
+}
+
 int cmd_list() {
   std::cout << "servers:\n";
   for (const auto& server : frameworks::make_servers()) {
@@ -1256,6 +1622,8 @@ int main(int argc, char** argv) {
   if (command == "profile") return cmd_profile(args);
   if (command == "predict") return cmd_predict(args);
   if (command == "substitute") return cmd_substitute(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "loadgen") return cmd_loadgen(args);
   if (command == "scorecard") return cmd_scorecard(args);
   if (command == "diff") return cmd_diff(args);
   if (command == "resume") return cmd_resume(args);
