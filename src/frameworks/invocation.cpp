@@ -18,6 +18,14 @@ PreparedCall prepare_echo_call(const DeployedService& service,
                                const SharedDescription& description,
                                const ClientFramework& client,
                                const compilers::Compiler* compiler) {
+  return prepare_call(service, description, client, compiler, /*payload=*/nullptr);
+}
+
+PreparedCall prepare_call(const DeployedService& service,
+                          const SharedDescription& description,
+                          const ClientFramework& client,
+                          const compilers::Compiler* compiler,
+                          const CallPayload* payload) {
   PreparedCall call;
 
   // Steps 2–3 gate the call exactly as in the main study.
@@ -35,13 +43,17 @@ PreparedCall prepare_echo_call(const DeployedService& service,
   }
 
   call.operation = generation.artifacts->client_operations.front();
-  // Typed proxies send values from the parameter type's value space: for
-  // enumeration types the stub API only admits the declared constants.
-  call.payload = "probe-" + service.spec.service_name();
-  for (const xsd::Schema& schema : service.wsdl.schemas) {
-    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
-      if (!simple.enumeration.empty()) call.payload = simple.enumeration.front();
+  if (payload == nullptr) {
+    // Typed proxies send values from the parameter type's value space: for
+    // enumeration types the stub API only admits the declared constants.
+    call.payload = "probe-" + service.spec.service_name();
+    for (const xsd::Schema& schema : service.wsdl.schemas) {
+      for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+        if (!simple.enumeration.empty()) call.payload = simple.enumeration.front();
+      }
     }
+  } else {
+    call.payload = payload->expected_echo();
   }
 
   // Marshalling — the client runtime builds the request envelope. The
@@ -53,9 +65,13 @@ PreparedCall prepare_echo_call(const DeployedService& service,
   const bool uncommon = policy.marshals_uncommon_structure &&
                         (features.unresolved_foreign_type_ref ||
                          features.unresolved_foreign_attr_ref || features.schema_element_ref);
+  call.uncommon_marshalling = uncommon;
   const std::string argument_name = uncommon ? "arg0Struct" : "arg0";
   Result<soap::Envelope> request =
-      soap::build_request(service.wsdl, call.operation, {{argument_name, call.payload}});
+      payload != nullptr && !payload->fields.empty()
+          ? soap::build_structured_request(service.wsdl, call.operation, payload->fields)
+          : soap::build_request(service.wsdl, call.operation,
+                                {{argument_name, call.payload}});
   if (!request.ok()) {
     call.status = PreparedCall::Status::kNoInvocableProxy;
     return call;

@@ -8,16 +8,32 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "frameworks/client.hpp"
 #include "frameworks/server.hpp"
 #include "soap/http.hpp"
+#include "soap/message.hpp"
 
 namespace wsx::compilers {
 class Compiler;
 }
 
 namespace wsx::frameworks {
+
+/// A caller-chosen call payload: either a scalar arg0 value, or — when
+/// `fields` is non-empty — a structured request whose arg0 carries one
+/// child element per field. `expected_echo()` is what a conforming echo
+/// service sends back for it (the first field's text on the structured
+/// path, mirroring the server model).
+struct CallPayload {
+  std::string value;
+  std::vector<soap::Argument> fields;
+
+  std::string expected_echo() const {
+    return fields.empty() ? value : fields.front().value;
+  }
+};
 
 /// Everything needed to put one echo call on the wire, or the reason it
 /// never gets there.
@@ -31,6 +47,9 @@ struct PreparedCall {
   std::string operation;
   std::string payload;         ///< the value the service must echo back
   soap::HttpRequest request;   ///< fully built, SOAPAction policy applied
+  /// The proxy marshalled into the "uncommon data structure" element
+  /// (arg0Struct): the server model drops the argument and echoes "".
+  bool uncommon_marshalling = false;
 };
 
 /// Runs generation + compilation gates and marshals the request envelope
@@ -49,6 +68,19 @@ PreparedCall prepare_echo_call(const DeployedService& service,
                                const SharedDescription& description,
                                const ClientFramework& client,
                                const compilers::Compiler* compiler);
+
+/// General form behind prepare_echo_call: with `payload == nullptr` the
+/// probe/enumeration default payload is used (byte-identical to
+/// prepare_echo_call); otherwise the caller's payload is marshalled —
+/// scalar through the arg0 path (arg0Struct for uncommon-marshalling
+/// pairs), structured through soap::build_structured_request. The
+/// generative tester (wsx::gen) feeds its corpora through here so every
+/// generated case runs the exact communication-study pipeline.
+PreparedCall prepare_call(const DeployedService& service,
+                          const SharedDescription& description,
+                          const ClientFramework& client,
+                          const compilers::Compiler* compiler,
+                          const CallPayload* payload);
 
 /// How one *delivered* HTTP response relates to the call contract.
 enum class EchoOutcome {

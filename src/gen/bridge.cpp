@@ -1,0 +1,31 @@
+#include "gen/bridge.hpp"
+
+#include <utility>
+
+namespace wsx::gen {
+
+WireEquivalence check_wire_equivalence(const chaos::FaultyWire& wire,
+                                       const frameworks::ServerFramework& server,
+                                       const frameworks::DeployedService& service,
+                                       const frameworks::PreparedCall& call,
+                                       std::string_view call_id) {
+  WireEquivalence result;
+  result.direct = frameworks::classify_echo_response(
+      server.handle_http(service, call.request), call.payload);
+  const chaos::CallSchedule schedule = wire.schedule(call_id);
+  const chaos::WireAttempt attempt = wire.attempt(service, call.request, schedule, 0);
+  result.delivered = attempt.status == chaos::WireAttempt::Status::kDelivered;
+  if (!result.delivered) return result;
+  result.wired = frameworks::classify_echo_response(attempt.response, call.payload);
+  result.identical = result.wired.outcome == result.direct.outcome &&
+                     result.wired.http_status == result.direct.http_status;
+  return result;
+}
+
+soap::HttpRequest corrupt_request_body(soap::HttpRequest request, chaos::FaultKind kind,
+                                       std::uint64_t salt) {
+  request.body = chaos::apply_body_fault(kind, std::move(request.body), salt);
+  return request;
+}
+
+}  // namespace wsx::gen

@@ -1,0 +1,39 @@
+// bridge.hpp — the propcheck↔fuzz↔chaos bridge. A generated corpus is a
+// set of schema-valid envelopes; this module (a) proves the fault-free
+// wire is transparent to them — a corpus replayed over a FaultyWire at
+// rate 0 classifies identically to the plain communication path — and
+// (b) layers wire faults *on top of* schema-valid inputs, so the chaos
+// study's adversarial surface is no longer limited to the fixed echo
+// probe.
+#pragma once
+
+#include <string_view>
+
+#include "chaos/wire.hpp"
+#include "frameworks/invocation.hpp"
+#include "frameworks/server.hpp"
+
+namespace wsx::gen {
+
+/// The two classifications of one prepared generated call: straight into
+/// the server, and through the wire (rate-0 wires must agree).
+struct WireEquivalence {
+  frameworks::EchoClassification direct;
+  frameworks::EchoClassification wired;
+  bool delivered = false;   ///< the wire attempt completed with a response
+  bool identical = false;   ///< outcomes (and status codes) agree
+};
+
+/// Replays `call` both ways; `call_id` keys the wire's schedule.
+WireEquivalence check_wire_equivalence(const chaos::FaultyWire& wire,
+                                       const frameworks::ServerFramework& server,
+                                       const frameworks::DeployedService& service,
+                                       const frameworks::PreparedCall& call,
+                                       std::string_view call_id);
+
+/// Applies a fuzz-style body fault to a prepared (schema-valid) request —
+/// the layered-fault entry point for chaos-over-generated-corpora.
+soap::HttpRequest corrupt_request_body(soap::HttpRequest request, chaos::FaultKind kind,
+                                       std::uint64_t salt);
+
+}  // namespace wsx::gen

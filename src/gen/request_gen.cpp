@@ -1,0 +1,212 @@
+#include "gen/request_gen.hpp"
+
+#include <string_view>
+
+#include "gen/rng.hpp"
+#include "gen/value_gen.hpp"
+#include "xml/qname.hpp"
+#include "xsd/values.hpp"
+
+namespace wsx::gen {
+namespace {
+
+/// How one operation's parameter is generated, resolved once per service.
+struct ParameterPlan {
+  enum class Kind {
+    kOpaqueText,   ///< no resolvable parameter type — plain text scalar
+    kEnumeration,  ///< simpleType restriction — scalar from the value space
+    kBuiltin,      ///< built-in scalar (e.g. the CRUD fetch key)
+    kBean,         ///< complexType with builtin fields — scalar or structured
+  };
+  Kind kind = Kind::kOpaqueText;
+  const xsd::SimpleTypeDecl* enum_type = nullptr;
+  xsd::Builtin builtin = xsd::Builtin::kString;
+  /// The builtin-typed element particles of the bean, reference order.
+  std::vector<const xsd::ElementDecl*> fields;
+};
+
+/// Resolves operation → wrapper element → arg0 declaration → parameter
+/// type, mirroring frameworks/server.cpp's unmarshalling path so generated
+/// structure is exactly what the binder will validate.
+ParameterPlan resolve_parameter(const frameworks::DeployedService& service,
+                                const std::string& operation) {
+  ParameterPlan plan;
+  // Typed proxies for enumeration parameters only admit declared constants
+  // (and the server validates every non-empty scalar against them), so an
+  // enum type anywhere in the contract pins the whole value space.
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty()) {
+        plan.kind = ParameterPlan::Kind::kEnumeration;
+        plan.enum_type = &simple;
+        return plan;
+      }
+    }
+  }
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    const xsd::ElementDecl* wrapper = schema.find_element(operation);
+    if (wrapper == nullptr || !wrapper->inline_type.has_value()) continue;
+    for (const xsd::ElementDecl* arg_decl : wrapper->inline_type->elements()) {
+      if (arg_decl->name != "arg0" || arg_decl->type.empty()) continue;
+      if (arg_decl->type.namespace_uri() == xml::ns::kXsd) {
+        if (const std::optional<xsd::Builtin> builtin =
+                xsd::builtin_from_local_name(arg_decl->type.local_name())) {
+          plan.kind = ParameterPlan::Kind::kBuiltin;
+          plan.builtin = *builtin;
+          return plan;
+        }
+        continue;
+      }
+      const xsd::ComplexType* bean =
+          schema.find_complex_type(arg_decl->type.local_name());
+      if (bean == nullptr) continue;
+      for (const xsd::ElementDecl* field : bean->elements()) {
+        if (field->type.namespace_uri() == xml::ns::kXsd &&
+            xsd::builtin_from_local_name(field->type.local_name())) {
+          plan.fields.push_back(field);
+        }
+      }
+      if (!plan.fields.empty()) {
+        plan.kind = ParameterPlan::Kind::kBean;
+        return plan;
+      }
+    }
+  }
+  return plan;
+}
+
+std::string scalar_for(const ParameterPlan& plan, const CorpusOptions& options,
+                       Rng& rng) {
+  switch (plan.kind) {
+    case ParameterPlan::Kind::kEnumeration:
+      return options.sabotage ? sabotage_value(*plan.enum_type, rng)
+                              : generate_value(*plan.enum_type, rng);
+    case ParameterPlan::Kind::kBuiltin:
+      return options.sabotage ? sabotage_value(plan.builtin, rng)
+                              : generate_value(plan.builtin, rng);
+    case ParameterPlan::Kind::kBean:
+    case ParameterPlan::Kind::kOpaqueText:
+      break;
+  }
+  // Opaque scalars stay in xsd:string's lexical space, which sabotage
+  // cannot leave — those corpora are simply clean.
+  std::string value = generate_value(xsd::Builtin::kString, rng);
+  // "!throw" is the catalog's reserved fault trigger; the alphabet cannot
+  // spell it, but edge recombination is guarded anyway.
+  if (value == "!throw") value = "throw";
+  return value;
+}
+
+std::vector<soap::Argument> fields_for(const ParameterPlan& plan,
+                                       const CorpusOptions& options, Rng& rng) {
+  std::vector<soap::Argument> fields;
+  for (const xsd::ElementDecl* field : plan.fields) {
+    const xsd::Builtin builtin =
+        *xsd::builtin_from_local_name(field->type.local_name());
+    const int cap = field->max_occurs == xsd::kUnbounded
+                        ? field->min_occurs + 3
+                        : std::max(field->max_occurs, field->min_occurs);
+    const int reps =
+        field->min_occurs +
+        static_cast<int>(rng.below(static_cast<std::size_t>(cap - field->min_occurs) + 1));
+    for (int i = 0; i < reps; ++i) {
+      std::string value = options.sabotage ? sabotage_value(builtin, rng)
+                                           : generate_value(builtin, rng);
+      if (value == "!throw") value = "throw";
+      fields.push_back({field->name, std::move(value)});
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::vector<GeneratedCase> generate_corpus(const frameworks::DeployedService& service,
+                                           const CorpusOptions& options) {
+  std::vector<GeneratedCase> corpus;
+  const std::string service_name = service.spec.service_name();
+  for (const wsdl::PortType& port_type : service.wsdl.port_types) {
+    for (const wsdl::Operation& operation : port_type.operations) {
+      const ParameterPlan plan = resolve_parameter(service, operation.name);
+      for (std::size_t index = 0; index < options.cases_per_operation; ++index) {
+        GeneratedCase generated;
+        generated.service = service_name;
+        generated.operation = operation.name;
+        generated.case_id =
+            service_name + "|" + operation.name + "|" + std::to_string(index);
+        Rng rng(options.seed, "gen|" + generated.case_id);
+        // Bean parameters alternate scalar and structured marshalling, so
+        // both binder paths see every seed.
+        if (plan.kind == ParameterPlan::Kind::kBean && index % 2 == 1) {
+          generated.payload.fields = fields_for(plan, options, rng);
+          if (generated.payload.fields.empty()) {
+            // Every array drew zero repeats: the case degenerates to an
+            // empty scalar, which is still schema-valid.
+            generated.payload.value.clear();
+          }
+        } else {
+          generated.payload.value = scalar_for(plan, options, rng);
+        }
+        corpus.push_back(std::move(generated));
+      }
+    }
+  }
+  return corpus;
+}
+
+std::optional<std::string> validate_case(const frameworks::DeployedService& service,
+                                         const GeneratedCase& generated) {
+  // Structured fields: each against its declared builtin, resolved through
+  // the wrapper the way the server-side binder resolves it.
+  if (!generated.payload.fields.empty()) {
+    const ParameterPlan plan = resolve_parameter(service, generated.operation);
+    for (const soap::Argument& field : generated.payload.fields) {
+      const xsd::ElementDecl* declared = nullptr;
+      for (const xsd::ElementDecl* candidate : plan.fields) {
+        if (candidate->name == field.name) declared = candidate;
+      }
+      if (declared == nullptr) {
+        return "undeclared element '" + field.name + "'";
+      }
+      const std::optional<xsd::Builtin> builtin =
+          xsd::builtin_from_local_name(declared->type.local_name());
+      if (builtin && !xsd::is_valid_value(*builtin, field.value)) {
+        return "'" + field.value + "' is not a valid xsd:" +
+               std::string(xsd::local_name(*builtin)) + " for element '" + field.name +
+               "'";
+      }
+    }
+    return std::nullopt;
+  }
+  const std::string& value = generated.payload.value;
+  // Scalars: every enumeration type in the contract constrains non-empty
+  // values (the server validates exactly this), and builtin parameters
+  // constrain the lexical space.
+  for (const xsd::Schema& schema : service.wsdl.schemas) {
+    for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
+      if (!simple.enumeration.empty() && !value.empty() &&
+          !xsd::is_valid_value(simple, value)) {
+        return "'" + value + "' is not a valid " + simple.name + " value";
+      }
+    }
+  }
+  const ParameterPlan plan = resolve_parameter(service, generated.operation);
+  if (plan.kind == ParameterPlan::Kind::kBuiltin &&
+      !xsd::is_valid_value(plan.builtin, value)) {
+    return "'" + value + "' is not a valid xsd:" +
+           std::string(xsd::local_name(plan.builtin)) + " value";
+  }
+  return std::nullopt;
+}
+
+std::string render_payload(const frameworks::CallPayload& payload) {
+  if (payload.fields.empty()) return payload.value;
+  std::string text;
+  for (const soap::Argument& field : payload.fields) {
+    if (!text.empty()) text += ";";
+    text += field.name + "=" + field.value;
+  }
+  return text;
+}
+
+}  // namespace wsx::gen

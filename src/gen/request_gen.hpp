@@ -1,0 +1,53 @@
+// request_gen.hpp — per-operation request synthesis. A corpus is compiled
+// from the deployed service's WSDL/XSD contract: the parameter type is
+// resolved through the operation wrapper exactly the way the server-side
+// binder resolves it, and each case draws schema-valid values from the
+// per-type generators (enumeration constants for enum parameters, lexical
+// members for built-ins, per-field values for bean complexTypes,
+// occurrence-aware repeats for arrays). Case identity — not generation
+// order — keys the PRNG stream, so a corpus is byte-identical at any
+// worker count.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frameworks/invocation.hpp"
+#include "frameworks/server.hpp"
+
+namespace wsx::gen {
+
+/// One generated request for one operation of one service.
+struct GeneratedCase {
+  std::string service;    ///< ServiceSpec::service_name()
+  std::string operation;
+  frameworks::CallPayload payload;
+  std::string case_id;    ///< "<service>|<operation>|<index>" — the PRNG stream
+};
+
+struct CorpusOptions {
+  std::uint64_t seed = 7;
+  std::size_t cases_per_operation = 4;  ///< the per-operation quota
+  int max_depth = 2;       ///< recursion bound for nested instance trees
+  /// Inject the schema-violation bug: values are drawn *outside* the
+  /// parameter's value space, so validate_case (and the server's typed
+  /// unmarshalling) must catch them and the shrinker must minimise them.
+  bool sabotage = false;
+};
+
+/// Compiles the per-operation corpus for one deployed service.
+std::vector<GeneratedCase> generate_corpus(const frameworks::DeployedService& service,
+                                           const CorpusOptions& options);
+
+/// Checks every value the case carries against the service's XSD contract
+/// (the generator↔validator agreement property). Returns the violation, or
+/// nullopt when the case is schema-valid.
+std::optional<std::string> validate_case(const frameworks::DeployedService& service,
+                                         const GeneratedCase& generated);
+
+/// Human-readable payload for reports: the scalar value, or
+/// "name=value;..." for structured cases.
+std::string render_payload(const frameworks::CallPayload& payload);
+
+}  // namespace wsx::gen

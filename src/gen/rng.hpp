@@ -1,0 +1,52 @@
+// rng.hpp — the deterministic PRNG behind every generated corpus.
+//
+// Stream identity, not call order, decides the numbers: a generator is
+// seeded by folding (seed, stream-id string) through FNV-1a — the same
+// construction the chaos fault planner uses for its per-call schedules —
+// and then advances with the splitmix64 step. Two cases never share a
+// stream, so a corpus is byte-for-byte identical at any worker count and
+// under any generation order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wsx::gen {
+
+class Rng {
+ public:
+  Rng(std::uint64_t seed, std::string_view stream) {
+    std::uint64_t h = 1469598103934665603ull ^ (seed * 0x9E3779B97F4A7C15ull);
+    for (const char c : stream) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    state_ = h;
+  }
+
+  /// splitmix64: one additive step plus a finalizing scramble.
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform draw in [0, bound); 0 when bound is 0.
+  std::size_t below(std::size_t bound) {
+    return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+  }
+
+  /// True with probability percent/100.
+  bool chance(unsigned percent) { return below(100) < percent; }
+
+  char pick(std::string_view alphabet) {
+    return alphabet.empty() ? 'a' : alphabet[below(alphabet.size())];
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace wsx::gen

@@ -1,0 +1,154 @@
+#include "gen/shrink.hpp"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsx::gen {
+namespace {
+
+/// Secondary measure: characters that are not already the canonical 'a'
+/// (letters) / '0' (digits). Character simplification lowers this without
+/// changing the size, so the total order is still well-founded.
+std::size_t non_canonical(const std::string& text) {
+  std::size_t count = 0;
+  for (const unsigned char c : text) {
+    if (std::isdigit(c) != 0 ? c != '0' : c != 'a') ++count;
+  }
+  return count;
+}
+
+struct Complexity {
+  std::size_t size = 0;
+  std::size_t rough = 0;
+  friend bool operator<(const Complexity& a, const Complexity& b) {
+    return a.size != b.size ? a.size < b.size : a.rough < b.rough;
+  }
+};
+
+Complexity complexity(const GeneratedCase& generated) {
+  Complexity measure;
+  measure.size = case_size(generated);
+  measure.rough = non_canonical(generated.payload.value);
+  for (const soap::Argument& field : generated.payload.fields) {
+    measure.rough += non_canonical(field.value);
+  }
+  return measure;
+}
+
+/// Shrink candidates for one string slot, largest cut first.
+std::vector<std::string> string_candidates(const std::string& value) {
+  std::vector<std::string> candidates;
+  if (value.empty()) return candidates;
+  candidates.emplace_back();                         // the empty string
+  if (value.size() > 1) {
+    candidates.push_back(value.substr(0, value.size() / 2));        // front half
+    candidates.push_back(value.substr(value.size() / 2));           // back half
+    std::string trimmed = value;
+    trimmed.pop_back();
+    candidates.push_back(std::move(trimmed));                       // drop last char
+    candidates.push_back(value.substr(1));                          // drop first char
+  }
+  // Character simplification: canonicalise each position (size unchanged,
+  // roughness strictly down when the character is not canonical).
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(value[i]);
+    const char canonical = std::isdigit(c) != 0 ? '0' : 'a';
+    if (value[i] == canonical) continue;
+    std::string simplified = value;
+    simplified[i] = canonical;
+    candidates.push_back(std::move(simplified));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::size_t case_size(const GeneratedCase& generated) {
+  std::size_t size = generated.payload.value.size();
+  for (const soap::Argument& field : generated.payload.fields) {
+    size += 1 + field.name.size() + field.value.size();  // +1: the element itself
+  }
+  return size;
+}
+
+GeneratedCase shrink_case(GeneratedCase failing, const CaseFails& fails,
+                          ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& tally = stats != nullptr ? *stats : local;
+  Complexity current = complexity(failing);
+
+  const auto consider = [&](GeneratedCase candidate) {
+    const Complexity measure = complexity(candidate);
+    if (!(measure < current)) return false;
+    ++tally.evaluated;
+    if (!fails(candidate)) return false;
+    failing = std::move(candidate);
+    current = measure;
+    ++tally.accepted;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+
+    // Drop fields: halves first (ddmin's big steps), then one at a time.
+    const std::size_t field_count = failing.payload.fields.size();
+    if (field_count > 1) {
+      for (const bool front : {true, false}) {
+        GeneratedCase candidate = failing;
+        const std::size_t half = field_count / 2;
+        auto& fields = candidate.payload.fields;
+        if (front) {
+          fields.erase(fields.begin(), fields.begin() + static_cast<std::ptrdiff_t>(half));
+        } else {
+          fields.erase(fields.begin() + static_cast<std::ptrdiff_t>(half), fields.end());
+        }
+        if (consider(std::move(candidate))) {
+          improved = true;
+          break;
+        }
+      }
+      if (improved) continue;
+    }
+    for (std::size_t i = 0; i < failing.payload.fields.size(); ++i) {
+      GeneratedCase candidate = failing;
+      candidate.payload.fields.erase(candidate.payload.fields.begin() +
+                                     static_cast<std::ptrdiff_t>(i));
+      if (consider(std::move(candidate))) {
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // Shrink the scalar payload.
+    for (std::string& candidate_value : string_candidates(failing.payload.value)) {
+      GeneratedCase candidate = failing;
+      candidate.payload.value = std::move(candidate_value);
+      if (consider(std::move(candidate))) {
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // Shrink each field value.
+    for (std::size_t i = 0; i < failing.payload.fields.size() && !improved; ++i) {
+      for (std::string& candidate_value :
+           string_candidates(failing.payload.fields[i].value)) {
+        GeneratedCase candidate = failing;
+        candidate.payload.fields[i].value = std::move(candidate_value);
+        if (consider(std::move(candidate))) {
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace wsx::gen

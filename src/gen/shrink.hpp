@@ -1,0 +1,34 @@
+// shrink.hpp — counterexample minimisation. Given a failing generated
+// case and a predicate that re-runs it, the shrinker walks a candidate
+// lattice (drop fields ddmin-style, empty/halve/chunk strings, simplify
+// characters to 'a' / '0') and keeps a candidate only when it still fails
+// AND strictly decreases the complexity measure (total size, then count
+// of non-canonical characters) — so shrinking always terminates and the
+// result is locally minimal: no single candidate move from it still fails.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gen/request_gen.hpp"
+
+namespace wsx::gen {
+
+/// Re-runs a candidate; true = the candidate still exhibits the failure.
+using CaseFails = std::function<bool(const GeneratedCase&)>;
+
+struct ShrinkStats {
+  std::size_t accepted = 0;   ///< candidates that advanced the shrink
+  std::size_t evaluated = 0;  ///< predicate invocations
+};
+
+/// Size component of the complexity measure.
+std::size_t case_size(const GeneratedCase& generated);
+
+/// Minimises `failing` (precondition: fails(failing)). Returns a case that
+/// still fails, is no larger than the input, and is a local minimum of the
+/// candidate moves above.
+GeneratedCase shrink_case(GeneratedCase failing, const CaseFails& fails,
+                          ShrinkStats* stats = nullptr);
+
+}  // namespace wsx::gen

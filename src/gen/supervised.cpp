@@ -1,0 +1,310 @@
+#include "gen/supervised.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "catalog/spec_json.hpp"
+#include "common/json.hpp"
+#include "compilers/compiler.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
+
+namespace wsx::gen {
+namespace {
+
+Error bad_config(const std::string& what) {
+  return Error{"resilience.bad-config", "propcheck config: " + what};
+}
+
+Error bad_record(const std::string& id, const std::string& what) {
+  return Error{"resilience.bad-record", "task record for '" + id + "': " + what};
+}
+
+bool read_count(const json::Value& value, std::string_view key, std::size_t& out) {
+  const json::Value* member = value.find(key);
+  if (member == nullptr || !member->is_number()) return false;
+  out = static_cast<std::size_t>(member->as_number());
+  return true;
+}
+
+std::string pair_delta_json(const PairDelta& delta) {
+  json::ArrayWriter outcomes;
+  for (const std::size_t count : delta.outcomes) {
+    outcomes.raw_item(std::to_string(count));
+  }
+  json::ArrayWriter failures;
+  for (const PropFailure& failure : delta.failures) {
+    failures.raw_item(json::ObjectWriter{}
+                          .field("id", failure.case_id)
+                          .field("k", failure.kind)
+                          .field("d", failure.detail)
+                          .field("p", failure.payload)
+                          .field("s", failure.shrunk)
+                          .field("n", failure.shrink_steps)
+                          .str());
+  }
+  return json::ObjectWriter{}
+      .raw_field("o", outcomes.str())
+      .raw_field("f", failures.str())
+      .field("vms", static_cast<std::size_t>(delta.virtual_ms))
+      .str();
+}
+
+bool pair_delta_from_json(const json::Value& value, PairDelta& out) {
+  const json::Value* outcomes = value.find("o");
+  if (outcomes == nullptr || !outcomes->is_array() ||
+      outcomes->size() != kPropOutcomeCount) {
+    return false;
+  }
+  for (std::size_t i = 0; i < kPropOutcomeCount; ++i) {
+    const json::Value& count = outcomes->items()[i];
+    if (!count.is_number()) return false;
+    out.outcomes[i] = static_cast<std::size_t>(count.as_number());
+  }
+  const json::Value* failures = value.find("f");
+  if (failures == nullptr || !failures->is_array()) return false;
+  for (const json::Value& entry : failures->items()) {
+    PropFailure failure;
+    const json::Value* id = entry.find("id");
+    const json::Value* kind = entry.find("k");
+    const json::Value* detail = entry.find("d");
+    const json::Value* payload = entry.find("p");
+    const json::Value* shrunk = entry.find("s");
+    if (id == nullptr || !id->is_string() || kind == nullptr || !kind->is_string() ||
+        detail == nullptr || !detail->is_string() || payload == nullptr ||
+        !payload->is_string() || shrunk == nullptr || !shrunk->is_string() ||
+        !read_count(entry, "n", failure.shrink_steps)) {
+      return false;
+    }
+    failure.case_id = id->as_string();
+    failure.kind = kind->as_string();
+    failure.detail = detail->as_string();
+    failure.payload = payload->as_string();
+    failure.shrunk = shrunk->as_string();
+    out.failures.push_back(std::move(failure));
+  }
+  std::size_t vms = 0;
+  if (!read_count(value, "vms", vms)) return false;
+  out.virtual_ms = vms;
+  return true;
+}
+
+std::pair<std::size_t, std::size_t> locate_task(const std::vector<std::size_t>& first_task,
+                                                std::size_t task) {
+  std::size_t server_index = first_task.size() - 1;
+  while (first_task[server_index] > task) --server_index;
+  return {server_index, task - first_task[server_index]};
+}
+
+}  // namespace
+
+std::string gen_config_json(const GenConfig& config) {
+  return json::ObjectWriter{}
+      .raw_field("java", catalog::to_json(config.java_spec))
+      .raw_field("dotnet", catalog::to_json(config.dotnet_spec))
+      .field("seed", static_cast<std::size_t>(config.corpus.seed))
+      .field("cases_per_operation", config.corpus.cases_per_operation)
+      .field("max_depth", static_cast<std::size_t>(config.corpus.max_depth))
+      .field("sabotage", config.corpus.sabotage)
+      .field("shrink", config.shrink)
+      .field("parse_cache", config.parse_cache)
+      .str();
+}
+
+Result<GenConfig> gen_config_from_json(std::string_view text) {
+  Result<json::Value> parsed = json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  GenConfig config;
+  const json::Value* java = parsed->find("java");
+  const json::Value* dotnet = parsed->find("dotnet");
+  if (java == nullptr || !java->is_object() || dotnet == nullptr || !dotnet->is_object()) {
+    return bad_config("missing catalog specs");
+  }
+  Result<catalog::JavaCatalogSpec> java_spec = catalog::java_spec_from_json(json::to_text(*java));
+  if (!java_spec.ok()) return java_spec.error();
+  config.java_spec = java_spec.value();
+  Result<catalog::DotNetCatalogSpec> dotnet_spec =
+      catalog::dotnet_spec_from_json(json::to_text(*dotnet));
+  if (!dotnet_spec.ok()) return dotnet_spec.error();
+  config.dotnet_spec = dotnet_spec.value();
+
+  std::size_t seed = 0;
+  std::size_t max_depth = 0;
+  if (!read_count(*parsed, "seed", seed) ||
+      !read_count(*parsed, "cases_per_operation", config.corpus.cases_per_operation) ||
+      !read_count(*parsed, "max_depth", max_depth)) {
+    return bad_config("missing corpus counters");
+  }
+  config.corpus.seed = seed;
+  config.corpus.max_depth = static_cast<int>(max_depth);
+  const auto read_flag = [&](std::string_view key, bool& out) {
+    const json::Value* member = parsed->find(key);
+    if (member == nullptr || !member->is_bool()) return false;
+    out = member->as_bool();
+    return true;
+  };
+  if (!read_flag("sabotage", config.corpus.sabotage) ||
+      !read_flag("shrink", config.shrink) || !read_flag("parse_cache", config.parse_cache)) {
+    return bad_config("missing flags");
+  }
+  return config;
+}
+
+Result<SupervisedGenResult> run_propcheck_supervised(const GenConfig& config,
+                                                     const SupervisedGenOptions& options) {
+  SupervisedGenResult out;
+  PropcheckResult& result = out.propcheck;
+  result.corpus = config.corpus;
+  result.shrink = config.shrink;
+
+  obs::Span run_span(config.tracer, "propcheck");
+  const catalog::TypeCatalog java_catalog = catalog::make_java_catalog(config.java_spec);
+  const catalog::TypeCatalog dotnet_catalog =
+      catalog::make_dotnet_catalog(config.dotnet_spec);
+  const auto servers = frameworks::make_servers();
+  const auto clients = frameworks::make_clients();
+  std::vector<std::unique_ptr<compilers::Compiler>> client_compilers;
+  client_compilers.reserve(clients.size());
+  for (const auto& client : clients) {
+    client_compilers.push_back(compilers::make_compiler(client->language()));
+  }
+
+  // Deploy + shared parse + corpus compilation up front, as in
+  // run_propcheck; the pair replays run under supervision.
+  struct PreparedRound {
+    std::vector<frameworks::DeployedService> deployed;
+    std::vector<frameworks::SharedDescription> descriptions;
+    std::vector<std::vector<GeneratedCase>> corpora;
+  };
+  std::vector<PreparedRound> prepared;
+  std::vector<std::size_t> first_task;
+  resilience::CampaignTasks tasks;
+  tasks.campaign = "propcheck";
+  tasks.config_json = gen_config_json(config);
+  for (const auto& server : servers) {
+    const catalog::TypeCatalog& catalog =
+        server->language() == "C#" ? dotnet_catalog : java_catalog;
+    obs::Span round_span(config.tracer, "round:" + server->name(), run_span);
+    obs::Span deploy_span(config.tracer, "phase:deploy", round_span);
+    obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "gen.phase.deploy_us");
+    PreparedRound round;
+    for (const catalog::TypeInfo& type : catalog.types()) {
+      Result<frameworks::DeployedService> service =
+          server->deploy(frameworks::ServiceSpec{&type});
+      if (service.ok()) round.deployed.push_back(std::move(service.value()));
+    }
+    obs::add(config.metrics, "gen.services_deployed", round.deployed.size());
+    deploy_span.annotate("deployed", round.deployed.size());
+    deploy_span.end();
+    deploy_timer.stop();
+    if (config.parse_cache) {
+      obs::Span parse_span(config.tracer, "phase:parse", round_span);
+      obs::ScopedTimer parse_timer = obs::timer(config.metrics, "gen.phase.parse_us");
+      round.descriptions.reserve(round.deployed.size());
+      for (const frameworks::DeployedService& service : round.deployed) {
+        round.descriptions.push_back(
+            frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false));
+      }
+      parse_span.end();
+      parse_timer.stop();
+    }
+    obs::Span corpus_span(config.tracer, "phase:generate", round_span);
+    obs::ScopedTimer corpus_timer = obs::timer(config.metrics, "gen.phase.generate_us");
+    round.corpora.reserve(round.deployed.size());
+    for (const frameworks::DeployedService& service : round.deployed) {
+      round.corpora.push_back(generate_corpus(service, config.corpus));
+    }
+    corpus_span.end();
+    corpus_timer.stop();
+    first_task.push_back(tasks.ids.size());
+    for (const frameworks::DeployedService& service : round.deployed) {
+      tasks.ids.push_back(server->name() + "|" + service.spec.service_name());
+    }
+    prepared.push_back(std::move(round));
+  }
+
+  // One task = one service's corpus against every client pair.
+  tasks.run = [&](std::size_t index, resilience::TaskContext& context) {
+    const auto [server_index, service_index] = locate_task(first_task, index);
+    const PreparedRound& round = prepared[server_index];
+    const frameworks::DeployedService& service = round.deployed[service_index];
+    const frameworks::SharedDescription* description =
+        config.parse_cache ? &round.descriptions[service_index] : nullptr;
+    json::ArrayWriter rows;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const PairDelta delta = run_propcheck_pair(
+          *servers[server_index], service, description, round.corpora[service_index],
+          *clients[i], client_compilers[i].get(), config);
+      context.charge(delta.virtual_ms);
+      rows.raw_item(pair_delta_json(delta));
+    }
+    return json::ObjectWriter{}.raw_field("clients", rows.str()).str();
+  };
+
+  obs::Span calls_span(config.tracer, "phase:check", run_span);
+  obs::ScopedTimer calls_timer = obs::timer(config.metrics, "gen.phase.check_us");
+  resilience::SupervisorOptions sup;
+  sup.journal = options.journal;
+  sup.jobs = config.jobs;
+  sup.checkpoint_path = options.checkpoint_path;
+  sup.resume = options.resume;
+  sup.trip_after_tasks = options.trip_after_tasks;
+  sup.metrics = config.metrics;
+  Result<resilience::SupervisorReport> supervised = resilience::supervise(tasks, sup);
+  calls_span.end();
+  calls_timer.stop();
+  if (!supervised.ok()) return supervised.error();
+  out.supervisor = std::move(supervised.value());
+
+  // Fold in task order. Completed pairs add their deltas; deadline
+  // quarantines synthesize kTimedOut for the service's whole corpus.
+  for (std::size_t server_index = 0; server_index < servers.size(); ++server_index) {
+    PropServerResult server_result;
+    server_result.server = servers[server_index]->name();
+    server_result.services_deployed = prepared[server_index].deployed.size();
+    for (const std::vector<GeneratedCase>& corpus : prepared[server_index].corpora) {
+      server_result.cases_generated += corpus.size();
+    }
+    for (const auto& client : clients) {
+      PropCell cell;
+      cell.client = client->name();
+      server_result.cells.push_back(std::move(cell));
+    }
+    result.servers.push_back(std::move(server_result));
+  }
+  for (const resilience::TaskOutcome& task : out.supervisor.tasks) {
+    const auto [server_index, service_index] = locate_task(first_task, task.task);
+    PropServerResult& server_result = result.servers[server_index];
+    const std::size_t corpus_size = prepared[server_index].corpora[service_index].size();
+    if (task.state == resilience::TaskState::kQuarantined && task.timed_out) {
+      for (PropCell& cell : server_result.cells) {
+        cell.outcomes[static_cast<std::size_t>(PropOutcome::kTimedOut)] += corpus_size;
+      }
+      continue;
+    }
+    if (task.state != resilience::TaskState::kCompleted) continue;
+    Result<json::Value> record = json::parse(task.record);
+    if (!record.ok()) return record.error();
+    const json::Value* rows = record->find("clients");
+    if (rows == nullptr || !rows->is_array() || rows->size() != clients.size()) {
+      return bad_record(task.id, "client row count mismatch");
+    }
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      PairDelta delta;
+      if (!pair_delta_from_json(rows->items()[i], delta)) {
+        return bad_record(task.id, "malformed pair delta");
+      }
+      PropCell& cell = server_result.cells[i];
+      for (std::size_t outcome = 0; outcome < kPropOutcomeCount; ++outcome) {
+        cell.outcomes[outcome] += delta.outcomes[outcome];
+      }
+      for (PropFailure& failure : delta.failures) {
+        cell.failures.push_back(std::move(failure));
+      }
+      cell.virtual_ms += delta.virtual_ms;
+    }
+  }
+  return out;
+}
+
+}  // namespace wsx::gen

@@ -1,0 +1,43 @@
+// supervised.hpp — the propcheck campaign re-driven under the resilience
+// supervisor: the sixth supervised campaign. Task granularity is one
+// deployed service; one task replays that service's generated corpus
+// through every client pair and charges the virtual wire cost against the
+// per-task deadline. A deadline-quarantined service folds every client
+// cell as kTimedOut for the whole corpus, so the matrix still accounts for
+// the full generated population. Checkpoint/resume is byte-identical at
+// any worker count because the corpus is a pure function of (config, ids).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "gen/campaign.hpp"
+#include "resilience/supervisor.hpp"
+
+namespace wsx::gen {
+
+/// Supervisor knobs for the propcheck verb (jobs lives in GenConfig::jobs).
+struct SupervisedGenOptions {
+  resilience::JournalOptions journal;
+  std::string checkpoint_path;
+  const resilience::Journal* resume = nullptr;
+  std::size_t trip_after_tasks = 0;
+};
+
+/// Canonical config fingerprint for the propcheck campaign, and its
+/// inverse (used by `wsinterop resume`). Round-trips byte-identically
+/// through json::parse + to_text; jobs/sinks are deliberately excluded.
+std::string gen_config_json(const GenConfig& config);
+Result<GenConfig> gen_config_from_json(std::string_view text);
+
+struct SupervisedGenResult {
+  PropcheckResult propcheck;
+  resilience::SupervisorReport supervisor;
+};
+
+/// Runs the propcheck campaign under supervision.
+Result<SupervisedGenResult> run_propcheck_supervised(const GenConfig& config,
+                                                     const SupervisedGenOptions& options);
+
+}  // namespace wsx::gen

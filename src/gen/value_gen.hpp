@@ -1,0 +1,50 @@
+// value_gen.hpp — per-type value generators compiled from the wsx::xsd
+// model. Every generator draws from the type's lexical space, mixing
+// boundary values (empty strings, min/max numerics, NaN/INF, leap days,
+// surrogate-adjacent UTF-8) with random members, so each value it emits
+// satisfies xsd::is_valid_value for the same type — the generator↔validator
+// round-trip property the test pack enforces. sabotage_value is the
+// deliberate exception: it emits a lexically *invalid* value so the
+// propcheck harness can prove it detects and shrinks schema violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "xml/node.hpp"
+#include "xsd/builtin.hpp"
+#include "xsd/model.hpp"
+
+namespace wsx::gen {
+
+/// The fixed boundary/edge values for a built-in type. Every entry is a
+/// valid lexical form; generators sample them alongside random values.
+const std::vector<std::string>& edge_values(xsd::Builtin type);
+
+/// A random member of the builtin's lexical space.
+std::string generate_value(xsd::Builtin type, Rng& rng);
+
+/// Facet-aware generation for a simpleType restriction: enumeration picks
+/// a declared constant; otherwise the base type's generator runs under the
+/// minLength/maxLength/totalDigits/pattern facets.
+std::string generate_value(const xsd::SimpleTypeDecl& type, Rng& rng);
+
+/// A value that deliberately violates the builtin's lexical space — the
+/// injected schema-violation bug. For xsd:string (whose lexical space is
+/// all text) the scalar cannot be invalid, so callers fall back to a
+/// facet/enumeration violation instead.
+std::string sabotage_value(xsd::Builtin type, Rng& rng);
+/// An off-enumeration (or facet-violating) member for a simpleType.
+std::string sabotage_value(const xsd::SimpleTypeDecl& type, Rng& rng);
+
+/// Instantiates a complexType as an element subtree: one child per
+/// element particle (arrays get 0..max_occurs_cap repeats), builtin leaves
+/// get generated text, nested/self-recursive types recurse down to
+/// `depth` and are pruned below it (optional particles dropped, required
+/// ones emitted empty). This is the bounded-depth recursive generator for
+/// types like the self-referencing GeneratorCrash chain.
+xml::Element generate_instance(const xsd::Schema& schema, const xsd::ComplexType& type,
+                               std::string_view element_name, int depth, Rng& rng);
+
+}  // namespace wsx::gen

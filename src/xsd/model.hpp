@@ -84,12 +84,19 @@ struct ComplexType {
   std::size_t nesting_depth() const;
 };
 
-/// xs:simpleType restriction (enumeration facet only — what WS frameworks
-/// emit for native enums).
+/// xs:simpleType restriction. Frameworks emit the enumeration facet for
+/// native enums; hand-written contracts also carry the constraining facets
+/// below, which the value validator and the generators both honour.
+/// A facet is absent when its field is negative (lengths, digits) or
+/// empty (pattern).
 struct SimpleTypeDecl {
   std::string name;
   xml::QName base;
   std::vector<std::string> enumeration;
+  int min_length = -1;     ///< xs:minLength
+  int max_length = -1;     ///< xs:maxLength
+  int total_digits = -1;   ///< xs:totalDigits (count of digit characters)
+  std::string pattern;     ///< xs:pattern, pattern-lite subset (xsd/pattern.hpp)
   friend bool operator==(const SimpleTypeDecl&, const SimpleTypeDecl&) = default;
 };
 

@@ -1,0 +1,225 @@
+#include "xsd/pattern.hpp"
+
+namespace wsx::xsd {
+namespace {
+
+// Expands the \d \w \s escapes into classes; other escaped characters are
+// literals. Returns false for escapes outside the subset (\b, \1, ...).
+bool escape_atom(char c, PatternAtom& atom) {
+  switch (c) {
+    case 'd':
+      atom.kind = PatternAtom::Kind::kClass;
+      atom.ranges = {{'0', '9'}};
+      return true;
+    case 'w':
+      atom.kind = PatternAtom::Kind::kClass;
+      atom.ranges = {{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}};
+      return true;
+    case 's':
+      atom.kind = PatternAtom::Kind::kClass;
+      atom.ranges = {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}};
+      return true;
+    case '\\':
+    case '.':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case '(':
+    case ')':
+    case '*':
+    case '+':
+    case '?':
+    case '|':
+    case '-':
+    case '^':
+    case '$':
+      atom.kind = PatternAtom::Kind::kLiteral;
+      atom.literal = c;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Parses "[...]" starting after the '['; advances `pos` past the ']'.
+bool parse_class(std::string_view text, std::size_t& pos, PatternAtom& atom) {
+  atom.kind = PatternAtom::Kind::kClass;
+  if (pos < text.size() && text[pos] == '^') {
+    atom.negated = true;
+    ++pos;
+  }
+  while (pos < text.size() && text[pos] != ']') {
+    char lo = text[pos];
+    if (lo == '\\') {
+      if (++pos >= text.size()) return false;
+      PatternAtom escaped;
+      if (!escape_atom(text[pos], escaped)) return false;
+      if (escaped.kind == PatternAtom::Kind::kClass) {
+        for (const auto& range : escaped.ranges) atom.ranges.push_back(range);
+        ++pos;
+        continue;
+      }
+      lo = escaped.literal;
+    }
+    ++pos;
+    char hi = lo;
+    if (pos + 1 < text.size() && text[pos] == '-' && text[pos + 1] != ']') {
+      hi = text[pos + 1];
+      if (hi == '\\') return false;  // ranges with escaped ends: out of subset
+      pos += 2;
+    }
+    if (hi < lo) return false;
+    atom.ranges.emplace_back(lo, hi);
+  }
+  if (pos >= text.size() || atom.ranges.empty()) return false;
+  ++pos;  // consume ']'
+  return true;
+}
+
+// Parses "{n}" / "{n,}" / "{n,m}" starting after the '{'.
+bool parse_braces(std::string_view text, std::size_t& pos, PatternTerm& term) {
+  const auto read_int = [&](int& out) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
+    long value = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + (text[pos] - '0');
+      if (value > 4096) return false;  // keep generation and matching bounded
+      ++pos;
+    }
+    out = static_cast<int>(value);
+    return true;
+  };
+  if (!read_int(term.min_count)) return false;
+  term.max_count = term.min_count;
+  if (pos < text.size() && text[pos] == ',') {
+    ++pos;
+    if (pos < text.size() && text[pos] == '}') {
+      term.max_count = kPatternUnbounded;
+    } else if (!read_int(term.max_count) || term.max_count < term.min_count) {
+      return false;
+    }
+  }
+  if (pos >= text.size() || text[pos] != '}') return false;
+  ++pos;
+  return true;
+}
+
+// Backtracking anchored match; values and patterns are both small.
+bool match_from(const Pattern& pattern, std::string_view value,
+                std::size_t term_index, std::size_t pos) {
+  if (term_index == pattern.terms.size()) return pos == value.size();
+  const PatternTerm& term = pattern.terms[term_index];
+  std::size_t reps = 0;
+  // Greedy expansion with backtracking: try the longest run first.
+  while (reps < static_cast<std::size_t>(term.max_count) ||
+         term.max_count == kPatternUnbounded) {
+    if (pos + reps >= value.size() ||
+        !atom_admits(term.atom, value[pos + reps])) {
+      break;
+    }
+    ++reps;
+  }
+  while (true) {
+    if (reps >= static_cast<std::size_t>(term.min_count) &&
+        match_from(pattern, value, term_index + 1, pos + reps)) {
+      return true;
+    }
+    if (reps == 0) return false;
+    --reps;
+  }
+}
+
+}  // namespace
+
+std::optional<Pattern> parse_pattern(std::string_view text) {
+  Pattern pattern;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    PatternTerm term;
+    const char c = text[pos];
+    switch (c) {
+      case '(':
+      case ')':
+      case '|':
+      case '^':
+      case '$':
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+      case '}':
+      case ']':
+        return std::nullopt;  // groups / alternation / stray metachar
+      case '.':
+        term.atom.kind = PatternAtom::Kind::kAny;
+        ++pos;
+        break;
+      case '[':
+        ++pos;
+        if (!parse_class(text, pos, term.atom)) return std::nullopt;
+        break;
+      case '\\':
+        if (++pos >= text.size()) return std::nullopt;
+        if (!escape_atom(text[pos], term.atom)) return std::nullopt;
+        ++pos;
+        break;
+      default:
+        term.atom.kind = PatternAtom::Kind::kLiteral;
+        term.atom.literal = c;
+        ++pos;
+        break;
+    }
+    if (pos < text.size()) {
+      switch (text[pos]) {
+        case '?':
+          term.min_count = 0;
+          ++pos;
+          break;
+        case '*':
+          term.min_count = 0;
+          term.max_count = kPatternUnbounded;
+          ++pos;
+          break;
+        case '+':
+          term.max_count = kPatternUnbounded;
+          ++pos;
+          break;
+        case '{':
+          ++pos;
+          if (!parse_braces(text, pos, term)) return std::nullopt;
+          break;
+        default:
+          break;
+      }
+    }
+    pattern.terms.push_back(std::move(term));
+  }
+  return pattern;
+}
+
+bool atom_admits(const PatternAtom& atom, char c) {
+  switch (atom.kind) {
+    case PatternAtom::Kind::kAny:
+      return c != '\n' && c != '\r';
+    case PatternAtom::Kind::kLiteral:
+      return c == atom.literal;
+    case PatternAtom::Kind::kClass: {
+      bool in_range = false;
+      for (const auto& [lo, hi] : atom.ranges) {
+        if (c >= lo && c <= hi) {
+          in_range = true;
+          break;
+        }
+      }
+      return atom.negated ? !in_range : in_range;
+    }
+  }
+  return false;
+}
+
+bool pattern_matches(const Pattern& pattern, std::string_view value) {
+  return match_from(pattern, value, 0, 0);
+}
+
+}  // namespace wsx::xsd

@@ -1,0 +1,52 @@
+// pattern.hpp — the "pattern-lite" subset of XSD regular expressions that
+// the value validator enforces and the generators can synthesise values
+// for. The subset covers what real WSDL contracts overwhelmingly use:
+// literal characters, '.', the \d \w \s escapes (and escaped literals),
+// character classes with ranges and ^ negation, and the ? * + {n} {n,}
+// {n,m} quantifiers. Alternation and groups are outside the subset;
+// parse_pattern returns nullopt for them and callers skip the facet the
+// way lenient data binders do.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wsx::xsd {
+
+/// One matchable unit: a literal character, the '.' wildcard, or a
+/// character class (ranges plus negation; \d \w \s parse into classes).
+struct PatternAtom {
+  enum class Kind { kLiteral, kAny, kClass };
+  Kind kind = Kind::kLiteral;
+  char literal = '\0';
+  bool negated = false;
+  std::vector<std::pair<char, char>> ranges;
+};
+
+/// An atom plus its quantifier; max_count == kPatternUnbounded for * / + /
+/// {n,}.
+inline constexpr int kPatternUnbounded = -1;
+struct PatternTerm {
+  PatternAtom atom;
+  int min_count = 1;
+  int max_count = 1;
+};
+
+struct Pattern {
+  std::vector<PatternTerm> terms;
+};
+
+/// Parses the pattern-lite subset; nullopt when `text` uses a construct
+/// outside it (alternation, groups, anchors, back-references).
+std::optional<Pattern> parse_pattern(std::string_view text);
+
+/// True when `c` is admitted by the atom.
+bool atom_admits(const PatternAtom& atom, char c);
+
+/// Anchored match over the whole value (XSD pattern semantics).
+bool pattern_matches(const Pattern& pattern, std::string_view value);
+
+}  // namespace wsx::xsd

@@ -1,5 +1,6 @@
 #include "xsd/reader.hpp"
 
+#include <cstdlib>
 #include <string>
 
 namespace wsx::xsd {
@@ -198,6 +199,19 @@ class SchemaReader {
       }
       for (const xml::Element* facet : restriction->children_named("enumeration")) {
         type.enumeration.push_back(facet->attribute("value").value_or(""));
+      }
+      const auto int_facet = [&](const char* facet_name, int& out) {
+        if (const xml::Element* facet = restriction->child(facet_name)) {
+          if (std::optional<std::string> value = facet->attribute("value")) {
+            out = std::atoi(value->c_str());
+          }
+        }
+      };
+      int_facet("minLength", type.min_length);
+      int_facet("maxLength", type.max_length);
+      int_facet("totalDigits", type.total_digits);
+      if (const xml::Element* facet = restriction->child("pattern")) {
+        type.pattern = facet->attribute("value").value_or("");
       }
       scope_.pop();
     }

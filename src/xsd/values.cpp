@@ -4,6 +4,8 @@
 #include <cctype>
 #include <string>
 
+#include "xsd/pattern.hpp"
+
 namespace wsx::xsd {
 namespace {
 
@@ -172,6 +174,27 @@ bool is_valid_value(const SimpleTypeDecl& type, std::string_view value) {
   if (!type.base.empty()) {
     const std::optional<Builtin> base = builtin_from_local_name(type.base.local_name());
     if (base && !is_valid_value(*base, value)) return false;
+  }
+  if (type.min_length >= 0 &&
+      value.size() < static_cast<std::size_t>(type.min_length)) {
+    return false;
+  }
+  if (type.max_length >= 0 &&
+      value.size() > static_cast<std::size_t>(type.max_length)) {
+    return false;
+  }
+  if (type.total_digits > 0) {
+    const auto digits = std::count_if(value.begin(), value.end(),
+                                      [](unsigned char c) { return std::isdigit(c) != 0; });
+    if (digits > type.total_digits) return false;
+  }
+  if (!type.pattern.empty()) {
+    // Patterns outside the pattern-lite subset are skipped, the way
+    // lenient binders treat facets they cannot compile.
+    if (const std::optional<Pattern> pattern = parse_pattern(type.pattern);
+        pattern && !pattern_matches(*pattern, value)) {
+      return false;
+    }
   }
   if (type.enumeration.empty()) return true;
   return std::find(type.enumeration.begin(), type.enumeration.end(), value) !=

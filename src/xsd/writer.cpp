@@ -135,6 +135,17 @@ class SchemaWriter {
     if (!type.name.empty()) node.set_attribute("name", type.name);
     xml::Element& restriction = node.add_element(prefixed("restriction"));
     restriction.set_attribute("base", qname_ref(type.base));
+    const auto int_facet = [&](const char* facet_name, int value) {
+      if (value < 0) return;
+      restriction.add_element(prefixed(facet_name))
+          .set_attribute("value", std::to_string(value));
+    };
+    int_facet("minLength", type.min_length);
+    int_facet("maxLength", type.max_length);
+    int_facet("totalDigits", type.total_digits);
+    if (!type.pattern.empty()) {
+      restriction.add_element(prefixed("pattern")).set_attribute("value", type.pattern);
+    }
     for (const std::string& value : type.enumeration) {
       restriction.add_element(prefixed("enumeration")).set_attribute("value", value);
     }

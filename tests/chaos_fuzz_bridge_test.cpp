@@ -13,6 +13,7 @@
 #include "frameworks/registry.hpp"
 #include "fuzz/mutation.hpp"
 #include "soap/message.hpp"
+#include "test_helpers.hpp"
 
 namespace wsx {
 namespace {
@@ -20,13 +21,8 @@ namespace {
 class Bridge : public ::testing::Test {
  protected:
   static const frameworks::DeployedService& service() {
-    static const frameworks::DeployedService deployed = [] {
-      const catalog::TypeCatalog catalog = catalog::make_java_catalog();
-      const auto server = frameworks::make_server("Metro 2.3");
-      const catalog::TypeInfo* type =
-          catalog.find(catalog::java_names::kXmlGregorianCalendar);
-      return std::move(server->deploy(frameworks::ServiceSpec{type}).value());
-    }();
+    static const frameworks::DeployedService deployed =
+        wsx::testing::deploy_one("Metro 2.3", catalog::java_names::kXmlGregorianCalendar);
     return deployed;
   }
 

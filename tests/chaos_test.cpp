@@ -11,6 +11,7 @@
 #include "chaos/policy.hpp"
 #include "chaos/wire.hpp"
 #include "interop/communication.hpp"
+#include "test_helpers.hpp"
 
 namespace wsx::chaos {
 namespace {
@@ -191,26 +192,11 @@ TEST(Breaker, SuccessResetsTheFailureStreak) {
 // ------------------------------------------------------------------ campaign
 
 /// Small population: enough services for differentiated counts, fast
-/// enough for a unit test.
+/// enough for a unit test (shared with the propcheck suite).
 ChaosConfig scaled_config() {
   ChaosConfig config;
-  config.java_spec.plain_beans = 20;
-  config.java_spec.throwable_clean = 2;
-  config.java_spec.throwable_raw = 1;
-  config.java_spec.raw_generic_beans = 1;
-  config.java_spec.anytype_array_beans = 1;
-  config.java_spec.no_default_ctor = 2;
-  config.java_spec.abstract_classes = 1;
-  config.java_spec.interfaces = 1;
-  config.java_spec.generic_types = 1;
-  config.dotnet_spec.plain_types = 20;
-  config.dotnet_spec.dataset_plain = 2;
-  config.dotnet_spec.deep_nesting_clean = 1;
-  config.dotnet_spec.non_serializable = 2;
-  config.dotnet_spec.no_default_ctor = 2;
-  config.dotnet_spec.generic_types = 1;
-  config.dotnet_spec.abstract_classes = 1;
-  config.dotnet_spec.interfaces = 1;
+  config.java_spec = wsx::testing::small_java_spec();
+  config.dotnet_spec = wsx::testing::small_dotnet_spec();
   return config;
 }
 

@@ -1,9 +1,88 @@
 // test_helpers.hpp — shared fixtures for the wsinterop test suite.
 #pragma once
 
+#include <string_view>
+#include <vector>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "frameworks/registry.hpp"
+#include "frameworks/shared_description.hpp"
+#include "gen/request_gen.hpp"
 #include "wsdl/model.hpp"
 
 namespace wsx::testing {
+
+/// Small catalog population shared by the chaos, fuzz-bridge and propcheck
+/// suites: enough services for differentiated counts, fast enough for a
+/// unit test.
+inline catalog::JavaCatalogSpec small_java_spec() {
+  catalog::JavaCatalogSpec spec;
+  spec.plain_beans = 20;
+  spec.throwable_clean = 2;
+  spec.throwable_raw = 1;
+  spec.raw_generic_beans = 1;
+  spec.anytype_array_beans = 1;
+  spec.no_default_ctor = 2;
+  spec.abstract_classes = 1;
+  spec.interfaces = 1;
+  spec.generic_types = 1;
+  return spec;
+}
+
+inline catalog::DotNetCatalogSpec small_dotnet_spec() {
+  catalog::DotNetCatalogSpec spec;
+  spec.plain_types = 20;
+  spec.dataset_plain = 2;
+  spec.deep_nesting_clean = 1;
+  spec.non_serializable = 2;
+  spec.no_default_ctor = 2;
+  spec.generic_types = 1;
+  spec.abstract_classes = 1;
+  spec.interfaces = 1;
+  return spec;
+}
+
+/// Deploys the service a server publishes for one named catalog type —
+/// the single-pair unit the bridge tests start from.
+inline frameworks::DeployedService deploy_one(std::string_view server_name,
+                                              std::string_view type_name) {
+  // Static: ServiceSpec points into the catalog, so it must outlive the
+  // returned service.
+  static const catalog::TypeCatalog catalog = catalog::make_java_catalog();
+  const auto server = frameworks::make_server(server_name);
+  const catalog::TypeInfo* type = catalog.find(std::string(type_name));
+  return std::move(server->deploy(frameworks::ServiceSpec{type}).value());
+}
+
+/// One deployed service with its parse-once description and its seeded
+/// generated corpus — the unit every corpus-replay test starts from.
+struct SeededService {
+  frameworks::DeployedService service;
+  frameworks::SharedDescription description;
+  std::vector<gen::GeneratedCase> corpus;
+};
+
+/// Deploys every service `server` publishes for `catalog` and compiles the
+/// per-service corpus at `options`. Deterministic: same (catalog, options)
+/// always yields byte-identical corpora.
+inline std::vector<SeededService> seeded_corpus(const frameworks::ServerFramework& server,
+                                                const catalog::TypeCatalog& catalog,
+                                                const gen::CorpusOptions& options) {
+  std::vector<SeededService> seeded;
+  for (const catalog::TypeInfo& type : catalog.types()) {
+    Result<frameworks::DeployedService> service =
+        server.deploy(frameworks::ServiceSpec{&type});
+    if (!service.ok()) continue;
+    frameworks::DeployedService deployed = std::move(service.value());
+    frameworks::SharedDescription description =
+        frameworks::SharedDescription::from_deployed(deployed, /*with_wsi=*/false);
+    std::vector<gen::GeneratedCase> corpus = gen::generate_corpus(deployed, options);
+    seeded.push_back(
+        SeededService{std::move(deployed), std::move(description), std::move(corpus)});
+  }
+  return seeded;
+}
 
 /// A minimal, fully WS-I-compliant echo description (document/literal
 /// wrapped, one operation), used as the baseline that individual tests

@@ -145,6 +145,36 @@ TEST(WriterReader, RoundTripsOccurrenceBounds) {
   EXPECT_EQ(element->max_occurs, kUnbounded);
 }
 
+TEST(WriterReader, RoundTripsRestrictionFacets) {
+  Schema schema;
+  schema.target_namespace = "urn:facets";
+  SimpleTypeDecl sku;
+  sku.name = "Sku";
+  sku.base = qname(Builtin::kString);
+  sku.min_length = 2;
+  sku.max_length = 8;
+  sku.total_digits = 3;
+  sku.pattern = "[A-Z]{2}\\d{3}";
+  sku.enumeration = {"AB123", "CD456"};
+  schema.simple_types.push_back(sku);
+
+  Result<xml::Element> reparsed = xml::parse_element(xml::write(to_xml(schema)));
+  ASSERT_TRUE(reparsed.ok());
+  Result<Schema> read_back = from_xml(reparsed.value());
+  ASSERT_TRUE(read_back.ok());
+  ASSERT_EQ(read_back->simple_types.size(), 1u);
+  EXPECT_EQ(read_back->simple_types.front(), sku);
+  // Absent facets stay absent (no spurious -1 serialization).
+  SimpleTypeDecl bare;
+  bare.name = "Bare";
+  bare.base = qname(Builtin::kInt);
+  schema.simple_types = {bare};
+  const std::string text = xml::write(to_xml(schema));
+  EXPECT_EQ(text.find("minLength"), std::string::npos);
+  EXPECT_EQ(text.find("totalDigits"), std::string::npos);
+  EXPECT_EQ(text.find("pattern"), std::string::npos);
+}
+
 TEST(WriterReader, RoundTripsImportsAndForm) {
   Schema schema;
   schema.target_namespace = "urn:imp";

@@ -110,6 +110,55 @@ TEST(Values, EnumerationFacet) {
   EXPECT_FALSE(is_valid_value(level, "one"));
 }
 
+TEST(Values, LengthFacets) {
+  SimpleTypeDecl code;
+  code.base = qname(Builtin::kString);
+  code.min_length = 2;
+  code.max_length = 4;
+  EXPECT_FALSE(is_valid_value(code, "a"));
+  EXPECT_TRUE(is_valid_value(code, "ab"));
+  EXPECT_TRUE(is_valid_value(code, "abcd"));
+  EXPECT_FALSE(is_valid_value(code, "abcde"));
+}
+
+TEST(Values, TotalDigitsFacet) {
+  SimpleTypeDecl pin;
+  pin.base = qname(Builtin::kInt);
+  pin.total_digits = 3;
+  EXPECT_TRUE(is_valid_value(pin, "999"));
+  EXPECT_TRUE(is_valid_value(pin, "-42"));
+  EXPECT_FALSE(is_valid_value(pin, "1000"));
+}
+
+TEST(Values, PatternFacet) {
+  SimpleTypeDecl sku;
+  sku.base = qname(Builtin::kString);
+  sku.pattern = "[A-Z]{2}\\d{3}";
+  EXPECT_TRUE(is_valid_value(sku, "AB123"));
+  EXPECT_FALSE(is_valid_value(sku, "ab123"));
+  EXPECT_FALSE(is_valid_value(sku, "AB1234"));
+  // Patterns outside the pattern-lite subset are skipped, not misapplied —
+  // the lenient-binder behaviour documented in xsd/values.cpp.
+  SimpleTypeDecl lenient;
+  lenient.base = qname(Builtin::kString);
+  lenient.pattern = "(a|b)+";
+  EXPECT_TRUE(is_valid_value(lenient, "anything"));
+}
+
+TEST(Values, FacetsComposeWithEnumeration) {
+  // All declared facets must hold together: base space, length, pattern,
+  // then enumeration membership.
+  SimpleTypeDecl state;
+  state.base = qname(Builtin::kString);
+  state.min_length = 2;
+  state.max_length = 2;
+  state.pattern = "[A-Z]+";
+  state.enumeration = {"CA", "NY", "toolong"};
+  EXPECT_TRUE(is_valid_value(state, "CA"));
+  EXPECT_FALSE(is_valid_value(state, "WA"));       // off-enumeration
+  EXPECT_FALSE(is_valid_value(state, "toolong"));  // enum member, facet-invalid
+}
+
 TEST(Values, StatusVariantCarriesMessage) {
   const Status ok = validate_value(Builtin::kInt, "7");
   EXPECT_TRUE(ok.ok());

@@ -17,6 +17,9 @@
 //       the Communication+Execution extension study
 //   wsinterop chaos [--seed N] [--rate PCT] [--faults LIST] [--calls N]
 //       wire-fault resilience study over the faulty wire
+//   wsinterop propcheck [--seed N] [--cases N] [--shrink] [--sabotage]
+//       WSDL-guided property-based test generation over the communication
+//       phase, with shrinking of any counterexample to a local minimum
 //   wsinterop profile [--scale PCT] [--jobs N]
 //       sized-down study with tracing on; prints the phase breakdown
 //   wsinterop predict SERVER TYPE | --corpus [--index OUT.json]
@@ -32,9 +35,9 @@
 //
 // Every campaign verb accepts --trace=FILE.jsonl (canonical span tree,
 // one JSON object per line) and --metrics=FILE.json (counter/gauge/
-// histogram export); see docs/OBSERVABILITY.md. The five supervised
-// campaign verbs (run, communicate, chaos, lint --corpus, predict
-// --corpus) additionally accept the resilience flags (--checkpoint,
+// histogram export); see docs/OBSERVABILITY.md. The six supervised
+// campaign verbs (run, communicate, chaos, propcheck, lint --corpus,
+// predict --corpus) additionally accept the resilience flags (--checkpoint,
 // --checkpoint-every, --task-deadline-ms, --quarantine-after,
 // --budget-ms, --budget-tasks); see docs/RESILIENCE.md.
 #include <algorithm>
@@ -63,6 +66,8 @@
 #include "catalog/java_catalog.hpp"
 #include "frameworks/registry.hpp"
 #include "fuzz/campaign.hpp"
+#include "gen/campaign.hpp"
+#include "gen/supervised.hpp"
 #include "interop/communication.hpp"
 #include "interop/persistence.hpp"
 #include "interop/report.hpp"
@@ -102,8 +107,8 @@ bool parse_count(const std::string& text, std::size_t& out) {
 
 int usage() {
   std::cerr << "usage: wsinterop "
-               "<run|lint|describe|test|fuzz|communicate|chaos|profile|predict|substitute|"
-               "serve|loadgen|scorecard|diff|resume|list> [options]\n"
+               "<run|lint|describe|test|fuzz|communicate|chaos|propcheck|profile|predict|"
+               "substitute|serve|loadgen|scorecard|diff|resume|list> [options]\n"
                "  run         [--scale PCT] [--threads N] [--format text|csv|markdown]\n"
                "              [--log FILE.jsonl] [--snapshot FILE.csv]\n"
                "  diff        BEFORE.csv AFTER.csv\n"
@@ -117,6 +122,11 @@ int usage() {
                "  chaos       [--seed N] [--rate PCT] [--faults KIND,...] [--burst N]\n"
                "              [--calls N] [--scale PCT] [--jobs N] [--csv FILE]\n"
                "              [--format text|csv|markdown|json]\n"
+               "  propcheck   [--seed N] [--cases N] [--max-depth N] [--scale PCT]\n"
+               "              [--jobs N] [--shrink] [--no-shrink] [--sabotage]\n"
+               "              [--format text|json]\n"
+               "              (property-based corpus over the communication phase;\n"
+               "              exit 3 when a property violation is found)\n"
                "  profile     [--scale PCT] [--jobs N]\n"
                "  predict     SERVER TYPE | --corpus [--scale PCT] [--jobs N] [--no-join]\n"
                "              [--shape simple-echo|crud] [--index OUT.json]\n"
@@ -135,13 +145,13 @@ int usage() {
                "  scorecard   [--chaos] [--jobs N]\n"
                "  resume      JOURNAL [--jobs N] [--format ...] [--trip-after N]\n"
                "  list\n"
-               "campaign verbs (run, lint --corpus, communicate, chaos, profile,\n"
-               "predict --corpus) also accept --trace FILE.jsonl and --metrics\n"
-               "FILE.json; run, communicate, chaos and profile accept\n"
-               "--no-parse-cache to re-parse each WSDL per client instead of sharing\n"
-               "one parsed description per service\n"
-               "supervised verbs (run, lint --corpus, communicate, chaos, predict\n"
-               "--corpus) also accept the resilience flags: --checkpoint FILE.journal,\n"
+               "campaign verbs (run, lint --corpus, communicate, chaos, propcheck,\n"
+               "profile, predict --corpus) also accept --trace FILE.jsonl and\n"
+               "--metrics FILE.json; run, communicate, chaos, propcheck and profile\n"
+               "accept --no-parse-cache to re-parse each WSDL per client instead of\n"
+               "sharing one parsed description per service\n"
+               "supervised verbs (run, lint --corpus, communicate, chaos, propcheck,\n"
+               "predict --corpus) also accept the resilience flags: --checkpoint FILE.journal,\n"
                "--checkpoint-every N, --task-deadline-ms N, --quarantine-after N,\n"
                "--budget-ms N, --budget-tasks N, --trip-after N (exit 75 when the run\n"
                "trips)\n";
@@ -816,6 +826,95 @@ int cmd_chaos(const std::vector<std::string>& args) {
   return print_chaos(result, format, csv_path);
 }
 
+/// Prints the propcheck matrix (or its canonical JSON) and turns property
+/// violations into exit 3 so CI can gate on them; supervised trips keep
+/// their own exit 75 via finish_supervised.
+int print_propcheck(const gen::PropcheckResult& result, const std::string& format,
+                    bool with_shrink) {
+  if (format == "json") {
+    std::cout << gen::propcheck_json(result) << "\n";
+  } else if (format == "text") {
+    std::cout << gen::format_propcheck(result, with_shrink);
+  } else {
+    std::cerr << "wsinterop: unknown format '" << format << "'\n";
+    return 2;
+  }
+  return result.total_failures() == 0 ? 0 : 3;
+}
+
+/// `wsinterop propcheck` — WSDL-guided property-based testing of the
+/// communication phase: generates a schema-valid corpus per operation,
+/// replays it through every (service, client) pair, and checks that every
+/// case stays inside the contract and classifies like the pair's baseline.
+/// --sabotage injects the schema-violation bug the validator must catch;
+/// --shrink minimises each counterexample and prints a replay command.
+int cmd_propcheck(const std::vector<std::string>& args) {
+  gen::GenConfig config;
+  ObsSinks sinks;
+  ResilienceFlags res;
+  std::string format = "text";
+  bool with_shrink = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (sinks.consume(args, i)) {
+      continue;
+    } else if (res.consume(args, i)) {
+      if (res.bad) return usage();
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      std::size_t seed = 0;
+      if (!parse_count(args[++i], seed)) return usage();
+      config.corpus.seed = seed;
+    } else if (args[i] == "--cases" && i + 1 < args.size()) {
+      if (!parse_count(args[++i], config.corpus.cases_per_operation) ||
+          config.corpus.cases_per_operation == 0) {
+        return usage();
+      }
+    } else if (args[i] == "--max-depth" && i + 1 < args.size()) {
+      std::size_t depth = 0;
+      if (!parse_count(args[++i], depth) || depth > 16) return usage();
+      config.corpus.max_depth = static_cast<int>(depth);
+    } else if (args[i] == "--sabotage") {
+      config.corpus.sabotage = true;
+    } else if (args[i] == "--shrink") {
+      with_shrink = true;
+    } else if (args[i] == "--no-shrink") {
+      config.shrink = false;
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      std::size_t percent = 0;
+      if (!parse_count(args[++i], percent)) return usage();
+      apply_scale(config.java_spec, config.dotnet_spec, percent);
+    } else if ((args[i] == "--jobs" || args[i] == "--threads") && i + 1 < args.size()) {
+      if (!parse_jobs(args[++i], config.jobs)) return usage();
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else if (args[i] == "--no-parse-cache") {
+      config.parse_cache = false;
+    } else {
+      return usage();
+    }
+  }
+  if (with_shrink) config.shrink = true;
+  config.tracer = sinks.tracer_or_null();
+  config.metrics = sinks.metrics_or_null();
+  if (res.enabled()) {
+    gen::SupervisedGenOptions sup;
+    sup.journal = res.journal;
+    sup.checkpoint_path = res.checkpoint_path;
+    sup.trip_after_tasks = res.trip_after_tasks;
+    Result<gen::SupervisedGenResult> supervised = gen::run_propcheck_supervised(config, sup);
+    if (!supervised.ok()) {
+      std::cerr << "wsinterop: " << supervised.error().message << "\n";
+      return 1;
+    }
+    if (!sinks.flush()) return 1;
+    const int rc = print_propcheck(supervised.value().propcheck, format, with_shrink);
+    if (rc == 2) return rc;
+    return finish_supervised(supervised.value().supervisor, format, rc);
+  }
+  const gen::PropcheckResult result = gen::run_propcheck(config);
+  if (!sinks.flush()) return 1;
+  return print_propcheck(result, format, with_shrink);
+}
+
 /// `wsinterop predict SERVER TYPE` — single-service static prediction; or
 /// `wsinterop predict --corpus` — the whole generated corpus, scored
 /// against the dynamic study unless --no-join. The accuracy floors gate on
@@ -1205,6 +1304,24 @@ int cmd_resume(const std::vector<std::string>& args) {
     const int rc = print_chaos(result->chaos, format, "");
     if (rc != 0) return rc;
     return finish_supervised(result->supervisor, format, 0);
+  }
+  if (journal.campaign == "propcheck") {
+    Result<gen::GenConfig> config = gen::gen_config_from_json(journal.config_json);
+    if (!config.ok()) return fail(config.error());
+    config->jobs = jobs;
+    config->tracer = sinks.tracer_or_null();
+    config->metrics = sinks.metrics_or_null();
+    gen::SupervisedGenOptions sup;
+    sup.journal = journal.options;
+    sup.checkpoint_path = journal_path;
+    sup.resume = &journal;
+    sup.trip_after_tasks = trip;
+    Result<gen::SupervisedGenResult> result = gen::run_propcheck_supervised(*config, sup);
+    if (!result.ok()) return fail(result.error());
+    if (!sinks.flush()) return 1;
+    const int rc = print_propcheck(result->propcheck, format, /*with_shrink=*/true);
+    if (rc == 2) return rc;
+    return finish_supervised(result->supervisor, format, rc);
   }
   if (journal.campaign == "lint-corpus") {
     Result<analysis::CorpusOptions> options =
@@ -1619,6 +1736,7 @@ int main(int argc, char** argv) {
   if (command == "fuzz") return cmd_fuzz(args);
   if (command == "communicate") return cmd_communicate(args);
   if (command == "chaos") return cmd_chaos(args);
+  if (command == "propcheck") return cmd_propcheck(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "predict") return cmd_predict(args);
   if (command == "substitute") return cmd_substitute(args);
