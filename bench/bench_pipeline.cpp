@@ -13,6 +13,15 @@
 //   p5_generate_uncached    client generate() from text (parse every call)
 //   p6_generate_cached      client generate() from a SharedDescription
 //
+// plus the SOAP envelope hot path (the per-call cost every communication /
+// chaos / propcheck campaign pays on each request and response):
+//
+//   env_dom_parse           envelope parse via the DOM path (--no-stream)
+//   env_stream_parse        envelope parse via the streaming pull tokenizer
+//   env_stream_sniff        zero-DOM request validation (validate_request_text)
+//   envelopes_per_sec_16_workers
+//                           streaming parse throughput across 16 workers
+//
 // With --check BASELINE.json the run compares itself against a committed
 // baseline and exits 1 when any ns/byte stage regresses past --tolerance
 // percent (or throughput drops past it) — the CI regression gate.
@@ -30,9 +39,13 @@
 
 #include "catalog/java_catalog.hpp"
 #include "common/json.hpp"
+#include "common/pool.hpp"
 #include "frameworks/registry.hpp"
 #include "frameworks/shared_description.hpp"
 #include "interop/study.hpp"
+#include "soap/envelope.hpp"
+#include "soap/message.hpp"
+#include "soap/validate.hpp"
 #include "wsdl/parser.hpp"
 #include "wsi/profile.hpp"
 #include "xml/parser.hpp"
@@ -198,6 +211,65 @@ int main(int argc, char** argv) {
                                 client->generate(description);
                             if (!result.produced_artifacts()) std::exit(1);
                           }) / bytes});
+
+  // The envelope hot path: a real request off the same fixture service.
+  Result<soap::Envelope> request =
+      soap::build_request(service.wsdl, "echo", {{"arg0", "benchmark payload"}});
+  if (!request.ok()) {
+    std::cerr << "bench_pipeline: cannot build the envelope fixture\n";
+    return 1;
+  }
+  const std::string envelope_text = soap::write(*request);
+  const double envelope_bytes = static_cast<double>(envelope_text.size());
+
+  soap::set_streaming(false);
+  measurements.push_back({"env_dom_parse_ns_per_byte", time_ns([&] {
+                            Result<soap::Envelope> env = soap::parse(envelope_text);
+                            if (!env.ok()) std::exit(1);
+                          }) / envelope_bytes});
+  soap::set_streaming(true);
+  const double stream_parse_ns = time_ns([&] {
+    Result<soap::Envelope> env = soap::parse(envelope_text);
+    if (!env.ok()) std::exit(1);
+  });
+  measurements.push_back({"env_stream_parse_ns_per_byte", stream_parse_ns / envelope_bytes});
+  measurements.push_back({"env_stream_sniff_ns_per_byte", time_ns([&] {
+                            Result<std::vector<soap::ValidationIssue>> issues =
+                                soap::validate_request_text(service.wsdl, envelope_text);
+                            if (!issues.ok()) std::exit(1);
+                          }) / envelope_bytes});
+
+  // Streaming parse throughput at 16 workers: each worker parses its slice
+  // of a fixed envelope batch; the rate is envelopes over wall time.
+  {
+    const std::size_t per_slice =
+        std::max<std::size_t>(1, static_cast<std::size_t>(3e8 / (stream_parse_ns * 16.0)));
+    const std::size_t total = per_slice * 16;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::size_t> parsed = parallel_slices(
+        16, 16, [&](std::size_t begin, std::size_t end) {
+          std::size_t ok = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t n = 0; n < per_slice; ++n) {
+              if (soap::parse(envelope_text).ok()) ++ok;
+            }
+          }
+          return ok;
+        });
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::size_t ok_total = 0;
+    for (const std::size_t ok : parsed) ok_total += ok;
+    if (ok_total != total) {
+      std::cerr << "bench_pipeline: envelope worker sweep dropped parses\n";
+      return 1;
+    }
+    measurements.push_back({"envelopes_per_sec_16_workers",
+                            elapsed.count() > 0.0
+                                ? static_cast<double>(total) / elapsed.count()
+                                : 0.0,
+                            /*lower_is_better=*/false});
+  }
 
   interop::StudyConfig config;
   if (scale != 100) scale_config(config, scale);

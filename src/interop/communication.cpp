@@ -84,8 +84,10 @@ InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
   }
 
   if (sniffed_violations != nullptr) {
-    Result<soap::Envelope> request = soap::parse(call.request.body);
-    if (request.ok() && !soap::validate_request(service.wsdl, *request).empty()) {
+    // Streaming sniffer: no DOM, no Envelope — one pass over the wire bytes.
+    Result<std::vector<soap::ValidationIssue>> issues =
+        soap::validate_request_text(service.wsdl, call.request.body);
+    if (issues.ok() && !issues.value().empty()) {
       ++*sniffed_violations;
     }
   }

@@ -1,10 +1,21 @@
 #include "soap/envelope.hpp"
 
+#include <atomic>
+
+#include "soap/stream_frame.hpp"
 #include "xml/parser.hpp"
+#include "xml/pull.hpp"
 #include "xml/query.hpp"
 #include "xml/writer.hpp"
 
 namespace wsx::soap {
+
+namespace {
+std::atomic<bool> g_streaming{true};
+}  // namespace
+
+void set_streaming(bool enabled) { g_streaming.store(enabled, std::memory_order_relaxed); }
+bool streaming_enabled() { return g_streaming.load(std::memory_order_relaxed); }
 
 const char* to_string(SoapVersion version) {
   return version == SoapVersion::k11 ? "SOAP 1.1" : "SOAP 1.2";
@@ -71,39 +82,12 @@ std::string write(const Envelope& envelope) {
   return xml::write(root);
 }
 
-Result<Envelope> parse(std::string_view text) {
-  Result<xml::Element> root = xml::parse_element(text);
-  if (!root.ok()) return root.error();
+namespace {
 
-  xml::NamespaceScope scope;
-  scope.push(root.value());
-  std::optional<xml::QName> root_name = scope.resolve(root.value().name());
-  if (!root_name || root_name->local_name() != "Envelope") {
-    return Error{"soap.not-an-envelope", "root element is not a SOAP Envelope"};
-  }
-  SoapVersion version;
-  if (root_name->namespace_uri() == xml::ns::kSoapEnvelope) {
-    version = SoapVersion::k11;
-  } else if (root_name->namespace_uri() == xml::ns::kSoap12Envelope) {
-    version = SoapVersion::k12;
-  } else {
-    return Error{"soap.version-mismatch",
-                 "unknown envelope namespace '" + root_name->namespace_uri() + "'"};
-  }
-
-  Envelope envelope;
-  envelope.set_version(version);
-  if (const xml::Element* header = root.value().child("Header")) {
-    for (const xml::Element* entry : header->child_elements()) {
-      envelope.add_header(*entry);
-    }
-  }
-  const xml::Element* body = root.value().child("Body");
-  if (body == nullptr) return Error{"soap.missing-body", "envelope has no soap:Body"};
-  std::vector<const xml::Element*> payloads = body->child_elements();
-  if (payloads.empty()) return Error{"soap.empty-body", "soap:Body has no payload element"};
-
-  const xml::Element& payload = *payloads.front();
+/// Builds the Envelope model from its parts; shared by the DOM and
+/// streaming paths so fault recognition cannot diverge between them.
+Envelope assemble_envelope(SoapVersion version, std::vector<xml::Element> headers,
+                           xml::Element payload) {
   if (payload.local_name() == "Fault") {
     Fault fault;
     if (version == SoapVersion::k11) {
@@ -124,11 +108,75 @@ Result<Envelope> parse(std::string_view text) {
       if (const xml::Element* detail = payload.child("Detail")) fault.detail = detail->text();
     }
     Envelope result = Envelope::make_fault(std::move(fault), version);
-    for (const xml::Element& entry : envelope.header_entries()) result.add_header(entry);
+    for (xml::Element& entry : headers) result.add_header(std::move(entry));
     return result;
   }
-  envelope.body() = payload;
+  Envelope envelope;
+  envelope.set_version(version);
+  for (xml::Element& entry : headers) envelope.add_header(std::move(entry));
+  envelope.body() = std::move(payload);
   return envelope;
+}
+
+/// The historical path: materialise the whole document, then inspect it.
+Result<Envelope> parse_dom(std::string_view text) {
+  Result<xml::Element> root = xml::parse_element(text);
+  if (!root.ok()) return root.error();
+
+  detail::EnvelopeFrame frame;
+  frame.root_probe = xml::Element{root.value().name()};
+  frame.root_probe.attributes() = root.value().attributes();
+
+  std::vector<xml::Element> headers;
+  if (const xml::Element* header = root.value().child("Header")) {
+    for (const xml::Element* entry : header->child_elements()) headers.push_back(*entry);
+  }
+  std::optional<xml::Element> payload;
+  if (const xml::Element* body = root.value().child("Body")) {
+    frame.have_body = true;
+    std::vector<const xml::Element*> payloads = body->child_elements();
+    if (!payloads.empty()) {
+      frame.have_payload = true;
+      frame.payload_local = payloads.front()->local_name();
+      payload = *payloads.front();
+    }
+  }
+  Result<SoapVersion> version = detail::check_envelope_frame(frame);
+  if (!version.ok()) return version.error();
+  return assemble_envelope(version.value(), std::move(headers), std::move(*payload));
+}
+
+/// The hot path: one pass over the token stream; only header entries and
+/// the first body payload are ever materialised.
+Result<Envelope> parse_stream(std::string_view text) {
+  xml::pull::Tokenizer tok{text};
+  std::vector<xml::Element> headers;
+  std::optional<xml::Element> payload;
+
+  Result<detail::EnvelopeFrame> frame = detail::walk_envelope_frame(
+      tok,
+      [&](xml::pull::Tokenizer& t, const xml::pull::Token& start) -> Result<bool> {
+        Result<xml::Element> entry = xml::collect_element(t, start);
+        if (!entry.ok()) return entry.error();
+        headers.push_back(std::move(entry.value()));
+        return true;
+      },
+      [&](xml::pull::Tokenizer& t, const xml::pull::Token& start) -> Result<bool> {
+        Result<xml::Element> element = xml::collect_element(t, start);
+        if (!element.ok()) return element.error();
+        payload = std::move(element.value());
+        return true;
+      });
+  if (!frame.ok()) return frame.error();
+  Result<SoapVersion> version = detail::check_envelope_frame(frame.value());
+  if (!version.ok()) return version.error();
+  return assemble_envelope(version.value(), std::move(headers), std::move(*payload));
+}
+
+}  // namespace
+
+Result<Envelope> parse(std::string_view text) {
+  return streaming_enabled() ? parse_stream(text) : parse_dom(text);
 }
 
 }  // namespace wsx::soap

@@ -1,0 +1,187 @@
+// stream_frame.hpp — streaming walk of the SOAP envelope frame.
+//
+// Internal to wsx::soap: envelope.cpp (model build) and validate.cpp (the
+// zero-DOM request sniffer) both consume envelopes straight off the pull
+// token stream. This header holds the one walker that understands the
+// frame — root / Header / Body / first payload — so the two consumers
+// cannot disagree about which elements matter or how xml.* errors rank
+// against soap.* semantic errors. Consumers only differ in what they do
+// with header entries and the payload subtree (materialise a tree vs.
+// record local names), which is what the two callbacks are for.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.hpp"
+#include "soap/envelope.hpp"
+#include "xml/node.hpp"
+#include "xml/pull.hpp"
+#include "xml/qname.hpp"
+#include "xml/query.hpp"
+
+namespace wsx::soap::detail {
+
+/// Local part of a lexical name, mirroring Element::local_name().
+inline std::string_view local_of(std::string_view lexical) {
+  const std::size_t colon = lexical.find(':');
+  return colon == std::string_view::npos ? lexical : lexical.substr(colon + 1);
+}
+
+/// What one streaming pass over an envelope learns about its frame.
+struct EnvelopeFrame {
+  /// Root name + attributes only — enough for NamespaceScope resolution of
+  /// the root QName; no children are ever attached.
+  xml::Element root_probe;
+  bool have_body = false;
+  bool have_payload = false;
+  std::string payload_local;  ///< local name of the first Body payload
+};
+
+/// Walks a complete envelope document on `tok`. `on_header_entry(tok,
+/// start)` and `on_payload(tok, start)` are invoked with the kStartElement
+/// token of, respectively, each direct child element of the first Header
+/// and the first child element of the first Body; each MUST consume exactly
+/// that subtree (xml::collect_element or pull::skip_element) and return a
+/// Result — its error aborts the walk. Everything else (duplicate
+/// Header/Body elements, extra payloads, other root children, misc,
+/// epilog) is skipped here.
+///
+/// Error parity with the DOM path: the whole document is drained before
+/// the caller applies semantic checks, so any xml.* error anywhere in the
+/// input surfaces first, exactly as parse-then-inspect behaved.
+template <typename OnHeaderEntry, typename OnPayload>
+Result<EnvelopeFrame> walk_envelope_frame(xml::pull::Tokenizer& tok,
+                                          OnHeaderEntry&& on_header_entry,
+                                          OnPayload&& on_payload) {
+  EnvelopeFrame frame;
+
+  // Prolog + misc, then the root start tag.
+  for (;;) {
+    const xml::pull::Token& token = tok.next();
+    if (token.kind == xml::pull::TokenKind::kStartElement) {
+      frame.root_probe = xml::Element{std::string(token.name)};
+      if (token.attr_count > 0) {
+        frame.root_probe.attributes().reserve(token.attr_count);
+        for (std::size_t i = 0; i < token.attr_count; ++i) {
+          frame.root_probe.attributes().push_back(
+              xml::Attribute{std::string(token.attrs[i].name),
+                             std::string(token.attrs[i].value)});
+        }
+      }
+      break;
+    }
+    if (token.kind == xml::pull::TokenKind::kError ||
+        token.kind == xml::pull::TokenKind::kNeedMore ||
+        token.kind == xml::pull::TokenKind::kEndDocument) {
+      return tok.error();
+    }
+    // kStartDocument / kComment / kPi: not part of the frame.
+  }
+
+  bool have_header = false;
+  // Direct children of the root.
+  for (bool root_open = true; root_open;) {
+    const xml::pull::Token& token = tok.next();
+    switch (token.kind) {
+      case xml::pull::TokenKind::kStartElement: {
+        const std::string_view local = local_of(token.name);
+        if (local == "Header" && !have_header) {
+          have_header = true;
+          if (Result<bool> walked = [&]() -> Result<bool> {
+                for (;;) {
+                  const xml::pull::Token& entry = tok.next();
+                  if (entry.kind == xml::pull::TokenKind::kEndElement) return true;
+                  if (entry.kind == xml::pull::TokenKind::kStartElement) {
+                    Result<bool> consumed = on_header_entry(tok, entry);
+                    if (!consumed.ok()) return consumed.error();
+                  } else if (entry.kind == xml::pull::TokenKind::kError ||
+                             entry.kind == xml::pull::TokenKind::kNeedMore) {
+                    return tok.error();
+                  }
+                }
+              }();
+              !walked.ok()) {
+            return walked.error();
+          }
+        } else if (local == "Body" && !frame.have_body) {
+          frame.have_body = true;
+          for (bool body_open = true; body_open;) {
+            const xml::pull::Token& child = tok.next();
+            switch (child.kind) {
+              case xml::pull::TokenKind::kStartElement: {
+                Result<bool> consumed = [&]() -> Result<bool> {
+                  if (frame.have_payload) return xml::pull::skip_element(tok, child);
+                  frame.have_payload = true;
+                  frame.payload_local = std::string(local_of(child.name));
+                  return on_payload(tok, child);
+                }();
+                if (!consumed.ok()) return consumed.error();
+                break;
+              }
+              case xml::pull::TokenKind::kEndElement:
+                body_open = false;
+                break;
+              case xml::pull::TokenKind::kError:
+              case xml::pull::TokenKind::kNeedMore:
+                return tok.error();
+              default:
+                break;  // text/CDATA/comments/PIs inside Body
+            }
+          }
+        } else {
+          Result<bool> skipped = xml::pull::skip_element(tok, token);
+          if (!skipped.ok()) return skipped.error();
+        }
+        break;
+      }
+      case xml::pull::TokenKind::kEndElement:
+        root_open = false;
+        break;
+      case xml::pull::TokenKind::kError:
+      case xml::pull::TokenKind::kNeedMore:
+        return tok.error();
+      default:
+        break;  // text/CDATA/comments/PIs directly under the root
+    }
+  }
+
+  // Epilog: drain so trailing xml.* errors keep priority over soap.* ones.
+  for (;;) {
+    const xml::pull::Token& token = tok.next();
+    if (token.kind == xml::pull::TokenKind::kEndDocument) return frame;
+    if (token.kind == xml::pull::TokenKind::kError ||
+        token.kind == xml::pull::TokenKind::kNeedMore) {
+      return tok.error();
+    }
+  }
+}
+
+/// The semantic checks the DOM path applied after parsing, in the same
+/// order: root QName resolution → version → Body presence → payload
+/// presence. Returns the envelope version or the first soap.* error.
+inline Result<SoapVersion> check_envelope_frame(const EnvelopeFrame& frame) {
+  xml::NamespaceScope scope;
+  scope.push(frame.root_probe);
+  const std::optional<xml::QName> root_name = scope.resolve(frame.root_probe.name());
+  if (!root_name || root_name->local_name() != "Envelope") {
+    return Error{"soap.not-an-envelope", "root element is not a SOAP Envelope"};
+  }
+  SoapVersion version;
+  // Interned-id comparisons: the QName constructor already classified the
+  // URI, so the per-envelope version check is two integer compares.
+  if (root_name->namespace_id() == xml::ns::Id::kSoapEnvelope) {
+    version = SoapVersion::k11;
+  } else if (root_name->namespace_id() == xml::ns::Id::kSoap12Envelope) {
+    version = SoapVersion::k12;
+  } else {
+    return Error{"soap.version-mismatch",
+                 "unknown envelope namespace '" + root_name->namespace_uri() + "'"};
+  }
+  if (!frame.have_body) return Error{"soap.missing-body", "envelope has no soap:Body"};
+  if (!frame.have_payload) return Error{"soap.empty-body", "soap:Body has no payload element"};
+  return version;
+}
+
+}  // namespace wsx::soap::detail

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.hpp"
 #include "soap/envelope.hpp"
 #include "wsdl/model.hpp"
 
@@ -29,6 +31,15 @@ struct ValidationIssue {
 /// required ones).
 std::vector<ValidationIssue> validate_request(const wsdl::Definitions& defs,
                                               const Envelope& envelope);
+
+/// Zero-DOM sniffer: equivalent to soap::parse(text) followed by
+/// validate_request(defs, envelope) — a parse failure (xml.* / soap.*)
+/// returns that error, success returns the validation issues — but runs as
+/// one streaming pass that records only local names, materialising no tree
+/// at all. Honors the --no-stream escape hatch by falling back to the
+/// parse-then-validate pair.
+Result<std::vector<ValidationIssue>> validate_request_text(const wsdl::Definitions& defs,
+                                                           std::string_view text);
 
 /// Checks a response envelope for `operation`: the payload must be the
 /// "<operation>Response" wrapper with the declared return element (faults

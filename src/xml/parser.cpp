@@ -1,7 +1,12 @@
+// parser.cpp — DOM front-end over the streaming pull tokenizer.
+//
+// The tokenizer (xml/pull.*) owns every lexical decision: names, attributes,
+// entities, depth limits and error codes. This file only materialises the
+// token stream into the value-semantic tree, so the DOM and the streaming
+// SOAP path (soap/envelope.*) cannot disagree about whether an input is
+// well-formed or what error it produces.
 #include "xml/parser.hpp"
 
-#include <array>
-#include <cstring>
 #include <string>
 
 #include "common/strings.hpp"
@@ -9,374 +14,97 @@
 namespace wsx::xml {
 namespace {
 
-// Branch-free character classes. std::isalpha and friends are out-of-line
-// locale-aware calls; a 256-entry table keeps name/space scanning to a load
-// and a test per byte.
-enum : unsigned char { kNameStart = 1, kNameChar = 2, kSpace = 4 };
-
-constexpr std::array<unsigned char, 256> build_char_classes() {
-  std::array<unsigned char, 256> table{};
-  for (int c = 'A'; c <= 'Z'; ++c) table[c] = kNameStart | kNameChar;
-  for (int c = 'a'; c <= 'z'; ++c) table[c] = kNameStart | kNameChar;
-  table['_'] = table[':'] = kNameStart | kNameChar;
-  for (int c = '0'; c <= '9'; ++c) table[c] = kNameChar;
-  table['-'] = table['.'] = kNameChar;
-  table[' '] = table['\t'] = table['\r'] = table['\n'] = kSpace;
-  return table;
+Element element_from(const pull::Token& token) {
+  Element element{std::string(token.name)};
+  element.set_source_location(token.line, token.column);
+  if (token.attr_count > 0) {
+    element.attributes().reserve(token.attr_count < 4 ? 4 : token.attr_count);
+    for (std::size_t i = 0; i < token.attr_count; ++i) {
+      element.attributes().push_back(
+          Attribute{std::string(token.attrs[i].name), std::string(token.attrs[i].value)});
+    }
+  }
+  return element;
 }
-
-constexpr std::array<unsigned char, 256> kCharClass = build_char_classes();
-
-bool is_name_start(char c) {
-  return (kCharClass[static_cast<unsigned char>(c)] & kNameStart) != 0;
-}
-
-bool is_name_char(char c) {
-  return (kCharClass[static_cast<unsigned char>(c)] & kNameChar) != 0;
-}
-
-bool is_space(char c) { return (kCharClass[static_cast<unsigned char>(c)] & kSpace) != 0; }
-
-class Parser {
- public:
-  Parser(std::string_view input, const ParseOptions& options)
-      : input_(input), options_(options) {}
-
-  Result<Document> parse_document() {
-    Document doc;
-    skip_bom();
-    skip_misc_allowing_prolog(doc);
-    if (at_end()) return fail("xml.no-root", "document has no root element");
-    Result<Element> root = parse_element_node(0);
-    if (!root.ok()) return root.error();
-    doc.root = std::move(root.value());
-    skip_trailing_misc();
-    if (!at_end()) return fail("xml.trailing-content", "content after root element");
-    return doc;
-  }
-
- private:
-  struct Location {
-    std::size_t line;
-    std::size_t column;
-  };
-
-  bool at_end() const { return pos_ >= input_.size(); }
-  char peek() const { return input_[pos_]; }
-  bool looking_at(std::string_view token) const {
-    return input_.substr(pos_, token.size()) == token;
-  }
-
-  /// 1-based line/column of `pos`. Positions are only ever requested in
-  /// document order (element start tags, then errors at the failure point),
-  /// so the newline scan resumes from where the previous request stopped —
-  /// the parser itself moves with plain index arithmetic and pays nothing
-  /// for location tracking on the hot path.
-  Location location_at(std::size_t pos) {
-    const char* base = input_.data();
-    while (loc_scanned_ < pos) {
-      const void* nl = std::memchr(base + loc_scanned_, '\n', pos - loc_scanned_);
-      if (nl == nullptr) break;
-      const std::size_t idx = static_cast<std::size_t>(static_cast<const char*>(nl) - base);
-      ++line_;
-      line_start_ = idx + 1;
-      loc_scanned_ = idx + 1;
-    }
-    if (pos > loc_scanned_) loc_scanned_ = pos;
-    return Location{line_, pos - line_start_ + 1};
-  }
-
-  void skip_space() {
-    while (pos_ < input_.size() && is_space(input_[pos_])) ++pos_;
-  }
-
-  Error fail(std::string code, std::string_view what) {
-    const Location loc = location_at(pos_);
-    return Error{std::move(code), std::string(what) + " at line " + std::to_string(loc.line) +
-                                      ", column " + std::to_string(loc.column)};
-  }
-
-  void skip_bom() {
-    if (input_.substr(0, 3) == "\xEF\xBB\xBF") {
-      pos_ = 3;
-      // The BOM is not part of column accounting: column 1 stays the first
-      // real character, as it did when the BOM was skipped silently.
-      line_start_ = 3;
-      loc_scanned_ = 3;
-    }
-  }
-
-  void skip_misc_allowing_prolog(Document& doc) {
-    skip_space();
-    if (looking_at("<?xml")) {
-      const std::size_t end = input_.find("?>", pos_);
-      if (end == std::string_view::npos) return;  // malformed prolog caught later
-      const std::string_view prolog = input_.substr(pos_, end - pos_);
-      extract_pseudo_attribute(prolog, "version", doc.version);
-      extract_pseudo_attribute(prolog, "encoding", doc.encoding);
-      pos_ = end + 2;
-    }
-    skip_misc();
-  }
-
-  static void extract_pseudo_attribute(std::string_view prolog, std::string_view key,
-                                       std::string& out) {
-    const std::size_t key_pos = prolog.find(key);
-    if (key_pos == std::string_view::npos) return;
-    const std::size_t quote = prolog.find_first_of("\"'", key_pos);
-    if (quote == std::string_view::npos) return;
-    const char q = prolog[quote];
-    const std::size_t close = prolog.find(q, quote + 1);
-    if (close == std::string_view::npos) return;
-    out = std::string(prolog.substr(quote + 1, close - quote - 1));
-  }
-
-  void skip_misc() {
-    while (true) {
-      skip_space();
-      if (looking_at("<!--")) {
-        const std::size_t end = input_.find("-->", pos_);
-        if (end == std::string_view::npos) {
-          pos_ = input_.size();
-          return;
-        }
-        pos_ = end + 3;
-      } else if (looking_at("<?")) {
-        const std::size_t end = input_.find("?>", pos_);
-        if (end == std::string_view::npos) {
-          pos_ = input_.size();
-          return;
-        }
-        pos_ = end + 2;
-      } else if (looking_at("<!DOCTYPE")) {
-        // Skip doctype without internal subset; reject subsets.
-        std::size_t scan = pos_;
-        int depth = 0;
-        for (; scan < input_.size(); ++scan) {
-          if (input_[scan] == '[') ++depth;
-          if (input_[scan] == ']') --depth;
-          if (input_[scan] == '>' && depth == 0) break;
-        }
-        pos_ = scan < input_.size() ? scan + 1 : input_.size();
-      } else {
-        return;
-      }
-    }
-  }
-
-  void skip_trailing_misc() { skip_misc(); }
-
-  /// Scans a name token in place; the view aliases input_ and stays valid
-  /// for the parse. Callers that store the name copy it exactly once.
-  Result<std::string_view> scan_name() {
-    if (at_end() || !is_name_start(peek())) return fail("xml.bad-name", "expected a name");
-    const std::size_t start = pos_;
-    std::size_t p = pos_ + 1;
-    while (p < input_.size() && is_name_char(input_[p])) ++p;
-    pos_ = p;
-    return input_.substr(start, p - start);
-  }
-
-  Result<std::string> decode_entities(std::string_view raw) {
-    std::size_t amp = raw.find('&');
-    if (amp == std::string_view::npos) return std::string(raw);  // common case: no entities
-    std::string out;
-    out.reserve(raw.size());
-    out.append(raw, 0, amp);
-    for (std::size_t i = amp; i < raw.size(); ++i) {
-      if (raw[i] != '&') {
-        const std::size_t next = raw.find('&', i);
-        const std::size_t run_end = next == std::string_view::npos ? raw.size() : next;
-        out.append(raw, i, run_end - i);
-        i = run_end - 1;
-        continue;
-      }
-      const std::size_t semi = raw.find(';', i);
-      if (semi == std::string_view::npos) return fail("xml.bad-entity", "unterminated entity");
-      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
-      if (entity == "lt") {
-        out += '<';
-      } else if (entity == "gt") {
-        out += '>';
-      } else if (entity == "amp") {
-        out += '&';
-      } else if (entity == "apos") {
-        out += '\'';
-      } else if (entity == "quot") {
-        out += '"';
-      } else if (!entity.empty() && entity[0] == '#') {
-        unsigned long value = 0;
-        try {
-          value = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')
-                      ? std::stoul(std::string(entity.substr(2)), nullptr, 16)
-                      : std::stoul(std::string(entity.substr(1)), nullptr, 10);
-        } catch (...) {
-          return fail("xml.bad-entity", "malformed character reference");
-        }
-        append_utf8(out, value);
-      } else {
-        return fail("xml.unknown-entity", "unknown entity '&" + std::string(entity) + ";'");
-      }
-      i = semi;
-    }
-    return out;
-  }
-
-  static void append_utf8(std::string& out, unsigned long cp) {
-    if (cp < 0x80) {
-      out += static_cast<char>(cp);
-    } else if (cp < 0x800) {
-      out += static_cast<char>(0xC0 | (cp >> 6));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
-    } else if (cp < 0x10000) {
-      out += static_cast<char>(0xE0 | (cp >> 12));
-      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
-    } else {
-      out += static_cast<char>(0xF0 | (cp >> 18));
-      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
-      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (cp & 0x3F));
-    }
-  }
-
-  Result<Attribute> parse_attribute() {
-    Result<std::string_view> name = scan_name();
-    if (!name.ok()) return name.error();
-    skip_space();
-    if (at_end() || peek() != '=') return fail("xml.expected-eq", "expected '=' after attribute");
-    ++pos_;
-    skip_space();
-    if (at_end() || (peek() != '"' && peek() != '\'')) {
-      return fail("xml.expected-quote", "expected quoted attribute value");
-    }
-    const char quote = peek();
-    ++pos_;
-    const std::size_t start = pos_;
-    const std::size_t stop = input_.find_first_of(quote == '"' ? "\"<" : "'<", pos_);
-    if (stop == std::string_view::npos) {
-      pos_ = input_.size();
-      return fail("xml.unterminated-attr", "unterminated attribute value");
-    }
-    pos_ = stop;
-    if (input_[stop] == '<') return fail("xml.lt-in-attr", "'<' not allowed in attribute value");
-    Result<std::string> value = decode_entities(input_.substr(start, stop - start));
-    if (!value.ok()) return value.error();
-    ++pos_;  // closing quote
-    return Attribute{std::string(name.value()), std::move(value.value())};
-  }
-
-  Result<Element> parse_element_node(std::size_t depth) {
-    if (depth > options_.max_depth) return fail("xml.too-deep", "maximum nesting depth exceeded");
-    if (at_end() || peek() != '<') return fail("xml.expected-element", "expected '<'");
-    const Location tag_loc = location_at(pos_);
-    ++pos_;
-    Result<std::string_view> name = scan_name();
-    if (!name.ok()) return name.error();
-    Element element{std::string(name.value())};
-    element.set_source_location(tag_loc.line, tag_loc.column);
-
-    while (true) {
-      skip_space();
-      if (at_end()) return fail("xml.unterminated-tag", "unterminated start tag");
-      if (peek() == '>') {
-        ++pos_;
-        break;
-      }
-      if (looking_at("/>")) {
-        pos_ += 2;
-        return element;
-      }
-      Result<Attribute> attr = parse_attribute();
-      if (!attr.ok()) return attr.error();
-      if (element.has_attribute(attr.value().name)) {
-        return fail("xml.duplicate-attr", "duplicate attribute '" + attr.value().name + "'");
-      }
-      if (element.attributes().empty()) element.attributes().reserve(4);
-      element.attributes().push_back(std::move(attr.value()));
-    }
-
-    // Content until matching end tag. Dispatch on the character after '<'
-    // instead of re-comparing token substrings for every child.
-    while (true) {
-      if (at_end()) {
-        return fail("xml.unterminated-element", "missing end tag for '" + element.name() + "'");
-      }
-      if (peek() != '<') {
-        // Character data.
-        const std::size_t start = pos_;
-        const std::size_t lt = input_.find('<', pos_);
-        pos_ = lt == std::string_view::npos ? input_.size() : lt;
-        Result<std::string> text = decode_entities(input_.substr(start, pos_ - start));
-        if (!text.ok()) return text.error();
-        if (!trim(text.value()).empty()) element.add_text(std::move(text.value()));
-        continue;
-      }
-      const char next = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
-      if (next == '/') {
-        pos_ += 2;
-        Result<std::string_view> end_name = scan_name();
-        if (!end_name.ok()) return end_name.error();
-        if (end_name.value() != element.name()) {
-          return fail("xml.mismatched-tag", "end tag '" + std::string(end_name.value()) +
-                                                "' does not match start tag '" + element.name() +
-                                                "'");
-        }
-        skip_space();
-        if (at_end() || peek() != '>') return fail("xml.bad-end-tag", "malformed end tag");
-        ++pos_;
-        return element;
-      }
-      if (next == '!') {
-        if (looking_at("<!--")) {
-          const std::size_t end = input_.find("-->", pos_);
-          if (end == std::string_view::npos) {
-            return fail("xml.unterminated-comment", "unterminated comment");
-          }
-          if (options_.keep_comments) {
-            element.add_comment(std::string(input_.substr(pos_ + 4, end - pos_ - 4)));
-          }
-          pos_ = end + 3;
-          continue;
-        }
-        if (looking_at("<![CDATA[")) {
-          const std::size_t end = input_.find("]]>", pos_);
-          if (end == std::string_view::npos) {
-            return fail("xml.unterminated-cdata", "unterminated CDATA section");
-          }
-          element.add_cdata(std::string(input_.substr(pos_ + 9, end - pos_ - 9)));
-          pos_ = end + 3;
-          continue;
-        }
-      } else if (next == '?') {
-        const std::size_t end = input_.find("?>", pos_);
-        if (end == std::string_view::npos) {
-          return fail("xml.unterminated-pi", "unterminated processing instruction");
-        }
-        pos_ = end + 2;
-        continue;
-      }
-      if (element.children().empty()) element.children().reserve(4);
-      Result<Element> child = parse_element_node(depth + 1);
-      if (!child.ok()) return child.error();
-      element.add_child(std::move(child.value()));
-    }
-  }
-
-  std::string_view input_;
-  ParseOptions options_;
-  std::size_t pos_ = 0;
-  // Lazy location state: how far newline counting has progressed, the line
-  // number at that point, and the index just past the last '\n' seen.
-  std::size_t loc_scanned_ = 0;
-  std::size_t line_ = 1;
-  std::size_t line_start_ = 0;
-};
 
 }  // namespace
 
+Result<Element> collect_element(pull::Tokenizer& tok, const pull::Token& start,
+                                const ParseOptions& options) {
+  Element root = element_from(start);
+  // Ancestor chain into the tree under construction. Pointers stay valid:
+  // only the top element's children vector ever grows, and no pointer to a
+  // sibling below the top is retained.
+  std::vector<Element*> open{&root};
+  while (!open.empty()) {
+    const pull::Token& token = tok.next();
+    switch (token.kind) {
+      case pull::TokenKind::kStartElement: {
+        Element& parent = *open.back();
+        if (parent.children().empty()) parent.children().reserve(4);
+        open.push_back(&parent.add_child(element_from(token)));
+        break;
+      }
+      case pull::TokenKind::kEndElement:
+        open.pop_back();
+        break;
+      case pull::TokenKind::kText:
+        // Whitespace-only runs (pretty-printed indentation) are dropped,
+        // matching the historical DOM behaviour.
+        if (!trim(token.value).empty()) open.back()->add_text(std::string(token.value));
+        break;
+      case pull::TokenKind::kCData:
+        open.back()->add_cdata(std::string(token.value));
+        break;
+      case pull::TokenKind::kComment:
+        if (options.keep_comments) open.back()->add_comment(std::string(token.value));
+        break;
+      case pull::TokenKind::kPi:
+        break;  // skipped, as before
+      default:
+        // kError / kNeedMore (and, defensively, anything else mid-subtree).
+        return tok.error();
+    }
+  }
+  return root;
+}
+
 Result<Document> parse(std::string_view input, const ParseOptions& options) {
-  return Parser{input, options}.parse_document();
+  pull::Tokenizer tok{input, pull::TokenizerOptions{options.max_depth}};
+  Document doc;
+  for (;;) {
+    const pull::Token& token = tok.next();
+    switch (token.kind) {
+      case pull::TokenKind::kStartDocument:
+        // Empty view = pseudo-attribute absent (keep the defaults); a
+        // present-but-empty value has a non-null data pointer.
+        if (token.version.data() != nullptr) doc.version = std::string(token.version);
+        if (token.encoding.data() != nullptr) doc.encoding = std::string(token.encoding);
+        break;
+      case pull::TokenKind::kComment:
+      case pull::TokenKind::kPi:
+        break;  // misc before the root has nowhere to live in the Document
+      case pull::TokenKind::kStartElement: {
+        Result<Element> root = collect_element(tok, token, options);
+        if (!root.ok()) return root.error();
+        doc.root = std::move(root.value());
+        // Trailing misc after the root; the tokenizer rejects real content.
+        for (;;) {
+          const pull::Token& trailing = tok.next();
+          if (trailing.kind == pull::TokenKind::kEndDocument) return doc;
+          if (trailing.kind == pull::TokenKind::kError ||
+              trailing.kind == pull::TokenKind::kNeedMore) {
+            return tok.error();
+          }
+        }
+      }
+      case pull::TokenKind::kEndDocument:
+        // Unreachable: the tokenizer reports xml.no-root itself.
+        return Error{"xml.no-root", "document has no root element"};
+      default:
+        return tok.error();
+    }
+  }
 }
 
 Result<Element> parse_element(std::string_view input, const ParseOptions& options) {

@@ -12,6 +12,7 @@
 
 #include "common/result.hpp"
 #include "xml/node.hpp"
+#include "xml/pull.hpp"
 
 namespace wsx::xml {
 
@@ -28,5 +29,14 @@ Result<Document> parse(std::string_view input, const ParseOptions& options = {})
 
 /// Parses a document and returns just the root element.
 Result<Element> parse_element(std::string_view input, const ParseOptions& options = {});
+
+/// Materialises the element whose kStartElement token was just returned by
+/// `tok` into a DOM subtree, consuming the stream through its matching end
+/// tag. Construction rules are identical to parse() — whitespace-only text
+/// dropped, comments per `options` — so streaming consumers that need a
+/// tree for one subtree (a SOAP body payload, a header entry) get exactly
+/// what the DOM path would have built.
+Result<Element> collect_element(pull::Tokenizer& tok, const pull::Token& start,
+                                const ParseOptions& options = {});
 
 }  // namespace wsx::xml

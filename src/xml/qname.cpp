@@ -2,6 +2,46 @@
 
 namespace wsx::xml {
 
+namespace ns {
+
+// The length switch below hard-codes the URI lengths; keep it honest.
+static_assert(kXsd.size() == 32 && kWsdl.size() == 32);
+static_assert(kXsi.size() == 41 && kSoapEnvelope.size() == 41 && kSoapEncoding.size() == 41);
+static_assert(kWsdlSoap.size() == 37);
+static_assert(kSoap12Envelope.size() == 39);
+static_assert(kSoapHttp.size() == 36 && kWsAddressing.size() == 36 && kXmlNs.size() == 36);
+
+Id intern(std::string_view uri) {
+  if (uri.empty()) return Id::kNone;
+  switch (uri.size()) {
+    case 32:
+      if (uri == kXsd) return Id::kXsd;
+      if (uri == kWsdl) return Id::kWsdl;
+      break;
+    case 41:
+      if (uri == kSoapEnvelope) return Id::kSoapEnvelope;
+      if (uri == kXsi) return Id::kXsi;
+      if (uri == kSoapEncoding) return Id::kSoapEncoding;
+      break;
+    case 37:
+      if (uri == kWsdlSoap) return Id::kWsdlSoap;
+      break;
+    case 39:
+      if (uri == kSoap12Envelope) return Id::kSoap12Envelope;
+      break;
+    case 36:
+      if (uri == kSoapHttp) return Id::kSoapHttp;
+      if (uri == kWsAddressing) return Id::kWsAddressing;
+      if (uri == kXmlNs) return Id::kXmlNs;
+      break;
+    default:
+      break;
+  }
+  return Id::kOther;
+}
+
+}  // namespace ns
+
 std::string QName::expanded() const {
   if (namespace_uri_.empty()) return local_name_;
   return "{" + namespace_uri_ + "}" + local_name_;

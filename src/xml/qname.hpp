@@ -19,6 +19,29 @@ inline constexpr std::string_view kSoapEncoding = "http://schemas.xmlsoap.org/so
 inline constexpr std::string_view kSoapHttp = "http://schemas.xmlsoap.org/soap/http";
 inline constexpr std::string_view kWsAddressing = "http://www.w3.org/2005/08/addressing";
 inline constexpr std::string_view kXmlNs = "http://www.w3.org/XML/1998/namespace";
+
+/// Interned identity for the namespaces above. Envelope-path QName
+/// comparisons resolve to an integer compare when both sides are interned
+/// (which every SOAP/WSDL/XSD name on the hot path is), instead of
+/// re-comparing the URI strings on every check.
+enum class Id : unsigned char {
+  kOther = 0,  ///< any URI not in this list — compare the strings
+  kNone,       ///< empty URI (unqualified name)
+  kXsd,
+  kXsi,
+  kWsdl,
+  kWsdlSoap,
+  kSoapEnvelope,
+  kSoap12Envelope,
+  kSoapEncoding,
+  kSoapHttp,
+  kWsAddressing,
+  kXmlNs,
+};
+
+/// Maps a URI to its interned Id (kOther when not well-known). One length
+/// switch plus at most two memcmps.
+Id intern(std::string_view uri);
 }  // namespace ns
 
 /// A namespace-qualified name. The prefix is presentation-only and ignored
@@ -27,15 +50,22 @@ class QName {
  public:
   QName() = default;
   QName(std::string namespace_uri, std::string local_name)
-      : namespace_uri_(std::move(namespace_uri)), local_name_(std::move(local_name)) {}
+      : namespace_uri_(std::move(namespace_uri)),
+        local_name_(std::move(local_name)),
+        ns_id_(ns::intern(namespace_uri_)) {}
   QName(std::string namespace_uri, std::string local_name, std::string prefix)
       : namespace_uri_(std::move(namespace_uri)),
         local_name_(std::move(local_name)),
-        prefix_(std::move(prefix)) {}
+        prefix_(std::move(prefix)),
+        ns_id_(ns::intern(namespace_uri_)) {}
 
   const std::string& namespace_uri() const { return namespace_uri_; }
   const std::string& local_name() const { return local_name_; }
   const std::string& prefix() const { return prefix_; }
+
+  /// Interned namespace identity, computed once at construction. Hot-path
+  /// checks compare this against a ns::Id instead of the URI string.
+  ns::Id namespace_id() const { return ns_id_; }
 
   bool empty() const { return local_name_.empty(); }
 
@@ -45,7 +75,11 @@ class QName {
   std::string lexical() const;
 
   friend bool operator==(const QName& a, const QName& b) {
-    return a.namespace_uri_ == b.namespace_uri_ && a.local_name_ == b.local_name_;
+    // Interned ids disagree → the URIs differ; both kOther → unknown URIs
+    // that still need the string compare.
+    if (a.ns_id_ != b.ns_id_) return false;
+    if (a.ns_id_ == ns::Id::kOther && a.namespace_uri_ != b.namespace_uri_) return false;
+    return a.local_name_ == b.local_name_;
   }
   friend bool operator!=(const QName& a, const QName& b) { return !(a == b); }
   friend bool operator<(const QName& a, const QName& b) {
@@ -57,6 +91,7 @@ class QName {
   std::string namespace_uri_;
   std::string local_name_;
   std::string prefix_;
+  ns::Id ns_id_ = ns::Id::kNone;
 };
 
 /// Convenience: QName in the XML Schema namespace (e.g. xsd("string")).

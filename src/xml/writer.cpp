@@ -1,11 +1,33 @@
 #include "xml/writer.hpp"
 
+#include <array>
+
 namespace wsx::xml {
 namespace {
 
+// Escape classes per byte: most values contain nothing to escape, so the
+// writer scans with a table lookup and bulk-appends the clean runs instead
+// of appending character by character. Output bytes are identical to the
+// historical per-character writer: '<' '>' '&' always escape, '"' only
+// inside attribute values, '\'' never.
+enum : unsigned char { kEscapeInText = 1, kEscapeInAttr = 2 };
+
+constexpr std::array<unsigned char, 256> build_escape_classes() {
+  std::array<unsigned char, 256> table{};
+  table['<'] = table['>'] = table['&'] = kEscapeInText | kEscapeInAttr;
+  table['"'] = kEscapeInAttr;
+  return table;
+}
+
+constexpr std::array<unsigned char, 256> kEscapeClass = build_escape_classes();
+
 void append_escaped(std::string& out, std::string_view text, bool in_attribute) {
-  for (char c : text) {
-    switch (c) {
+  const unsigned char mask = in_attribute ? kEscapeInAttr : kEscapeInText;
+  std::size_t clean_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if ((kEscapeClass[static_cast<unsigned char>(text[i])] & mask) == 0) continue;
+    out.append(text, clean_start, i - clean_start);
+    switch (text[i]) {
       case '<':
         out += "&lt;";
         break;
@@ -15,17 +37,12 @@ void append_escaped(std::string& out, std::string_view text, bool in_attribute) 
       case '&':
         out += "&amp;";
         break;
-      case '"':
-        if (in_attribute) {
-          out += "&quot;";
-        } else {
-          out += c;
-        }
-        break;
-      default:
-        out += c;
+      default:  // '"', only reachable with the attribute mask
+        out += "&quot;";
     }
+    clean_start = i + 1;
   }
+  out.append(text, clean_start, text.size() - clean_start);
 }
 
 class Writer {

@@ -1,0 +1,126 @@
+// stream_campaign_equivalence_test — the streaming envelope path must be
+// invisible in every campaign output, exactly like the parse cache: the
+// communication study and the chaos campaign run with streaming on
+// (default) and off (--no-stream), at jobs 1 and jobs 8, and must produce
+// byte-identical artefacts. Campaign-level complement to the per-envelope
+// differential pack in stream_equivalence_test.cpp; registered in the slow
+// tier next to cache_equivalence_test.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "catalog/dotnet_catalog.hpp"
+#include "catalog/java_catalog.hpp"
+#include "chaos/campaign.hpp"
+#include "interop/communication.hpp"
+#include "interop/report_formats.hpp"
+#include "soap/envelope.hpp"
+
+namespace wsx {
+namespace {
+
+struct StreamingGuard {
+  ~StreamingGuard() { soap::set_streaming(true); }
+};
+
+/// Same sizing rationale as cache_equivalence_test: small, but enough that
+/// 8 workers all get non-empty slices.
+catalog::JavaCatalogSpec small_java() {
+  catalog::JavaCatalogSpec spec;
+  spec.plain_beans = 40;
+  spec.throwable_clean = 8;
+  spec.throwable_raw = 2;
+  spec.raw_generic_beans = 4;
+  spec.anytype_array_beans = 2;
+  spec.no_default_ctor = 12;
+  spec.abstract_classes = 6;
+  spec.interfaces = 8;
+  spec.generic_types = 4;
+  return spec;
+}
+
+catalog::DotNetCatalogSpec small_dotnet() {
+  catalog::DotNetCatalogSpec spec;
+  spec.plain_types = 42;
+  spec.dataset_plain = 2;
+  spec.deep_nesting_clean = 6;
+  spec.deep_nesting_pathological = 1;
+  spec.non_serializable = 16;
+  spec.no_default_ctor = 14;
+  spec.generic_types = 8;
+  spec.abstract_classes = 5;
+  spec.interfaces = 4;
+  return spec;
+}
+
+struct CommArtifacts {
+  std::string csv;
+  std::string text;
+
+  bool operator==(const CommArtifacts&) const = default;
+};
+
+CommArtifacts run_comm(bool streaming, std::size_t threads) {
+  StreamingGuard guard;
+  soap::set_streaming(streaming);
+  interop::StudyConfig config;
+  config.java_spec = small_java();
+  config.dotnet_spec = small_dotnet();
+  config.threads = threads;
+  const interop::CommunicationResult result = interop::run_communication_study(config);
+  CommArtifacts out;
+  out.csv = interop::communication_csv(result);
+  out.text = interop::format_communication(result);
+  return out;
+}
+
+TEST(StreamCampaignEquivalence, CommunicationOutputsAreIdentical) {
+  const CommArtifacts on1 = run_comm(/*streaming=*/true, /*threads=*/1);
+  const CommArtifacts off1 = run_comm(/*streaming=*/false, /*threads=*/1);
+  const CommArtifacts on8 = run_comm(/*streaming=*/true, /*threads=*/8);
+  const CommArtifacts off8 = run_comm(/*streaming=*/false, /*threads=*/8);
+  EXPECT_EQ(on1, off1);
+  EXPECT_EQ(on1, on8);
+  EXPECT_EQ(on1, off8);
+  EXPECT_NE(on1.csv.find(','), std::string::npos);
+}
+
+struct ChaosArtifacts {
+  std::string csv;
+  std::string recovery_json;
+
+  bool operator==(const ChaosArtifacts&) const = default;
+};
+
+ChaosArtifacts run_chaos(bool streaming, std::size_t jobs) {
+  StreamingGuard guard;
+  soap::set_streaming(streaming);
+  chaos::ChaosConfig config;
+  config.java_spec = small_java();
+  config.dotnet_spec = small_dotnet();
+  config.plan.seed = 7;
+  config.calls_per_pair = 2;
+  config.jobs = jobs;
+  const chaos::ChaosResult result = chaos::run_chaos_study(config);
+  ChaosArtifacts out;
+  out.csv = chaos::chaos_csv(result);
+  out.recovery_json = chaos::chaos_recovery_json(result);
+  return out;
+}
+
+TEST(StreamCampaignEquivalence, ChaosOutputsAreIdentical) {
+  // The chaos campaign feeds corrupted bodies straight into the envelope
+  // parser, so this also exercises DOM/stream error parity at scale.
+  const ChaosArtifacts on1 = run_chaos(/*streaming=*/true, /*jobs=*/1);
+  const ChaosArtifacts off1 = run_chaos(/*streaming=*/false, /*jobs=*/1);
+  const ChaosArtifacts on8 = run_chaos(/*streaming=*/true, /*jobs=*/8);
+  const ChaosArtifacts off8 = run_chaos(/*streaming=*/false, /*jobs=*/8);
+  EXPECT_EQ(on1, off1);
+  EXPECT_EQ(on1, on8);
+  EXPECT_EQ(on1, off8);
+  EXPECT_NE(on1.csv.find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsx

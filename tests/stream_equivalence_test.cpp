@@ -1,0 +1,362 @@
+// Differential tests: the streaming SOAP envelope path (pull tokenizer,
+// soap/stream_frame.hpp) against the DOM path (--no-stream). The two are
+// one scanner with two consumers, and these tests pin the contract that
+// makes the escape hatch safe: identical envelope models, identical
+// errors, identical validation verdicts on every input.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/java_catalog.hpp"
+#include "frameworks/invocation.hpp"
+#include "frameworks/registry.hpp"
+#include "soap/envelope.hpp"
+#include "soap/message.hpp"
+#include "soap/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace wsx {
+namespace {
+
+/// Restores the default (streaming on) no matter how a test exits.
+struct StreamingGuard {
+  ~StreamingGuard() { soap::set_streaming(true); }
+};
+
+/// Owning, comparable digest of a parse outcome. Serialization covers the
+/// whole model (headers, body, fault rebuild), so two equal snapshots mean
+/// the two paths produced the same envelope.
+struct Snapshot {
+  bool ok = false;
+  std::string error_code;
+  std::string error_message;
+  std::string version;
+  std::size_t header_count = 0;
+  bool is_fault = false;
+  soap::Fault fault;
+  bool must_understand = false;
+  std::string serialized;
+
+  bool operator==(const Snapshot& other) const = default;
+};
+
+Snapshot parse_with(bool streaming, std::string_view text) {
+  StreamingGuard guard;
+  soap::set_streaming(streaming);
+  Result<soap::Envelope> envelope = soap::parse(text);
+  Snapshot snap;
+  snap.ok = envelope.ok();
+  if (!envelope.ok()) {
+    snap.error_code = envelope.error().code;
+    snap.error_message = envelope.error().message;
+    return snap;
+  }
+  snap.version = to_string(envelope->version());
+  snap.header_count = envelope->header_entries().size();
+  snap.is_fault = envelope->is_fault();
+  if (envelope->is_fault()) snap.fault = envelope->fault();
+  snap.must_understand = envelope->has_must_understand_headers();
+  snap.serialized = soap::write(*envelope);
+  return snap;
+}
+
+/// Asserts DOM/stream equivalence and returns the streaming outcome for
+/// further, input-specific assertions.
+Snapshot expect_equivalent(const std::string& text) {
+  const Snapshot stream = parse_with(true, text);
+  const Snapshot dom = parse_with(false, text);
+  EXPECT_EQ(stream, dom) << "input:\n" << text;
+  return stream;
+}
+
+const char* kSoap11 = "http://schemas.xmlsoap.org/soap/envelope/";
+const char* kSoap12 = "http://www.w3.org/2003/05/soap-envelope";
+
+std::string envelope_text(const std::string& ns, const std::string& inner) {
+  return "<soapenv:Envelope xmlns:soapenv=\"" + ns + "\">" + inner +
+         "</soapenv:Envelope>";
+}
+
+TEST(StreamEquivalence, MinimalRequestEnvelope) {
+  const Snapshot snap = expect_equivalent(
+      envelope_text(kSoap11, "<soapenv:Body><echo xmlns=\"urn:echo\">"
+                             "<arg0>hi</arg0></echo></soapenv:Body>"));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_EQ(snap.version, "SOAP 1.1");
+  EXPECT_FALSE(snap.is_fault);
+}
+
+TEST(StreamEquivalence, Soap12Envelope) {
+  const Snapshot snap = expect_equivalent(
+      envelope_text(kSoap12, "<soapenv:Body><ping/></soapenv:Body>"));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_EQ(snap.version, "SOAP 1.2");
+}
+
+TEST(StreamEquivalence, HeaderEntriesSurviveInOrder) {
+  const Snapshot snap = expect_equivalent(envelope_text(
+      kSoap11,
+      "<soapenv:Header><h:first xmlns:h=\"urn:h\" soapenv:mustUnderstand=\"1\">"
+      "<h:inner>x</h:inner></h:first><h:second xmlns:h=\"urn:h\"/>"
+      "</soapenv:Header><soapenv:Body><op/></soapenv:Body>"));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_EQ(snap.header_count, 2u);
+  EXPECT_TRUE(snap.must_understand);
+}
+
+TEST(StreamEquivalence, BodyBeforeHeaderStillFindsBoth) {
+  const Snapshot snap = expect_equivalent(envelope_text(
+      kSoap11, "<soapenv:Body><op/></soapenv:Body>"
+               "<soapenv:Header><h xmlns=\"urn:h\"/></soapenv:Header>"));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_EQ(snap.header_count, 1u);
+}
+
+TEST(StreamEquivalence, OnlyFirstBodyPayloadIsKept) {
+  const Snapshot snap = expect_equivalent(envelope_text(
+      kSoap11, "<soapenv:Body><first><in>1</in></first><second/><third/>"
+               "</soapenv:Body>"));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_NE(snap.serialized.find("first"), std::string::npos);
+  EXPECT_EQ(snap.serialized.find("second"), std::string::npos);
+}
+
+TEST(StreamEquivalence, DuplicateHeaderAndBodyElements) {
+  expect_equivalent(envelope_text(
+      kSoap11, "<soapenv:Header><a/></soapenv:Header>"
+               "<soapenv:Header><b/></soapenv:Header>"
+               "<soapenv:Body><op/></soapenv:Body>"
+               "<soapenv:Body><other/></soapenv:Body>"));
+}
+
+TEST(StreamEquivalence, UnprefixedEnvelopeWithDefaultNamespace) {
+  expect_equivalent("<Envelope xmlns=\"" + std::string(kSoap11) +
+                    "\"><Body><op/></Body></Envelope>");
+}
+
+TEST(StreamEquivalence, UnusualPrefixesAndMixedContent) {
+  expect_equivalent(
+      "<?xml version=\"1.0\"?><!--lead--><e:Envelope xmlns:e=\"" +
+      std::string(kSoap11) +
+      "\">\n  <!--x--><?pi data?><e:Body> text <pay:load xmlns:pay=\"urn:p\">"
+      "<![CDATA[raw & <unescaped>]]>and &amp; entities</pay:load> tail "
+      "</e:Body>\n</e:Envelope><!--trail-->");
+}
+
+TEST(StreamEquivalence, FaultEnvelopesRebuildIdentically) {
+  for (soap::SoapVersion version : {soap::SoapVersion::k11, soap::SoapVersion::k12}) {
+    const soap::Envelope fault = soap::Envelope::make_fault(
+        soap::Fault{"soap:Client", "bad things & worse", "detail <text>"}, version);
+    const Snapshot snap = expect_equivalent(soap::write(fault));
+    ASSERT_TRUE(snap.ok) << snap.error_message;
+    EXPECT_TRUE(snap.is_fault);
+    EXPECT_EQ(snap.fault.fault_code, "soap:Client");
+    EXPECT_EQ(snap.fault.fault_string, "bad things & worse");
+    EXPECT_EQ(snap.fault.detail, "detail <text>");
+  }
+}
+
+TEST(StreamEquivalence, SemanticErrorsMatch) {
+  // One input per soap.* verdict, plus assorted near-misses.
+  const Snapshot not_envelope = expect_equivalent("<root/>");
+  EXPECT_EQ(not_envelope.error_code, "soap.not-an-envelope");
+  const Snapshot bad_ns = expect_equivalent(
+      envelope_text("urn:not-soap", "<soapenv:Body><op/></soapenv:Body>"));
+  EXPECT_EQ(bad_ns.error_code, "soap.version-mismatch");
+  const Snapshot no_body = expect_equivalent(
+      envelope_text(kSoap11, "<soapenv:Header><h/></soapenv:Header>"));
+  EXPECT_EQ(no_body.error_code, "soap.missing-body");
+  const Snapshot empty_body = expect_equivalent(
+      envelope_text(kSoap11, "<soapenv:Body> just text </soapenv:Body>"));
+  EXPECT_EQ(empty_body.error_code, "soap.empty-body");
+  // An Envelope local name under no namespace at all.
+  expect_equivalent("<Envelope><Body><op/></Body></Envelope>");
+}
+
+TEST(StreamEquivalence, XmlErrorsOutrankSemanticOnes) {
+  // The malformed tail sits after a complete-looking frame; both paths
+  // must still report the xml.* error, not a soap.* verdict.
+  const Snapshot snap = expect_equivalent(
+      envelope_text(kSoap11, "<soapenv:Body><op/></soapenv:Body><bad>"));
+  EXPECT_EQ(snap.error_code, "xml.mismatched-tag");
+  const Snapshot truncated = expect_equivalent(
+      "<soapenv:Envelope xmlns:soapenv=\"" + std::string(kSoap11) +
+      "\"><soapenv:Body><op/></soapenv:Body>");
+  EXPECT_EQ(truncated.error_code, "xml.unterminated-element");
+  const Snapshot garbage = expect_equivalent("not xml at all");
+  EXPECT_EQ(garbage.error_code, "xml.expected-element");
+}
+
+TEST(StreamEquivalence, RealFrameworkTrafficRoundTrips) {
+  const frameworks::DeployedService& service = wsx::testing::deploy_one(
+      "Metro 2.3", catalog::java_names::kXmlGregorianCalendar);
+  const auto server = frameworks::make_server("Metro 2.3");
+  for (const std::string payload : {"ping", "with & entity", "<angle>", ""}) {
+    Result<soap::Envelope> request =
+        soap::build_request(service.wsdl, "echo", {{"arg0", payload}});
+    ASSERT_TRUE(request.ok());
+    const std::string request_text = soap::write(*request);
+    expect_equivalent(request_text);
+    const soap::HttpResponse response = server->handle_http(
+        service, soap::make_soap_request("http://localhost/echo", "", request_text));
+    expect_equivalent(response.body);
+  }
+}
+
+// --- validate_request_text: the zero-DOM sniffer ------------------------
+
+/// Comparable digest of the sniffer outcome.
+struct VerdictSnapshot {
+  bool ok = false;
+  std::string error_code;
+  std::vector<soap::ValidationIssue> issues;
+
+  bool operator==(const VerdictSnapshot& other) const = default;
+};
+
+VerdictSnapshot sniff_with(bool streaming, const wsdl::Definitions& defs,
+                           const std::string& text) {
+  StreamingGuard guard;
+  soap::set_streaming(streaming);
+  Result<std::vector<soap::ValidationIssue>> issues =
+      soap::validate_request_text(defs, text);
+  VerdictSnapshot snap;
+  snap.ok = issues.ok();
+  if (issues.ok()) {
+    snap.issues = issues.value();
+  } else {
+    snap.error_code = issues.error().code;
+  }
+  return snap;
+}
+
+/// The historical reference: parse the DOM, then validate the model.
+VerdictSnapshot parse_then_validate(const wsdl::Definitions& defs,
+                                    const std::string& text) {
+  StreamingGuard guard;
+  soap::set_streaming(false);
+  Result<soap::Envelope> envelope = soap::parse(text);
+  VerdictSnapshot snap;
+  snap.ok = envelope.ok();
+  if (!envelope.ok()) {
+    snap.error_code = envelope.error().code;
+    return snap;
+  }
+  snap.issues = soap::validate_request(defs, *envelope);
+  return snap;
+}
+
+VerdictSnapshot expect_sniffer_equivalent(const wsdl::Definitions& defs,
+                                          const std::string& text) {
+  const VerdictSnapshot stream = sniff_with(true, defs, text);
+  const VerdictSnapshot fallback = sniff_with(false, defs, text);
+  const VerdictSnapshot reference = parse_then_validate(defs, text);
+  EXPECT_EQ(stream, reference) << "input:\n" << text;
+  EXPECT_EQ(fallback, reference) << "input:\n" << text;
+  return stream;
+}
+
+std::string echo_request(const std::string& body_inner) {
+  return envelope_text(kSoap11, "<soapenv:Body>" + body_inner + "</soapenv:Body>");
+}
+
+TEST(StreamEquivalence, SnifferAcceptsAValidRequest) {
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot snap = expect_sniffer_equivalent(
+      defs, echo_request("<e:echo xmlns:e=\"urn:echo\"><arg0>v</arg0></e:echo>"));
+  ASSERT_TRUE(snap.ok);
+  EXPECT_TRUE(snap.issues.empty());
+}
+
+TEST(StreamEquivalence, SnifferFlagsUnknownOperation) {
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot snap = expect_sniffer_equivalent(
+      defs, echo_request("<nope xmlns=\"urn:echo\"/>"));
+  ASSERT_TRUE(snap.ok);
+  ASSERT_EQ(snap.issues.size(), 1u);
+  EXPECT_EQ(snap.issues[0].code, "msg.unknown-operation");
+}
+
+TEST(StreamEquivalence, SnifferFlagsUnexpectedAndMissingArguments) {
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot snap = expect_sniffer_equivalent(
+      defs,
+      echo_request("<e:echo xmlns:e=\"urn:echo\"><bogus>1</bogus></e:echo>"));
+  ASSERT_TRUE(snap.ok);
+  std::vector<std::string> codes;
+  for (const soap::ValidationIssue& issue : snap.issues) codes.push_back(issue.code);
+  EXPECT_EQ(codes, (std::vector<std::string>{"msg.unexpected-argument",
+                                             "msg.missing-argument"}));
+}
+
+TEST(StreamEquivalence, SnifferFlagsFaultRequests) {
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot snap = expect_sniffer_equivalent(
+      defs, soap::write(soap::Envelope::make_fault(
+                soap::Fault{"soap:Server", "boom", ""})));
+  ASSERT_TRUE(snap.ok);
+  ASSERT_EQ(snap.issues.size(), 1u);
+  EXPECT_EQ(snap.issues[0].code, "msg.fault-request");
+}
+
+TEST(StreamEquivalence, SnifferPropagatesParseErrors) {
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot malformed = expect_sniffer_equivalent(
+      defs, echo_request("<e:echo xmlns:e=\"urn:echo\"><arg0></e:echo>"));
+  EXPECT_FALSE(malformed.ok);
+  EXPECT_EQ(malformed.error_code, "xml.mismatched-tag");
+  const VerdictSnapshot not_soap = expect_sniffer_equivalent(defs, "<just-xml/>");
+  EXPECT_FALSE(not_soap.ok);
+  EXPECT_EQ(not_soap.error_code, "soap.not-an-envelope");
+}
+
+TEST(StreamEquivalence, SnifferIgnoresHeadersAndNestedPayloadContent) {
+  // Header entries and sub-child levels must not influence the verdict on
+  // either path: only the payload's direct children are validated.
+  const wsdl::Definitions defs = wsx::testing::compliant_echo_definitions();
+  const VerdictSnapshot snap = expect_sniffer_equivalent(
+      defs,
+      envelope_text(kSoap11,
+                    "<soapenv:Header><e:echo xmlns:e=\"urn:echo\"><wrong/>"
+                    "</e:echo></soapenv:Header><soapenv:Body>"
+                    "<e:echo xmlns:e=\"urn:echo\"><arg0><deep><deeper/></deep>"
+                    "</arg0></e:echo></soapenv:Body>"));
+  ASSERT_TRUE(snap.ok);
+  EXPECT_TRUE(snap.issues.empty());
+}
+
+TEST(StreamEquivalence, SeededCorpusTrafficIsEquivalentOnBothPaths) {
+  // Generated request corpora for a whole small catalog: every request and
+  // every server response parses identically with streaming on and off.
+  const auto server = frameworks::make_server("Metro 2.3");
+  const catalog::TypeCatalog catalog =
+      catalog::make_java_catalog(wsx::testing::small_java_spec());
+  gen::CorpusOptions options;
+  options.cases_per_operation = 2;
+  std::size_t checked = 0;
+  for (const wsx::testing::SeededService& seeded :
+       wsx::testing::seeded_corpus(*server, catalog, options)) {
+    for (const gen::GeneratedCase& generated : seeded.corpus) {
+      Result<soap::Envelope> request =
+          generated.payload.fields.empty()
+              ? soap::build_request(seeded.service.wsdl, generated.operation,
+                                    {{"arg0", generated.payload.value}})
+              : soap::build_structured_request(seeded.service.wsdl,
+                                               generated.operation,
+                                               generated.payload.fields);
+      if (!request.ok()) continue;
+      const std::string request_text = soap::write(*request);
+      expect_equivalent(request_text);
+      const soap::HttpResponse response = server->handle_http(
+          seeded.service,
+          soap::make_soap_request("http://localhost/echo", "", request_text));
+      expect_equivalent(response.body);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+}  // namespace
+}  // namespace wsx

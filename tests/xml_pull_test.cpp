@@ -1,0 +1,415 @@
+// Unit tests for the streaming pull tokenizer (src/xml/pull.*) and the
+// arena allocator backing its decoded values (src/common/arena.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "xml/parser.hpp"
+#include "xml/pull.hpp"
+
+namespace wsx::xml::pull {
+namespace {
+
+// An owning snapshot of a token, safe to keep across next()/feed() calls.
+struct Event {
+  TokenKind kind;
+  std::string name;
+  std::string value;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  bool self_closing = false;
+
+  bool operator==(const Event& other) const = default;
+};
+
+Event snapshot(const Token& token) {
+  Event event;
+  event.kind = token.kind;
+  event.name = std::string(token.name);
+  event.value = std::string(token.value);
+  event.self_closing = token.self_closing;
+  for (std::size_t i = 0; i < token.attr_count; ++i) {
+    event.attrs.emplace_back(std::string(token.attrs[i].name),
+                             std::string(token.attrs[i].value));
+  }
+  return event;
+}
+
+struct PullRun {
+  std::vector<Event> events;
+  std::string error_code;  // empty when the document tokenized cleanly
+  std::string error_message;
+};
+
+PullRun run_one_shot(std::string_view text) {
+  Tokenizer tok{text};
+  PullRun run;
+  for (;;) {
+    const Token& token = tok.next();
+    if (token.kind == TokenKind::kEndDocument) return run;
+    if (token.kind == TokenKind::kError) {
+      run.error_code = tok.error().code;
+      run.error_message = tok.error().message;
+      return run;
+    }
+    run.events.push_back(snapshot(token));
+  }
+}
+
+// Feeds the input `chunk_size` bytes at a time; every token must be
+// identical to the one-shot scan of the same text.
+PullRun run_incremental(std::string_view text, std::size_t chunk_size) {
+  Tokenizer tok{TokenizerOptions{}};
+  std::size_t fed = 0;
+  PullRun run;
+  for (;;) {
+    const Token& token = tok.next();
+    if (token.kind == TokenKind::kNeedMore) {
+      if (fed < text.size()) {
+        const std::size_t take = std::min(chunk_size, text.size() - fed);
+        tok.feed(text.substr(fed, take));
+        fed += take;
+      } else {
+        tok.finish();
+      }
+      continue;
+    }
+    if (token.kind == TokenKind::kEndDocument) return run;
+    if (token.kind == TokenKind::kError) {
+      run.error_code = tok.error().code;
+      run.error_message = tok.error().message;
+      return run;
+    }
+    run.events.push_back(snapshot(token));
+  }
+}
+
+TEST(Arena, AllocationsAreStableAcrossGrowth) {
+  common::Arena arena;
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 500; ++i) {
+    originals.push_back("value-" + std::to_string(i) + std::string(i % 37, 'x'));
+  }
+  for (const std::string& text : originals) views.push_back(arena.copy(text));
+  // Growth allocated several blocks; earlier views must still read back.
+  EXPECT_GT(arena.reserved(), common::Arena::kFirstBlockBytes);
+  for (std::size_t i = 0; i < views.size(); ++i) EXPECT_EQ(views[i], originals[i]);
+}
+
+TEST(Arena, ResetKeepsFirstBlock) {
+  common::Arena arena;
+  arena.copy("hello world");
+  const std::size_t reserved = arena.reserved();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_LE(arena.reserved(), reserved);
+  EXPECT_GT(arena.reserved(), 0u);
+  EXPECT_EQ(arena.copy("again"), "again");
+}
+
+TEST(Arena, LargeAllocationGetsDedicatedBlock) {
+  common::Arena arena;
+  const std::string big(common::Arena::kMaxBlockBytes + 17, 'b');
+  EXPECT_EQ(arena.copy(big), big);
+}
+
+TEST(PullTokenizer, EmitsExpectedEventSequence) {
+  PullRun run = run_one_shot("<?xml version=\"1.0\"?><a x=\"1\"><b>hi</b><c/></a>");
+  ASSERT_TRUE(run.error_code.empty()) << run.error_message;
+  std::vector<TokenKind> kinds;
+  for (const Event& event : run.events) kinds.push_back(event.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kStartDocument, TokenKind::kStartElement,
+                       TokenKind::kStartElement, TokenKind::kText,
+                       TokenKind::kEndElement, TokenKind::kStartElement,
+                       TokenKind::kEndElement, TokenKind::kEndElement}));
+  EXPECT_EQ(run.events[1].name, "a");
+  EXPECT_EQ(run.events[1].attrs,
+            (std::vector<std::pair<std::string, std::string>>{{"x", "1"}}));
+  EXPECT_EQ(run.events[3].value, "hi");
+  EXPECT_TRUE(run.events[5].self_closing);
+  EXPECT_FALSE(run.events[6].self_closing);
+  EXPECT_EQ(run.events[6].name, "c");
+}
+
+TEST(PullTokenizer, ReportsPrologVersionAndEncoding) {
+  Tokenizer tok{"<?xml version=\"1.1\" encoding=\"ISO-8859-1\"?><a/>"};
+  const Token& start = tok.next();
+  ASSERT_EQ(start.kind, TokenKind::kStartDocument);
+  EXPECT_EQ(start.version, "1.1");
+  EXPECT_EQ(start.encoding, "ISO-8859-1");
+}
+
+TEST(PullTokenizer, NoPrologLeavesVersionUnset) {
+  Tokenizer tok{"<a/>"};
+  const Token& start = tok.next();
+  ASSERT_EQ(start.kind, TokenKind::kStartDocument);
+  EXPECT_EQ(start.version.data(), nullptr);
+  EXPECT_EQ(start.encoding.data(), nullptr);
+}
+
+TEST(PullTokenizer, TokensAliasTheInputBuffer) {
+  const std::string text = "<root attr=\"plain\">payload</root>";
+  Tokenizer tok{text};
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  for (;;) {
+    const Token& token = tok.next();
+    if (token.kind == TokenKind::kEndDocument) break;
+    ASSERT_NE(token.kind, TokenKind::kError);
+    if (token.kind == TokenKind::kStartElement) {
+      // Zero-copy: no entities anywhere, so every view points into `text`.
+      EXPECT_GE(token.name.data(), begin);
+      EXPECT_LT(token.name.data(), end);
+      for (std::size_t i = 0; i < token.attr_count; ++i) {
+        EXPECT_GE(token.attrs[i].value.data(), begin);
+        EXPECT_LT(token.attrs[i].value.data(), end);
+      }
+    }
+    if (token.kind == TokenKind::kText) {
+      EXPECT_GE(token.value.data(), begin);
+      EXPECT_LT(token.value.data(), end);
+    }
+  }
+  EXPECT_EQ(tok.arena().used(), 0u);
+}
+
+TEST(PullTokenizer, EntityDecodeCopiesIntoArena) {
+  const std::string text = "<a v=\"x &amp; y\">&#65;&lt;b&gt;</a>";
+  Tokenizer tok{text};
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartDocument);
+  const Token& start = tok.next();
+  ASSERT_EQ(start.kind, TokenKind::kStartElement);
+  ASSERT_EQ(start.attr_count, 1u);
+  EXPECT_EQ(start.attrs[0].value, "x & y");
+  EXPECT_TRUE(start.attrs[0].value.data() < begin || start.attrs[0].value.data() >= end);
+  const Token& body = tok.next();
+  ASSERT_EQ(body.kind, TokenKind::kText);
+  EXPECT_EQ(body.value, "A<b>");
+  EXPECT_TRUE(body.value.data() < begin || body.value.data() >= end);
+  EXPECT_GT(tok.arena().used(), 0u);
+}
+
+TEST(PullTokenizer, SynthesizesEndElementAfterSelfClosing) {
+  Tokenizer tok{"<a><b/></a>"};
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartDocument);
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartElement);
+  EXPECT_EQ(tok.depth(), 1u);
+  const Token& b = tok.next();
+  ASSERT_EQ(b.kind, TokenKind::kStartElement);
+  EXPECT_TRUE(b.self_closing);
+  // The self-closing element is never pushed onto the open stack.
+  EXPECT_EQ(tok.depth(), 1u);
+  const Token& b_end = tok.next();
+  ASSERT_EQ(b_end.kind, TokenKind::kEndElement);
+  EXPECT_EQ(b_end.name, "b");
+  ASSERT_EQ(tok.next().kind, TokenKind::kEndElement);
+  EXPECT_EQ(tok.next().kind, TokenKind::kEndDocument);
+}
+
+TEST(PullTokenizer, ReportsCommentsCdataAndPis) {
+  PullRun run = run_one_shot("<!--pre--><a><!--in--><![CDATA[<raw>]]><?pi data?></a>");
+  ASSERT_TRUE(run.error_code.empty()) << run.error_message;
+  EXPECT_EQ(run.events[1].kind, TokenKind::kComment);
+  EXPECT_EQ(run.events[1].value, "pre");
+  EXPECT_EQ(run.events[3].kind, TokenKind::kComment);
+  EXPECT_EQ(run.events[3].value, "in");
+  EXPECT_EQ(run.events[4].kind, TokenKind::kCData);
+  EXPECT_EQ(run.events[4].value, "<raw>");
+  EXPECT_EQ(run.events[5].kind, TokenKind::kPi);
+}
+
+TEST(PullTokenizer, EnforcesDepthLimit) {
+  TokenizerOptions options;
+  options.max_depth = 4;
+  std::string deep = "<a><a><a><a><a><a/></a></a></a></a></a>";
+  Tokenizer tok{deep, options};
+  for (;;) {
+    const Token& token = tok.next();
+    if (token.kind == TokenKind::kError) break;
+    ASSERT_NE(token.kind, TokenKind::kEndDocument) << "depth limit not enforced";
+  }
+  EXPECT_EQ(tok.error().code, "xml.too-deep");
+}
+
+TEST(PullTokenizer, ReportsLineAndColumnOnStartElements) {
+  Tokenizer tok{"<a>\n  <b/>\n</a>"};
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartDocument);
+  const Token& a = tok.next();
+  EXPECT_EQ(a.line, 1u);
+  EXPECT_EQ(a.column, 1u);
+  Token b = tok.next();
+  if (b.kind == TokenKind::kText) b = tok.next();  // the "\n  " whitespace run
+  ASSERT_EQ(b.kind, TokenKind::kStartElement);
+  EXPECT_EQ(b.line, 2u);
+  EXPECT_EQ(b.column, 3u);
+}
+
+TEST(PullTokenizer, DrainReportsWellFormedness) {
+  Tokenizer ok{"<a><b>text</b></a>"};
+  EXPECT_TRUE(drain(ok).ok());
+  Tokenizer bad{"<a><b></a>"};
+  Result<bool> verdict = drain(bad);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, "xml.mismatched-tag");
+}
+
+TEST(PullTokenizer, SkipElementConsumesExactlyTheSubtree) {
+  Tokenizer tok{"<r><skip><x><y/>deep</x></skip><keep/></r>"};
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartDocument);
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartElement);  // r
+  const Token& skip = tok.next();
+  ASSERT_EQ(skip.kind, TokenKind::kStartElement);
+  ASSERT_EQ(skip.name, "skip");
+  ASSERT_TRUE(skip_element(tok, skip).ok());
+  const Token& keep = tok.next();
+  ASSERT_EQ(keep.kind, TokenKind::kStartElement);
+  EXPECT_EQ(keep.name, "keep");
+}
+
+// Error-code parity with the DOM front-end over a table of malformed
+// inputs. The DOM parser is a client of this tokenizer, so these assert
+// the shared scanner reports the historical codes.
+TEST(PullTokenizer, ErrorCodesMatchDomParser) {
+  const std::vector<std::string> inputs = {
+      "",
+      "   ",
+      "junk",
+      "<",
+      "<a",
+      "<a x",
+      "<a x=",
+      "<a x=\"1",
+      "<a x=1>",
+      "<a x=\"1\" x=\"2\"/>",
+      "<a x=\"<\"/>",
+      "<a><b></a></b>",
+      "<a></b>",
+      "<a></a junk>",
+      "<a>",
+      "<a/><b/>",
+      "<a>&nope;</a>",
+      "<a>&#xZZ;</a>",
+      "<a>&unterminated</a>",
+      "<!--never closed",
+      "<a><!--never closed",
+      "<a><![CDATA[never closed",
+      "<a><?pi never closed",
+      "<1bad/>",
+      "<a/>trailing",
+      "<a/><!--unterminated trailer",
+      "\xEF\xBB\xBF<a></b>",
+      "<!DOCTYPE unterminated",
+      "<a><!bogus></a>",
+  };
+  for (const std::string& text : inputs) {
+    Result<Document> dom = parse(text);
+    PullRun stream = run_one_shot(text);
+    if (dom.ok()) {
+      EXPECT_EQ(stream.error_code, "") << "input: " << text;
+    } else {
+      EXPECT_EQ(stream.error_code, dom.error().code) << "input: " << text;
+      EXPECT_EQ(stream.error_message, dom.error().message) << "input: " << text;
+    }
+  }
+}
+
+TEST(PullTokenizer, IncrementalFeedMatchesOneShot) {
+  const std::vector<std::string> documents = {
+      "<a/>",
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a b=\"1\" c=\"x &amp; y\">"
+      "text &lt;here&gt;<child/><!--note--><![CDATA[raw]]></a>",
+      "\xEF\xBB\xBF<?xml version=\"1.0\"?><!DOCTYPE a [<!ENTITY x \"y\">]>"
+      "<soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<soap:Body><echo><arg0>&#65;&#x42;</arg0></echo></soap:Body>"
+      "</soap:Envelope><!--tail-->",
+      "<r>a<b/>c<b x=\"y\">d</b>e</r>",
+  };
+  for (const std::string& text : documents) {
+    const PullRun whole = run_one_shot(text);
+    ASSERT_TRUE(whole.error_code.empty()) << text << ": " << whole.error_message;
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+      const PullRun fed = run_incremental(text, chunk);
+      EXPECT_EQ(fed.error_code, whole.error_code) << text << " chunk=" << chunk;
+      EXPECT_EQ(fed.events, whole.events) << text << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(PullTokenizer, IncrementalFeedMatchesOneShotOnErrors) {
+  const std::vector<std::string> inputs = {
+      "<a><b></a></b>", "<a x=\"1\" x=\"2\"/>", "<a>&nope;</a>",
+      "<a/>trailing",   "<a><b>",               "junk",
+  };
+  for (const std::string& text : inputs) {
+    const PullRun whole = run_one_shot(text);
+    const PullRun fed = run_incremental(text, 1);
+    EXPECT_EQ(fed.error_code, whole.error_code) << text;
+    EXPECT_EQ(fed.error_message, whole.error_message) << text;
+  }
+}
+
+TEST(PullTokenizer, IncrementalSurvivesBufferReallocation) {
+  // Long element names + many attributes force pending-buffer growth while
+  // names are held on the open-element stack; the arena copies must keep
+  // the end-tag matching correct.
+  std::string name(200, 'n');
+  std::string text = "<" + name + "><" + name + " a=\"" + std::string(300, 'v') +
+                     "\"/>middle</" + name + ">";
+  const PullRun whole = run_one_shot(text);
+  ASSERT_TRUE(whole.error_code.empty()) << whole.error_message;
+  const PullRun fed = run_incremental(text, 1);
+  EXPECT_TRUE(fed.error_code.empty()) << fed.error_message;
+  EXPECT_EQ(fed.events, whole.events);
+}
+
+TEST(PullTokenizer, NeedMoreWithoutFinishThenFinishReportsIncomplete) {
+  Tokenizer tok{TokenizerOptions{}};
+  tok.feed("<a><b>");
+  std::size_t guard = 0;
+  for (;;) {
+    const Token& token = tok.next();
+    if (token.kind == TokenKind::kNeedMore) {
+      tok.finish();
+      continue;
+    }
+    if (token.kind == TokenKind::kError) break;
+    ASSERT_LT(++guard, 16u) << "tokenizer failed to terminate";
+  }
+  EXPECT_EQ(tok.error().code, "xml.unterminated-element");
+}
+
+TEST(PullTokenizer, ErrorTokenIsSticky) {
+  Tokenizer tok{"junk"};
+  while (tok.next().kind != TokenKind::kError) {
+  }
+  EXPECT_EQ(tok.next().kind, TokenKind::kError);
+  EXPECT_EQ(tok.next().kind, TokenKind::kError);
+  EXPECT_EQ(tok.error().code, "xml.expected-element");
+}
+
+TEST(CollectElement, BuildsSubtreeFromTokenizer) {
+  Tokenizer tok{"<r><sub x=\"1\"><in>text</in></sub><after/></r>"};
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartDocument);
+  ASSERT_EQ(tok.next().kind, TokenKind::kStartElement);  // r
+  const Token& sub = tok.next();
+  ASSERT_EQ(sub.kind, TokenKind::kStartElement);
+  Result<Element> tree = collect_element(tok, sub);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->name(), "sub");
+  EXPECT_EQ(tree->attribute("x"), "1");
+  ASSERT_NE(tree->child("in"), nullptr);
+  EXPECT_EQ(tree->child("in")->text(), "text");
+  // The cursor resumes exactly after the collected subtree.
+  const Token& after = tok.next();
+  ASSERT_EQ(after.kind, TokenKind::kStartElement);
+  EXPECT_EQ(after.name, "after");
+}
+
+}  // namespace
+}  // namespace wsx::xml::pull

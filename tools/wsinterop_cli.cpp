@@ -69,6 +69,7 @@
 #include "gen/campaign.hpp"
 #include "gen/supervised.hpp"
 #include "interop/communication.hpp"
+#include "soap/envelope.hpp"
 #include "interop/persistence.hpp"
 #include "interop/report.hpp"
 #include "interop/report_formats.hpp"
@@ -149,7 +150,8 @@ int usage() {
                "profile, predict --corpus) also accept --trace FILE.jsonl and\n"
                "--metrics FILE.json; run, communicate, chaos, propcheck and profile\n"
                "accept --no-parse-cache to re-parse each WSDL per client instead of\n"
-               "sharing one parsed description per service\n"
+               "sharing one parsed description per service, and --no-stream to parse\n"
+               "envelopes via the DOM instead of the streaming pull tokenizer\n"
                "supervised verbs (run, lint --corpus, communicate, chaos, propcheck,\n"
                "predict --corpus) also accept the resilience flags: --checkpoint FILE.journal,\n"
                "--checkpoint-every N, --task-deadline-ms N, --quarantine-after N,\n"
@@ -367,6 +369,8 @@ int cmd_run(const std::vector<std::string>& args) {
       snapshot_path = args[++i];
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
+    } else if (args[i] == "--no-stream") {
+      soap::set_streaming(false);
     } else {
       return usage();
     }
@@ -698,6 +702,8 @@ int cmd_communicate(const std::vector<std::string>& args) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
+    } else if (args[i] == "--no-stream") {
+      soap::set_streaming(false);
     } else {
       return usage();
     }
@@ -800,6 +806,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
       format = args[++i];
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
+    } else if (args[i] == "--no-stream") {
+      soap::set_streaming(false);
     } else {
       return usage();
     }
@@ -888,6 +896,8 @@ int cmd_propcheck(const std::vector<std::string>& args) {
       format = args[++i];
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
+    } else if (args[i] == "--no-stream") {
+      soap::set_streaming(false);
     } else {
       return usage();
     }
@@ -1169,6 +1179,8 @@ int cmd_profile(const std::vector<std::string>& args) {
       if (!parse_jobs(args[++i], jobs)) return usage();
     } else if (args[i] == "--no-parse-cache") {
       parse_cache = false;
+    } else if (args[i] == "--no-stream") {
+      soap::set_streaming(false);
     } else {
       return usage();
     }
