@@ -1,0 +1,44 @@
+// message_lint.hpp — the WSX11xx pack: version-coherence lint over SOAP
+// *messages* rather than WSDL documents.
+//
+// The document rules (WSX10xx, BP R2xxx) predict steps 1–3 failures from
+// the description alone; the message pack predicts the mixed-version wire
+// failures of docs/VERSIONS.md from a captured envelope alone. A message
+// that trips WSX1101–WSX1103 is exactly one a strict receiver rejects with
+// a VersionMismatch/MustUnderstand fault (or HTTP 415), so the pack is the
+// static mirror of the --versions campaign axis: lint the traffic capture,
+// know the blast radius before the rollout.
+//
+// The rules reuse the document framework's Finding/RuleRegistry/RuleConfig
+// machinery, so findings flow through the same SARIF serialization and
+// Baseline suppression files as the document pack.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/registry.hpp"
+
+namespace wsx::analysis {
+
+/// One captured message: the envelope bytes plus the Content-Type it
+/// travelled under. `uri` is the capture's identity, stamped into finding
+/// locations (a file name, a journal offset, a pair id — anything stable).
+struct MessageInput {
+  std::string body;
+  std::string content_type;  ///< "" = unknown; skips the media-type checks
+  std::string uri;
+};
+
+/// The WSX11xx rules in registration order (WSX1101, WSX1102, WSX1103).
+/// Constructed once, thread-safe to read, usable as the `registry`
+/// argument of to_sarif.
+const RuleRegistry& message_lint_registry();
+
+/// Runs the message pack over one capture. An unparseable body reports
+/// nothing — the fuzz and chaos layers own malformed-envelope handling;
+/// this pack is about well-formed messages whose *versions* disagree.
+std::vector<Finding> lint_message(const MessageInput& input, const RuleConfig& config = {});
+
+}  // namespace wsx::analysis

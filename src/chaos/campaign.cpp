@@ -34,6 +34,10 @@ const char* to_string(ChaosOutcome outcome) {
       return "hung";
     case ChaosOutcome::kTimedOut:
       return "timed out";
+    case ChaosOutcome::kVersionMismatch:
+      return "version mismatch";
+    case ChaosOutcome::kDowngraded:
+      return "downgraded";
   }
   return "unknown";
 }
@@ -46,7 +50,7 @@ std::size_t ChaosCell::attempted() const {
 
 std::size_t ChaosCell::succeeded() const {
   return count(ChaosOutcome::kOk) + count(ChaosOutcome::kRecovered) +
-         count(ChaosOutcome::kDegradedOk);
+         count(ChaosOutcome::kDegradedOk) + count(ChaosOutcome::kDowngraded);
 }
 
 double ChaosCell::recovery_rate() const {
@@ -115,6 +119,7 @@ CallRecord execute_call(const FaultyWire& wire,
   const std::uint64_t deadline = clock.now_ms() + policy.call_budget_ms;
   unsigned attempt = 0;
   unsigned executions = 0;  // times the server executed this logical call
+  bool downgraded = false;  // retransmitting the 1.1-coherent form
 
   for (;;) {
     if (!breaker.allows(clock.now_ms())) {
@@ -123,7 +128,9 @@ CallRecord execute_call(const FaultyWire& wire,
       return record;
     }
 
-    const WireAttempt wire_attempt = wire.attempt(service, call.request, schedule, attempt);
+    const WireAttempt wire_attempt =
+        wire.attempt(service, downgraded ? call.downgrade_request : call.request,
+                     schedule, attempt, downgraded);
     if (wire_attempt.injected.has_value()) ++record.faulted_attempts;
     executions += wire_attempt.server_executions;
 
@@ -153,12 +160,37 @@ CallRecord execute_call(const FaultyWire& wire,
             frameworks::classify_echo_response(wire_attempt.response, call.payload);
         if (classified.outcome == frameworks::EchoOutcome::kOk) {
           breaker.record_success(clock.now_ms());
-          record.outcome = executions > 1 ? ChaosOutcome::kDegradedOk
+          record.outcome = downgraded             ? ChaosOutcome::kDowngraded
+                           : executions > 1      ? ChaosOutcome::kDegradedOk
                            : record.retransmits > 0 ? ChaosOutcome::kRecovered
                                                     : ChaosOutcome::kOk;
           return record;
         }
-        if (!wire_attempt.injected.has_value()) {
+        const bool version_rejection =
+            classified.outcome == frameworks::EchoOutcome::kVersionMismatch ||
+            wire_attempt.response.status == 415;
+        if (version_rejection) {
+          if (!downgraded && policy.downgrade_on_version_mismatch) {
+            // Downgrade recovery: retransmit the 1.1-coherent form exactly
+            // once. An injected skew counts against the breaker (the wire
+            // really did misbehave); a clean policy mismatch does not.
+            if (wire_attempt.injected.has_value()) {
+              breaker.record_failure(clock.now_ms());
+            }
+            downgraded = true;
+            ++record.retransmits;
+            continue;
+          }
+          if (!wire_attempt.injected.has_value()) {
+            // A clean attempt was rejected on version-coherence grounds and
+            // the stack has no downgrade path: a pure policy mismatch. The
+            // wire is innocent — the breaker stays untouched.
+            record.outcome = ChaosOutcome::kVersionMismatch;
+            return record;
+          }
+          // An injected skew the stack cannot downgrade away from: handled
+          // below as an ordinary wire-level delivery failure.
+        } else if (!wire_attempt.injected.has_value()) {
           // A clean attempt failed at the SOAP level: the wire is innocent
           // and no resilience policy helps. Does not trip the breaker.
           record.outcome = ChaosOutcome::kAppFailure;
@@ -235,12 +267,15 @@ ChainDelta run_chaos_chain(const FaultyWire& wire,
                            const frameworks::SharedDescription* description,
                            const frameworks::ClientFramework& client,
                            const compilers::Compiler* compiler,
-                           const ResiliencePolicy& policy, const ChaosConfig& config) {
+                           const ResiliencePolicy& policy, const ChaosConfig& config,
+                           soap::HybridProfile profile, std::string_view round_label) {
   ChainDelta delta;
   const frameworks::PreparedCall call =
       description != nullptr
-          ? frameworks::prepare_echo_call(service, *description, client, compiler)
-          : frameworks::prepare_echo_call(service, client, compiler);
+          ? frameworks::prepare_echo_call(service, *description, client, compiler, profile)
+          : frameworks::prepare_echo_call(
+                service, frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false),
+                client, compiler, profile);
   obs::add(config.metrics,
            config.parse_cache ? "chaos.parse.cache_hits" : "chaos.parse.wsdl_parses");
   if (call.status != frameworks::PreparedCall::Status::kReady) {
@@ -252,8 +287,10 @@ ChainDelta run_chaos_chain(const FaultyWire& wire,
   // pair's calls, so bursts on an early call can fail-fast later ones.
   VirtualClock clock;
   CircuitBreaker breaker(config.breaker);
+  const std::string scope =
+      round_label.empty() ? server.name() : std::string(round_label);
   for (std::size_t call_no = 0; call_no < config.calls_per_pair; ++call_no) {
-    const std::string call_id = server.name() + '|' + service.spec.service_name() + '|' +
+    const std::string call_id = scope + '|' + service.spec.service_name() + '|' +
                                 client.name() + '|' + std::to_string(call_no);
     const CallSchedule schedule = wire.schedule(call_id);
     const CallRecord record =
@@ -268,7 +305,8 @@ ChainDelta run_chaos_chain(const FaultyWire& wire,
       ++delta.challenged;
       if (record.outcome == ChaosOutcome::kOk ||
           record.outcome == ChaosOutcome::kRecovered ||
-          record.outcome == ChaosOutcome::kDegradedOk) {
+          record.outcome == ChaosOutcome::kDegradedOk ||
+          record.outcome == ChaosOutcome::kDowngraded) {
         ++delta.challenged_ok;
       }
     }
@@ -296,13 +334,42 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
     policies.push_back(policy_for(client->name()));
   }
 
+  // The mixed-version axis turns each server's round into one round per
+  // version policy; client hybrid profiles follow their own documented
+  // policies. Outside the axis everything degenerates to the classic
+  // campaign (documented server policy, pure-1.1 calls, label = name).
+  struct Round {
+    const frameworks::ServerFramework* server;
+    std::optional<frameworks::VersionPolicy> policy;
+    std::string label;
+  };
+  std::vector<Round> rounds;
   for (const auto& server : servers) {
+    if (config.versions.empty()) {
+      rounds.push_back({server.get(), std::nullopt, server->name()});
+      continue;
+    }
+    for (const frameworks::VersionPolicy policy : config.versions) {
+      rounds.push_back({server.get(), policy,
+                        server->name() + " [" + frameworks::to_string(policy) + "]"});
+    }
+  }
+  std::vector<soap::HybridProfile> profiles;
+  for (const auto& client : clients) {
+    profiles.push_back(config.versions.empty()
+                           ? soap::HybridProfile::kPure11
+                           : frameworks::profile_for(client->version_policy()));
+  }
+
+  for (const Round& round : rounds) {
+    const frameworks::ServerFramework* server = round.server;
     const catalog::TypeCatalog& catalog =
         server->language() == "C#" ? dotnet_catalog : java_catalog;
-    const FaultyWire wire(*server, config.plan);
+    FaultyWire wire(*server, config.plan);
+    if (round.policy.has_value()) wire.set_server_policy(*round.policy);
 
     ChaosServerResult server_result;
-    server_result.server = server->name();
+    server_result.server = round.label;
     for (const auto& client : clients) {
       ChaosCell cell;
       cell.client = client->name();
@@ -365,7 +432,7 @@ ChaosResult run_chaos_study(const ChaosConfig& config) {
           const ChainDelta delta = run_chaos_chain(
               wire, *server, deployed[index],
               config.parse_cache ? &descriptions[index] : nullptr, *clients[i],
-              client_compilers[i].get(), policies[i], config);
+              client_compilers[i].get(), policies[i], config, profiles[i], round.label);
           ChainDelta& cell = partial[i];
           for (std::size_t outcome = 0; outcome < kChaosOutcomeCount; ++outcome) {
             cell.outcomes[outcome] += delta.outcomes[outcome];
@@ -443,16 +510,19 @@ std::string format_chaos(const ChaosResult& result) {
   for (const ChaosServerResult& server : result.servers) {
     out << server.server << " — " << server.services_deployed << " services\n";
     out << "  " << std::left << std::setw(44) << "client" << std::right << std::setw(6)
-        << "calls" << std::setw(6) << "ok" << std::setw(10) << "recovered" << std::setw(9)
-        << "degraded" << std::setw(9) << "app-fail" << std::setw(10) << "exhausted"
+        << "calls" << std::setw(6) << "ok" << std::setw(10) << "recovered" << std::setw(11)
+        << "downgraded" << std::setw(9) << "degraded" << std::setw(9) << "app-fail"
+        << std::setw(10) << "vmismatch" << std::setw(10) << "exhausted"
         << std::setw(10) << "fail-fast" << std::setw(6) << "hung" << std::setw(10)
         << "timed-out" << std::setw(6) << "retx" << "\n";
     for (const ChaosCell& cell : server.cells) {
       out << "  " << std::left << std::setw(44) << cell.client << std::right << std::setw(6)
           << cell.attempted() << std::setw(6) << cell.count(ChaosOutcome::kOk)
-          << std::setw(10) << cell.count(ChaosOutcome::kRecovered) << std::setw(9)
+          << std::setw(10) << cell.count(ChaosOutcome::kRecovered) << std::setw(11)
+          << cell.count(ChaosOutcome::kDowngraded) << std::setw(9)
           << cell.count(ChaosOutcome::kDegradedOk) << std::setw(9)
           << cell.count(ChaosOutcome::kAppFailure) << std::setw(10)
+          << cell.count(ChaosOutcome::kVersionMismatch) << std::setw(10)
           << cell.count(ChaosOutcome::kExhaustedRetries) << std::setw(10)
           << cell.count(ChaosOutcome::kFailedFast) << std::setw(6)
           << cell.count(ChaosOutcome::kHung) << std::setw(10)
@@ -497,9 +567,10 @@ std::string chaos_markdown(const ChaosResult& result) {
   std::ostringstream out;
   out << "## Wire-fault resilience matrix\n\n";
   out << plan_summary(result) << "\n\n";
-  out << "| client | ok | recovered | degraded | app-failure | exhausted | "
-         "failed-fast | hung | timed-out | retransmits | recovery% |\n";
-  out << "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  out << "| client | ok | recovered | downgraded | degraded | app-failure | "
+         "version-mismatch | exhausted | failed-fast | hung | timed-out | "
+         "retransmits | recovery% |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n";
   const auto count = [](const Row& row, ChaosOutcome outcome) {
     return row.outcomes[static_cast<std::size_t>(outcome)];
   };
@@ -510,8 +581,10 @@ std::string chaos_markdown(const ChaosResult& result) {
                                   static_cast<double>(row.challenged);
     out << "| " << row.client << " | "
         << count(row, ChaosOutcome::kOk) << " | " << count(row, ChaosOutcome::kRecovered)
-        << " | " << count(row, ChaosOutcome::kDegradedOk) << " | "
+        << " | " << count(row, ChaosOutcome::kDowngraded) << " | "
+        << count(row, ChaosOutcome::kDegradedOk) << " | "
         << count(row, ChaosOutcome::kAppFailure) << " | "
+        << count(row, ChaosOutcome::kVersionMismatch) << " | "
         << count(row, ChaosOutcome::kExhaustedRetries) << " | "
         << count(row, ChaosOutcome::kFailedFast) << " | "
         << count(row, ChaosOutcome::kHung) << " | " << count(row, ChaosOutcome::kTimedOut)
@@ -524,8 +597,8 @@ std::string chaos_markdown(const ChaosResult& result) {
 std::string chaos_csv(const ChaosResult& result) {
   std::ostringstream out;
   out << "server,client,blocked,ok,recovered,degraded,app_failure,exhausted,"
-         "failed_fast,hung,timed_out,retransmits,faulted_attempts,challenged,"
-         "challenged_ok,breaker_trips,virtual_ms\n";
+         "failed_fast,hung,timed_out,version_mismatch,downgraded,retransmits,"
+         "faulted_attempts,challenged,challenged_ok,breaker_trips,virtual_ms\n";
   for (const ChaosServerResult& server : result.servers) {
     for (const ChaosCell& cell : server.cells) {
       out << server.server << ',' << cell.client << ','
@@ -536,7 +609,9 @@ std::string chaos_csv(const ChaosResult& result) {
           << cell.count(ChaosOutcome::kExhaustedRetries) << ','
           << cell.count(ChaosOutcome::kFailedFast) << ','
           << cell.count(ChaosOutcome::kHung) << ',' << cell.count(ChaosOutcome::kTimedOut)
-          << ',' << cell.retransmits << ','
+          << ',' << cell.count(ChaosOutcome::kVersionMismatch) << ','
+          << cell.count(ChaosOutcome::kDowngraded) << ','
+          << cell.retransmits << ','
           << cell.faulted_attempts << ',' << cell.challenged << ',' << cell.challenged_ok
           << ',' << cell.breaker_trips << ',' << cell.virtual_ms << '\n';
     }
@@ -559,6 +634,8 @@ std::string chaos_recovery_json(const ChaosResult& result) {
     std::size_t challenged = 0;
     std::size_t challenged_ok = 0;
     std::size_t recovered = 0;
+    std::size_t downgraded = 0;
+    std::size_t version_mismatch = 0;
     std::size_t hung = 0;
     std::size_t retransmits = 0;
     for (const ChaosServerResult& server : result.servers) {
@@ -567,6 +644,8 @@ std::string chaos_recovery_json(const ChaosResult& result) {
         challenged += cell.challenged;
         challenged_ok += cell.challenged_ok;
         recovered += cell.count(ChaosOutcome::kRecovered);
+        downgraded += cell.count(ChaosOutcome::kDowngraded);
+        version_mismatch += cell.count(ChaosOutcome::kVersionMismatch);
         hung += cell.count(ChaosOutcome::kHung);
         retransmits += cell.retransmits;
       }
@@ -576,6 +655,8 @@ std::string chaos_recovery_json(const ChaosResult& result) {
     entry.field("challenged", challenged);
     entry.field("challenged_ok", challenged_ok);
     entry.field("recovered", recovered);
+    entry.field("downgraded", downgraded);
+    entry.field("version_mismatch", version_mismatch);
     entry.field("hung", hung);
     entry.field("retransmits", retransmits);
     entry.field("recovery_rate",

@@ -17,14 +17,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/dotnet_catalog.hpp"
 #include "catalog/java_catalog.hpp"
 #include "chaos/fault.hpp"
 #include "chaos/policy.hpp"
+#include "frameworks/version_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "soap/version.hpp"
 
 namespace wsx::compilers {
 class Compiler;
@@ -58,8 +61,15 @@ enum class ChaosOutcome {
   kTimedOut,          ///< the supervisor's per-task deadline aborted the
                       ///< chain before this call ran (resilience layer;
                       ///< never produced by an unsupervised run)
+  kVersionMismatch,   ///< the endpoint rejected the call's version shape
+                      ///< (VersionMismatch/MustUnderstand fault or HTTP
+                      ///< 415) on a clean attempt and the client's policy
+                      ///< has no downgrade path — a pure policy mismatch,
+                      ///< not the wire's doing
+  kDowngraded,        ///< succeeded after retransmitting the 1.1-coherent
+                      ///< downgrade form of the call (counts as a success)
 };
-inline constexpr std::size_t kChaosOutcomeCount = 9;
+inline constexpr std::size_t kChaosOutcomeCount = 11;
 
 const char* to_string(ChaosOutcome outcome);
 
@@ -78,12 +88,14 @@ struct ChaosCell {
     return outcomes[static_cast<std::size_t>(outcome)];
   }
   std::size_t attempted() const;  ///< everything except kBlockedEarlier
-  std::size_t succeeded() const;  ///< kOk + kRecovered + kDegradedOk
+  std::size_t succeeded() const;  ///< kOk + kRecovered + kDegradedOk + kDowngraded
   /// Share of fault-challenged calls that still succeeded, in percent.
   double recovery_rate() const;
 };
 
 struct ChaosServerResult {
+  /// The round label: the server name, or "Server [policy]" under the
+  /// --versions axis (one round per server × policy).
   std::string server;
   std::size_t services_deployed = 0;
   std::vector<ChaosCell> cells;
@@ -110,6 +122,13 @@ struct ChaosConfig {
   /// early call can fail-fast later ones.
   std::size_t calls_per_pair = 1;
   std::size_t jobs = 0;  ///< worker threads; 0 = hardware concurrency
+
+  /// The mixed-version axis: when non-empty, every server runs one round
+  /// per listed policy (overriding its documented version policy), and each
+  /// client dresses its calls in the hybrid profile its own documented
+  /// policy implies (frameworks::profile_for). Empty = the classic campaign
+  /// (every call pure 1.1, every server on its documented policy).
+  std::vector<frameworks::VersionPolicy> versions;
 
   /// Parse-once pipeline: build one SharedDescription per deployed service
   /// and share it across every client chain's generation gate (identical
@@ -144,13 +163,19 @@ struct ChainDelta {
 /// re-parse, the --no-parse-cache path); `compiler` is null for dynamic
 /// clients. Pure in its inputs — the determinism guarantee of the chaos
 /// study rests on it.
+/// `profile` is the hybrid dressing the client puts on its calls (kPure11
+/// outside the --versions axis); `round_label` scopes the chain's call ids
+/// (empty = the server name) so each versions round draws an independent
+/// fault schedule.
 ChainDelta run_chaos_chain(const FaultyWire& wire,
                            const frameworks::ServerFramework& server,
                            const frameworks::DeployedService& service,
                            const frameworks::SharedDescription* description,
                            const frameworks::ClientFramework& client,
                            const compilers::Compiler* compiler,
-                           const ResiliencePolicy& policy, const ChaosConfig& config);
+                           const ResiliencePolicy& policy, const ChaosConfig& config,
+                           soap::HybridProfile profile = soap::HybridProfile::kPure11,
+                           std::string_view round_label = {});
 
 /// Human-readable per-server matrix.
 std::string format_chaos(const ChaosResult& result);

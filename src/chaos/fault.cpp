@@ -26,6 +26,12 @@ const char* to_string(FaultKind kind) {
       return "drop-content-type";
     case FaultKind::kDropSoapAction:
       return "drop-soap-action";
+    case FaultKind::kSoap12Rewrite:
+      return "soap12-rewrite";
+    case FaultKind::kMustUnderstandInject:
+      return "mu-inject";
+    case FaultKind::kContentTypeSkew:
+      return "content-type-skew";
   }
   return "unknown";
 }
@@ -37,7 +43,8 @@ std::vector<FaultKind> all_fault_kinds() {
       FaultKind::kCorruptedByte,   FaultKind::kHttp502,
       FaultKind::kHttp503,         FaultKind::kSlowResponse,
       FaultKind::kDuplicateDelivery, FaultKind::kDropContentType,
-      FaultKind::kDropSoapAction,
+      FaultKind::kDropSoapAction,    FaultKind::kSoap12Rewrite,
+      FaultKind::kMustUnderstandInject, FaultKind::kContentTypeSkew,
   };
 }
 

@@ -28,8 +28,16 @@ enum class FaultKind {
   kDuplicateDelivery, ///< request delivered (and executed) twice
   kDropContentType,   ///< Content-Type header lost in transit
   kDropSoapAction,    ///< SOAPAction header lost in transit
+  // Version-skew faults: a mixed-version intermediary (shaded gateway, MTOM
+  // proxy, WS-A-adding ESB) mangles the *request*'s version coherence in
+  // transit. Downgrade-capable clients recover by retransmitting the
+  // 1.1-coherent form (ResiliencePolicy::downgrade_on_version_mismatch).
+  kSoap12Rewrite,        ///< envelope namespace rewritten 1.1 → 1.2
+  kMustUnderstandInject, ///< 1.2-era mustUnderstand header injected
+  kContentTypeSkew,      ///< Content-Type flips to application/soap+xml
+                         ///< while the envelope stays 1.1
 };
-inline constexpr std::size_t kFaultKindCount = 11;
+inline constexpr std::size_t kFaultKindCount = 14;
 
 const char* to_string(FaultKind kind);
 

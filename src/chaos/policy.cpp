@@ -62,6 +62,7 @@ std::vector<NamedPolicy> policy_table() {
   metro.retry_on_reset = true;
   metro.retry_on_timeout = true;
   metro.retry_on_status = {503};
+  metro.downgrade_on_version_mismatch = true;
   table.push_back({"Oracle Metro", metro});
 
   ResiliencePolicy axis1;
@@ -77,6 +78,7 @@ std::vector<NamedPolicy> policy_table() {
   axis2.call_budget_ms = 8000;
   axis2.retry_on_reset = true;
   axis2.retry_on_timeout = true;
+  axis2.downgrade_on_version_mismatch = true;
   table.push_back({"Apache Axis2", axis2});
 
   ResiliencePolicy cxf;
@@ -90,6 +92,7 @@ std::vector<NamedPolicy> policy_table() {
   cxf.retry_on_malformed_response = true;
   cxf.retry_on_status = {502, 503};
   cxf.retransmit_after_server_execution = false;  // idempotency gate
+  cxf.downgrade_on_version_mismatch = true;
   table.push_back({"Apache CXF", cxf});
 
   ResiliencePolicy jbossws;
@@ -109,6 +112,7 @@ std::vector<NamedPolicy> policy_table() {
   dotnet.retry_on_reset = true;
   dotnet.retry_on_status = {503};
   dotnet.retransmit_after_server_execution = false;  // idempotency gate
+  dotnet.downgrade_on_version_mismatch = true;
   table.push_back({".NET Framework", dotnet});
 
   ResiliencePolicy gsoap;
@@ -142,8 +146,8 @@ ResiliencePolicy policy_for(std::string_view client_name) {
 std::string format_policy_table() {
   std::ostringstream out;
   out << "| client family | retries | backoff (base/max+jitter ms) | attempt timeout | "
-         "budget | retries on | idempotency gate | aborts on first fault |\n";
-  out << "|---|---|---|---|---|---|---|---|\n";
+         "budget | retries on | idempotency gate | aborts on first fault | downgrades |\n";
+  out << "|---|---|---|---|---|---|---|---|---|\n";
   for (const NamedPolicy& entry : policy_table()) {
     const ResiliencePolicy& p = entry.policy;
     out << "| " << entry.prefix << " | " << p.max_retries << " | " << p.base_backoff_ms
@@ -156,7 +160,8 @@ std::string format_policy_table() {
     for (const int status : p.retry_on_status) retries.push_back(std::to_string(status));
     out << (retries.empty() ? "—" : join(retries, "+")) << " | "
         << (p.retransmit_after_server_execution ? "off" : "on") << " | "
-        << (p.abort_on_first_wire_fault ? "yes" : "no") << " |\n";
+        << (p.abort_on_first_wire_fault ? "yes" : "no") << " | "
+        << (p.downgrade_on_version_mismatch ? "yes" : "no") << " |\n";
   }
   return out.str();
 }

@@ -48,6 +48,14 @@ struct ResiliencePolicy {
   /// whatever it was.
   bool abort_on_first_wire_fault = false;
 
+  /// Downgrade recovery: on a version-mismatch rejection (VersionMismatch
+  /// or MustUnderstand fault, or a 415 at the HTTP layer) the stack
+  /// retransmits the 1.1-coherent form of the call exactly once. Stacks
+  /// whose runtimes can re-serialize without the 1.2-era dressing (the
+  /// JAX-WS family, Axis2's addressing module, CXF, WCF) do; the
+  /// template-expanded and script-language stacks cannot.
+  bool downgrade_on_version_mismatch = false;
+
   bool retries_on_status(int status) const;
   /// Backoff delay before retransmit number `retry_number` (0-based), with
   /// jitter drawn deterministically from `salt`.

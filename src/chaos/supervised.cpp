@@ -77,6 +77,10 @@ std::pair<std::size_t, std::size_t> locate_task(const std::vector<std::size_t>& 
 std::string chaos_config_json(const ChaosConfig& config) {
   json::ArrayWriter kinds;
   for (const FaultKind kind : config.plan.kinds) kinds.item(to_string(kind));
+  json::ArrayWriter versions;
+  for (const frameworks::VersionPolicy policy : config.versions) {
+    versions.item(frameworks::to_string(policy));
+  }
   return json::ObjectWriter{}
       .raw_field("java", catalog::to_json(config.java_spec))
       .raw_field("dotnet", catalog::to_json(config.dotnet_spec))
@@ -89,6 +93,7 @@ std::string chaos_config_json(const ChaosConfig& config) {
       .field("breaker_open_ms", static_cast<std::size_t>(config.breaker.open_ms))
       .field("calls_per_pair", config.calls_per_pair)
       .field("parse_cache", config.parse_cache)
+      .raw_field("versions", versions.str())
       .str();
 }
 
@@ -137,6 +142,17 @@ Result<ChaosConfig> chaos_config_from_json(std::string_view text) {
   const json::Value* cache = parsed->find("parse_cache");
   if (cache == nullptr || !cache->is_bool()) return bad_config("missing parse_cache");
   config.parse_cache = cache->as_bool();
+  const json::Value* versions = parsed->find("versions");
+  if (versions == nullptr || !versions->is_array()) return bad_config("missing versions");
+  for (const json::Value& policy : versions->items()) {
+    if (!policy.is_string()) return bad_config("malformed version policy");
+    const std::optional<frameworks::VersionPolicy> known =
+        frameworks::parse_version_policy(policy.as_string());
+    if (!known.has_value()) {
+      return bad_config("unknown version policy '" + policy.as_string() + "'");
+    }
+    config.versions.push_back(*known);
+  }
   return config;
 }
 
@@ -160,9 +176,20 @@ Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
     policies.push_back(policy_for(client->name()));
   }
 
+  // The mixed-version axis: one supervised round per server × policy, with
+  // round labels scoping task ids and fault schedules (see run_chaos_study).
+  std::vector<soap::HybridProfile> profiles;
+  for (const auto& client : clients) {
+    profiles.push_back(config.versions.empty()
+                           ? soap::HybridProfile::kPure11
+                           : frameworks::profile_for(client->version_policy()));
+  }
+
   // Deploy + shared parse up front, as in run_chaos_study; the chains run
   // under supervision.
   struct PreparedRound {
+    const frameworks::ServerFramework* server = nullptr;
+    std::string label;
     std::unique_ptr<FaultyWire> wire;
     std::vector<frameworks::DeployedService> deployed;
     std::vector<frameworks::SharedDescription> descriptions;
@@ -173,54 +200,72 @@ Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
   tasks.campaign = "chaos";
   tasks.config_json = chaos_config_json(config);
   for (const auto& server : servers) {
+    std::vector<PreparedRound> server_rounds;
+    if (config.versions.empty()) {
+      PreparedRound round;
+      round.server = server.get();
+      round.label = server->name();
+      round.wire = std::make_unique<FaultyWire>(*server, config.plan);
+      server_rounds.push_back(std::move(round));
+    } else {
+      for (const frameworks::VersionPolicy policy : config.versions) {
+        PreparedRound round;
+        round.server = server.get();
+        round.label = server->name() + " [" + frameworks::to_string(policy) + "]";
+        round.wire = std::make_unique<FaultyWire>(*server, config.plan);
+        round.wire->set_server_policy(policy);
+        server_rounds.push_back(std::move(round));
+      }
+    }
     const catalog::TypeCatalog& catalog =
         server->language() == "C#" ? dotnet_catalog : java_catalog;
-    obs::Span round_span(config.tracer, "round:" + server->name(), run_span);
-    obs::Span deploy_span(config.tracer, "phase:deploy", round_span);
-    obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "chaos.phase.deploy_us");
-    PreparedRound round;
-    round.wire = std::make_unique<FaultyWire>(*server, config.plan);
-    for (const catalog::TypeInfo& type : catalog.types()) {
-      Result<frameworks::DeployedService> service =
-          server->deploy(frameworks::ServiceSpec{&type});
-      if (service.ok()) round.deployed.push_back(std::move(service.value()));
-    }
-    obs::add(config.metrics, "chaos.services_deployed", round.deployed.size());
-    deploy_span.annotate("deployed", round.deployed.size());
-    deploy_span.end();
-    deploy_timer.stop();
-    if (config.parse_cache) {
-      obs::Span parse_span(config.tracer, "phase:parse", round_span);
-      obs::ScopedTimer parse_timer = obs::timer(config.metrics, "chaos.phase.parse_us");
-      round.descriptions.reserve(round.deployed.size());
-      for (const frameworks::DeployedService& service : round.deployed) {
-        round.descriptions.push_back(
-            frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false));
+    for (PreparedRound& round : server_rounds) {
+      obs::Span round_span(config.tracer, "round:" + round.label, run_span);
+      obs::Span deploy_span(config.tracer, "phase:deploy", round_span);
+      obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "chaos.phase.deploy_us");
+      for (const catalog::TypeInfo& type : catalog.types()) {
+        Result<frameworks::DeployedService> service =
+            server->deploy(frameworks::ServiceSpec{&type});
+        if (service.ok()) round.deployed.push_back(std::move(service.value()));
       }
-      obs::add(config.metrics, "chaos.parse.wsdl_parses", round.descriptions.size());
-      parse_span.end();
-      parse_timer.stop();
+      obs::add(config.metrics, "chaos.services_deployed", round.deployed.size());
+      deploy_span.annotate("deployed", round.deployed.size());
+      deploy_span.end();
+      deploy_timer.stop();
+      if (config.parse_cache) {
+        obs::Span parse_span(config.tracer, "phase:parse", round_span);
+        obs::ScopedTimer parse_timer = obs::timer(config.metrics, "chaos.phase.parse_us");
+        round.descriptions.reserve(round.deployed.size());
+        for (const frameworks::DeployedService& service : round.deployed) {
+          round.descriptions.push_back(
+              frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false));
+        }
+        obs::add(config.metrics, "chaos.parse.wsdl_parses", round.descriptions.size());
+        parse_span.end();
+        parse_timer.stop();
+      }
+      first_task.push_back(tasks.ids.size());
+      for (const frameworks::DeployedService& service : round.deployed) {
+        tasks.ids.push_back(round.label + "|" + service.spec.service_name());
+      }
+      prepared.push_back(std::move(round));
     }
-    first_task.push_back(tasks.ids.size());
-    for (const frameworks::DeployedService& service : round.deployed) {
-      tasks.ids.push_back(server->name() + "|" + service.spec.service_name());
-    }
-    prepared.push_back(std::move(round));
   }
 
   // One task = every client chain against one endpoint. Each chain's
   // virtual milliseconds are charged against the supervisor deadline.
   tasks.run = [&](std::size_t index, resilience::TaskContext& context) {
-    const auto [server_index, service_index] = locate_task(first_task, index);
-    const PreparedRound& round = prepared[server_index];
+    const auto [round_index, service_index] = locate_task(first_task, index);
+    const PreparedRound& round = prepared[round_index];
     const frameworks::DeployedService& service = round.deployed[service_index];
     const frameworks::SharedDescription* description =
         config.parse_cache ? &round.descriptions[service_index] : nullptr;
     json::ArrayWriter rows;
     for (std::size_t i = 0; i < clients.size(); ++i) {
       const ChainDelta delta =
-          run_chaos_chain(*round.wire, *servers[server_index], service, description,
-                          *clients[i], client_compilers[i].get(), policies[i], config);
+          run_chaos_chain(*round.wire, *round.server, service, description,
+                          *clients[i], client_compilers[i].get(), policies[i], config,
+                          profiles[i], round.label);
       context.charge(delta.virtual_ms);
       rows.raw_item(chain_delta_json(delta));
     }
@@ -244,10 +289,10 @@ Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
 
   // Fold in task order. Completed chains add their deltas; deadline
   // quarantines synthesize kTimedOut for the whole pair population.
-  for (std::size_t server_index = 0; server_index < servers.size(); ++server_index) {
+  for (std::size_t round_index = 0; round_index < prepared.size(); ++round_index) {
     ChaosServerResult server_result;
-    server_result.server = servers[server_index]->name();
-    server_result.services_deployed = prepared[server_index].deployed.size();
+    server_result.server = prepared[round_index].label;
+    server_result.services_deployed = prepared[round_index].deployed.size();
     for (const auto& client : clients) {
       ChaosCell cell;
       cell.client = client->name();
@@ -256,8 +301,8 @@ Result<SupervisedChaosResult> run_chaos_supervised(const ChaosConfig& config,
     result.servers.push_back(std::move(server_result));
   }
   for (const resilience::TaskOutcome& task : out.supervisor.tasks) {
-    const auto [server_index, service_index] = locate_task(first_task, task.task);
-    ChaosServerResult& server_result = result.servers[server_index];
+    const auto [round_index, service_index] = locate_task(first_task, task.task);
+    ChaosServerResult& server_result = result.servers[round_index];
     if (task.state == resilience::TaskState::kQuarantined && task.timed_out) {
       for (ChaosCell& cell : server_result.cells) {
         cell.outcomes[static_cast<std::size_t>(ChaosOutcome::kTimedOut)] +=

@@ -1,6 +1,39 @@
 #include "chaos/wire.hpp"
 
+#include "soap/version.hpp"
+#include "xml/qname.hpp"
+
 namespace wsx::chaos {
+
+namespace {
+
+/// Rewrites every occurrence of the SOAP 1.1 envelope namespace in `body`
+/// to the 1.2 one — the version-confused gateway that "upgrades" messages
+/// it forwards. The Content-Type stays text/xml, so the result is
+/// incoherent on two axes at once.
+std::string rewrite_envelope_namespace(std::string body) {
+  const std::string_view from = xml::ns::kSoapEnvelope;
+  const std::string_view to = xml::ns::kSoap12Envelope;
+  std::size_t pos = 0;
+  while ((pos = body.find(from, pos)) != std::string::npos) {
+    body.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return body;
+}
+
+/// Parses the request envelope, dresses it in the kSecured hybrid profile
+/// (wsse:Security marked mustUnderstand, plus WS-Addressing), and
+/// re-serializes — the WS-A-adding ESB with a Rampart-style gateway module
+/// in front of it. Unparseable bodies pass through untouched.
+std::string inject_must_understand_header(const std::string& body) {
+  Result<soap::Envelope> envelope = soap::parse(body);
+  if (!envelope.ok()) return body;
+  soap::apply_hybrid_profile(*envelope, soap::HybridProfile::kSecured, "chaos");
+  return soap::write(*envelope);
+}
+
+}  // namespace
 
 std::string apply_body_fault(FaultKind kind, std::string body, std::uint64_t salt) {
   switch (kind) {
@@ -23,12 +56,28 @@ std::string apply_body_fault(FaultKind kind, std::string body, std::uint64_t sal
 WireAttempt FaultyWire::attempt(const frameworks::DeployedService& service,
                                 const soap::HttpRequest& request,
                                 const CallSchedule& schedule,
-                                unsigned attempt_no) const {
+                                unsigned attempt_no, bool downgraded) const {
   WireAttempt result;
   result.injected = schedule.fault_for_attempt(attempt_no);
+  const frameworks::VersionPolicy policy = server_policy();
+
+  if (result.injected.has_value() && downgraded) {
+    // The downgrade retransmit renegotiated the path around the skewing
+    // intermediary; only the version-skew kinds are bypassed — a reset is
+    // still a reset no matter what the envelope looks like.
+    switch (*result.injected) {
+      case FaultKind::kSoap12Rewrite:
+      case FaultKind::kMustUnderstandInject:
+      case FaultKind::kContentTypeSkew:
+        result.injected = std::nullopt;
+        break;
+      default:
+        break;
+    }
+  }
 
   if (!result.injected.has_value()) {
-    result.response = server_->handle_http(service, request);
+    result.response = server_->handle_http(service, request, policy);
     result.server_executions = 1;
     return result;
   }
@@ -46,14 +95,14 @@ WireAttempt FaultyWire::attempt(const frameworks::DeployedService& service,
       // The request makes it through and the server executes it; only the
       // response is lost. This is the attempt that makes blind retransmits
       // dangerous for non-idempotent calls.
-      server_->handle_http(service, request);
+      server_->handle_http(service, request, policy);
       result.status = WireAttempt::Status::kReadTimeout;
       result.server_executions = 1;
       result.latency_ms = kNeverMs;
       return result;
     case FaultKind::kTruncatedBody:
     case FaultKind::kCorruptedByte:
-      result.response = server_->handle_http(service, request);
+      result.response = server_->handle_http(service, request, policy);
       result.server_executions = 1;
       result.response.body =
           apply_body_fault(*result.injected, std::move(result.response.body),
@@ -71,7 +120,7 @@ WireAttempt FaultyWire::attempt(const frameworks::DeployedService& service,
       result.response.set_header("Retry-After", "1");
       return result;
     case FaultKind::kSlowResponse:
-      result.response = server_->handle_http(service, request);
+      result.response = server_->handle_http(service, request, policy);
       result.server_executions = 1;
       result.latency_ms = kSlowLatencyMs;
       return result;
@@ -79,23 +128,54 @@ WireAttempt FaultyWire::attempt(const frameworks::DeployedService& service,
       // The network replays the request; the server executes twice. The
       // client sees one (clean) response — the damage is the second
       // server-side effect, which the duplicate-effect sniffer reports.
-      server_->handle_http(service, request);
-      result.response = server_->handle_http(service, request);
+      server_->handle_http(service, request, policy);
+      result.response = server_->handle_http(service, request, policy);
       result.server_executions = 2;
       return result;
     }
     case FaultKind::kDropContentType: {
       soap::HttpRequest mangled = request;
       mangled.remove_header("Content-Type");
-      result.response = server_->handle_http(service, mangled);
+      result.response = server_->handle_http(service, mangled, policy);
       // Rejected at the HTTP layer before dispatch — no execution.
       return result;
     }
     case FaultKind::kDropSoapAction: {
       soap::HttpRequest mangled = request;
       mangled.remove_header("SOAPAction");
-      result.response = server_->handle_http(service, mangled);
+      result.response = server_->handle_http(service, mangled, policy);
       // Java stacks dispatch on the body and still execute; .NET refuses.
+      result.server_executions = result.response.ok() ? 1 : 0;
+      return result;
+    }
+    case FaultKind::kSoap12Rewrite: {
+      // A version-confused gateway "upgrades" the envelope namespace to
+      // SOAP 1.2 in transit but leaves the Content-Type at text/xml.
+      // Strict and relaxed endpoints answer a VersionMismatch fault;
+      // shaded ones process the 1.2 envelope and answer in kind.
+      soap::HttpRequest mangled = request;
+      mangled.body = rewrite_envelope_namespace(mangled.body);
+      result.response = server_->handle_http(service, mangled, policy);
+      result.server_executions = result.response.ok() ? 1 : 0;
+      return result;
+    }
+    case FaultKind::kMustUnderstandInject: {
+      // An ESB injects a wsse:Security header marked mustUnderstand (plus
+      // WS-Addressing) into the forwarded request. Only shaded endpoints
+      // understand it; everyone else faults MustUnderstand.
+      soap::HttpRequest mangled = request;
+      mangled.body = inject_must_understand_header(mangled.body);
+      result.response = server_->handle_http(service, mangled, policy);
+      result.server_executions = result.response.ok() ? 1 : 0;
+      return result;
+    }
+    case FaultKind::kContentTypeSkew: {
+      // The intermediary rewrites the media type to application/soap+xml
+      // while the envelope stays SOAP 1.1 — 415 at the HTTP layer for
+      // strict and relaxed endpoints, accepted by shaded ones.
+      soap::HttpRequest mangled = request;
+      mangled.set_header("Content-Type", "application/soap+xml; charset=utf-8");
+      result.response = server_->handle_http(service, mangled, policy);
       result.server_executions = result.response.ok() ? 1 : 0;
       return result;
     }

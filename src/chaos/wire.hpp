@@ -58,20 +58,32 @@ class FaultyWire {
 
   const FaultPlan& plan() const { return plan_; }
 
+  /// Overrides the server's documented version-validation policy for every
+  /// delivery on this wire — the per-round knob of the `--versions` axis.
+  void set_server_policy(frameworks::VersionPolicy policy) { server_policy_ = policy; }
+  frameworks::VersionPolicy server_policy() const {
+    return server_policy_.has_value() ? *server_policy_ : server_->version_policy();
+  }
+
   /// Draws the deterministic schedule for one logical call.
   CallSchedule schedule(std::string_view call_id) const {
     return plan_call(plan_, call_id);
   }
 
   /// Performs delivery attempt `attempt_no` of a call, injecting whatever
-  /// the schedule dictates for that attempt.
+  /// the schedule dictates for that attempt. With `downgraded` set (the
+  /// retransmit of a 1.1-coherent downgrade form), the version-skew fault
+  /// kinds pass through clean: the downgrade handshake renegotiates the
+  /// path around the skewing intermediary, which is precisely why the
+  /// recovery works — every other fault kind still applies.
   WireAttempt attempt(const frameworks::DeployedService& service,
                       const soap::HttpRequest& request, const CallSchedule& schedule,
-                      unsigned attempt_no) const;
+                      unsigned attempt_no, bool downgraded = false) const;
 
  private:
   const frameworks::ServerFramework* server_;
   FaultPlan plan_;
+  std::optional<frameworks::VersionPolicy> server_policy_;
 };
 
 }  // namespace wsx::chaos

@@ -27,6 +27,9 @@ class Axis1Client final : public ClientFramework {
 
  private:
   bool patched_ = false;
+  /// Axis1 predates the 1.2-era extension stack entirely — it has no
+  /// WS-Addressing/WS-Security runtime and sends pure SOAP 1.1.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

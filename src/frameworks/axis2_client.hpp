@@ -18,6 +18,10 @@ class Axis2Client final : public ClientFramework {
   code::Language language() const override { return code::Language::kJava; }
   using ClientFramework::generate;
   GenerationResult generate(const SharedDescription& description) const override;
+  /// Axis2 ships the addressing module engaged by default and Rampart for
+  /// WS-Security — the full 1.2-era header stack on 1.1 envelopes, the
+  /// shape shaded-CXF receivers accept and strict ones reject.
+  VersionPolicy version_policy() const override { return VersionPolicy::kShadedCxf; }
 };
 
 }  // namespace wsx::frameworks

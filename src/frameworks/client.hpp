@@ -13,6 +13,7 @@
 
 #include "codemodel/model.hpp"
 #include "common/diagnostics.hpp"
+#include "frameworks/version_policy.hpp"
 
 namespace wsx::frameworks {
 
@@ -66,6 +67,13 @@ class ClientFramework {
     bool marshals_uncommon_structure = false;
   };
   virtual InvocationPolicy invocation_policy() const { return {}; }
+
+  /// The runtime's documented version-validation stance (see
+  /// version_policy.hpp). On the receive side it decides how the stack
+  /// treats 1.2-era headers in responses; on the send side it picks the
+  /// hybrid profile the proxy emits when the versions axis is active
+  /// (profile_for). Default: strict — no WS-* runtime at all.
+  virtual VersionPolicy version_policy() const { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

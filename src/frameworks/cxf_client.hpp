@@ -25,6 +25,10 @@ class CxfClient final : public ClientFramework {
 
  private:
   bool customized_ = false;
+  /// CXF bundles WS-Addressing/WS-Security interceptors (the shaded-CXF
+  /// deployments of the Digikoppeling estate are exactly this stack), so
+  /// its proxies emit the secured hybrid profile under the versions axis.
+  VersionPolicy version_policy() const override { return VersionPolicy::kShadedCxf; }
 };
 
 }  // namespace wsx::frameworks

@@ -28,6 +28,10 @@ class DotNetClient final : public ClientFramework {
 
  private:
   code::Language target_;
+  /// basicHttpBinding (AddressingVersion.None): wsdl.exe proxies send pure
+  /// SOAP 1.1 and the channel stack faults on 1.2-era headers it was not
+  /// configured for.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

@@ -25,6 +25,9 @@ class GsoapClient final : public ClientFramework {
     policy.omit_soap_action_when_unspecified = true;
     return policy;
   }
+  /// gSOAP stubs are compiled for exactly the binding they were generated
+  /// from: no WS-* runtime, strict version coherence.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

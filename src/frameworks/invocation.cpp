@@ -4,6 +4,7 @@
 #include "frameworks/features.hpp"
 #include "frameworks/shared_description.hpp"
 #include "soap/message.hpp"
+#include "soap/version.hpp"
 
 namespace wsx::frameworks {
 
@@ -21,11 +22,20 @@ PreparedCall prepare_echo_call(const DeployedService& service,
   return prepare_call(service, description, client, compiler, /*payload=*/nullptr);
 }
 
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const SharedDescription& description,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler,
+                               soap::HybridProfile profile) {
+  return prepare_call(service, description, client, compiler, /*payload=*/nullptr, profile);
+}
+
 PreparedCall prepare_call(const DeployedService& service,
                           const SharedDescription& description,
                           const ClientFramework& client,
                           const compilers::Compiler* compiler,
-                          const CallPayload* payload) {
+                          const CallPayload* payload,
+                          soap::HybridProfile profile) {
   PreparedCall call;
 
   // Steps 2–3 gate the call exactly as in the main study.
@@ -77,6 +87,17 @@ PreparedCall prepare_call(const DeployedService& service,
     return call;
   }
 
+  // Mixed-version dressing: the hybrid profile's 1.2-era headers go onto
+  // the wire form; the pure-1.1 serialization is kept as the downgrade
+  // form a version-mismatch recovery retransmits.
+  const std::string downgrade_text = soap::write(*request);
+  std::string wire_text = downgrade_text;
+  if (profile != soap::HybridProfile::kPure11) {
+    soap::apply_hybrid_profile(*request, profile, call.operation);
+    wire_text = soap::write(*request);
+    call.hybrid = wire_text != downgrade_text;
+  }
+
   // SOAPAction header policy.
   bool binding_declares_action = false;
   for (const wsdl::Binding& binding : service.wsdl.bindings) {
@@ -86,13 +107,15 @@ PreparedCall prepare_call(const DeployedService& service,
       }
     }
   }
-  call.request = soap::make_soap_request(
-      service.wsdl.services.empty() ? "http://localhost/"
-                                    : service.wsdl.services.front().ports.front().location,
-      "", soap::write(*request));
+  const std::string url = service.wsdl.services.empty()
+                              ? "http://localhost/"
+                              : service.wsdl.services.front().ports.front().location;
+  call.request = soap::make_soap_request(url, "", std::move(wire_text));
+  call.downgrade_request = soap::make_soap_request(url, "", downgrade_text);
   if (!binding_declares_action && policy.omit_soap_action_when_unspecified) {
     // gSOAP stubs send no SOAPAction header when the binding declares none.
     call.request.remove_header("SOAPAction");
+    call.downgrade_request.remove_header("SOAPAction");
   }
   call.status = PreparedCall::Status::kReady;
   return call;
@@ -112,7 +135,19 @@ EchoClassification classify_echo_response(const soap::HttpResponse& response,
     return result;
   }
   if (envelope->is_fault()) {
-    // Distinguish header-level rejections from execution faults.
+    // Distinguish header-level rejections from execution faults, and the
+    // version-policy rejections of the mixed-version axis from both: a
+    // VersionMismatch or MustUnderstand code (either version's spelling)
+    // marks the call recoverable by downgrading to the 1.1-coherent form.
+    const std::string& code = envelope->fault().fault_code;
+    const std::size_t colon = code.find(':');
+    const std::string_view local = colon == std::string::npos
+                                       ? std::string_view(code)
+                                       : std::string_view(code).substr(colon + 1);
+    if (local == "VersionMismatch" || local == "MustUnderstand") {
+      result.outcome = EchoOutcome::kVersionMismatch;
+      return result;
+    }
     result.outcome =
         envelope->fault().fault_string.find("SOAPAction") != std::string::npos
             ? EchoOutcome::kTransportError

@@ -50,6 +50,13 @@ struct PreparedCall {
   /// The proxy marshalled into the "uncommon data structure" element
   /// (arg0Struct): the server model drops the argument and echoes "".
   bool uncommon_marshalling = false;
+  /// The 1.1-coherent form of `request` (hybrid extension headers
+  /// stripped): what a downgrade-capable stack retransmits after a
+  /// version-mismatch fault. Identical to `request` for pure-1.1 calls.
+  soap::HttpRequest downgrade_request;
+  /// True when `request` carries a hybrid profile, i.e. differs from
+  /// `downgrade_request` — the precondition for a meaningful downgrade.
+  bool hybrid = false;
 };
 
 /// Runs generation + compilation gates and marshals the request envelope
@@ -69,6 +76,16 @@ PreparedCall prepare_echo_call(const DeployedService& service,
                                const ClientFramework& client,
                                const compilers::Compiler* compiler);
 
+/// Mixed-version variant: the request envelope is dressed in `profile`'s
+/// 1.2-era extension headers (soap/version.hpp) before serialization, and
+/// `downgrade_request` keeps the pure-1.1 form for downgrade retries.
+/// kPure11 is byte-identical to the overload above.
+PreparedCall prepare_echo_call(const DeployedService& service,
+                               const SharedDescription& description,
+                               const ClientFramework& client,
+                               const compilers::Compiler* compiler,
+                               soap::HybridProfile profile);
+
 /// General form behind prepare_echo_call: with `payload == nullptr` the
 /// probe/enumeration default payload is used (byte-identical to
 /// prepare_echo_call); otherwise the caller's payload is marshalled —
@@ -80,13 +97,18 @@ PreparedCall prepare_call(const DeployedService& service,
                           const SharedDescription& description,
                           const ClientFramework& client,
                           const compilers::Compiler* compiler,
-                          const CallPayload* payload);
+                          const CallPayload* payload,
+                          soap::HybridProfile profile = soap::HybridProfile::kPure11);
 
 /// How one *delivered* HTTP response relates to the call contract.
 enum class EchoOutcome {
-  kTransportError,  ///< HTTP-level rejection or unparseable response body
-  kServerFault,     ///< server returned a soap:Fault
-  kEchoMismatch,    ///< call completed but the echoed payload is wrong
+  kTransportError,   ///< HTTP-level rejection or unparseable response body
+  kVersionMismatch,  ///< version-policy rejection: a VersionMismatch or
+                     ///< MustUnderstand fault — the distinct outcome class
+                     ///< of the mixed-version axis, and the trigger of the
+                     ///< downgrade-retry recovery path
+  kServerFault,      ///< server returned any other soap:Fault
+  kEchoMismatch,     ///< call completed but the echoed payload is wrong
   kOk,
 };
 

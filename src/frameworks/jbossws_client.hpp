@@ -25,6 +25,8 @@ class JBossWsClient final : public ClientFramework {
 
  private:
   bool customized_ = false;
+  /// CXF-based like the server side: the shaded interceptor stack engages.
+  VersionPolicy version_policy() const override { return VersionPolicy::kShadedCxf; }
 };
 
 }  // namespace wsx::frameworks

@@ -25,6 +25,12 @@ class JBossWsServer final : public ServerFramework {
   bool can_deploy(const catalog::TypeInfo& type) const override;
   Result<DeployedService> deploy(const ServiceSpec& spec) const override;
 
+  /// CXF-based, deployed the way the Digikoppeling WUS estate ships its
+  /// shaded CXF: the bundled WS-Addressing/WS-Security interceptors engage,
+  /// so 1.2-era headers (mustUnderstand included) are processed, and the
+  /// endpoint answers genuine SOAP 1.2 envelopes in kind.
+  VersionPolicy version_policy() const override { return VersionPolicy::kShadedCxf; }
+
  private:
   bool refuse_zero_operations_ = false;
 };

@@ -29,6 +29,10 @@ class MetroClient final : public ClientFramework {
 
  private:
   bool customized_ = false;
+  /// JAX-WS RI runtime: tolerates unknown non-mustUnderstand extension
+  /// headers in responses and, when the versions axis is on, emits the
+  /// (ignorable) WS-Addressing headers its wsa module adds by default.
+  VersionPolicy version_policy() const override { return VersionPolicy::kRelaxed; }
 };
 
 }  // namespace wsx::frameworks

@@ -16,6 +16,11 @@ class MetroServer final : public ServerFramework {
 
   bool can_deploy(const catalog::TypeInfo& type) const override;
   Result<DeployedService> deploy(const ServiceSpec& spec) const override;
+
+  /// The JAX-WS RI processing model: unknown extension headers not marked
+  /// mustUnderstand are skipped silently; a mustUnderstand header it has no
+  /// handler for still faults, and a 1.2 envelope gets VersionMismatch.
+  VersionPolicy version_policy() const override { return VersionPolicy::kRelaxed; }
 };
 
 }  // namespace wsx::frameworks

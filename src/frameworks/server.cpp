@@ -2,28 +2,54 @@
 
 #include "common/strings.hpp"
 #include "soap/message.hpp"
+#include "soap/version.hpp"
 #include "xsd/values.hpp"
 
 namespace wsx::frameworks {
 
 soap::Envelope ServerFramework::handle_request(const DeployedService& service,
                                                const soap::Envelope& request) const {
-  // The studied stacks bind services to SOAP 1.1 endpoints; a 1.2 envelope
-  // gets the standard VersionMismatch fault.
-  if (request.version() != soap::SoapVersion::k11) {
+  return handle_request(service, request, version_policy());
+}
+
+soap::Envelope ServerFramework::handle_request(const DeployedService& service,
+                                               const soap::Envelope& request,
+                                               VersionPolicy policy) const {
+  // A shaded-CXF deployment answers a genuine SOAP 1.2 envelope in kind;
+  // everything else on this endpoint speaks 1.1 — faults included.
+  const soap::SoapVersion respond =
+      policy == VersionPolicy::kShadedCxf && request.version() == soap::SoapVersion::k12
+          ? soap::SoapVersion::k12
+          : soap::SoapVersion::k11;
+  const auto fault = [respond](std::string code, std::string reason, std::string detail) {
     return soap::Envelope::make_fault(
-        {"soap:VersionMismatch", "endpoint only accepts SOAP 1.1 envelopes", ""});
+        {std::move(code), std::move(reason), std::move(detail)}, respond);
+  };
+
+  // The studied stacks bind services to SOAP 1.1 endpoints; a 1.2 envelope
+  // gets the standard VersionMismatch fault — unless the shaded runtime's
+  // bundled 1.2 support engages.
+  if (request.version() != soap::SoapVersion::k11 && policy != VersionPolicy::kShadedCxf) {
+    return fault("soap:VersionMismatch", "endpoint only accepts SOAP 1.1 envelopes", "");
+  }
+  const soap::VersionCoherence coherence = soap::inspect_coherence(request);
+  if (policy == VersionPolicy::kStrict && coherence.has_12_era_headers) {
+    // Strict version coherence: a 1.1 envelope must not carry the 1.2-era
+    // extension stack at all, mustUnderstand or not.
+    return fault("soap:VersionMismatch",
+                 "SOAP 1.2-era extension header on a SOAP 1.1 endpoint", "");
   }
   // Header entries demanding mustUnderstand processing: the echo services
-  // understand no extension headers, so SOAP requires a fault.
-  if (request.has_must_understand_headers()) {
-    return soap::Envelope::make_fault(
-        {"soap:MustUnderstand", "header not understood by this endpoint", ""});
+  // understand no extension headers, so SOAP requires a fault — except the
+  // shaded runtime, whose bundled WS-A/WS-Security modules process the
+  // known 1.2-era headers. Unknown mustUnderstand headers fault everywhere.
+  if (coherence.has_unknown_mu_headers ||
+      (coherence.has_12_era_mu_headers && policy != VersionPolicy::kShadedCxf)) {
+    return fault("soap:MustUnderstand", "header not understood by this endpoint", "");
   }
   Result<std::string> operation = soap::request_operation(request);
   if (!operation.ok()) {
-    return soap::Envelope::make_fault(
-        {"soap:Client", "malformed request", operation.error().message});
+    return fault("soap:Client", "malformed request", operation.error().message);
   }
   bool described = false;
   for (const wsdl::PortType& port_type : service.wsdl.port_types) {
@@ -32,8 +58,7 @@ soap::Envelope ServerFramework::handle_request(const DeployedService& service,
     }
   }
   if (!described) {
-    return soap::Envelope::make_fault(
-        {"soap:Client", "unknown operation '" + *operation + "'", ""});
+    return fault("soap:Client", "unknown operation '" + *operation + "'", "");
   }
   // Unmarshal by element name, as a real binder does: arguments under an
   // unexpected element are silently dropped (they are "lax" content), so a
@@ -67,22 +92,20 @@ soap::Envelope ServerFramework::handle_request(const DeployedService& service,
             if (candidate->name == field->local_name()) declared = candidate;
           }
           if (declared == nullptr) {
-            return soap::Envelope::make_fault(
-                {"soap:Client",
-                 "unmarshalling error: unexpected element '" + field->local_name() + "'",
-                 ""});
+            return fault(
+                "soap:Client",
+                "unmarshalling error: unexpected element '" + field->local_name() + "'", "");
           }
           const std::optional<xsd::Builtin> builtin =
               declared->type.namespace_uri() == xml::ns::kXsd
                   ? xsd::builtin_from_local_name(declared->type.local_name())
                   : std::nullopt;
           if (builtin && !xsd::is_valid_value(*builtin, field->text())) {
-            return soap::Envelope::make_fault(
-                {"soap:Client",
-                 "unmarshalling error: '" + field->text() + "' is not a valid xsd:" +
-                     declared->type.local_name() + " for element '" + field->local_name() +
-                     "'",
-                 ""});
+            return fault("soap:Client",
+                         "unmarshalling error: '" + field->text() + "' is not a valid xsd:" +
+                             declared->type.local_name() + " for element '" +
+                             field->local_name() + "'",
+                         "");
           }
         }
         // Echo the first field's value (the bean round-trips).
@@ -97,10 +120,10 @@ soap::Envelope ServerFramework::handle_request(const DeployedService& service,
     for (const xsd::SimpleTypeDecl& simple : schema.simple_types) {
       if (!simple.enumeration.empty() && !value.empty() &&
           !xsd::is_valid_value(simple, value)) {
-        return soap::Envelope::make_fault(
-            {"soap:Client",
-             "unmarshalling error: '" + value + "' is not a valid " + simple.name + " value",
-             ""});
+        return fault(
+            "soap:Client",
+            "unmarshalling error: '" + value + "' is not a valid " + simple.name + " value",
+            "");
       }
     }
   }
@@ -113,19 +136,25 @@ soap::Envelope ServerFramework::handle_request(const DeployedService& service,
         if (!op.faults.empty()) detail = op.faults.front().name;
       }
     }
-    return soap::Envelope::make_fault(
-        {"soap:Server", "simulated service exception", detail});
+    return fault("soap:Server", "simulated service exception", detail);
   }
   Result<soap::Envelope> response = soap::build_response(service.wsdl, *operation, value);
   if (!response.ok()) {
-    return soap::Envelope::make_fault(
-        {"soap:Server", "failed to build response", response.error().message});
+    return fault("soap:Server", "failed to build response", response.error().message);
   }
+  // A 1.2 conversation gets its echo back in 1.2 as well.
+  response.value().set_version(respond);
   return std::move(response.value());
 }
 
 soap::HttpResponse ServerFramework::handle_http(const DeployedService& service,
                                                 const soap::HttpRequest& request) const {
+  return handle_http(service, request, version_policy());
+}
+
+soap::HttpResponse ServerFramework::handle_http(const DeployedService& service,
+                                                const soap::HttpRequest& request,
+                                                VersionPolicy policy) const {
   const auto fault = [](std::string code, std::string reason) {
     const soap::Envelope envelope =
         soap::Envelope::make_fault({std::move(code), std::move(reason), ""});
@@ -138,8 +167,17 @@ soap::HttpResponse ServerFramework::handle_http(const DeployedService& service,
     response.body = "method not allowed";
     return response;
   }
+  // Media-type gate. Every endpoint accepts the SOAP 1.1 "text/xml"; only
+  // the shaded runtime also accepts the SOAP 1.2 "application/soap+xml".
+  // A skewed Content-Type on a strict/relaxed stack dies here with a 415,
+  // before any envelope is ever parsed.
   const std::optional<std::string> content_type = request.header("Content-Type");
-  if (!content_type || content_type->find("text/xml") == std::string::npos) {
+  const bool media_type_ok =
+      content_type.has_value() &&
+      (soap::content_type_matches(*content_type, soap::SoapVersion::k11) ||
+       (policy == VersionPolicy::kShadedCxf &&
+        soap::content_type_matches(*content_type, soap::SoapVersion::k12)));
+  if (!media_type_ok) {
     soap::HttpResponse response;
     response.status = 415;
     response.body = "unsupported media type";
@@ -155,9 +193,14 @@ soap::HttpResponse ServerFramework::handle_http(const DeployedService& service,
   if (!envelope.ok()) {
     return fault("soap:Client", "malformed envelope: " + envelope.error().message);
   }
-  const soap::Envelope response_envelope = handle_request(service, *envelope);
-  return soap::make_soap_response(soap::write(response_envelope),
-                                  response_envelope.is_fault());
+  const soap::Envelope response_envelope = handle_request(service, *envelope, policy);
+  soap::HttpResponse response = soap::make_soap_response(soap::write(response_envelope),
+                                                         response_envelope.is_fault());
+  if (response_envelope.version() == soap::SoapVersion::k12) {
+    // A 1.2 reply travels under its own media type.
+    response.set_header("Content-Type", "application/soap+xml; charset=utf-8");
+  }
+  return response;
 }
 
 }  // namespace wsx::frameworks

@@ -13,6 +13,7 @@
 
 #include "common/result.hpp"
 #include "frameworks/service.hpp"
+#include "frameworks/version_policy.hpp"
 #include "soap/envelope.hpp"
 #include "soap/http.hpp"
 #include "wsdl/model.hpp"
@@ -45,19 +46,34 @@ class ServerFramework {
   /// (a), Service Description Generation). Errors use the "deploy." prefix.
   virtual Result<DeployedService> deploy(const ServiceSpec& spec) const = 0;
 
+  /// The stack's documented version-validation policy (see
+  /// version_policy.hpp for the taxonomy and per-stack rationale).
+  /// Campaigns may override it per round via the explicit-policy overloads
+  /// below — that sweep is the `--versions` robustness axis.
+  virtual VersionPolicy version_policy() const { return VersionPolicy::kStrict; }
+
   /// Execution step (paper's future work): handles one request envelope
-  /// against a deployed service, echoing the argument back.
+  /// against a deployed service, echoing the argument back. The two-arg
+  /// form validates under the stack's documented version_policy().
   soap::Envelope handle_request(const DeployedService& service,
                                 const soap::Envelope& request) const;
+  soap::Envelope handle_request(const DeployedService& service,
+                                const soap::Envelope& request,
+                                VersionPolicy policy) const;
 
   /// True when the stack's HTTP listener refuses requests without a
   /// SOAPAction header (.NET does; the Java stacks dispatch on the body).
   virtual bool requires_soap_action_header() const { return false; }
 
   /// Full Communication + Execution steps over the HTTP wire model:
-  /// header checks, envelope parsing, dispatch, response serialization.
+  /// header checks (Content-Type per the version policy), envelope
+  /// parsing, dispatch, response serialization. The two-arg form uses the
+  /// stack's documented version_policy().
   soap::HttpResponse handle_http(const DeployedService& service,
                                  const soap::HttpRequest& request) const;
+  soap::HttpResponse handle_http(const DeployedService& service,
+                                 const soap::HttpRequest& request,
+                                 VersionPolicy policy) const;
 };
 
 }  // namespace wsx::frameworks

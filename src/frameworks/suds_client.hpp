@@ -16,6 +16,8 @@ class SudsClient final : public ClientFramework {
   code::Language language() const override { return code::Language::kPython; }
   using ClientFramework::generate;
   GenerationResult generate(const SharedDescription& description) const override;
+  /// suds speaks plain SOAP 1.1 only — no WS-* plugin stack.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

@@ -1,0 +1,59 @@
+#include "frameworks/version_policy.hpp"
+
+#include <sstream>
+
+#include "frameworks/registry.hpp"
+
+namespace wsx::frameworks {
+
+const char* to_string(VersionPolicy policy) {
+  switch (policy) {
+    case VersionPolicy::kStrict:
+      return "strict";
+    case VersionPolicy::kRelaxed:
+      return "relaxed";
+    case VersionPolicy::kShadedCxf:
+      return "shaded";
+  }
+  return "unknown";
+}
+
+std::optional<VersionPolicy> parse_version_policy(std::string_view name) {
+  if (name == "strict") return VersionPolicy::kStrict;
+  if (name == "relaxed") return VersionPolicy::kRelaxed;
+  if (name == "shaded") return VersionPolicy::kShadedCxf;
+  return std::nullopt;
+}
+
+std::array<VersionPolicy, kVersionPolicyCount> all_version_policies() {
+  return {VersionPolicy::kStrict, VersionPolicy::kRelaxed, VersionPolicy::kShadedCxf};
+}
+
+soap::HybridProfile profile_for(VersionPolicy policy) {
+  switch (policy) {
+    case VersionPolicy::kStrict:
+      return soap::HybridProfile::kPure11;
+    case VersionPolicy::kRelaxed:
+      return soap::HybridProfile::kAddressing;
+    case VersionPolicy::kShadedCxf:
+      return soap::HybridProfile::kSecured;
+  }
+  return soap::HybridProfile::kPure11;
+}
+
+std::string format_version_policy_matrix() {
+  std::ostringstream out;
+  out << "| model | role | version policy | emits profile |\n";
+  out << "|---|---|---|---|\n";
+  for (const auto& server : make_servers()) {
+    out << "| " << server->name() << " | server | " << to_string(server->version_policy())
+        << " | — |\n";
+  }
+  for (const auto& client : make_clients()) {
+    out << "| " << client->name() << " | client | " << to_string(client->version_policy())
+        << " | " << soap::to_string(profile_for(client->version_policy())) << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace wsx::frameworks

@@ -18,6 +18,11 @@ class WcfServer final : public ServerFramework {
   bool can_deploy(const catalog::TypeInfo& type) const override;
   Result<DeployedService> deploy(const ServiceSpec& spec) const override;
   bool requires_soap_action_header() const override { return true; }
+
+  /// basicHttpBinding with AddressingVersion.None: WCF faults on any
+  /// WS-Addressing/WS-Security header it was not configured for — full
+  /// version-coherence enforcement.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

@@ -24,6 +24,8 @@ class ZendClient final : public ClientFramework {
     policy.marshals_uncommon_structure = true;
     return policy;
   }
+  /// Zend_Soap rides PHP's ext/soap — SOAP 1.1 only, no extension headers.
+  VersionPolicy version_policy() const override { return VersionPolicy::kStrict; }
 };
 
 }  // namespace wsx::frameworks

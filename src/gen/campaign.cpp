@@ -52,6 +52,8 @@ const char* to_string(frameworks::EchoOutcome outcome) {
   switch (outcome) {
     case frameworks::EchoOutcome::kTransportError:
       return "transport error";
+    case frameworks::EchoOutcome::kVersionMismatch:
+      return "version mismatch";
     case frameworks::EchoOutcome::kServerFault:
       return "server fault";
     case frameworks::EchoOutcome::kEchoMismatch:

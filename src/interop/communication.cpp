@@ -1,6 +1,7 @@
 #include "interop/communication.hpp"
 
 #include <iomanip>
+#include <optional>
 #include <sstream>
 
 #include "common/pool.hpp"
@@ -28,6 +29,8 @@ const char* to_string(CommOutcome outcome) {
       return "echo mismatch";
     case CommOutcome::kOk:
       return "ok";
+    case CommOutcome::kVersionMismatch:
+      return "version mismatch";
   }
   return "unknown";
 }
@@ -71,11 +74,16 @@ InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
                                    const frameworks::SharedDescription* description,
                                    const frameworks::ClientFramework& client,
                                    const compilers::Compiler* compiler,
-                                   std::size_t* sniffed_violations) {
+                                   std::size_t* sniffed_violations,
+                                   soap::HybridProfile profile,
+                                   const frameworks::VersionPolicy* policy) {
   const frameworks::PreparedCall call =
       description != nullptr
-          ? frameworks::prepare_echo_call(service, *description, client, compiler)
-          : frameworks::prepare_echo_call(service, client, compiler);
+          ? frameworks::prepare_echo_call(service, *description, client, compiler, profile)
+          : frameworks::prepare_echo_call(
+                service,
+                frameworks::SharedDescription::from_deployed(service, /*with_wsi=*/false),
+                client, compiler, profile);
   if (call.status == frameworks::PreparedCall::Status::kBlockedEarlier) {
     return {CommOutcome::kBlockedEarlier, 0};
   }
@@ -93,12 +101,20 @@ InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
   }
 
   // The wire + Execution step.
-  const soap::HttpResponse http_response = server.handle_http(service, call.request);
+  const soap::HttpResponse http_response = server.handle_http(
+      service, call.request, policy != nullptr ? *policy : server.version_policy());
   const frameworks::EchoClassification classified =
       frameworks::classify_echo_response(http_response, call.payload);
   switch (classified.outcome) {
     case frameworks::EchoOutcome::kTransportError:
+      // A 415 is the HTTP face of a version-policy rejection (the strict
+      // media-type gate); keep it in the version-mismatch outcome class.
+      if (classified.http_status == 415) {
+        return {CommOutcome::kVersionMismatch, classified.http_status};
+      }
       return {CommOutcome::kTransportError, classified.http_status};
+    case frameworks::EchoOutcome::kVersionMismatch:
+      return {CommOutcome::kVersionMismatch, classified.http_status};
     case frameworks::EchoOutcome::kServerFault:
       return {CommOutcome::kServerFault, classified.http_status};
     case frameworks::EchoOutcome::kEchoMismatch:
@@ -122,11 +138,38 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
     client_compilers.push_back(compilers::make_compiler(client->language()));
   }
 
+  // The mixed-version axis: one round per server × policy with labeled
+  // results; clients dress calls in their documented hybrid profiles.
+  // Empty config.versions = the classic single-round pure-1.1 study.
+  struct Round {
+    const frameworks::ServerFramework* server;
+    std::optional<frameworks::VersionPolicy> policy;
+    std::string label;
+  };
+  std::vector<Round> rounds;
   for (const auto& server : servers) {
+    if (config.versions.empty()) {
+      rounds.push_back({server.get(), std::nullopt, server->name()});
+      continue;
+    }
+    for (const frameworks::VersionPolicy policy : config.versions) {
+      rounds.push_back({server.get(), policy,
+                        server->name() + " [" + frameworks::to_string(policy) + "]"});
+    }
+  }
+  std::vector<soap::HybridProfile> profiles;
+  for (const auto& client : clients) {
+    profiles.push_back(config.versions.empty()
+                           ? soap::HybridProfile::kPure11
+                           : frameworks::profile_for(client->version_policy()));
+  }
+
+  for (const Round& round : rounds) {
+    const frameworks::ServerFramework* server = round.server;
     const catalog::TypeCatalog& catalog =
         server->language() == "C#" ? dotnet_catalog : java_catalog;
     CommServerResult server_result;
-    server_result.server = server->name();
+    server_result.server = round.label;
     for (std::size_t i = 0; i < clients.size(); ++i) {
       CommCell cell;
       cell.client = clients[i]->name();
@@ -198,7 +241,8 @@ CommunicationResult run_communication_study(const StudyConfig& config) {
           const InvocationOutcome result = invoke_echo_once(
               *server, deployed[index],
               config.parse_cache ? &descriptions[index] : nullptr, *clients[i],
-              client_compilers[i].get(), &partial.sniffed);
+              client_compilers[i].get(), &partial.sniffed, profiles[i],
+              round.policy.has_value() ? &*round.policy : nullptr);
           ++partial.cells[i].outcomes[static_cast<std::size_t>(result.outcome)];
           obs::add(config.metrics, "comm.invocations_total");
           obs::add(config.metrics,
@@ -258,14 +302,16 @@ std::string format_communication(const CommunicationResult& result) {
     out << server.server << " — " << server.services_deployed << " services\n";
     out << "  " << std::left << std::setw(44) << "client" << std::right << std::setw(9)
         << "attempted" << std::setw(8) << "ok" << std::setw(10) << "no-proxy" << std::setw(11)
-        << "transport" << std::setw(8) << "fault" << std::setw(10) << "mismatch" << "\n";
+        << "transport" << std::setw(8) << "fault" << std::setw(10) << "mismatch"
+        << std::setw(11) << "vmismatch" << "\n";
     for (const CommCell& cell : server.cells) {
       out << "  " << std::left << std::setw(44) << cell.client << std::right << std::setw(9)
           << cell.attempted() << std::setw(8) << cell.count(CommOutcome::kOk) << std::setw(10)
           << cell.count(CommOutcome::kNoInvocableProxy) << std::setw(11)
           << cell.count(CommOutcome::kTransportError) << std::setw(8)
           << cell.count(CommOutcome::kServerFault) << std::setw(10)
-          << cell.count(CommOutcome::kEchoMismatch) << "\n";
+          << cell.count(CommOutcome::kEchoMismatch) << std::setw(11)
+          << cell.count(CommOutcome::kVersionMismatch) << "\n";
     }
   }
   std::size_t transport_4xx = 0;
@@ -288,7 +334,7 @@ std::string format_communication(const CommunicationResult& result) {
 std::string communication_csv(const CommunicationResult& result) {
   std::ostringstream out;
   out << "server,client,blocked,no_proxy,transport,server_fault,mismatch,ok,"
-         "transport_4xx,transport_5xx\n";
+         "version_mismatch,transport_4xx,transport_5xx\n";
   for (const CommServerResult& server : result.servers) {
     for (const CommCell& cell : server.cells) {
       out << server.server << ',' << cell.client << ','
@@ -297,6 +343,7 @@ std::string communication_csv(const CommunicationResult& result) {
           << cell.count(CommOutcome::kTransportError) << ','
           << cell.count(CommOutcome::kServerFault) << ','
           << cell.count(CommOutcome::kEchoMismatch) << ',' << cell.count(CommOutcome::kOk)
+          << ',' << cell.count(CommOutcome::kVersionMismatch)
           << ',' << cell.transport_4xx << ',' << cell.transport_5xx << '\n';
     }
   }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "interop/study.hpp"
+#include "soap/version.hpp"
 
 namespace wsx::interop {
 
@@ -25,8 +26,12 @@ enum class CommOutcome {
   kServerFault,      ///< server returned a soap:Fault
   kEchoMismatch,     ///< call completed but the echoed payload is wrong
   kOk,
+  kVersionMismatch,  ///< the endpoint rejected the call's version shape
+                     ///< (VersionMismatch/MustUnderstand fault) — the
+                     ///< mixed-version axis's distinct outcome class
+                     ///< (appended so journal outcome indices stay stable)
 };
-inline constexpr std::size_t kCommOutcomeCount = 6;
+inline constexpr std::size_t kCommOutcomeCount = 7;
 
 const char* to_string(CommOutcome outcome);
 
@@ -83,12 +88,17 @@ struct InvocationOutcome {
 /// --no-parse-cache path); `compiler` is null for dynamic clients.
 /// `sniffed_violations`, when non-null, is incremented for requests the
 /// conformance sniffer (soap/validate.hpp) flags as contract violations.
+/// `profile` dresses the call in 1.2-era headers (the --versions axis;
+/// kPure11 = classic behaviour); `policy` overrides the server's documented
+/// version-validation policy for this delivery (null = documented policy).
 InvocationOutcome invoke_echo_once(const frameworks::ServerFramework& server,
                                    const frameworks::DeployedService& service,
                                    const frameworks::SharedDescription* description,
                                    const frameworks::ClientFramework& client,
                                    const compilers::Compiler* compiler,
-                                   std::size_t* sniffed_violations = nullptr);
+                                   std::size_t* sniffed_violations = nullptr,
+                                   soap::HybridProfile profile = soap::HybridProfile::kPure11,
+                                   const frameworks::VersionPolicy* policy = nullptr);
 
 /// Renders the extension table (no paper reference exists; this is the
 /// future-work experiment).

@@ -58,6 +58,7 @@ Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& c
       ToolScorecard& card = card_for(cell.client);
       card.invocations_attempted += cell.attempted();
       card.wire_failures += cell.failures();
+      card.version_mismatches += cell.count(CommOutcome::kVersionMismatch);
     }
   }
   for (const fuzz::ToolRobustness& tool : fuzzing.tools) {
@@ -82,6 +83,7 @@ Scorecard build_scorecard(const StudyResult& study, const CommunicationResult& c
         if (tool.client != cell.client) continue;
         tool.chaos_challenged += cell.challenged;
         tool.chaos_resilient += cell.challenged_ok;
+        tool.chaos_downgraded += cell.count(chaos::ChaosOutcome::kDowngraded);
       }
     }
   }
@@ -94,7 +96,8 @@ std::string format_scorecard(const Scorecard& scorecard) {
   out << "  " << std::left << std::setw(40) << "client" << std::right << std::setw(10)
       << "gen errs" << std::setw(10) << "comp errs" << std::setw(9) << "static%"
       << std::setw(10) << "wire errs" << std::setw(8) << "wire%" << std::setw(18)
-      << "silent-on-broken" << std::setw(8) << "resil%" << "\n";
+      << "silent-on-broken" << std::setw(8) << "resil%" << std::setw(11) << "vmismatch"
+      << std::setw(11) << "downgraded" << "\n";
   for (const ToolScorecard& tool : scorecard.tools) {
     out << "  " << std::left << std::setw(40)
         << std::string(paper::normalize_client_name(tool.client)) << std::right
@@ -103,13 +106,17 @@ std::string format_scorecard(const Scorecard& scorecard) {
         << "%" << std::setw(10) << tool.wire_failures << std::setw(7) << std::setprecision(2)
         << tool.wire_failure_rate() << "%" << std::setw(12) << tool.silent_on_broken << " / "
         << tool.fuzz_mutants << std::setw(7) << std::setprecision(1)
-        << tool.wire_resilience_rate() << "%" << "\n";
+        << tool.wire_resilience_rate() << "%" << std::setw(11) << tool.version_mismatches
+        << std::setw(11) << tool.chaos_downgraded << "\n";
   }
   out << "\nReading guide: low static% + low wire% + low silent-on-broken is what a\n"
          "framework selector wants; a tool can look clean on steps 1-3 and still\n"
          "fail on the wire (Zend) or hide defects by accepting broken input.\n"
          "resil% is the share of fault-challenged chaos calls the stack still\n"
-         "carried to success (0 when the chaos campaign didn't run).\n";
+         "carried to success (0 when the chaos campaign didn't run).\n"
+         "vmismatch counts version-policy rejections under the --versions axis;\n"
+         "downgraded counts chaos successes won by the 1.1-coherent downgrade\n"
+         "retransmit (both 0 outside the mixed-version campaigns).\n";
   return out.str();
 }
 

@@ -26,6 +26,8 @@ struct ToolScorecard {
   // Communication + Execution extension.
   std::size_t invocations_attempted = 0;
   std::size_t wire_failures = 0;
+  /// Version-policy rejections (the --versions axis; zero outside it).
+  std::size_t version_mismatches = 0;
 
   // Robustness fuzzing.
   std::size_t fuzz_mutants = 0;
@@ -34,6 +36,8 @@ struct ToolScorecard {
   // Wire-fault chaos study (zero when the campaign didn't run).
   std::size_t chaos_challenged = 0;  ///< calls that saw an injected fault
   std::size_t chaos_resilient = 0;   ///< challenged calls that still succeeded
+  std::size_t chaos_downgraded = 0;  ///< successes won by the downgrade-retry
+                                     ///< recovery (1.1-coherent retransmit)
 
   /// Steps 1–3 error rate in percent.
   double static_failure_rate() const;

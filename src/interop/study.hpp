@@ -152,6 +152,16 @@ struct StudyConfig {
   /// the escape hatch exists for A/B measurement (`--no-parse-cache`).
   bool parse_cache = true;
 
+  /// The mixed-version axis (communication study): when non-empty, every
+  /// server runs one round per listed policy — overriding its documented
+  /// version-validation policy — while each client dresses its calls in
+  /// the hybrid profile its own documented policy implies
+  /// (frameworks::profile_for). Rounds are labeled "Server [policy]".
+  /// Empty = classic pure-1.1 behaviour. The static study (steps 1–3)
+  /// never touches the wire, so the axis only affects the communication
+  /// and chaos campaigns.
+  std::vector<frameworks::VersionPolicy> versions;
+
   /// Optional per-test observer (e.g. a JSON-lines logger). Called from
   /// worker threads under an internal mutex; keep it cheap.
   std::function<void(const TestRecord&)> observer;

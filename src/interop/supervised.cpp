@@ -10,6 +10,8 @@
 #include "compilers/compiler.hpp"
 #include "frameworks/registry.hpp"
 #include "frameworks/shared_description.hpp"
+#include "frameworks/version_policy.hpp"
+#include "soap/version.hpp"
 
 namespace wsx::interop {
 namespace {
@@ -224,10 +226,15 @@ Result<StudyConfig> study_config_from_json(std::string_view text) {
 }
 
 std::string communication_config_json(const StudyConfig& config) {
+  json::ArrayWriter versions;
+  for (const frameworks::VersionPolicy policy : config.versions) {
+    versions.item(frameworks::to_string(policy));
+  }
   return json::ObjectWriter{}
       .raw_field("java", catalog::to_json(config.java_spec))
       .raw_field("dotnet", catalog::to_json(config.dotnet_spec))
       .field("parse_cache", config.parse_cache)
+      .raw_field("versions", versions.str())
       .str();
 }
 
@@ -243,6 +250,17 @@ Result<StudyConfig> communication_config_from_json(std::string_view text) {
   config.dotnet_spec = dotnet.value();
   if (!read_flag(*parsed, "parse_cache", config.parse_cache)) {
     return bad_config("missing parse_cache");
+  }
+  const json::Value* versions = parsed->find("versions");
+  if (versions == nullptr || !versions->is_array()) return bad_config("missing versions");
+  for (const json::Value& policy : versions->items()) {
+    if (!policy.is_string()) return bad_config("malformed version policy");
+    const std::optional<frameworks::VersionPolicy> known =
+        frameworks::parse_version_policy(policy.as_string());
+    if (!known.has_value()) {
+      return bad_config("unknown version policy '" + policy.as_string() + "'");
+    }
+    config.versions.push_back(*known);
   }
   return config;
 }
@@ -473,6 +491,33 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
     client_compilers.push_back(compilers::make_compiler(client->language()));
   }
 
+  // One round per (server, version policy) pair — mirroring
+  // run_communication_study — or one per server when the axis is off. The
+  // round label scopes task ids so a resumed journal can never splice a
+  // strict round's rows into a shaded one.
+  struct Round {
+    const frameworks::ServerFramework* server;
+    std::optional<frameworks::VersionPolicy> policy;
+    std::string label;
+  };
+  std::vector<Round> rounds;
+  for (const auto& server : servers) {
+    if (config.versions.empty()) {
+      rounds.push_back({server.get(), std::nullopt, server->name()});
+      continue;
+    }
+    for (const frameworks::VersionPolicy policy : config.versions) {
+      rounds.push_back({server.get(), policy,
+                        server->name() + " [" + frameworks::to_string(policy) + "]"});
+    }
+  }
+  std::vector<soap::HybridProfile> profiles;
+  for (const auto& client : clients) {
+    profiles.push_back(config.versions.empty()
+                           ? soap::HybridProfile::kPure11
+                           : frameworks::profile_for(client->version_policy()));
+  }
+
   // Deployment + the shared parse up front, as in run_communication_study;
   // the invocations run under supervision.
   struct PreparedCommServer {
@@ -484,10 +529,11 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
   resilience::CampaignTasks tasks;
   tasks.campaign = "communication";
   tasks.config_json = communication_config_json(config);
-  for (const auto& server : servers) {
+  for (const Round& round : rounds) {
+    const frameworks::ServerFramework* server = round.server;
     const catalog::TypeCatalog& catalog =
         server->language() == "C#" ? dotnet_catalog : java_catalog;
-    obs::Span server_span(config.tracer, "server:" + server->name(), run_span);
+    obs::Span server_span(config.tracer, "server:" + round.label, run_span);
     obs::Span deploy_span(config.tracer, "phase:deploy", server_span);
     obs::ScopedTimer deploy_timer = obs::timer(config.metrics, "comm.phase.deploy_us");
     PreparedCommServer prep;
@@ -513,7 +559,7 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
     }
     first_task.push_back(tasks.ids.size());
     for (const frameworks::DeployedService& service : prep.deployed) {
-      tasks.ids.push_back(server->name() + "|" + service.spec.service_name());
+      tasks.ids.push_back(round.label + "|" + service.spec.service_name());
     }
     prepared.push_back(std::move(prep));
   }
@@ -530,8 +576,9 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
   const bool journaling = !options.checkpoint_path.empty();
 
   tasks.run = [&, journaling](std::size_t index, resilience::TaskContext& context) {
-    const auto [server_index, service_index] = locate_task(first_task, index);
-    const PreparedCommServer& prep = prepared[server_index];
+    const auto [round_index, service_index] = locate_task(first_task, index);
+    const Round& round = rounds[round_index];
+    const PreparedCommServer& prep = prepared[round_index];
     const frameworks::DeployedService& service = prep.deployed[service_index];
     const frameworks::SharedDescription* description =
         config.parse_cache ? &prep.descriptions[service_index] : nullptr;
@@ -541,9 +588,9 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
     data.invocations.clear();  // a deadline retry re-runs the task from scratch
     data.invocations.reserve(clients.size());
     for (std::size_t i = 0; i < clients.size(); ++i) {
-      data.invocations.push_back(
-          invoke_echo_once(*servers[server_index], service, description, *clients[i],
-                           client_compilers[i].get(), &data.sniffed));
+      data.invocations.push_back(invoke_echo_once(
+          *round.server, service, description, *clients[i], client_compilers[i].get(),
+          &data.sniffed, profiles[i], round.policy.has_value() ? &*round.policy : nullptr));
       context.charge(1);  // cost model: one virtual ms per invocation
     }
     data.executed = true;
@@ -570,11 +617,11 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
   if (!supervised.ok()) return supervised.error();
   out.supervisor = std::move(supervised.value());
 
-  // Fold in task order (see run_study_supervised).
-  for (std::size_t server_index = 0; server_index < servers.size(); ++server_index) {
+  // Fold in task order (see run_study_supervised); one result row per round.
+  for (std::size_t round_index = 0; round_index < rounds.size(); ++round_index) {
     CommServerResult server_result;
-    server_result.server = servers[server_index]->name();
-    server_result.services_deployed = prepared[server_index].deployed.size();
+    server_result.server = rounds[round_index].label;
+    server_result.services_deployed = prepared[round_index].deployed.size();
     for (const auto& client : clients) {
       CommCell cell;
       cell.client = client->name();
@@ -584,7 +631,7 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
   }
   for (const resilience::TaskOutcome& task : out.supervisor.tasks) {
     if (task.state != resilience::TaskState::kCompleted) continue;
-    const auto [server_index, service_index] = locate_task(first_task, task.task);
+    const auto [round_index, service_index] = locate_task(first_task, task.task);
     // (o, http_status) pairs from memory for executed tasks, from the
     // journal record for resumed ones — the round-trip is exact.
     std::vector<std::pair<std::size_t, int>> rows;
@@ -620,7 +667,7 @@ Result<SupervisedCommunicationResult> run_communication_supervised(
     if (rows.size() != clients.size()) {
       return bad_record(task.id, "malformed communication record");
     }
-    CommServerResult& server_result = result.servers[server_index];
+    CommServerResult& server_result = result.servers[round_index];
     for (std::size_t i = 0; i < clients.size(); ++i) {
       const std::size_t o = rows[i].first;
       if (o >= kCommOutcomeCount) return bad_record(task.id, "unknown outcome index");

@@ -25,20 +25,37 @@ std::string_view envelope_namespace(SoapVersion version) {
   return version == SoapVersion::k11 ? xml::ns::kSoapEnvelope : xml::ns::kSoap12Envelope;
 }
 
+std::string fault_code_for_12(std::string_view fault_code) {
+  const std::size_t colon = fault_code.find(':');
+  const std::string_view local =
+      colon == std::string_view::npos ? fault_code : fault_code.substr(colon + 1);
+  // SOAP 1.2 renamed the two application code values; the rest kept their
+  // local names. Everything lives in the envelope namespace ("soapenv").
+  if (local == "Client") return "soapenv:Sender";
+  if (local == "Server") return "soapenv:Receiver";
+  return "soapenv:" + std::string(local);
+}
+
 Envelope Envelope::make_fault(Fault fault, SoapVersion version) {
   Envelope envelope;
   envelope.version_ = version;
   xml::Element body{"soapenv:Fault"};
   if (version == SoapVersion::k11) {
+    // 1.1 fault children are unqualified: faultcode/faultstring/detail.
     body.add_element("faultcode").add_text(fault.fault_code);
     body.add_element("faultstring").add_text(fault.fault_string);
     if (!fault.detail.empty()) body.add_element("detail").add_text(fault.detail);
   } else {
-    // SOAP 1.2 fault structure: Code/Value, Reason/Text, Detail.
+    // SOAP 1.2 fault structure: qualified Code/Value, Reason/Text, Detail,
+    // with the code value normalized to its 1.2 spelling. The stored Fault
+    // carries the normalized code too, so a write/parse round-trip of a 1.2
+    // fault is the identity.
+    fault.fault_code = fault_code_for_12(fault.fault_code);
     body.add_element("soapenv:Code").add_element("soapenv:Value").add_text(fault.fault_code);
-    body.add_element("soapenv:Reason")
-        .add_element("soapenv:Text")
-        .add_text(fault.fault_string);
+    xml::Element& text =
+        body.add_element("soapenv:Reason").add_element("soapenv:Text");
+    text.set_attribute("xml:lang", "en");  // 1.2 requires xml:lang on Text
+    text.add_text(fault.fault_string);
     if (!fault.detail.empty()) {
       body.add_element("soapenv:Detail").add_text(fault.detail);
     }

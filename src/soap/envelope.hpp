@@ -1,10 +1,13 @@
-// envelope.hpp — SOAP 1.1 envelope model.
+// envelope.hpp — the SOAP 1.1 and 1.2 envelope model.
 //
 // The paper scopes its study to the description/generation/compilation
 // steps; Communication (4) and Execution (5) are listed as future work.
 // This module implements that future work for our simulated stacks: it
 // carries application payloads between generated client artifacts and the
-// server framework models.
+// server framework models. Both envelope versions are first-class: faults
+// take the per-version shape (1.1 faultcode/faultstring vs 1.2
+// Code/Value + Reason/Text), and mustUnderstand header semantics are
+// modelled for the mixed-version robustness axis (soap/version.hpp).
 #pragma once
 
 #include <optional>
@@ -17,7 +20,8 @@
 namespace wsx::soap {
 
 /// Envelope namespace versions. The 2014 study runs entirely on SOAP 1.1;
-/// 1.2 support exists for the version-negotiation extension experiments.
+/// 1.2 is a full envelope model (fault Code/Reason shape, version-mismatch
+/// faults) driving the mixed-version robustness axis.
 enum class SoapVersion { k11, k12 };
 
 const char* to_string(SoapVersion version);
@@ -33,6 +37,11 @@ struct Fault {
   friend bool operator==(const Fault&, const Fault&) = default;
 };
 
+/// The SOAP 1.2 spelling of a fault code: the 1.1 code values map onto the
+/// renamed 1.2 ones (Client→Sender, Server→Receiver) under the "soapenv"
+/// prefix; codes already in 1.2 form pass through unchanged.
+std::string fault_code_for_12(std::string_view fault_code);
+
 /// A SOAP 1.1 envelope: optional header entries plus exactly one body
 /// payload (an application element or a fault).
 class Envelope {
@@ -41,6 +50,10 @@ class Envelope {
   explicit Envelope(xml::Element body_payload, SoapVersion version = SoapVersion::k11)
       : body_(std::move(body_payload)), version_(version) {}
 
+  /// Builds a fault envelope in the version's own shape: 1.1 emits the
+  /// unqualified faultcode/faultstring/detail children; 1.2 emits the
+  /// qualified Code/Value + Reason/Text (+Detail) structure with the fault
+  /// code normalized to its 1.2 spelling (fault_code_for_12).
   static Envelope make_fault(Fault fault, SoapVersion version = SoapVersion::k11);
 
   SoapVersion version() const { return version_; }

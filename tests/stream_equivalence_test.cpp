@@ -14,6 +14,7 @@
 #include "soap/envelope.hpp"
 #include "soap/message.hpp"
 #include "soap/validate.hpp"
+#include "soap/version.hpp"
 #include "test_helpers.hpp"
 
 namespace wsx {
@@ -151,10 +152,51 @@ TEST(StreamEquivalence, FaultEnvelopesRebuildIdentically) {
     const Snapshot snap = expect_equivalent(soap::write(fault));
     ASSERT_TRUE(snap.ok) << snap.error_message;
     EXPECT_TRUE(snap.is_fault);
-    EXPECT_EQ(snap.fault.fault_code, "soap:Client");
+    // The 1.2 shape renames the code (Client → Sender) and qualifies it.
+    EXPECT_EQ(snap.fault.fault_code,
+              version == soap::SoapVersion::k11 ? "soap:Client" : "soapenv:Sender");
     EXPECT_EQ(snap.fault.fault_string, "bad things & worse");
     EXPECT_EQ(snap.fault.detail, "detail <text>");
   }
+}
+
+TEST(StreamEquivalence, HybridEnvelopesRebuildIdentically) {
+  // The mixed-version axis shapes (docs/VERSIONS.md): a 1.1 envelope in
+  // each hybrid profile must round-trip through both paths to the same
+  // model — same header count, same mustUnderstand verdict, same bytes —
+  // and the rebuilt envelope must inspect to the same coherence summary.
+  soap::Envelope base(xml::Element("pay:echo"), soap::SoapVersion::k11);
+  for (const soap::HybridProfile profile :
+       {soap::HybridProfile::kPure11, soap::HybridProfile::kAddressing,
+        soap::HybridProfile::kSecured}) {
+    soap::Envelope hybrid = base;
+    soap::apply_hybrid_profile(hybrid, profile, "echo");
+    const Snapshot snap = expect_equivalent(soap::write(hybrid));
+    ASSERT_TRUE(snap.ok) << snap.error_message;
+    EXPECT_EQ(snap.header_count, hybrid.header_entries().size());
+    EXPECT_EQ(snap.must_understand, profile == soap::HybridProfile::kSecured);
+
+    StreamingGuard guard;
+    for (const bool streaming : {true, false}) {
+      soap::set_streaming(streaming);
+      Result<soap::Envelope> reparsed = soap::parse(soap::write(hybrid));
+      ASSERT_TRUE(reparsed.ok());
+      const soap::VersionCoherence coherence = soap::inspect_coherence(*reparsed);
+      EXPECT_EQ(coherence.has_12_era_headers, profile != soap::HybridProfile::kPure11);
+      EXPECT_EQ(coherence.has_12_era_mu_headers,
+                profile == soap::HybridProfile::kSecured);
+      EXPECT_FALSE(coherence.has_unknown_mu_headers);
+    }
+  }
+}
+
+TEST(StreamEquivalence, Soap12EnvelopeWithHeadersRebuildsIdentically) {
+  soap::Envelope envelope(xml::Element("pay:echo"), soap::SoapVersion::k12);
+  soap::apply_hybrid_profile(envelope, soap::HybridProfile::kAddressing, "echo");
+  const Snapshot snap = expect_equivalent(soap::write(envelope));
+  ASSERT_TRUE(snap.ok) << snap.error_message;
+  EXPECT_EQ(snap.version, "SOAP 1.2");
+  EXPECT_EQ(snap.header_count, envelope.header_entries().size());
 }
 
 TEST(StreamEquivalence, SemanticErrorsMatch) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/java_catalog.hpp"
@@ -18,7 +19,9 @@
 #include "fuzz/mutation.hpp"
 #include "soap/envelope.hpp"
 #include "soap/message.hpp"
+#include "soap/version.hpp"
 #include "xml/pull.hpp"
+#include "xml/qname.hpp"
 #include "test_helpers.hpp"
 
 namespace wsx {
@@ -97,6 +100,67 @@ const std::string& clean_body() {
   return body;
 }
 
+/// Mixed-version corpus: a genuine SOAP 1.2 envelope, the two hybrid
+/// 1.1-with-1.2-era-header profiles, and the raw namespace rewrite the
+/// soap12-rewrite chaos fault performs in transit.
+std::vector<std::pair<std::string, std::string>> mixed_version_corpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  Result<soap::Envelope> base = soap::parse(clean_body());
+  if (!base.ok()) return corpus;
+
+  soap::Envelope soap12 = *base;
+  soap12.set_version(soap::SoapVersion::k12);
+  corpus.emplace_back("soap 1.2", soap::write(soap12));
+
+  for (const soap::HybridProfile profile :
+       {soap::HybridProfile::kAddressing, soap::HybridProfile::kSecured}) {
+    soap::Envelope hybrid = *base;
+    soap::apply_hybrid_profile(hybrid, profile, "echo");
+    corpus.emplace_back(std::string("hybrid ") + soap::to_string(profile),
+                        soap::write(hybrid));
+  }
+
+  // The in-transit rewrite (wire.cpp's soap12-rewrite): textual namespace
+  // replacement, which unlike set_version leaves everything else 1.1.
+  std::string rewritten = clean_body();
+  const std::string from(xml::ns::kSoapEnvelope);
+  const std::string to(xml::ns::kSoap12Envelope);
+  for (std::size_t at = rewritten.find(from); at != std::string::npos;
+       at = rewritten.find(from, at + to.size())) {
+    rewritten.replace(at, from.size(), to);
+  }
+  corpus.emplace_back("rewritten namespace", std::move(rewritten));
+  return corpus;
+}
+
+TEST(StreamFuzzBridge, MixedVersionEnvelopesAgree) {
+  const auto corpus = mixed_version_corpus();
+  ASSERT_EQ(corpus.size(), 4u);
+  for (const auto& [label, body] : corpus) {
+    expect_same_verdict(body, label);
+    expect_same_verdict_incremental(body, label);
+    EXPECT_EQ(verdict_with(true, body), "ok") << label;
+  }
+}
+
+TEST(StreamFuzzBridge, DamagedMixedVersionEnvelopesAgree) {
+  // Every fault kind (the version-skew kinds included — apply_body_fault
+  // passes them through unchanged, which both paths must tolerate) and a
+  // truncation sweep over each mixed-version shape.
+  for (const auto& [label, body] : mixed_version_corpus()) {
+    for (chaos::FaultKind kind : chaos::all_fault_kinds()) {
+      for (std::uint64_t salt : {2, 17}) {
+        expect_same_verdict(chaos::apply_body_fault(kind, body, salt),
+                            label + " under " + chaos::to_string(kind));
+      }
+    }
+    for (std::size_t cut = 0; cut <= body.size(); cut += 11) {
+      expect_same_verdict(body.substr(0, cut),
+                          label + " cut at " + std::to_string(cut));
+    }
+  }
+}
+
 TEST(StreamFuzzBridge, CleanTrafficAgrees) {
   ASSERT_FALSE(clean_body().empty());
   expect_same_verdict(clean_body(), "clean");
@@ -104,15 +168,7 @@ TEST(StreamFuzzBridge, CleanTrafficAgrees) {
 }
 
 TEST(StreamFuzzBridge, EveryChaosFaultKindAgrees) {
-  const std::vector<chaos::FaultKind> kinds = {
-      chaos::FaultKind::kConnectionReset, chaos::FaultKind::kConnectTimeout,
-      chaos::FaultKind::kReadTimeout,     chaos::FaultKind::kTruncatedBody,
-      chaos::FaultKind::kCorruptedByte,   chaos::FaultKind::kHttp502,
-      chaos::FaultKind::kHttp503,         chaos::FaultKind::kSlowResponse,
-      chaos::FaultKind::kDuplicateDelivery, chaos::FaultKind::kDropContentType,
-      chaos::FaultKind::kDropSoapAction,
-  };
-  for (chaos::FaultKind kind : kinds) {
+  for (chaos::FaultKind kind : chaos::all_fault_kinds()) {
     for (std::uint64_t salt = 0; salt < 25; ++salt) {
       const std::string damaged = chaos::apply_body_fault(kind, clean_body(), salt);
       expect_same_verdict(damaged, "fault kind " +

@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -119,10 +120,10 @@ int usage() {
                "  describe    SERVER TYPE\n"
                "  test        SERVER TYPE CLIENT [--dump]\n"
                "  fuzz        [--corpus N]\n"
-               "  communicate [--scale PCT] [--threads N]\n"
+               "  communicate [--scale PCT] [--threads N] [--versions POLICY,...]\n"
                "  chaos       [--seed N] [--rate PCT] [--faults KIND,...] [--burst N]\n"
                "              [--calls N] [--scale PCT] [--jobs N] [--csv FILE]\n"
-               "              [--format text|csv|markdown|json]\n"
+               "              [--versions POLICY,...] [--format text|csv|markdown|json]\n"
                "  propcheck   [--seed N] [--cases N] [--max-depth N] [--scale PCT]\n"
                "              [--jobs N] [--shrink] [--no-shrink] [--sabotage]\n"
                "              [--format text|json]\n"
@@ -143,9 +144,13 @@ int usage() {
                "              [--cache FILE.journal] [--out BENCH_serve.json]\n"
                "              [--check BASELINE.json] [--tolerance PCT]\n"
                "              (overload drill; exit 3 on invariant or baseline miss)\n"
-               "  scorecard   [--chaos] [--jobs N]\n"
+               "  scorecard   [--chaos] [--jobs N] [--versions POLICY,...]\n"
                "  resume      JOURNAL [--jobs N] [--format ...] [--trip-after N]\n"
                "  list\n"
+               "--versions sweeps each server under the named version-validation\n"
+               "policies (strict, relaxed, shaded) while clients emit the hybrid\n"
+               "1.1-with-1.2-era-header profile their own policy implies; see\n"
+               "docs/VERSIONS.md (run accepts the flag but steps 1-3 are wire-free)\n"
                "campaign verbs (run, lint --corpus, communicate, chaos, propcheck,\n"
                "profile, predict --corpus) also accept --trace FILE.jsonl and\n"
                "--metrics FILE.json; run, communicate, chaos, propcheck and profile\n"
@@ -168,6 +173,32 @@ bool parse_jobs(const std::string& text, std::size_t& out) {
   if (!wsx::valid_worker_count(out)) {
     std::cerr << "wsinterop: worker count " << out << " out of range (max "
               << wsx::kMaxWorkers << ", 0 = auto)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses a comma-separated --versions list ("strict,relaxed,shaded") into
+/// version-validation policies. An unknown spelling is a usage error that
+/// lists the valid ones, mirroring --faults.
+bool parse_versions(const std::string& text, std::vector<frameworks::VersionPolicy>& out) {
+  std::stringstream names(text);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    const std::optional<frameworks::VersionPolicy> policy =
+        frameworks::parse_version_policy(name);
+    if (!policy.has_value()) {
+      std::cerr << "wsinterop: unknown version policy '" << name << "'; policies are:";
+      for (const frameworks::VersionPolicy known : frameworks::all_version_policies()) {
+        std::cerr << ' ' << frameworks::to_string(known);
+      }
+      std::cerr << "\n";
+      return false;
+    }
+    out.push_back(*policy);
+  }
+  if (out.empty()) {
+    std::cerr << "wsinterop: --versions needs at least one policy\n";
     return false;
   }
   return true;
@@ -361,6 +392,11 @@ int cmd_run(const std::vector<std::string>& args) {
       apply_scale(config, percent);
     } else if ((args[i] == "--threads" || args[i] == "--jobs") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
+    } else if (args[i] == "--versions" && i + 1 < args.size()) {
+      // Accepted (and validated) for symmetry with the other campaign
+      // verbs, but steps 1-3 never touch the wire, so the axis only
+      // changes behaviour under communicate/chaos/scorecard.
+      if (!parse_versions(args[++i], config.versions)) return 2;
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
     } else if (args[i] == "--log" && i + 1 < args.size()) {
@@ -700,6 +736,8 @@ int cmd_communicate(const std::vector<std::string>& args) {
       apply_scale(config, percent);
     } else if ((args[i] == "--threads" || args[i] == "--jobs") && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], config.threads)) return usage();
+    } else if (args[i] == "--versions" && i + 1 < args.size()) {
+      if (!parse_versions(args[++i], config.versions)) return 2;
     } else if (args[i] == "--no-parse-cache") {
       config.parse_cache = false;
     } else if (args[i] == "--no-stream") {
@@ -786,6 +824,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
         }
         config.plan.kinds.push_back(*kind);
       }
+    } else if (args[i] == "--versions" && i + 1 < args.size()) {
+      if (!parse_versions(args[++i], config.versions)) return 2;
     } else if (args[i] == "--burst" && i + 1 < args.size()) {
       std::size_t burst = 0;
       if (!parse_count(args[++i], burst) || burst == 0) return usage();
@@ -1132,17 +1172,21 @@ int cmd_diff(const std::vector<std::string>& args) {
 int cmd_scorecard(const std::vector<std::string>& args) {
   bool with_chaos = false;
   std::size_t jobs = 0;
+  std::vector<frameworks::VersionPolicy> versions;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--chaos") {
       with_chaos = true;
     } else if (args[i] == "--jobs" && i + 1 < args.size()) {
       if (!parse_jobs(args[++i], jobs)) return usage();
+    } else if (args[i] == "--versions" && i + 1 < args.size()) {
+      if (!parse_versions(args[++i], versions)) return 2;
     } else {
       return usage();
     }
   }
   interop::StudyConfig study_config;
   study_config.threads = jobs;
+  study_config.versions = versions;
   const interop::StudyResult study = interop::run_study(study_config);
   const interop::CommunicationResult communication =
       interop::run_communication_study(study_config);
@@ -1152,6 +1196,7 @@ int cmd_scorecard(const std::vector<std::string>& args) {
   if (with_chaos) {
     chaos::ChaosConfig chaos_config;
     chaos_config.jobs = jobs;
+    chaos_config.versions = versions;
     const chaos::ChaosResult chaos_result = chaos::run_chaos_study(chaos_config);
     std::cout << interop::format_scorecard(
         interop::build_scorecard(study, communication, fuzzing, chaos_result));
